@@ -1,0 +1,103 @@
+//! CV — detection by constraint violations.
+//!
+//! "This method identifies errors by leveraging violations of denial
+//! constraints… CV marks as erroneous all cells in a group of cells that
+//! participate in a violation" (§6.1, §6.2). High recall when errors
+//! break constraints; low precision because whole groups are flagged.
+
+use holo_constraints::ViolationEngine;
+use holo_data::{CellId, Dataset, Label};
+use holo_eval::{DetectionContext, Detector};
+use std::collections::HashSet;
+
+/// The rule-based constraint-violation detector.
+#[derive(Debug, Default)]
+pub struct ConstraintViolations;
+
+impl ConstraintViolations {
+    /// Flag set over the whole dataset: every cell `(t, a)` such that `t`
+    /// participates in a violation of a constraint mentioning `a`.
+    pub fn flagged_cells(_dirty: &Dataset, engine: &ViolationEngine) -> HashSet<CellId> {
+        let mut flagged = HashSet::new();
+        for ix in engine.indexes() {
+            let attrs = ix.constraint().attrs();
+            for t in ix.violating_tuples() {
+                for &a in &attrs {
+                    flagged.insert(CellId::new(t, a));
+                }
+            }
+        }
+        flagged
+    }
+}
+
+impl Detector for ConstraintViolations {
+    fn name(&self) -> &'static str {
+        "CV"
+    }
+
+    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+        let engine = ViolationEngine::build(ctx.dirty, ctx.constraints);
+        let flagged = Self::flagged_cells(ctx.dirty, &engine);
+        ctx.eval_cells
+            .iter()
+            .map(|c| if flagged.contains(c) { Label::Error } else { Label::Correct })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_constraints::parse_constraints;
+    use holo_data::{DatasetBuilder, Schema, TrainingSet};
+
+    fn dirty() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        b.push_row(&["60612", "Chicago"]);
+        b.push_row(&["60612", "Chicago"]);
+        b.push_row(&["60612", "Cicago"]); // violates Zip -> City
+        b.push_row(&["53703", "Madison"]);
+        b.build()
+    }
+
+    #[test]
+    fn flags_all_cells_of_violating_group() {
+        let d = dirty();
+        let dcs = parse_constraints("Zip -> City", d.schema()).unwrap();
+        let train = TrainingSet::new();
+        let cells: Vec<CellId> = d.cell_ids().collect();
+        let ctx = DetectionContext {
+            dirty: &d,
+            train: &train,
+            sampling: None,
+            constraints: &dcs,
+            eval_cells: &cells,
+            seed: 0,
+        };
+        let labels = ConstraintViolations.detect(&ctx);
+        // Rows 0–2 participate in violations; both Zip and City cells of
+        // those rows are flagged. Row 3 is clean.
+        for (cell, label) in cells.iter().zip(&labels) {
+            let expect = if cell.t() <= 2 { Label::Error } else { Label::Correct };
+            assert_eq!(*label, expect, "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn no_constraints_flags_nothing() {
+        let d = dirty();
+        let train = TrainingSet::new();
+        let cells: Vec<CellId> = d.cell_ids().collect();
+        let ctx = DetectionContext {
+            dirty: &d,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            eval_cells: &cells,
+            seed: 0,
+        };
+        let labels = ConstraintViolations.detect(&ctx);
+        assert!(labels.iter().all(|&l| l == Label::Correct));
+    }
+}

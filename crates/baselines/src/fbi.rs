@@ -1,0 +1,162 @@
+//! FBI — forbidden itemsets via the lift measure \[50\].
+//!
+//! §6.1: "this method leverages the lift measure from association rule
+//! mining to identify how probable a value co-occurrence is, and uses
+//! this measure to identify erroneous cell values." A pair of in-tuple
+//! values `(u, v)` is *forbidden* when
+//! `lift(u, v) = P(u, v) / (P(u)·P(v))` is low while both values are
+//! individually well-supported; cells participating in a forbidden pair
+//! are flagged.
+
+use holo_data::{Label, Symbol};
+use holo_eval::{DetectionContext, Detector};
+use std::collections::HashMap;
+
+/// The forbidden-itemsets detector.
+#[derive(Debug)]
+pub struct ForbiddenItemsets {
+    /// Pairs with lift below this are forbidden (paper's τ).
+    pub max_lift: f64,
+    /// Minimum occurrences of each value for the pair to count —
+    /// "FBI achieves high precision when the forbidden item sets have
+    /// significant support" (§6.2).
+    pub min_support: u32,
+}
+
+impl Default for ForbiddenItemsets {
+    fn default() -> Self {
+        ForbiddenItemsets { max_lift: 0.1, min_support: 4 }
+    }
+}
+
+impl Detector for ForbiddenItemsets {
+    fn name(&self) -> &'static str {
+        "FBI"
+    }
+
+    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+        let d = ctx.dirty;
+        let n = d.n_tuples() as f64;
+        let na = d.n_attrs();
+        if n == 0.0 || na < 2 {
+            return vec![Label::Correct; ctx.eval_cells.len()];
+        }
+        // Value supports per column.
+        let mut support: Vec<HashMap<Symbol, u32>> = vec![HashMap::new(); na];
+        for a in 0..na {
+            for &s in d.column(a) {
+                *support[a].entry(s).or_insert(0) += 1;
+            }
+        }
+        // Pair counts per column pair (a < b).
+        let mut pairs: Vec<Vec<HashMap<(Symbol, Symbol), u32>>> =
+            (0..na).map(|a| vec![HashMap::new(); na.saturating_sub(a + 1)]).collect();
+        for t in 0..d.n_tuples() {
+            for a in 0..na {
+                let va = d.symbol(t, a);
+                for b in (a + 1)..na {
+                    let vb = d.symbol(t, b);
+                    *pairs[a][b - a - 1].entry((va, vb)).or_insert(0) += 1;
+                }
+            }
+        }
+        let lift = |a: usize, va: Symbol, b: usize, vb: Symbol| -> Option<f64> {
+            let sa = f64::from(support[a][&va]);
+            let sb = f64::from(support[b][&vb]);
+            let joint = f64::from(
+                pairs[a.min(b)][a.max(b) - a.min(b) - 1]
+                    .get(&if a < b { (va, vb) } else { (vb, va) })
+                    .copied()
+                    .unwrap_or(0),
+            );
+            if support[a][&va] < self.min_support || support[b][&vb] < self.min_support {
+                return None; // not enough evidence to forbid
+            }
+            Some((joint / n) / ((sa / n) * (sb / n)))
+        };
+        ctx.eval_cells
+            .iter()
+            .map(|cell| {
+                let (t, a) = (cell.t(), cell.a());
+                let va = d.symbol(t, a);
+                let forbidden = (0..na).filter(|&b| b != a).any(|b| {
+                    let vb = d.symbol(t, b);
+                    matches!(lift(a, va, b, vb), Some(l) if l < self.max_lift)
+                });
+                if forbidden {
+                    Label::Error
+                } else {
+                    Label::Correct
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{CellId, Dataset, DatasetBuilder, Schema, TrainingSet};
+
+    /// Cities and states that normally pair up; one swapped pair.
+    fn dirty() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["City", "State"]));
+        for _ in 0..50 {
+            b.push_row(&["Chicago", "IL"]);
+            b.push_row(&["Madison", "WI"]);
+        }
+        b.push_row(&["Chicago", "WI"]); // forbidden pair, row 100
+        b.build()
+    }
+
+    fn run(d: &Dataset, det: &mut ForbiddenItemsets) -> HashMap<CellId, Label> {
+        let train = TrainingSet::new();
+        let cells: Vec<CellId> = d.cell_ids().collect();
+        let ctx = DetectionContext {
+            dirty: d,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            eval_cells: &cells,
+            seed: 0,
+        };
+        let labels = det.detect(&ctx);
+        cells.into_iter().zip(labels).collect()
+    }
+
+    #[test]
+    fn flags_the_swapped_pair() {
+        let d = dirty();
+        let map = run(&d, &mut ForbiddenItemsets::default());
+        // Both cells of the forbidden pair are implicated.
+        assert_eq!(map[&CellId::new(100, 0)], Label::Error);
+        assert_eq!(map[&CellId::new(100, 1)], Label::Error);
+        // Normal pairs are untouched.
+        assert_eq!(map[&CellId::new(0, 0)], Label::Correct);
+        assert_eq!(map[&CellId::new(1, 1)], Label::Correct);
+    }
+
+    #[test]
+    fn rare_values_lack_support_and_are_not_forbidden() {
+        // A typo'd city occurs once: below min_support, so FBI cannot
+        // flag it (this is exactly FBI's low-recall failure mode on
+        // typo-heavy data, §6.2).
+        let mut b = DatasetBuilder::new(Schema::new(["City", "State"]));
+        for _ in 0..50 {
+            b.push_row(&["Chicago", "IL"]);
+        }
+        b.push_row(&["Cixago", "IL"]);
+        let d = b.build();
+        let map = run(&d, &mut ForbiddenItemsets::default());
+        assert_eq!(map[&CellId::new(50, 0)], Label::Correct);
+    }
+
+    #[test]
+    fn single_attribute_is_safe() {
+        let mut b = DatasetBuilder::new(Schema::new(["A"]));
+        b.push_row(&["x"]);
+        let d = b.build();
+        let map = run(&d, &mut ForbiddenItemsets::default());
+        assert_eq!(map[&CellId::new(0, 0)], Label::Correct);
+    }
+}

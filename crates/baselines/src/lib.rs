@@ -1,0 +1,30 @@
+//! # holo-baselines
+//!
+//! The competing error-detection methods of Table 2 (§6.1):
+//!
+//! * [`cv::ConstraintViolations`] — flag every cell of a violated
+//!   constraint's attributes in violating tuples (rule-based detection),
+//! * [`holoclean::HoloCleanDetector`] — CV filtered by a repair engine:
+//!   a cell counts as an error only if the repair model changes its
+//!   value (the paper's HC),
+//! * [`outlier::OutlierDetector`] — correlation-based outlier detection
+//!   over pairwise conditional distributions (OD),
+//! * [`fbi::ForbiddenItemsets`] — unlikely value co-occurrences via the
+//!   lift measure \[50\] (FBI),
+//! * [`logreg::LogisticRegression`] — a supervised linear model over
+//!   co-occurrence and violation features (LR).
+//!
+//! All implement [`holo_eval::Detector`], so the experiment harness
+//! drives them exactly like the HoloDetect model.
+
+pub mod cv;
+pub mod fbi;
+pub mod holoclean;
+pub mod logreg;
+pub mod outlier;
+
+pub use cv::ConstraintViolations;
+pub use fbi::ForbiddenItemsets;
+pub use holoclean::HoloCleanDetector;
+pub use logreg::LogisticRegression;
+pub use outlier::OutlierDetector;

@@ -1,0 +1,155 @@
+//! OD — correlation-based outlier detection.
+//!
+//! §6.1: "Given a cell that corresponds to an attribute Ai, the method
+//! considers all correlated attributes… and relies on the pair-wise
+//! conditional distributions to detect if the value of a cell corresponds
+//! to an outlier." A value is an outlier when it is improbable under
+//! *every* correlated attribute's conditional distribution.
+
+use holo_data::{Dataset, Label, Symbol};
+use holo_eval::{DetectionContext, Detector};
+use std::collections::HashMap;
+
+/// The conditional-distribution outlier detector.
+#[derive(Debug)]
+pub struct OutlierDetector {
+    /// A value is flagged when its best conditional probability across
+    /// correlated attributes falls below this threshold.
+    pub threshold: f64,
+}
+
+impl Default for OutlierDetector {
+    fn default() -> Self {
+        OutlierDetector { threshold: 0.02 }
+    }
+}
+
+/// Pairwise conditional statistics: `P(v_a | v_b)` for every attribute
+/// pair, from co-occurrence counts.
+struct Conditionals {
+    /// `joint[a][b]`: (sym_b → (sym_a → count)).
+    joint: Vec<Vec<HashMap<Symbol, HashMap<Symbol, u32>>>>,
+}
+
+impl Conditionals {
+    fn fit(d: &Dataset) -> Self {
+        let na = d.n_attrs();
+        let mut joint: Vec<Vec<HashMap<Symbol, HashMap<Symbol, u32>>>> =
+            (0..na).map(|_| vec![HashMap::new(); na]).collect();
+        for t in 0..d.n_tuples() {
+            for a in 0..na {
+                let va = d.symbol(t, a);
+                for b in 0..na {
+                    if a == b {
+                        continue;
+                    }
+                    let vb = d.symbol(t, b);
+                    *joint[a][b].entry(vb).or_default().entry(va).or_insert(0) += 1;
+                }
+            }
+        }
+        Conditionals { joint }
+    }
+
+    /// `P(value of a | value of b)` for tuple `t`.
+    fn conditional(&self, d: &Dataset, t: usize, a: usize, b: usize) -> f64 {
+        let va = d.symbol(t, a);
+        let vb = d.symbol(t, b);
+        let Some(dist) = self.joint[a][b].get(&vb) else { return 0.0 };
+        let total: u32 = dist.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        f64::from(dist.get(&va).copied().unwrap_or(0)) / f64::from(total)
+    }
+}
+
+impl Detector for OutlierDetector {
+    fn name(&self) -> &'static str {
+        "OD"
+    }
+
+    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+        let d = ctx.dirty;
+        let cond = Conditionals::fit(d);
+        let na = d.n_attrs();
+        ctx.eval_cells
+            .iter()
+            .map(|cell| {
+                if na < 2 {
+                    return Label::Correct;
+                }
+                let (t, a) = (cell.t(), cell.a());
+                // Best support among all other attributes: a correct value
+                // is usually well-supported by at least one correlate.
+                let best = (0..na)
+                    .filter(|&b| b != a)
+                    .map(|b| cond.conditional(d, t, a, b))
+                    .fold(0.0f64, f64::max);
+                if best < self.threshold {
+                    Label::Error
+                } else {
+                    Label::Correct
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{CellId, DatasetBuilder, Schema, TrainingSet};
+
+    fn dirty() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for _ in 0..50 {
+            b.push_row(&["60612", "Chicago"]);
+            b.push_row(&["53703", "Madison"]);
+        }
+        b.push_row(&["60612", "Cixago"]); // conditional outlier, row 100
+        b.build()
+    }
+
+    fn detect(d: &Dataset, det: &mut OutlierDetector) -> Vec<(CellId, Label)> {
+        let train = TrainingSet::new();
+        let cells: Vec<CellId> = d.cell_ids().collect();
+        let ctx = DetectionContext {
+            dirty: d,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            eval_cells: &cells,
+            seed: 0,
+        };
+        let labels = det.detect(&ctx);
+        cells.into_iter().zip(labels).collect()
+    }
+
+    #[test]
+    fn flags_the_conditional_outlier() {
+        let d = dirty();
+        let results = detect(&d, &mut OutlierDetector::default());
+        let map: std::collections::HashMap<CellId, Label> = results.into_iter().collect();
+        assert_eq!(map[&CellId::new(100, 1)], Label::Error);
+        assert_eq!(map[&CellId::new(0, 1)], Label::Correct);
+        assert_eq!(map[&CellId::new(1, 0)], Label::Correct);
+    }
+
+    #[test]
+    fn threshold_zero_flags_nothing() {
+        let d = dirty();
+        let mut det = OutlierDetector { threshold: 0.0 };
+        let results = detect(&d, &mut det);
+        assert!(results.iter().all(|(_, l)| *l == Label::Correct));
+    }
+
+    #[test]
+    fn threshold_one_flags_everything_uncertain() {
+        let d = dirty();
+        let mut det = OutlierDetector { threshold: 1.1 };
+        let results = detect(&d, &mut det);
+        // Everything is below 1.1, so everything is flagged.
+        assert!(results.iter().all(|(_, l)| *l == Label::Error));
+    }
+}

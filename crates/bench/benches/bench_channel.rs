@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the noisy channel: Algorithm 1 learning,
+//! Algorithm 3 conditioning, Algorithm 4 generation, and the
+//! Naive-Bayes repair pass (the weak-supervision cost in §5.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_channel::{
+    augment, learn_transformations, AugmentConfig, NaiveBayesRepair, Policy, RepairConfig,
+};
+use holo_datagen::{generate, DatasetKind};
+use std::hint::black_box;
+
+fn bench_learning(c: &mut Criterion) {
+    c.bench_function("learn_transformations_typo", |b| {
+        b.iter(|| black_box(learn_transformations("providence hospital", "providxence hospital")))
+    });
+    c.bench_function("learn_transformations_swap", |b| {
+        b.iter(|| black_box(learn_transformations("Female", "Male")))
+    });
+}
+
+fn channel_policy() -> Policy {
+    let pairs = [
+        ("scip-inf-4", "scip-inf-x4"),
+        ("alabama", "alaxbama"),
+        ("chicago", "chicxago"),
+        ("Female", "Male"),
+        ("60612", "60x612"),
+    ];
+    let lists: Vec<_> = pairs.iter().map(|(a, b)| learn_transformations(a, b)).collect();
+    Policy::from_lists(&lists)
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let p = channel_policy();
+    c.bench_function("policy_conditional", |b| {
+        b.iter(|| black_box(p.conditional(black_box("memorial hospital 60612"))))
+    });
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let p = channel_policy();
+    let corrects: Vec<String> = (0..200).map(|i| format!("value-{i} memorial")).collect();
+    c.bench_function("augment_200_examples", |b| {
+        b.iter(|| black_box(augment(&corrects, 0, &p, &[], &AugmentConfig::default())))
+    });
+}
+
+fn bench_nb_repair(c: &mut Criterion) {
+    let g = generate(DatasetKind::Hospital, 500, 3);
+    c.bench_function("naive_bayes_build_hospital_500", |b| {
+        b.iter(|| black_box(NaiveBayesRepair::build(&g.dirty, RepairConfig::default())))
+    });
+    let nb = NaiveBayesRepair::build(&g.dirty, RepairConfig::default());
+    c.bench_function("naive_bayes_full_repair_pass", |b| {
+        b.iter(|| black_box(nb.repairs(&g.dirty)))
+    });
+}
+
+criterion_group!(benches, bench_learning, bench_policy, bench_augment, bench_nb_repair);
+criterion_main!(benches);

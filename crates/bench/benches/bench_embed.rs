@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the embedding substrate: skip-gram training
+//! throughput and vector composition (the per-cell featurization cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_datagen::{generate, DatasetKind};
+use holo_embed::corpus::tuple_bag_corpus;
+use holo_embed::{Embedding, SkipGramConfig};
+use std::hint::black_box;
+
+fn small_cfg() -> SkipGramConfig {
+    SkipGramConfig {
+        dim: 24,
+        epochs: 1,
+        window: None,
+        buckets: 2048,
+        ..SkipGramConfig::default()
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let g = generate(DatasetKind::Soccer, 500, 1);
+    let corpus = tuple_bag_corpus(&g.dirty);
+    c.bench_function("skipgram_train_soccer_500_tuples", |b| {
+        b.iter(|| black_box(Embedding::train(black_box(&corpus), &small_cfg())))
+    });
+}
+
+fn bench_vector_lookup(c: &mut Criterion) {
+    let g = generate(DatasetKind::Soccer, 500, 1);
+    let corpus = tuple_bag_corpus(&g.dirty);
+    let emb = Embedding::train(&corpus, &small_cfg());
+    c.bench_function("embedding_vector_in_vocab", |b| {
+        b.iter(|| black_box(emb.vector(black_box("fc"))))
+    });
+    c.bench_function("embedding_vector_oov_subwords", |b| {
+        b.iter(|| black_box(emb.vector(black_box("never-seen-token"))))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_vector_lookup);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the NN substrate: layer throughput and
+//! one training epoch of the wide-and-deep model (the dominant cost in
+//! Table 5's AUG/SuperL rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_features::FeatureLayout;
+use holo_nn::{Dense, Highway, Layer, Matrix};
+use holodetect::model::{matrix_from_rows, WideDeepModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn layout() -> FeatureLayout {
+    FeatureLayout {
+        wide_names: (0..12).map(|i| format!("w{i}")).collect(),
+        branch_names: vec!["char".into(), "word".into(), "tuple".into(), "nn".into()],
+        branch_dims: vec![24, 24, 24, 24],
+    }
+}
+
+fn random_batch(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rowsv: Vec<Vec<f32>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    matrix_from_rows(&rowsv)
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = random_batch(32, 64, 2);
+    let mut dense = Dense::new(64, 64, &mut rng);
+    c.bench_function("dense_forward_32x64", |b| {
+        b.iter(|| black_box(dense.forward(black_box(&x), true)))
+    });
+    let mut hw = Highway::new(64, &mut rng);
+    c.bench_function("highway_forward_32x64", |b| {
+        b.iter(|| black_box(hw.forward(black_box(&x), true)))
+    });
+    let y = dense.forward(&x, true);
+    c.bench_function("dense_backward_32x64", |b| {
+        b.iter(|| black_box(dense.backward(black_box(&y))))
+    });
+}
+
+fn bench_wide_deep(c: &mut Criterion) {
+    let l = layout();
+    let x = random_batch(256, l.total_dim(), 3);
+    let targets: Vec<usize> = (0..256).map(|i| i % 2).collect();
+    c.bench_function("wide_deep_train_epoch_256", |b| {
+        b.iter(|| {
+            let mut m = WideDeepModel::new(layout(), 32, 0.0, 7);
+            m.train(black_box(&x), black_box(&targets), 1, 32, 0.005)
+        })
+    });
+    let mut m = WideDeepModel::new(layout(), 32, 0.0, 7);
+    m.train(&x, &targets, 1, 32, 0.005);
+    c.bench_function("wide_deep_predict_256", |b| {
+        b.iter(|| black_box(m.predict_proba(black_box(&x))))
+    });
+}
+
+criterion_group!(benches, bench_layers, bench_wide_deep);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the end-to-end pipeline stages on a
+//! Hospital-scale dataset: featurizer fit, batch featurization, and the
+//! complete AUG detect() — the stages whose sum is Table 5's AUG row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holo_bench::{bench_config, ExpArgs};
+use holo_data::{CellId, TrainingSet};
+use holo_datagen::{generate, DatasetKind};
+use holo_eval::{DetectionContext, Detector, Split, SplitConfig};
+use holo_features::Featurizer;
+use holodetect::HoloDetect;
+use std::hint::black_box;
+
+fn bench_featurizer(c: &mut Criterion) {
+    let g = generate(DatasetKind::Hospital, 400, 11);
+    let args = ExpArgs::default();
+    let cfg = bench_config(&args);
+    c.bench_function("featurizer_fit_hospital_400", |b| {
+        b.iter(|| {
+            black_box(Featurizer::fit(&g.dirty, &g.constraints, cfg.features.clone()))
+        })
+    });
+    let f = Featurizer::fit(&g.dirty, &g.constraints, cfg.features.clone());
+    let cells: Vec<(CellId, Option<String>)> =
+        g.dirty.cell_ids().take(500).map(|c| (c, None)).collect();
+    c.bench_function("featurize_batch_500_cells", |b| {
+        b.iter(|| black_box(f.features_batch(&g.dirty, &cells, 4)))
+    });
+}
+
+fn bench_full_detect(c: &mut Criterion) {
+    let g = generate(DatasetKind::Hospital, 300, 11);
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig { train_frac: 0.10, sampling_frac: 0.0, seed: 1 },
+    );
+    let train = split.training_set(&g.dirty, &g.truth);
+    let eval_cells = split.test_cells(&g.dirty);
+    let args = ExpArgs { epochs: 15, ..ExpArgs::default() };
+    let cfg = bench_config(&args);
+    let empty = TrainingSet::new();
+    c.bench_function("holodetect_aug_detect_hospital_300", |b| {
+        b.iter(|| {
+            let ctx = DetectionContext {
+                dirty: &g.dirty,
+                train: &train,
+                sampling: Some(&empty),
+                constraints: &g.constraints,
+                eval_cells: &eval_cells,
+                seed: 3,
+            };
+            let mut det = HoloDetect::new(cfg.clone());
+            black_box(det.detect(&ctx))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_featurizer, bench_full_detect
+}
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Minimal CLI argument parsing shared by the experiment binaries.
+
+use holo_datagen::DatasetKind;
+
+/// Common experiment arguments.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Row-count multiplier on each dataset's scaled default.
+    pub scale: f64,
+    /// Number of split seeds per configuration.
+    pub runs: usize,
+    /// Training epochs for learned models.
+    pub epochs: usize,
+    /// Dataset filter (empty = the experiment's own default set).
+    pub datasets: Vec<DatasetKind>,
+    /// Use the paper's exact 500-epoch / batch-5 schedule.
+    pub paper_faithful: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs { scale: 1.0, runs: 3, epochs: 60, datasets: Vec::new(), paper_faithful: false }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args` (skipping the binary name). Unknown
+    /// flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut grab = || {
+                it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = parse_num(&grab(), &flag),
+                "--runs" => out.runs = parse_num::<usize>(&grab(), &flag).max(1),
+                "--epochs" => out.epochs = parse_num::<usize>(&grab(), &flag).max(1),
+                "--paper-faithful" => out.paper_faithful = true,
+                "--datasets" => {
+                    out.datasets = grab()
+                        .split(',')
+                        .map(|s| parse_dataset(s.trim()))
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale <f> --runs <n> --epochs <n> \
+                         --datasets hospital,food,... --paper-faithful"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag {other:?} (try --help)")),
+            }
+        }
+        out
+    }
+
+    /// The datasets to run: the caller's default set unless `--datasets`
+    /// overrode it.
+    pub fn datasets_or(&self, default: &[DatasetKind]) -> Vec<DatasetKind> {
+        if self.datasets.is_empty() {
+            default.to_vec()
+        } else {
+            self.datasets.clone()
+        }
+    }
+
+    /// Scaled row count for a dataset.
+    pub fn rows(&self, kind: DatasetKind) -> usize {
+        ((kind.default_rows() as f64) * self.scale).round().max(50.0) as usize
+    }
+}
+
+fn parse_dataset(s: &str) -> DatasetKind {
+    match s.to_ascii_lowercase().as_str() {
+        "hospital" => DatasetKind::Hospital,
+        "food" => DatasetKind::Food,
+        "soccer" => DatasetKind::Soccer,
+        "adult" => DatasetKind::Adult,
+        "animal" => DatasetKind::Animal,
+        other => die(&format!("unknown dataset {other:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("bad value {s:?} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ExpArgs {
+        ExpArgs::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.runs, 3);
+        assert!(!a.paper_faithful);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--scale", "0.5", "--runs", "5", "--epochs", "10", "--paper-faithful"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.runs, 5);
+        assert_eq!(a.epochs, 10);
+        assert!(a.paper_faithful);
+    }
+
+    #[test]
+    fn parses_dataset_list() {
+        let a = parse(&["--datasets", "hospital, adult"]);
+        assert_eq!(a.datasets, vec![DatasetKind::Hospital, DatasetKind::Adult]);
+        assert_eq!(a.datasets_or(&[DatasetKind::Soccer]), a.datasets);
+        let b = parse(&[]);
+        assert_eq!(b.datasets_or(&[DatasetKind::Soccer]), vec![DatasetKind::Soccer]);
+    }
+
+    #[test]
+    fn rows_scale() {
+        let a = parse(&["--scale", "0.1"]);
+        assert_eq!(a.rows(DatasetKind::Hospital), 100);
+    }
+}

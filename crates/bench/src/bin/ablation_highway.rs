@@ -1,0 +1,46 @@
+//! Extension ablation (not in the paper): highway branches (Figure 2B)
+//! vs plain dense MLP branches of the same depth. The paper motivates
+//! highway layers with prior successes but never isolates their
+//! contribution; this experiment does.
+
+use holo_bench::{bench_config, make_dataset, run_method, ExpArgs};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holodetect::{BranchStyle, HoloDetect};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    println!(
+        "Extension ablation: highway vs plain-dense branches \
+         (runs={}, scale={})\n",
+        args.runs, args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let mut t = Table::new(["Dataset", "Highway F1", "PlainDense F1", "ΔF1"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        let f1_of = |style: BranchStyle| {
+            let mut c = cfg.clone();
+            c.branch_style = style;
+            let mut det = HoloDetect::new(c);
+            run_method(&mut det, &g, 0.05, &args).f1
+        };
+        let hw = f1_of(BranchStyle::Highway);
+        let pd = f1_of(BranchStyle::PlainDense);
+        t.row([
+            kind.name().to_owned(),
+            fmt3(hw),
+            fmt3(pd),
+            format!("{:+.3}", hw - pd),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Both styles have the same depth and output dims; highway layers\n\
+         start as near-identity maps (carry-biased gates), which matters\n\
+         most when the embedding inputs are already informative."
+    );
+}

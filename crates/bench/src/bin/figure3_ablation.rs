@@ -1,0 +1,55 @@
+//! Figure 3 — representation ablation: F1 of the full model vs removing
+//! one representation model at a time, grouped by context (attribute /
+//! tuple / dataset), on Hospital, Soccer, and Adult.
+
+use holo_bench::{bench_config, make_dataset, run_method, ExpArgs};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holo_features::Component;
+use holodetect::HoloDetect;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let base_cfg = bench_config(&args);
+    println!(
+        "Figure 3: representation ablation (runs={}, scale={})\n\
+         bars: Full AUG, then one representation model removed at a time\n",
+        args.runs, args.scale
+    );
+
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let mut t = Table::new(["Dataset", "Removed", "Context", "F1", "ΔF1 vs full"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        let mut full_det = HoloDetect::new(base_cfg.clone());
+        let full = run_method(&mut full_det, &g, 0.05, &args);
+        t.row([
+            kind.name().to_owned(),
+            "(none: full AUG)".to_owned(),
+            "-".to_owned(),
+            fmt3(full.f1),
+            "-".to_owned(),
+        ]);
+        for c in Component::ALL {
+            let mut cfg = base_cfg.clone();
+            cfg.features = cfg.features.without(c);
+            let mut det = HoloDetect::new(cfg);
+            let s = run_method(&mut det, &g, 0.05, &args);
+            t.row([
+                kind.name().to_owned(),
+                c.label().to_owned(),
+                c.context().to_owned(),
+                fmt3(s.f1),
+                format!("{:+.3}", s.f1 - full.f1),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Fig. 3): every removal costs up to 9 F1 points; the worst\n\
+         removal differs per dataset (char-seq for Hospital/Soccer,\n\
+         neighborhood for Adult)."
+    );
+}

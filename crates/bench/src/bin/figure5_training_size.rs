@@ -1,0 +1,40 @@
+//! Figure 5 — augmentation robustness: AUG F1 as the training fraction
+//! shrinks through {0.5%, 1%, 5%, 10%}.
+
+use holo_bench::{bench_config, make_dataset, run_method, ExpArgs};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holodetect::HoloDetect;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    println!(
+        "Figure 5: AUG F1 vs training data size (runs={}, scale={})\n",
+        args.runs, args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let fractions = [0.005f64, 0.01, 0.05, 0.10];
+    let mut t = Table::new(["Dataset", "T size", "P", "R", "F1"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        for frac in fractions {
+            let mut det = HoloDetect::new(cfg.clone());
+            let s = run_method(&mut det, &g, frac, &args);
+            t.row([
+                kind.name().to_owned(),
+                format!("{:.1}%", frac * 100.0),
+                fmt3(s.precision),
+                fmt3(s.recall),
+                fmt3(s.f1),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Fig. 5): AUG degrades gracefully — F1 stays above ~0.7 even\n\
+         at 0.5% labeled tuples, and improves monotonically with more data."
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 6 — the effect of the post-augmentation error ratio: force
+//! errors/(errors+correct) ∈ {0.1 … 0.9} and watch P/R/F1 peak near
+//! balance.
+
+use holo_bench::{bench_config, make_dataset, run_method, ExpArgs};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holodetect::{HoloDetect, Strategy};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    println!(
+        "Figure 6: P/R/F1 vs forced error ratio after augmentation \
+         (runs={}, scale={})\n",
+        args.runs, args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer]);
+    let ratios = [0.1f64, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9];
+    let mut t = Table::new(["Dataset", "Errors/Total", "P", "R", "F1"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        for ratio in ratios {
+            let mut det = HoloDetect::with_strategy(
+                cfg.clone(),
+                Strategy::Augmentation { target_ratio: Some(ratio) },
+            );
+            let s = run_method(&mut det, &g, 0.05, &args);
+            t.row([
+                kind.name().to_owned(),
+                format!("{ratio:.1}"),
+                fmt3(s.precision),
+                fmt3(s.recall),
+                fmt3(s.f1),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Fig. 6): peak performance sits near a balanced mix (0.5,\n\
+         0.6 for Adult); pushing the synthetic-error share to 0.9 re-creates\n\
+         the imbalance problem with correct cells as the minority."
+    );
+}

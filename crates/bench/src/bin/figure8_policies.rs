@@ -1,0 +1,50 @@
+//! Figure 8 (Appendix A.3) — learned augmentation policies: the top-10
+//! conditional transformations for representative clean entries of
+//! Hospital ('x'-typos), Adult (swaps + typos), and Animal (value swaps
+//! on the {R, O, Empty} attribute).
+
+use holo_bench::{make_dataset, ExpArgs};
+use holo_channel::{learn_transformations, Policy};
+use holo_data::Label;
+use holo_datagen::DatasetKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("Figure 8: learned augmentation policies (scale={})\n", args.scale);
+    let probes: [(DatasetKind, &str); 3] = [
+        (DatasetKind::Hospital, "scip-inf-4"),
+        (DatasetKind::Adult, "Female"),
+        (DatasetKind::Animal, "R"),
+    ];
+    for (kind, probe) in probes {
+        let g = make_dataset(kind, &args);
+        // Learn the channel from the full ground truth (the figure shows
+        // what a fully-informed channel learns about each error process).
+        let lists: Vec<_> = g
+            .truth
+            .error_cells()
+            .filter(|(cell, _)| g.truth.label(*cell) == Label::Error)
+            .map(|(cell, clean)| learn_transformations(clean, g.dirty.cell_value(cell)))
+            .collect();
+        let policy = Policy::from_lists(&lists);
+        println!(
+            "{} — conditional policy Π̂({probe:?}) (learned from {} error pairs):",
+            kind.name(),
+            lists.len()
+        );
+        let top = policy.top_k(probe, 10);
+        if top.is_empty() {
+            println!("  (no applicable transformations)");
+        }
+        for (t, p) in top {
+            println!("  {p:>6.3}  {t}");
+        }
+        println!();
+    }
+    println!(
+        "paper (Fig. 8): Hospital's policy concentrates on x-insertions /\n\
+         x-exchanges; Adult mixes value swaps (Female ↦ Male) with typo\n\
+         injections; Animal puts ~86% of the mass on the R ↦ Empty and\n\
+         R ↦ O value swaps."
+    );
+}

@@ -1,0 +1,49 @@
+//! Run every experiment binary in sequence with shared flags — the
+//! one-command regeneration of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p holo-bench --bin run_all -- --scale 0.5 --runs 3
+//! ```
+
+use std::process::Command;
+
+const BINARIES: [&str; 16] = [
+    "table1",
+    "table2",
+    "figure3_ablation",
+    "figure4_active_learning",
+    "figure5_training_size",
+    "table3_resampling",
+    "figure6_imbalance",
+    "table4_aug_strategies",
+    "table5_runtime",
+    "table6_weak_supervision",
+    "table7_representations",
+    "table8_constraint_subset",
+    "table9_noisy_constraints",
+    "figure8_policies",
+    "ablation_highway",
+    "ablation_temperature",
+];
+
+fn main() {
+    let pass_through: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    for bin in BINARIES {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================\n");
+        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+            .args(&pass_through)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+    println!(
+        "\nall experiments finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

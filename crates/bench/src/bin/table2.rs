@@ -1,0 +1,52 @@
+//! Table 2 — end-to-end precision/recall/F1 of all nine methods on all
+//! five datasets. Hospital trains on 10% of tuples, the rest on 5%
+//! (§6.2); ActiveL runs `k` loops (paper: 100; default here 20 — raise
+//! with `--active-loops`).
+
+use holo_bench::{bench_config, detectors_for_table2, make_dataset, run_method, ExpArgs};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let active_loops = extract_flag(&mut raw, "--active-loops").unwrap_or(12);
+    let args = ExpArgs::parse_from(raw);
+    let cfg = bench_config(&args);
+
+    println!(
+        "Table 2: end-to-end P/R/F1 (runs={}, scale={}, epochs={}, ActiveL k={})",
+        args.runs, args.scale, cfg.epochs, active_loops
+    );
+    println!("paper numbers in parentheses; n/a matches the paper's n/a\n");
+
+    let mut t = Table::new(["Dataset", "Method", "P", "R", "F1", "paper P/R/F1"]);
+    for kind in args.datasets_or(&DatasetKind::ALL) {
+        let g = make_dataset(kind, &args);
+        let train_frac = if kind == DatasetKind::Hospital { 0.10 } else { 0.05 };
+        for mut det in detectors_for_table2(&cfg, active_loops) {
+            let name = det.name();
+            let s = run_method(det.as_mut(), &g, train_frac, &args);
+            let paper = match holo_bench::paper::table2(kind, name) {
+                Some((p, r, f)) => format!("({} / {} / {})", fmt3(p), fmt3(r), fmt3(f)),
+                None => "(n/a)".to_owned(),
+            };
+            t.row([
+                kind.name().to_owned(),
+                name.to_owned(),
+                fmt3(s.precision),
+                fmt3(s.recall),
+                fmt3(s.f1),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn extract_flag(args: &mut Vec<String>, flag: &str) -> Option<usize> {
+    let i = args.iter().position(|a| a == flag)?;
+    let v = args.get(i + 1)?.parse().ok()?;
+    args.drain(i..=i + 1);
+    Some(v)
+}

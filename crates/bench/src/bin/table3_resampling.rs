@@ -1,0 +1,53 @@
+//! Table 3 — data augmentation vs resampling vs plain supervision as
+//! training data grows through {1%, 5%, 10%}.
+
+use holo_bench::{bench_config, make_dataset, paper, run_method, ExpArgs};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holodetect::{HoloDetect, Strategy};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    println!(
+        "Table 3: AUG vs Resampling vs SuperL, F1 by |T| (runs={}, scale={})\n",
+        args.runs, args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let fractions = [(0.01f64, 1u32), (0.05, 5), (0.10, 10)];
+    let mut t =
+        Table::new(["Dataset", "T", "AUG", "Resampling", "SuperL", "paper AUG/Resamp/SuperL"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        for (frac, pct) in fractions {
+            let f1_of = |strategy: Strategy| {
+                let mut det = HoloDetect::with_strategy(cfg.clone(), strategy);
+                run_method(&mut det, &g, frac, &args).f1
+            };
+            let aug = f1_of(Strategy::Augmentation { target_ratio: None });
+            let res = f1_of(Strategy::Resampling);
+            let sup = f1_of(Strategy::Supervised);
+            let paper_ref = format!(
+                "{} / {} / {}",
+                paper::table3(kind, pct, "AUG").map_or("-".into(), fmt3),
+                paper::table3(kind, pct, "Resampling").map_or("-".into(), fmt3),
+                paper::table3(kind, pct, "SuperL").map_or("-".into(), fmt3),
+            );
+            t.row([
+                kind.name().to_owned(),
+                format!("{pct}%"),
+                fmt3(aug),
+                fmt3(res),
+                fmt3(sup),
+                paper_ref,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Table 3): resampling never recovers heterogeneous errors —\n\
+         AUG beats it by 40+ F1 points at every training size."
+    );
+}

@@ -1,0 +1,66 @@
+//! Table 4 — why *learned* augmentation matters: AUG vs completely
+//! random transformations vs learned transformations applied without the
+//! learned policy, at T ∈ {5%, 10%}.
+
+use holo_bench::{bench_config, make_dataset, paper, run_method, ExpArgs};
+use holo_channel::AugmentStrategy;
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holodetect::{HoloDetect, Strategy};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    println!(
+        "Table 4: augmentation strategies, F1 (runs={}, scale={})\n",
+        args.runs, args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let mut t = Table::new([
+        "Dataset",
+        "T",
+        "AUG",
+        "Rand. Trans.",
+        "AUG w/o Policy",
+        "paper AUG/Rand/NoPolicy",
+    ]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        for (frac, pct) in [(0.05f64, 5u32), (0.10, 10)] {
+            let f1_of = |strategy: AugmentStrategy| {
+                let mut c = cfg.clone();
+                c.augment.strategy = strategy;
+                let mut det = HoloDetect::with_strategy(
+                    c,
+                    Strategy::Augmentation { target_ratio: None },
+                );
+                run_method(&mut det, &g, frac, &args).f1
+            };
+            let aug = f1_of(AugmentStrategy::Learned);
+            let rand = f1_of(AugmentStrategy::Random);
+            let nopol = f1_of(AugmentStrategy::NoPolicy);
+            let paper_ref = format!(
+                "{} / {} / {}",
+                paper::table4(kind, pct, "AUG").map_or("-".into(), fmt3),
+                paper::table4(kind, pct, "Rand").map_or("-".into(), fmt3),
+                paper::table4(kind, pct, "NoPolicy").map_or("-".into(), fmt3),
+            );
+            t.row([
+                kind.name().to_owned(),
+                format!("{pct}%"),
+                fmt3(aug),
+                fmt3(rand),
+                fmt3(nopol),
+                paper_ref,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Table 4): AUG wins everywhere; random transformations\n\
+         collapse on Soccer (F1 ≈ 0.2) because they miss the dataset's\n\
+         actual error distribution."
+    );
+}

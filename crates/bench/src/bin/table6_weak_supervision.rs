@@ -1,0 +1,50 @@
+//! Table 6 — the Naive-Bayes weak-supervision model (§5.4): precision
+//! and recall of its accepted repairs against ground truth. The paper's
+//! bar is precision ≥ ~0.7 (recall may be low — only precision matters
+//! for harvesting good error examples).
+
+use holo_bench::{make_dataset, paper, ExpArgs};
+use holo_channel::{NaiveBayesRepair, RepairConfig};
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::Table;
+use holo_data::Label;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("Table 6: Naive-Bayes weak supervision (scale={})\n", args.scale);
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let mut t =
+        Table::new(["Dataset", "Precision", "Recall", "Repairs", "paper P/R"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        let nb = NaiveBayesRepair::build(&g.dirty, RepairConfig::default());
+        let repairs = nb.repairs(&g.dirty);
+        let flagged = repairs.len();
+        let tp = repairs
+            .iter()
+            .filter(|r| g.truth.label(r.cell) == Label::Error)
+            .count();
+        let precision = if flagged == 0 { 0.0 } else { tp as f64 / flagged as f64 };
+        let recall = if g.truth.n_errors() == 0 {
+            0.0
+        } else {
+            tp as f64 / g.truth.n_errors() as f64
+        };
+        let paper_ref = paper::table6(kind)
+            .map_or("-".to_owned(), |(p, r)| format!("{} / {}", fmt3(p), fmt3(r)));
+        t.row([
+            kind.name().to_owned(),
+            fmt3(precision),
+            fmt3(recall),
+            format!("{flagged}"),
+            paper_ref,
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Table 6): precision ≥ 0.71 on all three datasets; recall\n\
+         varies widely (0.05 on Soccer) and deliberately does not matter."
+    );
+}

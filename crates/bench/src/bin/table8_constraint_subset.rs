@@ -1,0 +1,60 @@
+//! Table 8 (Appendix A.2.1) — robustness to missing constraints: run AUG
+//! with a random ρ-subset of each dataset's constraints,
+//! ρ ∈ {0.2, 0.4, 0.6, 0.8, 1.0}, reporting the median over subset
+//! samples.
+
+use holo_bench::{bench_config, make_dataset, paper, seeds, ExpArgs};
+use holo_constraints::DenialConstraint;
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::{run_seeds, SplitConfig, Table};
+use holodetect::HoloDetect;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    // The paper samples 21 subsets per ρ; default here 3 (override with
+    // --runs, which doubles as the subset-sample count for this table).
+    let subset_samples = args.runs;
+    println!(
+        "Table 8: AUG F1 under ρ-subsets of constraints \
+         (subset samples={subset_samples}, scale={})\n",
+        args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer]);
+    let mut t = Table::new(["Dataset", "rho", "median F1", "paper F1"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        for rho in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
+            let keep = ((g.constraints.len() as f64) * rho).round().max(1.0) as usize;
+            let mut f1s = Vec::new();
+            for sample in 0..subset_samples {
+                let mut pool: Vec<DenialConstraint> = g.constraints.clone();
+                let mut rng = StdRng::seed_from_u64(900 + sample as u64);
+                pool.shuffle(&mut rng);
+                pool.truncate(keep.min(pool.len()));
+                let mut det = HoloDetect::new(cfg.clone());
+                let split = SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 0 };
+                let s = run_seeds(&mut det, &g.dirty, &g.truth, &pool, split, &seeds(1));
+                f1s.push(s.f1);
+            }
+            f1s.sort_by(f64::total_cmp);
+            let median = f1s[(f1s.len() - 1) / 2];
+            t.row([
+                kind.name().to_owned(),
+                format!("{rho:.1}"),
+                fmt3(median),
+                paper::table8_f1(kind, rho).map_or("-".to_owned(), fmt3),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Table 8): F1 degrades gracefully as constraints are\n\
+         removed — at ρ ≥ 0.4 the drop stays within ~2 F1 points."
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 9 (Appendix A.2.2) — robustness to α-noisy constraints: replace
+//! the clean constraints with FDs *discovered on the dirty data* whose
+//! satisfaction ratio α falls in each noise band, and re-run AUG.
+
+use holo_bench::{bench_config, make_dataset, seeds, ExpArgs};
+use holo_constraints::discovery::fds_in_band;
+use holo_constraints::DenialConstraint;
+use holo_datagen::DatasetKind;
+use holo_eval::report::fmt3;
+use holo_eval::{run_seeds, SplitConfig, Table};
+use holodetect::HoloDetect;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = bench_config(&args);
+    println!(
+        "Table 9: AUG F1 with α-noisy discovered constraints (scale={})\n",
+        args.scale
+    );
+    let datasets =
+        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer]);
+    let bands = [(0.55f64, 0.65), (0.65, 0.75), (0.75, 0.85), (0.85, 0.95)];
+    let mut t = Table::new(["Dataset", "alpha band", "#constraints", "F1"]);
+    for kind in datasets {
+        let g = make_dataset(kind, &args);
+        let n_clean = g.constraints.len();
+        for (lo, hi) in bands {
+            let mut noisy: Vec<DenialConstraint> = fds_in_band(&g.dirty, lo, hi, false)
+                .into_iter()
+                .map(|s| s.constraint)
+                .collect();
+            // Match the clean constraint-set cardinality, as the paper does.
+            noisy.truncate(n_clean);
+            let mut det = HoloDetect::new(cfg.clone());
+            let split = SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 0 };
+            let s = run_seeds(&mut det, &g.dirty, &g.truth, &noisy, split, &seeds(args.runs));
+            t.row([
+                kind.name().to_owned(),
+                format!("({lo:.2}, {hi:.2}]"),
+                format!("{}", noisy.len()),
+                fmt3(s.f1),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Table 9): noisy constraints cost at most ~8 F1 points —\n\
+         training learns to down-weight the violation features when they\n\
+         are unreliable."
+    );
+}

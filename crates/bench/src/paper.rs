@@ -1,0 +1,236 @@
+//! The paper's reported numbers, for side-by-side printing.
+//!
+//! Sources: Table 2 (end-to-end), Table 3 (resampling), Table 4
+//! (augmentation strategies), Table 5 (runtimes), Table 6 (weak
+//! supervision), Tables 8–9 (constraint robustness). `None` marks
+//! entries the paper reports as n/a.
+
+use holo_datagen::DatasetKind;
+
+/// Table 2 row: (precision, recall, f1) or `None` for n/a.
+pub type Prf = Option<(f64, f64, f64)>;
+
+/// Paper Table 2 numbers for one method on one dataset.
+pub fn table2(kind: DatasetKind, method: &str) -> Prf {
+    use DatasetKind::*;
+    let v = match (kind, method) {
+        (Hospital, "AUG") => (0.903, 0.989, 0.944),
+        (Hospital, "CV") => (0.030, 0.372, 0.055),
+        (Hospital, "HC") => (0.947, 0.353, 0.514),
+        (Hospital, "OD") => (0.640, 0.667, 0.653),
+        (Hospital, "FBI") => (0.008, 0.001, 0.003),
+        (Hospital, "LR") => (0.0, 0.0, 0.0),
+        (Hospital, "SuperL") => (0.0, 0.0, 0.0),
+        (Hospital, "SemiL") => (0.0, 0.0, 0.0),
+        (Hospital, "ActiveL") => (0.960, 0.613, 0.748),
+        (Food, "AUG") => (0.972, 0.939, 0.955),
+        (Food, "CV") => (0.0, 0.0, 0.0),
+        (Food, "HC") => (0.0, 0.0, 0.0),
+        (Food, "OD") => (0.240, 0.99, 0.387),
+        (Food, "FBI") => (0.0, 0.0, 0.0),
+        (Food, "LR") => (0.0, 0.0, 0.0),
+        (Food, "SuperL") => (0.985, 0.95, 0.948),
+        (Food, "SemiL") => (0.813, 0.66, 0.657),
+        (Food, "ActiveL") => (0.990, 0.91, 0.948),
+        (Soccer, "AUG") => (0.922, 1.0, 0.959),
+        (Soccer, "CV") => (0.039, 0.846, 0.074),
+        (Soccer, "HC") => (0.032, 0.632, 0.061),
+        (Soccer, "OD") => (0.999, 0.051, 0.097),
+        (Soccer, "FBI") => (0.0, 0.0, 0.0),
+        (Soccer, "LR") => (0.721, 0.084, 0.152),
+        (Soccer, "SuperL") => (0.802, 0.450, 0.577),
+        (Soccer, "SemiL") => return None,
+        (Soccer, "ActiveL") => (0.843, 0.683, 0.755),
+        (Adult, "AUG") => (0.994, 0.987, 0.991),
+        (Adult, "CV") => (0.497, 0.998, 0.664),
+        (Adult, "HC") => (0.893, 0.392, 0.545),
+        (Adult, "OD") => (0.999, 0.001, 0.002),
+        (Adult, "FBI") => (0.990, 0.254, 0.405),
+        (Adult, "LR") => (0.051, 0.072, 0.059),
+        (Adult, "SuperL") => (0.999, 0.350, 0.519),
+        (Adult, "SemiL") => return None,
+        (Adult, "ActiveL") => (0.994, 0.982, 0.988),
+        (Animal, "AUG") => (0.832, 0.913, 0.871),
+        (Animal, "CV") => (0.0, 0.0, 0.0),
+        (Animal, "HC") => (0.0, 0.0, 0.0),
+        (Animal, "OD") => (0.85, 0.00006, 0.0001),
+        (Animal, "FBI") => (0.0, 0.0, 0.0),
+        (Animal, "LR") => (0.185, 0.028, 0.048),
+        (Animal, "SuperL") => (0.919, 0.231, 0.369),
+        (Animal, "SemiL") => return None,
+        (Animal, "ActiveL") => (0.832, 0.740, 0.783),
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Table 3 (AUG / Resampling / SuperL F1) by dataset and T%.
+pub fn table3(kind: DatasetKind, t_pct: u32, method: &str) -> Option<f64> {
+    use DatasetKind::*;
+    Some(match (kind, t_pct, method) {
+        (Hospital, 1, "AUG") => 0.840,
+        (Hospital, 5, "AUG") => 0.873,
+        (Hospital, 10, "AUG") => 0.925,
+        (Hospital, 1, "Resampling") => 0.041,
+        (Hospital, 5, "Resampling") => 0.278,
+        (Hospital, 10, "Resampling") => 0.476,
+        (Hospital, 1, "SuperL") => 0.0,
+        (Hospital, 5, "SuperL") => 0.0,
+        (Hospital, 10, "SuperL") => 0.079,
+        (Soccer, 1, "AUG") => 0.927,
+        (Soccer, 5, "AUG") => 0.935,
+        (Soccer, 10, "AUG") => 0.953,
+        (Soccer, 1, "Resampling") => 0.125,
+        (Soccer, 5, "Resampling") => 0.208,
+        (Soccer, 10, "Resampling") => 0.361,
+        (Soccer, 1, "SuperL") => 0.577,
+        (Soccer, 5, "SuperL") => 0.654,
+        (Soccer, 10, "SuperL") => 0.675,
+        (Adult, 1, "AUG") => 0.844,
+        (Adult, 5, "AUG") => 0.953,
+        (Adult, 10, "AUG") => 0.975,
+        (Adult, 1, "Resampling") => 0.063,
+        (Adult, 5, "Resampling") => 0.068,
+        (Adult, 10, "Resampling") => 0.132,
+        (Adult, 1, "SuperL") => 0.0,
+        (Adult, 5, "SuperL") => 0.294,
+        (Adult, 10, "SuperL") => 0.519,
+        _ => return None,
+    })
+}
+
+/// Table 4 (AUG / Rand.Trans. / AUG w/o Policy F1) by dataset and T%.
+pub fn table4(kind: DatasetKind, t_pct: u32, method: &str) -> Option<f64> {
+    use DatasetKind::*;
+    Some(match (kind, t_pct, method) {
+        (Hospital, 5, "AUG") => 0.911,
+        (Hospital, 10, "AUG") => 0.943,
+        (Hospital, 5, "Rand") => 0.873,
+        (Hospital, 10, "Rand") => 0.884,
+        (Hospital, 5, "NoPolicy") => 0.866,
+        (Hospital, 10, "NoPolicy") => 0.870,
+        (Soccer, 5, "AUG") => 0.946,
+        (Soccer, 10, "AUG") => 0.953,
+        (Soccer, 5, "Rand") => 0.212,
+        (Soccer, 10, "Rand") => 0.166,
+        (Soccer, 5, "NoPolicy") => 0.517,
+        (Soccer, 10, "NoPolicy") => 0.522,
+        (Adult, 5, "AUG") => 0.977,
+        (Adult, 10, "AUG") => 0.984,
+        (Adult, 5, "Rand") => 0.789,
+        (Adult, 10, "Rand") => 0.817,
+        (Adult, 5, "NoPolicy") => 0.754,
+        (Adult, 10, "NoPolicy") => 0.747,
+        _ => return None,
+    })
+}
+
+/// Table 5 runtimes in seconds (paper hardware), `None` = did not finish.
+pub fn table5(kind: DatasetKind, method: &str) -> Option<f64> {
+    use DatasetKind::*;
+    Some(match (kind, method) {
+        (Hospital, "AUG") => 749.17,
+        (Hospital, "CV") => 204.62,
+        (Hospital, "OD") => 212.7,
+        (Hospital, "LR") => 347.95,
+        (Hospital, "SuperL") => 648.34,
+        (Hospital, "SemiL") => 14985.15,
+        (Hospital, "ActiveL") => 3836.15,
+        (Soccer, "AUG") => 7684.72,
+        (Soccer, "CV") => 1610.02,
+        (Soccer, "OD") => 1588.06,
+        (Soccer, "LR") => 3505.60,
+        (Soccer, "SuperL") => 3928.46,
+        (Soccer, "SemiL") => return None,
+        (Soccer, "ActiveL") => 56535.19,
+        (Adult, "AUG") => 6332.13,
+        (Adult, "CV") => 1359.46,
+        (Adult, "OD") => 1423.69,
+        (Adult, "LR") => 4408.27,
+        (Adult, "SuperL") => 3310.71,
+        (Adult, "SemiL") => return None,
+        (Adult, "ActiveL") => 128132.56,
+        _ => return None,
+    })
+}
+
+/// Table 6: Naive-Bayes weak supervision (precision, recall).
+pub fn table6(kind: DatasetKind) -> Option<(f64, f64)> {
+    use DatasetKind::*;
+    Some(match kind {
+        Hospital => (0.895, 0.636),
+        Soccer => (0.999, 0.053),
+        Adult => (0.714, 0.973),
+        _ => return None,
+    })
+}
+
+/// Table 8: median F1 under a ρ-subset of constraints.
+pub fn table8_f1(kind: DatasetKind, rho: f64) -> Option<f64> {
+    use DatasetKind::*;
+    let idx = [0.2, 0.4, 0.6, 0.8, 1.0].iter().position(|r| (r - rho).abs() < 1e-9)?;
+    let row = match kind {
+        Hospital => [0.852, 0.852, 0.891, 0.910, 0.918],
+        Adult => [0.922, 0.938, 0.945, 0.956, 0.965],
+        Soccer => [0.852, 0.867, 0.868, 0.873, 0.878],
+        _ => return None,
+    };
+    Some(row[idx])
+}
+
+/// Figure 4: paper F1 of ActiveL at k loops (visual estimates from the
+/// bars; AUG is flat at its Table 2 value).
+pub fn figure4_activel(kind: DatasetKind, k: usize) -> Option<f64> {
+    use DatasetKind::*;
+    let idx = [5usize, 10, 20, 100].iter().position(|&x| x == k)?;
+    let row = match kind {
+        Hospital => [0.28, 0.40, 0.55, 0.75],
+        Soccer => [0.25, 0.40, 0.55, 0.76],
+        Adult => [0.85, 0.90, 0.93, 0.99],
+        _ => return None,
+    };
+    Some(row[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_all_cells() {
+        let methods = ["AUG", "CV", "HC", "OD", "FBI", "LR", "SuperL", "SemiL", "ActiveL"];
+        for kind in DatasetKind::ALL {
+            for m in methods {
+                // Present or explicitly n/a (SemiL on big datasets).
+                let entry = table2(kind, m);
+                if entry.is_none() {
+                    assert_eq!(m, "SemiL", "unexpected n/a for {kind}/{m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aug_dominates_in_paper_f1() {
+        for kind in DatasetKind::ALL {
+            let (_, _, aug_f1) = table2(kind, "AUG").unwrap();
+            for m in ["CV", "HC", "OD", "FBI", "LR", "SuperL"] {
+                if let Some((_, _, f1)) = table2(kind, m) {
+                    assert!(aug_f1 > f1, "{kind}: AUG {aug_f1} vs {m} {f1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table8_monotone_in_rho() {
+        for kind in [DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer] {
+            let mut prev = 0.0;
+            for rho in [0.2, 0.4, 0.6, 0.8, 1.0] {
+                let f1 = table8_f1(kind, rho).unwrap();
+                assert!(f1 >= prev);
+                prev = f1;
+            }
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Algorithm 4 — data augmentation, plus the Table 4 ablation strategies.
+//!
+//! Given the correct examples of `T`, the learned transformations `Φ`
+//! and policy `Π̂`, generate synthetic error pairs `(v, v′)` until the
+//! training classes balance. The acceptance coin `α` is the paper's
+//! hyper-parameter; [`augment_to_ratio`] instead forces a target
+//! error/correct ratio (the Figure 6 sweep, which "manually sets the
+//! ratio between positive and negative examples").
+
+use crate::policy::Policy;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which augmentation strategy to use (Table 4, §6.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AugmentStrategy {
+    /// Learned transformations weighted by the learned policy (AUG).
+    Learned,
+    /// Learned transformations, applicable set sampled uniformly
+    /// (AUG w/o Policy).
+    NoPolicy,
+    /// Completely random transformations not informed by the data
+    /// (Rand. Trans.): random character insert/delete/replace, or a swap
+    /// to a random alternative value.
+    Random,
+}
+
+/// Configuration for [`augment`].
+#[derive(Debug, Clone)]
+pub struct AugmentConfig {
+    /// Acceptance probability `α` (Algorithm 4 line 8).
+    pub alpha: f64,
+    /// Policy temperature: 1.0 is the paper's learned policy; higher
+    /// flattens towards uniform, lower sharpens (extension knob, see
+    /// `ablation_temperature`).
+    pub temperature: f64,
+    /// Strategy (Table 4). Default: [`AugmentStrategy::Learned`].
+    pub strategy: AugmentStrategy,
+    /// RNG seed.
+    pub seed: u64,
+    /// Safety valve: give up after this many sampling attempts per
+    /// requested example (the paper's loop assumes the policy always
+    /// fires eventually; real data may have cells no transformation
+    /// applies to).
+    pub max_attempt_factor: usize,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            alpha: 0.7,
+            temperature: 1.0,
+            strategy: AugmentStrategy::Learned,
+            seed: 13,
+            max_attempt_factor: 50,
+        }
+    }
+}
+
+/// A generated augmentation example: the source correct value and the
+/// transformed (synthetic-error) value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AugmentedExample {
+    /// Index into the `correct` slice passed to [`augment`] — callers
+    /// map it back to the cell whose context the synthetic error lives in.
+    pub source: usize,
+    /// The correct value `v`.
+    pub clean: String,
+    /// The transformed value `v′ = ϕ(v)`, guaranteed `≠ clean`.
+    pub dirty: String,
+}
+
+/// **Algorithm 4**: generate `p − n` synthetic error examples (or stop at
+/// the attempt cap) where `p`/`n` are the correct/error counts in `T`.
+///
+/// `correct` holds the correct example values; `n_errors` is the number
+/// of true error examples already in `T`. `swap_pool` supplies
+/// alternative values for the [`AugmentStrategy::Random`] value-swap move
+/// (ignored by the other strategies).
+pub fn augment(
+    correct: &[String],
+    n_errors: usize,
+    policy: &Policy,
+    swap_pool: &[String],
+    cfg: &AugmentConfig,
+) -> Vec<AugmentedExample> {
+    let p = correct.len();
+    let target = p.saturating_sub(n_errors);
+    augment_n(correct, target, policy, swap_pool, cfg)
+}
+
+/// Figure 6 variant: generate exactly as many synthetic errors as needed
+/// for errors to make up `ratio` of the final training data
+/// (`errors / (errors + correct)`), bypassing `α`.
+pub fn augment_to_ratio(
+    correct: &[String],
+    n_errors: usize,
+    ratio: f64,
+    policy: &Policy,
+    swap_pool: &[String],
+    cfg: &AugmentConfig,
+) -> Vec<AugmentedExample> {
+    assert!((0.0..1.0).contains(&ratio), "ratio must be in [0,1)");
+    let p = correct.len() as f64;
+    // errors + synth = ratio * (p + errors + synth)
+    let total_errors = (ratio * p / (1.0 - ratio)).round() as usize;
+    let target = total_errors.saturating_sub(n_errors);
+    let mut forced = cfg.clone();
+    forced.alpha = 1.0; // ratio mode replaces the acceptance coin
+    augment_n(correct, target, policy, swap_pool, &forced)
+}
+
+fn augment_n(
+    correct: &[String],
+    target: usize,
+    policy: &Policy,
+    swap_pool: &[String],
+    cfg: &AugmentConfig,
+) -> Vec<AugmentedExample> {
+    let mut out = Vec::with_capacity(target);
+    if correct.is_empty() || target == 0 {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let max_attempts = target.saturating_mul(cfg.max_attempt_factor).max(1000);
+    let mut attempts = 0usize;
+    while out.len() < target && attempts < max_attempts {
+        attempts += 1;
+        // Line 7: draw a correct example uniformly.
+        let source = rng.random_range(0..correct.len());
+        let v = &correct[source];
+        // Line 8: the acceptance coin.
+        if rng.random_range(0.0..1.0) >= cfg.alpha {
+            continue;
+        }
+        let dirty = match cfg.strategy {
+            AugmentStrategy::Learned => policy
+                .sample_with_temperature(v, cfg.temperature, &mut rng)
+                .and_then(|t| t.apply_random(v, &mut rng)),
+            AugmentStrategy::NoPolicy => policy
+                .sample_uniform(v, &mut rng)
+                .and_then(|t| t.apply_random(v, &mut rng)),
+            AugmentStrategy::Random => random_transform(v, swap_pool, &mut rng),
+        };
+        let Some(dirty) = dirty else { continue };
+        if dirty == *v {
+            continue;
+        }
+        out.push(AugmentedExample { source, clean: v.clone(), dirty });
+    }
+    out
+}
+
+/// A data-agnostic random error: typo (insert/delete/replace a random
+/// ASCII character) or swap to a random other value from the pool.
+fn random_transform(v: &str, swap_pool: &[String], rng: &mut StdRng) -> Option<String> {
+    let chars: Vec<char> = v.chars().collect();
+    let move_kind = rng.random_range(0..4u8);
+    match move_kind {
+        // insert
+        0 => {
+            let pos = rng.random_range(0..=chars.len());
+            let c = random_ascii(rng);
+            let mut out: String = chars[..pos].iter().collect();
+            out.push(c);
+            out.extend(&chars[pos..]);
+            Some(out)
+        }
+        // delete
+        1 if !chars.is_empty() => {
+            let pos = rng.random_range(0..chars.len());
+            let mut out = String::with_capacity(v.len());
+            for (i, &c) in chars.iter().enumerate() {
+                if i != pos {
+                    out.push(c);
+                }
+            }
+            Some(out)
+        }
+        // replace
+        2 if !chars.is_empty() => {
+            let pos = rng.random_range(0..chars.len());
+            let mut out = String::with_capacity(v.len());
+            for (i, &c) in chars.iter().enumerate() {
+                out.push(if i == pos { random_ascii(rng) } else { c });
+            }
+            Some(out)
+        }
+        // value swap
+        _ if !swap_pool.is_empty() => {
+            let alt = &swap_pool[rng.random_range(0..swap_pool.len())];
+            if alt == v {
+                None
+            } else {
+                Some(alt.clone())
+            }
+        }
+        _ => None,
+    }
+}
+
+fn random_ascii(rng: &mut StdRng) -> char {
+    let c = rng.random_range(b'a'..=b'z');
+    c as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::learn_transformations;
+    use crate::transform::Transformation;
+
+    fn x_typo_policy() -> Policy {
+        let lists: Vec<Vec<Transformation>> = [
+            ("scip-inf-4", "scip-inf-x4"),
+            ("alabama", "alaxbama"),
+            ("surgery", "surxgery"),
+        ]
+        .iter()
+        .map(|(c, e)| learn_transformations(c, e))
+        .collect();
+        Policy::from_lists(&lists)
+    }
+
+    fn corrects() -> Vec<String> {
+        vec!["chicago".into(), "madison".into(), "60612".into(), "evp coffee".into()]
+    }
+
+    #[test]
+    fn balances_classes() {
+        let policy = x_typo_policy();
+        let out = augment(&corrects(), 1, &policy, &[], &AugmentConfig::default());
+        // p = 4, n = 1 → 3 synthetic errors requested.
+        assert_eq!(out.len(), 3);
+        for ex in &out {
+            assert_ne!(ex.clean, ex.dirty);
+            assert_eq!(corrects()[ex.source], ex.clean);
+        }
+    }
+
+    #[test]
+    fn learned_strategy_produces_channel_like_errors() {
+        let policy = x_typo_policy();
+        let cfg = AugmentConfig { alpha: 1.0, ..Default::default() };
+        let out = augment(&corrects(), 0, &policy, &[], &cfg);
+        // The x-typo channel inserts 'x' characters; every synthetic
+        // error should contain an x the clean value lacked (or come from
+        // a longer learned exchange that embeds one).
+        let with_x = out
+            .iter()
+            .filter(|e| e.dirty.matches('x').count() > e.clean.matches('x').count())
+            .count();
+        assert!(with_x * 2 >= out.len(), "{out:?}");
+    }
+
+    #[test]
+    fn already_balanced_adds_nothing() {
+        let policy = x_typo_policy();
+        let out = augment(&corrects(), 4, &policy, &[], &AugmentConfig::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_policy_terminates() {
+        let policy = Policy::from_lists(&[]);
+        let cfg = AugmentConfig { max_attempt_factor: 10, ..Default::default() };
+        let out = augment(&corrects(), 0, &policy, &[], &cfg);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ratio_mode_hits_target() {
+        let policy = x_typo_policy();
+        let correct: Vec<String> = (0..40).map(|i| format!("value{i}")).collect();
+        for ratio in [0.1f64, 0.3, 0.5] {
+            let out =
+                augment_to_ratio(&correct, 0, ratio, &policy, &[], &AugmentConfig::default());
+            let achieved = out.len() as f64 / (out.len() + correct.len()) as f64;
+            assert!(
+                (achieved - ratio).abs() < 0.05,
+                "ratio {ratio}: got {achieved} ({} synth)",
+                out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn random_strategy_generates_errors_without_policy() {
+        let policy = Policy::from_lists(&[]);
+        let cfg = AugmentConfig {
+            strategy: AugmentStrategy::Random,
+            alpha: 1.0,
+            ..Default::default()
+        };
+        let pool = vec!["other".to_owned()];
+        let out = augment(&corrects(), 0, &policy, &pool, &cfg);
+        assert_eq!(out.len(), 4);
+        for e in &out {
+            assert_ne!(e.clean, e.dirty);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let policy = x_typo_policy();
+        let a = augment(&corrects(), 0, &policy, &[], &AugmentConfig::default());
+        let b = augment(&corrects(), 0, &policy, &[], &AugmentConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_correct_examples_is_safe() {
+        let policy = x_typo_policy();
+        assert!(augment(&[], 0, &policy, &[], &AugmentConfig::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be")]
+    fn ratio_one_rejected() {
+        let policy = Policy::from_lists(&[]);
+        augment_to_ratio(&[], 0, 1.0, &policy, &[], &AugmentConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::learn::learn_transformations;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Synthetic errors always differ from their source and reference
+        /// a valid source index.
+        #[test]
+        fn examples_wellformed(
+            corrects in proptest::collection::vec("[a-d]{1,6}", 1..8),
+            seed in 0u64..50,
+        ) {
+            let lists = vec![
+                learn_transformations("abcd", "abxcd"),
+                learn_transformations("dcba", "dcb"),
+            ];
+            let policy = Policy::from_lists(&lists);
+            let cfg = AugmentConfig { seed, alpha: 0.9, ..Default::default() };
+            for ex in augment(&corrects, 0, &policy, &[], &cfg) {
+                prop_assert!(ex.source < corrects.len());
+                prop_assert_eq!(&ex.clean, &corrects[ex.source]);
+                prop_assert_ne!(&ex.clean, &ex.dirty);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Algorithm 1 — transformation learning.
+//!
+//! Given an example `(v*, v)` of a clean string and its erroneous form,
+//! extract the list of valid transformations: the whole-string exchange,
+//! plus recursively the transformations of the prefix/suffix pairs around
+//! the longest common substring. Pairs are matched by the `2·C/S`
+//! similarity of §5.2; identity transformations are dropped.
+//!
+//! The returned list intentionally keeps duplicates: Algorithm 2 builds
+//! the empirical distribution from occurrence counts across lists.
+
+use crate::transform::Transformation;
+use holo_text::{char_overlap, longest_common_substring};
+
+/// Learn the transformation list `Φ_e` for one example `(v_star, v)`.
+///
+/// `v_star` is the correct string, `v` the erroneous one. The output is
+/// empty iff both strings are empty (or equal).
+pub fn learn_transformations(v_star: &str, v: &str) -> Vec<Transformation> {
+    let mut out = Vec::new();
+    tl(v_star, v, &mut out, 0);
+    out
+}
+
+/// Recursion-depth guard: strings in real datasets are short, but the
+/// recursion halves by at least one char per level; 64 levels is plenty.
+const MAX_DEPTH: usize = 64;
+
+fn tl(v_star: &str, v: &str, out: &mut Vec<Transformation>, depth: usize) {
+    // Line 1: both empty → nothing to learn.
+    if (v_star.is_empty() && v.is_empty()) || depth > MAX_DEPTH {
+        return;
+    }
+    // Line 2: the string-level transformation (dropped if identity).
+    if let Some(t) = Transformation::new(v_star, v) {
+        out.push(t);
+    } else {
+        // Equal strings yield no transformations at all.
+        return;
+    }
+    // Line 3: split around the longest common substring.
+    let m = longest_common_substring(v_star, v);
+    if m.len == 0 {
+        // Nothing in common: the whole-string exchange is the only
+        // transformation this pair supports.
+        return;
+    }
+    let a: Vec<char> = v_star.chars().collect();
+    let b: Vec<char> = v.chars().collect();
+    let l_star: String = a[..m.start_a].iter().collect();
+    let r_star: String = a[m.start_a + m.len..].iter().collect();
+    let l_v: String = b[..m.start_b].iter().collect();
+    let r_v: String = b[m.start_b + m.len..].iter().collect();
+
+    // Line 6: recurse on the pairing with greater total similarity.
+    let straight = char_overlap(&l_star, &l_v) + char_overlap(&r_star, &r_v);
+    let crossed = char_overlap(&l_star, &r_v) + char_overlap(&r_star, &l_v);
+    let ((p1, q1), (p2, q2)) = if straight >= crossed {
+        ((l_star.as_str(), l_v.as_str()), (r_star.as_str(), r_v.as_str()))
+    } else {
+        ((l_star.as_str(), r_v.as_str()), (r_star.as_str(), l_v.as_str()))
+    };
+    // Lines 7–8 / 10–11: the pair-level transformations, then recursion.
+    // `tl` itself pushes the pair transformation as its line-2 step, so
+    // pushing here *and* recursing would double-count; the recursion
+    // covers both "Add [lv*↦lv, rv*↦rv]" and "Add [TL(lv*,lv), …]"
+    // because TL's first action is exactly that addition.
+    tl(p1, q1, out, depth + 1);
+    tl(p2, q2, out, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::Template;
+
+    fn set(v_star: &str, v: &str) -> Vec<String> {
+        let mut ts: Vec<String> = learn_transformations(v_star, v)
+            .into_iter()
+            .map(|t| format!("{}>{}", t.from, t.to))
+            .collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    #[test]
+    fn paper_typo_example() {
+        // (60612, 6061x2): whole-string exchange, suffix exchange, and
+        // the bare insertion ε ↦ x.
+        let ts = set("60612", "6061x2");
+        assert!(ts.contains(&"60612>6061x2".to_owned()));
+        assert!(ts.contains(&"2>x2".to_owned()));
+        assert!(ts.contains(&">x".to_owned()));
+    }
+
+    #[test]
+    fn equal_strings_learn_nothing() {
+        assert!(learn_transformations("chicago", "chicago").is_empty());
+        assert!(learn_transformations("", "").is_empty());
+    }
+
+    #[test]
+    fn single_char_substitution() {
+        // chicago → chixago: contains the c-level exchange "c ↦ x"
+        // (split around the longer common block leaves the typo char).
+        let ts = set("chicago", "chixago");
+        assert!(ts.contains(&"chicago>chixago".to_owned()));
+        assert!(ts.iter().any(|t| t.ends_with(">x")), "{ts:?}");
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let ts = set("abc", "abxc");
+        assert!(ts.contains(&">x".to_owned()));
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let ts = set("abxc", "abc");
+        assert!(ts.contains(&"x>".to_owned()));
+    }
+
+    #[test]
+    fn disjoint_strings_give_whole_exchange_only() {
+        let ts = learn_transformations("abc", "xyz");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0], Transformation::new("abc", "xyz").unwrap());
+        assert_eq!(ts[0].template(), Template::Exchange);
+    }
+
+    #[test]
+    fn value_swap_learns_whole_exchange() {
+        let ts = set("Female", "Male");
+        assert!(ts.contains(&"Female>Male".to_owned()));
+    }
+
+    #[test]
+    fn empty_to_value_is_add() {
+        let ts = learn_transformations("", "NaN");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].template(), Template::Add);
+    }
+
+    #[test]
+    fn value_to_empty_is_remove() {
+        let ts = learn_transformations("IL", "");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].template(), Template::Remove);
+    }
+
+    #[test]
+    fn no_identity_transformations_ever() {
+        for (a, b) in [("60612", "6061x2"), ("chicago", "cicago"), ("ab", "ba")] {
+            for t in learn_transformations(a, b) {
+                assert_ne!(t.from, t.to, "identity learned for ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_preserved_for_counting() {
+        // aXbXc → aYbYc learns "X ↦ Y" twice (once per typo site).
+        let ts = learn_transformations("aXbXc", "aYbYc");
+        let xy = ts
+            .iter()
+            .filter(|t| t.from == "X" && t.to == "Y")
+            .count();
+        assert!(xy >= 1, "expected X↦Y to be learned: {ts:?}");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every learned transformation is non-identity, and the
+        /// whole-string exchange is always the first entry for distinct
+        /// inputs.
+        #[test]
+        fn learned_lists_are_wellformed(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+            let ts = learn_transformations(&a, &b);
+            if a == b {
+                prop_assert!(ts.is_empty());
+            } else {
+                prop_assert_eq!(&ts[0].from, &a);
+                prop_assert_eq!(&ts[0].to, &b);
+                for t in &ts {
+                    prop_assert_ne!(&t.from, &t.to);
+                }
+            }
+        }
+
+        /// Applying the top-level transformation reproduces the error.
+        #[test]
+        fn top_transformation_reproduces_error(a in "[a-c]{1,8}", b in "[a-c]{1,8}") {
+            prop_assume!(a != b);
+            let ts = learn_transformations(&a, &b);
+            let top = &ts[0];
+            // The whole-string exchange applies at site 0.
+            prop_assert_eq!(top.apply_at(&a, 0), b.clone());
+        }
+
+        /// Learned `from` sides are always substrings of the clean value,
+        /// so the conditional policy (Algorithm 3) can re-apply them.
+        #[test]
+        fn from_sides_are_substrings(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+            for t in learn_transformations(&a, &b) {
+                prop_assert!(
+                    a.contains(&t.from) || b.contains(&t.from),
+                    "dangling from-side {:?}", t.from
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # holo-channel
+//!
+//! The noisy-channel model `H = (Φ, Π)` of HoloDetect (§5), learned from
+//! few examples and used for data augmentation.
+//!
+//! * [`transform`] — string transformations in the paper's three
+//!   templates (*add*, *remove*, *exchange* characters), with
+//!   position-uniform application,
+//! * [`learn`] — **Algorithm 1**: hierarchical transformation learning
+//!   via longest-common-substring splits,
+//! * [`policy`] — **Algorithm 2** (empirical transformation distribution)
+//!   and **Algorithm 3** (conditional policy `Π̂(v)`),
+//! * [`repair`] — the unsupervised Naive-Bayes repair model `M_R`
+//!   (§5.4) that harvests transformation examples from the dirty dataset
+//!   itself (weak supervision),
+//! * [`mod@augment`] — **Algorithm 4**: balanced example generation, plus
+//!   the alternative strategies evaluated in Table 4 (random
+//!   transformations; learned transformations without a policy) and the
+//!   forced-ratio mode of Figure 6.
+
+pub mod augment;
+pub mod learn;
+pub mod policy;
+pub mod repair;
+pub mod transform;
+
+pub use augment::{augment, augment_to_ratio, AugmentConfig, AugmentStrategy};
+pub use learn::learn_transformations;
+pub use policy::Policy;
+pub use repair::{NaiveBayesRepair, RepairConfig};
+pub use transform::{Template, Transformation};

@@ -1,0 +1,382 @@
+//! Algorithms 2 and 3 — the augmentation policy `Π̂`.
+//!
+//! Algorithm 2 builds the empirical distribution over transformations
+//! from the lists produced by Algorithm 1 (counting duplicate
+//! occurrences). Algorithm 3 conditions on an input string `v`: keep only
+//! transformations whose `from` side is a substring of `v`, and
+//! renormalize.
+
+use crate::transform::Transformation;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The empirical policy `Π̂`: a distribution over learned transformations.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Unique transformations with empirical probabilities, sorted by
+    /// descending probability (then lexicographically, for determinism).
+    entries: Vec<(Transformation, f64)>,
+    index: HashMap<Transformation, usize>,
+}
+
+impl Policy {
+    /// **Algorithm 2**: build from the transformation lists `{Φ_e}`.
+    pub fn from_lists(lists: &[Vec<Transformation>]) -> Self {
+        let mut counts: HashMap<&Transformation, u64> = HashMap::new();
+        let mut total = 0u64;
+        for list in lists {
+            for t in list {
+                *counts.entry(t).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let mut entries: Vec<(Transformation, f64)> = counts
+            .into_iter()
+            .map(|(t, c)| (t.clone(), c as f64 / total.max(1) as f64))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+        });
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t.clone(), i))
+            .collect();
+        Policy { entries, index }
+    }
+
+    /// Number of distinct transformations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no transformations were learned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The unconditional empirical probability `Π̂(ϕ)`.
+    pub fn prob(&self, t: &Transformation) -> f64 {
+        self.index.get(t).map_or(0.0, |&i| self.entries[i].1)
+    }
+
+    /// All transformations with probabilities, most probable first.
+    pub fn entries(&self) -> &[(Transformation, f64)] {
+        &self.entries
+    }
+
+    /// **Algorithm 3**: the conditional distribution `Π̂(v) = P(Φ_v | v)`
+    /// over transformations applicable to `v`, renormalized. Empty when
+    /// nothing applies.
+    pub fn conditional(&self, v: &str) -> Vec<(Transformation, f64)> {
+        let mut applicable: Vec<(Transformation, f64)> = self
+            .entries
+            .iter()
+            .filter(|(t, _)| t.applies_to(v))
+            .cloned()
+            .collect();
+        let mass: f64 = applicable.iter().map(|(_, p)| p).sum();
+        if mass <= 0.0 {
+            return Vec::new();
+        }
+        for (_, p) in &mut applicable {
+            *p /= mass;
+        }
+        applicable
+    }
+
+    /// Sample `ϕ ~ Π̂(v)`; `None` when no transformation applies.
+    pub fn sample(&self, v: &str, rng: &mut impl Rng) -> Option<Transformation> {
+        let cond = self.conditional(v);
+        if cond.is_empty() {
+            return None;
+        }
+        let r: f64 = rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (t, p) in &cond {
+            acc += p;
+            if r < acc {
+                return Some(t.clone());
+            }
+        }
+        Some(cond.last().expect("non-empty conditional").0.clone())
+    }
+
+    /// Sample uniformly over the transformations applicable to `v`,
+    /// *ignoring* the learned probabilities — the "AUG w/o Policy"
+    /// strategy of Table 4 (§6.6).
+    pub fn sample_uniform(&self, v: &str, rng: &mut impl Rng) -> Option<Transformation> {
+        let applicable: Vec<&Transformation> = self
+            .entries
+            .iter()
+            .map(|(t, _)| t)
+            .filter(|t| t.applies_to(v))
+            .collect();
+        if applicable.is_empty() {
+            return None;
+        }
+        Some(applicable[rng.random_range(0..applicable.len())].clone())
+    }
+
+    /// The `k` most probable conditional transformations for `v` —
+    /// Figure 8's "top-10 entries in the conditional distribution".
+    pub fn top_k(&self, v: &str, k: usize) -> Vec<(Transformation, f64)> {
+        let mut cond = self.conditional(v);
+        cond.truncate(k);
+        cond
+    }
+
+    /// Temperature-scaled conditional: probabilities are raised to
+    /// `1/temperature` and renormalized. `T < 1` sharpens towards the
+    /// most frequent transformations, `T > 1` flattens towards uniform
+    /// (`T → ∞` recovers the Table 4 "AUG w/o Policy" behaviour, `T → 0`
+    /// a deterministic argmax channel). An extension knob beyond the
+    /// paper — see the `ablation_temperature` experiment.
+    pub fn conditional_with_temperature(
+        &self,
+        v: &str,
+        temperature: f64,
+    ) -> Vec<(Transformation, f64)> {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let mut cond = self.conditional(v);
+        if cond.is_empty() {
+            return cond;
+        }
+        let inv_t = 1.0 / temperature;
+        for (_, p) in &mut cond {
+            *p = p.powf(inv_t);
+        }
+        let mass: f64 = cond.iter().map(|(_, p)| p).sum();
+        for (_, p) in &mut cond {
+            *p /= mass;
+        }
+        cond.sort_by(|a, b| b.1.total_cmp(&a.1));
+        cond
+    }
+
+    /// Sample from the temperature-scaled conditional distribution.
+    pub fn sample_with_temperature(
+        &self,
+        v: &str,
+        temperature: f64,
+        rng: &mut impl Rng,
+    ) -> Option<Transformation> {
+        let cond = self.conditional_with_temperature(v, temperature);
+        if cond.is_empty() {
+            return None;
+        }
+        let r: f64 = rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (t, p) in &cond {
+            acc += p;
+            if r < acc {
+                return Some(t.clone());
+            }
+        }
+        Some(cond.last().expect("non-empty conditional").0.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::learn_transformations;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(from: &str, to: &str) -> Transformation {
+        Transformation::new(from, to).unwrap()
+    }
+
+    fn toy_policy() -> Policy {
+        Policy::from_lists(&[
+            vec![t("", "x"), t("2", "x2")],
+            vec![t("", "x"), t("a", "b")],
+        ])
+    }
+
+    #[test]
+    fn empirical_probabilities_sum_to_one() {
+        let p = toy_policy();
+        let total: f64 = p.entries().iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn counts_duplicates_across_lists() {
+        let p = toy_policy();
+        assert!((p.prob(&t("", "x")) - 0.5).abs() < 1e-12);
+        assert!((p.prob(&t("2", "x2")) - 0.25).abs() < 1e-12);
+        assert_eq!(p.prob(&t("q", "r")), 0.0);
+    }
+
+    #[test]
+    fn entries_sorted_by_probability() {
+        let p = toy_policy();
+        assert_eq!(p.entries()[0].0, t("", "x"));
+    }
+
+    #[test]
+    fn conditional_filters_and_renormalizes() {
+        let p = toy_policy();
+        // "60612" contains "" and "2" but not "a".
+        let cond = p.conditional("60612");
+        assert_eq!(cond.len(), 2);
+        let total: f64 = cond.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // ε↦x had 0.5, 2↦x2 had 0.25 → renormalized 2/3 and 1/3.
+        assert!((cond[0].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_empty_when_nothing_applies() {
+        let p = Policy::from_lists(&[vec![t("zz", "y")]]);
+        assert!(p.conditional("abc").is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.sample("abc", &mut rng).is_none());
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let p = toy_policy();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut adds = 0;
+        let n = 3000;
+        for _ in 0..n {
+            let s = p.sample("60612", &mut rng).unwrap();
+            if s == t("", "x") {
+                adds += 1;
+            }
+        }
+        let frac = adds as f64 / n as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn uniform_sampling_ignores_weights() {
+        let p = toy_policy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut adds = 0;
+        let n = 3000;
+        for _ in 0..n {
+            if p.sample_uniform("60612", &mut rng).unwrap() == t("", "x") {
+                adds += 1;
+            }
+        }
+        let frac = adds as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let p = toy_policy();
+        assert_eq!(p.top_k("60612", 1).len(), 1);
+        assert_eq!(p.top_k("60612", 10).len(), 2);
+    }
+
+    #[test]
+    fn temperature_one_matches_plain_conditional() {
+        let p = toy_policy();
+        let plain = p.conditional("60612");
+        let scaled = p.conditional_with_temperature("60612", 1.0);
+        for ((t1, p1), (t2, p2)) in plain.iter().zip(&scaled) {
+            assert_eq!(t1, t2);
+            assert!((p1 - p2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_temperature_sharpens_high_flattens() {
+        let p = toy_policy();
+        let sharp = p.conditional_with_temperature("60612", 0.25);
+        let flat = p.conditional_with_temperature("60612", 10.0);
+        // Top entry gains mass when sharpened, loses when flattened.
+        let plain_top = p.conditional("60612")[0].1;
+        assert!(sharp[0].1 > plain_top);
+        assert!(flat[0].1 < plain_top);
+        // Both remain distributions.
+        for cond in [&sharp, &flat] {
+            let total: f64 = cond.iter().map(|(_, q)| q).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temperature_sampling_respects_applicability() {
+        let p = toy_policy();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = p.sample_with_temperature("60612", 2.0, &mut rng).unwrap();
+            assert!(t.applies_to("60612"));
+        }
+        // A policy with no applicable transformations samples nothing.
+        let narrow = Policy::from_lists(&[vec![t("zz", "y")]]);
+        assert!(narrow.sample_with_temperature("abc", 2.0, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        toy_policy().conditional_with_temperature("x", 0.0);
+    }
+
+    #[test]
+    fn end_to_end_with_learning() {
+        // Learn from x-typos (the Hospital error channel) and check the
+        // policy concentrates on x-insertions/exchanges.
+        let lists: Vec<Vec<Transformation>> = [
+            ("scip-inf-4", "scip-inf-x4"),
+            ("alabama", "alaxbama"),
+            ("surgery", "surxgery"),
+        ]
+        .iter()
+        .map(|(c, e)| learn_transformations(c, e))
+        .collect();
+        let p = Policy::from_lists(&lists);
+        let add_x = t("", "x");
+        assert!(p.prob(&add_x) > 0.2, "ε↦x prob = {}", p.prob(&add_x));
+        // ε↦x applies everywhere and should dominate any conditional.
+        let cond = p.conditional("anything");
+        assert_eq!(cond[0].0, add_x);
+    }
+
+    #[test]
+    fn empty_policy() {
+        let p = Policy::from_lists(&[]);
+        assert!(p.is_empty());
+        assert!(p.conditional("abc").is_empty());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conditional distributions always sum to 1 (when non-empty) and
+        /// only contain applicable transformations.
+        #[test]
+        fn conditional_is_distribution(
+            pairs in proptest::collection::vec(("[a-c]{1,4}", "[a-c]{1,4}"), 1..8),
+            v in "[a-c]{0,6}",
+        ) {
+            let lists: Vec<Vec<Transformation>> = pairs
+                .iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| crate::learn::learn_transformations(a, b))
+                .collect();
+            let p = Policy::from_lists(&lists);
+            let cond = p.conditional(&v);
+            if !cond.is_empty() {
+                let total: f64 = cond.iter().map(|(_, q)| q).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+            for (t, q) in &cond {
+                prop_assert!(t.applies_to(&v));
+                prop_assert!(*q > 0.0);
+            }
+        }
+    }
+}

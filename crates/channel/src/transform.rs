@@ -1,0 +1,260 @@
+//! String transformations — the atoms of the noisy channel.
+//!
+//! §5.1: every transformation belongs to one of three templates:
+//!
+//! * *add characters* — `ε ↦ s` (insert `s` at a random position),
+//! * *remove characters* — `s ↦ ε` (delete one occurrence of `s`),
+//! * *exchange characters* — `s ↦ s'` (replace one occurrence).
+//!
+//! "If the transformation can be applied to multiple positions or
+//! multiple substrings of `v*` one of those positions or strings is
+//! selected uniformly at random."
+
+use rand::Rng;
+use std::fmt;
+
+/// The three transformation templates of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Template {
+    /// `ε ↦ s`: insert characters.
+    Add,
+    /// `s ↦ ε`: delete characters.
+    Remove,
+    /// `s ↦ s'`: replace characters.
+    Exchange,
+}
+
+/// A concrete transformation `from ↦ to` (both sides may be any string;
+/// at least one side is non-empty, and the sides differ).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Transformation {
+    /// The matched substring (`ε` for insertions).
+    pub from: String,
+    /// The replacement (`ε` for deletions).
+    pub to: String,
+}
+
+impl Transformation {
+    /// Construct; returns `None` for the identity (which the noisy
+    /// channel never contains, §5.2 line 13).
+    pub fn new(from: impl Into<String>, to: impl Into<String>) -> Option<Self> {
+        let (from, to) = (from.into(), to.into());
+        if from == to {
+            return None;
+        }
+        Some(Transformation { from, to })
+    }
+
+    /// Which template this transformation instantiates.
+    pub fn template(&self) -> Template {
+        match (self.from.is_empty(), self.to.is_empty()) {
+            (true, _) => Template::Add,
+            (false, true) => Template::Remove,
+            (false, false) => Template::Exchange,
+        }
+    }
+
+    /// Whether this transformation can apply to `value` at all: `from`
+    /// must be a substring of `value` (the empty string always is).
+    pub fn applies_to(&self, value: &str) -> bool {
+        value.contains(self.from.as_str())
+    }
+
+    /// All byte positions where the transformation can apply. For *add*,
+    /// every char boundary (including both ends); otherwise every match
+    /// of `from`.
+    pub fn sites(&self, value: &str) -> Vec<usize> {
+        if self.from.is_empty() {
+            let mut sites: Vec<usize> = value.char_indices().map(|(i, _)| i).collect();
+            sites.push(value.len());
+            return sites;
+        }
+        let mut sites = Vec::new();
+        let mut start = 0usize;
+        while let Some(pos) = value[start..].find(self.from.as_str()) {
+            sites.push(start + pos);
+            // Overlapping matches advance one char, not one match length.
+            let step = value[start + pos..].chars().next().map_or(1, char::len_utf8);
+            start += pos + step;
+        }
+        sites
+    }
+
+    /// Apply at a specific byte position from [`Transformation::sites`].
+    pub fn apply_at(&self, value: &str, site: usize) -> String {
+        let mut out = String::with_capacity(value.len() + self.to.len());
+        out.push_str(&value[..site]);
+        out.push_str(&self.to);
+        out.push_str(&value[site + self.from.len()..]);
+        out
+    }
+
+    /// Apply at a uniformly random site; `None` if the transformation
+    /// does not apply to `value`.
+    pub fn apply_random(&self, value: &str, rng: &mut impl Rng) -> Option<String> {
+        let sites = self.sites(value);
+        if sites.is_empty() {
+            return None;
+        }
+        let site = sites[rng.random_range(0..sites.len())];
+        Some(self.apply_at(value, site))
+    }
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |s: &str| if s.is_empty() { "ε".to_owned() } else { format!("{s:?}") };
+        write!(f, "{} ↦ {}", show(&self.from), show(&self.to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_rejected() {
+        assert!(Transformation::new("a", "a").is_none());
+        assert!(Transformation::new("", "").is_none());
+        assert!(Transformation::new("a", "b").is_some());
+    }
+
+    #[test]
+    fn templates() {
+        assert_eq!(Transformation::new("", "x").unwrap().template(), Template::Add);
+        assert_eq!(Transformation::new("x", "").unwrap().template(), Template::Remove);
+        assert_eq!(Transformation::new("x", "y").unwrap().template(), Template::Exchange);
+    }
+
+    #[test]
+    fn add_sites_are_all_boundaries() {
+        let t = Transformation::new("", "x").unwrap();
+        assert_eq!(t.sites("abc"), vec![0, 1, 2, 3]);
+        assert_eq!(t.sites(""), vec![0]);
+    }
+
+    #[test]
+    fn exchange_sites_find_all_matches() {
+        let t = Transformation::new("1", "x").unwrap();
+        assert_eq!(t.sites("60612"), vec![3]);
+        let t2 = Transformation::new("6", "x").unwrap();
+        assert_eq!(t2.sites("60612"), vec![0, 2]);
+    }
+
+    #[test]
+    fn overlapping_matches_found() {
+        let t = Transformation::new("aa", "b").unwrap();
+        assert_eq!(t.sites("aaa"), vec![0, 1]);
+    }
+
+    #[test]
+    fn apply_at_paper_example() {
+        // Insert "5" between '1' and '2' of "60612" → "606152".
+        let t = Transformation::new("", "5").unwrap();
+        assert_eq!(t.apply_at("60612", 4), "60615" .to_owned() + "2");
+        // Exchange "12" with "152".
+        let t2 = Transformation::new("12", "152").unwrap();
+        assert_eq!(t2.apply_at("60612", 3), "606152");
+        // Exchange the whole string.
+        let t3 = Transformation::new("60612", "606152").unwrap();
+        assert_eq!(t3.apply_at("60612", 0), "606152");
+    }
+
+    #[test]
+    fn remove_application() {
+        let t = Transformation::new("x", "").unwrap();
+        assert_eq!(t.apply_at("6x0612", 1), "60612");
+    }
+
+    #[test]
+    fn apply_random_respects_applicability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Transformation::new("z", "y").unwrap();
+        assert_eq!(t.apply_random("abc", &mut rng), None);
+        let t2 = Transformation::new("b", "x").unwrap();
+        assert_eq!(t2.apply_random("abc", &mut rng), Some("axc".to_owned()));
+    }
+
+    #[test]
+    fn applies_to_checks_substring() {
+        let t = Transformation::new("ic", "x").unwrap();
+        assert!(t.applies_to("chicago"));
+        assert!(!t.applies_to("madison"));
+        let add = Transformation::new("", "q").unwrap();
+        assert!(add.applies_to(""));
+        assert!(add.applies_to("anything"));
+    }
+
+    #[test]
+    fn unicode_sites_are_char_boundaries() {
+        let t = Transformation::new("", "x").unwrap();
+        let s = "café";
+        for site in t.sites(s) {
+            // Applying at each site must not panic and must produce
+            // valid UTF-8 (guaranteed by &str slicing).
+            let out = t.apply_at(s, site);
+            assert_eq!(out.chars().count(), s.chars().count() + 1);
+        }
+    }
+
+    #[test]
+    fn display_renders_epsilon() {
+        let t = Transformation::new("", "x").unwrap();
+        assert_eq!(t.to_string(), "ε ↦ \"x\"");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Applying a transformation at any reported site yields a string
+        /// that differs from the input (non-identity guaranteed).
+        #[test]
+        fn application_changes_value(
+            value in "[a-c]{0,8}",
+            from in "[a-c]{0,2}",
+            to in "[a-c]{0,2}",
+        ) {
+            prop_assume!(from != to);
+            let t = Transformation::new(from, to).unwrap();
+            for site in t.sites(&value) {
+                let out = t.apply_at(&value, site);
+                prop_assert_ne!(&out, &value);
+            }
+        }
+
+        /// apply_random only returns None when no site exists.
+        #[test]
+        fn random_application_consistency(
+            value in "[a-c]{0,8}",
+            from in "[a-c]{1,2}",
+        ) {
+            let t = Transformation::new(from.clone(), "zz").unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            let result = t.apply_random(&value, &mut rng);
+            prop_assert_eq!(result.is_some(), value.contains(&from));
+        }
+
+        /// Remove followed by add at the same site restores the string.
+        #[test]
+        fn remove_is_inverse_of_insertion(value in "[a-d]{1,8}", pos_seed in 0usize..8) {
+            let chars: Vec<char> = value.chars().collect();
+            let pos = pos_seed % chars.len();
+            let removed_char = chars[pos];
+            let byte_pos: usize = value.char_indices().nth(pos).unwrap().0;
+            let rm = Transformation::new(removed_char.to_string(), "").unwrap();
+            prop_assume!(rm.sites(&value).contains(&byte_pos));
+            let without = rm.apply_at(&value, byte_pos);
+            let add = Transformation::new("", removed_char.to_string()).unwrap();
+            let restored = add.apply_at(&without, byte_pos);
+            prop_assert_eq!(restored, value);
+        }
+    }
+}

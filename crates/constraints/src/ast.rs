@@ -1,0 +1,271 @@
+//! The denial-constraint AST.
+
+use holo_data::Schema;
+use std::fmt;
+
+/// Comparison operators `B = {=, ≠, <, >, ≤, ≥, ≈}` (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Leq,
+    /// `>=`
+    Geq,
+    /// `~` — approximate equality (character-overlap similarity ≥ 0.8).
+    Sim,
+}
+
+impl Op {
+    /// Evaluate the operator on two string values. Numeric comparison is
+    /// used when both sides parse as `f64`; otherwise lexicographic.
+    pub fn eval(self, a: &str, b: &str) -> bool {
+        match self {
+            Op::Eq => a == b,
+            Op::Neq => a != b,
+            Op::Sim => holo_text::char_overlap(a, b) >= 0.8,
+            _ => {
+                let ord = match (a.parse::<f64>(), b.parse::<f64>()) {
+                    (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                    _ => a.cmp(b),
+                };
+                match self {
+                    Op::Lt => ord.is_lt(),
+                    Op::Gt => ord.is_gt(),
+                    Op::Leq => ord.is_le(),
+                    Op::Geq => ord.is_ge(),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// The textual form used by the parser.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Neq => "!=",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Leq => "<=",
+            Op::Geq => ">=",
+            Op::Sim => "~",
+        }
+    }
+}
+
+/// One side of a predicate: a tuple attribute (`t1.A`/`t2.A`) or constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// `tuple` is 0 for `t1`, 1 for `t2`; `attr` is the schema position.
+    Var { tuple: usize, attr: usize },
+    /// A string literal.
+    Const(String),
+}
+
+/// A predicate `(x op y)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison operator.
+    pub op: Op,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl Predicate {
+    /// `true` if the predicate is `t1.A = t2.A` for the same attribute —
+    /// usable as a hash-join key during violation detection.
+    pub fn is_eq_join(&self) -> Option<usize> {
+        match (&self.left, self.op, &self.right) {
+            (
+                Operand::Var { tuple: 0, attr: a },
+                Op::Eq,
+                Operand::Var { tuple: 1, attr: b },
+            )
+            | (
+                Operand::Var { tuple: 1, attr: a },
+                Op::Eq,
+                Operand::Var { tuple: 0, attr: b },
+            ) if a == b => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// `true` if the predicate is `t1.A != t2.A` for the same attribute —
+    /// the shape whose violations can be counted via group-by statistics.
+    pub fn is_neq_same_attr(&self) -> Option<usize> {
+        match (&self.left, self.op, &self.right) {
+            (
+                Operand::Var { tuple: 0, attr: a },
+                Op::Neq,
+                Operand::Var { tuple: 1, attr: b },
+            )
+            | (
+                Operand::Var { tuple: 1, attr: a },
+                Op::Neq,
+                Operand::Var { tuple: 0, attr: b },
+            ) if a == b => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The attributes this predicate mentions (deduplicated, unordered).
+    pub fn attrs(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(2);
+        for side in [&self.left, &self.right] {
+            if let Operand::Var { attr, .. } = side {
+                if !v.contains(attr) {
+                    v.push(*attr);
+                }
+            }
+        }
+        v
+    }
+
+    /// Whether the predicate refers to tuple variable `t2`.
+    pub fn mentions_t2(&self) -> bool {
+        matches!(self.left, Operand::Var { tuple: 1, .. })
+            || matches!(self.right, Operand::Var { tuple: 1, .. })
+    }
+}
+
+/// A denial constraint `¬(P_1 ∧ … ∧ P_K)`.
+///
+/// Constraints over a single tuple variable (`t1` only) are supported;
+/// they express check-style rules like `¬(t1.Age < 0)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DenialConstraint {
+    /// Human-readable name, used in reports.
+    pub name: String,
+    /// The forbidden conjunction.
+    pub predicates: Vec<Predicate>,
+}
+
+impl DenialConstraint {
+    /// Whether any predicate mentions the second tuple variable.
+    pub fn is_binary(&self) -> bool {
+        self.predicates.iter().any(Predicate::mentions_t2)
+    }
+
+    /// All attributes mentioned by any predicate (deduplicated).
+    pub fn attrs(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        for p in &self.predicates {
+            for a in p.attrs() {
+                if !v.contains(&a) {
+                    v.push(a);
+                }
+            }
+        }
+        v
+    }
+
+    /// Render using schema attribute names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a DenialConstraint, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let render = |o: &Operand| match o {
+                    Operand::Var { tuple, attr } => {
+                        format!("t{}.{}", tuple + 1, self.1.name(*attr))
+                    }
+                    Operand::Const(c) => format!("'{c}'"),
+                };
+                let parts: Vec<String> = self
+                    .0
+                    .predicates
+                    .iter()
+                    .map(|p| format!("{} {} {}", render(&p.left), p.op.symbol(), render(&p.right)))
+                    .collect();
+                write!(f, "¬({})", parts.join(" ∧ "))
+            }
+        }
+        D(self, schema)
+    }
+
+    /// Build the FD `lhs → rhs` as a denial constraint:
+    /// `¬(t1.L1 = t2.L1 ∧ … ∧ t1.Rk != t2.Rk)` (one constraint per RHS
+    /// attribute would be equivalent; we keep one RHS per constraint).
+    pub fn functional_dependency(name: impl Into<String>, lhs: &[usize], rhs: usize) -> Self {
+        let mut predicates = Vec::with_capacity(lhs.len() + 1);
+        for &a in lhs {
+            predicates.push(Predicate {
+                left: Operand::Var { tuple: 0, attr: a },
+                op: Op::Eq,
+                right: Operand::Var { tuple: 1, attr: a },
+            });
+        }
+        predicates.push(Predicate {
+            left: Operand::Var { tuple: 0, attr: rhs },
+            op: Op::Neq,
+            right: Operand::Var { tuple: 1, attr: rhs },
+        });
+        DenialConstraint { name: name.into(), predicates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval_string_and_numeric() {
+        assert!(Op::Eq.eval("a", "a"));
+        assert!(Op::Neq.eval("a", "b"));
+        assert!(Op::Lt.eval("2", "10")); // numeric, not lexicographic
+        assert!(Op::Gt.eval("b", "a")); // lexicographic fallback
+        assert!(Op::Leq.eval("3.5", "3.5"));
+        assert!(Op::Geq.eval("10", "2"));
+    }
+
+    #[test]
+    fn op_sim_threshold() {
+        assert!(Op::Sim.eval("chicago", "chicago"));
+        assert!(Op::Sim.eval("chicago", "chicagoo"));
+        assert!(!Op::Sim.eval("chicago", "xyz"));
+    }
+
+    #[test]
+    fn eq_join_detection() {
+        let p = Predicate {
+            left: Operand::Var { tuple: 0, attr: 2 },
+            op: Op::Eq,
+            right: Operand::Var { tuple: 1, attr: 2 },
+        };
+        assert_eq!(p.is_eq_join(), Some(2));
+        let q = Predicate {
+            left: Operand::Var { tuple: 0, attr: 2 },
+            op: Op::Eq,
+            right: Operand::Var { tuple: 1, attr: 3 },
+        };
+        assert_eq!(q.is_eq_join(), None);
+    }
+
+    #[test]
+    fn fd_constructor_shape() {
+        let dc = DenialConstraint::functional_dependency("fd", &[0, 1], 2);
+        assert_eq!(dc.predicates.len(), 3);
+        assert!(dc.is_binary());
+        assert_eq!(dc.attrs(), vec![0, 1, 2]);
+        assert_eq!(dc.predicates[0].is_eq_join(), Some(0));
+        assert_eq!(dc.predicates[2].is_neq_same_attr(), Some(2));
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let schema = Schema::new(["Zip", "City"]);
+        let dc = DenialConstraint::functional_dependency("fd", &[0], 1);
+        assert_eq!(
+            dc.display(&schema).to_string(),
+            "¬(t1.Zip = t2.Zip ∧ t1.City != t2.City)"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Approximate FD discovery with satisfaction ratios.
+//!
+//! Appendix A.2.2 (Definition A.1): a denial constraint is *α-noisy* on
+//! `D` if it satisfies `α` percent of all tuple pairs. The paper uses the
+//! discovery method of Chu et al. \[11\] to harvest constraints at chosen
+//! noise bands; this module provides the equivalent capability by scoring
+//! candidate FDs `L → R` (single- and two-attribute LHS) with their exact
+//! satisfaction ratio, computed in `O(n)` per candidate via group-by
+//! counting.
+
+use crate::ast::DenialConstraint;
+use holo_data::{Dataset, Symbol};
+use std::collections::HashMap;
+
+/// A discovered candidate with its satisfaction ratio.
+#[derive(Debug, Clone)]
+pub struct ScoredConstraint {
+    /// The FD as a denial constraint.
+    pub constraint: DenialConstraint,
+    /// Fraction of tuple pairs satisfying the constraint, in `\[0, 1\]`.
+    pub alpha: f64,
+}
+
+/// Exact satisfaction ratio of the FD `lhs → rhs` over all unordered
+/// tuple pairs. Returns `1.0` for datasets with fewer than two tuples.
+pub fn fd_satisfaction(d: &Dataset, lhs: &[usize], rhs: usize) -> f64 {
+    let n = d.n_tuples();
+    if n < 2 {
+        return 1.0;
+    }
+    // group key -> (group size, per-RHS-value counts)
+    let mut groups: HashMap<Box<[Symbol]>, HashMap<Symbol, u64>> = HashMap::new();
+    for t in 0..n {
+        let key: Box<[Symbol]> = lhs.iter().map(|&a| d.symbol(t, a)).collect();
+        *groups.entry(key).or_default().entry(d.symbol(t, rhs)).or_insert(0) += 1;
+    }
+    let pairs = |k: u64| k * k.saturating_sub(1) / 2;
+    let mut violating: u64 = 0;
+    for counts in groups.values() {
+        let g: u64 = counts.values().sum();
+        let agreeing: u64 = counts.values().map(|&c| pairs(c)).sum();
+        violating += pairs(g) - agreeing;
+    }
+    let total = pairs(n as u64);
+    1.0 - violating as f64 / total as f64
+}
+
+/// Score every FD candidate with a single-attribute LHS, plus (when
+/// `include_pairs`) every two-attribute LHS. Results are sorted by
+/// descending α.
+pub fn discover_fds(d: &Dataset, include_pairs: bool) -> Vec<ScoredConstraint> {
+    let na = d.n_attrs();
+    let mut out = Vec::new();
+    let mut push = |lhs: &[usize], rhs: usize| {
+        let alpha = fd_satisfaction(d, lhs, rhs);
+        let name = format!(
+            "{} -> {}",
+            lhs.iter().map(|&a| d.schema().name(a)).collect::<Vec<_>>().join(","),
+            d.schema().name(rhs)
+        );
+        out.push(ScoredConstraint {
+            constraint: DenialConstraint::functional_dependency(name, lhs, rhs),
+            alpha,
+        });
+    };
+    for l in 0..na {
+        for r in 0..na {
+            if l != r {
+                push(&[l], r);
+            }
+        }
+    }
+    if include_pairs {
+        for l1 in 0..na {
+            for l2 in (l1 + 1)..na {
+                for r in 0..na {
+                    if r != l1 && r != l2 {
+                        push(&[l1, l2], r);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.alpha.total_cmp(&a.alpha));
+    out
+}
+
+/// Discovered constraints whose satisfaction ratio lies in `(lo, hi]` —
+/// the noise bands of Table 9.
+pub fn fds_in_band(d: &Dataset, lo: f64, hi: f64, include_pairs: bool) -> Vec<ScoredConstraint> {
+    discover_fds(d, include_pairs)
+        .into_iter()
+        .filter(|s| s.alpha > lo && s.alpha <= hi)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    fn table(rows: &[(&str, &str, &str)]) -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["A", "B", "C"]));
+        for (a, bb, c) in rows {
+            b.push_row(&[*a, *bb, *c]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfect_fd_has_alpha_one() {
+        let d = table(&[("1", "x", "p"), ("1", "x", "q"), ("2", "y", "p")]);
+        assert_eq!(fd_satisfaction(&d, &[0], 1), 1.0);
+    }
+
+    #[test]
+    fn broken_fd_has_alpha_below_one() {
+        // A=1 maps to both x and y: one violating pair out of three.
+        let d = table(&[("1", "x", "p"), ("1", "y", "q"), ("2", "y", "p")]);
+        let alpha = fd_satisfaction(&d, &[0], 1);
+        assert!((alpha - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_dataset_is_trivially_satisfied() {
+        let d = table(&[("1", "x", "p")]);
+        assert_eq!(fd_satisfaction(&d, &[0], 1), 1.0);
+    }
+
+    #[test]
+    fn composite_lhs() {
+        // (A,B) -> C holds even though A -> C does not.
+        let d = table(&[("1", "x", "p"), ("1", "y", "q"), ("1", "x", "p")]);
+        assert_eq!(fd_satisfaction(&d, &[0, 1], 2), 1.0);
+        assert!(fd_satisfaction(&d, &[0], 2) < 1.0);
+    }
+
+    #[test]
+    fn discover_orders_by_alpha() {
+        let d = table(&[("1", "x", "p"), ("1", "x", "q"), ("2", "y", "q")]);
+        let found = discover_fds(&d, false);
+        assert_eq!(found.len(), 6); // 3 attrs × 2 directions each
+        for w in found.windows(2) {
+            assert!(w[0].alpha >= w[1].alpha);
+        }
+        // A -> B is perfect and should be at the top band.
+        assert!(found.iter().any(|s| s.constraint.name == "A -> B" && s.alpha == 1.0));
+    }
+
+    #[test]
+    fn band_filter() {
+        let d = table(&[("1", "x", "p"), ("1", "y", "q"), ("2", "y", "p")]);
+        let in_band = fds_in_band(&d, 0.5, 0.9, false);
+        for s in &in_band {
+            assert!(s.alpha > 0.5 && s.alpha <= 0.9);
+        }
+    }
+
+    #[test]
+    fn discovery_with_pairs_includes_composites() {
+        let d = table(&[("1", "x", "p"), ("1", "y", "q")]);
+        let found = discover_fds(&d, true);
+        assert!(found.iter().any(|s| s.constraint.name == "A,B -> C"));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::engine::ViolationEngine;
+    use holo_data::{DatasetBuilder, Schema};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// α is in \[0,1\], and α == 1 iff the violation engine finds no
+        /// violating tuples for the same FD.
+        #[test]
+        fn alpha_consistent_with_engine(rows in proptest::collection::vec(
+            (0u8..3, 0u8..3), 2..20)
+        ) {
+            let mut b = DatasetBuilder::new(Schema::new(["A", "B"]));
+            for (a, v) in &rows {
+                b.push_row(&[format!("a{a}"), format!("b{v}")]);
+            }
+            let d = b.build();
+            let alpha = fd_satisfaction(&d, &[0], 1);
+            prop_assert!((0.0..=1.0).contains(&alpha));
+            let dc = DenialConstraint::functional_dependency("fd", &[0], 1);
+            let e = ViolationEngine::build(&d, &[dc]);
+            let clean = e.indexes()[0].n_violating_tuples() == 0;
+            prop_assert_eq!(alpha == 1.0, clean);
+        }
+    }
+}

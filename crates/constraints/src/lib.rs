@@ -1,0 +1,27 @@
+//! # holo-constraints
+//!
+//! Denial constraints (DCs) for the HoloDetect reproduction.
+//!
+//! §2.1 of the paper: DCs are first-order formulas
+//! `∀ t_i, t_j ∈ D : ¬(P_1 ∧ … ∧ P_K)` where each predicate compares two
+//! tuple attributes or an attribute and a constant with an operator from
+//! `{=, ≠, <, >, ≤, ≥, ≈}`. This crate provides:
+//!
+//! * [`ast`] — the constraint representation,
+//! * [`parser`] — a small text grammar plus `A -> B` functional-dependency
+//!   sugar,
+//! * [`engine`] — violation detection over a [`holo_data::Dataset`] with
+//!   hash-join fast paths and per-tuple violation counts, including
+//!   *hypothetical* counts for a cell value override (required when
+//!   featurizing augmented examples),
+//! * [`discovery`] — approximate FD mining with a satisfaction ratio `α`,
+//!   used to synthesize the noisy constraints of Appendix A.2.2.
+
+pub mod ast;
+pub mod discovery;
+pub mod engine;
+pub mod parser;
+
+pub use ast::{DenialConstraint, Op, Operand, Predicate};
+pub use engine::{ConstraintIndex, ViolationEngine};
+pub use parser::{parse_constraint, parse_constraints, ParseError};

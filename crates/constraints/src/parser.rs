@@ -1,0 +1,224 @@
+//! Text grammar for denial constraints.
+//!
+//! Two forms are accepted, one per line (blank lines and `#` comments
+//! ignored):
+//!
+//! * **Functional-dependency sugar** — `Zip -> City` or
+//!   `BusinessID, Street -> Zip`. Multiple RHS attributes expand to one
+//!   constraint per RHS: `Zip -> City, State` yields two constraints.
+//! * **Explicit denial constraints** — the forbidden conjunction, e.g.
+//!   `t1.Zip = t2.Zip & t1.City != t2.City` or a single-tuple check
+//!   `t1.Score < '0'`. Constants are single-quoted; operators are
+//!   `=  !=  <  >  <=  >=  ~`.
+
+use crate::ast::{DenialConstraint, Op, Operand, Predicate};
+use holo_data::Schema;
+
+/// Errors from constraint parsing, with the offending fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// An attribute name that is not part of the schema.
+    UnknownAttribute(String),
+    /// A predicate that could not be parsed.
+    BadPredicate(String),
+    /// An FD with an empty side.
+    EmptyFd(String),
+    /// A line that is neither an FD nor a predicate conjunction.
+    BadLine(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            ParseError::BadPredicate(p) => write!(f, "cannot parse predicate {p:?}"),
+            ParseError::EmptyFd(l) => write!(f, "functional dependency with empty side: {l:?}"),
+            ParseError::BadLine(l) => write!(f, "cannot parse constraint line {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a multi-line constraint specification.
+pub fn parse_constraints(spec: &str, schema: &Schema) -> Result<Vec<DenialConstraint>, ParseError> {
+    let mut out = Vec::new();
+    for line in spec.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.extend(parse_constraint(line, schema)?);
+    }
+    Ok(out)
+}
+
+/// Parse a single line. FD sugar may expand to several constraints, hence
+/// the `Vec` return.
+pub fn parse_constraint(line: &str, schema: &Schema) -> Result<Vec<DenialConstraint>, ParseError> {
+    if let Some((lhs, rhs)) = line.split_once("->") {
+        return parse_fd(lhs, rhs, schema);
+    }
+    let predicates: Result<Vec<Predicate>, ParseError> =
+        line.split('&').map(|p| parse_predicate(p.trim(), schema)).collect();
+    let predicates = predicates?;
+    if predicates.is_empty() {
+        return Err(ParseError::BadLine(line.to_owned()));
+    }
+    Ok(vec![DenialConstraint { name: line.to_owned(), predicates }])
+}
+
+fn parse_fd(lhs: &str, rhs: &str, schema: &Schema) -> Result<Vec<DenialConstraint>, ParseError> {
+    let resolve = |s: &str| -> Result<usize, ParseError> {
+        schema
+            .attr_index(s.trim())
+            .ok_or_else(|| ParseError::UnknownAttribute(s.trim().to_owned()))
+    };
+    let left: Result<Vec<usize>, _> =
+        lhs.split(',').filter(|s| !s.trim().is_empty()).map(resolve).collect();
+    let left = left?;
+    let right: Result<Vec<usize>, _> =
+        rhs.split(',').filter(|s| !s.trim().is_empty()).map(resolve).collect();
+    let right = right?;
+    if left.is_empty() || right.is_empty() {
+        return Err(ParseError::EmptyFd(format!("{lhs}->{rhs}")));
+    }
+    Ok(right
+        .into_iter()
+        .map(|r| {
+            let name = format!(
+                "{} -> {}",
+                left.iter().map(|&a| schema.name(a)).collect::<Vec<_>>().join(","),
+                schema.name(r)
+            );
+            DenialConstraint::functional_dependency(name, &left, r)
+        })
+        .collect())
+}
+
+fn parse_predicate(p: &str, schema: &Schema) -> Result<Predicate, ParseError> {
+    // Order matters: two-char operators first.
+    const OPS: [(&str, Op); 7] = [
+        ("!=", Op::Neq),
+        ("<=", Op::Leq),
+        (">=", Op::Geq),
+        ("=", Op::Eq),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+        ("~", Op::Sim),
+    ];
+    for (sym, op) in OPS {
+        if let Some(pos) = p.find(sym) {
+            let left = parse_operand(p[..pos].trim(), schema)?;
+            let right = parse_operand(p[pos + sym.len()..].trim(), schema)?;
+            return Ok(Predicate { left, op, right });
+        }
+    }
+    Err(ParseError::BadPredicate(p.to_owned()))
+}
+
+fn parse_operand(s: &str, schema: &Schema) -> Result<Operand, ParseError> {
+    if let Some(stripped) = s.strip_prefix('\'') {
+        let lit = stripped.strip_suffix('\'').unwrap_or(stripped);
+        return Ok(Operand::Const(lit.to_owned()));
+    }
+    if let Some(rest) = s.strip_prefix("t1.") {
+        let attr = schema
+            .attr_index(rest)
+            .ok_or_else(|| ParseError::UnknownAttribute(rest.to_owned()))?;
+        return Ok(Operand::Var { tuple: 0, attr });
+    }
+    if let Some(rest) = s.strip_prefix("t2.") {
+        let attr = schema
+            .attr_index(rest)
+            .ok_or_else(|| ParseError::UnknownAttribute(rest.to_owned()))?;
+        return Ok(Operand::Var { tuple: 1, attr });
+    }
+    Err(ParseError::BadPredicate(s.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["BusinessID", "City", "State", "Zip", "Score"])
+    }
+
+    #[test]
+    fn fd_sugar_expands() {
+        let dcs = parse_constraint("Zip -> City, State", &schema()).unwrap();
+        assert_eq!(dcs.len(), 2);
+        assert_eq!(dcs[0].name, "Zip -> City");
+        assert_eq!(dcs[1].name, "Zip -> State");
+        assert_eq!(dcs[0].predicates.len(), 2);
+    }
+
+    #[test]
+    fn composite_fd_lhs() {
+        let dcs = parse_constraint("BusinessID, City -> Zip", &schema()).unwrap();
+        assert_eq!(dcs.len(), 1);
+        assert_eq!(dcs[0].predicates.len(), 3);
+        assert_eq!(dcs[0].predicates[0].is_eq_join(), Some(0));
+        assert_eq!(dcs[0].predicates[1].is_eq_join(), Some(1));
+    }
+
+    #[test]
+    fn explicit_dc() {
+        let dcs = parse_constraint("t1.Zip = t2.Zip & t1.City != t2.City", &schema()).unwrap();
+        assert_eq!(dcs.len(), 1);
+        assert!(dcs[0].is_binary());
+        assert_eq!(dcs[0].predicates[0].is_eq_join(), Some(3));
+        assert_eq!(dcs[0].predicates[1].is_neq_same_attr(), Some(1));
+    }
+
+    #[test]
+    fn constant_check_constraint() {
+        let dcs = parse_constraint("t1.Score < '0'", &schema()).unwrap();
+        assert!(!dcs[0].is_binary());
+        assert_eq!(
+            dcs[0].predicates[0].right,
+            Operand::Const("0".to_owned())
+        );
+    }
+
+    #[test]
+    fn similarity_predicate() {
+        let dcs = parse_constraint("t1.City ~ t2.City & t1.Zip != t2.Zip", &schema()).unwrap();
+        assert_eq!(dcs[0].predicates[0].op, Op::Sim);
+    }
+
+    #[test]
+    fn multi_line_spec_with_comments() {
+        let spec = "# hospital constraints\nZip -> City\n\nt1.Score < '0'\n";
+        let dcs = parse_constraints(spec, &schema()).unwrap();
+        assert_eq!(dcs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let e = parse_constraint("Zap -> City", &schema()).unwrap_err();
+        assert_eq!(e, ParseError::UnknownAttribute("Zap".to_owned()));
+        let e2 = parse_constraint("t1.Zap = t2.Zap", &schema()).unwrap_err();
+        assert_eq!(e2, ParseError::UnknownAttribute("Zap".to_owned()));
+    }
+
+    #[test]
+    fn garbage_line_errors() {
+        assert!(parse_constraint("hello world", &schema()).is_err());
+    }
+
+    #[test]
+    fn empty_fd_side_errors() {
+        assert!(matches!(
+            parse_constraint(" -> City", &schema()),
+            Err(ParseError::EmptyFd(_))
+        ));
+    }
+
+    #[test]
+    fn leq_not_confused_with_lt() {
+        let dcs = parse_constraint("t1.Score <= '10'", &schema()).unwrap();
+        assert_eq!(dcs[0].predicates[0].op, Op::Leq);
+    }
+}

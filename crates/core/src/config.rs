@@ -1,0 +1,119 @@
+//! End-to-end configuration.
+
+use crate::model::BranchStyle;
+use holo_channel::AugmentConfig;
+use holo_features::FeatureConfig;
+
+/// Hyper-parameters for the full HoloDetect pipeline.
+///
+/// The paper trains "for 500 epochs with a batch-size of five examples";
+/// the defaults here use larger batches and fewer epochs, which reach the
+/// same loss basin in a fraction of the wall-clock on this pure-Rust
+/// substrate (the `paper_faithful` constructor restores the original
+/// schedule).
+#[derive(Debug, Clone)]
+pub struct HoloDetectConfig {
+    /// Training epochs for the joint model.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// ADAM learning rate.
+    pub lr: f32,
+    /// Hidden width of the two-layer classifier `M`.
+    pub hidden_dim: usize,
+    /// Dropout probability on the joint representation (Figure 2C).
+    pub dropout: f32,
+    /// Fraction of `T` held out for Platt scaling and tuning (§4.2/§6.1:
+    /// 10%).
+    pub holdout_frac: f64,
+    /// Platt-scaling epochs (paper: 100).
+    pub platt_epochs: usize,
+    /// Probability threshold above which a cell is declared an error.
+    pub decision_threshold: f32,
+    /// Augmentation settings (Algorithm 4).
+    pub augment: AugmentConfig,
+    /// Representation settings (Table 7).
+    pub features: FeatureConfig,
+    /// Minimum error examples in `T` before the Naive-Bayes
+    /// weak-supervision harvester kicks in (§5.4).
+    pub min_error_examples: usize,
+    /// Learnable-branch architecture (Figure 2B vs a plain MLP; the
+    /// `ablation_highway` experiment compares them).
+    pub branch_style: BranchStyle,
+    /// Worker threads for featurization.
+    pub threads: usize,
+    /// Base seed for model init / shuffling (combined with the run seed).
+    pub seed: u64,
+}
+
+impl Default for HoloDetectConfig {
+    fn default() -> Self {
+        HoloDetectConfig {
+            epochs: 80,
+            batch_size: 32,
+            lr: 0.005,
+            hidden_dim: 32,
+            dropout: 0.2,
+            holdout_frac: 0.1,
+            platt_epochs: 100,
+            decision_threshold: 0.5,
+            augment: AugmentConfig::default(),
+            features: FeatureConfig::default(),
+            min_error_examples: 10,
+            branch_style: BranchStyle::Highway,
+            threads: default_threads(),
+            seed: 7,
+        }
+    }
+}
+
+impl HoloDetectConfig {
+    /// The paper's exact training schedule (§6.1): 500 epochs, batch 5.
+    pub fn paper_faithful() -> Self {
+        HoloDetectConfig { epochs: 500, batch_size: 5, ..Self::default() }
+    }
+
+    /// A small/fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        HoloDetectConfig {
+            epochs: 40,
+            hidden_dim: 16,
+            features: FeatureConfig::fast(),
+            ..Self::default()
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = HoloDetectConfig::default();
+        assert!(c.epochs > 0);
+        assert!((0.0..1.0).contains(&c.dropout));
+        assert!((0.0..1.0).contains(&c.holdout_frac));
+        assert!(c.threads >= 1);
+    }
+
+    #[test]
+    fn paper_faithful_matches_section_6_1() {
+        let c = HoloDetectConfig::paper_faithful();
+        assert_eq!(c.epochs, 500);
+        assert_eq!(c.batch_size, 5);
+        assert_eq!(c.platt_epochs, 100);
+    }
+
+    #[test]
+    fn fast_is_smaller() {
+        let fast = HoloDetectConfig::fast();
+        let full = HoloDetectConfig::default();
+        assert!(fast.epochs <= full.epochs);
+        assert!(fast.features.embed.dim <= full.features.embed.dim);
+    }
+}

@@ -1,0 +1,46 @@
+//! # holodetect
+//!
+//! The paper's primary contribution: a few-shot, weakly-supervised error
+//! detection framework (Figure 1).
+//!
+//! Given a dirty dataset `D`, a small training set `T`, and (optionally)
+//! denial constraints `Σ`, HoloDetect:
+//!
+//! 1. learns the noisy channel `H = (Φ, Π)` from the error examples in
+//!    `T` — topped up by the Naive-Bayes weak-supervision model when `T`
+//!    contains too few errors (§5.4),
+//! 2. **augments** the training data with synthetic errors drawn from
+//!    `H` until classes balance (Algorithm 4),
+//! 3. featurizes every example with the multi-granularity representation
+//!    `Q` (attribute / tuple / dataset contexts, Table 7),
+//! 4. trains the wide-and-deep model of Figure 7 — highway branches over
+//!    the embeddings, jointly with the two-layer classifier `M` — using
+//!    ADAM,
+//! 5. calibrates confidences with Platt scaling on a held-out slice of
+//!    `T` (§4.2), and
+//! 6. classifies every remaining cell as *correct* or *error*.
+//!
+//! Besides the augmentation pipeline ([`strategies::Strategy::Augmentation`]),
+//! the crate implements the paper's comparison training paradigms:
+//! plain supervision, self-training (SemiL), uncertainty-sampling active
+//! learning (ActiveL), and minority oversampling (Resampling).
+//!
+//! ```no_run
+//! use holodetect::{HoloDetect, HoloDetectConfig};
+//! use holo_eval::{DetectionContext, Detector};
+//! # fn ctx() -> DetectionContext<'static> { unimplemented!() }
+//!
+//! let mut detector = HoloDetect::new(HoloDetectConfig::default());
+//! let labels = detector.detect(&ctx());
+//! ```
+
+pub mod config;
+pub mod detector;
+pub mod model;
+pub mod strategies;
+pub mod trainer;
+
+pub use config::HoloDetectConfig;
+pub use detector::HoloDetect;
+pub use model::{BranchStyle, WideDeepModel};
+pub use strategies::Strategy;

@@ -1,0 +1,456 @@
+//! The wide-and-deep model of Figure 7.
+//!
+//! Each learnable representation (char / word / tuple / neighbourhood
+//! embedding) feeds its own branch — `Highway ×2 → ReLU → Dense(d→1)`
+//! (Figure 2B) — whose scalar output is concatenated with the wide
+//! features into the joint representation. The classifier `M`
+//! (Figure 2C) is `Dropout → Dense → ReLU → Dense(2)` trained with
+//! softmax/logistic loss. Everything is trained jointly: "At training
+//! time, we backpropagate through the entire network jointly, rather
+//! than training specific representations" (Appendix A.1).
+
+use holo_features::FeatureLayout;
+use holo_nn::{
+    softmax_cross_entropy, Adam, Dense, Dropout, Highway, Layer, Matrix, Optimizer, Relu,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How the learnable branches transform their embedding inputs.
+///
+/// The paper uses highway layers (Figure 2B) and motivates them with
+/// prior successes \[58\] but does not ablate the choice; the
+/// `ablation_highway` experiment binary compares both styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchStyle {
+    /// `Highway ×2 → ReLU → Dense(d→1)` — the paper's architecture.
+    #[default]
+    Highway,
+    /// `Dense ×2 (ReLU) → Dense(d→1)` — a plain MLP of the same depth.
+    PlainDense,
+}
+
+/// One learnable branch.
+struct Branch {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Branch {
+    fn new(dim: usize, style: BranchStyle, rng: &mut StdRng) -> Self {
+        let layers: Vec<Box<dyn Layer>> = match style {
+            BranchStyle::Highway => vec![
+                Box::new(Highway::new(dim, rng)),
+                Box::new(Highway::new(dim, rng)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(dim, 1, rng)),
+            ],
+            BranchStyle::PlainDense => vec![
+                Box::new(Dense::new(dim, dim, rng)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(dim, dim, rng)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(dim, 1, rng)),
+            ],
+        };
+        Branch { layers }
+    }
+}
+
+/// The jointly-trained wide-and-deep error-detection model.
+pub struct WideDeepModel {
+    layout: FeatureLayout,
+    branches: Vec<Branch>,
+    classifier: Vec<Box<dyn Layer>>,
+    rng: StdRng,
+}
+
+impl WideDeepModel {
+    /// Build for a feature layout with the paper's highway branches; all
+    /// parameters Xavier-initialized from the seed.
+    pub fn new(layout: FeatureLayout, hidden_dim: usize, dropout: f32, seed: u64) -> Self {
+        Self::with_branch_style(layout, hidden_dim, dropout, seed, BranchStyle::Highway)
+    }
+
+    /// Build with an explicit [`BranchStyle`] (the highway ablation).
+    pub fn with_branch_style(
+        layout: FeatureLayout,
+        hidden_dim: usize,
+        dropout: f32,
+        seed: u64,
+        style: BranchStyle,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let branches: Vec<Branch> =
+            layout.branch_dims.iter().map(|&d| Branch::new(d, style, &mut rng)).collect();
+        let joint_dim = layout.wide_dim() + branches.len();
+        let classifier: Vec<Box<dyn Layer>> = vec![
+            Box::new(Dropout::new(dropout, seed.wrapping_add(1))),
+            Box::new(Dense::new(joint_dim, hidden_dim, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(hidden_dim, 2, &mut rng)),
+        ];
+        WideDeepModel { layout, branches, classifier, rng }
+    }
+
+    /// The layout this model expects.
+    pub fn layout(&self) -> &FeatureLayout {
+        &self.layout
+    }
+
+    /// Total trainable parameter count.
+    pub fn n_params(&mut self) -> usize {
+        let mut n = 0;
+        for b in &mut self.branches {
+            for l in &mut b.layers {
+                n += l.params_mut().iter().map(|p| p.len()).sum::<usize>();
+            }
+        }
+        for l in &mut self.classifier {
+            n += l.params_mut().iter().map(|p| p.len()).sum::<usize>();
+        }
+        n
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let parts = x.split_cols(&self.layout.split_widths());
+        let wide = &parts[0];
+        let mut joint_parts: Vec<Matrix> = Vec::with_capacity(1 + self.branches.len());
+        joint_parts.push(wide.clone());
+        for (branch, input) in self.branches.iter_mut().zip(&parts[1..]) {
+            let mut h = input.clone();
+            for l in &mut branch.layers {
+                h = l.forward(&h, train);
+            }
+            joint_parts.push(h);
+        }
+        let refs: Vec<&Matrix> = joint_parts.iter().collect();
+        let mut joint = Matrix::hstack(&refs);
+        for l in &mut self.classifier {
+            joint = l.forward(&joint, train);
+        }
+        joint
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let mut g = grad_logits.clone();
+        for l in self.classifier.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        // Split the joint gradient: wide block (no params) + 1 col/branch.
+        let mut widths = vec![self.layout.wide_dim()];
+        widths.extend(std::iter::repeat_n(1usize, self.branches.len()));
+        let parts = g.split_cols(&widths);
+        for (branch, grad) in self.branches.iter_mut().zip(&parts[1..]) {
+            let mut bg = grad.clone();
+            for l in branch.layers.iter_mut().rev() {
+                bg = l.backward(&bg);
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for b in &mut self.branches {
+            for l in &mut b.layers {
+                l.zero_grad();
+            }
+        }
+        for l in &mut self.classifier {
+            l.zero_grad();
+        }
+    }
+
+    fn step(&mut self, opt: &mut Adam) {
+        opt.begin_step();
+        for b in &mut self.branches {
+            for l in &mut b.layers {
+                for p in l.params_mut() {
+                    opt.update(p);
+                }
+            }
+        }
+        for l in &mut self.classifier {
+            for p in l.params_mut() {
+                opt.update(p);
+            }
+        }
+    }
+
+    /// Train with mini-batch ADAM. `targets[i] ∈ {0 = correct, 1 = error}`.
+    /// Returns the mean loss of the final epoch.
+    pub fn train(
+        &mut self,
+        x: &Matrix,
+        targets: &[usize],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+    ) -> f32 {
+        assert_eq!(x.rows(), targets.len(), "features/targets mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        let mut opt = Adam::new(lr);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let bs = batch_size.max(1);
+        let mut last_epoch_loss = 0.0f32;
+        for _ in 0..epochs {
+            order.shuffle(&mut self.rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(bs) {
+                let bx = x.gather_rows(chunk);
+                let bt: Vec<usize> = chunk.iter().map(|&i| targets[i]).collect();
+                self.zero_grad();
+                let logits = self.forward(&bx, true);
+                let (loss, grad) = softmax_cross_entropy(&logits, &bt);
+                self.backward(&grad);
+                self.step(&mut opt);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Raw error-class margins `z_error − z_correct` (eval mode), the
+    /// scores Platt scaling calibrates.
+    pub fn scores(&mut self, x: &Matrix) -> Vec<f32> {
+        if x.rows() == 0 {
+            return Vec::new();
+        }
+        let logits = self.forward(x, false);
+        (0..x.rows()).map(|i| logits.get(i, 1) - logits.get(i, 0)).collect()
+    }
+
+    /// Uncalibrated error probabilities via softmax (eval mode).
+    pub fn predict_proba(&mut self, x: &Matrix) -> Vec<f32> {
+        if x.rows() == 0 {
+            return Vec::new();
+        }
+        let logits = self.forward(x, false);
+        let p = holo_nn::loss::softmax(&logits);
+        (0..x.rows()).map(|i| p.get(i, 1)).collect()
+    }
+}
+
+/// Build a feature matrix from per-example vectors.
+pub fn matrix_from_rows(rows: &[Vec<f32>]) -> Matrix {
+    assert!(!rows.is_empty(), "no feature rows");
+    let dim = rows[0].len();
+    let mut data = Vec::with_capacity(rows.len() * dim);
+    for r in rows {
+        assert_eq!(r.len(), dim, "ragged feature rows");
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), dim, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> FeatureLayout {
+        FeatureLayout {
+            wide_names: vec!["w0".into(), "w1".into(), "w2".into()],
+            branch_names: vec!["b0".into(), "b1".into()],
+            branch_dims: vec![8, 8],
+        }
+    }
+
+    /// Synthetic task: error iff (wide\[0\] > 0.5) XOR (branch0 mean > 0).
+    fn synthetic(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = layout();
+        let mut rows = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            use rand::Rng;
+            let wide0: f32 = rng.random_range(0.0..1.0);
+            let sign: f32 = if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+            let mut row = vec![wide0, rng.random_range(0.0..1.0), 0.5];
+            row.extend((0..8).map(|_| sign * rng.random_range(0.1..0.5)));
+            row.extend((0..8).map(|_| rng.random_range(-0.3..0.3f32)));
+            assert_eq!(row.len(), l.total_dim());
+            targets.push(usize::from((wide0 > 0.5) ^ (sign > 0.0)));
+            rows.push(row);
+        }
+        (matrix_from_rows(&rows), targets)
+    }
+
+    #[test]
+    fn learns_nonlinear_interaction() {
+        let (x, y) = synthetic(400, 3);
+        let mut m = WideDeepModel::new(layout(), 24, 0.0, 5);
+        let loss = m.train(&x, &y, 120, 32, 0.01);
+        assert!(loss < 0.35, "loss did not converge: {loss}");
+        let p = m.predict_proba(&x);
+        let acc = p
+            .iter()
+            .zip(&y)
+            .filter(|(&pi, &yi)| usize::from(pi > 0.5) == yi)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.85, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_monotone_in_probability() {
+        let (x, y) = synthetic(100, 9);
+        let mut m = WideDeepModel::new(layout(), 16, 0.0, 1);
+        m.train(&x, &y, 30, 16, 0.01);
+        let scores = m.scores(&x);
+        let probs = m.predict_proba(&x);
+        for i in 0..99 {
+            if scores[i] < scores[i + 1] {
+                assert!(probs[i] <= probs[i + 1] + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = synthetic(60, 2);
+        let run = || {
+            let mut m = WideDeepModel::new(layout(), 16, 0.1, 11);
+            m.train(&x, &y, 20, 8, 0.01);
+            m.predict_proba(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn model_handles_no_branches() {
+        // Wide-only layout (all embeddings ablated).
+        let l = FeatureLayout {
+            wide_names: vec!["a".into(), "b".into()],
+            branch_names: vec![],
+            branch_dims: vec![],
+        };
+        let x = matrix_from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let mut m = WideDeepModel::new(l, 8, 0.0, 3);
+        let loss = m.train(&x, &[0, 1], 100, 2, 0.05);
+        assert!(loss < 0.2);
+    }
+
+    #[test]
+    fn plain_dense_branches_also_learn() {
+        let (x, y) = synthetic(300, 4);
+        let mut m =
+            WideDeepModel::with_branch_style(layout(), 24, 0.0, 5, BranchStyle::PlainDense);
+        let loss = m.train(&x, &y, 120, 32, 0.01);
+        assert!(loss < 0.45, "plain-dense loss {loss}");
+    }
+
+    #[test]
+    fn branch_styles_have_different_param_counts() {
+        let mut hw = WideDeepModel::with_branch_style(layout(), 8, 0.0, 1, BranchStyle::Highway);
+        let mut pd =
+            WideDeepModel::with_branch_style(layout(), 8, 0.0, 1, BranchStyle::PlainDense);
+        // Highway: 2 layers × (2 weight matrices + 2 biases); dense: 2 ×
+        // (1 matrix + 1 bias) — highway must be bigger.
+        assert!(hw.n_params() > pd.n_params());
+    }
+
+    #[test]
+    fn n_params_positive_and_layout_kept() {
+        let mut m = WideDeepModel::new(layout(), 16, 0.0, 1);
+        assert!(m.n_params() > 100);
+        assert_eq!(m.layout().n_branches(), 2);
+    }
+
+    /// Numerical gradient check through the *entire* wide-and-deep DAG:
+    /// classifier → concat split → highway branches. Catches any error in
+    /// the joint backward routing.
+    #[test]
+    fn whole_model_gradient_check() {
+        let l = FeatureLayout {
+            wide_names: vec!["w0".into(), "w1".into()],
+            branch_names: vec!["b0".into(), "b1".into()],
+            branch_dims: vec![3, 4],
+        };
+        let mut m = WideDeepModel::with_branch_style(l, 4, 0.0, 9, BranchStyle::Highway);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Matrix::xavier(3, m.layout().total_dim(), &mut rng);
+        let targets = [0usize, 1, 0];
+
+        // Analytic gradients.
+        m.zero_grad();
+        let logits = m.forward(&x, false);
+        let (_, grad) = holo_nn::softmax_cross_entropy(&logits, &targets);
+        m.backward(&grad);
+
+        let mut loss_of = |m: &mut WideDeepModel| -> f32 {
+            let lg = m.forward(&x, false);
+            holo_nn::softmax_cross_entropy(&lg, &targets).0
+        };
+
+        let eps = 1e-2f32;
+        let tol = 3e-2f32;
+        // Check a few parameters in every branch and the classifier.
+        let n_branches = m.branches.len();
+        for bi in 0..n_branches {
+            for li in 0..m.branches[bi].layers.len() {
+                let n_params = m.branches[bi].layers[li].params_mut().len();
+                for pi in 0..n_params {
+                    for i in [0usize, 1] {
+                        let (orig, ana) = {
+                            let p = &mut m.branches[bi].layers[li].params_mut()[pi];
+                            if i >= p.value.data().len() {
+                                continue;
+                            }
+                            (p.value.data()[i], p.grad.data()[i])
+                        };
+                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] =
+                            orig + eps;
+                        let lp = loss_of(&mut m);
+                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] =
+                            orig - eps;
+                        let lm = loss_of(&mut m);
+                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] = orig;
+                        let num = (lp - lm) / (2.0 * eps);
+                        assert!(
+                            (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                            "branch {bi} layer {li} param {pi}[{i}]: numeric {num} vs \
+                             analytic {ana}"
+                        );
+                    }
+                }
+            }
+        }
+        for li in 0..m.classifier.len() {
+            let n_params = m.classifier[li].params_mut().len();
+            for pi in 0..n_params {
+                let (orig, ana) = {
+                    let p = &mut m.classifier[li].params_mut()[pi];
+                    (p.value.data()[0], p.grad.data()[0])
+                };
+                m.classifier[li].params_mut()[pi].value.data_mut()[0] = orig + eps;
+                let lp = loss_of(&mut m);
+                m.classifier[li].params_mut()[pi].value.data_mut()[0] = orig - eps;
+                let lm = loss_of(&mut m);
+                m.classifier[li].params_mut()[pi].value.data_mut()[0] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                    "classifier layer {li} param {pi}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prediction_is_empty() {
+        let mut m = WideDeepModel::new(layout(), 8, 0.0, 1);
+        let x = Matrix::zeros(0, m.layout().total_dim());
+        assert!(m.predict_proba(&x).is_empty());
+        assert!(m.scores(&x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_panics() {
+        let mut m = WideDeepModel::new(layout(), 8, 0.0, 1);
+        let x = Matrix::zeros(0, m.layout().total_dim());
+        m.train(&x, &[], 1, 4, 0.01);
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal RFC-4180-ish CSV reader/writer.
+//!
+//! The reproduction ships synthetic datasets, but users of the library
+//! will want to load their own relations; a tiny CSV codec keeps the
+//! workspace dependency-free. Supports quoted fields, embedded commas,
+//! escaped quotes (`""`), and embedded newlines inside quotes.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::schema::Schema;
+use std::fmt::Write as _;
+
+/// Errors raised while parsing CSV input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input was empty — no header row to build a schema from.
+    MissingHeader,
+    /// A record's field count disagrees with the header. `(line, got, want)`.
+    ArityMismatch { line: usize, got: usize, want: usize },
+    /// A quoted field never closed.
+    UnterminatedQuote { line: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "csv: empty input, missing header"),
+            CsvError::ArityMismatch { line, got, want } => {
+                write!(f, "csv: line {line}: {got} fields, header has {want}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "csv: line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text (header row first) into a [`Dataset`].
+pub fn parse_csv(input: &str) -> Result<Dataset, CsvError> {
+    let mut records = parse_records(input)?;
+    if records.is_empty() {
+        return Err(CsvError::MissingHeader);
+    }
+    let header = records.remove(0);
+    let want = header.len();
+    let schema = Schema::new(header);
+    let mut b = DatasetBuilder::new(schema).with_capacity(records.len());
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != want {
+            return Err(CsvError::ArityMismatch { line: i + 2, got: rec.len(), want });
+        }
+        b.push_row(rec);
+    }
+    Ok(b.build())
+}
+
+/// Serialize a [`Dataset`] to CSV text with a header row.
+pub fn write_csv(d: &Dataset) -> String {
+    let mut out = String::new();
+    write_record(&mut out, d.schema().names().iter().map(String::as_str));
+    for t in 0..d.n_tuples() {
+        write_record(&mut out, (0..d.n_attrs()).map(|a| d.value(t, a)));
+    }
+    out
+}
+
+fn write_record<'a, I: Iterator<Item = &'a str>>(out: &mut String, fields: I) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            let escaped = f.replace('"', "\"\"");
+            let _ = write!(out, "\"{escaped}\"");
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => record.push(std::mem::take(&mut field)),
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line });
+    }
+    // Final record without trailing newline.
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_roundtrip() {
+        let csv = "City,State\nChicago,IL\nMadison,WI\n";
+        let d = parse_csv(csv).unwrap();
+        assert_eq!(d.n_tuples(), 2);
+        assert_eq!(d.value(1, 0), "Madison");
+        assert_eq!(write_csv(&d), csv);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "Name,Addr\n\"EVP, Coffee\",\"123 \"\"Main\"\" St\"\n";
+        let d = parse_csv(csv).unwrap();
+        assert_eq!(d.value(0, 0), "EVP, Coffee");
+        assert_eq!(d.value(0, 1), "123 \"Main\" St");
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let d = parse_csv("A\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(d.value(0, 0), "line1\nline2");
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let d = parse_csv("A,B\n1,2").unwrap();
+        assert_eq!(d.n_tuples(), 1);
+        assert_eq!(d.value(0, 1), "2");
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let d = parse_csv("A,B\r\n1,2\r\n").unwrap();
+        assert_eq!(d.value(0, 0), "1");
+    }
+
+    #[test]
+    fn empty_fields_kept() {
+        let d = parse_csv("A,B,C\n,,\n").unwrap();
+        assert_eq!(d.value(0, 0), "");
+        assert_eq!(d.value(0, 2), "");
+    }
+
+    #[test]
+    fn arity_error_reports_line() {
+        let e = parse_csv("A,B\n1,2\n3\n").unwrap_err();
+        assert_eq!(e, CsvError::ArityMismatch { line: 3, got: 1, want: 2 });
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(parse_csv(""), Err(CsvError::MissingHeader)));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(parse_csv("A\n\"oops\n"), Err(CsvError::UnterminatedQuote { .. })));
+    }
+
+    #[test]
+    fn writer_quotes_when_needed() {
+        let mut b = DatasetBuilder::new(Schema::new(["X"]));
+        b.push_row(&["a,b"]);
+        let d = b.build();
+        assert_eq!(write_csv(&d), "X\n\"a,b\"\n");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::schema::Schema;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// write → parse is the identity on arbitrary cell contents.
+        #[test]
+        fn roundtrip(rows in proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,8}", 2..=2), 1..10)
+        ) {
+            let mut b = DatasetBuilder::new(Schema::new(["A", "B"]));
+            for r in &rows {
+                b.push_row(r);
+            }
+            let d = b.build();
+            let txt = write_csv(&d);
+            let d2 = parse_csv(&txt).unwrap();
+            prop_assert_eq!(d2.n_tuples(), d.n_tuples());
+            for t in 0..d.n_tuples() {
+                for a in 0..2 {
+                    prop_assert_eq!(d2.value(t, a), d.value(t, a));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Relation schemas: ordered attribute names with index lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The schema of a relation: an ordered list of attribute names.
+///
+/// Attributes are addressed by their position (`usize`) everywhere in the
+/// workspace; `Schema` is the single place that maps names to positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — duplicate attribute names
+    /// make constraint parsing ambiguous and are always a caller bug.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            let clash = index.insert(n.clone(), i);
+            assert!(clash.is_none(), "duplicate attribute name: {n:?}");
+        }
+        Schema { names, index }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of attribute `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All attribute names in schema order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Position of the attribute called `name`, if any.
+    #[inline]
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Like [`Schema::attr_index`] but panics with a readable message;
+    /// for callers (tests, examples) where a missing attribute is a bug.
+    pub fn expect_attr(&self, name: &str) -> usize {
+        self.attr_index(name)
+            .unwrap_or_else(|| panic!("schema has no attribute named {name:?}"))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip() {
+        let s = Schema::new(["City", "State", "Zip"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attr_index("State"), Some(1));
+        assert_eq!(s.name(2), "Zip");
+        assert_eq!(s.attr_index("Country"), None);
+    }
+
+    #[test]
+    fn display_formats_names() {
+        let s = Schema::new(["A", "B"]);
+        assert_eq!(s.to_string(), "(A, B)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        Schema::new(["A", "A"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(Vec::<String>::new());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute named")]
+    fn expect_attr_panics_with_name() {
+        Schema::new(["A"]).expect_attr("Z");
+    }
+}

@@ -1,0 +1,164 @@
+//! String interning: cell values as compact `u32` symbols.
+//!
+//! Real datasets repeat values heavily (a Zip column over 200k rows has a
+//! few thousand distinct strings). Interning turns every cell into a
+//! 4-byte [`Symbol`], making columnar scans cache-friendly and equality
+//! joins (constraint checking, co-occurrence counting) integer-keyed.
+
+use std::collections::HashMap;
+
+/// An interned cell value. Two cells hold equal strings iff their
+/// symbols are equal *within the same [`ValuePool`]*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The underlying index into the pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string pool.
+///
+/// Symbols are dense indices starting at 0, so downstream code can use
+/// them directly as array offsets (e.g. per-value frequency tables).
+#[derive(Debug, Clone, Default)]
+pub struct ValuePool {
+    strings: Vec<String>,
+    lookup: HashMap<String, Symbol>,
+}
+
+impl ValuePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("value pool overflow"));
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this pool.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// The symbol for `s` if it is already interned.
+    #[inline]
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut p = ValuePool::new();
+        let a = p.intern("chicago");
+        let b = p.intern("chicago");
+        let c = p.intern("Chicago"); // case-sensitive
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut p = ValuePool::new();
+        let s = p.intern("60612");
+        assert_eq!(p.resolve(s), "60612");
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut p = ValuePool::new();
+        p.intern("x");
+        assert!(p.get("x").is_some());
+        assert!(p.get("y").is_none());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut p = ValuePool::new();
+        for (i, s) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(p.intern(s).index(), i);
+        }
+    }
+
+    #[test]
+    fn empty_string_is_a_value() {
+        let mut p = ValuePool::new();
+        let e = p.intern("");
+        assert_eq!(p.resolve(e), "");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut p = ValuePool::new();
+        p.intern("b");
+        p.intern("a");
+        let all: Vec<&str> = p.iter().map(|(_, s)| s).collect();
+        assert_eq!(all, vec!["b", "a"]);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Interning then resolving is the identity, and symbol equality
+        /// coincides with string equality.
+        #[test]
+        fn intern_resolve_identity(vals in proptest::collection::vec(".{0,8}", 0..32)) {
+            let mut p = ValuePool::new();
+            let syms: Vec<Symbol> = vals.iter().map(|v| p.intern(v)).collect();
+            for (v, s) in vals.iter().zip(&syms) {
+                prop_assert_eq!(p.resolve(*s), v.as_str());
+            }
+            for i in 0..vals.len() {
+                for j in 0..vals.len() {
+                    prop_assert_eq!(syms[i] == syms[j], vals[i] == vals[j]);
+                }
+            }
+        }
+    }
+}

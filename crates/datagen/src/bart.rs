@@ -1,0 +1,278 @@
+//! BART-style error injection \[4\].
+//!
+//! The paper's Soccer and Adult errors were "introduced with BART", mixing
+//! *typos* and *value swaps* at documented proportions; Hospital's errors
+//! are 'x'-character typos (Appendix A.3: "swapping a character in the
+//! clean cell values with the character 'x'"). This module reproduces
+//! those channels over any clean dataset.
+
+use holo_data::{Dataset, GroundTruth};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How typos are realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypoStyle {
+    /// Replace a random character with `'x'`, or (25% of the time)
+    /// insert an `'x'` — the Hospital channel.
+    XInjection,
+    /// Insert/delete/replace one random lowercase character — the BART
+    /// keyboard-typo channel used for Soccer/Adult/Food/Animal.
+    Keyboard,
+}
+
+/// Error-channel parameters.
+#[derive(Debug, Clone)]
+pub struct ErrorSpec {
+    /// Fraction of *cells* to corrupt.
+    pub cell_rate: f64,
+    /// Of the corrupted cells, the fraction receiving typos; the rest
+    /// receive value swaps.
+    pub typo_frac: f64,
+    /// Typo realization.
+    pub typo_style: TypoStyle,
+    /// Columns eligible for corruption (`None` = all).
+    pub columns: Option<Vec<usize>>,
+}
+
+impl ErrorSpec {
+    /// A plain keyboard-typo channel at `rate`, all typos.
+    pub fn typos(rate: f64) -> Self {
+        ErrorSpec { cell_rate: rate, typo_frac: 1.0, typo_style: TypoStyle::Keyboard, columns: None }
+    }
+}
+
+/// Corrupt a clean dataset, returning the dirty copy and ground truth.
+///
+/// The number of corrupted cells is `round(cell_rate × n_cells)`; cells
+/// are chosen without replacement, and every corruption is guaranteed to
+/// change the value (cells where no change is producible — e.g. a swap
+/// in a constant column — are skipped).
+pub fn inject_errors(clean: &Dataset, spec: &ErrorSpec, seed: u64) -> (Dataset, GroundTruth) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = clean.clone();
+    let eligible_cols: Vec<usize> = match &spec.columns {
+        Some(cols) => cols.clone(),
+        None => (0..clean.n_attrs()).collect(),
+    };
+    let mut cells: Vec<(usize, usize)> = (0..clean.n_tuples())
+        .flat_map(|t| eligible_cols.iter().map(move |&a| (t, a)))
+        .collect();
+    cells.shuffle(&mut rng);
+    let target = ((clean.n_cells() as f64) * spec.cell_rate).round() as usize;
+
+    let mut corrupted = 0usize;
+    for (t, a) in cells {
+        if corrupted >= target {
+            break;
+        }
+        let original = clean.value(t, a).to_owned();
+        let make_typo = rng.random_range(0.0..1.0) < spec.typo_frac;
+        let new_value = if make_typo {
+            typo(&original, spec.typo_style, &mut rng)
+        } else {
+            swap_value(clean, t, a, &mut rng)
+        };
+        let Some(new_value) = new_value else { continue };
+        debug_assert_ne!(new_value, original);
+        dirty.set_value(t, a, &new_value);
+        corrupted += 1;
+    }
+    let truth = GroundTruth::from_pair(clean, &dirty);
+    (dirty, truth)
+}
+
+/// Produce a typo'd version of `v`, or `None` when impossible.
+fn typo(v: &str, style: TypoStyle, rng: &mut StdRng) -> Option<String> {
+    let chars: Vec<char> = v.chars().collect();
+    match style {
+        TypoStyle::XInjection => {
+            if chars.is_empty() {
+                return Some("x".to_owned());
+            }
+            if rng.random_range(0.0..1.0) < 0.25 {
+                // insert an x
+                let pos = rng.random_range(0..=chars.len());
+                let mut out: String = chars[..pos].iter().collect();
+                out.push('x');
+                out.extend(&chars[pos..]);
+                Some(out)
+            } else {
+                // replace a non-'x' character with x
+                let non_x: Vec<usize> =
+                    (0..chars.len()).filter(|&i| chars[i] != 'x').collect();
+                if non_x.is_empty() {
+                    return None;
+                }
+                let pos = non_x[rng.random_range(0..non_x.len())];
+                let mut out = chars.clone();
+                out[pos] = 'x';
+                Some(out.into_iter().collect())
+            }
+        }
+        TypoStyle::Keyboard => {
+            for _ in 0..8 {
+                let out = match rng.random_range(0..3u8) {
+                    0 => {
+                        // insert
+                        let pos = rng.random_range(0..=chars.len());
+                        let c = (rng.random_range(b'a'..=b'z')) as char;
+                        let mut s: String = chars[..pos].iter().collect();
+                        s.push(c);
+                        s.extend(&chars[pos..]);
+                        s
+                    }
+                    1 if !chars.is_empty() => {
+                        // delete
+                        let pos = rng.random_range(0..chars.len());
+                        chars
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != pos)
+                            .map(|(_, &c)| c)
+                            .collect()
+                    }
+                    _ if !chars.is_empty() => {
+                        // replace
+                        let pos = rng.random_range(0..chars.len());
+                        let c = (rng.random_range(b'a'..=b'z')) as char;
+                        let mut out = chars.clone();
+                        out[pos] = c;
+                        out.into_iter().collect()
+                    }
+                    _ => continue,
+                };
+                if out != v {
+                    return Some(out);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Swap the value with a different value from the same column.
+fn swap_value(d: &Dataset, t: usize, a: usize, rng: &mut StdRng) -> Option<String> {
+    let col = d.column(a);
+    let own = d.symbol(t, a);
+    for _ in 0..16 {
+        let s = col[rng.random_range(0..col.len())];
+        if s != own {
+            return Some(d.pool().resolve(s).to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    fn clean() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for i in 0..100 {
+            if i % 2 == 0 {
+                b.push_row(&["60612", "Chicago"]);
+            } else {
+                b.push_row(&["53703", "Madison"]);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn injects_requested_amount() {
+        let d = clean();
+        let (dirty, truth) = inject_errors(&d, &ErrorSpec::typos(0.05), 7);
+        // 200 cells × 5% = 10 errors.
+        assert_eq!(truth.n_errors(), 10);
+        assert!(d.same_shape(&dirty));
+    }
+
+    #[test]
+    fn every_error_changes_the_value() {
+        let d = clean();
+        let (dirty, truth) = inject_errors(&d, &ErrorSpec::typos(0.1), 3);
+        for (cell, true_value) in truth.error_cells() {
+            assert_ne!(dirty.cell_value(cell), true_value);
+            assert_eq!(d.cell_value(cell), true_value);
+        }
+    }
+
+    #[test]
+    fn x_injection_produces_x_typos() {
+        let d = clean();
+        let spec = ErrorSpec {
+            cell_rate: 0.1,
+            typo_frac: 1.0,
+            typo_style: TypoStyle::XInjection,
+            columns: None,
+        };
+        let (dirty, truth) = inject_errors(&d, &spec, 11);
+        for (cell, _) in truth.error_cells() {
+            assert!(
+                dirty.cell_value(cell).contains('x'),
+                "x-typo missing x: {:?}",
+                dirty.cell_value(cell)
+            );
+        }
+    }
+
+    #[test]
+    fn swaps_use_existing_column_values() {
+        let d = clean();
+        let spec = ErrorSpec {
+            cell_rate: 0.1,
+            typo_frac: 0.0, // all swaps
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        };
+        let (dirty, truth) = inject_errors(&d, &spec, 5);
+        assert!(truth.n_errors() > 0);
+        for (cell, _) in truth.error_cells() {
+            let v = dirty.cell_value(cell);
+            // Swapped values come from the same column's clean pool.
+            assert!(
+                d.column(cell.a()).iter().any(|&s| d.pool().resolve(s) == v),
+                "swap produced foreign value {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_restriction_respected() {
+        let d = clean();
+        let spec = ErrorSpec {
+            cell_rate: 0.05,
+            typo_frac: 1.0,
+            typo_style: TypoStyle::Keyboard,
+            columns: Some(vec![1]),
+        };
+        let (_, truth) = inject_errors(&d, &spec, 9);
+        for (cell, _) in truth.error_cells() {
+            assert_eq!(cell.a(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = clean();
+        let (d1, t1) = inject_errors(&d, &ErrorSpec::typos(0.05), 42);
+        let (d2, t2) = inject_errors(&d, &ErrorSpec::typos(0.05), 42);
+        assert_eq!(t1.n_errors(), t2.n_errors());
+        for t in 0..d1.n_tuples() {
+            for a in 0..d1.n_attrs() {
+                assert_eq!(d1.value(t, a), d2.value(t, a));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_clean() {
+        let d = clean();
+        let (_, truth) = inject_errors(&d, &ErrorSpec::typos(0.0), 1);
+        assert_eq!(truth.n_errors(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # holo-datagen
+//!
+//! Synthetic stand-ins for the paper's five evaluation datasets, plus a
+//! BART-style error channel \[4\].
+//!
+//! The originals (Hospital, Food, Soccer, Adult, Animal — Table 1) are
+//! real datasets we cannot redistribute; the experiments, however, only
+//! depend on four properties, all of which the generators reproduce:
+//!
+//! 1. **schema shape** — the attribute counts of Table 1,
+//! 2. **FD/DC structure** — clean data satisfies the denial constraints
+//!    each dataset ships with (violations come only from injected errors),
+//! 3. **error mix** — the documented typo/swap proportions (§6.1:
+//!    Hospital 100% 'x'-typos, Adult 70/30, Soccer 76/24, Food 24/76,
+//!    Animal 51/49),
+//! 4. **class imbalance** — per-dataset cell error rates matching
+//!    Table 1's error counts.
+//!
+//! Row counts are scaled down by default so the full experiment suite
+//! runs on one machine; every generator takes an explicit row count.
+//!
+//! * [`spec`] — per-dataset parameters ([`spec::DatasetKind`]),
+//! * [`words`] — deterministic pseudo-language value pools,
+//! * [`generators`] — the five clean-data generators,
+//! * [`bart`] — the error channel (typos and value swaps).
+
+pub mod bart;
+pub mod generators;
+pub mod spec;
+pub mod words;
+
+pub use bart::{inject_errors, ErrorSpec, TypoStyle};
+pub use generators::{generate, GeneratedDataset};
+pub use spec::DatasetKind;

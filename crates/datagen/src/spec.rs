@@ -1,0 +1,148 @@
+//! Per-dataset parameters mirroring Table 1 and §6.1.
+
+use crate::bart::{ErrorSpec, TypoStyle};
+
+/// The five evaluation datasets of the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 1,000 × 19; artificial 'x'-typos only (504 error cells).
+    Hospital,
+    /// 170,945 × 15; real errors, 24% typos / 76% swaps.
+    Food,
+    /// 200,000 × 10; BART errors, 76% typos / 24% swaps.
+    Soccer,
+    /// 97,684 × 11; BART errors, 70% typos / 30% swaps; extreme imbalance.
+    Adult,
+    /// 60,575 × 14; real errors, 51% typos / 49% swaps.
+    Animal,
+}
+
+impl DatasetKind {
+    /// All datasets in the paper's Table 1 order.
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Hospital,
+        DatasetKind::Food,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+        DatasetKind::Animal,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Hospital => "Hospital",
+            DatasetKind::Food => "Food",
+            DatasetKind::Soccer => "Soccer",
+            DatasetKind::Adult => "Adult",
+            DatasetKind::Animal => "Animal",
+        }
+    }
+
+    /// Attribute count (Table 1).
+    pub fn n_attrs(self) -> usize {
+        match self {
+            DatasetKind::Hospital => 19,
+            DatasetKind::Food => 15,
+            DatasetKind::Soccer => 10,
+            DatasetKind::Adult => 11,
+            DatasetKind::Animal => 14,
+        }
+    }
+
+    /// The paper's row count (Table 1), for reporting.
+    pub fn paper_rows(self) -> usize {
+        match self {
+            DatasetKind::Hospital => 1_000,
+            DatasetKind::Food => 170_945,
+            DatasetKind::Soccer => 200_000,
+            DatasetKind::Adult => 97_684,
+            DatasetKind::Animal => 60_575,
+        }
+    }
+
+    /// Scaled default row count so the full suite runs on one machine.
+    pub fn default_rows(self) -> usize {
+        match self {
+            DatasetKind::Hospital => 1_000, // small in the paper too
+            DatasetKind::Food => 2_000,
+            DatasetKind::Soccer => 3_000,
+            // Adult's error rate is ~0.1% of cells; it needs more rows
+            // than the others for errors to exist in absolute terms.
+            DatasetKind::Adult => 6_000,
+            DatasetKind::Animal => 2_500,
+        }
+    }
+
+    /// Cell-level error rate implied by Table 1
+    /// (`errors / (rows × attrs)`; Food uses its labeled sample).
+    pub fn cell_error_rate(self) -> f64 {
+        match self {
+            DatasetKind::Hospital => 504.0 / (1_000.0 * 19.0),
+            DatasetKind::Food => 1_208.0 / (3_000.0 * 15.0),
+            DatasetKind::Soccer => 31_296.0 / (200_000.0 * 10.0),
+            DatasetKind::Adult => 1_062.0 / (97_684.0 * 11.0),
+            DatasetKind::Animal => 8_077.0 / (60_575.0 * 14.0),
+        }
+    }
+
+    /// Typo fraction of the error mix (§6.1); the rest are value swaps.
+    pub fn typo_frac(self) -> f64 {
+        match self {
+            DatasetKind::Hospital => 1.0,
+            DatasetKind::Food => 0.24,
+            DatasetKind::Soccer => 0.76,
+            DatasetKind::Adult => 0.70,
+            DatasetKind::Animal => 0.51,
+        }
+    }
+
+    /// The full error channel for this dataset.
+    pub fn error_spec(self) -> ErrorSpec {
+        ErrorSpec {
+            cell_rate: self.cell_error_rate(),
+            typo_frac: self.typo_frac(),
+            typo_style: match self {
+                DatasetKind::Hospital => TypoStyle::XInjection,
+                _ => TypoStyle::Keyboard,
+            },
+            columns: None,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        assert_eq!(DatasetKind::ALL.len(), 5);
+        assert_eq!(DatasetKind::Hospital.n_attrs(), 19);
+        assert_eq!(DatasetKind::Soccer.paper_rows(), 200_000);
+    }
+
+    #[test]
+    fn error_rates_sane() {
+        for k in DatasetKind::ALL {
+            let r = k.cell_error_rate();
+            assert!(r > 0.0 && r < 0.05, "{k}: {r}");
+            let tf = k.typo_frac();
+            assert!((0.0..=1.0).contains(&tf));
+        }
+        // Adult is the extreme-imbalance case.
+        assert!(DatasetKind::Adult.cell_error_rate() < 0.002);
+    }
+
+    #[test]
+    fn hospital_is_pure_x_typos() {
+        let spec = DatasetKind::Hospital.error_spec();
+        assert_eq!(spec.typo_frac, 1.0);
+        assert_eq!(spec.typo_style, TypoStyle::XInjection);
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic pseudo-language value pools.
+//!
+//! The generators need diverse, realistic-looking string values (names,
+//! cities, street addresses) whose distributions are reproducible given a
+//! seed. Values are composed from syllables so that typos remain
+//! detectable as format/frequency outliers, just like in real data.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ONSETS: [&str; 16] =
+    ["b", "br", "c", "ch", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v"];
+const VOWELS: [&str; 8] = ["a", "e", "i", "o", "u", "ia", "ea", "oo"];
+const CODAS: [&str; 8] = ["", "n", "r", "s", "l", "m", "ck", "rd"];
+
+/// One pseudo word with the given syllable count, lowercase.
+pub fn pseudo_word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut out = String::new();
+    for _ in 0..syllables.max(1) {
+        out.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        out.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+    }
+    out.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+    out
+}
+
+/// A capitalized pseudo word ("Karalo").
+pub fn pseudo_name(rng: &mut StdRng, syllables: usize) -> String {
+    capitalize(&pseudo_word(rng, syllables))
+}
+
+/// A multi-word phrase ("Karalo Besun Center").
+pub fn pseudo_phrase(rng: &mut StdRng, words: usize) -> String {
+    (0..words.max(1))
+        .map(|_| {
+            let syl = rng.random_range(1..=3);
+            pseudo_name(rng, syl)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A pool of `n` distinct pseudo names.
+pub fn name_pool(rng: &mut StdRng, n: usize, syllables: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < n {
+        let w = pseudo_name(rng, syllables);
+        if seen.insert(w.clone()) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// A zero-padded numeric code of fixed width, e.g. `"04217"`.
+pub fn numeric_code(rng: &mut StdRng, width: u32) -> String {
+    let max = 10u64.pow(width);
+    format!("{:0width$}", rng.random_range(0..max), width = width as usize)
+}
+
+/// A US-style phone number `"(xxx) xxx-xxxx"`.
+pub fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "({}) {}-{}",
+        rng.random_range(200..999),
+        rng.random_range(200..999),
+        rng.random_range(1000..9999)
+    )
+}
+
+/// A street address `"123 Karalo St"`.
+pub fn address(rng: &mut StdRng) -> String {
+    let suffix = ["St", "Ave", "Blvd", "Rd", "Ln"][rng.random_range(0..5)];
+    format!("{} {} {}", rng.random_range(1..9999), pseudo_name(rng, 2), suffix)
+}
+
+/// A date `"2016-03-14"` within 2000–2019.
+pub fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:04}-{:02}-{:02}",
+        rng.random_range(2000..2020),
+        rng.random_range(1..13),
+        rng.random_range(1..29)
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut cs = s.chars();
+    match cs.next() {
+        Some(first) => first.to_uppercase().chain(cs).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn words_are_nonempty_lowercase() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let w = pseudo_word(&mut r, 2);
+            assert!(!w.is_empty());
+            assert_eq!(w, w.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn names_are_capitalized() {
+        let mut r = rng();
+        let n = pseudo_name(&mut r, 2);
+        assert!(n.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn pool_is_distinct() {
+        let mut r = rng();
+        let pool = name_pool(&mut r, 100, 3);
+        let mut dedup = pool.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+    }
+
+    #[test]
+    fn numeric_code_has_width() {
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(numeric_code(&mut r, 5).len(), 5);
+        }
+    }
+
+    #[test]
+    fn formats_look_right() {
+        let mut r = rng();
+        assert!(phone(&mut r).starts_with('('));
+        assert!(date(&mut r).len() == 10);
+        assert!(address(&mut r).contains(' '));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(pseudo_phrase(&mut a, 3), pseudo_phrase(&mut b, 3));
+    }
+}

@@ -1,0 +1,131 @@
+//! Corpus builders: the four dataset views the paper embeds.
+//!
+//! Appendix A.1: "embeddings are taken at a character, cell and tuple
+//! level tokens"; the neighbourhood model additionally uses "a FastText
+//! tuple embedding over the non-tokenized attribute values" where "each
+//! tuple in D is considered to be a document" treated as a bag of words.
+
+use holo_data::Dataset;
+use holo_text::{char_tokens, word_tokens};
+
+/// Character-level corpus: one sentence per cell, tokens are characters.
+/// Powers the character sequence model.
+pub fn char_corpus(d: &Dataset) -> Vec<Vec<String>> {
+    let mut out = Vec::with_capacity(d.n_cells());
+    for t in 0..d.n_tuples() {
+        for a in 0..d.n_attrs() {
+            let toks = char_tokens(d.value(t, a));
+            if !toks.is_empty() {
+                out.push(toks);
+            }
+        }
+    }
+    out
+}
+
+/// Word-token corpus: one sentence per cell, tokens are in-cell words.
+/// Powers the token sequence model.
+pub fn token_corpus(d: &Dataset) -> Vec<Vec<String>> {
+    let mut out = Vec::with_capacity(d.n_cells());
+    for t in 0..d.n_tuples() {
+        for a in 0..d.n_attrs() {
+            let toks = word_tokens(d.value(t, a));
+            if !toks.is_empty() {
+                out.push(toks);
+            }
+        }
+    }
+    out
+}
+
+/// Tuple-as-document corpus: one sentence per tuple, tokens are the word
+/// tokens of every cell. Trained with a whole-sentence window so the
+/// order of attributes does not matter (the paper's bag-of-words
+/// treatment). Powers the tuple representation.
+pub fn tuple_bag_corpus(d: &Dataset) -> Vec<Vec<String>> {
+    let mut out = Vec::with_capacity(d.n_tuples());
+    for t in 0..d.n_tuples() {
+        let mut sent = Vec::new();
+        for a in 0..d.n_attrs() {
+            sent.extend(word_tokens(d.value(t, a)));
+        }
+        if !sent.is_empty() {
+            out.push(sent);
+        }
+    }
+    out
+}
+
+/// Tuple documents over *non-tokenized* attribute values: each whole cell
+/// value is one token. Powers the neighbourhood representation, where the
+/// question is "is there some similar whole value elsewhere in D?".
+/// Values are prefixed with their attribute index (`3:value`) so equal
+/// strings in different columns stay distinct tokens.
+pub fn value_token_corpus(d: &Dataset) -> Vec<Vec<String>> {
+    let mut out = Vec::with_capacity(d.n_tuples());
+    for t in 0..d.n_tuples() {
+        let mut sent = Vec::with_capacity(d.n_attrs());
+        for a in 0..d.n_attrs() {
+            sent.push(value_token(a, d.value(t, a)));
+        }
+        out.push(sent);
+    }
+    out
+}
+
+/// The namespaced token for `(attribute, value)` in the value-token view.
+pub fn value_token(attr: usize, value: &str) -> String {
+    format!("{attr}:{value}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["City", "State"]));
+        b.push_row(&["EVP Coffee", "IL"]);
+        b.push_row(&["", "WI"]); // empty cell
+        b.build()
+    }
+
+    #[test]
+    fn char_corpus_one_sentence_per_nonempty_cell() {
+        let c = char_corpus(&toy());
+        assert_eq!(c.len(), 3); // empty cell skipped
+        assert_eq!(c[0].len(), "EVP Coffee".chars().count());
+    }
+
+    #[test]
+    fn token_corpus_tokenizes_cells() {
+        let c = token_corpus(&toy());
+        assert_eq!(c[0], vec!["evp", "coffee"]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn tuple_bag_merges_attributes() {
+        let c = tuple_bag_corpus(&toy());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], vec!["evp", "coffee", "il"]);
+        assert_eq!(c[1], vec!["wi"]);
+    }
+
+    #[test]
+    fn value_tokens_are_namespaced() {
+        let c = value_token_corpus(&toy());
+        assert_eq!(c[0], vec!["0:EVP Coffee", "1:IL"]);
+        assert_eq!(c[1], vec!["0:", "1:WI"]);
+        assert_eq!(value_token(1, "IL"), "1:IL");
+    }
+
+    #[test]
+    fn empty_dataset_gives_empty_corpora() {
+        let d = DatasetBuilder::new(Schema::new(["A"])).build();
+        assert!(char_corpus(&d).is_empty());
+        assert!(token_corpus(&d).is_empty());
+        assert!(tuple_bag_corpus(&d).is_empty());
+        assert!(value_token_corpus(&d).is_empty());
+    }
+}

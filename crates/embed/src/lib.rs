@@ -1,0 +1,30 @@
+//! # holo-embed
+//!
+//! FastText-style distributed representations, trained on corpora derived
+//! from the input dataset.
+//!
+//! Appendix A.1 of the paper: "The embeddings are taken at a character,
+//! cell and tuple level tokens, and each uses a FastText Embedding in 50
+//! dimensions". FastText \[7, 32\] is skip-gram with negative sampling plus
+//! hashed subword n-grams, which is exactly what this crate implements:
+//!
+//! * [`vocab::Vocab`] — token vocabulary with counts and a hashed
+//!   subword-bucket space,
+//! * [`skipgram`] — the SGNS trainer ([`skipgram::SkipGramConfig`],
+//!   [`skipgram::Embedding`]), deterministic given a seed,
+//! * [`corpus`] — corpus builders for the four views the paper uses:
+//!   per-cell character sequences, per-cell word-token sequences,
+//!   tuple-as-bag-of-words documents, and tuple documents over
+//!   *non-tokenized* attribute values (for the neighbourhood model),
+//! * [`nearest`] — top-1 cosine-distance queries for the neighbourhood
+//!   representation.
+
+pub mod corpus;
+pub mod nearest;
+pub mod skipgram;
+pub mod vocab;
+
+pub use corpus::{char_corpus, token_corpus, tuple_bag_corpus, value_token_corpus};
+pub use nearest::nearest_distance;
+pub use skipgram::{Embedding, SkipGramConfig};
+pub use vocab::Vocab;

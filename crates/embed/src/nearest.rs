@@ -1,0 +1,104 @@
+//! Top-1 nearest-neighbour distance for the neighbourhood representation.
+//!
+//! Appendix A.1: "we simply take the minimum distance to another
+//! embedding in our corpus, and this distance is fed to the joint
+//! representation". The intuition: an erroneous cell often has a nearby
+//! *correct* twin somewhere in the dataset, so a small distance to some
+//! other value is a useful signal.
+//!
+//! A full scan over all distinct values is `O(V·d)` per query; for large
+//! vocabularies the candidate set is deterministically strided down to
+//! [`MAX_CANDIDATES`], which preserves the distance distribution well
+//! enough for a 1-dimensional feature (documented substitution; the
+//! paper's prototype did the full scan in optimized C).
+
+use crate::skipgram::{cosine, Embedding};
+
+/// Cap on scanned candidates per query.
+pub const MAX_CANDIDATES: usize = 2048;
+
+/// Cosine *distance* (`1 − similarity`) from `token` to its nearest
+/// other candidate token. Returns `1.0` (maximally far) when there are
+/// no other candidates or the token has a zero vector.
+pub fn nearest_distance(emb: &Embedding, token: &str, candidates: &[String]) -> f32 {
+    let query = emb.vector(token);
+    if query.iter().all(|&x| x == 0.0) {
+        return 1.0;
+    }
+    let stride = (candidates.len() / MAX_CANDIDATES).max(1);
+    let mut best = f32::NEG_INFINITY;
+    let mut i = 0;
+    while i < candidates.len() {
+        let c = &candidates[i];
+        i += stride;
+        if c == token {
+            continue;
+        }
+        let sim = cosine(&query, &emb.vector(c));
+        if sim > best {
+            best = sim;
+        }
+    }
+    if best == f32::NEG_INFINITY {
+        return 1.0;
+    }
+    (1.0 - best).clamp(0.0, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skipgram::SkipGramConfig;
+
+    fn corpus() -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        for _ in 0..40 {
+            out.push(vec!["0:chicago".into(), "1:il".into()]);
+            out.push(vec!["0:madison".into(), "1:wi".into()]);
+        }
+        out
+    }
+
+    fn emb() -> Embedding {
+        Embedding::train(
+            &corpus(),
+            &SkipGramConfig { dim: 12, epochs: 6, buckets: 128, window: None, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn distance_to_self_excluded() {
+        let e = emb();
+        let cands = vec!["0:chicago".to_owned()];
+        // Only candidate is the token itself: maximally far.
+        assert_eq!(nearest_distance(&e, "0:chicago", &cands), 1.0);
+    }
+
+    #[test]
+    fn near_twin_has_smaller_distance_than_stranger() {
+        let e = emb();
+        let cands = vec!["0:chicago".to_owned(), "0:madison".to_owned()];
+        // A typo of chicago is closer to the candidate set than a random
+        // unrelated string (subword sharing).
+        let d_typo = nearest_distance(&e, "0:chicagq", &cands);
+        let d_stranger = nearest_distance(&e, "0:zzzzqqq", &cands);
+        assert!(d_typo < d_stranger, "{d_typo} vs {d_stranger}");
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let e = emb();
+        assert_eq!(nearest_distance(&e, "0:chicago", &[]), 1.0);
+    }
+
+    #[test]
+    fn distance_in_valid_range() {
+        let e = emb();
+        let cands: Vec<String> =
+            ["0:chicago", "0:madison", "1:il", "1:wi"].iter().map(|s| s.to_string()).collect();
+        for c in &cands {
+            let d = nearest_distance(&e, c, &cands);
+            assert!((0.0..=2.0).contains(&d), "distance out of range: {d}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The detector abstraction every method implements.
+//!
+//! Table 2 compares nine methods; the experiment binaries drive them all
+//! through this one trait so splits, seeding, and scoring stay identical
+//! across methods.
+
+use holo_constraints::DenialConstraint;
+use holo_data::{CellId, Dataset, Label, TrainingSet};
+
+/// Everything a detector may use for one run.
+pub struct DetectionContext<'a> {
+    /// The dirty dataset `D`.
+    pub dirty: &'a Dataset,
+    /// The labeled training set `T` (empty for unsupervised baselines).
+    pub train: &'a TrainingSet,
+    /// The labeled sampling pool for active learning (`None` otherwise).
+    pub sampling: Option<&'a TrainingSet>,
+    /// Denial constraints `Σ` (may be empty).
+    pub constraints: &'a [DenialConstraint],
+    /// The cells to classify.
+    pub eval_cells: &'a [CellId],
+    /// Per-run seed for any internal randomness.
+    pub seed: u64,
+}
+
+/// An error-detection method: classify every cell in
+/// [`DetectionContext::eval_cells`].
+pub trait Detector {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Produce one label per eval cell, in the same order.
+    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A detector that marks everything as the fixed label — useful for
+    /// harness tests and as a degenerate baseline.
+    pub struct ConstantDetector(pub Label);
+
+    impl Detector for ConstantDetector {
+        fn name(&self) -> &'static str {
+            "Constant"
+        }
+
+        fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+            vec![self.0; ctx.eval_cells.len()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::ConstantDetector;
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    #[test]
+    fn constant_detector_labels_everything() {
+        let mut b = DatasetBuilder::new(Schema::new(["A"]));
+        b.push_row(&["x"]);
+        b.push_row(&["y"]);
+        let d = b.build();
+        let train = TrainingSet::new();
+        let cells = vec![CellId::new(0, 0), CellId::new(1, 0)];
+        let ctx = DetectionContext {
+            dirty: &d,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            eval_cells: &cells,
+            seed: 0,
+        };
+        let mut det = ConstantDetector(Label::Error);
+        assert_eq!(det.detect(&ctx), vec![Label::Error, Label::Error]);
+        assert_eq!(det.name(), "Constant");
+    }
+}

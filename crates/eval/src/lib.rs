@@ -1,0 +1,30 @@
+//! # holo-eval
+//!
+//! The evaluation harness of §6.1:
+//!
+//! * [`metrics`] — precision / recall / F1 from cell-level predictions,
+//! * [`stats`] — median / mean / standard-error summaries over the
+//!   paper's 10-seed runs,
+//! * [`splits`] — the train / sampling / test split protocol ("a training
+//!   set T, from which 10% is always kept as a hold-out set…; a sampling
+//!   set, which is used to obtain additional labels for active learning;
+//!   and a test set"),
+//! * [`detector`] — the `Detector` trait every method (AUG and all
+//!   baselines) implements, so the experiment binaries drive them
+//!   uniformly,
+//! * [`runner`] — multi-seed experiment execution,
+//! * [`report`] — fixed-width tables for the experiment binaries.
+
+pub mod detector;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod splits;
+pub mod stats;
+
+pub use detector::{DetectionContext, Detector};
+pub use metrics::Confusion;
+pub use report::Table;
+pub use runner::{run_seeds, RunSummary};
+pub use splits::{Split, SplitConfig};
+pub use stats::{summarize, Summary};

@@ -1,0 +1,170 @@
+//! Precision / recall / F1 over cell-level predictions.
+//!
+//! §6.1: "Precision (P) is the fraction of error predictions that are
+//! correct; Recall (R) is the fraction of true errors being predicted
+//! as errors"; F1 is their harmonic mean. The *error* class is the
+//! positive class everywhere.
+
+use holo_data::{CellId, GroundTruth, Label};
+
+/// A binary confusion matrix with error = positive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted error, truly error.
+    pub tp: usize,
+    /// Predicted error, truly correct.
+    pub fp: usize,
+    /// Predicted correct, truly correct.
+    pub tn: usize,
+    /// Predicted correct, truly error.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against ground truth.
+    pub fn from_predictions<'a, I>(predictions: I, truth: &GroundTruth) -> Self
+    where
+        I: IntoIterator<Item = (CellId, Label)>,
+    {
+        let mut c = Confusion::default();
+        for (cell, pred) in predictions {
+            c.record(pred, truth.label(cell));
+        }
+        c
+    }
+
+    /// Record one prediction.
+    pub fn record(&mut self, predicted: Label, actual: Label) {
+        match (predicted, actual) {
+            (Label::Error, Label::Error) => self.tp += 1,
+            (Label::Error, Label::Correct) => self.fp += 1,
+            (Label::Correct, Label::Correct) => self.tn += 1,
+            (Label::Correct, Label::Error) => self.fn_ += 1,
+        }
+    }
+
+    /// Fraction of error predictions that are correct. Defined as 0 when
+    /// nothing was predicted as an error.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of true errors predicted as errors. Defined as 0 when the
+    /// test set has no errors.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total predictions tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+    use std::collections::HashMap;
+
+    fn truth_with_one_error() -> GroundTruth {
+        let mut cb = DatasetBuilder::new(Schema::new(["A"]));
+        cb.push_row(&["x"]);
+        cb.push_row(&["y"]);
+        cb.push_row(&["z"]);
+        let clean = cb.build();
+        let mut dirty = clean.clone();
+        dirty.set_value(1, 0, "q");
+        GroundTruth::from_pair(&clean, &dirty)
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = truth_with_one_error();
+        let preds = vec![
+            (CellId::new(0, 0), Label::Correct),
+            (CellId::new(1, 0), Label::Error),
+            (CellId::new(2, 0), Label::Correct),
+        ];
+        let c = Confusion::from_predictions(preds, &truth);
+        assert_eq!((c.precision(), c.recall(), c.f1()), (1.0, 1.0, 1.0));
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn all_error_predictions_have_low_precision() {
+        let truth = truth_with_one_error();
+        let preds: Vec<_> = (0..3).map(|t| (CellId::new(t, 0), Label::Error)).collect();
+        let c = Confusion::from_predictions(preds, &truth);
+        assert!((c.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn all_correct_predictions_have_zero_recall() {
+        let truth = truth_with_one_error();
+        let preds: Vec<_> = (0..3).map(|t| (CellId::new(t, 0), Label::Correct)).collect();
+        let c = Confusion::from_predictions(preds, &truth);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_predictions() {
+        let truth = truth_with_one_error();
+        let c = Confusion::from_predictions(HashMap::new(), &truth);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let c = Confusion { tp: 1, fp: 1, tn: 0, fn_: 3 };
+        // p = 0.5, r = 0.25 → f1 = 2·0.125/0.75 = 1/3
+        assert!((c.f1() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// P, R, F1 always in \[0,1\]; F1 between min and max of P and R
+        /// when both are nonzero.
+        #[test]
+        fn metric_bounds(tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50) {
+            let c = Confusion { tp, fp, tn, fn_ };
+            for m in [c.precision(), c.recall(), c.f1()] {
+                prop_assert!((0.0..=1.0).contains(&m));
+            }
+            let (p, r) = (c.precision(), c.recall());
+            if p > 0.0 && r > 0.0 {
+                prop_assert!(c.f1() <= p.max(r) + 1e-12);
+                prop_assert!(c.f1() >= p.min(r) - 1e-12);
+            }
+        }
+    }
+}

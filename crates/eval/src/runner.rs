@@ -1,0 +1,177 @@
+//! Multi-seed experiment execution.
+//!
+//! One "run" = one split seed: split tuples, label `T` (and the sampling
+//! pool), detect over the test cells, score. [`run_seeds`] repeats this
+//! for a seed list and reports the median run (the paper's convention of
+//! reporting a coupled P/R/F1 triple from the actual median-F1 run) plus
+//! mean/stderr.
+
+use crate::detector::{DetectionContext, Detector};
+use crate::metrics::Confusion;
+use crate::splits::{Split, SplitConfig};
+use crate::stats::{median_index, summarize, Summary};
+use holo_constraints::DenialConstraint;
+use holo_data::{Dataset, GroundTruth, Label};
+
+/// Aggregated result of a multi-seed experiment.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Method name.
+    pub method: &'static str,
+    /// P/R/F1 of the median-F1 run (coupled triple).
+    pub precision: f64,
+    /// See [`RunSummary::precision`].
+    pub recall: f64,
+    /// See [`RunSummary::precision`].
+    pub f1: f64,
+    /// F1 summary across runs (median/mean/stderr).
+    pub f1_summary: Summary,
+    /// Per-run confusions, in seed order.
+    pub runs: Vec<Confusion>,
+    /// Mean wall-clock seconds per run.
+    pub secs_per_run: f64,
+}
+
+/// Run `detector` once per seed and summarize.
+pub fn run_seeds(
+    detector: &mut dyn Detector,
+    dirty: &Dataset,
+    truth: &GroundTruth,
+    constraints: &[DenialConstraint],
+    split: SplitConfig,
+    seeds: &[u64],
+) -> RunSummary {
+    assert!(!seeds.is_empty(), "at least one seed required");
+    let mut runs = Vec::with_capacity(seeds.len());
+    let started = std::time::Instant::now();
+    for &seed in seeds {
+        let cfg = SplitConfig { seed, ..split };
+        let s = Split::new(dirty, cfg);
+        let train = s.training_set(dirty, truth);
+        let sampling = s.sampling_set(dirty, truth);
+        let eval_cells = s.test_cells(dirty);
+        let ctx = DetectionContext {
+            dirty,
+            train: &train,
+            sampling: Some(&sampling),
+            constraints,
+            eval_cells: &eval_cells,
+            seed,
+        };
+        let labels = detector.detect(&ctx);
+        assert_eq!(labels.len(), eval_cells.len(), "detector output arity");
+        let mut c = Confusion::default();
+        for (cell, pred) in eval_cells.iter().zip(&labels) {
+            c.record(*pred, truth.label(*cell));
+        }
+        runs.push(c);
+    }
+    let elapsed = started.elapsed().as_secs_f64() / seeds.len() as f64;
+    summarize_runs(detector.name(), runs, elapsed)
+}
+
+/// Build a [`RunSummary`] from per-run confusions.
+pub fn summarize_runs(method: &'static str, runs: Vec<Confusion>, secs_per_run: f64) -> RunSummary {
+    let f1s: Vec<f64> = runs.iter().map(Confusion::f1).collect();
+    let mi = median_index(&f1s).unwrap_or(0);
+    let median_run = runs.get(mi).copied().unwrap_or_default();
+    RunSummary {
+        method,
+        precision: median_run.precision(),
+        recall: median_run.recall(),
+        f1: median_run.f1(),
+        f1_summary: summarize(&f1s),
+        runs,
+        secs_per_run,
+    }
+}
+
+/// Convenience: predictions from a set of flagged cells (everything else
+/// is labeled correct) — many baselines produce flag-sets.
+pub fn labels_from_flags(
+    eval_cells: &[holo_data::CellId],
+    flagged: &std::collections::HashSet<holo_data::CellId>,
+) -> Vec<Label> {
+    eval_cells
+        .iter()
+        .map(|c| if flagged.contains(c) { Label::Error } else { Label::Correct })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::test_support::ConstantDetector;
+    use holo_data::{CellId, DatasetBuilder, Schema};
+    use std::collections::HashSet;
+
+    fn world() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new(Schema::new(["A", "B"]));
+        for i in 0..40 {
+            b.push_row(&[format!("a{}", i % 5), format!("b{}", i % 5)]);
+        }
+        let clean = b.build();
+        let mut dirty = clean.clone();
+        for t in [3, 17, 29] {
+            dirty.set_value(t, 0, "oops");
+        }
+        let truth = GroundTruth::from_pair(&clean, &dirty);
+        (dirty, truth)
+    }
+
+    #[test]
+    fn all_error_detector_has_full_recall() {
+        let (dirty, truth) = world();
+        let mut det = ConstantDetector(Label::Error);
+        let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.1, seed: 0 };
+        let s = run_seeds(&mut det, &dirty, &truth, &[], split, &[1, 2, 3]);
+        assert_eq!(s.runs.len(), 3);
+        // Every error in the test split is caught…
+        for run in &s.runs {
+            assert_eq!(run.fn_, 0);
+        }
+        // …at terrible precision.
+        assert!(s.precision < 0.2);
+        assert!(s.secs_per_run >= 0.0);
+    }
+
+    #[test]
+    fn all_correct_detector_scores_zero() {
+        let (dirty, truth) = world();
+        let mut det = ConstantDetector(Label::Correct);
+        let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 0 };
+        let s = run_seeds(&mut det, &dirty, &truth, &[], split, &[7]);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn labels_from_flags_roundtrip() {
+        let cells = vec![CellId::new(0, 0), CellId::new(1, 0), CellId::new(2, 0)];
+        let flagged: HashSet<CellId> = [CellId::new(1, 0)].into_iter().collect();
+        let labels = labels_from_flags(&cells, &flagged);
+        assert_eq!(labels, vec![Label::Correct, Label::Error, Label::Correct]);
+    }
+
+    #[test]
+    fn median_run_is_coupled() {
+        // Three runs with distinct f1s: the summary triple must come from
+        // the median run, not be element-wise medians.
+        let runs = vec![
+            Confusion { tp: 1, fp: 0, tn: 10, fn_: 9 },  // r=0.1, p=1.0
+            Confusion { tp: 5, fp: 5, tn: 5, fn_: 5 },   // p=r=0.5
+            Confusion { tp: 10, fp: 0, tn: 10, fn_: 0 }, // perfect
+        ];
+        let s = summarize_runs("test", runs, 0.0);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panics() {
+        let (dirty, truth) = world();
+        let mut det = ConstantDetector(Label::Error);
+        let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 0 };
+        run_seeds(&mut det, &dirty, &truth, &[], split, &[]);
+    }
+}

@@ -1,0 +1,160 @@
+//! The split protocol of §6.1.
+//!
+//! Tuples are partitioned into three disjoint sets: a **training set**
+//! (whose cells are labeled to form `T`), a **sampling set** (the label
+//! source for active-learning loops), and a **test set** (evaluation).
+//! Training-set sizes in the paper are tuple fractions ("we set the
+//! amount of training data to be 5% of the total dataset").
+
+use holo_data::{CellId, Dataset, GroundTruth, TrainingSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Fraction of tuples whose cells form the training set `T`.
+    pub train_frac: f64,
+    /// Fraction of tuples reserved as the active-learning sampling set.
+    pub sampling_frac: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl SplitConfig {
+    /// The paper's default: 5% training, 20% sampling pool.
+    pub fn paper_default(seed: u64) -> Self {
+        SplitConfig { train_frac: 0.05, sampling_frac: 0.20, seed }
+    }
+}
+
+/// A tuple-level split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Tuples whose cells are labeled as `T`.
+    pub train_tuples: Vec<usize>,
+    /// Tuples available to active learning for extra labels.
+    pub sampling_tuples: Vec<usize>,
+    /// Tuples evaluated on.
+    pub test_tuples: Vec<usize>,
+}
+
+impl Split {
+    /// Randomly split the dataset's tuples.
+    pub fn new(d: &Dataset, cfg: SplitConfig) -> Self {
+        let n = d.n_tuples();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        order.shuffle(&mut rng);
+        let n_train = ((n as f64) * cfg.train_frac).round().max(1.0) as usize;
+        let n_sampling = ((n as f64) * cfg.sampling_frac).round() as usize;
+        let n_train = n_train.min(n);
+        let n_sampling = n_sampling.min(n - n_train);
+        Split {
+            train_tuples: order[..n_train].to_vec(),
+            sampling_tuples: order[n_train..n_train + n_sampling].to_vec(),
+            test_tuples: order[n_train + n_sampling..].to_vec(),
+        }
+    }
+
+    /// The labeled training set `T` over the train tuples.
+    pub fn training_set(&self, dirty: &Dataset, truth: &GroundTruth) -> TrainingSet {
+        truth.label_tuples(dirty, &self.train_tuples)
+    }
+
+    /// The labeled sampling pool (for active learning).
+    pub fn sampling_set(&self, dirty: &Dataset, truth: &GroundTruth) -> TrainingSet {
+        truth.label_tuples(dirty, &self.sampling_tuples)
+    }
+
+    /// The evaluation cells: every cell of every test tuple.
+    pub fn test_cells(&self, d: &Dataset) -> Vec<CellId> {
+        let na = d.n_attrs();
+        let mut out = Vec::with_capacity(self.test_tuples.len() * na);
+        for &t in &self.test_tuples {
+            for a in 0..na {
+                out.push(CellId::new(t, a));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["A", "B"]));
+        for i in 0..n {
+            b.push_row(&[format!("a{i}"), format!("b{i}")]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let d = dataset(100);
+        let s = Split::new(&d, SplitConfig { train_frac: 0.1, sampling_frac: 0.2, seed: 3 });
+        assert_eq!(s.train_tuples.len(), 10);
+        assert_eq!(s.sampling_tuples.len(), 20);
+        assert_eq!(s.test_tuples.len(), 70);
+        let mut all: Vec<usize> = s
+            .train_tuples
+            .iter()
+            .chain(&s.sampling_tuples)
+            .chain(&s.test_tuples)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn at_least_one_training_tuple() {
+        let d = dataset(5);
+        let s = Split::new(&d, SplitConfig { train_frac: 0.001, sampling_frac: 0.0, seed: 1 });
+        assert_eq!(s.train_tuples.len(), 1);
+    }
+
+    #[test]
+    fn test_cells_cover_all_attrs() {
+        let d = dataset(10);
+        let s = Split::new(&d, SplitConfig { train_frac: 0.2, sampling_frac: 0.0, seed: 5 });
+        let cells = s.test_cells(&d);
+        assert_eq!(cells.len(), 8 * 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset(50);
+        let cfg = SplitConfig::paper_default(9);
+        let a = Split::new(&d, cfg);
+        let b = Split::new(&d, cfg);
+        assert_eq!(a.train_tuples, b.train_tuples);
+        assert_eq!(a.test_tuples, b.test_tuples);
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let d = dataset(50);
+        let a = Split::new(&d, SplitConfig::paper_default(1));
+        let b = Split::new(&d, SplitConfig::paper_default(2));
+        assert_ne!(a.train_tuples, b.train_tuples);
+    }
+
+    #[test]
+    fn training_set_labels_whole_tuples() {
+        let clean = dataset(20);
+        let mut dirty = clean.clone();
+        dirty.set_value(0, 1, "broken");
+        let truth = GroundTruth::from_pair(&clean, &dirty);
+        let s = Split::new(&dirty, SplitConfig { train_frac: 1.0, sampling_frac: 0.0, seed: 2 });
+        let t = s.training_set(&dirty, &truth);
+        assert_eq!(t.len(), 40);
+        let (_, errors) = t.class_counts();
+        assert_eq!(errors, 1);
+    }
+}

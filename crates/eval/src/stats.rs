@@ -1,0 +1,99 @@
+//! Summary statistics over multi-seed runs.
+//!
+//! §6.1: "we perform 10 runs with different random seeds for each
+//! experiment… we report the median performance. The mean performance
+//! along with standard error measurements are reported in the Appendix."
+
+/// Median / mean / standard error of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// The median (lower-middle element for even sizes, matching the
+    /// paper's "maintain the coupling amongst Precision, Recall, and F1"
+    /// convention of picking an actual run).
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard error of the mean (0 for samples of size < 2).
+    pub stderr: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Summarize a sample. Empty samples yield all-zero summaries.
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary { median: 0.0, mean: 0.0, stderr: 0.0, n };
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[(n - 1) / 2];
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let stderr = if n < 2 {
+        0.0
+    } else {
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (var / n as f64).sqrt()
+    };
+    Summary { median, mean, stderr, n }
+}
+
+/// Index of the median element in `values` (lower-middle), so callers can
+/// report the P/R/F1 triple of the *same run* (the paper's coupling
+/// convention).
+pub fn median_index(values: &[f64]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    Some(idx[(values.len() - 1) / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_sample_median() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn even_sample_takes_lower_middle() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[0.5]);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.stderr, 0.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn stderr_shrinks_with_n() {
+        let small = summarize(&[0.0, 1.0]);
+        let large = summarize(&[0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!(large.stderr < small.stderr);
+    }
+
+    #[test]
+    fn median_index_points_at_median() {
+        let vals = [0.9, 0.1, 0.5];
+        let i = median_index(&vals).unwrap();
+        assert_eq!(vals[i], 0.5);
+        assert_eq!(median_index(&[]), None);
+    }
+}

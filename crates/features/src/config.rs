@@ -1,0 +1,160 @@
+//! Featurizer configuration and the ablation component enumeration.
+
+use holo_embed::SkipGramConfig;
+
+/// The removable representation models of the Figure 3 ablation study.
+/// Grouped by context exactly as the paper groups its bars: attribute
+/// (first four), tuple (next two), dataset (last two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Attribute-level: character sequence model (char embedding branch).
+    CharEmbedding,
+    /// Attribute-level: token sequence model (word embedding branch).
+    WordEmbedding,
+    /// Attribute-level: format models (3-gram + symbolic 3-gram).
+    FormatModels,
+    /// Attribute-level: empirical distribution models (value frequency +
+    /// column id).
+    EmpiricalModels,
+    /// Tuple-level: pairwise co-occurrence statistics.
+    Cooccurrence,
+    /// Tuple-level: tuple embedding branch.
+    TupleEmbedding,
+    /// Dataset-level: per-constraint violation counts.
+    ConstraintViolations,
+    /// Dataset-level: neighbourhood model (top-1 distance + value
+    /// embedding branch).
+    Neighborhood,
+}
+
+impl Component {
+    /// All components, in the paper's Figure 3 ordering.
+    pub const ALL: [Component; 8] = [
+        Component::CharEmbedding,
+        Component::WordEmbedding,
+        Component::FormatModels,
+        Component::EmpiricalModels,
+        Component::Cooccurrence,
+        Component::TupleEmbedding,
+        Component::ConstraintViolations,
+        Component::Neighborhood,
+    ];
+
+    /// The context group, for reporting ("Attribute", "Tuple", "Dataset").
+    pub fn context(self) -> &'static str {
+        match self {
+            Component::CharEmbedding
+            | Component::WordEmbedding
+            | Component::FormatModels
+            | Component::EmpiricalModels => "Attribute",
+            Component::Cooccurrence | Component::TupleEmbedding => "Tuple",
+            Component::ConstraintViolations | Component::Neighborhood => "Dataset",
+        }
+    }
+
+    /// Short display name matching the paper's Figure 3 labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::CharEmbedding => "char-seq",
+            Component::WordEmbedding => "word-seq",
+            Component::FormatModels => "format",
+            Component::EmpiricalModels => "empirical",
+            Component::Cooccurrence => "co-occur",
+            Component::TupleEmbedding => "tuple-emb",
+            Component::ConstraintViolations => "violations",
+            Component::Neighborhood => "neighborhood",
+        }
+    }
+}
+
+/// Configuration for [`crate::Featurizer::fit`].
+#[derive(Debug, Clone)]
+pub struct FeatureConfig {
+    /// Skip-gram settings shared by the four embedding models (the
+    /// paper's 50 dimensions by default).
+    pub embed: SkipGramConfig,
+    /// Components removed from the representation (Figure 3 ablations).
+    pub disabled: Vec<Component>,
+    /// n-gram order for the format models (paper: 3).
+    pub ngram_order: usize,
+    /// Laplace smoothing for co-occurrence conditionals.
+    pub smoothing: f64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            embed: SkipGramConfig {
+                dim: 50,
+                epochs: 3,
+                window: Some(3),
+                buckets: 1 << 13,
+                ..SkipGramConfig::default()
+            },
+            disabled: Vec::new(),
+            ngram_order: 3,
+            smoothing: 1.0,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        FeatureConfig {
+            embed: SkipGramConfig {
+                dim: 16,
+                epochs: 2,
+                window: Some(3),
+                buckets: 512,
+                ..SkipGramConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Whether a component is enabled.
+    pub fn enabled(&self, c: Component) -> bool {
+        !self.disabled.contains(&c)
+    }
+
+    /// Builder: disable one component (ablation).
+    pub fn without(mut self, c: Component) -> Self {
+        if !self.disabled.contains(&c) {
+            self.disabled.push(c);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_components_have_groups() {
+        assert_eq!(Component::ALL.len(), 8);
+        let attr = Component::ALL.iter().filter(|c| c.context() == "Attribute").count();
+        let tup = Component::ALL.iter().filter(|c| c.context() == "Tuple").count();
+        let ds = Component::ALL.iter().filter(|c| c.context() == "Dataset").count();
+        assert_eq!((attr, tup, ds), (4, 2, 2));
+    }
+
+    #[test]
+    fn without_disables() {
+        let cfg = FeatureConfig::fast().without(Component::Neighborhood);
+        assert!(!cfg.enabled(Component::Neighborhood));
+        assert!(cfg.enabled(Component::CharEmbedding));
+        // idempotent
+        let cfg2 = cfg.without(Component::Neighborhood);
+        assert_eq!(cfg2.disabled.len(), 1);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = Component::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+}

@@ -1,0 +1,454 @@
+//! The featurizer: fits every representation model over a dataset and
+//! produces per-cell feature vectors, with hypothetical-value support.
+
+use crate::config::{Component, FeatureConfig};
+use crate::layout::FeatureLayout;
+use crate::wide::{CoocModel, EmpiricalModel, LengthModel, NgramModel};
+use holo_constraints::{DenialConstraint, ViolationEngine};
+use holo_data::{CellId, Dataset};
+use holo_embed::corpus::{self, value_token};
+use holo_embed::{nearest_distance, Embedding, SkipGramConfig};
+use holo_text::{char_tokens, word_tokens};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+
+/// The fitted representation model `Q`.
+///
+/// Fit once per dataset ([`Featurizer::fit`]); query per cell with
+/// [`Featurizer::features`] or, for augmented examples,
+/// [`Featurizer::features_with_value`]. All queries are `&self` and
+/// thread-safe, so batch featurization parallelizes with scoped threads.
+pub struct Featurizer {
+    cfg: FeatureConfig,
+    layout: FeatureLayout,
+    n_attrs: usize,
+    // Attribute-level wide models (per column).
+    ngram: Vec<NgramModel>,
+    sym_ngram: Vec<NgramModel>,
+    length: Vec<LengthModel>,
+    empirical: Vec<EmpiricalModel>,
+    // Tuple-level.
+    cooc: Option<CoocModel>,
+    // Dataset-level.
+    violations: Option<ViolationEngine>,
+    n_constraints: usize,
+    /// Attributes mentioned by each constraint (feature masking).
+    constraint_attrs: Vec<Vec<usize>>,
+    // Embedding models (deep branch inputs).
+    char_emb: Option<Embedding>,
+    word_emb: Option<Embedding>,
+    tuple_emb: Option<Embedding>,
+    value_emb: Option<Embedding>,
+    /// Per-column candidate value tokens for the neighbourhood distance.
+    neighbor_candidates: Vec<Vec<String>>,
+    /// Cache: (attr, value) → top-1 distance. Neighbour queries are the
+    /// most expensive feature; values repeat massively.
+    nn_cache: RwLock<HashMap<(usize, String), f32>>,
+}
+
+impl Featurizer {
+    /// Fit the representation over `d` with the given constraints.
+    pub fn fit(d: &Dataset, constraints: &[DenialConstraint], cfg: FeatureConfig) -> Self {
+        let na = d.n_attrs();
+        let order = cfg.ngram_order;
+
+        let (ngram, sym_ngram, length) = if cfg.enabled(Component::FormatModels) {
+            (
+                (0..na).map(|a| NgramModel::fit(d, a, order, false)).collect(),
+                (0..na).map(|a| NgramModel::fit(d, a, order, true)).collect(),
+                (0..na).map(|a| LengthModel::fit(d, a)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let empirical: Vec<EmpiricalModel> = if cfg.enabled(Component::EmpiricalModels) {
+            (0..na).map(|a| EmpiricalModel::fit(d, a)).collect()
+        } else {
+            Vec::new()
+        };
+        let cooc = cfg
+            .enabled(Component::Cooccurrence)
+            .then(|| CoocModel::fit(d, cfg.smoothing));
+        let violations = (cfg.enabled(Component::ConstraintViolations)
+            && !constraints.is_empty())
+        .then(|| ViolationEngine::build(d, constraints));
+        let n_constraints = violations.as_ref().map_or(0, |v| v.len());
+        // Attribute mask per constraint: the violation feature of a cell
+        // is zeroed for constraints that do not mention its attribute,
+        // so one bad cell does not taint its whole tuple's features.
+        let constraint_attrs: Vec<Vec<usize>> = violations
+            .as_ref()
+            .map(|v| v.indexes().iter().map(|ix| ix.constraint().attrs()).collect())
+            .unwrap_or_default();
+
+        // Embedding corpora. Char/token corpora are deduplicated by cell
+        // value (values repeat heavily; dedup keeps skip-gram training
+        // linear in *distinct* values — documented substitution).
+        let char_emb = cfg.enabled(Component::CharEmbedding).then(|| {
+            Embedding::train(&dedup(corpus::char_corpus(d)), &cfg.embed)
+        });
+        let word_emb = cfg.enabled(Component::WordEmbedding).then(|| {
+            Embedding::train(&dedup(corpus::token_corpus(d)), &cfg.embed)
+        });
+        let tuple_emb = cfg.enabled(Component::TupleEmbedding).then(|| {
+            let bag_cfg = SkipGramConfig { window: None, ..cfg.embed.clone() };
+            Embedding::train(&corpus::tuple_bag_corpus(d), &bag_cfg)
+        });
+        let value_emb = cfg.enabled(Component::Neighborhood).then(|| {
+            let bag_cfg = SkipGramConfig { window: None, ..cfg.embed.clone() };
+            Embedding::train(&corpus::value_token_corpus(d), &bag_cfg)
+        });
+
+        let neighbor_candidates: Vec<Vec<String>> = if cfg.enabled(Component::Neighborhood) {
+            (0..na)
+                .map(|a| {
+                    let mut seen = HashSet::new();
+                    let mut cands = Vec::new();
+                    for &s in d.column(a) {
+                        if seen.insert(s) {
+                            cands.push(value_token(a, d.pool().resolve(s)));
+                        }
+                    }
+                    cands
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let layout = Self::build_layout(&cfg, na, n_constraints);
+        Featurizer {
+            cfg,
+            layout,
+            n_attrs: na,
+            ngram,
+            sym_ngram,
+            length,
+            empirical,
+            cooc,
+            violations,
+            n_constraints,
+            constraint_attrs,
+            char_emb,
+            word_emb,
+            tuple_emb,
+            value_emb,
+            neighbor_candidates,
+            nn_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn build_layout(cfg: &FeatureConfig, na: usize, n_constraints: usize) -> FeatureLayout {
+        let mut wide_names = Vec::new();
+        if cfg.enabled(Component::FormatModels) {
+            wide_names.push("format:3gram".to_owned());
+            wide_names.push("format:symbolic".to_owned());
+            wide_names.push("format:length".to_owned());
+        }
+        if cfg.enabled(Component::EmpiricalModels) {
+            wide_names.push("empirical:freq".to_owned());
+            for a in 0..na {
+                wide_names.push(format!("empirical:col{a}"));
+            }
+        }
+        if cfg.enabled(Component::Cooccurrence) {
+            for i in 0..na.saturating_sub(1) {
+                wide_names.push(format!("cooc:{i}"));
+            }
+        }
+        if cfg.enabled(Component::ConstraintViolations) {
+            for c in 0..n_constraints {
+                wide_names.push(format!("violations:dc{c}"));
+            }
+        }
+        if cfg.enabled(Component::Neighborhood) {
+            wide_names.push("neighborhood:dist".to_owned());
+        }
+        let mut branch_names = Vec::new();
+        let mut branch_dims = Vec::new();
+        let dim = cfg.embed.dim;
+        if cfg.enabled(Component::CharEmbedding) {
+            branch_names.push("char-embedding".to_owned());
+            branch_dims.push(dim);
+        }
+        if cfg.enabled(Component::WordEmbedding) {
+            branch_names.push("word-embedding".to_owned());
+            branch_dims.push(dim);
+        }
+        if cfg.enabled(Component::TupleEmbedding) {
+            branch_names.push("tuple-embedding".to_owned());
+            branch_dims.push(dim);
+        }
+        if cfg.enabled(Component::Neighborhood) {
+            branch_names.push("neighborhood-embedding".to_owned());
+            branch_dims.push(dim);
+        }
+        FeatureLayout { wide_names, branch_names, branch_dims }
+    }
+
+    /// The layout of produced vectors.
+    pub fn layout(&self) -> &FeatureLayout {
+        &self.layout
+    }
+
+    /// Features for a cell with its observed value.
+    pub fn features(&self, d: &Dataset, cell: CellId) -> Vec<f32> {
+        let value = d.cell_value(cell).to_owned();
+        self.features_with_value(d, cell, &value)
+    }
+
+    /// Features for a cell under a hypothetical value (the augmented
+    /// example case: a transformed value inside the real tuple context).
+    pub fn features_with_value(&self, d: &Dataset, cell: CellId, value: &str) -> Vec<f32> {
+        let (t, a) = (cell.t(), cell.a());
+        let mut out = Vec::with_capacity(self.layout.total_dim());
+
+        // -------- wide features --------
+        if self.cfg.enabled(Component::FormatModels) {
+            out.push(self.ngram[a].feature(value));
+            out.push(self.sym_ngram[a].feature(value));
+            out.push(self.length[a].prob(value));
+        }
+        if self.cfg.enabled(Component::EmpiricalModels) {
+            out.push(self.empirical[a].prob(d, value));
+            for col in 0..self.n_attrs {
+                out.push(f32::from(col == a));
+            }
+        }
+        if let Some(cooc) = &self.cooc {
+            out.extend(cooc.features(d, t, a, value));
+        }
+        if self.cfg.enabled(Component::ConstraintViolations) {
+            if let Some(engine) = &self.violations {
+                let counts = if value == d.cell_value(cell) {
+                    engine.tuple_vector(t)
+                } else {
+                    engine.tuple_vector_with_override(d, t, a, value)
+                };
+                for (ci, c) in counts.into_iter().enumerate() {
+                    // Mask: only constraints mentioning this cell's
+                    // attribute contribute to its violation features.
+                    if self.constraint_attrs[ci].contains(&a) {
+                        out.push((1.0 + c as f32).ln() / (11.0f32).ln());
+                    } else {
+                        out.push(0.0);
+                    }
+                }
+            } else {
+                out.extend(std::iter::repeat_n(0.0, self.n_constraints));
+            }
+        }
+        if self.cfg.enabled(Component::Neighborhood) {
+            out.push(self.neighbor_distance(a, value));
+        }
+
+        // -------- learnable branch inputs --------
+        if let Some(emb) = &self.char_emb {
+            out.extend(emb.embed_tokens(&char_tokens(value)));
+        }
+        if let Some(emb) = &self.word_emb {
+            out.extend(emb.embed_tokens(&word_tokens(value)));
+        }
+        if let Some(emb) = &self.tuple_emb {
+            let mut toks = Vec::new();
+            for col in 0..self.n_attrs {
+                let v = if col == a { value } else { d.value(t, col) };
+                toks.extend(word_tokens(v));
+            }
+            out.extend(emb.embed_tokens(&toks));
+        }
+        if let Some(emb) = &self.value_emb {
+            out.extend(emb.vector(&value_token(a, value)));
+        }
+
+        debug_assert_eq!(out.len(), self.layout.total_dim());
+        out
+    }
+
+    /// Batch featurization with scoped-thread parallelism. `cells` pairs
+    /// each cell with an optional value override.
+    pub fn features_batch(
+        &self,
+        d: &Dataset,
+        cells: &[(CellId, Option<String>)],
+        threads: usize,
+    ) -> Vec<Vec<f32>> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(cells.len());
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); cells.len()];
+        let chunk = cells.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (slot, work) in out.chunks_mut(chunk).zip(cells.chunks(chunk)) {
+                s.spawn(move |_| {
+                    for (o, (cell, ov)) in slot.iter_mut().zip(work) {
+                        *o = match ov {
+                            Some(v) => self.features_with_value(d, *cell, v),
+                            None => self.features(d, *cell),
+                        };
+                    }
+                });
+            }
+        })
+        .expect("featurization thread panicked");
+        out
+    }
+
+    fn neighbor_distance(&self, a: usize, value: &str) -> f32 {
+        let key = (a, value.to_owned());
+        if let Some(&dist) = self.nn_cache.read().get(&key) {
+            return dist;
+        }
+        let emb = self.value_emb.as_ref().expect("neighborhood enabled");
+        let token = value_token(a, value);
+        let dist = nearest_distance(emb, &token, &self.neighbor_candidates[a]);
+        self.nn_cache.write().insert(key, dist);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_constraints::parse_constraints;
+    use holo_data::{DatasetBuilder, Schema};
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City", "State"]));
+        for _ in 0..20 {
+            b.push_row(&["60612", "Chicago", "IL"]);
+            b.push_row(&["53703", "Madison", "WI"]);
+        }
+        b.push_row(&["60612", "Cicago", "IL"]); // FD-violating typo, row 40
+        b.build()
+    }
+
+    fn fitted() -> (Dataset, Featurizer) {
+        let d = dataset();
+        let dcs = parse_constraints("Zip -> City", d.schema()).unwrap();
+        let f = Featurizer::fit(&d, &dcs, FeatureConfig::fast());
+        (d, f)
+    }
+
+    #[test]
+    fn vector_matches_layout() {
+        let (d, f) = fitted();
+        let v = f.features(&d, CellId::new(0, 1));
+        assert_eq!(v.len(), f.layout().total_dim());
+        // wide: 3 format + (1 + 3) empirical + 2 cooc + 1 violations + 1 nn = 11
+        assert_eq!(f.layout().wide_dim(), 11);
+        assert_eq!(f.layout().n_branches(), 4);
+        assert_eq!(f.layout().branch_dims, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn hypothetical_value_changes_features() {
+        let (d, f) = fitted();
+        let cell = CellId::new(0, 1);
+        let observed = f.features(&d, cell);
+        let hypo = f.features_with_value(&d, cell, "Cicago");
+        assert_ne!(observed, hypo);
+        // Empirical frequency of "Chicago" >> "Cicago".
+        let freq_idx = f.layout().wide_names.iter().position(|n| n == "empirical:freq").unwrap();
+        assert!(observed[freq_idx] > hypo[freq_idx]);
+    }
+
+    #[test]
+    fn violation_feature_reflects_overrides() {
+        let (d, f) = fitted();
+        let viol_idx =
+            f.layout().wide_names.iter().position(|n| n == "violations:dc0").unwrap();
+        // The typo row participates in violations; fixing it clears them.
+        let typo_cell = CellId::new(40, 1);
+        let dirty = f.features(&d, typo_cell);
+        let fixed = f.features_with_value(&d, typo_cell, "Chicago");
+        assert!(dirty[viol_idx] > 0.0);
+        assert_eq!(fixed[viol_idx], 0.0);
+    }
+
+    #[test]
+    fn column_one_hot_set_correctly() {
+        let (d, f) = fitted();
+        let names = &f.layout().wide_names;
+        let col0 = names.iter().position(|n| n == "empirical:col0").unwrap();
+        let v_zip = f.features(&d, CellId::new(0, 0));
+        let v_city = f.features(&d, CellId::new(0, 1));
+        assert_eq!(v_zip[col0], 1.0);
+        assert_eq!(v_city[col0], 0.0);
+        assert_eq!(v_city[col0 + 1], 1.0);
+    }
+
+    #[test]
+    fn ablation_shrinks_layout() {
+        let d = dataset();
+        let dcs = parse_constraints("Zip -> City", d.schema()).unwrap();
+        let full = Featurizer::fit(&d, &dcs, FeatureConfig::fast());
+        for c in Component::ALL {
+            let ablated = Featurizer::fit(&d, &dcs, FeatureConfig::fast().without(c));
+            assert!(
+                ablated.layout().total_dim() < full.layout().total_dim(),
+                "removing {c:?} did not shrink the layout"
+            );
+            // Vectors still match the (smaller) layout.
+            let v = ablated.features(&d, CellId::new(0, 0));
+            assert_eq!(v.len(), ablated.layout().total_dim());
+        }
+    }
+
+    #[test]
+    fn no_constraints_means_no_violation_features() {
+        let d = dataset();
+        let f = Featurizer::fit(&d, &[], FeatureConfig::fast());
+        assert!(!f.layout().wide_names.iter().any(|n| n.starts_with("violations")));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (d, f) = fitted();
+        let cells = vec![
+            (CellId::new(0, 0), None),
+            (CellId::new(1, 2), None),
+            (CellId::new(40, 1), Some("Chicago".to_owned())),
+        ];
+        let batch = f.features_batch(&d, &cells, 3);
+        assert_eq!(batch[0], f.features(&d, CellId::new(0, 0)));
+        assert_eq!(batch[1], f.features(&d, CellId::new(1, 2)));
+        assert_eq!(batch[2], f.features_with_value(&d, CellId::new(40, 1), "Chicago"));
+    }
+
+    #[test]
+    fn neighbor_distance_cached_and_bounded() {
+        let (d, f) = fitted();
+        let v1 = f.features(&d, CellId::new(0, 1));
+        let v2 = f.features(&d, CellId::new(2, 1)); // same value, same column
+        let nn_idx =
+            f.layout().wide_names.iter().position(|n| n == "neighborhood:dist").unwrap();
+        assert_eq!(v1[nn_idx], v2[nn_idx]);
+        assert!((0.0..=2.0).contains(&v1[nn_idx]));
+    }
+
+    #[test]
+    fn all_features_finite() {
+        let (d, f) = fitted();
+        for cell in [CellId::new(0, 0), CellId::new(40, 1), CellId::new(5, 2)] {
+            for (i, x) in f.features(&d, cell).iter().enumerate() {
+                assert!(x.is_finite(), "non-finite feature {i} for {cell}");
+            }
+        }
+        // Hypothetical never-seen value also stays finite.
+        for x in f.features_with_value(&d, CellId::new(0, 0), "@@##!!") {
+            assert!(x.is_finite());
+        }
+    }
+}
+
+/// Deduplicate sentences (used for char/token corpora where cell values
+/// repeat heavily).
+fn dedup(sentences: Vec<Vec<String>>) -> Vec<Vec<String>> {
+    let mut seen = HashSet::new();
+    sentences
+        .into_iter()
+        .filter(|s| seen.insert(s.join("\u{1}")))
+        .collect()
+}

@@ -1,0 +1,76 @@
+//! The feature-vector layout: where each representation model lands in
+//! the concatenated per-cell vector.
+//!
+//! Layout: `[wide features…, branch₀, branch₁, …]` where each branch is
+//! one learnable embedding input (char, word, tuple, neighbourhood). The
+//! wide-and-deep model in `holodetect` splits the vector by this layout
+//! to route branches through their highway stacks.
+
+/// Description of the concatenated feature vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureLayout {
+    /// Names of the wide features, in order (one per scalar).
+    pub wide_names: Vec<String>,
+    /// Names of the learnable branches, in order.
+    pub branch_names: Vec<String>,
+    /// Dimension of each learnable branch input.
+    pub branch_dims: Vec<usize>,
+}
+
+impl FeatureLayout {
+    /// Number of wide (fixed) dimensions.
+    pub fn wide_dim(&self) -> usize {
+        self.wide_names.len()
+    }
+
+    /// Total vector dimension.
+    pub fn total_dim(&self) -> usize {
+        self.wide_dim() + self.branch_dims.iter().sum::<usize>()
+    }
+
+    /// Column-split widths for `Matrix::split_cols`: wide block first,
+    /// then one block per branch.
+    pub fn split_widths(&self) -> Vec<usize> {
+        let mut w = vec![self.wide_dim()];
+        w.extend(&self.branch_dims);
+        w
+    }
+
+    /// Number of learnable branches.
+    pub fn n_branches(&self) -> usize {
+        self.branch_dims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> FeatureLayout {
+        FeatureLayout {
+            wide_names: vec!["a".into(), "b".into(), "c".into()],
+            branch_names: vec!["char".into(), "word".into()],
+            branch_dims: vec![16, 16],
+        }
+    }
+
+    #[test]
+    fn dims_add_up() {
+        let l = layout();
+        assert_eq!(l.wide_dim(), 3);
+        assert_eq!(l.total_dim(), 35);
+        assert_eq!(l.split_widths(), vec![3, 16, 16]);
+        assert_eq!(l.n_branches(), 2);
+    }
+
+    #[test]
+    fn empty_branches() {
+        let l = FeatureLayout {
+            wide_names: vec!["x".into()],
+            branch_names: vec![],
+            branch_dims: vec![],
+        };
+        assert_eq!(l.total_dim(), 1);
+        assert_eq!(l.split_widths(), vec![1]);
+    }
+}

@@ -1,0 +1,328 @@
+//! The wide (fixed, non-learnable) representation models.
+//!
+//! Per-column n-gram format models with Laplace smoothing (Appendix A.1,
+//! after Huang & He \[30\]), per-column empirical value distributions, and
+//! the pairwise co-occurrence model.
+
+use holo_data::{Dataset, Symbol};
+use holo_text::{char_ngrams, symbolize};
+use std::collections::HashMap;
+
+/// A smoothed n-gram distribution for one column (optionally over the
+/// symbolic `{C,N,S}` alphabet).
+#[derive(Debug, Clone)]
+pub struct NgramModel {
+    order: usize,
+    symbolic: bool,
+    counts: HashMap<String, u64>,
+    total: u64,
+    /// Smoothing denominator: observed distinct grams plus headroom for
+    /// unseen grams (a tractable stand-in for "all possible ASCII
+    /// 3-grams" from the paper).
+    vocab: f64,
+}
+
+impl NgramModel {
+    /// Fit over one column of the dataset.
+    pub fn fit(d: &Dataset, attr: usize, order: usize, symbolic: bool) -> Self {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        let mut total = 0u64;
+        // Count over distinct values weighted by frequency, via symbols.
+        let mut value_freq: HashMap<Symbol, u64> = HashMap::new();
+        for &s in d.column(attr) {
+            *value_freq.entry(s).or_insert(0) += 1;
+        }
+        for (&sym, &freq) in &value_freq {
+            let raw = d.pool().resolve(sym);
+            let view = if symbolic { symbolize(raw) } else { raw.to_owned() };
+            for g in char_ngrams(&view, order) {
+                *counts.entry(g).or_insert(0) += freq;
+                total += freq;
+            }
+        }
+        let vocab = if symbolic {
+            // |{C,N,S}|^order possible grams.
+            (3f64).powi(order as i32)
+        } else {
+            counts.len() as f64 + 1000.0
+        };
+        NgramModel { order, symbolic, counts, total, vocab }
+    }
+
+    /// Smoothed probability of one n-gram.
+    pub fn prob(&self, gram: &str) -> f64 {
+        let c = self.counts.get(gram).copied().unwrap_or(0) as f64;
+        (c + 1.0) / (self.total as f64 + self.vocab)
+    }
+
+    /// The paper's fixed-dimension aggregate: probability of the *least*
+    /// probable n-gram of `value` (symbolized first when this is a
+    /// symbolic model).
+    pub fn least_prob(&self, value: &str) -> f64 {
+        let view = if self.symbolic { symbolize(value) } else { value.to_owned() };
+        char_ngrams(&view, self.order)
+            .iter()
+            .map(|g| self.prob(g))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// A bounded feature in roughly `\[0, 1\]`: `−ln p / 20`, clipped.
+    pub fn feature(&self, value: &str) -> f32 {
+        let p = self.least_prob(value).max(1e-300);
+        ((-p.ln()) / 20.0).min(1.5) as f32
+    }
+}
+
+/// Per-column distribution over value *lengths* (in chars). Part of the
+/// format-model family: insertion/deletion typos in fixed-width fields
+/// (zip codes, numeric ids) change the length but may keep every n-gram
+/// plausible, so the n-gram models alone miss them.
+#[derive(Debug, Clone)]
+pub struct LengthModel {
+    counts: HashMap<usize, u64>,
+    total: u64,
+}
+
+impl LengthModel {
+    /// Fit over one column.
+    pub fn fit(d: &Dataset, attr: usize) -> Self {
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        let mut total = 0u64;
+        for &s in d.column(attr) {
+            let len = d.pool().resolve(s).chars().count();
+            *counts.entry(len).or_insert(0) += 1;
+            total += 1;
+        }
+        LengthModel { counts, total }
+    }
+
+    /// Smoothed probability that a value in this column has the length
+    /// of `value`.
+    pub fn prob(&self, value: &str) -> f32 {
+        let len = value.chars().count();
+        let c = self.counts.get(&len).copied().unwrap_or(0) as f64;
+        ((c + 1.0) / (self.total as f64 + self.counts.len() as f64 + 1.0)) as f32
+    }
+}
+
+/// Per-column empirical value distribution.
+#[derive(Debug, Clone)]
+pub struct EmpiricalModel {
+    counts: HashMap<Symbol, u32>,
+    /// Counts keyed by raw string for hypothetical values the pool may
+    /// not contain (lazy fallback: unseen → 0).
+    n: usize,
+}
+
+impl EmpiricalModel {
+    /// Fit over one column.
+    pub fn fit(d: &Dataset, attr: usize) -> Self {
+        let mut counts: HashMap<Symbol, u32> = HashMap::new();
+        for &s in d.column(attr) {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        EmpiricalModel { counts, n: d.n_tuples() }
+    }
+
+    /// Empirical probability of a value (0 for unseen values).
+    pub fn prob(&self, d: &Dataset, value: &str) -> f32 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        match d.pool().get(value) {
+            Some(sym) => self.counts.get(&sym).copied().unwrap_or(0) as f32 / self.n as f32,
+            None => 0.0,
+        }
+    }
+
+    /// Number of distinct values observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Pairwise co-occurrence statistics: for a cell value `v` in column `a`
+/// and each other column `a'`, the smoothed conditional
+/// `P(v_{a'} | v)` — how typical the observed partner value is.
+#[derive(Debug)]
+pub struct CoocModel {
+    /// `joint[a][a2]`: (sym_a, sym_a2) → count, for a < a2.
+    joint: Vec<Vec<HashMap<(Symbol, Symbol), u32>>>,
+    /// Per-column value counts.
+    counts: Vec<HashMap<Symbol, u32>>,
+    /// Per-column distinct value counts (smoothing denominators).
+    distinct: Vec<f64>,
+    smoothing: f64,
+}
+
+impl CoocModel {
+    /// Fit over all column pairs.
+    pub fn fit(d: &Dataset, smoothing: f64) -> Self {
+        let na = d.n_attrs();
+        let mut joint: Vec<Vec<HashMap<(Symbol, Symbol), u32>>> =
+            (0..na).map(|a| vec![HashMap::new(); na.saturating_sub(a + 1)]).collect();
+        let mut counts: Vec<HashMap<Symbol, u32>> = vec![HashMap::new(); na];
+        for t in 0..d.n_tuples() {
+            for a in 0..na {
+                let va = d.symbol(t, a);
+                *counts[a].entry(va).or_insert(0) += 1;
+                for a2 in (a + 1)..na {
+                    let vb = d.symbol(t, a2);
+                    *joint[a][a2 - a - 1].entry((va, vb)).or_insert(0) += 1;
+                }
+            }
+        }
+        let distinct = counts.iter().map(|c| (c.len() as f64).max(1.0)).collect();
+        CoocModel { joint, counts, distinct, smoothing }
+    }
+
+    fn joint_count(&self, a: usize, sa: Symbol, a2: usize, sb: Symbol) -> u32 {
+        let (lo, hi, key) = if a < a2 { (a, a2, (sa, sb)) } else { (a2, a, (sb, sa)) };
+        self.joint[lo][hi - lo - 1].get(&key).copied().unwrap_or(0)
+    }
+
+    /// Smoothed `P(partner | value)` where `value` (possibly
+    /// hypothetical) lives in column `a` and `partner` is the observed
+    /// symbol in column `a2`.
+    pub fn conditional(&self, d: &Dataset, a: usize, value: &str, a2: usize, partner: Symbol) -> f32 {
+        let eps = self.smoothing;
+        let (joint, base) = match d.pool().get(value) {
+            Some(sym) => (
+                self.joint_count(a, sym, a2, partner),
+                self.counts[a].get(&sym).copied().unwrap_or(0),
+            ),
+            None => (0, 0),
+        };
+        ((f64::from(joint) + eps) / (f64::from(base) + eps * self.distinct[a2])) as f32
+    }
+
+    /// The co-occurrence feature vector for a cell: one conditional per
+    /// other column, in column order (`#attrs − 1` dimensions).
+    pub fn features(&self, d: &Dataset, t: usize, a: usize, value: &str) -> Vec<f32> {
+        let na = d.n_attrs();
+        let mut out = Vec::with_capacity(na.saturating_sub(1));
+        for a2 in 0..na {
+            if a2 == a {
+                continue;
+            }
+            out.push(self.conditional(d, a, value, a2, d.symbol(t, a2)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    fn zips() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for _ in 0..50 {
+            b.push_row(&["60612", "Chicago"]);
+        }
+        for _ in 0..50 {
+            b.push_row(&["53703", "Madison"]);
+        }
+        b.push_row(&["6061x", "Chicago"]); // format outlier
+        b.build()
+    }
+
+    #[test]
+    fn ngram_scores_clean_below_dirty() {
+        let d = zips();
+        let m = NgramModel::fit(&d, 0, 3, false);
+        // "606" style grams are common; grams containing 'x' are rare.
+        assert!(m.least_prob("60612") > m.least_prob("6061x"));
+        assert!(m.feature("6061x") > m.feature("60612"));
+    }
+
+    #[test]
+    fn symbolic_ngram_catches_class_errors() {
+        let d = zips();
+        let m = NgramModel::fit(&d, 0, 3, true);
+        // All-digit zips dominate; a zip with a letter is an outlier in
+        // the symbolic alphabet.
+        assert!(m.least_prob("60612") > m.least_prob("6061x"));
+    }
+
+    #[test]
+    fn ngram_feature_bounded() {
+        let d = zips();
+        let m = NgramModel::fit(&d, 0, 3, false);
+        for v in ["60612", "6061x", "", "!!!!!"] {
+            let f = m.feature(v);
+            assert!((0.0..=1.5).contains(&f), "feature {f} for {v:?}");
+        }
+    }
+
+    #[test]
+    fn length_model_catches_width_changes() {
+        let d = zips();
+        let m = LengthModel::fit(&d, 0);
+        // All zips are 5 chars; 4- and 6-char values are outliers.
+        assert!(m.prob("60612") > 5.0 * m.prob("6061"));
+        assert!(m.prob("60612") > 5.0 * m.prob("606123"));
+    }
+
+    #[test]
+    fn length_model_empty_column() {
+        let d = DatasetBuilder::new(Schema::new(["A", "B"])).build();
+        let m = LengthModel::fit(&d, 0);
+        assert!(m.prob("anything") > 0.0);
+    }
+
+    #[test]
+    fn empirical_probabilities() {
+        let d = zips();
+        let m = EmpiricalModel::fit(&d, 0);
+        assert!((m.prob(&d, "60612") - 50.0 / 101.0).abs() < 1e-6);
+        assert!((m.prob(&d, "6061x") - 1.0 / 101.0).abs() < 1e-6);
+        assert_eq!(m.prob(&d, "99999"), 0.0);
+        assert_eq!(m.distinct(), 3);
+    }
+
+    #[test]
+    fn cooc_prefers_consistent_pairs() {
+        let d = zips();
+        let m = CoocModel::fit(&d, 1.0);
+        let chicago = d.pool().get("Chicago").unwrap();
+        let madison = d.pool().get("Madison").unwrap();
+        // P(City=Chicago | Zip=60612) should dwarf P(City=Madison | ...).
+        let good = m.conditional(&d, 0, "60612", 1, chicago);
+        let bad = m.conditional(&d, 0, "60612", 1, madison);
+        assert!(good > 10.0 * bad, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn cooc_hypothetical_unseen_value() {
+        let d = zips();
+        let m = CoocModel::fit(&d, 1.0);
+        let chicago = d.pool().get("Chicago").unwrap();
+        // With zero evidence the smoothed conditional collapses to the
+        // uniform prior 1/|distinct cities| = 0.5 here.
+        let p = m.conditional(&d, 0, "totally-new", 1, chicago);
+        assert!(p > 0.0 && p <= 0.5, "smoothed unseen conditional {p}");
+    }
+
+    #[test]
+    fn cooc_feature_vector_width() {
+        let d = zips();
+        let m = CoocModel::fit(&d, 1.0);
+        assert_eq!(m.features(&d, 0, 0, "60612").len(), 1);
+        assert_eq!(m.features(&d, 0, 1, "Chicago").len(), 1);
+    }
+
+    #[test]
+    fn empty_column_models_are_safe() {
+        let d = DatasetBuilder::new(Schema::new(["A", "B"])).build();
+        let ng = NgramModel::fit(&d, 0, 3, false);
+        assert!(ng.least_prob("abc") > 0.0);
+        let em = EmpiricalModel::fit(&d, 0);
+        assert_eq!(em.prob(&d, "abc"), 0.0);
+        let co = CoocModel::fit(&d, 1.0);
+        // Conditional on a hypothetical value over an empty table is
+        // pure smoothing mass.
+        assert!(co.conditional(&d, 0, "x", 1, holo_data::Symbol(0)) >= 0.0);
+    }
+}

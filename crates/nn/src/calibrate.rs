@@ -1,0 +1,126 @@
+//! Platt scaling \[46\] — confidence calibration on a holdout set.
+//!
+//! §4.2: "Let `z_i` be the score for class `i` output by `M`... Platt
+//! Scaling learns scalar parameters `a, b ∈ R` and outputs
+//! `σ(a·z_i + b)` as the calibrated probability... learned by optimizing
+//! the negative log-likelihood loss over the holdout-set", with `M` and
+//! `Q` frozen. The paper runs it for 100 epochs; that is the default.
+
+use crate::layers::sigmoid_scalar;
+
+/// Learned Platt parameters mapping a raw score to a probability.
+#[derive(Debug, Clone, Copy)]
+pub struct PlattScaler {
+    /// Slope `a`.
+    pub a: f32,
+    /// Intercept `b`.
+    pub b: f32,
+}
+
+impl PlattScaler {
+    /// Fit on `(score, is_positive)` pairs by gradient descent on the
+    /// NLL for `epochs` full-batch steps.
+    ///
+    /// Scores are typically the margin `z_error − z_correct` from the
+    /// classifier; labels are `true` for the positive (error) class.
+    pub fn fit(scores: &[f32], labels: &[bool], epochs: usize) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        if scores.is_empty() {
+            return PlattScaler::identity();
+        }
+        // Normalize the score scale so gradient descent is stable for any
+        // input magnitude; the scale folds back into `a` afterwards.
+        let scale = scores.iter().fold(0.0f32, |m, z| m.max(z.abs())).max(1e-6);
+        let mut a = 1.0f32;
+        let mut b = 0.0f32;
+        let n = scores.len() as f32;
+        let lr = 0.5f32;
+        for _ in 0..epochs {
+            let mut da = 0.0f32;
+            let mut db = 0.0f32;
+            for (&z, &y) in scores.iter().zip(labels) {
+                let p = sigmoid_scalar(a * (z / scale) + b);
+                let err = p - f32::from(y);
+                da += err * (z / scale);
+                db += err;
+            }
+            a -= lr * da / n;
+            b -= lr * db / n;
+        }
+        PlattScaler { a: a / scale, b }
+    }
+
+    /// Calibrated probability for a raw score.
+    #[inline]
+    pub fn prob(&self, score: f32) -> f32 {
+        sigmoid_scalar(self.a * score + self.b)
+    }
+
+    /// The identity scaler (`a = 1`, `b = 0`), used when no holdout data
+    /// is available.
+    pub fn identity() -> Self {
+        PlattScaler { a: 1.0, b: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_sigmoid() {
+        let s = PlattScaler::identity();
+        assert!((s.prob(0.0) - 0.5).abs() < 1e-6);
+        assert!(s.prob(5.0) > 0.99);
+    }
+
+    #[test]
+    fn fits_separable_scores() {
+        // Positive examples have score ≈ +2, negatives ≈ −2.
+        let scores: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let s = PlattScaler::fit(&scores, &labels, 500);
+        assert!(s.prob(2.0) > 0.8, "p(+2) = {}", s.prob(2.0));
+        assert!(s.prob(-2.0) < 0.2, "p(-2) = {}", s.prob(-2.0));
+    }
+
+    #[test]
+    fn corrects_overconfident_scores() {
+        // Scores are huge but only 60% reliable: calibration should pull
+        // probabilities towards 0.6 rather than 1.0.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            scores.push(50.0);
+            labels.push(i % 10 < 6); // 60% true positives
+        }
+        let s = PlattScaler::fit(&scores, &labels, 2000);
+        let p = s.prob(50.0);
+        assert!((p - 0.6).abs() < 0.1, "calibrated p = {p}");
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let s = PlattScaler::fit(&[], &[], 100);
+        assert_eq!(s.a, 1.0);
+        assert_eq!(s.b, 0.0);
+    }
+
+    #[test]
+    fn learns_intercept_for_skewed_classes() {
+        // All scores zero, 90% negatives: b should go negative.
+        let scores = vec![0.0f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i < 10).collect();
+        let s = PlattScaler::fit(&scores, &labels, 2000);
+        assert!(s.b < 0.0);
+        assert!((s.prob(0.0) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        PlattScaler::fit(&[0.0], &[], 10);
+    }
+}

@@ -1,0 +1,135 @@
+//! Losses with fused gradients.
+//!
+//! The paper's classifier `M` ends in a softmax over two classes trained
+//! with logistic loss (Figure 2C). Fusing softmax with cross-entropy
+//! gives the numerically stable gradient `softmax(z) − onehot(y)`.
+
+use crate::matrix::Matrix;
+
+/// Softmax cross-entropy over a batch.
+///
+/// `logits` is `batch × classes`; `targets[i]` is the class index of
+/// example `i`. Returns `(mean loss, dL/dlogits)` where the gradient is
+/// already divided by the batch size.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
+    let (n, k) = logits.shape();
+    assert!(n > 0, "empty batch");
+    let mut grad = Matrix::zeros(n, k);
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&z| (z - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let t = targets[i];
+        assert!(t < k, "target class out of range");
+        let p_t = exps[t] / sum;
+        loss += -(p_t.max(1e-12) as f64).ln();
+        let grow = grad.row_mut(i);
+        for (j, &e) in exps.iter().enumerate() {
+            let p = e / sum;
+            grow[j] = (p - f32::from(j == t)) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Softmax probabilities (no gradient), for inference.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let (n, k) = logits.shape();
+    let mut out = Matrix::zeros(n, k);
+    for i in 0..n {
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&z| (z - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (j, e) in exps.into_iter().enumerate() {
+            out.set(i, j, e / sum);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_ln_k() {
+        let logits = Matrix::zeros(2, 2);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_has_low_loss() {
+        let logits = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_has_high_loss() {
+        let logits = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.data().len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (vp, _) = softmax_cross_entropy(&lp, &targets);
+            let (vm, _) = softmax_cross_entropy(&lm, &targets);
+            let num = (vp - vm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(1, 4, vec![0.3, -0.7, 0.2, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![101.0, 102.0]);
+        let (pa, pb) = (softmax(&a), softmax(&b));
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn mismatched_targets_panic() {
+        softmax_cross_entropy(&Matrix::zeros(2, 2), &[0]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Row-major `f32` matrices with exactly the operations backprop needs.
+//!
+//! Kept deliberately small: dense GEMM in the cache-friendly `i-k-j` loop
+//! order, transpose-fused products (`AᵀB`, `ABᵀ`) so backward passes never
+//! materialize transposes, broadcast row addition for biases, and
+//! column concat/split for the wide-and-deep model's fan-in.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Matrix { rows: 1, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization: `U(-√(6/(in+out)), +√(6/(in+out)))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.random_range(-bound..bound)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The backing buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Add a 1×cols row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums as a 1×cols row vector (bias gradient).
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise product into a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Scale all elements in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Set all elements to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Horizontally concatenate matrices with equal row counts.
+    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hstack of nothing");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "hstack row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let dst = out.row_mut(i);
+            let mut off = 0;
+            for p in parts {
+                dst[off..off + p.cols].copy_from_slice(p.row(i));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Split into column blocks of the given widths (inverse of
+    /// [`Matrix::hstack`]).
+    ///
+    /// # Panics
+    /// Panics when the widths do not sum to `cols`.
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Matrix> {
+        assert_eq!(widths.iter().sum::<usize>(), self.cols, "split widths mismatch");
+        let mut out: Vec<Matrix> =
+            widths.iter().map(|&w| Matrix::zeros(self.rows, w)).collect();
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let mut off = 0;
+            for (part, &w) in out.iter_mut().zip(widths) {
+                part.row_mut(i).copy_from_slice(&src[off..off + w]);
+                off += w;
+            }
+        }
+        out
+    }
+
+    /// Select a subset of rows into a new matrix (mini-batch gather).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Mean of all elements (loss reporting).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.matmul(&b), m(2, 2, &[19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a.matmul(&b), m(1, 2, &[4.0, 5.0]));
+    }
+
+    #[test]
+    fn fused_transpose_products_match_explicit() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(2, 4, &[1.0, 0.5, -1.0, 2.0, 0.0, 1.0, 1.0, -2.0]);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        let c = m(5, 3, &[0.5; 15]);
+        assert_eq!(a.matmul_t(&c), a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn bias_broadcast_and_col_sums() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.add_row_broadcast(&Matrix::row_vector(vec![10.0, 20.0]));
+        assert_eq!(a, m(2, 2, &[11.0, 22.0, 13.0, 24.0]));
+        assert_eq!(a.col_sums(), Matrix::row_vector(vec![24.0, 46.0]));
+    }
+
+    #[test]
+    fn hstack_split_roundtrip() {
+        let a = m(2, 1, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let joined = Matrix::hstack(&[&a, &b]);
+        assert_eq!(joined.shape(), (2, 3));
+        let parts = joined.split_cols(&[1, 2]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g, m(2, 2, &[5.0, 6.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[2.0, 0.5, -1.0]);
+        assert_eq!(a.hadamard(&b), m(1, 3, &[2.0, 1.0, -3.0]));
+        let mut c = a.clone();
+        c.scale(2.0);
+        assert_eq!(c, m(1, 3, &[2.0, 4.0, 6.0]));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let w = Matrix::xavier(16, 16, &mut rng);
+        let bound = (6.0 / 32.0f32).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+        // Not all identical (sanity that the RNG actually ran).
+        assert!(w.data().iter().any(|&v| v != w.data()[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = m(2, 2, &[0.0; 4]);
+        let b = m(3, 2, &[0.0; 6]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Matrix::zeros(0, 3).mean(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-2.0f32..2.0, rows * cols)
+            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    }
+
+    proptest! {
+        /// (AB)ᵀ == BᵀAᵀ
+        #[test]
+        fn product_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// hstack/split_cols are inverse operations.
+        #[test]
+        fn hstack_split_inverse(a in arb_matrix(2, 3), b in arb_matrix(2, 5)) {
+            let joined = Matrix::hstack(&[&a, &b]);
+            let parts = joined.split_cols(&[3, 5]);
+            prop_assert_eq!(&parts[0], &a);
+            prop_assert_eq!(&parts[1], &b);
+        }
+
+        /// Matrix product distributes over addition.
+        #[test]
+        fn distributive(
+            a in arb_matrix(2, 3), b in arb_matrix(3, 2), c in arb_matrix(3, 2)
+        ) {
+            let mut bc = b.clone();
+            bc.add_assign(&c);
+            let lhs = a.matmul(&bc);
+            let mut rhs = a.matmul(&b);
+            rhs.add_assign(&a.matmul(&c));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

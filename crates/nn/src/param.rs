@@ -1,0 +1,62 @@
+//! Trainable parameters: value + gradient + ADAM moment buffers.
+
+use crate::matrix::Matrix;
+
+/// A trainable tensor. Layers accumulate gradients into `grad`; the
+/// optimizer reads `grad` and the moment buffers and updates `value`.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Matrix,
+    /// Accumulated gradient of the loss w.r.t. `value`.
+    pub grad: Matrix,
+    /// ADAM first-moment estimate.
+    pub m: Matrix,
+    /// ADAM second-moment estimate.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Wrap an initialized value matrix with zeroed gradient/moments.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Param { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
+    /// Zero the accumulated gradient (start of a batch).
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.data().len()
+    }
+
+    /// `true` for an empty parameter (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.value.data().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_state() {
+        let p = Param::new(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+        assert_eq!(p.m.data(), &[0.0, 0.0]);
+        assert_eq!(p.v.data(), &[0.0, 0.0]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.data_mut()[0] = 3.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! The symbol-class alphabet used by the *symbolic 3-gram* format model.
+//!
+//! Appendix A.1 of the paper describes a variation of the 3-gram format
+//! model where "each character is replaced by a token `{Char, Num, Sym}`".
+//! This module implements that mapping.
+
+/// The coarse class of a character in the symbolic format alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymbolClass {
+    /// An alphabetic character (`a-z`, `A-Z`, and any Unicode letter).
+    Char,
+    /// A decimal digit.
+    Num,
+    /// Anything else: punctuation, whitespace, symbols.
+    Sym,
+}
+
+impl SymbolClass {
+    /// A single-character rendering used when building symbolic n-grams.
+    #[inline]
+    pub fn as_char(self) -> char {
+        match self {
+            SymbolClass::Char => 'C',
+            SymbolClass::Num => 'N',
+            SymbolClass::Sym => 'S',
+        }
+    }
+}
+
+/// Classify a single character into its [`SymbolClass`].
+#[inline]
+pub fn symbol_class(c: char) -> SymbolClass {
+    if c.is_alphabetic() {
+        SymbolClass::Char
+    } else if c.is_ascii_digit() {
+        SymbolClass::Num
+    } else {
+        SymbolClass::Sym
+    }
+}
+
+/// Replace every character of `s` with its symbol class letter.
+///
+/// `"60612-A"` becomes `"NNNNNSC"`. The result always has the same number
+/// of `char`s as the input.
+pub fn symbolize(s: &str) -> String {
+    s.chars().map(|c| symbol_class(c).as_char()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_letters_digits_symbols() {
+        assert_eq!(symbol_class('a'), SymbolClass::Char);
+        assert_eq!(symbol_class('Z'), SymbolClass::Char);
+        assert_eq!(symbol_class('7'), SymbolClass::Num);
+        assert_eq!(symbol_class('-'), SymbolClass::Sym);
+        assert_eq!(symbol_class(' '), SymbolClass::Sym);
+    }
+
+    #[test]
+    fn unicode_letters_are_chars() {
+        assert_eq!(symbol_class('é'), SymbolClass::Char);
+        assert_eq!(symbol_class('ß'), SymbolClass::Char);
+    }
+
+    #[test]
+    fn symbolize_zip_plus_suffix() {
+        assert_eq!(symbolize("60612-A"), "NNNNNSC");
+    }
+
+    #[test]
+    fn symbolize_empty() {
+        assert_eq!(symbolize(""), "");
+    }
+
+    #[test]
+    fn symbolize_preserves_char_count() {
+        let s = "Chicago, IL 60612";
+        assert_eq!(symbolize(s).chars().count(), s.chars().count());
+    }
+}

@@ -1,0 +1,91 @@
+//! Levenshtein edit distance.
+//!
+//! Not used by the paper's model directly, but needed across the
+//! reproduction: the BART-style error generator asserts that injected
+//! typos stay within an edit budget, and several tests sanity-check
+//! learned transformations against the true edit.
+
+/// Classic Levenshtein distance (insertions, deletions, substitutions all
+/// cost 1), computed over `char`s with a rolling 1-D DP in
+/// `O(|a|·|b|)` time and `O(min)` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (short, long) = if ac.len() <= bc.len() { (&ac, &bc) } else { (&bc, &ac) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &cl) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(cl != cs);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_zero() {
+        assert_eq!(levenshtein("chicago", "chicago"), 0);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(levenshtein("chicago", "cicago"), 1); // deletion
+        assert_eq!(levenshtein("chicago", "chixago"), 1); // substitution
+        assert_eq!(levenshtein("chicago", "chiccago"), 1); // insertion
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn known_pair() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
+        ) {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn bounded_by_longer(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            let d = levenshtein(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            prop_assert!(d <= la.max(lb));
+            prop_assert!(d >= la.abs_diff(lb));
+        }
+
+        #[test]
+        fn zero_iff_equal(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Longest common substring, the splitting step of Algorithm 1.
+//!
+//! The transformation learner recursively splits an example pair
+//! `(v*, v)` around their longest common substring. This module provides
+//! the classic `O(|a|·|b|)` dynamic program, reporting the match position
+//! in both strings so the caller can carve out prefixes and suffixes.
+
+/// A longest-common-substring match between two strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcsMatch {
+    /// Start offset (in `char`s) of the match within the first string.
+    pub start_a: usize,
+    /// Start offset (in `char`s) of the match within the second string.
+    pub start_b: usize,
+    /// Length of the match in `char`s. Zero when the strings share nothing.
+    pub len: usize,
+}
+
+/// Find the longest common substring of `a` and `b`.
+///
+/// Offsets are measured in `char`s, not bytes, so callers slicing UTF-8
+/// data should convert via `char_indices` (or work on `Vec<char>`).
+/// Ties are broken towards the earliest match in `a`, then in `b`, which
+/// keeps Algorithm 1 deterministic.
+pub fn longest_common_substring(a: &str, b: &str) -> LcsMatch {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    lcs_chars(&ac, &bc)
+}
+
+/// Character-slice variant of [`longest_common_substring`], useful when the
+/// caller already holds decoded `char` buffers (Algorithm 1's recursion).
+pub fn lcs_chars(a: &[char], b: &[char]) -> LcsMatch {
+    if a.is_empty() || b.is_empty() {
+        return LcsMatch { start_a: 0, start_b: 0, len: 0 };
+    }
+    // Rolling 1-D DP: prev[j] = length of common suffix of a[..i] and b[..j].
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    let mut best = LcsMatch { start_a: 0, start_b: 0, len: 0 };
+    for (i, &ca) in a.iter().enumerate() {
+        for (j, &cb) in b.iter().enumerate() {
+            if ca == cb {
+                let l = prev[j] + 1;
+                cur[j + 1] = l;
+                if l > best.len {
+                    best = LcsMatch { start_a: i + 1 - l, start_b: j + 1 - l, len: l };
+                }
+            } else {
+                cur[j + 1] = 0;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(0);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcs_str(a: &str, b: &str) -> String {
+        let m = longest_common_substring(a, b);
+        a.chars().skip(m.start_a).take(m.len).collect()
+    }
+
+    #[test]
+    fn identical_strings() {
+        let m = longest_common_substring("60612", "60612");
+        assert_eq!(m, LcsMatch { start_a: 0, start_b: 0, len: 5 });
+    }
+
+    #[test]
+    fn typo_pair_from_paper() {
+        // (60612, 6061x2): LCS is "6061".
+        assert_eq!(lcs_str("60612", "6061x2"), "6061");
+    }
+
+    #[test]
+    fn disjoint_strings() {
+        let m = longest_common_substring("abc", "xyz");
+        assert_eq!(m.len, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(longest_common_substring("", "abc").len, 0);
+        assert_eq!(longest_common_substring("abc", "").len, 0);
+        assert_eq!(longest_common_substring("", "").len, 0);
+    }
+
+    #[test]
+    fn match_in_middle() {
+        let m = longest_common_substring("xxchicagoyy", "aachicagobb");
+        assert_eq!(m.start_a, 2);
+        assert_eq!(m.start_b, 2);
+        assert_eq!(m.len, 7);
+    }
+
+    #[test]
+    fn earliest_tie_break() {
+        // Both "ab" matches have length 2; the earliest in `a` wins.
+        let m = longest_common_substring("abab", "ab");
+        assert_eq!(m.start_a, 0);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(lcs_str("caféx", "ycafé"), "café");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The reported match really is a common substring of both inputs.
+        #[test]
+        fn reported_match_is_common(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let m = longest_common_substring(&a, &b);
+            let sa: String = a.chars().skip(m.start_a).take(m.len).collect();
+            let sb: String = b.chars().skip(m.start_b).take(m.len).collect();
+            prop_assert_eq!(&sa, &sb);
+            if m.len > 0 {
+                prop_assert!(a.contains(&sa));
+                prop_assert!(b.contains(&sa));
+            }
+        }
+
+        /// Symmetric in length: |LCS(a,b)| == |LCS(b,a)|.
+        #[test]
+        fn length_symmetric(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let m1 = longest_common_substring(&a, &b);
+            let m2 = longest_common_substring(&b, &a);
+            prop_assert_eq!(m1.len, m2.len);
+        }
+
+        /// A string's LCS with itself is itself.
+        #[test]
+        fn self_lcs(a in "[a-z]{0,16}") {
+            let m = longest_common_substring(&a, &a);
+            prop_assert_eq!(m.len, a.chars().count());
+        }
+
+        /// No common substring can be longer than the shorter input.
+        #[test]
+        fn bounded_by_shorter(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let m = longest_common_substring(&a, &b);
+            prop_assert!(m.len <= a.chars().count().min(b.chars().count()));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # holo-text
+//!
+//! String substrate for the HoloDetect reproduction.
+//!
+//! Every representation model and the noisy-channel learner of the paper
+//! operate on cell values as strings. This crate provides the shared,
+//! dependency-free primitives they need:
+//!
+//! * [`tokenize`] — word- and character-level tokenization,
+//! * [`ngrams`] — character n-grams and *symbolic* n-grams over the
+//!   `{Char, Num, Sym}` alphabet (Appendix A.1 of the paper),
+//! * [`lcs`] — longest common substring (used by Algorithm 1),
+//! * [`similarity`] — the `2·C/S` common-character overlap from §5.2 and
+//!   the full Ratcliff–Obershelp ratio,
+//! * [`classes`] — the symbol-class alphabet,
+//! * [`edit`] — Levenshtein distance (used in tests and baselines).
+//!
+//! All functions operate on `&str` and are careful to respect UTF-8
+//! boundaries; internally they work over `Vec<char>` where index
+//! arithmetic is required.
+
+pub mod classes;
+pub mod edit;
+pub mod lcs;
+pub mod ngrams;
+pub mod similarity;
+pub mod tokenize;
+
+pub use classes::{symbol_class, symbolize, SymbolClass};
+pub use edit::levenshtein;
+pub use lcs::{longest_common_substring, LcsMatch};
+pub use ngrams::{char_ngrams, least_frequent_ngram, padded_char_ngrams, symbolic_ngrams};
+pub use similarity::{char_overlap, ratcliff_obershelp};
+pub use tokenize::{char_tokens, word_tokens};

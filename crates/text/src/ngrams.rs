@@ -1,0 +1,128 @@
+//! Character n-grams and symbolic n-grams for the format models.
+//!
+//! Appendix A.1: the format representation is "the frequency of the least
+//! frequent 3-gram in the cell", computed against a per-column n-gram
+//! distribution with Laplace smoothing; the symbolic variant first maps
+//! each character onto the `{Char, Num, Sym}` alphabet.
+
+use crate::classes::symbolize;
+
+/// All contiguous character `n`-grams of `s`, in order, as `String`s.
+///
+/// Strings shorter than `n` yield a single n-gram equal to the whole
+/// string (so even `""` and `"ab"` have a format signature), mirroring
+/// how smoothed language models back off on short values.
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram order must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < n {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// N-grams over the string padded with `^` (start) and `$` (end) markers.
+///
+/// Padding lets the model distinguish "starts with a digit" from
+/// "contains a digit", which matters for format errors at value
+/// boundaries. Also the FastText subword convention.
+pub fn padded_char_ngrams(s: &str, n: usize) -> Vec<String> {
+    let padded = format!("^{s}$");
+    char_ngrams(&padded, n)
+}
+
+/// Symbolic n-grams: n-grams of the `{C, N, S}` class string of `s`.
+pub fn symbolic_ngrams(s: &str, n: usize) -> Vec<String> {
+    char_ngrams(&symbolize(s), n)
+}
+
+/// Given a probability lookup for n-grams, return the probability of the
+/// *least probable* n-gram of `s` (the paper's fixed-dimension aggregate).
+///
+/// `prob` should already incorporate smoothing; an n-gram the lookup has
+/// never seen should still get a small non-zero probability from it.
+pub fn least_frequent_ngram<F>(s: &str, n: usize, prob: F) -> f64
+where
+    F: Fn(&str) -> f64,
+{
+    char_ngrams(s, n)
+        .iter()
+        .map(|g| prob(g))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_basic() {
+        assert_eq!(char_ngrams("60612", 3), vec!["606", "061", "612"]);
+    }
+
+    #[test]
+    fn short_string_single_gram() {
+        assert_eq!(char_ngrams("ab", 3), vec!["ab"]);
+        assert_eq!(char_ngrams("", 3), vec![""]);
+    }
+
+    #[test]
+    fn padded_adds_markers() {
+        assert_eq!(padded_char_ngrams("ab", 3), vec!["^ab", "ab$"]);
+    }
+
+    #[test]
+    fn symbolic_trigrams() {
+        assert_eq!(symbolic_ngrams("a1-", 3), vec!["CNS"]);
+        assert_eq!(symbolic_ngrams("60612", 3), vec!["NNN", "NNN", "NNN"]);
+    }
+
+    #[test]
+    fn least_frequent_picks_min() {
+        let p = |g: &str| if g == "061" { 0.001 } else { 0.5 };
+        assert!((least_frequent_ngram("60612", 3, p) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_order_panics() {
+        char_ngrams("abc", 0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn count_matches_length(s in ".{0,24}", n in 1usize..5) {
+            let grams = char_ngrams(&s, n);
+            let chars = s.chars().count();
+            let expect = if chars < n { 1 } else { chars - n + 1 };
+            prop_assert_eq!(grams.len(), expect);
+        }
+
+        #[test]
+        fn each_gram_has_order_chars(s in "[a-z]{4,16}", n in 1usize..4) {
+            for g in char_ngrams(&s, n) {
+                prop_assert_eq!(g.chars().count(), n);
+            }
+        }
+
+        #[test]
+        fn grams_are_substrings(s in "[a-z0-9]{0,16}", n in 1usize..4) {
+            for g in char_ngrams(&s, n) {
+                prop_assert!(s.contains(&g));
+            }
+        }
+
+        #[test]
+        fn symbolic_alphabet_is_cns(s in ".{0,16}") {
+            for g in symbolic_ngrams(&s, 3) {
+                prop_assert!(g.chars().all(|c| matches!(c, 'C' | 'N' | 'S')));
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! String similarity measures used by the transformation learner.
+//!
+//! §5.2 of the paper: "We compute the overlap of two strings as `2·C/S`,
+//! where `C` is the number of common characters in the two strings, and
+//! `S` is the sum of their lengths." That is [`char_overlap`]. We also
+//! provide the full Ratcliff–Obershelp ratio ([`ratcliff_obershelp`]),
+//! which recursively counts matching blocks — the algorithm the paper's
+//! pattern matcher is modelled after \[51\].
+
+use crate::lcs::lcs_chars;
+use std::collections::HashMap;
+
+/// The `2·C/S` overlap where `C` counts common characters as multisets.
+///
+/// Returns a value in `\[0, 1\]`; two empty strings are defined to have
+/// similarity `1.0` (they are identical).
+pub fn char_overlap(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la + lb == 0 {
+        return 1.0;
+    }
+    let mut counts: HashMap<char, isize> = HashMap::with_capacity(la.min(lb));
+    for c in a.chars() {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    let mut common = 0usize;
+    for c in b.chars() {
+        if let Some(n) = counts.get_mut(&c) {
+            if *n > 0 {
+                *n -= 1;
+                common += 1;
+            }
+        }
+    }
+    2.0 * common as f64 / (la + lb) as f64
+}
+
+/// The Ratcliff–Obershelp similarity ratio: `2·M/S` where `M` is the total
+/// length of recursively matched blocks (longest common substring, then
+/// recurse on both sides).
+pub fn ratcliff_obershelp(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let total = ac.len() + bc.len();
+    if total == 0 {
+        return 1.0;
+    }
+    let matched = matching_blocks_len(&ac, &bc);
+    2.0 * matched as f64 / total as f64
+}
+
+fn matching_blocks_len(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let m = lcs_chars(a, b);
+    if m.len == 0 {
+        return 0;
+    }
+    m.len
+        + matching_blocks_len(&a[..m.start_a], &b[..m.start_b])
+        + matching_blocks_len(&a[m.start_a + m.len..], &b[m.start_b + m.len..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(char_overlap("chicago", "chicago"), 1.0);
+        assert_eq!(ratcliff_obershelp("chicago", "chicago"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(char_overlap("abc", "xyz"), 0.0);
+        assert_eq!(ratcliff_obershelp("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_pair_is_one() {
+        assert_eq!(char_overlap("", ""), 1.0);
+        assert_eq!(ratcliff_obershelp("", ""), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(char_overlap("", "a"), 0.0);
+        assert_eq!(ratcliff_obershelp("", "a"), 0.0);
+    }
+
+    #[test]
+    fn overlap_counts_multiset() {
+        // "aab" vs "abb": common multiset {a, b} => C = 2, S = 6.
+        assert!((char_overlap("aab", "abb") - 2.0 * 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ro_typo_pair() {
+        // 60612 vs 6061x2: blocks "6061" + "2" = 5 of 11 chars.
+        let sim = ratcliff_obershelp("60612", "6061x2");
+        assert!((sim - 2.0 * 5.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ro_order_sensitive_overlap_not() {
+        // char_overlap ignores order; RO mostly does not.
+        assert_eq!(char_overlap("abcd", "dcba"), 1.0);
+        assert!(ratcliff_obershelp("abcd", "dcba") < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn overlap_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+            let s = char_overlap(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn overlap_symmetric(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            prop_assert!((char_overlap(&a, &b) - char_overlap(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn ro_in_unit_interval(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            let s = ratcliff_obershelp(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in ".{0,16}") {
+            prop_assert!((char_overlap(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((ratcliff_obershelp(&a, &a) - 1.0).abs() < 1e-12);
+        }
+
+        /// RO can never exceed the multiset overlap (blocks are a subset of
+        /// common characters).
+        #[test]
+        fn ro_bounded_by_overlap(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            prop_assert!(ratcliff_obershelp(&a, &b) <= char_overlap(&a, &b) + 1e-12);
+        }
+    }
+}

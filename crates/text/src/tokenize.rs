@@ -1,0 +1,66 @@
+//! Tokenizers shared by the embedding corpora and representation models.
+//!
+//! The paper builds FastText-style embeddings at three token granularities
+//! (characters, in-cell words, and whole tuples treated as bags of words).
+//! The two functions here produce the first two; tuple bags are assembled
+//! by `holo-embed::corpus` from word tokens.
+
+/// Split a cell value into lowercase word tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else
+/// (punctuation, whitespace) separates tokens. Tokens are lowercased so
+/// `"EVP Coffee"` and `"evp coffee"` share a vocabulary entry.
+pub fn word_tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Split a cell value into single-character tokens (as `String`s).
+///
+/// Used by the character-level sequence model. Whitespace is kept: a typo
+/// that inserts a space is a real error signal.
+pub fn char_tokens(s: &str) -> Vec<String> {
+    s.chars().map(|c| c.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_on_punct_and_space() {
+        assert_eq!(word_tokens("EVP Coffee, IL-60612"), vec!["evp", "coffee", "il", "60612"]);
+    }
+
+    #[test]
+    fn words_empty_and_all_punct() {
+        assert!(word_tokens("").is_empty());
+        assert!(word_tokens("--- !!").is_empty());
+    }
+
+    #[test]
+    fn words_single_token() {
+        assert_eq!(word_tokens("Chicago"), vec!["chicago"]);
+    }
+
+    #[test]
+    fn chars_keep_everything() {
+        assert_eq!(char_tokens("a b"), vec!["a", " ", "b"]);
+    }
+
+    #[test]
+    fn chars_empty() {
+        assert!(char_tokens("").is_empty());
+    }
+}

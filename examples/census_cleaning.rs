@@ -1,0 +1,63 @@
+//! Census cleaning under extreme imbalance — the paper's Adult scenario.
+//!
+//! Adult-style data has roughly one erroneous cell per thousand, the
+//! regime where plain supervision collapses (few or zero error examples
+//! in `T`) and augmentation shines. This example pits AUG against
+//! SuperL on the same split and prints both scores.
+//!
+//! ```text
+//! cargo run --release --example census_cleaning
+//! ```
+
+use holodetect_repro::core::{HoloDetect, HoloDetectConfig, Strategy};
+use holodetect_repro::datagen::{generate, DatasetKind};
+use holodetect_repro::eval::{Confusion, DetectionContext, Detector, Split, SplitConfig};
+
+fn main() {
+    let g = generate(DatasetKind::Adult, 4000, 42);
+    println!(
+        "Adult-like census data: {} tuples x {} attrs, {} errors ({:.3}% of cells)",
+        g.dirty.n_tuples(),
+        g.dirty.n_attrs(),
+        g.truth.n_errors(),
+        100.0 * g.truth.n_errors() as f64 / g.dirty.n_cells() as f64
+    );
+
+    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 3 });
+    let train = split.training_set(&g.dirty, &g.truth);
+    let (p, n) = train.class_counts();
+    println!("training set: {} cells ({} correct, {} errors) — few-shot indeed\n", train.len(), p, n);
+    let eval_cells = split.test_cells(&g.dirty);
+
+    let mut cfg = HoloDetectConfig::fast();
+    cfg.epochs = 40;
+
+    for strategy in [Strategy::Augmentation { target_ratio: None }, Strategy::Supervised] {
+        let ctx = DetectionContext {
+            dirty: &g.dirty,
+            train: &train,
+            sampling: None,
+            constraints: &g.constraints,
+            eval_cells: &eval_cells,
+            seed: 11,
+        };
+        let mut det = HoloDetect::with_strategy(cfg.clone(), strategy);
+        let labels = det.detect(&ctx);
+        let mut c = Confusion::default();
+        for (cell, label) in eval_cells.iter().zip(&labels) {
+            c.record(*label, g.truth.label(*cell));
+        }
+        println!(
+            "{:<8}  precision {:.3}  recall {:.3}  f1 {:.3}",
+            det.name(),
+            c.precision(),
+            c.recall(),
+            c.f1()
+        );
+    }
+    println!(
+        "\nAUG generates synthetic errors from the learned noisy channel, so\n\
+         the classifier sees a balanced training signal that plain\n\
+         supervision never gets (paper §6.5, Table 2)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Food-inspections cleaning — the paper's motivating Food scenario:
+//! conflicting zip codes / facility types for the same establishment.
+//!
+//! Compares HoloDetect against the rule-based CV baseline and the
+//! outlier detector OD on swap-heavy errors (Food is 76% value swaps),
+//! then prints a per-method breakdown by error type.
+//!
+//! ```text
+//! cargo run --release --example food_inspections
+//! ```
+
+use holodetect_repro::baselines::{ConstraintViolations, OutlierDetector};
+use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
+use holodetect_repro::data::Label;
+use holodetect_repro::datagen::{generate, DatasetKind};
+use holodetect_repro::eval::{Confusion, DetectionContext, Detector, Split, SplitConfig};
+use holodetect_repro::text::levenshtein;
+
+fn main() {
+    let g = generate(DatasetKind::Food, 1500, 9);
+    println!(
+        "Food-inspections data: {} tuples x {} attrs, {} errors (~76% swaps)\n",
+        g.dirty.n_tuples(),
+        g.dirty.n_attrs(),
+        g.truth.n_errors()
+    );
+
+    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 5 });
+    let train = split.training_set(&g.dirty, &g.truth);
+    let eval_cells = split.test_cells(&g.dirty);
+
+    let mut cfg = HoloDetectConfig::fast();
+    cfg.epochs = 40;
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(HoloDetect::new(cfg)),
+        Box::new(ConstraintViolations),
+        Box::new(OutlierDetector::default()),
+    ];
+    for det in &mut detectors {
+        let ctx = DetectionContext {
+            dirty: &g.dirty,
+            train: &train,
+            sampling: None,
+            constraints: &g.constraints,
+            eval_cells: &eval_cells,
+            seed: 2,
+        };
+        let labels = det.detect(&ctx);
+        let mut c = Confusion::default();
+        // Split recall by error type: a swap is "far" from the truth in
+        // edit distance relative to its length; a typo is close.
+        let (mut typo_hit, mut typo_all, mut swap_hit, mut swap_all) = (0, 0, 0, 0);
+        for (cell, label) in eval_cells.iter().zip(&labels) {
+            let actual = g.truth.label(*cell);
+            c.record(*label, actual);
+            if actual == Label::Error {
+                let truth_v = g.truth.true_value(*cell, &g.dirty);
+                let dirty_v = g.dirty.cell_value(*cell);
+                let is_typo = levenshtein(truth_v, dirty_v) <= 2;
+                if is_typo {
+                    typo_all += 1;
+                    typo_hit += usize::from(label.is_error());
+                } else {
+                    swap_all += 1;
+                    swap_hit += usize::from(label.is_error());
+                }
+            }
+        }
+        println!(
+            "{:<4}  P {:.3}  R {:.3}  F1 {:.3}   recall on typos {}/{}  on swaps {}/{}",
+            det.name(),
+            c.precision(),
+            c.recall(),
+            c.f1(),
+            typo_hit,
+            typo_all,
+            swap_hit,
+            swap_all
+        );
+    }
+    println!(
+        "\nSwaps keep values in-domain, so format and frequency signals are\n\
+         silent; HoloDetect leans on co-occurrence, constraint, and tuple-\n\
+         embedding features to catch them (paper §6.2)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Explore the noisy channel: learn transformations and a policy from a
+//! handful of error examples, inspect the conditional distribution for
+//! new values, and generate synthetic errors — the paper's §5 machinery
+//! in isolation (and the Figure 8 view of what it learns).
+//!
+//! ```text
+//! cargo run --release --example policy_explorer
+//! ```
+
+use holodetect_repro::channel::{augment, learn_transformations, AugmentConfig, Policy};
+
+fn main() {
+    // A few (clean, dirty) pairs from an x-typo error process plus one
+    // categorical swap — the kind of seed set a 5% training split yields.
+    let examples = [
+        ("scip-inf-4", "scip-inf-x4"),
+        ("surgical infection", "surgxical infection"),
+        ("60612", "6061x2"),
+        ("alabama", "alaxbama"),
+        ("Female", "Male"),
+    ];
+
+    println!("Algorithm 1 — learned transformation lists:\n");
+    let mut lists = Vec::new();
+    for (clean, dirty) in examples {
+        let list = learn_transformations(clean, dirty);
+        println!("  ({clean:?} → {dirty:?}):");
+        for t in &list {
+            println!("    {t}");
+        }
+        lists.push(list);
+    }
+
+    let policy = Policy::from_lists(&lists);
+    println!("\nAlgorithms 2+3 — empirical policy ({} transformations):", policy.len());
+    for (t, p) in policy.entries().iter().take(8) {
+        println!("  {p:>6.3}  {t}");
+    }
+
+    println!("\nConditional policy for a value never seen during learning:");
+    for (t, p) in policy.top_k("providence hospital 60614", 5) {
+        println!("  {p:>6.3}  {t}");
+    }
+
+    println!("\nAlgorithm 4 — synthetic errors from clean values:");
+    let corrects: Vec<String> = ["providence hospital", "madison", "53703", "heart attack"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let cfg = AugmentConfig { alpha: 1.0, ..AugmentConfig::default() };
+    for ex in augment(&corrects, 0, &policy, &[], &cfg) {
+        println!("  {:?} → {:?}", ex.clean, ex.dirty);
+    }
+    println!(
+        "\nThe policy concentrates on ε↦\"x\" — it has learned the x-typo\n\
+         channel from five examples and will synthesize training errors\n\
+         that look like the dataset's real ones (paper Figure 8)."
+    );
+}

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate: re-exports the public API of every
+//! HoloDetect reproduction crate so examples and integration tests can
+//! use a single dependency.
+
+pub use holo_baselines as baselines;
+pub use holo_channel as channel;
+pub use holo_constraints as constraints;
+pub use holo_data as data;
+pub use holo_datagen as datagen;
+pub use holo_embed as embed;
+pub use holo_eval as eval;
+pub use holo_features as features;
+pub use holo_nn as nn;
+pub use holo_text as text;
+pub use holodetect as core;

@@ -1,0 +1,129 @@
+//! Integration tests for the noisy-channel loop: inject errors with one
+//! channel, learn it back from examples, and verify the learned policy
+//! regenerates errors with the same statistical signature.
+
+use holodetect_repro::channel::{
+    augment, learn_transformations, AugmentConfig, NaiveBayesRepair, Policy, RepairConfig,
+    Template,
+};
+use holodetect_repro::data::Label;
+use holodetect_repro::datagen::{generate, DatasetKind};
+
+/// Learn the channel from ground-truth error pairs of a generated
+/// dataset.
+fn learned_policy(kind: DatasetKind, rows: usize) -> (Policy, usize) {
+    let g = generate(kind, rows, 55);
+    let lists: Vec<_> = g
+        .truth
+        .error_cells()
+        .map(|(cell, clean)| learn_transformations(clean, g.dirty.cell_value(cell)))
+        .collect();
+    let n = lists.len();
+    (Policy::from_lists(&lists), n)
+}
+
+#[test]
+fn hospital_channel_learns_x_typos() {
+    let (policy, n_pairs) = learned_policy(DatasetKind::Hospital, 600);
+    assert!(n_pairs > 20, "need errors to learn from, got {n_pairs}");
+    // The single most useful transformation of the x-typo channel.
+    let add_x = policy
+        .entries()
+        .iter()
+        .find(|(t, _)| t.from.is_empty() && t.to == "x");
+    assert!(add_x.is_some(), "ε↦x not learned");
+    // x-insertions should dominate the non-whole-string mass.
+    let x_mass: f64 = policy
+        .entries()
+        .iter()
+        .filter(|(t, _)| t.to.contains('x') && t.from.len() <= 2)
+        .map(|(_, p)| p)
+        .sum();
+    assert!(x_mass > 0.1, "x-typo mass too small: {x_mass}");
+}
+
+#[test]
+fn learned_channel_regenerates_hospital_like_errors() {
+    let (policy, _) = learned_policy(DatasetKind::Hospital, 600);
+    let corrects: Vec<String> =
+        ["providence hospital", "60612", "heart attack", "scip-inf-3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let cfg = AugmentConfig { alpha: 1.0, seed: 3, ..Default::default() };
+    let out = augment(&corrects, 0, &policy, &[], &cfg);
+    assert!(!out.is_empty());
+    // The synthetic errors should overwhelmingly add x's — the learned
+    // channel's signature.
+    let with_x = out
+        .iter()
+        .filter(|e| e.dirty.matches('x').count() > e.clean.matches('x').count())
+        .count();
+    assert!(
+        with_x * 3 >= out.len() * 2,
+        "only {with_x}/{} synthetic errors carry the x signature",
+        out.len()
+    );
+}
+
+#[test]
+fn swap_heavy_channel_learns_whole_value_exchanges() {
+    // Food is 76% swaps: whole-value exchanges should be prominent.
+    let g = generate(DatasetKind::Food, 1000, 19);
+    let mut whole_exchanges = 0usize;
+    let mut total = 0usize;
+    for (cell, clean) in g.truth.error_cells() {
+        let dirty = g.dirty.cell_value(cell);
+        let ts = learn_transformations(clean, dirty);
+        total += 1;
+        // The top-level transformation is always the whole exchange; a
+        // *pure* swap learns nothing else (disjoint-ish strings).
+        if ts.len() <= 3 && ts[0].template() == Template::Exchange {
+            whole_exchanges += 1;
+        }
+    }
+    assert!(total > 10);
+    // Swapped values often share syllables, so the recursion may learn a
+    // few sub-transformations too; still, a large share of errors should
+    // reduce to (near-)pure whole-value exchanges.
+    assert!(
+        whole_exchanges * 3 > total,
+        "{whole_exchanges}/{total} swaps learned as whole exchanges"
+    );
+}
+
+#[test]
+fn nb_repair_precision_on_fd_structured_data() {
+    // Table 6's claim: the weak-supervision repairs are precise enough
+    // to serve as error examples (paper: ≥ 0.71 at full scale).
+    let g = generate(DatasetKind::Hospital, 1000, 7);
+    let nb = NaiveBayesRepair::build(&g.dirty, RepairConfig::default());
+    let repairs = nb.repairs(&g.dirty);
+    assert!(!repairs.is_empty(), "NB found nothing to repair");
+    let tp = repairs
+        .iter()
+        .filter(|r| g.truth.label(r.cell) == Label::Error)
+        .count();
+    let precision = tp as f64 / repairs.len() as f64;
+    assert!(
+        precision > 0.5,
+        "NB precision {precision:.3} over {} repairs",
+        repairs.len()
+    );
+}
+
+#[test]
+fn policy_conditionals_are_distributions_on_real_values() {
+    let (policy, _) = learned_policy(DatasetKind::Soccer, 800);
+    let g = generate(DatasetKind::Soccer, 100, 2);
+    for t in 0..20 {
+        for a in 0..g.dirty.n_attrs() {
+            let cond = policy.conditional(g.dirty.value(t, a));
+            if cond.is_empty() {
+                continue;
+            }
+            let total: f64 = cond.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "conditional mass {total}");
+        }
+    }
+}
