@@ -6,8 +6,8 @@
 //! break constraints; low precision because whole groups are flagged.
 
 use holo_constraints::ViolationEngine;
-use holo_data::{CellId, Dataset, Label};
-use holo_eval::{DetectionContext, Detector};
+use holo_data::{CellId, Dataset};
+use holo_eval::{Detector, FitContext, FlagSetModel, TrainedModel};
 use std::collections::HashSet;
 
 /// The rule-based constraint-violation detector.
@@ -36,13 +36,11 @@ impl Detector for ConstraintViolations {
         "CV"
     }
 
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+    /// "Fitting" CV is building the violation index once; the returned
+    /// flag-set model then serves any cell batch.
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
         let engine = ViolationEngine::build(ctx.dirty, ctx.constraints);
-        let flagged = Self::flagged_cells(ctx.dirty, &engine);
-        ctx.eval_cells
-            .iter()
-            .map(|c| if flagged.contains(c) { Label::Error } else { Label::Correct })
-            .collect()
+        Box::new(FlagSetModel::new(Self::flagged_cells(ctx.dirty, &engine)))
     }
 }
 
@@ -50,7 +48,7 @@ impl Detector for ConstraintViolations {
 mod tests {
     use super::*;
     use holo_constraints::parse_constraints;
-    use holo_data::{DatasetBuilder, Schema, TrainingSet};
+    use holo_data::{DatasetBuilder, Label, Schema, TrainingSet};
 
     fn dirty() -> Dataset {
         let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
@@ -67,20 +65,25 @@ mod tests {
         let dcs = parse_constraints("Zip -> City", d.schema()).unwrap();
         let train = TrainingSet::new();
         let cells: Vec<CellId> = d.cell_ids().collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &d,
             train: &train,
             sampling: None,
             constraints: &dcs,
-            eval_cells: &cells,
             seed: 0,
         };
-        let labels = ConstraintViolations.detect(&ctx);
+        let model = ConstraintViolations.fit(&ctx);
+        let labels = model.predict(&cells, model.default_threshold());
         // Rows 0–2 participate in violations; both Zip and City cells of
         // those rows are flagged. Row 3 is clean.
         for (cell, label) in cells.iter().zip(&labels) {
             let expect = if cell.t() <= 2 { Label::Error } else { Label::Correct };
             assert_eq!(*label, expect, "cell {cell}");
+        }
+        // Scores are degenerate {0, 1} confidences.
+        for (cell, score) in cells.iter().zip(model.score(&cells)) {
+            let expect = if cell.t() <= 2 { 1.0 } else { 0.0 };
+            assert_eq!(score, expect, "cell {cell}");
         }
     }
 
@@ -89,15 +92,15 @@ mod tests {
         let d = dirty();
         let train = TrainingSet::new();
         let cells: Vec<CellId> = d.cell_ids().collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &d,
             train: &train,
             sampling: None,
             constraints: &[],
-            eval_cells: &cells,
             seed: 0,
         };
-        let labels = ConstraintViolations.detect(&ctx);
+        let model = ConstraintViolations.fit(&ctx);
+        let labels = model.predict(&cells, model.default_threshold());
         assert!(labels.iter().all(|&l| l == Label::Correct));
     }
 }

@@ -8,8 +8,8 @@
 //! individually well-supported; cells participating in a forbidden pair
 //! are flagged.
 
-use holo_data::{Label, Symbol};
-use holo_eval::{DetectionContext, Detector};
+use holo_data::{CellId, Dataset, Symbol};
+use holo_eval::{Detector, FitContext, TrainedModel};
 use std::collections::HashMap;
 
 /// The forbidden-itemsets detector.
@@ -29,26 +29,76 @@ impl Default for ForbiddenItemsets {
     }
 }
 
+/// The fitted FBI model: per-column supports and pair counts gathered
+/// at fit time; lift queries served per scored cell.
+struct FbiModel<'a> {
+    dirty: &'a Dataset,
+    /// Value supports per column.
+    support: Vec<HashMap<Symbol, u32>>,
+    /// Pair counts per column pair (a < b).
+    pairs: Vec<Vec<HashMap<(Symbol, Symbol), u32>>>,
+    max_lift: f64,
+    min_support: u32,
+}
+
+impl FbiModel<'_> {
+    fn lift(&self, a: usize, va: Symbol, b: usize, vb: Symbol) -> Option<f64> {
+        if self.support[a][&va] < self.min_support || self.support[b][&vb] < self.min_support {
+            return None; // not enough evidence to forbid
+        }
+        let n = self.dirty.n_tuples() as f64;
+        let sa = f64::from(self.support[a][&va]);
+        let sb = f64::from(self.support[b][&vb]);
+        let joint = f64::from(
+            self.pairs[a.min(b)][a.max(b) - a.min(b) - 1]
+                .get(&if a < b { (va, vb) } else { (vb, va) })
+                .copied()
+                .unwrap_or(0),
+        );
+        Some((joint / n) / ((sa / n) * (sb / n)))
+    }
+}
+
+impl TrainedModel for FbiModel<'_> {
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        let d = self.dirty;
+        let na = d.n_attrs();
+        cells
+            .iter()
+            .map(|cell| {
+                if d.n_tuples() == 0 || na < 2 {
+                    return 0.0;
+                }
+                let (t, a) = (cell.t(), cell.a());
+                let va = d.symbol(t, a);
+                let forbidden = (0..na).filter(|&b| b != a).any(|b| {
+                    let vb = d.symbol(t, b);
+                    matches!(self.lift(a, va, b, vb), Some(l) if l < self.max_lift)
+                });
+                if forbidden {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
 impl Detector for ForbiddenItemsets {
     fn name(&self) -> &'static str {
         "FBI"
     }
 
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
         let d = ctx.dirty;
-        let n = d.n_tuples() as f64;
         let na = d.n_attrs();
-        if n == 0.0 || na < 2 {
-            return vec![Label::Correct; ctx.eval_cells.len()];
-        }
-        // Value supports per column.
         let mut support: Vec<HashMap<Symbol, u32>> = vec![HashMap::new(); na];
-        for a in 0..na {
+        for (a, col_support) in support.iter_mut().enumerate() {
             for &s in d.column(a) {
-                *support[a].entry(s).or_insert(0) += 1;
+                *col_support.entry(s).or_insert(0) += 1;
             }
         }
-        // Pair counts per column pair (a < b).
         let mut pairs: Vec<Vec<HashMap<(Symbol, Symbol), u32>>> =
             (0..na).map(|a| vec![HashMap::new(); na.saturating_sub(a + 1)]).collect();
         for t in 0..d.n_tuples() {
@@ -60,43 +110,20 @@ impl Detector for ForbiddenItemsets {
                 }
             }
         }
-        let lift = |a: usize, va: Symbol, b: usize, vb: Symbol| -> Option<f64> {
-            let sa = f64::from(support[a][&va]);
-            let sb = f64::from(support[b][&vb]);
-            let joint = f64::from(
-                pairs[a.min(b)][a.max(b) - a.min(b) - 1]
-                    .get(&if a < b { (va, vb) } else { (vb, va) })
-                    .copied()
-                    .unwrap_or(0),
-            );
-            if support[a][&va] < self.min_support || support[b][&vb] < self.min_support {
-                return None; // not enough evidence to forbid
-            }
-            Some((joint / n) / ((sa / n) * (sb / n)))
-        };
-        ctx.eval_cells
-            .iter()
-            .map(|cell| {
-                let (t, a) = (cell.t(), cell.a());
-                let va = d.symbol(t, a);
-                let forbidden = (0..na).filter(|&b| b != a).any(|b| {
-                    let vb = d.symbol(t, b);
-                    matches!(lift(a, va, b, vb), Some(l) if l < self.max_lift)
-                });
-                if forbidden {
-                    Label::Error
-                } else {
-                    Label::Correct
-                }
-            })
-            .collect()
+        Box::new(FbiModel {
+            dirty: d,
+            support,
+            pairs,
+            max_lift: self.max_lift,
+            min_support: self.min_support,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use holo_data::{CellId, Dataset, DatasetBuilder, Schema, TrainingSet};
+    use holo_data::{DatasetBuilder, Label, Schema, TrainingSet};
 
     /// Cities and states that normally pair up; one swapped pair.
     fn dirty() -> Dataset {
@@ -109,25 +136,25 @@ mod tests {
         b.build()
     }
 
-    fn run(d: &Dataset, det: &mut ForbiddenItemsets) -> HashMap<CellId, Label> {
+    fn run(d: &Dataset, det: &ForbiddenItemsets) -> HashMap<CellId, Label> {
         let train = TrainingSet::new();
         let cells: Vec<CellId> = d.cell_ids().collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: d,
             train: &train,
             sampling: None,
             constraints: &[],
-            eval_cells: &cells,
             seed: 0,
         };
-        let labels = det.detect(&ctx);
+        let model = det.fit(&ctx);
+        let labels = model.predict(&cells, model.default_threshold());
         cells.into_iter().zip(labels).collect()
     }
 
     #[test]
     fn flags_the_swapped_pair() {
         let d = dirty();
-        let map = run(&d, &mut ForbiddenItemsets::default());
+        let map = run(&d, &ForbiddenItemsets::default());
         // Both cells of the forbidden pair are implicated.
         assert_eq!(map[&CellId::new(100, 0)], Label::Error);
         assert_eq!(map[&CellId::new(100, 1)], Label::Error);
@@ -147,7 +174,7 @@ mod tests {
         }
         b.push_row(&["Cixago", "IL"]);
         let d = b.build();
-        let map = run(&d, &mut ForbiddenItemsets::default());
+        let map = run(&d, &ForbiddenItemsets::default());
         assert_eq!(map[&CellId::new(50, 0)], Label::Correct);
     }
 
@@ -156,7 +183,7 @@ mod tests {
         let mut b = DatasetBuilder::new(Schema::new(["A"]));
         b.push_row(&["x"]);
         let d = b.build();
-        let map = run(&d, &mut ForbiddenItemsets::default());
+        let map = run(&d, &ForbiddenItemsets::default());
         assert_eq!(map[&CellId::new(0, 0)], Label::Correct);
     }
 }

@@ -12,8 +12,9 @@
 use crate::cv::ConstraintViolations;
 use holo_channel::{NaiveBayesRepair, RepairConfig};
 use holo_constraints::ViolationEngine;
-use holo_data::Label;
-use holo_eval::{DetectionContext, Detector};
+use holo_data::{CellId, Dataset};
+use holo_eval::{Detector, FitContext, TrainedModel};
+use std::collections::HashSet;
 
 /// The HoloClean-style detect-then-repair baseline.
 #[derive(Debug)]
@@ -29,30 +30,45 @@ impl Default for HoloCleanDetector {
     }
 }
 
+/// The fitted HC model: the CV candidate set plus the repair engine,
+/// queried lazily per scored cell.
+struct HoloCleanModel<'a> {
+    dirty: &'a Dataset,
+    candidates: HashSet<CellId>,
+    nb: NaiveBayesRepair,
+}
+
+impl TrainedModel for HoloCleanModel<'_> {
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        cells
+            .iter()
+            .map(|cell| {
+                if !self.candidates.contains(cell) {
+                    return 0.0;
+                }
+                // A cell is an error iff the repair model changes it.
+                match self.nb.suggest(self.dirty, cell.t(), cell.a()) {
+                    Some(_) => 1.0,
+                    None => 0.0,
+                }
+            })
+            .collect()
+    }
+}
+
 impl Detector for HoloCleanDetector {
     fn name(&self) -> &'static str {
         "HC"
     }
 
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
         let engine = ViolationEngine::build(ctx.dirty, ctx.constraints);
         let candidates = ConstraintViolations::flagged_cells(ctx.dirty, &engine);
         let nb = NaiveBayesRepair::build(
             ctx.dirty,
             RepairConfig { acceptance_threshold: self.repair_threshold, ..Default::default() },
         );
-        ctx.eval_cells
-            .iter()
-            .map(|cell| {
-                if !candidates.contains(cell) {
-                    return Label::Correct;
-                }
-                match nb.suggest(ctx.dirty, cell.t(), cell.a()) {
-                    Some(_) => Label::Error, // repair changed the value
-                    None => Label::Correct,
-                }
-            })
-            .collect()
+        Box::new(HoloCleanModel { dirty: ctx.dirty, candidates, nb })
     }
 }
 
@@ -60,7 +76,7 @@ impl Detector for HoloCleanDetector {
 mod tests {
     use super::*;
     use holo_constraints::parse_constraints;
-    use holo_data::{CellId, Dataset, DatasetBuilder, Schema, TrainingSet};
+    use holo_data::{DatasetBuilder, Label, Schema, TrainingSet};
 
     fn dirty() -> Dataset {
         let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
@@ -78,15 +94,15 @@ mod tests {
         let dcs = parse_constraints("Zip -> City", d.schema()).unwrap();
         let train = TrainingSet::new();
         let cells: Vec<CellId> = d.cell_ids().collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &d,
             train: &train,
             sampling: None,
             constraints: &dcs,
-            eval_cells: &cells,
             seed: 0,
         };
-        let labels = HoloCleanDetector::default().detect(&ctx);
+        let model = HoloCleanDetector::default().fit(&ctx);
+        let labels = model.predict(&cells, model.default_threshold());
         let flagged: Vec<CellId> = cells
             .iter()
             .zip(&labels)
@@ -104,24 +120,23 @@ mod tests {
         let dcs = parse_constraints("Zip -> City", d.schema()).unwrap();
         let train = TrainingSet::new();
         let cells: Vec<CellId> = d.cell_ids().collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &d,
             train: &train,
             sampling: None,
             constraints: &dcs,
-            eval_cells: &cells,
             seed: 0,
         };
-        let cv_errors = crate::cv::ConstraintViolations
-            .detect(&ctx)
-            .iter()
-            .filter(|&&l| l == Label::Error)
-            .count();
-        let hc_errors = HoloCleanDetector::default()
-            .detect(&ctx)
-            .iter()
-            .filter(|&&l| l == Label::Error)
-            .count();
+        let count_errors = |det: &dyn Detector| {
+            let model = det.fit(&ctx);
+            model
+                .predict(&cells, model.default_threshold())
+                .iter()
+                .filter(|&&l| l == Label::Error)
+                .count()
+        };
+        let cv_errors = count_errors(&crate::cv::ConstraintViolations);
+        let hc_errors = count_errors(&HoloCleanDetector::default());
         assert!(hc_errors < cv_errors, "HC {hc_errors} vs CV {cv_errors}");
         assert_eq!(hc_errors, 1);
     }

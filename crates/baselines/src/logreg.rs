@@ -7,8 +7,8 @@
 //! argument for representation learning over engineered linear features.
 
 use holo_constraints::ViolationEngine;
-use holo_data::{CellId, Dataset, Label};
-use holo_eval::{DetectionContext, Detector};
+use holo_data::{CellId, Dataset};
+use holo_eval::{ConstantScore, Detector, FitContext, TrainedModel};
 use holo_features::wide::{CoocModel, EmpiricalModel};
 use holo_nn::{Adam, Dense, Matrix, Sequential};
 use rand::rngs::StdRng;
@@ -71,17 +71,40 @@ impl<'a> LrFeatures<'a> {
     }
 }
 
+/// The fitted LR model: the engineered-feature extractor plus the
+/// trained linear classifier, reusable over any cell batch.
+struct LrModel<'a> {
+    dirty: &'a Dataset,
+    feats: LrFeatures<'a>,
+    net: Sequential,
+}
+
+impl TrainedModel for LrModel<'_> {
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f32>> = cells
+            .iter()
+            .map(|&c| self.feats.vector(c, self.dirty.cell_value(c)))
+            .collect();
+        let x = matrix_from(&rows, self.feats.dim());
+        let p = self.net.predict_proba(&x);
+        (0..cells.len()).map(|i| f64::from(p.get(i, 1))).collect()
+    }
+}
+
 impl Detector for LogisticRegression {
     fn name(&self) -> &'static str {
         "LR"
     }
 
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
-        let feats = LrFeatures::fit(ctx.dirty, ctx.constraints);
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
         let train = ctx.train;
         if train.is_empty() {
-            return vec![Label::Correct; ctx.eval_cells.len()];
+            return Box::new(ConstantScore(0.0));
         }
+        let feats = LrFeatures::fit(ctx.dirty, ctx.constraints);
         // Assemble training matrix.
         let rows: Vec<Vec<f32>> = train
             .examples()
@@ -101,18 +124,7 @@ impl Detector for LogisticRegression {
         for _ in 0..self.epochs {
             net.train_batch(&x, &targets, &mut opt);
         }
-
-        // Predict over eval cells.
-        let eval_rows: Vec<Vec<f32>> = ctx
-            .eval_cells
-            .iter()
-            .map(|&c| feats.vector(c, ctx.dirty.cell_value(c)))
-            .collect();
-        let xe = matrix_from(&eval_rows, feats.dim());
-        let p = net.predict_proba(&xe);
-        (0..ctx.eval_cells.len())
-            .map(|i| if p.get(i, 1) > 0.5 { Label::Error } else { Label::Correct })
-            .collect()
+        Box::new(LrModel { dirty: ctx.dirty, feats, net })
     }
 }
 
@@ -128,7 +140,7 @@ fn matrix_from(rows: &[Vec<f32>], dim: usize) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use holo_data::{DatasetBuilder, GroundTruth, LabeledCell, Schema, TrainingSet};
+    use holo_data::{DatasetBuilder, GroundTruth, Label, LabeledCell, Schema, TrainingSet};
 
     /// A separable world: swapped City values have near-zero
     /// co-occurrence with their Zip, clean ones co-occur often.
@@ -167,15 +179,17 @@ mod tests {
         }
         let eval: Vec<CellId> =
             (30..60).flat_map(|t| (0..2).map(move |a| CellId::new(t, a))).collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &dirty,
             train: &train,
             sampling: None,
             constraints: &[],
-            eval_cells: &eval,
             seed: 1,
         };
-        let labels = LogisticRegression::default().detect(&ctx);
+        let model = LogisticRegression::default().fit(&ctx);
+        let scores = model.score(&eval);
+        assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
+        let labels = model.predict(&eval, model.default_threshold());
         let mut correct = 0;
         for (cell, label) in eval.iter().zip(&labels) {
             if *label == truth.label(*cell) {
@@ -191,15 +205,15 @@ mod tests {
         let (dirty, _) = world();
         let train = TrainingSet::new();
         let eval: Vec<CellId> = dirty.cell_ids().take(10).collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &dirty,
             train: &train,
             sampling: None,
             constraints: &[],
-            eval_cells: &eval,
             seed: 0,
         };
-        let labels = LogisticRegression::default().detect(&ctx);
+        let model = LogisticRegression::default().fit(&ctx);
+        let labels = model.predict(&eval, model.default_threshold());
         assert!(labels.iter().all(|&l| l == Label::Correct));
     }
 }

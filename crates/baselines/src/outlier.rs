@@ -6,8 +6,8 @@
 //! to an outlier." A value is an outlier when it is improbable under
 //! *every* correlated attribute's conditional distribution.
 
-use holo_data::{Dataset, Label, Symbol};
-use holo_eval::{DetectionContext, Detector};
+use holo_data::{CellId, Dataset, Symbol};
+use holo_eval::{Detector, FitContext, TrainedModel};
 use std::collections::HashMap;
 
 /// The conditional-distribution outlier detector.
@@ -37,14 +37,14 @@ impl Conditionals {
         let mut joint: Vec<Vec<HashMap<Symbol, HashMap<Symbol, u32>>>> =
             (0..na).map(|_| vec![HashMap::new(); na]).collect();
         for t in 0..d.n_tuples() {
-            for a in 0..na {
+            for (a, row) in joint.iter_mut().enumerate() {
                 let va = d.symbol(t, a);
-                for b in 0..na {
+                for (b, by_context) in row.iter_mut().enumerate() {
                     if a == b {
                         continue;
                     }
                     let vb = d.symbol(t, b);
-                    *joint[a][b].entry(vb).or_default().entry(va).or_insert(0) += 1;
+                    *by_context.entry(vb).or_default().entry(va).or_insert(0) += 1;
                 }
             }
         }
@@ -64,42 +64,59 @@ impl Conditionals {
     }
 }
 
-impl Detector for OutlierDetector {
-    fn name(&self) -> &'static str {
-        "OD"
-    }
+/// The fitted OD model: the pairwise conditional statistics plus the
+/// outlier threshold chosen at fit time.
+struct OutlierModel<'a> {
+    dirty: &'a Dataset,
+    cond: Conditionals,
+    threshold: f64,
+}
 
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
-        let d = ctx.dirty;
-        let cond = Conditionals::fit(d);
+impl TrainedModel for OutlierModel<'_> {
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        let d = self.dirty;
         let na = d.n_attrs();
-        ctx.eval_cells
+        cells
             .iter()
             .map(|cell| {
                 if na < 2 {
-                    return Label::Correct;
+                    return 0.0;
                 }
                 let (t, a) = (cell.t(), cell.a());
                 // Best support among all other attributes: a correct value
                 // is usually well-supported by at least one correlate.
                 let best = (0..na)
                     .filter(|&b| b != a)
-                    .map(|b| cond.conditional(d, t, a, b))
+                    .map(|b| self.cond.conditional(d, t, a, b))
                     .fold(0.0f64, f64::max);
                 if best < self.threshold {
-                    Label::Error
+                    1.0
                 } else {
-                    Label::Correct
+                    0.0
                 }
             })
             .collect()
     }
 }
 
+impl Detector for OutlierDetector {
+    fn name(&self) -> &'static str {
+        "OD"
+    }
+
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+        Box::new(OutlierModel {
+            dirty: ctx.dirty,
+            cond: Conditionals::fit(ctx.dirty),
+            threshold: self.threshold,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use holo_data::{CellId, DatasetBuilder, Schema, TrainingSet};
+    use holo_data::{DatasetBuilder, Label, Schema, TrainingSet};
 
     fn dirty() -> Dataset {
         let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
@@ -111,25 +128,25 @@ mod tests {
         b.build()
     }
 
-    fn detect(d: &Dataset, det: &mut OutlierDetector) -> Vec<(CellId, Label)> {
+    fn detect(d: &Dataset, det: &OutlierDetector) -> Vec<(CellId, Label)> {
         let train = TrainingSet::new();
         let cells: Vec<CellId> = d.cell_ids().collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: d,
             train: &train,
             sampling: None,
             constraints: &[],
-            eval_cells: &cells,
             seed: 0,
         };
-        let labels = det.detect(&ctx);
+        let model = det.fit(&ctx);
+        let labels = model.predict(&cells, model.default_threshold());
         cells.into_iter().zip(labels).collect()
     }
 
     #[test]
     fn flags_the_conditional_outlier() {
         let d = dirty();
-        let results = detect(&d, &mut OutlierDetector::default());
+        let results = detect(&d, &OutlierDetector::default());
         let map: std::collections::HashMap<CellId, Label> = results.into_iter().collect();
         assert_eq!(map[&CellId::new(100, 1)], Label::Error);
         assert_eq!(map[&CellId::new(0, 1)], Label::Correct);
@@ -139,16 +156,16 @@ mod tests {
     #[test]
     fn threshold_zero_flags_nothing() {
         let d = dirty();
-        let mut det = OutlierDetector { threshold: 0.0 };
-        let results = detect(&d, &mut det);
+        let det = OutlierDetector { threshold: 0.0 };
+        let results = detect(&d, &det);
         assert!(results.iter().all(|(_, l)| *l == Label::Correct));
     }
 
     #[test]
     fn threshold_one_flags_everything_uncertain() {
         let d = dirty();
-        let mut det = OutlierDetector { threshold: 1.1 };
-        let results = detect(&d, &mut det);
+        let det = OutlierDetector { threshold: 1.1 };
+        let results = detect(&d, &det);
         // Everything is below 1.1, so everything is flagged.
         assert!(results.iter().all(|(_, l)| *l == Label::Error));
     }

@@ -49,7 +49,7 @@ fn bench_full_detect(c: &mut Criterion) {
                 eval_cells: &eval_cells,
                 seed: 3,
             };
-            let mut det = HoloDetect::new(cfg.clone());
+            let det = HoloDetect::new(cfg.clone());
             black_box(det.detect(&ctx))
         })
     });

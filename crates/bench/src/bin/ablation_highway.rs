@@ -25,8 +25,8 @@ fn main() {
         let f1_of = |style: BranchStyle| {
             let mut c = cfg.clone();
             c.branch_style = style;
-            let mut det = HoloDetect::new(c);
-            run_method(&mut det, &g, 0.05, &args).f1
+            let det = HoloDetect::new(c);
+            run_method(&det, &g, 0.05, &args).f1
         };
         let hw = f1_of(BranchStyle::Highway);
         let pd = f1_of(BranchStyle::PlainDense);

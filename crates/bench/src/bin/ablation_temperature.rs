@@ -27,9 +27,9 @@ fn main() {
         for temp in temperatures {
             let mut c = cfg.clone();
             c.augment.temperature = temp;
-            let mut det =
+            let det =
                 HoloDetect::with_strategy(c, Strategy::Augmentation { target_ratio: None });
-            row.push(fmt3(run_method(&mut det, &g, 0.05, &args).f1));
+            row.push(fmt3(run_method(&det, &g, 0.05, &args).f1));
         }
         t.row(row);
     }

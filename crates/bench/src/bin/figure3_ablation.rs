@@ -23,8 +23,8 @@ fn main() {
     let mut t = Table::new(["Dataset", "Removed", "Context", "F1", "ΔF1 vs full"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
-        let mut full_det = HoloDetect::new(base_cfg.clone());
-        let full = run_method(&mut full_det, &g, 0.05, &args);
+        let full_det = HoloDetect::new(base_cfg.clone());
+        let full = run_method(&full_det, &g, 0.05, &args);
         t.row([
             kind.name().to_owned(),
             "(none: full AUG)".to_owned(),
@@ -35,8 +35,8 @@ fn main() {
         for c in Component::ALL {
             let mut cfg = base_cfg.clone();
             cfg.features = cfg.features.without(c);
-            let mut det = HoloDetect::new(cfg);
-            let s = run_method(&mut det, &g, 0.05, &args);
+            let det = HoloDetect::new(cfg);
+            let s = run_method(&det, &g, 0.05, &args);
             t.row([
                 kind.name().to_owned(),
                 c.label().to_owned(),

@@ -21,15 +21,15 @@ fn main() {
     let mut t = Table::new(["Dataset", "k", "ActiveL F1", "AUG F1", "paper ActiveL≈", "paper AUG"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
-        let mut aug = HoloDetect::new(cfg.clone());
-        let aug_run = run_method(&mut aug, &g, 0.05, &args);
+        let aug = HoloDetect::new(cfg.clone());
+        let aug_run = run_method(&aug, &g, 0.05, &args);
         let paper_aug = paper::table2(kind, "AUG").map(|(_, _, f)| f);
         for k in loops {
             // Lighter inner schedule so k=100 stays tractable.
             let mut al_cfg = cfg.clone();
             al_cfg.epochs = (cfg.epochs / 3).max(10);
-            let mut al = HoloDetect::with_strategy(al_cfg, Strategy::active(k));
-            let al_run = run_method(&mut al, &g, 0.05, &args);
+            let al = HoloDetect::with_strategy(al_cfg, Strategy::active(k));
+            let al_run = run_method(&al, &g, 0.05, &args);
             t.row([
                 kind.name().to_owned(),
                 format!("{k}"),

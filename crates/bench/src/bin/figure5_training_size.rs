@@ -21,8 +21,8 @@ fn main() {
     for kind in datasets {
         let g = make_dataset(kind, &args);
         for frac in fractions {
-            let mut det = HoloDetect::new(cfg.clone());
-            let s = run_method(&mut det, &g, frac, &args);
+            let det = HoloDetect::new(cfg.clone());
+            let s = run_method(&det, &g, frac, &args);
             t.row([
                 kind.name().to_owned(),
                 format!("{:.1}%", frac * 100.0),

@@ -23,11 +23,11 @@ fn main() {
     for kind in datasets {
         let g = make_dataset(kind, &args);
         for ratio in ratios {
-            let mut det = HoloDetect::with_strategy(
+            let det = HoloDetect::with_strategy(
                 cfg.clone(),
                 Strategy::Augmentation { target_ratio: Some(ratio) },
             );
-            let s = run_method(&mut det, &g, 0.05, &args);
+            let s = run_method(&det, &g, 0.05, &args);
             t.row([
                 kind.name().to_owned(),
                 format!("{ratio:.1}"),

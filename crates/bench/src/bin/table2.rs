@@ -24,9 +24,9 @@ fn main() {
     for kind in args.datasets_or(&DatasetKind::ALL) {
         let g = make_dataset(kind, &args);
         let train_frac = if kind == DatasetKind::Hospital { 0.10 } else { 0.05 };
-        for mut det in detectors_for_table2(&cfg, active_loops) {
+        for det in detectors_for_table2(&cfg, active_loops) {
             let name = det.name();
-            let s = run_method(det.as_mut(), &g, train_frac, &args);
+            let s = run_method(det.as_ref(), &g, train_frac, &args);
             let paper = match holo_bench::paper::table2(kind, name) {
                 Some((p, r, f)) => format!("({} / {} / {})", fmt3(p), fmt3(r), fmt3(f)),
                 None => "(n/a)".to_owned(),

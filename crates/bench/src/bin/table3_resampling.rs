@@ -23,8 +23,8 @@ fn main() {
         let g = make_dataset(kind, &args);
         for (frac, pct) in fractions {
             let f1_of = |strategy: Strategy| {
-                let mut det = HoloDetect::with_strategy(cfg.clone(), strategy);
-                run_method(&mut det, &g, frac, &args).f1
+                let det = HoloDetect::with_strategy(cfg.clone(), strategy);
+                run_method(&det, &g, frac, &args).f1
             };
             let aug = f1_of(Strategy::Augmentation { target_ratio: None });
             let res = f1_of(Strategy::Resampling);

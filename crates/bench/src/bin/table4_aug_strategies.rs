@@ -32,11 +32,11 @@ fn main() {
             let f1_of = |strategy: AugmentStrategy| {
                 let mut c = cfg.clone();
                 c.augment.strategy = strategy;
-                let mut det = HoloDetect::with_strategy(
+                let det = HoloDetect::with_strategy(
                     c,
                     Strategy::Augmentation { target_ratio: None },
                 );
-                run_method(&mut det, &g, frac, &args).f1
+                run_method(&det, &g, frac, &args).f1
             };
             let aug = f1_of(AugmentStrategy::Learned);
             let rand = f1_of(AugmentStrategy::Random);

@@ -21,13 +21,13 @@ fn main() {
     for kind in datasets {
         let g = make_dataset(kind, &args);
         let train_frac = if kind == DatasetKind::Hospital { 0.10 } else { 0.05 };
-        for mut det in detectors_for_table2(&cfg, 10) {
+        for det in detectors_for_table2(&cfg, 10) {
             let name = det.name();
             // FBI/HC are not in the paper's Table 5; skip to match it.
             if name == "FBI" || name == "HC" {
                 continue;
             }
-            let s = run_method(det.as_mut(), &g, train_frac, &args);
+            let s = run_method(det.as_ref(), &g, train_frac, &args);
             t.row([
                 kind.name().to_owned(),
                 name.to_owned(),

@@ -37,9 +37,9 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(900 + sample as u64);
                 pool.shuffle(&mut rng);
                 pool.truncate(keep.min(pool.len()));
-                let mut det = HoloDetect::new(cfg.clone());
+                let det = HoloDetect::new(cfg.clone());
                 let split = SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 0 };
-                let s = run_seeds(&mut det, &g.dirty, &g.truth, &pool, split, &seeds(1));
+                let s = run_seeds(&det, &g.dirty, &g.truth, &pool, split, &seeds(1));
                 f1s.push(s.f1);
             }
             f1s.sort_by(f64::total_cmp);

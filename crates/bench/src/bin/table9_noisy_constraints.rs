@@ -31,9 +31,9 @@ fn main() {
                 .collect();
             // Match the clean constraint-set cardinality, as the paper does.
             noisy.truncate(n_clean);
-            let mut det = HoloDetect::new(cfg.clone());
+            let det = HoloDetect::new(cfg.clone());
             let split = SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 0 };
-            let s = run_seeds(&mut det, &g.dirty, &g.truth, &noisy, split, &seeds(args.runs));
+            let s = run_seeds(&det, &g.dirty, &g.truth, &noisy, split, &seeds(args.runs));
             t.row([
                 kind.name().to_owned(),
                 format!("({lo:.2}, {hi:.2}]"),

@@ -67,9 +67,10 @@ pub fn detectors_for_table2(
     ]
 }
 
-/// Run one detector across seeds with the paper's split protocol.
+/// Run one detector across seeds with the paper's split protocol (one
+/// fit + one predict per seed through the staged API).
 pub fn run_method(
-    detector: &mut dyn Detector,
+    detector: &dyn Detector,
     g: &GeneratedDataset,
     train_frac: f64,
     args: &ExpArgs,
@@ -107,8 +108,7 @@ mod tests {
     fn small_end_to_end_run() {
         let args = ExpArgs { scale: 0.06, runs: 1, epochs: 5, ..ExpArgs::default() };
         let g = make_dataset(DatasetKind::Adult, &args);
-        let mut cv = ConstraintViolations;
-        let s = run_method(&mut cv, &g, 0.05, &args);
+        let s = run_method(&ConstraintViolations, &g, 0.05, &args);
         assert_eq!(s.runs.len(), 1);
         assert!(s.f1 >= 0.0);
     }

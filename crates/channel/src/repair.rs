@@ -72,12 +72,12 @@ impl NaiveBayesRepair {
             for a in 0..na {
                 let v = d.symbol(t, a);
                 *value_counts[a].entry(v).or_insert(0) += 1;
-                for a2 in 0..na {
+                for (a2, cmap) in cooc[a].iter_mut().enumerate() {
                     if a2 == a {
                         continue;
                     }
                     let u = d.symbol(t, a2);
-                    *cooc[a][a2].entry(u).or_default().entry(v).or_insert(0) += 1;
+                    *cmap.entry(u).or_default().entry(v).or_insert(0) += 1;
                 }
             }
         }

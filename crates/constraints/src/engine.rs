@@ -580,7 +580,7 @@ mod props {
     fn brute_force(d: &Dataset, dc: &DenialConstraint) -> Vec<u32> {
         let n = d.n_tuples();
         let mut counts = vec![0u32; n];
-        for t in 0..n {
+        for (t, count) in counts.iter_mut().enumerate() {
             for s in 0..n {
                 if s == t {
                     continue;
@@ -588,7 +588,7 @@ mod props {
                 if eval_conjunction(&dc.predicates, d, t, s, None)
                     || eval_conjunction(&dc.predicates, d, s, t, None)
                 {
-                    counts[t] += 1;
+                    *count += 1;
                 }
             }
         }

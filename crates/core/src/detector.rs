@@ -1,14 +1,18 @@
 //! The end-to-end `HoloDetect` detector.
 
 use crate::config::HoloDetectConfig;
-use crate::strategies::{run_strategy, Strategy};
+use crate::fitted::FittedHoloDetect;
+use crate::strategies::{fit_strategy, Strategy};
 use crate::trainer::Pipeline;
-use holo_data::Label;
-use holo_eval::{DetectionContext, Detector};
+use holo_eval::{Detector, FitContext, TrainedModel};
 
 /// HoloDetect: representation learning + data augmentation for few-shot
 /// error detection. The [`Strategy`] selects the training paradigm; the
 /// default is the paper's AUG.
+///
+/// Fit once with [`HoloDetect::fit_model`] (or the [`Detector::fit`]
+/// trait method), then score/predict arbitrary cell batches through the
+/// returned [`FittedHoloDetect`] without re-training.
 pub struct HoloDetect {
     cfg: HoloDetectConfig,
     strategy: Strategy,
@@ -35,6 +39,18 @@ impl HoloDetect {
     pub fn strategy(&self) -> &Strategy {
         &self.strategy
     }
+
+    /// Fit the full pipeline — representation `Q`, channel + augmentation
+    /// (strategy-dependent), the wide-and-deep classifier `M`, Platt
+    /// calibration, and threshold tuning — returning the concrete fitted
+    /// model (use [`Detector::fit`] when a trait object suffices).
+    pub fn fit_model<'a>(&self, ctx: &FitContext<'a>) -> FittedHoloDetect<'a> {
+        if ctx.train.is_empty() {
+            return FittedHoloDetect::degenerate(self.strategy.method_name());
+        }
+        let pipeline = Pipeline::fit(&self.cfg, ctx.dirty, ctx.constraints, ctx.seed);
+        fit_strategy(&self.strategy, pipeline, ctx)
+    }
 }
 
 impl Detector for HoloDetect {
@@ -42,18 +58,17 @@ impl Detector for HoloDetect {
         self.strategy.method_name()
     }
 
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
-        let pipeline = Pipeline::fit(&self.cfg, ctx.dirty, ctx.constraints, ctx.seed);
-        run_strategy(&self.strategy, &pipeline, ctx)
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+        Box::new(self.fit_model(ctx))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use holo_data::{CellId, TrainingSet};
+    use holo_data::{CellId, Label, TrainingSet};
     use holo_datagen::{generate, DatasetKind};
-    use holo_eval::{Confusion, Split, SplitConfig};
+    use holo_eval::{Confusion, DetectionContext, Split, SplitConfig};
 
     /// End-to-end on a small Hospital-like dataset: AUG should reach
     /// usable F1 even from 10% labels, beating blind guessing by a wide
@@ -77,7 +92,7 @@ mod tests {
             eval_cells: &eval_cells,
             seed: 3,
         };
-        let mut det = HoloDetect::new(cfg);
+        let det = HoloDetect::new(cfg);
         let labels = det.detect(&ctx);
         assert_eq!(labels.len(), eval_cells.len());
         let mut c = Confusion::default();
@@ -99,16 +114,17 @@ mod tests {
         let g = generate(DatasetKind::Adult, 60, 2);
         let train = TrainingSet::new();
         let cells: Vec<CellId> = g.dirty.cell_ids().take(30).collect();
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &g.dirty,
             train: &train,
             sampling: None,
             constraints: &g.constraints,
-            eval_cells: &cells,
             seed: 0,
         };
-        let mut det = HoloDetect::new(HoloDetectConfig::fast());
-        let labels = det.detect(&ctx);
+        let det = HoloDetect::new(HoloDetectConfig::fast());
+        let model = det.fit(&ctx);
+        assert!(model.score(&cells).iter().all(|&p| p == 0.0));
+        let labels = model.predict(&cells, model.default_threshold());
         assert!(labels.iter().all(|&l| l == Label::Correct));
     }
 
@@ -124,12 +140,11 @@ mod tests {
         let eval_cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(100).collect();
         let mut cfg = HoloDetectConfig::fast();
         cfg.epochs = 8;
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &g.dirty,
             train: &train,
             sampling: Some(&sampling),
             constraints: &g.constraints,
-            eval_cells: &eval_cells,
             seed: 1,
         };
         let strategies = [
@@ -141,8 +156,15 @@ mod tests {
             Strategy::ActiveLearning { loops: 2, per_loop: 10 },
         ];
         for s in strategies {
-            let mut det = HoloDetect::with_strategy(cfg.clone(), s.clone());
-            let labels = det.detect(&ctx);
+            let det = HoloDetect::with_strategy(cfg.clone(), s.clone());
+            let model = det.fit(&ctx);
+            let scores = model.score(&eval_cells);
+            assert_eq!(scores.len(), eval_cells.len(), "strategy {s:?}");
+            assert!(
+                scores.iter().all(|p| (0.0..=1.0).contains(p)),
+                "strategy {s:?} produced out-of-range scores"
+            );
+            let labels = model.predict(&eval_cells, model.default_threshold());
             assert_eq!(labels.len(), eval_cells.len(), "strategy {s:?}");
         }
     }
@@ -167,9 +189,38 @@ mod tests {
                 eval_cells: &eval_cells,
                 seed: 5,
             };
-            let mut det = HoloDetect::new(cfg.clone());
+            let det = HoloDetect::new(cfg.clone());
             det.detect(&ctx)
         };
         assert_eq!(run(), run());
+    }
+
+    /// The tentpole contract: one fit, many disjoint predict batches,
+    /// no re-training, identical scores to a single whole-batch call.
+    #[test]
+    fn fit_once_score_many_batches() {
+        let g = generate(DatasetKind::Hospital, 150, 8);
+        let split = Split::new(
+            &g.dirty,
+            SplitConfig { train_frac: 0.15, sampling_frac: 0.0, seed: 3 },
+        );
+        let train = split.training_set(&g.dirty, &g.truth);
+        let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(60).collect();
+        let mut cfg = HoloDetectConfig::fast();
+        cfg.epochs = 8;
+        let ctx = FitContext {
+            dirty: &g.dirty,
+            train: &train,
+            sampling: None,
+            constraints: &g.constraints,
+            seed: 2,
+        };
+        let det = HoloDetect::new(cfg);
+        let model = det.fit(&ctx);
+        let all = model.score(&cells);
+        let (first, second) = cells.split_at(cells.len() / 2);
+        let mut rejoined = model.score(first);
+        rejoined.extend(model.score(second));
+        assert_eq!(all, rejoined);
     }
 }

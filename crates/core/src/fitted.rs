@@ -1,0 +1,187 @@
+//! The fitted HoloDetect model: the reusable product of `fit`.
+//!
+//! [`FittedHoloDetect`] bundles the fitted representation `Q` (inside
+//! the [`Pipeline`]), the trained wide-and-deep classifier `M`, the
+//! Platt scaler of §4.2, and the holdout-tuned decision threshold. It
+//! implements [`holo_eval::TrainedModel`], so `score` / `predict` can be
+//! called repeatedly over arbitrary cell batches — from many threads —
+//! without re-training, and it exposes [`FittedHoloDetect::refit_with`],
+//! the explicit incremental hook the active-learning and self-training
+//! strategies drive their labeling loops through.
+
+use crate::model::WideDeepModel;
+use crate::trainer::{Pipeline, TrainExample};
+use holo_data::CellId;
+use holo_eval::TrainedModel;
+use holo_nn::{Matrix, PlattScaler};
+
+/// A fitted HoloDetect model (any strategy).
+pub struct FittedHoloDetect<'a> {
+    method: &'static str,
+    state: Option<TrainedState<'a>>,
+}
+
+struct TrainedState<'a> {
+    pipeline: Pipeline<'a>,
+    /// The training examples behind `model` — kept so `refit_with` can
+    /// extend them.
+    examples: Vec<TrainExample>,
+    /// Calibration set (the §6.1 holdout).
+    holdout: Vec<TrainExample>,
+    /// A distinct weighted threshold-tuning set, or `None` when the
+    /// holdout itself (unit weights) tunes the threshold.
+    tune: Option<(Vec<TrainExample>, Vec<f64>)>,
+    model: WideDeepModel,
+    platt: PlattScaler,
+    threshold: f64,
+}
+
+impl<'a> FittedHoloDetect<'a> {
+    /// The degenerate model fitted from an empty training set: every
+    /// cell scores 0 (no evidence of errors).
+    pub(crate) fn degenerate(method: &'static str) -> Self {
+        FittedHoloDetect { method, state: None }
+    }
+
+    /// Featurize → train → calibrate → tune the threshold. `tune` is a
+    /// distinct weighted tuning set, or `None` to tune on the holdout
+    /// itself (unit weights).
+    pub(crate) fn train(
+        method: &'static str,
+        pipeline: Pipeline<'a>,
+        examples: Vec<TrainExample>,
+        holdout: Vec<TrainExample>,
+        tune: Option<(Vec<TrainExample>, Vec<f64>)>,
+    ) -> Self {
+        let (x, y) = pipeline.featurize(&examples);
+        let model = pipeline.train_model(&x, &y);
+        // Featurize + score the holdout once; calibration and — when
+        // the holdout doubles as the tuning set — threshold tuning
+        // share the pass.
+        let (platt, threshold) = if holdout.is_empty() {
+            let platt = PlattScaler::identity();
+            let threshold = match &tune {
+                Some((t, w)) => pipeline.select_threshold_weighted(&model, &platt, t, w),
+                None => f64::from(pipeline.cfg.decision_threshold),
+            };
+            (platt, threshold)
+        } else {
+            let (hx, htargets) = pipeline.featurize(&holdout);
+            let scores = model.scores(&hx);
+            let platt = pipeline.calibrate_scores(&scores, &htargets);
+            let threshold = match &tune {
+                Some((t, w)) => pipeline.select_threshold_weighted(&model, &platt, t, w),
+                None => {
+                    let probs: Vec<f32> = scores.iter().map(|&s| platt.prob(s)).collect();
+                    let weights = vec![1.0; holdout.len()];
+                    pipeline.select_threshold_probs(&probs, &htargets, &weights)
+                }
+            };
+            (platt, threshold)
+        };
+        FittedHoloDetect {
+            method,
+            state: Some(TrainedState {
+                pipeline,
+                examples,
+                holdout,
+                tune,
+                model,
+                platt,
+                threshold,
+            }),
+        }
+    }
+
+    /// The incremental hook: extend the training set and re-train the
+    /// classifier (representation `Q` is reused, not re-fitted), then
+    /// re-calibrate and re-tune. Iterative strategies (ActiveL's
+    /// labeling loops, SemiL's pseudo-label rounds) are built on this,
+    /// and it is the entry point for future online-learning work.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate model (fitted from an empty training
+    /// set): it has no pipeline to retrain, and silently dropping the
+    /// caller's labels would be worse. Fit with a non-empty `T` first.
+    pub fn refit_with(self, extra: Vec<TrainExample>) -> Self {
+        let Some(mut s) = self.state else {
+            panic!(
+                "refit_with on a degenerate {} model: it was fitted without training \
+                 data and has no pipeline; fit with a non-empty training set first",
+                self.method
+            )
+        };
+        s.examples.extend(extra);
+        Self::train(self.method, s.pipeline, s.examples, s.holdout, s.tune)
+    }
+
+    /// The method name (as the paper's tables print it).
+    pub fn method(&self) -> &'static str {
+        self.method
+    }
+
+    /// The holdout-tuned decision threshold in calibrated-probability
+    /// space.
+    pub fn threshold(&self) -> f64 {
+        self.state.as_ref().map_or(0.5, |s| s.threshold)
+    }
+
+    /// The underlying pipeline (`None` for the degenerate model).
+    pub fn pipeline(&self) -> Option<&Pipeline<'a>> {
+        self.state.as_ref().map(|s| &s.pipeline)
+    }
+
+    /// Number of training examples behind the current classifier.
+    pub fn n_train_examples(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.examples.len())
+    }
+
+    /// Raw classifier margins `z_error − z_correct` for a cell batch —
+    /// the uncalibrated scores the Platt scaler maps to probabilities.
+    pub fn raw_scores(&self, cells: &[CellId]) -> Vec<f32> {
+        match &self.state {
+            None => vec![0.0; cells.len()],
+            Some(s) => {
+                if cells.is_empty() {
+                    return Vec::new();
+                }
+                let x = s.pipeline.featurize_cells(cells);
+                s.model.scores(&x)
+            }
+        }
+    }
+
+    /// Uncalibrated softmax error probabilities for pre-featurized rows
+    /// — the hook iterative strategies poll between refits.
+    pub fn proba_features(&self, x: &Matrix) -> Vec<f32> {
+        match &self.state {
+            None => vec![0.0; x.rows()],
+            Some(s) => s.model.predict_proba(x),
+        }
+    }
+}
+
+impl TrainedModel for FittedHoloDetect<'_> {
+    /// Platt-calibrated error probability per cell (§4.2).
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        match &self.state {
+            None => vec![0.0; cells.len()],
+            Some(s) => {
+                if cells.is_empty() {
+                    return Vec::new();
+                }
+                let x = s.pipeline.featurize_cells(cells);
+                s.pipeline
+                    .predict_proba(&s.model, &s.platt, &x)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect()
+            }
+        }
+    }
+
+    fn default_threshold(&self) -> f64 {
+        self.threshold()
+    }
+}

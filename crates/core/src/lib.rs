@@ -25,22 +25,29 @@
 //! plain supervision, self-training (SemiL), uncertainty-sampling active
 //! learning (ActiveL), and minority oversampling (Resampling).
 //!
+//! The API is staged — fit once, predict many times:
+//!
 //! ```no_run
 //! use holodetect::{HoloDetect, HoloDetectConfig};
-//! use holo_eval::{DetectionContext, Detector};
-//! # fn ctx() -> DetectionContext<'static> { unimplemented!() }
+//! use holo_eval::{Detector, FitContext, TrainedModel};
+//! # fn ctx() -> FitContext<'static> { unimplemented!() }
+//! # fn cells() -> Vec<holo_data::CellId> { unimplemented!() }
 //!
-//! let mut detector = HoloDetect::new(HoloDetectConfig::default());
-//! let labels = detector.detect(&ctx());
+//! let detector = HoloDetect::new(HoloDetectConfig::default());
+//! let model = detector.fit(&ctx());           // train once
+//! let probs = model.score(&cells());          // calibrated P(error)
+//! let labels = model.predict(&cells(), model.default_threshold());
 //! ```
 
 pub mod config;
 pub mod detector;
+pub mod fitted;
 pub mod model;
 pub mod strategies;
 pub mod trainer;
 
 pub use config::HoloDetectConfig;
 pub use detector::HoloDetect;
+pub use fitted::FittedHoloDetect;
 pub use model::{BranchStyle, WideDeepModel};
 pub use strategies::Strategy;

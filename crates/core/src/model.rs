@@ -113,23 +113,47 @@ impl WideDeepModel {
     }
 
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let parts = x.split_cols(&self.layout.split_widths());
-        let wide = &parts[0];
-        let mut joint_parts: Vec<Matrix> = Vec::with_capacity(1 + self.branches.len());
-        joint_parts.push(wide.clone());
-        for (branch, input) in self.branches.iter_mut().zip(&parts[1..]) {
-            let mut h = input.clone();
-            for l in &mut branch.layers {
-                h = l.forward(&h, train);
-            }
-            joint_parts.push(h);
-        }
-        let refs: Vec<&Matrix> = joint_parts.iter().collect();
-        let mut joint = Matrix::hstack(&refs);
-        for l in &mut self.classifier {
-            joint = l.forward(&joint, train);
-        }
-        joint
+        let branches = &mut self.branches;
+        let classifier = &mut self.classifier;
+        run_dag(
+            &self.layout,
+            x,
+            branches.len(),
+            |bi, mut h| {
+                for l in &mut branches[bi].layers {
+                    h = l.forward(&h, train);
+                }
+                h
+            },
+            |mut joint| {
+                for l in classifier.iter_mut() {
+                    joint = l.forward(&joint, train);
+                }
+                joint
+            },
+        )
+    }
+
+    /// Inference-only forward pass (eval mode, shared access) — the
+    /// scoring path of a fitted model, callable from many threads.
+    fn forward_infer(&self, x: &Matrix) -> Matrix {
+        run_dag(
+            &self.layout,
+            x,
+            self.branches.len(),
+            |bi, mut h| {
+                for l in &self.branches[bi].layers {
+                    h = l.infer(&h);
+                }
+                h
+            },
+            |mut joint| {
+                for l in &self.classifier {
+                    joint = l.infer(&joint);
+                }
+                joint
+            },
+        )
     }
 
     fn backward(&mut self, grad_logits: &Matrix) {
@@ -212,25 +236,47 @@ impl WideDeepModel {
         last_epoch_loss
     }
 
-    /// Raw error-class margins `z_error − z_correct` (eval mode), the
-    /// scores Platt scaling calibrates.
-    pub fn scores(&mut self, x: &Matrix) -> Vec<f32> {
+    /// Raw error-class margins `z_error − z_correct` (eval mode, shared
+    /// access), the scores Platt scaling calibrates.
+    pub fn scores(&self, x: &Matrix) -> Vec<f32> {
         if x.rows() == 0 {
             return Vec::new();
         }
-        let logits = self.forward(x, false);
+        let logits = self.forward_infer(x);
         (0..x.rows()).map(|i| logits.get(i, 1) - logits.get(i, 0)).collect()
     }
 
-    /// Uncalibrated error probabilities via softmax (eval mode).
-    pub fn predict_proba(&mut self, x: &Matrix) -> Vec<f32> {
+    /// Uncalibrated error probabilities via softmax (eval mode, shared
+    /// access).
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
         if x.rows() == 0 {
             return Vec::new();
         }
-        let logits = self.forward(x, false);
+        let logits = self.forward_infer(x);
         let p = holo_nn::loss::softmax(&logits);
         (0..x.rows()).map(|i| p.get(i, 1)).collect()
     }
+}
+
+/// The wide-and-deep DAG shape, shared by the training and inference
+/// passes so the split/branch/concat assembly exists once: split the
+/// input into the wide block plus one slice per branch, run each branch
+/// stack, concatenate, run the classifier stack.
+fn run_dag(
+    layout: &FeatureLayout,
+    x: &Matrix,
+    n_branches: usize,
+    mut run_branch: impl FnMut(usize, Matrix) -> Matrix,
+    run_classifier: impl FnOnce(Matrix) -> Matrix,
+) -> Matrix {
+    let parts = x.split_cols(&layout.split_widths());
+    let mut joint_parts: Vec<Matrix> = Vec::with_capacity(1 + n_branches);
+    joint_parts.push(parts[0].clone());
+    for (bi, input) in parts[1..].iter().enumerate() {
+        joint_parts.push(run_branch(bi, input.clone()));
+    }
+    let refs: Vec<&Matrix> = joint_parts.iter().collect();
+    run_classifier(Matrix::hstack(&refs))
 }
 
 /// Build a feature matrix from per-example vectors.
@@ -268,7 +314,7 @@ mod tests {
             let wide0: f32 = rng.random_range(0.0..1.0);
             let sign: f32 = if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
             let mut row = vec![wide0, rng.random_range(0.0..1.0), 0.5];
-            row.extend((0..8).map(|_| sign * rng.random_range(0.1..0.5)));
+            row.extend((0..8).map(|_| sign * rng.random_range(0.1..0.5f32)));
             row.extend((0..8).map(|_| rng.random_range(-0.3..0.3f32)));
             assert_eq!(row.len(), l.total_dim());
             targets.push(usize::from((wide0 > 0.5) ^ (sign > 0.0)));
@@ -379,7 +425,7 @@ mod tests {
         let (_, grad) = holo_nn::softmax_cross_entropy(&logits, &targets);
         m.backward(&grad);
 
-        let mut loss_of = |m: &mut WideDeepModel| -> f32 {
+        let loss_of = |m: &mut WideDeepModel| -> f32 {
             let lg = m.forward(&x, false);
             holo_nn::softmax_cross_entropy(&lg, &targets).0
         };
@@ -438,9 +484,22 @@ mod tests {
         }
     }
 
+    /// The shared-access inference DAG must agree with eval-mode
+    /// training forward at the whole-model level (the per-layer
+    /// agreement test lives in holo-nn).
+    #[test]
+    fn infer_path_matches_eval_forward() {
+        let (x, y) = synthetic(60, 7);
+        let mut m = WideDeepModel::new(layout(), 16, 0.2, 3);
+        m.train(&x, &y, 10, 16, 0.01);
+        let via_infer = m.forward_infer(&x);
+        let via_forward = m.forward(&x, false);
+        assert_eq!(via_infer, via_forward);
+    }
+
     #[test]
     fn empty_prediction_is_empty() {
-        let mut m = WideDeepModel::new(layout(), 8, 0.0, 1);
+        let m = WideDeepModel::new(layout(), 8, 0.0, 1);
         let x = Matrix::zeros(0, m.layout().total_dim());
         assert!(m.predict_proba(&x).is_empty());
         assert!(m.scores(&x).is_empty());

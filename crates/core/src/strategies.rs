@@ -1,9 +1,15 @@
 //! Training strategies: AUG plus the comparison paradigms of §6.1.
+//!
+//! Every strategy is a different way of *fitting* — they all produce a
+//! [`FittedHoloDetect`] and never touch evaluation cells. The iterative
+//! paradigms (SemiL, ActiveL) run their labeling loops through the
+//! fitted model's explicit [`FittedHoloDetect::refit_with`] hook rather
+//! than hiding retraining inside a one-shot detect call.
 
+use crate::fitted::FittedHoloDetect;
 use crate::trainer::{Pipeline, TrainExample};
 use holo_data::{CellId, Label, TrainingSet};
-use holo_eval::DetectionContext;
-use holo_nn::PlattScaler;
+use holo_eval::FitContext;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -65,14 +71,16 @@ impl Strategy {
     }
 }
 
-/// Run the full strategy-specific pipeline and label the eval cells.
-pub fn run_strategy(
+/// Run the strategy-specific training pipeline, producing a reusable
+/// fitted model. Consumes the pipeline (the fitted model owns it).
+pub fn fit_strategy<'a>(
     strategy: &Strategy,
-    pipeline: &Pipeline<'_>,
-    ctx: &DetectionContext<'_>,
-) -> Vec<Label> {
+    pipeline: Pipeline<'a>,
+    ctx: &FitContext<'a>,
+) -> FittedHoloDetect<'a> {
+    let method = strategy.method_name();
     if ctx.train.is_empty() {
-        return vec![Label::Correct; ctx.eval_cells.len()];
+        return FittedHoloDetect::degenerate(method);
     }
     let (train, hold) = pipeline.split_holdout(ctx.train);
     let holdout_examples = TrainExample::from_training_set(&hold);
@@ -101,73 +109,43 @@ pub fn run_strategy(
                     }
                 })
                 .collect();
-            finish_weighted(pipeline, examples, &holdout_examples, &tune, &weights, ctx.eval_cells)
-        }
-        Strategy::Supervised => finish(pipeline, examples, &holdout_examples, ctx.eval_cells),
-        Strategy::Resampling => {
-            examples = resample(examples, pipeline.seed);
-            finish(pipeline, examples, &holdout_examples, ctx.eval_cells)
-        }
-        Strategy::SemiSupervised { rounds, confidence, max_per_round } => {
-            semi_supervised(
+            FittedHoloDetect::train(
+                method,
                 pipeline,
                 examples,
-                &holdout_examples,
-                ctx,
-                *rounds,
-                *confidence,
-                *max_per_round,
+                holdout_examples,
+                Some((tune, weights)),
             )
         }
+        Strategy::Supervised => train_plain(method, pipeline, examples, holdout_examples),
+        Strategy::Resampling => {
+            let examples = resample(examples, pipeline.seed);
+            train_plain(method, pipeline, examples, holdout_examples)
+        }
+        Strategy::SemiSupervised { rounds, confidence, max_per_round } => semi_supervised(
+            method,
+            pipeline,
+            examples,
+            holdout_examples,
+            ctx,
+            *rounds,
+            *confidence,
+            *max_per_round,
+        ),
         Strategy::ActiveLearning { loops, per_loop } => {
-            active_learning(pipeline, examples, &holdout_examples, ctx, *loops, *per_loop)
+            active_learning(method, pipeline, examples, holdout_examples, ctx, *loops, *per_loop)
         }
     }
 }
 
-/// Featurize → train → tune threshold on holdout → predict. (Platt
-/// scaling still runs so calibrated confidences exist for inspection;
-/// the *decision* uses the holdout-tuned raw-softmax threshold, per the
-/// §6.1 holdout role.)
-fn finish(
-    pipeline: &Pipeline<'_>,
+/// Train with the holdout doubling as the (unit-weight) tuning set.
+fn train_plain<'a>(
+    method: &'static str,
+    pipeline: Pipeline<'a>,
     examples: Vec<TrainExample>,
-    holdout: &[TrainExample],
-    eval_cells: &[CellId],
-) -> Vec<Label> {
-    let weights = vec![1.0; holdout.len()];
-    finish_weighted(pipeline, examples, holdout, holdout, &weights, eval_cells)
-}
-
-/// Like [`finish`] but with a distinct (possibly weighted) tuning set
-/// for threshold selection.
-fn finish_weighted(
-    pipeline: &Pipeline<'_>,
-    examples: Vec<TrainExample>,
-    holdout: &[TrainExample],
-    tune: &[TrainExample],
-    tune_weights: &[f64],
-    eval_cells: &[CellId],
-) -> Vec<Label> {
-    let (x, y) = pipeline.featurize(&examples);
-    let mut model = pipeline.train_model(&x, &y);
-    let _platt: PlattScaler = pipeline.calibrate(&mut model, holdout);
-    let threshold = pipeline.select_threshold_weighted(&mut model, tune, tune_weights);
-    predict(pipeline, &mut model, threshold, eval_cells)
-}
-
-fn predict(
-    pipeline: &Pipeline<'_>,
-    model: &mut crate::model::WideDeepModel,
-    threshold: f32,
-    eval_cells: &[CellId],
-) -> Vec<Label> {
-    if eval_cells.is_empty() {
-        return Vec::new();
-    }
-    let xe = pipeline.featurize_cells(eval_cells);
-    let probs = model.predict_proba(&xe);
-    pipeline.labels_from_proba(&probs, threshold)
+    holdout: Vec<TrainExample>,
+) -> FittedHoloDetect<'a> {
+    FittedHoloDetect::train(method, pipeline, examples, holdout, None)
 }
 
 /// Oversample the minority (error) class by cycling its examples.
@@ -187,33 +165,33 @@ fn resample(mut examples: Vec<TrainExample>, seed: u64) -> Vec<TrainExample> {
     examples
 }
 
-fn semi_supervised(
-    pipeline: &Pipeline<'_>,
+#[allow(clippy::too_many_arguments)]
+fn semi_supervised<'a>(
+    method: &'static str,
+    pipeline: Pipeline<'a>,
     base: Vec<TrainExample>,
-    holdout: &[TrainExample],
-    ctx: &DetectionContext<'_>,
+    holdout: Vec<TrainExample>,
+    ctx: &FitContext<'a>,
     rounds: usize,
     confidence: f32,
     max_per_round: usize,
-) -> Vec<Label> {
-    // The unlabeled pool: a deterministic sample of eval cells.
-    let mut pool: Vec<CellId> = ctx.eval_cells.to_vec();
+) -> FittedHoloDetect<'a> {
+    // The unlabeled pool: a deterministic sample of the dataset's cells
+    // outside `T` (fitting never looks at evaluation batches).
+    let mut pool: Vec<CellId> =
+        ctx.dirty.cell_ids().filter(|&c| !ctx.train.contains(c)).collect();
     let mut rng = StdRng::seed_from_u64(pipeline.seed.wrapping_add(0x5e81));
     pool.shuffle(&mut rng);
     pool.truncate((max_per_round * 4).max(1000).min(pool.len()));
     let pool_x = pipeline.featurize_cells(&pool);
 
-    let mut examples = base;
-    let mut model = {
-        let (x, y) = pipeline.featurize(&examples);
-        pipeline.train_model(&x, &y)
-    };
+    let mut fitted = train_plain(method, pipeline, base, holdout);
     let mut claimed: std::collections::HashSet<CellId> = std::collections::HashSet::new();
     for _ in 0..rounds {
-        let probs = model.predict_proba(&pool_x);
-        let mut added = 0usize;
+        let probs = fitted.proba_features(&pool_x);
+        let mut acquired: Vec<TrainExample> = Vec::new();
         for (i, &p) in probs.iter().enumerate() {
-            if added >= max_per_round {
+            if acquired.len() >= max_per_round {
                 break;
             }
             let cell = pool[i];
@@ -228,34 +206,32 @@ fn semi_supervised(
                 continue;
             };
             claimed.insert(cell);
-            examples.push(TrainExample {
+            acquired.push(TrainExample {
                 cell,
                 value: ctx.dirty.cell_value(cell).to_owned(),
                 label,
             });
-            added += 1;
         }
-        if added == 0 {
+        if acquired.is_empty() {
             break;
         }
-        let (x, y) = pipeline.featurize(&examples);
-        model = pipeline.train_model(&x, &y);
+        fitted = fitted.refit_with(acquired);
     }
-    let threshold = pipeline.select_threshold(&mut model, holdout);
-    predict(pipeline, &mut model, threshold, ctx.eval_cells)
+    fitted
 }
 
-fn active_learning(
-    pipeline: &Pipeline<'_>,
+fn active_learning<'a>(
+    method: &'static str,
+    pipeline: Pipeline<'a>,
     base: Vec<TrainExample>,
-    holdout: &[TrainExample],
-    ctx: &DetectionContext<'_>,
+    holdout: Vec<TrainExample>,
+    ctx: &FitContext<'a>,
     loops: usize,
     per_loop: usize,
-) -> Vec<Label> {
+) -> FittedHoloDetect<'a> {
     let empty = TrainingSet::new();
     let sampling: &TrainingSet = ctx.sampling.unwrap_or(&empty);
-    // Featurize the sampling pool once; loops only re-train and gather.
+    // Featurize the sampling pool once; loops only refit and gather.
     let pool: Vec<&holo_data::LabeledCell> = sampling.examples().iter().collect();
     let pool_x = if pool.is_empty() {
         None
@@ -264,18 +240,14 @@ fn active_learning(
         Some(pipeline.featurize_cells(&cells))
     };
 
-    let mut examples = base;
+    let mut fitted = train_plain(method, pipeline, base, holdout);
     let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    let mut model = {
-        let (x, y) = pipeline.featurize(&examples);
-        pipeline.train_model(&x, &y)
-    };
     for _ in 0..loops {
         let Some(px) = &pool_x else { break };
         if used.len() >= pool.len() {
             break;
         }
-        let probs = model.predict_proba(px);
+        let probs = fitted.proba_features(px);
         // Most uncertain first.
         let mut order: Vec<usize> = (0..pool.len()).filter(|i| !used.contains(i)).collect();
         order.sort_by(|&a, &b| {
@@ -283,20 +255,19 @@ fn active_learning(
             let ub = (probs[b] - 0.5).abs();
             ua.total_cmp(&ub)
         });
+        let mut acquired = Vec::with_capacity(per_loop);
         for &i in order.iter().take(per_loop) {
             used.insert(i);
             let ex = pool[i];
-            examples.push(TrainExample {
+            acquired.push(TrainExample {
                 cell: ex.cell,
                 value: ex.observed.clone(),
                 label: ex.label(),
             });
         }
-        let (x, y) = pipeline.featurize(&examples);
-        model = pipeline.train_model(&x, &y);
+        fitted = fitted.refit_with(acquired);
     }
-    let threshold = pipeline.select_threshold(&mut model, holdout);
-    predict(pipeline, &mut model, threshold, ctx.eval_cells)
+    fitted
 }
 
 #[cfg(test)]

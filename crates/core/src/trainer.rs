@@ -39,10 +39,12 @@ impl TrainExample {
     }
 }
 
-/// The fitted pipeline for one detection run.
+/// The fitted pipeline for one detection run. Owns its configuration
+/// and representation model so a fitted detector can outlive the
+/// `HoloDetect` instance that created it; only the dataset is borrowed.
 pub struct Pipeline<'a> {
-    /// Configuration (borrowed for the run).
-    pub cfg: &'a HoloDetectConfig,
+    /// Configuration (owned — cloned at fit time).
+    pub cfg: HoloDetectConfig,
     /// The dirty dataset.
     pub dirty: &'a Dataset,
     /// The fitted representation model `Q`.
@@ -54,13 +56,14 @@ pub struct Pipeline<'a> {
 impl<'a> Pipeline<'a> {
     /// Fit the representation over the dirty dataset.
     pub fn fit(
-        cfg: &'a HoloDetectConfig,
+        cfg: &HoloDetectConfig,
         dirty: &'a Dataset,
         constraints: &[DenialConstraint],
         run_seed: u64,
     ) -> Self {
         let featurizer = Featurizer::fit(dirty, constraints, cfg.features.clone());
-        Pipeline { cfg, dirty, featurizer, seed: cfg.seed.wrapping_add(run_seed) }
+        let seed = cfg.seed.wrapping_add(run_seed);
+        Pipeline { cfg: cfg.clone(), dirty, featurizer, seed }
     }
 
     /// Split `T` into (train, holdout) after a seeded shuffle — the 10%
@@ -165,25 +168,40 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Platt-scale on holdout examples; identity when the holdout is
-    /// empty or single-class.
-    pub fn calibrate(&self, model: &mut WideDeepModel, holdout: &[TrainExample]) -> PlattScaler {
+    /// empty, single-class, or the fit came out non-monotone (negative
+    /// slope), which would invert the score ordering.
+    pub fn calibrate(&self, model: &WideDeepModel, holdout: &[TrainExample]) -> PlattScaler {
         if holdout.is_empty() {
             return PlattScaler::identity();
         }
         let (x, targets) = self.featurize(holdout);
-        let scores = model.scores(&x);
+        self.calibrate_scores(&model.scores(&x), &targets)
+    }
+
+    /// [`Pipeline::calibrate`] from pre-computed holdout scores — lets
+    /// a caller that already featurized and scored the holdout reuse
+    /// that work.
+    pub fn calibrate_scores(&self, scores: &[f32], targets: &[usize]) -> PlattScaler {
+        if scores.is_empty() {
+            return PlattScaler::identity();
+        }
         let labels: Vec<bool> = targets.iter().map(|&t| t == 1).collect();
         if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
             return PlattScaler::identity();
         }
-        PlattScaler::fit(&scores, &labels, self.cfg.platt_epochs)
+        let platt = PlattScaler::fit(scores, &labels, self.cfg.platt_epochs);
+        if platt.a <= 0.0 {
+            PlattScaler::identity()
+        } else {
+            platt
+        }
     }
 
-    /// Platt-calibrated error probabilities for featurized cells (used
-    /// when a downstream consumer needs calibrated confidences).
+    /// Platt-calibrated error probabilities for featurized cells — the
+    /// scoring rule a fitted model serves.
     pub fn predict_proba(
         &self,
-        model: &mut WideDeepModel,
+        model: &WideDeepModel,
         platt: &PlattScaler,
         x: &Matrix,
     ) -> Vec<f32> {
@@ -191,15 +209,16 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Tune the decision threshold on the holdout (the §6.1 "hold-out
-    /// set used for hyper parameter tuning"): grid-search the raw
-    /// softmax threshold maximizing holdout F1. Falls back to the
+    /// set used for hyper parameter tuning"): grid-search the calibrated
+    /// probability threshold maximizing holdout F1. Falls back to the
     /// configured default when the holdout is empty or single-class.
     pub fn select_threshold(
         &self,
-        model: &mut WideDeepModel,
+        model: &WideDeepModel,
+        platt: &PlattScaler,
         holdout: &[TrainExample],
-    ) -> f32 {
-        self.select_threshold_weighted(model, holdout, &vec![1.0; holdout.len()])
+    ) -> f64 {
+        self.select_threshold_weighted(model, platt, holdout, &vec![1.0; holdout.len()])
     }
 
     /// Weighted threshold tuning. Weights let a tuning set whose class
@@ -209,25 +228,44 @@ impl<'a> Pipeline<'a> {
     /// selected threshold maximizes the *estimated deployment* F1.
     pub fn select_threshold_weighted(
         &self,
-        model: &mut WideDeepModel,
+        model: &WideDeepModel,
+        platt: &PlattScaler,
         examples: &[TrainExample],
         weights: &[f64],
-    ) -> f32 {
+    ) -> f64 {
         assert_eq!(examples.len(), weights.len(), "weights arity");
         if examples.is_empty() {
-            return self.cfg.decision_threshold;
+            return f64::from(self.cfg.decision_threshold);
         }
         let (x, targets) = self.featurize(examples);
-        if targets.iter().all(|&t| t == 1) || targets.iter().all(|&t| t == 0) {
-            return self.cfg.decision_threshold;
+        let probs = self.predict_proba(model, platt, &x);
+        self.select_threshold_probs(&probs, &targets, weights)
+    }
+
+    /// [`Pipeline::select_threshold_weighted`] from pre-computed
+    /// calibrated probabilities — lets a caller that already scored the
+    /// tuning set reuse that work.
+    pub fn select_threshold_probs(
+        &self,
+        probs: &[f32],
+        targets: &[usize],
+        weights: &[f64],
+    ) -> f64 {
+        assert_eq!(probs.len(), weights.len(), "weights arity");
+        if probs.is_empty()
+            || targets.iter().all(|&t| t == 1)
+            || targets.iter().all(|&t| t == 0)
+        {
+            return f64::from(self.cfg.decision_threshold);
         }
-        let probs = model.predict_proba(&x);
-        let mut best = (self.cfg.decision_threshold, -1.0f64);
+        // Grid-search calibrated thresholds; ties keep the lowest
+        // (recall-leaning) cut, matching the error-detection emphasis.
+        let mut best = (f64::from(self.cfg.decision_threshold), -1.0f64);
         for step in 1..20 {
-            let thr = step as f32 * 0.05;
+            let thr = f64::from(step) * 0.05;
             let (mut tp, mut fp, mut fn_) = (0.0f64, 0.0f64, 0.0f64);
-            for ((&p, &t), &w) in probs.iter().zip(&targets).zip(weights) {
-                match (p >= thr, t == 1) {
+            for ((&p, &t), &w) in probs.iter().zip(targets).zip(weights) {
+                match (f64::from(p) >= thr, t == 1) {
                     (true, true) => tp += w,
                     (true, false) => fp += w,
                     (false, true) => fn_ += w,
@@ -242,11 +280,11 @@ impl<'a> Pipeline<'a> {
         best.0
     }
 
-    /// Final labels from (raw softmax) probabilities at a threshold.
-    pub fn labels_from_proba(&self, probs: &[f32], threshold: f32) -> Vec<Label> {
+    /// Final labels from probabilities at a threshold.
+    pub fn labels_from_proba(&self, probs: &[f32], threshold: f64) -> Vec<Label> {
         probs
             .iter()
-            .map(|&p| if p >= threshold { Label::Error } else { Label::Correct })
+            .map(|&p| if f64::from(p) >= threshold { Label::Error } else { Label::Correct })
             .collect()
     }
 
@@ -359,11 +397,11 @@ mod tests {
         let mut examples = TrainExample::from_training_set(&train);
         examples.extend(p.augment_examples(&train, &policy, None));
         let (x, y) = p.featurize(&examples);
-        let mut model = p.train_model(&x, &y);
-        let platt = p.calibrate(&mut model, &TrainExample::from_training_set(&hold));
+        let model = p.train_model(&x, &y);
+        let platt = p.calibrate(&model, &TrainExample::from_training_set(&hold));
         let eval: Vec<CellId> = (40..50).flat_map(|t| [CellId::new(t, 0), CellId::new(t, 1)]).collect();
         let xe = p.featurize_cells(&eval);
-        let probs = p.predict_proba(&mut model, &platt, &xe);
+        let probs = p.predict_proba(&model, &platt, &xe);
         assert_eq!(probs.len(), eval.len());
         assert!(probs.iter().all(|&pr| (0.0..=1.0).contains(&pr)));
         let labels = p.labels_from_proba(&probs, 0.5);

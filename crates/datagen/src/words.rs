@@ -71,7 +71,7 @@ pub fn phone(rng: &mut StdRng) -> String {
 
 /// A street address `"123 Karalo St"`.
 pub fn address(rng: &mut StdRng) -> String {
-    let suffix = ["St", "Ave", "Blvd", "Rd", "Ln"][rng.random_range(0..5)];
+    let suffix = ["St", "Ave", "Blvd", "Rd", "Ln"][rng.random_range(0..5usize)];
     format!("{} {} {}", rng.random_range(1..9999), pseudo_name(rng, 2), suffix)
 }
 

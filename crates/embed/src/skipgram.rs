@@ -69,7 +69,7 @@ impl Embedding {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut input = vec![0.0f32; (v + cfg.buckets) * dim];
         for x in &mut input {
-            *x = rng.random_range(-0.5..0.5) / dim as f32;
+            *x = rng.random_range(-0.5..0.5f32) / dim as f32;
         }
         let output = vec![0.0f32; v * dim];
         let mut emb = Embedding { vocab, dim, input, output };
@@ -118,6 +118,9 @@ impl Embedding {
                         None => (0, n),
                         Some(w) => (i.saturating_sub(w), (i + w + 1).min(n)),
                     };
+                    // The window is index arithmetic around the center;
+                    // an index loop is the clear spelling.
+                    #[allow(clippy::needless_range_loop)]
                     for j in lo..hi {
                         if j == i {
                             continue;

@@ -1,13 +1,42 @@
-//! The detector abstraction every method implements.
+//! The staged detector abstraction every method implements.
 //!
-//! Table 2 compares nine methods; the experiment binaries drive them all
-//! through this one trait so splits, seeding, and scoring stay identical
-//! across methods.
+//! HoloDetect is a two-phase method: learn the channel, augment, and
+//! train the wide-and-deep model **once**, then classify arbitrarily
+//! many cells. The API mirrors that split:
+//!
+//! * [`Detector::fit`] consumes a [`FitContext`] (dirty data, training
+//!   set, constraints, seed) and returns a [`TrainedModel`];
+//! * [`TrainedModel::score`] maps any cell batch to calibrated error
+//!   probabilities, and [`TrainedModel::predict`] thresholds them —
+//!   both are `&self`, re-usable, and safe to call from many threads
+//!   (`TrainedModel: Send + Sync`);
+//! * [`Detector::detect`] is the one-call convenience shim (fit +
+//!   predict at the fitted threshold) the experiment harness uses.
+//!
+//! Table 2 compares nine methods; the experiment binaries drive them
+//! all through this one trait so splits, seeding, and scoring stay
+//! identical across methods.
 
 use holo_constraints::DenialConstraint;
 use holo_data::{CellId, Dataset, Label, TrainingSet};
+use std::collections::HashSet;
 
-/// Everything a detector may use for one run.
+/// Everything a detector may use to fit one model.
+pub struct FitContext<'a> {
+    /// The dirty dataset `D`.
+    pub dirty: &'a Dataset,
+    /// The labeled training set `T` (empty for unsupervised baselines).
+    pub train: &'a TrainingSet,
+    /// The labeled sampling pool for active learning (`None` otherwise).
+    pub sampling: Option<&'a TrainingSet>,
+    /// Denial constraints `Σ` (may be empty).
+    pub constraints: &'a [DenialConstraint],
+    /// Per-run seed for any internal randomness.
+    pub seed: u64,
+}
+
+/// A fit context plus the cells to classify — the input of the
+/// [`Detector::detect`] convenience shim.
 pub struct DetectionContext<'a> {
     /// The dirty dataset `D`.
     pub dirty: &'a Dataset,
@@ -23,14 +52,101 @@ pub struct DetectionContext<'a> {
     pub seed: u64,
 }
 
-/// An error-detection method: classify every cell in
-/// [`DetectionContext::eval_cells`].
+impl<'a> DetectionContext<'a> {
+    /// The fitting half of this context (everything but `eval_cells`).
+    pub fn fit_context(&self) -> FitContext<'a> {
+        FitContext {
+            dirty: self.dirty,
+            train: self.train,
+            sampling: self.sampling,
+            constraints: self.constraints,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A fitted error-detection model: score and classify arbitrary cell
+/// batches without re-training.
+///
+/// `Send + Sync` is part of the contract so one fitted model can serve
+/// cell batches from many threads concurrently — the hook sharding,
+/// batching, and serving layers build on.
+pub trait TrainedModel: Send + Sync {
+    /// Error probability per cell, in `[0, 1]`, in input order.
+    ///
+    /// For HoloDetect this is the Platt-calibrated probability of §4.2;
+    /// rule-based baselines return degenerate `{0, 1}` confidences.
+    fn score(&self, cells: &[CellId]) -> Vec<f64>;
+
+    /// The decision threshold chosen at fit time (holdout-tuned where
+    /// the method tunes one; 0.5 otherwise).
+    fn default_threshold(&self) -> f64 {
+        0.5
+    }
+
+    /// One label per cell: `Error` iff `score >= threshold`.
+    fn predict(&self, cells: &[CellId], threshold: f64) -> Vec<Label> {
+        self.score(cells)
+            .into_iter()
+            .map(|p| if p >= threshold { Label::Error } else { Label::Correct })
+            .collect()
+    }
+}
+
+/// An error-detection method: fit once, then score/predict repeatedly
+/// through the returned [`TrainedModel`].
 pub trait Detector {
     /// Method name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
-    /// Produce one label per eval cell, in the same order.
-    fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label>;
+    /// Train on the context, returning a model that borrows at most the
+    /// context's data (never the detector itself).
+    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a>;
+
+    /// Convenience shim: fit + predict at the fitted threshold in one
+    /// call — keeps the paper-table harness one-liner simple.
+    fn detect(&self, ctx: &DetectionContext<'_>) -> Vec<Label> {
+        let model = self.fit(&ctx.fit_context());
+        model.predict(ctx.eval_cells, model.default_threshold())
+    }
+}
+
+/// A trained model that assigns the same score to every cell — the
+/// degenerate result of fitting with no usable training signal.
+pub struct ConstantScore(pub f64);
+
+impl TrainedModel for ConstantScore {
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        vec![self.0; cells.len()]
+    }
+}
+
+/// A trained model backed by a set of flagged cells: score 1 for
+/// flagged, 0 otherwise. Rule-based detectors (CV and friends) produce
+/// exactly this shape.
+pub struct FlagSetModel {
+    flagged: HashSet<CellId>,
+}
+
+impl FlagSetModel {
+    /// Wrap a flag set.
+    pub fn new(flagged: HashSet<CellId>) -> Self {
+        FlagSetModel { flagged }
+    }
+
+    /// Number of flagged cells.
+    pub fn n_flagged(&self) -> usize {
+        self.flagged.len()
+    }
+}
+
+impl TrainedModel for FlagSetModel {
+    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+        cells
+            .iter()
+            .map(|c| if self.flagged.contains(c) { 1.0 } else { 0.0 })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -46,8 +162,8 @@ pub(crate) mod test_support {
             "Constant"
         }
 
-        fn detect(&mut self, ctx: &DetectionContext<'_>) -> Vec<Label> {
-            vec![self.0; ctx.eval_cells.len()]
+        fn fit<'a>(&self, _ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+            Box::new(ConstantScore(if self.0.is_error() { 1.0 } else { 0.0 }))
         }
     }
 }
@@ -58,14 +174,36 @@ mod tests {
     use super::*;
     use holo_data::{DatasetBuilder, Schema};
 
-    #[test]
-    fn constant_detector_labels_everything() {
+    fn ctx_world() -> (Dataset, TrainingSet, Vec<CellId>) {
         let mut b = DatasetBuilder::new(Schema::new(["A"]));
         b.push_row(&["x"]);
         b.push_row(&["y"]);
-        let d = b.build();
-        let train = TrainingSet::new();
-        let cells = vec![CellId::new(0, 0), CellId::new(1, 0)];
+        (b.build(), TrainingSet::new(), vec![CellId::new(0, 0), CellId::new(1, 0)])
+    }
+
+    #[test]
+    fn fit_then_predict_labels_everything() {
+        let (d, train, cells) = ctx_world();
+        let fit_ctx = FitContext {
+            dirty: &d,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            seed: 0,
+        };
+        let det = ConstantDetector(Label::Error);
+        let model = det.fit(&fit_ctx);
+        assert_eq!(model.score(&cells), vec![1.0, 1.0]);
+        assert_eq!(
+            model.predict(&cells, model.default_threshold()),
+            vec![Label::Error, Label::Error]
+        );
+        assert_eq!(det.name(), "Constant");
+    }
+
+    #[test]
+    fn detect_shim_equals_fit_plus_predict() {
+        let (d, train, cells) = ctx_world();
         let ctx = DetectionContext {
             dirty: &d,
             train: &train,
@@ -74,8 +212,34 @@ mod tests {
             eval_cells: &cells,
             seed: 0,
         };
-        let mut det = ConstantDetector(Label::Error);
-        assert_eq!(det.detect(&ctx), vec![Label::Error, Label::Error]);
-        assert_eq!(det.name(), "Constant");
+        let det = ConstantDetector(Label::Correct);
+        assert_eq!(det.detect(&ctx), vec![Label::Correct, Label::Correct]);
+        let model = det.fit(&ctx.fit_context());
+        assert_eq!(det.detect(&ctx), model.predict(&cells, model.default_threshold()));
+    }
+
+    #[test]
+    fn flag_set_model_scores_membership() {
+        let cells = vec![CellId::new(0, 0), CellId::new(1, 0), CellId::new(2, 0)];
+        let flagged: HashSet<CellId> = [CellId::new(1, 0)].into_iter().collect();
+        let m = FlagSetModel::new(flagged);
+        assert_eq!(m.n_flagged(), 1);
+        assert_eq!(m.score(&cells), vec![0.0, 1.0, 0.0]);
+        assert_eq!(
+            m.predict(&cells, 0.5),
+            vec![Label::Correct, Label::Error, Label::Correct]
+        );
+    }
+
+    #[test]
+    fn trained_models_are_shareable_across_threads() {
+        let m = ConstantScore(0.25);
+        let cells = vec![CellId::new(0, 0)];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| m.score(&cells))).collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![0.25]);
+            }
+        });
     }
 }

@@ -1,7 +1,35 @@
 //! # holo-eval
 //!
-//! The evaluation harness of §6.1:
+//! The detector API and the evaluation harness of §6.1.
 //!
+//! ## The fit / score / predict lifecycle
+//!
+//! Error detection is two-phase, and the API is staged to match:
+//!
+//! 1. **fit** — [`Detector::fit`] consumes a [`FitContext`] (dirty
+//!    dataset `D`, labeled training set `T`, optional sampling pool,
+//!    denial constraints `Σ`, seed) and returns a [`TrainedModel`].
+//!    All learning — channel, augmentation, representation `Q`,
+//!    classifier `M`, Platt calibration, threshold tuning — happens
+//!    here, once.
+//! 2. **score** — [`TrainedModel::score`] maps any cell batch to
+//!    calibrated error probabilities in `[0, 1]`. Models are
+//!    `Send + Sync`; one fitted model serves batches from many threads.
+//! 3. **predict** — [`TrainedModel::predict`] thresholds scores into
+//!    labels; [`TrainedModel::default_threshold`] is the value tuned on
+//!    the holdout at fit time.
+//!
+//! [`Detector::detect`] remains as a one-call shim (fit + predict) so
+//! the paper-table harness stays one-liner simple. Iterative training
+//! paradigms (active learning, self-training) express their labeling
+//! loops through an explicit refit hook on the concrete fitted model
+//! rather than hiding retraining inside `detect`.
+//!
+//! ## Harness modules
+//!
+//! * [`detector`] — [`FitContext`], [`TrainedModel`], [`Detector`], and
+//!   the reusable [`ConstantScore`] / [`FlagSetModel`] trained-model
+//!   shapes,
 //! * [`metrics`] — precision / recall / F1 from cell-level predictions,
 //! * [`stats`] — median / mean / standard-error summaries over the
 //!   paper's 10-seed runs,
@@ -9,10 +37,8 @@
 //!   set T, from which 10% is always kept as a hold-out set…; a sampling
 //!   set, which is used to obtain additional labels for active learning;
 //!   and a test set"),
-//! * [`detector`] — the `Detector` trait every method (AUG and all
-//!   baselines) implements, so the experiment binaries drive them
-//!   uniformly,
-//! * [`runner`] — multi-seed experiment execution,
+//! * [`runner`] — multi-seed experiment execution (one fit + one predict
+//!   per seed, with fit and predict wall-clock tracked separately),
 //! * [`report`] — fixed-width tables for the experiment binaries.
 
 pub mod detector;
@@ -22,7 +48,9 @@ pub mod runner;
 pub mod splits;
 pub mod stats;
 
-pub use detector::{DetectionContext, Detector};
+pub use detector::{
+    ConstantScore, DetectionContext, Detector, FitContext, FlagSetModel, TrainedModel,
+};
 pub use metrics::Confusion;
 pub use report::Table;
 pub use runner::{run_seeds, RunSummary};

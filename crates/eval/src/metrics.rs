@@ -22,7 +22,7 @@ pub struct Confusion {
 
 impl Confusion {
     /// Tally predictions against ground truth.
-    pub fn from_predictions<'a, I>(predictions: I, truth: &GroundTruth) -> Self
+    pub fn from_predictions<I>(predictions: I, truth: &GroundTruth) -> Self
     where
         I: IntoIterator<Item = (CellId, Label)>,
     {

@@ -1,12 +1,13 @@
 //! Multi-seed experiment execution.
 //!
 //! One "run" = one split seed: split tuples, label `T` (and the sampling
-//! pool), detect over the test cells, score. [`run_seeds`] repeats this
-//! for a seed list and reports the median run (the paper's convention of
-//! reporting a coupled P/R/F1 triple from the actual median-F1 run) plus
-//! mean/stderr.
+//! pool), fit the detector once, predict over the test cells, score.
+//! [`run_seeds`] repeats this for a seed list and reports the median run
+//! (the paper's convention of reporting a coupled P/R/F1 triple from the
+//! actual median-F1 run) plus mean/stderr, with fit and predict
+//! wall-clock tracked separately.
 
-use crate::detector::{DetectionContext, Detector};
+use crate::detector::{Detector, FitContext};
 use crate::metrics::Confusion;
 use crate::splits::{Split, SplitConfig};
 use crate::stats::{median_index, summarize, Summary};
@@ -28,13 +29,19 @@ pub struct RunSummary {
     pub f1_summary: Summary,
     /// Per-run confusions, in seed order.
     pub runs: Vec<Confusion>,
-    /// Mean wall-clock seconds per run.
+    /// Mean wall-clock seconds per run (fit + predict).
     pub secs_per_run: f64,
+    /// Mean seconds spent fitting per run.
+    pub fit_secs_per_run: f64,
+    /// Mean seconds spent predicting per run — with the staged API this
+    /// is decoupled from (and far below) the fit cost.
+    pub predict_secs_per_run: f64,
 }
 
-/// Run `detector` once per seed and summarize.
+/// Run `detector` once per seed (one fit + one predict each) and
+/// summarize.
 pub fn run_seeds(
-    detector: &mut dyn Detector,
+    detector: &dyn Detector,
     dirty: &Dataset,
     truth: &GroundTruth,
     constraints: &[DenialConstraint],
@@ -43,22 +50,27 @@ pub fn run_seeds(
 ) -> RunSummary {
     assert!(!seeds.is_empty(), "at least one seed required");
     let mut runs = Vec::with_capacity(seeds.len());
-    let started = std::time::Instant::now();
+    let mut fit_secs = 0.0f64;
+    let mut predict_secs = 0.0f64;
     for &seed in seeds {
         let cfg = SplitConfig { seed, ..split };
         let s = Split::new(dirty, cfg);
         let train = s.training_set(dirty, truth);
         let sampling = s.sampling_set(dirty, truth);
         let eval_cells = s.test_cells(dirty);
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty,
             train: &train,
             sampling: Some(&sampling),
             constraints,
-            eval_cells: &eval_cells,
             seed,
         };
-        let labels = detector.detect(&ctx);
+        let fit_started = std::time::Instant::now();
+        let model = detector.fit(&ctx);
+        fit_secs += fit_started.elapsed().as_secs_f64();
+        let predict_started = std::time::Instant::now();
+        let labels = model.predict(&eval_cells, model.default_threshold());
+        predict_secs += predict_started.elapsed().as_secs_f64();
         assert_eq!(labels.len(), eval_cells.len(), "detector output arity");
         let mut c = Confusion::default();
         for (cell, pred) in eval_cells.iter().zip(&labels) {
@@ -66,8 +78,11 @@ pub fn run_seeds(
         }
         runs.push(c);
     }
-    let elapsed = started.elapsed().as_secs_f64() / seeds.len() as f64;
-    summarize_runs(detector.name(), runs, elapsed)
+    let n = seeds.len() as f64;
+    let mut summary = summarize_runs(detector.name(), runs, (fit_secs + predict_secs) / n);
+    summary.fit_secs_per_run = fit_secs / n;
+    summary.predict_secs_per_run = predict_secs / n;
+    summary
 }
 
 /// Build a [`RunSummary`] from per-run confusions.
@@ -83,6 +98,8 @@ pub fn summarize_runs(method: &'static str, runs: Vec<Confusion>, secs_per_run: 
         f1_summary: summarize(&f1s),
         runs,
         secs_per_run,
+        fit_secs_per_run: 0.0,
+        predict_secs_per_run: 0.0,
     }
 }
 
@@ -122,9 +139,9 @@ mod tests {
     #[test]
     fn all_error_detector_has_full_recall() {
         let (dirty, truth) = world();
-        let mut det = ConstantDetector(Label::Error);
+        let det = ConstantDetector(Label::Error);
         let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.1, seed: 0 };
-        let s = run_seeds(&mut det, &dirty, &truth, &[], split, &[1, 2, 3]);
+        let s = run_seeds(&det, &dirty, &truth, &[], split, &[1, 2, 3]);
         assert_eq!(s.runs.len(), 3);
         // Every error in the test split is caught…
         for run in &s.runs {
@@ -133,14 +150,15 @@ mod tests {
         // …at terrible precision.
         assert!(s.precision < 0.2);
         assert!(s.secs_per_run >= 0.0);
+        assert!(s.fit_secs_per_run >= 0.0 && s.predict_secs_per_run >= 0.0);
     }
 
     #[test]
     fn all_correct_detector_scores_zero() {
         let (dirty, truth) = world();
-        let mut det = ConstantDetector(Label::Correct);
+        let det = ConstantDetector(Label::Correct);
         let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 0 };
-        let s = run_seeds(&mut det, &dirty, &truth, &[], split, &[7]);
+        let s = run_seeds(&det, &dirty, &truth, &[], split, &[7]);
         assert_eq!(s.f1, 0.0);
     }
 
@@ -170,8 +188,8 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seeds_panics() {
         let (dirty, truth) = world();
-        let mut det = ConstantDetector(Label::Error);
+        let det = ConstantDetector(Label::Error);
         let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 0 };
-        run_seeds(&mut det, &dirty, &truth, &[], split, &[]);
+        run_seeds(&det, &dirty, &truth, &[], split, &[]);
     }
 }

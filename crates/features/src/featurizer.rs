@@ -9,8 +9,8 @@ use holo_data::{CellId, Dataset};
 use holo_embed::corpus::{self, value_token};
 use holo_embed::{nearest_distance, Embedding, SkipGramConfig};
 use holo_text::{char_tokens, word_tokens};
-use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 /// The fitted representation model `Q`.
 ///
@@ -279,9 +279,9 @@ impl Featurizer {
         let threads = threads.max(1).min(cells.len());
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); cells.len()];
         let chunk = cells.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (slot, work) in out.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (o, (cell, ov)) in slot.iter_mut().zip(work) {
                         *o = match ov {
                             Some(v) => self.features_with_value(d, *cell, v),
@@ -290,22 +290,31 @@ impl Featurizer {
                     }
                 });
             }
-        })
-        .expect("featurization thread panicked");
+        });
         out
     }
 
     fn neighbor_distance(&self, a: usize, value: &str) -> f32 {
         let key = (a, value.to_owned());
-        if let Some(&dist) = self.nn_cache.read().get(&key) {
+        if let Some(&dist) = self.nn_cache.read().expect("nn cache poisoned").get(&key) {
             return dist;
         }
         let emb = self.value_emb.as_ref().expect("neighborhood enabled");
         let token = value_token(a, value);
         let dist = nearest_distance(emb, &token, &self.neighbor_candidates[a]);
-        self.nn_cache.write().insert(key, dist);
+        self.nn_cache.write().expect("nn cache poisoned").insert(key, dist);
         dist
     }
+}
+
+/// Deduplicate sentences (used for char/token corpora where cell values
+/// repeat heavily).
+fn dedup(sentences: Vec<Vec<String>>) -> Vec<Vec<String>> {
+    let mut seen = HashSet::new();
+    sentences
+        .into_iter()
+        .filter(|s| seen.insert(s.join("\u{1}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -441,14 +450,4 @@ mod tests {
             assert!(x.is_finite());
         }
     }
-}
-
-/// Deduplicate sentences (used for char/token corpora where cell values
-/// repeat heavily).
-fn dedup(sentences: Vec<Vec<String>>) -> Vec<Vec<String>> {
-    let mut seen = HashSet::new();
-    sentences
-        .into_iter()
-        .filter(|s| seen.insert(s.join("\u{1}")))
-        .collect()
 }

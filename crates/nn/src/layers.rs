@@ -10,10 +10,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A differentiable layer.
-pub trait Layer {
+///
+/// `Send + Sync` is a supertrait so fitted models built from
+/// `Box<dyn Layer>` stacks can be shared across threads for parallel
+/// scoring (every layer is plain data plus a seeded RNG).
+pub trait Layer: Send + Sync {
     /// Forward pass over a batch (`rows` = examples). `train` switches
     /// stochastic layers (dropout) between train and eval behaviour.
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+
+    /// Inference-only forward pass: eval behaviour, no backward caches,
+    /// shared access — the hot path of a fitted model's `score`.
+    fn infer(&self, input: &Matrix) -> Matrix;
 
     /// Backward pass: gradient w.r.t. the layer output → gradient w.r.t.
     /// the layer input; parameter gradients are accumulated internally.
@@ -74,6 +82,12 @@ impl Layer for Dense {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.w.value);
+        out.add_row_broadcast(&self.b.value);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cached_input.as_ref().expect("backward before forward");
         self.w.grad.add_assign(&x.t_matmul(grad_out));
@@ -107,6 +121,10 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(|v| v.max(0.0))
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mask = self.mask.as_ref().expect("backward before forward");
         grad_out.hadamard(mask)
@@ -138,6 +156,10 @@ impl Layer for Sigmoid {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(sigmoid_scalar)
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let y = self.out.as_ref().expect("backward before forward");
         let dydx = y.map(|v| v * (1.0 - v));
@@ -164,6 +186,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         if !train || self.p == 0.0 {
             self.mask = None;
@@ -228,20 +254,30 @@ impl Highway {
     pub fn dim(&self) -> usize {
         self.wh.value.rows()
     }
-}
 
-impl Layer for Highway {
-    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+    /// The highway computation `y = T ⊙ H + (1 − T) ⊙ x`, shared by the
+    /// training and inference passes so the math exists once.
+    fn compute(&self, input: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
         let mut h_pre = input.matmul(&self.wh.value);
         h_pre.add_row_broadcast(&self.bh.value);
         let h = h_pre.map(|v| v.max(0.0));
         let mut t_pre = input.matmul(&self.wt.value);
         t_pre.add_row_broadcast(&self.bt.value);
         let t = t_pre.map(sigmoid_scalar);
-        // y = t*h + (1-t)*x
         let mut y = t.hadamard(&h);
         let carry = t.map(|v| 1.0 - v).hadamard(input);
         y.add_assign(&carry);
+        (h_pre, h, t, y)
+    }
+}
+
+impl Layer for Highway {
+    fn infer(&self, input: &Matrix) -> Matrix {
+        self.compute(input).3
+    }
+
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        let (h_pre, h, t, y) = self.compute(input);
         self.cache = Some(HighwayCache { x: input.clone(), h_pre, h, t });
         y
     }
@@ -463,5 +499,25 @@ mod tests {
     #[should_panic(expected = "dropout probability")]
     fn dropout_rejects_p_one() {
         Dropout::new(1.0, 0);
+    }
+
+    /// `infer` must agree with eval-mode `forward` for every layer.
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut r = rng();
+        let x = Matrix::xavier(4, 6, &mut r);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Dense::new(6, 3, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Sigmoid::new()),
+            Box::new(Dropout::new(0.5, 9)),
+            Box::new(Highway::new(6, &mut r)),
+        ];
+        for mut l in layers {
+            let via_infer = l.infer(&x);
+            let via_forward = l.forward(&x, false);
+            // Dense/Highway change the width; compare whatever came out.
+            assert_eq!(via_infer, via_forward);
+        }
     }
 }

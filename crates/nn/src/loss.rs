@@ -17,6 +17,9 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix
     assert!(n > 0, "empty batch");
     let mut grad = Matrix::zeros(n, k);
     let mut loss = 0.0f64;
+    // Indexing three parallel structures (logits row, target, grad row);
+    // an index loop is the clear spelling.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let row = logits.row(i);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

@@ -46,6 +46,15 @@ impl Sequential {
         x
     }
 
+    /// Inference-only forward pass: eval behaviour, shared access.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.infer(&x);
+        }
+        x
+    }
+
     /// Backward through all layers, returning the input gradient.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mut g = grad_out.clone();
@@ -89,15 +98,14 @@ impl Sequential {
         loss
     }
 
-    /// Class probabilities for a batch (eval mode).
-    pub fn predict_proba(&mut self, x: &Matrix) -> Matrix {
-        let logits = self.forward(x, false);
-        crate::loss::softmax(&logits)
+    /// Class probabilities for a batch (eval mode, shared access).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        crate::loss::softmax(&self.infer(x))
     }
 
     /// Raw logits for a batch (eval mode) — used by Platt scaling.
-    pub fn logits(&mut self, x: &Matrix) -> Matrix {
-        self.forward(x, false)
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.infer(x)
     }
 }
 
@@ -157,7 +165,7 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net = Sequential::new()
+        let net = Sequential::new()
             .push(Dense::new(3, 4, &mut rng))
             .push(Relu::new())
             .push(Dense::new(4, 3, &mut rng));

@@ -55,17 +55,17 @@ impl Optimizer for Adam {
         let g = p.grad.data().to_vec();
         let m = p.m.data_mut();
         let v = p.v.data_mut();
-        for i in 0..g.len() {
-            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+        for ((m_i, v_i), &g_i) in m.iter_mut().zip(v.iter_mut()).zip(&g) {
+            *m_i = b1 * *m_i + (1.0 - b1) * g_i;
+            *v_i = b2 * *v_i + (1.0 - b2) * g_i * g_i;
         }
         let value = p.value.data_mut();
         let m = &p.m;
         let v = &p.v;
-        for i in 0..g.len() {
-            let m_hat = m.data()[i] / bc1;
-            let v_hat = v.data()[i] / bc2;
-            value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        for ((val, &m_i), &v_i) in value.iter_mut().zip(m.data()).zip(v.data()) {
+            let m_hat = m_i / bc1;
+            let v_hat = v_i / bc2;
+            *val -= lr * m_hat / (v_hat.sqrt() + eps);
         }
     }
 }

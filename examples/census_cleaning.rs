@@ -11,7 +11,9 @@
 
 use holodetect_repro::core::{HoloDetect, HoloDetectConfig, Strategy};
 use holodetect_repro::datagen::{generate, DatasetKind};
-use holodetect_repro::eval::{Confusion, DetectionContext, Detector, Split, SplitConfig};
+use holodetect_repro::eval::{
+    Confusion, Detector, FitContext, Split, SplitConfig,
+};
 
 fn main() {
     let g = generate(DatasetKind::Adult, 4000, 42);
@@ -33,16 +35,18 @@ fn main() {
     cfg.epochs = 40;
 
     for strategy in [Strategy::Augmentation { target_ratio: None }, Strategy::Supervised] {
-        let ctx = DetectionContext {
+        let ctx = FitContext {
             dirty: &g.dirty,
             train: &train,
             sampling: None,
             constraints: &g.constraints,
-            eval_cells: &eval_cells,
             seed: 11,
         };
-        let mut det = HoloDetect::with_strategy(cfg.clone(), strategy);
-        let labels = det.detect(&ctx);
+        let det = HoloDetect::with_strategy(cfg.clone(), strategy);
+        // Fit once, then classify the whole evaluation set in one
+        // reusable predict pass.
+        let model = det.fit(&ctx);
+        let labels = model.predict(&eval_cells, model.default_threshold());
         let mut c = Confusion::default();
         for (cell, label) in eval_cells.iter().zip(&labels) {
             c.record(*label, g.truth.label(*cell));

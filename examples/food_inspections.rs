@@ -31,12 +31,15 @@ fn main() {
 
     let mut cfg = HoloDetectConfig::fast();
     cfg.epochs = 40;
-    let mut detectors: Vec<Box<dyn Detector>> = vec![
+    let detectors: Vec<Box<dyn Detector>> = vec![
         Box::new(HoloDetect::new(cfg)),
         Box::new(ConstraintViolations),
         Box::new(OutlierDetector::default()),
     ];
-    for det in &mut detectors {
+    for det in &detectors {
+        // The one-call convenience shim: fit + predict at the fitted
+        // threshold (see `quickstart` for the staged fit/score/predict
+        // API).
         let ctx = DetectionContext {
             dirty: &g.dirty,
             train: &train,

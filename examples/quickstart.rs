@@ -10,7 +10,9 @@
 use holodetect_repro::constraints::parse_constraints;
 use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::{DatasetBuilder, GroundTruth, Schema};
-use holodetect_repro::eval::{Confusion, DetectionContext, Detector, Split, SplitConfig};
+use holodetect_repro::eval::{
+    Confusion, Detector, FitContext, Split, SplitConfig,
+};
 
 fn main() {
     // 1. A clean relation: zip codes determine cities and states.
@@ -52,29 +54,35 @@ fn main() {
     let eval_cells = split.test_cells(&dirty);
     println!("labeled cells: {} — detecting over {} cells", train.len(), eval_cells.len());
 
-    // 5. Detect.
-    let ctx = DetectionContext {
+    // 5. Fit once. The returned model owns the trained pipeline and can
+    //    score/predict arbitrary cell batches without re-training.
+    let ctx = FitContext {
         dirty: &dirty,
         train: &train,
         sampling: None,
         constraints: &constraints,
-        eval_cells: &eval_cells,
         seed: 1,
     };
-    let mut detector = HoloDetect::new(HoloDetectConfig::fast());
-    let labels = detector.detect(&ctx);
+    let detector = HoloDetect::new(HoloDetectConfig::fast());
+    let model = detector.fit(&ctx);
 
-    // 6. Score and show what was flagged.
+    // 6. Score: calibrated error probabilities, then labels at the
+    //    holdout-tuned threshold.
+    let scores = model.score(&eval_cells);
+    let labels = model.predict(&eval_cells, model.default_threshold());
+
+    // 7. Show what was flagged, with confidences.
     let mut confusion = Confusion::default();
-    println!("\nflagged cells:");
-    for (cell, label) in eval_cells.iter().zip(&labels) {
+    println!("\nflagged cells (threshold {:.2}):", model.default_threshold());
+    for ((cell, label), p) in eval_cells.iter().zip(&labels).zip(&scores) {
         confusion.record(*label, truth.label(*cell));
         if label.is_error() {
             println!(
-                "  t{}.{} = {:?} (truth: {:?})",
+                "  t{}.{} = {:?} (P(error) = {:.3}, truth: {:?})",
                 cell.t(),
                 dirty.schema().name(cell.a()),
                 dirty.cell_value(*cell),
+                p,
                 truth.true_value(*cell, &dirty),
             );
         }

@@ -1,6 +1,45 @@
 //! Workspace umbrella crate: re-exports the public API of every
 //! HoloDetect reproduction crate so examples and integration tests can
 //! use a single dependency.
+//!
+//! # The fit / score / predict lifecycle
+//!
+//! The detector API is staged the way the method itself is: train the
+//! noisy channel + augmentation + wide-and-deep model **once**, then
+//! classify any number of cell batches through the resulting
+//! [`eval::TrainedModel`]:
+//!
+//! ```no_run
+//! use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
+//! use holodetect_repro::eval::{Detector, FitContext};
+//! # fn ctx() -> FitContext<'static> { unimplemented!() }
+//! # fn cells() -> Vec<holodetect_repro::data::CellId> { unimplemented!() }
+//!
+//! let detector = HoloDetect::new(HoloDetectConfig::default());
+//! let model = detector.fit(&ctx());      // learn once (expensive)
+//! let probs = model.score(&cells());     // calibrated P(error), reusable
+//! let labels = model.predict(&cells(), model.default_threshold());
+//! ```
+//!
+//! `model` is `Send + Sync`: batches can be scored concurrently from
+//! many threads, which is the hook sharding/batching/serving layers
+//! build on. The one-call [`eval::Detector::detect`] shim remains for
+//! harness one-liners.
+//!
+//! # Crates
+//!
+//! * [`data`] — datasets, cells, labels, ground truth,
+//! * [`text`] — tokenization, n-grams, edit distance,
+//! * [`constraints`] — denial constraints and violation detection,
+//! * [`embed`] — skip-gram embeddings,
+//! * [`channel`] — the noisy channel: transformation learning,
+//!   policies, augmentation (Algorithms 1–4), weak supervision,
+//! * [`features`] — the multi-granularity representation `Q`,
+//! * [`nn`] — the neural substrate: layers, ADAM, Platt scaling,
+//! * [`core`] — the HoloDetect pipeline and its training strategies,
+//! * [`baselines`] — the competing methods of Table 2,
+//! * [`eval`] — the detector API, splits, metrics, multi-seed runs,
+//! * [`datagen`] — simulated stand-ins for the paper's five datasets.
 
 pub use holo_baselines as baselines;
 pub use holo_channel as channel;

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the full HoloDetect pipeline driven
-//! through the public APIs, across generated datasets and baselines.
+//! through the public fit/score/predict API, across generated datasets
+//! and baselines.
 
 use holodetect_repro::baselines::{
     ConstraintViolations, ForbiddenItemsets, HoloCleanDetector, LogisticRegression,
@@ -8,10 +9,12 @@ use holodetect_repro::baselines::{
 use holodetect_repro::core::{HoloDetect, HoloDetectConfig, Strategy};
 use holodetect_repro::data::Label;
 use holodetect_repro::datagen::{generate, DatasetKind};
-use holodetect_repro::eval::{Confusion, DetectionContext, Detector, Split, SplitConfig};
+use holodetect_repro::eval::{
+    Confusion, DetectionContext, Detector, FitContext, Split, SplitConfig,
+};
 
 fn run_detector(
-    det: &mut dyn Detector,
+    det: &dyn Detector,
     kind: DatasetKind,
     rows: usize,
     train_frac: f64,
@@ -22,15 +25,22 @@ fn run_detector(
     let train = split.training_set(&g.dirty, &g.truth);
     let sampling = split.sampling_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
-    let ctx = DetectionContext {
+    let ctx = FitContext {
         dirty: &g.dirty,
         train: &train,
         sampling: Some(&sampling),
         constraints: &g.constraints,
-        eval_cells: &eval_cells,
         seed: 9,
     };
-    let labels = det.detect(&ctx);
+    let model = det.fit(&ctx);
+    let scores = model.score(&eval_cells);
+    assert_eq!(scores.len(), eval_cells.len());
+    assert!(
+        scores.iter().all(|p| (0.0..=1.0).contains(p)),
+        "{}: scores out of [0,1]",
+        det.name()
+    );
+    let labels = model.predict(&eval_cells, model.default_threshold());
     assert_eq!(labels.len(), eval_cells.len());
     let mut c = Confusion::default();
     for (cell, pred) in eval_cells.iter().zip(&labels) {
@@ -43,8 +53,8 @@ fn run_detector(
 fn aug_beats_trivial_baselines_on_hospital() {
     let mut cfg = HoloDetectConfig::fast();
     cfg.epochs = 30;
-    let mut aug = HoloDetect::new(cfg);
-    let c = run_detector(&mut aug, DatasetKind::Hospital, 300, 0.10);
+    let aug = HoloDetect::new(cfg);
+    let c = run_detector(&aug, DatasetKind::Hospital, 300, 0.10);
     // Must decisively beat the all-error baseline's precision (~2.6%)
     // and the all-correct baseline's recall (0).
     assert!(c.precision() > 0.3, "precision {:.3}", c.precision());
@@ -55,15 +65,15 @@ fn aug_beats_trivial_baselines_on_hospital() {
 #[test]
 fn every_baseline_runs_on_every_dataset() {
     for kind in DatasetKind::ALL {
-        let mut detectors: Vec<Box<dyn Detector>> = vec![
+        let detectors: Vec<Box<dyn Detector>> = vec![
             Box::new(ConstraintViolations),
             Box::new(HoloCleanDetector::default()),
             Box::new(OutlierDetector::default()),
             Box::new(ForbiddenItemsets::default()),
             Box::new(LogisticRegression::default()),
         ];
-        for det in &mut detectors {
-            let c = run_detector(det.as_mut(), kind, 150, 0.10);
+        for det in &detectors {
+            let c = run_detector(det.as_ref(), kind, 150, 0.10);
             assert!(c.total() > 0, "{kind}: {} produced no predictions", det.name());
         }
     }
@@ -75,18 +85,15 @@ fn cv_recall_tracks_constraint_coverage_on_hospital() {
     // constraints, so CV should catch a non-trivial share but show low
     // precision (it flags whole violating groups) — the paper's Table 2
     // shape.
-    let mut cv = ConstraintViolations;
-    let c = run_detector(&mut cv, DatasetKind::Hospital, 500, 0.10);
+    let c = run_detector(&ConstraintViolations, DatasetKind::Hospital, 500, 0.10);
     assert!(c.recall() > 0.15, "recall {:.3}", c.recall());
     assert!(c.precision() < 0.5, "precision {:.3}", c.precision());
 }
 
 #[test]
 fn hc_has_higher_precision_than_cv() {
-    let mut cv = ConstraintViolations;
-    let mut hc = HoloCleanDetector::default();
-    let c_cv = run_detector(&mut cv, DatasetKind::Hospital, 400, 0.10);
-    let c_hc = run_detector(&mut hc, DatasetKind::Hospital, 400, 0.10);
+    let c_cv = run_detector(&ConstraintViolations, DatasetKind::Hospital, 400, 0.10);
+    let c_hc = run_detector(&HoloCleanDetector::default(), DatasetKind::Hospital, 400, 0.10);
     assert!(
         c_hc.precision() >= c_cv.precision(),
         "HC {:.3} vs CV {:.3}",
@@ -99,10 +106,10 @@ fn hc_has_higher_precision_than_cv() {
 fn augmentation_outperforms_supervision_with_scarce_errors() {
     let mut cfg = HoloDetectConfig::fast();
     cfg.epochs = 25;
-    let mut aug = HoloDetect::new(cfg.clone());
-    let mut sup = HoloDetect::with_strategy(cfg, Strategy::Supervised);
-    let c_aug = run_detector(&mut aug, DatasetKind::Hospital, 300, 0.05);
-    let c_sup = run_detector(&mut sup, DatasetKind::Hospital, 300, 0.05);
+    let aug = HoloDetect::new(cfg.clone());
+    let sup = HoloDetect::with_strategy(cfg, Strategy::Supervised);
+    let c_aug = run_detector(&aug, DatasetKind::Hospital, 300, 0.05);
+    let c_sup = run_detector(&sup, DatasetKind::Hospital, 300, 0.05);
     assert!(
         c_aug.recall() >= c_sup.recall(),
         "AUG recall {:.3} vs SuperL {:.3}",
@@ -138,36 +145,37 @@ fn label_arity_matches_eval_cells_even_when_empty() {
     let g = generate(DatasetKind::Animal, 120, 3);
     let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 8 });
     let train = split.training_set(&g.dirty, &g.truth);
-    let ctx = DetectionContext {
+    let ctx = FitContext {
         dirty: &g.dirty,
         train: &train,
         sampling: None,
         constraints: &g.constraints,
-        eval_cells: &[],
         seed: 0,
     };
-    let mut det = HoloDetect::new(HoloDetectConfig::fast());
-    assert!(det.detect(&ctx).is_empty());
+    let det = HoloDetect::new(HoloDetectConfig::fast());
+    let model = det.fit(&ctx);
+    assert!(model.score(&[]).is_empty());
+    assert!(model.predict(&[], model.default_threshold()).is_empty());
 }
 
 #[test]
 fn predictions_use_both_labels() {
     let mut cfg = HoloDetectConfig::fast();
     cfg.epochs = 25;
-    let mut det = HoloDetect::new(cfg);
+    let det = HoloDetect::new(cfg);
     let g = generate(DatasetKind::Hospital, 250, 13);
     let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 6 });
     let train = split.training_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
-    let ctx = DetectionContext {
+    let ctx = FitContext {
         dirty: &g.dirty,
         train: &train,
         sampling: None,
         constraints: &g.constraints,
-        eval_cells: &eval_cells,
         seed: 1,
     };
-    let labels = det.detect(&ctx);
+    let model = det.fit(&ctx);
+    let labels = model.predict(&eval_cells, model.default_threshold());
     assert!(labels.contains(&Label::Error), "never flags anything");
     assert!(labels.contains(&Label::Correct), "flags everything");
 }

@@ -1,0 +1,225 @@
+//! Integration tests for the staged fit / score / predict API: one fit
+//! produces a `Send + Sync` `TrainedModel` that serves arbitrary cell
+//! batches — sequentially or across threads — without re-training, with
+//! Platt-calibrated probabilities (§4.2) behind `score`.
+
+use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
+use holodetect_repro::data::CellId;
+use holodetect_repro::datagen::{generate, DatasetKind, GeneratedDataset};
+use holodetect_repro::eval::{
+    DetectionContext, Detector, FitContext, Split, SplitConfig, TrainedModel,
+};
+
+fn world(rows: usize, seed: u64) -> (GeneratedDataset, Split) {
+    let g = generate(DatasetKind::Hospital, rows, seed);
+    let split =
+        Split::new(&g.dirty, SplitConfig { train_frac: 0.12, sampling_frac: 0.0, seed: 1 });
+    (g, split)
+}
+
+fn fast_cfg() -> HoloDetectConfig {
+    let mut cfg = HoloDetectConfig::fast();
+    cfg.epochs = 15;
+    cfg
+}
+
+/// Fit once, score two disjoint batches: the concatenation must equal
+/// one whole-batch call — no retraining, no cross-batch state.
+#[test]
+fn fit_once_scores_disjoint_batches_consistently() {
+    let (g, split) = world(200, 5);
+    let train = split.training_set(&g.dirty, &g.truth);
+    let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(80).collect();
+    let ctx = FitContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        seed: 7,
+    };
+    let model = HoloDetect::new(fast_cfg()).fit(&ctx);
+    let (batch_a, batch_b) = cells.split_at(cells.len() / 3);
+    let mut stitched = model.score(batch_a);
+    stitched.extend(model.score(batch_b));
+    assert_eq!(stitched, model.score(&cells));
+    // And predictions are reusable too.
+    let la = model.predict(batch_a, model.default_threshold());
+    let lb = model.predict(batch_b, model.default_threshold());
+    let all = model.predict(&cells, model.default_threshold());
+    assert_eq!(all, [la, lb].concat());
+}
+
+/// `TrainedModel: Send + Sync`: a single fitted HoloDetect model scores
+/// cell batches concurrently from multiple threads, matching the serial
+/// result exactly.
+#[test]
+fn one_model_scores_batches_in_parallel() {
+    let (g, split) = world(180, 11);
+    let train = split.training_set(&g.dirty, &g.truth);
+    let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(64).collect();
+    let ctx = FitContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        seed: 3,
+    };
+    let model = HoloDetect::new(fast_cfg()).fit(&ctx);
+    let serial = model.score(&cells);
+    let batches: Vec<&[CellId]> = cells.chunks(16).collect();
+    let parallel: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|batch| s.spawn(|| model.score(batch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scoring thread")).collect()
+    });
+    assert_eq!(parallel.concat(), serial);
+}
+
+/// Platt calibration through the new API: scores are probabilities in
+/// [0, 1] and monotone with the raw classifier margins.
+#[test]
+fn scores_are_calibrated_probabilities_monotone_in_logits() {
+    let (g, split) = world(220, 5);
+    let train = split.training_set(&g.dirty, &g.truth);
+    let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(120).collect();
+    let ctx = FitContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        seed: 2,
+    };
+    let det = HoloDetect::new(fast_cfg());
+    let fitted = det.fit_model(&ctx);
+    let probs = fitted.score(&cells);
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)), "scores outside [0,1]");
+    // Monotone with the raw margins: sort by margin, probabilities must
+    // be non-decreasing.
+    let raw = fitted.raw_scores(&cells);
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by(|&i, &j| raw[i].total_cmp(&raw[j]));
+    for w in order.windows(2) {
+        assert!(
+            probs[w[0]] <= probs[w[1]] + 1e-9,
+            "calibration broke monotonicity: margin {} -> p {} vs margin {} -> p {}",
+            raw[w[0]],
+            probs[w[0]],
+            raw[w[1]],
+            probs[w[1]]
+        );
+    }
+    // The model saw real signal: not all probabilities identical.
+    let spread = probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - probs.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 0.01, "degenerate probabilities, spread {spread}");
+}
+
+/// On a fixed-seed dataset the one-call `detect()` shim and an explicit
+/// `fit` + `predict(cells, 0.5)` agree — calibration puts the fitted
+/// threshold's decision boundary at ordinary probability scale (on this
+/// seed the holdout-tuned threshold lands exactly on the canonical 0.5).
+#[test]
+fn predict_at_half_agrees_with_detect_on_fixed_seed() {
+    let g = generate(DatasetKind::Adult, 200, 5);
+    let split =
+        Split::new(&g.dirty, SplitConfig { train_frac: 0.12, sampling_frac: 0.0, seed: 1 });
+    let train = split.training_set(&g.dirty, &g.truth);
+    let eval_cells = split.test_cells(&g.dirty);
+    let ctx = DetectionContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        eval_cells: &eval_cells,
+        seed: 2,
+    };
+    let det = HoloDetect::new(fast_cfg());
+    let shim_labels = det.detect(&ctx);
+    let model = det.fit(&ctx.fit_context());
+    // The parity below holds because tuning lands on 0.5 for this seed;
+    // assert that premise first so a benign training change that moves
+    // the threshold fails legibly (fix: re-pin the dataset seed).
+    assert_eq!(
+        model.default_threshold(),
+        0.5,
+        "seed no longer tunes to 0.5 — re-pin the fixed seed for this test"
+    );
+    let at_half = model.predict(&eval_cells, 0.5);
+    let disagreements = shim_labels
+        .iter()
+        .zip(&at_half)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(
+        disagreements, 0,
+        "detect() (threshold {:.2}) and predict(·, 0.5) disagree on {disagreements}/{} cells",
+        model.default_threshold(),
+        eval_cells.len()
+    );
+}
+
+/// The explicit incremental hook: refitting with extra labeled examples
+/// produces a model that still serves the full API.
+#[test]
+fn refit_hook_extends_training_without_full_repipeline() {
+    let (g, split) = world(160, 9);
+    let train = split.training_set(&g.dirty, &g.truth);
+    let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(40).collect();
+    let ctx = FitContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        seed: 4,
+    };
+    let det = HoloDetect::new(fast_cfg());
+    let fitted = det.fit_model(&ctx);
+    let n_before = fitted.n_train_examples();
+    // Label a few more cells from ground truth and refit.
+    let extra: Vec<holodetect_repro::core::trainer::TrainExample> = g
+        .dirty
+        .cell_ids()
+        .take(10)
+        .map(|cell| holodetect_repro::core::trainer::TrainExample {
+            cell,
+            value: g.dirty.cell_value(cell).to_owned(),
+            label: g.truth.label(cell),
+        })
+        .collect();
+    let refitted = fitted.refit_with(extra);
+    assert_eq!(refitted.n_train_examples(), n_before + 10);
+    let probs = refitted.score(&cells);
+    assert_eq!(probs.len(), cells.len());
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+}
+
+/// Predict-path cost is decoupled from training: scoring a batch with a
+/// fitted model is far cheaper than fitting (the criterion benchmark
+/// `bench_predict` quantifies this; here we only sanity-bound it).
+#[test]
+fn predict_is_cheaper_than_fit() {
+    let (g, split) = world(200, 5);
+    let train = split.training_set(&g.dirty, &g.truth);
+    let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(100).collect();
+    let ctx = FitContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        seed: 6,
+    };
+    let det = HoloDetect::new(fast_cfg());
+    let fit_started = std::time::Instant::now();
+    let model = det.fit(&ctx);
+    let fit_time = fit_started.elapsed();
+    let predict_started = std::time::Instant::now();
+    let labels = model.predict(&cells, model.default_threshold());
+    let predict_time = predict_started.elapsed();
+    assert_eq!(labels.len(), cells.len());
+    assert!(
+        predict_time < fit_time,
+        "predict ({predict_time:?}) should be far cheaper than fit ({fit_time:?})"
+    );
+}

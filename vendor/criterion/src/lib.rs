@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the slice of criterion's API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros (both the
+//! plain and the `name/config/targets` forms). Each benchmark runs a
+//! warm-up pass, then `sample_size` timed samples, and prints
+//! min / median / max time per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: collects samples and prints a summary line.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock per sample; iterations auto-scale to reach it.
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, sample_time: Duration::from_millis(50) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark: warm up, time `sample_size` samples, report.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up + calibration sample.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters as u32;
+        let iters_per_sample = (self.sample_time.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u32::MAX as u128) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let med = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}] ({} samples x {iters_per_sample} iters)",
+            fmt_duration(min),
+            fmt_duration(med),
+            fmt_duration(max),
+            samples.len(),
+        );
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it as many times as the driver asks.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions, mirroring criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running every group (used with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn runs_a_group() {
+        let mut c = Criterion::default().sample_size(3);
+        quick(&mut c);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

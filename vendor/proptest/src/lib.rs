@@ -1,0 +1,421 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the slice of proptest's API the workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! the [`strategy::Strategy`] trait with `prop_map`, range and
+//! char-class-regex strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of deterministic pseudo-random cases (seeded from the test
+//! name) and reports the first failing case's values via the assertion
+//! message.
+
+pub mod test_runner {
+    /// Cases per property (real proptest defaults to 256; kept lower to
+    /// bound `cargo test` wall-clock).
+    pub const CASES: usize = 64;
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs — skip, don't fail.
+        Reject,
+        /// `prop_assert*` failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with a message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// SplitMix64 — the deterministic case generator.
+    #[derive(Debug, Clone)]
+    pub struct StubRng {
+        state: u64,
+    }
+
+    impl StubRng {
+        /// Seeded generator.
+        pub fn new(seed: u64) -> Self {
+            StubRng { state: seed }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::StubRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut StubRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StubRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty strategy range");
+                    let span = (e as i128 - s as i128 + 1) as u64;
+                    (s as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (unit as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f32, f64);
+
+    /// String strategies from the char-class-regex subset proptest
+    /// supports and this workspace uses: `.{m,n}`, `[a-z0-9 ]{m,n}`,
+    /// `[ -~]{m,n}`, with `{n}` as a fixed count.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StubRng) -> String {
+            let (classes, min, max) = parse_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| classes[rng.below(classes.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parse `<class>{m,n}` → (allowed chars, m, n).
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let chars: Vec<char> = pat.chars().collect();
+        let (class, rest) = match chars.first() {
+            Some('.') => ((' '..='~').collect::<Vec<char>>(), &chars[1..]),
+            Some('[') => {
+                let close = chars
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed char class in {pat:?}"));
+                let body = &chars[1..close];
+                let mut set = Vec::new();
+                let mut i = 0;
+                while i < body.len() {
+                    if i + 2 < body.len() && body[i + 1] == '-' {
+                        let (lo, hi) = (body[i], body[i + 2]);
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(body[i]);
+                        i += 1;
+                    }
+                }
+                (set, &chars[close + 1..])
+            }
+            _ => panic!("unsupported pattern {pat:?} (stub supports <class>{{m,n}})"),
+        };
+        let rest: String = rest.iter().collect();
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition in {pat:?}"));
+        let (min, max) = match counts.split_once(',') {
+            Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+            None => {
+                let n = counts.parse().unwrap();
+                (n, n)
+            }
+        };
+        assert!(!class.is_empty() && min <= max, "bad pattern {pat:?}");
+        (class, min, max)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+)),* $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StubRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::StubRng;
+
+    /// A `Vec` strategy with element strategy `element` and a size given
+    /// as an exact count, a half-open range, or an inclusive range.
+    pub fn vec<S: Strategy, R: Into<SizeRange>>(element: S, size: R) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Element-count bounds for [`vec`].
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StubRng) -> Vec<S::Value> {
+            let n = self.size.min
+                + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`test_runner::CASES`] deterministic
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::test_runner::StubRng::new(
+                    0x5D5A_1000u64 ^ stringify!($name).bytes().fold(0u64, |h, b| {
+                        h.wrapping_mul(131).wrapping_add(b as u64)
+                    }),
+                );
+                for case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let dbg = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: Result<(), $crate::test_runner::TestCaseError> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) | Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {case} [{dbg}]: {msg}")
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(l == r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if l == r {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: {} != {} (both: {:?})",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The stub exercises ranges, regex classes, vecs, and tuples.
+        #[test]
+        fn stub_machinery_works(
+            n in 1usize..10,
+            s in "[a-c]{0,8}",
+            pair in (0u8..3, 0u8..3),
+            v in crate::collection::vec("[x-z]{1,2}", 2..5),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(s.len() <= 8 && s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(pair.0 < 3 && pair.1 < 3);
+            prop_assert!((2..5).contains(&v.len()));
+            for e in &v {
+                prop_assert!(!e.is_empty() && e.len() <= 2);
+            }
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_rejects(a in 0usize..4, b in 0usize..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn pattern_space_to_tilde_is_printable_ascii() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::StubRng;
+        let mut rng = StubRng::new(1);
+        for _ in 0..50 {
+            let s = "[ -~]{0,8}".generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn run_the_proptests() {
+        stub_machinery_works();
+        assume_rejects();
+    }
+}
