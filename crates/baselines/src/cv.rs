@@ -37,10 +37,14 @@ impl Detector for ConstraintViolations {
     }
 
     /// "Fitting" CV is building the violation index once; the returned
-    /// flag-set model then serves any cell batch.
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+    /// flag-set model (owned, `'static`) then serves any cell batch of a
+    /// schema-compatible dataset — flags address the fit-time rows.
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
         let engine = ViolationEngine::build(ctx.dirty, ctx.constraints);
-        Box::new(FlagSetModel::new(Self::flagged_cells(ctx.dirty, &engine)))
+        Box::new(FlagSetModel::new(
+            ctx.dirty.schema().clone(),
+            Self::flagged_cells(ctx.dirty, &engine),
+        ))
     }
 }
 
@@ -73,15 +77,21 @@ mod tests {
             seed: 0,
         };
         let model = ConstraintViolations.fit(&ctx);
-        let labels = model.predict(&cells, model.default_threshold());
+        let labels = model
+            .predict_batch(&d, &cells, model.default_threshold())
+            .unwrap();
         // Rows 0–2 participate in violations; both Zip and City cells of
         // those rows are flagged. Row 3 is clean.
         for (cell, label) in cells.iter().zip(&labels) {
-            let expect = if cell.t() <= 2 { Label::Error } else { Label::Correct };
+            let expect = if cell.t() <= 2 {
+                Label::Error
+            } else {
+                Label::Correct
+            };
             assert_eq!(*label, expect, "cell {cell}");
         }
         // Scores are degenerate {0, 1} confidences.
-        for (cell, score) in cells.iter().zip(model.score(&cells)) {
+        for (cell, score) in cells.iter().zip(model.score_batch(&d, &cells).unwrap()) {
             let expect = if cell.t() <= 2 { 1.0 } else { 0.0 };
             assert_eq!(score, expect, "cell {cell}");
         }
@@ -100,7 +110,9 @@ mod tests {
             seed: 0,
         };
         let model = ConstraintViolations.fit(&ctx);
-        let labels = model.predict(&cells, model.default_threshold());
+        let labels = model
+            .predict_batch(&d, &cells, model.default_threshold())
+            .unwrap();
         assert!(labels.iter().all(|&l| l == Label::Correct));
     }
 }

@@ -9,7 +9,7 @@
 //! are flagged.
 
 use holo_data::{CellId, Dataset, Symbol};
-use holo_eval::{Detector, FitContext, TrainedModel};
+use holo_eval::{Detector, FitContext, ModelError, TrainedModel};
 use std::collections::HashMap;
 
 /// The forbidden-itemsets detector.
@@ -25,14 +25,21 @@ pub struct ForbiddenItemsets {
 
 impl Default for ForbiddenItemsets {
     fn default() -> Self {
-        ForbiddenItemsets { max_lift: 0.1, min_support: 4 }
+        ForbiddenItemsets {
+            max_lift: 0.1,
+            min_support: 4,
+        }
     }
 }
 
-/// The fitted FBI model: per-column supports and pair counts gathered
-/// at fit time; lift queries served per scored cell.
-struct FbiModel<'a> {
-    dirty: &'a Dataset,
+/// The fitted FBI model: the reference dataset plus per-column supports
+/// and pair counts gathered at fit time; lift queries served per scored
+/// cell. Owned and `'static` — values of the scored dataset are mapped
+/// through the reference pool, so tuples of an unseen batch are scored
+/// against fit-time support (values the reference never saw have no
+/// support and cannot be forbidden, FBI's documented low-recall mode).
+struct FbiModel {
+    reference: Dataset,
     /// Value supports per column.
     support: Vec<HashMap<Symbol, u32>>,
     /// Pair counts per column pair (a < b).
@@ -41,39 +48,44 @@ struct FbiModel<'a> {
     min_support: u32,
 }
 
-impl FbiModel<'_> {
+impl FbiModel {
     fn lift(&self, a: usize, va: Symbol, b: usize, vb: Symbol) -> Option<f64> {
-        if self.support[a][&va] < self.min_support || self.support[b][&vb] < self.min_support {
+        let sa = self.support[a].get(&va).copied().unwrap_or(0);
+        let sb = self.support[b].get(&vb).copied().unwrap_or(0);
+        if sa < self.min_support || sb < self.min_support {
             return None; // not enough evidence to forbid
         }
-        let n = self.dirty.n_tuples() as f64;
-        let sa = f64::from(self.support[a][&va]);
-        let sb = f64::from(self.support[b][&vb]);
+        let n = self.reference.n_tuples() as f64;
         let joint = f64::from(
             self.pairs[a.min(b)][a.max(b) - a.min(b) - 1]
                 .get(&if a < b { (va, vb) } else { (vb, va) })
                 .copied()
                 .unwrap_or(0),
         );
-        Some((joint / n) / ((sa / n) * (sb / n)))
+        Some((joint / n) / ((f64::from(sa) / n) * (f64::from(sb) / n)))
     }
 }
 
-impl TrainedModel for FbiModel<'_> {
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
-        let d = self.dirty;
-        let na = d.n_attrs();
-        cells
+impl TrainedModel for FbiModel {
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
+        ModelError::check_schema(self.reference.schema(), data)?;
+        ModelError::check_cells(data, cells)?;
+        let na = data.n_attrs();
+        let pool = self.reference.pool();
+        Ok(cells
             .iter()
             .map(|cell| {
-                if d.n_tuples() == 0 || na < 2 {
+                if self.reference.n_tuples() == 0 || na < 2 {
                     return 0.0;
                 }
                 let (t, a) = (cell.t(), cell.a());
-                let va = d.symbol(t, a);
+                let Some(va) = pool.get(data.value(t, a)) else {
+                    return 0.0;
+                };
                 let forbidden = (0..na).filter(|&b| b != a).any(|b| {
-                    let vb = d.symbol(t, b);
-                    matches!(self.lift(a, va, b, vb), Some(l) if l < self.max_lift)
+                    pool.get(data.value(t, b)).is_some_and(
+                        |vb| matches!(self.lift(a, va, b, vb), Some(l) if l < self.max_lift),
+                    )
                 });
                 if forbidden {
                     1.0
@@ -81,7 +93,7 @@ impl TrainedModel for FbiModel<'_> {
                     0.0
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -90,7 +102,7 @@ impl Detector for ForbiddenItemsets {
         "FBI"
     }
 
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
         let d = ctx.dirty;
         let na = d.n_attrs();
         let mut support: Vec<HashMap<Symbol, u32>> = vec![HashMap::new(); na];
@@ -99,8 +111,9 @@ impl Detector for ForbiddenItemsets {
                 *col_support.entry(s).or_insert(0) += 1;
             }
         }
-        let mut pairs: Vec<Vec<HashMap<(Symbol, Symbol), u32>>> =
-            (0..na).map(|a| vec![HashMap::new(); na.saturating_sub(a + 1)]).collect();
+        let mut pairs: Vec<Vec<HashMap<(Symbol, Symbol), u32>>> = (0..na)
+            .map(|a| vec![HashMap::new(); na.saturating_sub(a + 1)])
+            .collect();
         for t in 0..d.n_tuples() {
             for a in 0..na {
                 let va = d.symbol(t, a);
@@ -111,7 +124,7 @@ impl Detector for ForbiddenItemsets {
             }
         }
         Box::new(FbiModel {
-            dirty: d,
+            reference: d.clone(),
             support,
             pairs,
             max_lift: self.max_lift,
@@ -147,7 +160,9 @@ mod tests {
             seed: 0,
         };
         let model = det.fit(&ctx);
-        let labels = model.predict(&cells, model.default_threshold());
+        let labels = model
+            .predict_batch(d, &cells, model.default_threshold())
+            .unwrap();
         cells.into_iter().zip(labels).collect()
     }
 

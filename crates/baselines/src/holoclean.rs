@@ -13,7 +13,7 @@ use crate::cv::ConstraintViolations;
 use holo_channel::{NaiveBayesRepair, RepairConfig};
 use holo_constraints::ViolationEngine;
 use holo_data::{CellId, Dataset};
-use holo_eval::{Detector, FitContext, TrainedModel};
+use holo_eval::{Detector, FitContext, ModelError, TrainedModel};
 use std::collections::HashSet;
 
 /// The HoloClean-style detect-then-repair baseline.
@@ -26,33 +26,41 @@ pub struct HoloCleanDetector {
 
 impl Default for HoloCleanDetector {
     fn default() -> Self {
-        HoloCleanDetector { repair_threshold: 0.5 }
+        HoloCleanDetector {
+            repair_threshold: 0.5,
+        }
     }
 }
 
-/// The fitted HC model: the CV candidate set plus the repair engine,
-/// queried lazily per scored cell.
-struct HoloCleanModel<'a> {
-    dirty: &'a Dataset,
+/// The fitted HC model: the owned reference dataset, the CV candidate
+/// set over it, and the repair engine — queried lazily per scored cell.
+/// Like CV, HC is a rule-based method whose verdicts address the
+/// fit-time rows: a schema-compatible batch is accepted, but candidacy
+/// and repairs are evaluated against the reference (cells beyond the
+/// reference rows score 0).
+struct HoloCleanModel {
+    reference: Dataset,
     candidates: HashSet<CellId>,
     nb: NaiveBayesRepair,
 }
 
-impl TrainedModel for HoloCleanModel<'_> {
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
-        cells
+impl TrainedModel for HoloCleanModel {
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
+        ModelError::check_schema(self.reference.schema(), data)?;
+        ModelError::check_cells(data, cells)?;
+        Ok(cells
             .iter()
             .map(|cell| {
-                if !self.candidates.contains(cell) {
+                if cell.t() >= self.reference.n_tuples() || !self.candidates.contains(cell) {
                     return 0.0;
                 }
                 // A cell is an error iff the repair model changes it.
-                match self.nb.suggest(self.dirty, cell.t(), cell.a()) {
+                match self.nb.suggest(&self.reference, cell.t(), cell.a()) {
                     Some(_) => 1.0,
                     None => 0.0,
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -61,14 +69,21 @@ impl Detector for HoloCleanDetector {
         "HC"
     }
 
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
         let engine = ViolationEngine::build(ctx.dirty, ctx.constraints);
         let candidates = ConstraintViolations::flagged_cells(ctx.dirty, &engine);
         let nb = NaiveBayesRepair::build(
             ctx.dirty,
-            RepairConfig { acceptance_threshold: self.repair_threshold, ..Default::default() },
+            RepairConfig {
+                acceptance_threshold: self.repair_threshold,
+                ..Default::default()
+            },
         );
-        Box::new(HoloCleanModel { dirty: ctx.dirty, candidates, nb })
+        Box::new(HoloCleanModel {
+            reference: ctx.dirty.clone(),
+            candidates,
+            nb,
+        })
     }
 }
 
@@ -102,7 +117,9 @@ mod tests {
             seed: 0,
         };
         let model = HoloCleanDetector::default().fit(&ctx);
-        let labels = model.predict(&cells, model.default_threshold());
+        let labels = model
+            .predict_batch(&d, &cells, model.default_threshold())
+            .unwrap();
         let flagged: Vec<CellId> = cells
             .iter()
             .zip(&labels)
@@ -130,7 +147,8 @@ mod tests {
         let count_errors = |det: &dyn Detector| {
             let model = det.fit(&ctx);
             model
-                .predict(&cells, model.default_threshold())
+                .predict_batch(&d, &cells, model.default_threshold())
+                .unwrap()
                 .iter()
                 .filter(|&&l| l == Label::Error)
                 .count()

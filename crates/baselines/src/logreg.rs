@@ -8,7 +8,7 @@
 
 use holo_constraints::ViolationEngine;
 use holo_data::{CellId, Dataset};
-use holo_eval::{ConstantScore, Detector, FitContext, TrainedModel};
+use holo_eval::{ConstantScore, Detector, FitContext, ModelError, TrainedModel};
 use holo_features::wide::{CoocModel, EmpiricalModel};
 use holo_nn::{Adam, Dense, Matrix, Sequential};
 use rand::rngs::StdRng;
@@ -25,45 +25,68 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { epochs: 200, lr: 0.05 }
+        LogisticRegression {
+            epochs: 200,
+            lr: 0.05,
+        }
     }
 }
 
-struct LrFeatures<'a> {
+struct LrFeatures {
     cooc: CoocModel,
     empirical: Vec<EmpiricalModel>,
     violations: Option<ViolationEngine>,
     n_constraints: usize,
-    d: &'a Dataset,
+    /// The fit-time dataset, owned: value statistics and violation
+    /// indexes are anchored here while tuple context comes from the
+    /// dataset being scored.
+    reference: Dataset,
 }
 
-impl<'a> LrFeatures<'a> {
-    fn fit(d: &'a Dataset, constraints: &[holo_constraints::DenialConstraint]) -> Self {
-        let violations =
-            (!constraints.is_empty()).then(|| ViolationEngine::build(d, constraints));
+impl LrFeatures {
+    fn fit(d: &Dataset, constraints: &[holo_constraints::DenialConstraint]) -> Self {
+        let violations = (!constraints.is_empty()).then(|| ViolationEngine::build(d, constraints));
         let n_constraints = violations.as_ref().map_or(0, ViolationEngine::len);
         LrFeatures {
             cooc: CoocModel::fit(d, 1.0),
-            empirical: (0..d.n_attrs()).map(|a| EmpiricalModel::fit(d, a)).collect(),
+            empirical: (0..d.n_attrs())
+                .map(|a| EmpiricalModel::fit(d, a))
+                .collect(),
             violations,
             n_constraints,
-            d,
+            reference: d.clone(),
         }
     }
 
     fn dim(&self) -> usize {
-        self.d.n_attrs().saturating_sub(1) + 1 + self.n_constraints
+        self.reference.n_attrs().saturating_sub(1) + 1 + self.n_constraints
     }
 
-    fn vector(&self, cell: CellId, value: &str) -> Vec<f32> {
+    /// Is the queried tuple literally a reference tuple? Then fit-time
+    /// violation semantics (self-excluding counts) apply.
+    fn row_matches_reference(&self, d: &Dataset, t: usize) -> bool {
+        std::ptr::eq(d, &self.reference)
+            || (t < self.reference.n_tuples()
+                && (0..self.reference.n_attrs())
+                    .all(|a| d.value(t, a) == self.reference.value(t, a)))
+    }
+
+    fn vector(&self, data: &Dataset, cell: CellId, value: &str) -> Vec<f32> {
         let (t, a) = (cell.t(), cell.a());
-        let mut v = self.cooc.features(self.d, t, a, value);
-        v.push(self.empirical[a].prob(self.d, value));
+        let mut v = self.cooc.features(data, t, a, value);
+        v.push(self.empirical[a].prob(value));
         if let Some(engine) = &self.violations {
-            let counts = if value == self.d.cell_value(cell) {
-                engine.tuple_vector(t)
+            let counts = if self.row_matches_reference(data, t) {
+                if value == self.reference.value(t, a) {
+                    engine.tuple_vector(t)
+                } else {
+                    engine.tuple_vector_with_override(&self.reference, t, a, value)
+                }
             } else {
-                engine.tuple_vector_with_override(self.d, t, a, value)
+                let values: Vec<&str> = (0..self.reference.n_attrs())
+                    .map(|c| if c == a { value } else { data.value(t, c) })
+                    .collect();
+                engine.external_tuple_vector(&self.reference, &values)
             };
             v.extend(counts.iter().map(|&c| (1.0 + c as f32).ln()));
         }
@@ -72,25 +95,27 @@ impl<'a> LrFeatures<'a> {
 }
 
 /// The fitted LR model: the engineered-feature extractor plus the
-/// trained linear classifier, reusable over any cell batch.
-struct LrModel<'a> {
-    dirty: &'a Dataset,
-    feats: LrFeatures<'a>,
+/// trained linear classifier — owned and `'static`, reusable over cell
+/// batches of any schema-compatible dataset.
+struct LrModel {
+    feats: LrFeatures,
     net: Sequential,
 }
 
-impl TrainedModel for LrModel<'_> {
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+impl TrainedModel for LrModel {
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
+        ModelError::check_schema(self.feats.reference.schema(), data)?;
+        ModelError::check_cells(data, cells)?;
         if cells.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let rows: Vec<Vec<f32>> = cells
             .iter()
-            .map(|&c| self.feats.vector(c, self.dirty.cell_value(c)))
+            .map(|&c| self.feats.vector(data, c, data.cell_value(c)))
             .collect();
         let x = matrix_from(&rows, self.feats.dim());
         let p = self.net.predict_proba(&x);
-        (0..cells.len()).map(|i| f64::from(p.get(i, 1))).collect()
+        Ok((0..cells.len()).map(|i| f64::from(p.get(i, 1))).collect())
     }
 }
 
@@ -99,7 +124,7 @@ impl Detector for LogisticRegression {
         "LR"
     }
 
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
         let train = ctx.train;
         if train.is_empty() {
             return Box::new(ConstantScore(0.0));
@@ -109,7 +134,7 @@ impl Detector for LogisticRegression {
         let rows: Vec<Vec<f32>> = train
             .examples()
             .iter()
-            .map(|ex| feats.vector(ex.cell, &ex.observed))
+            .map(|ex| feats.vector(ctx.dirty, ex.cell, &ex.observed))
             .collect();
         let targets: Vec<usize> = train
             .examples()
@@ -124,7 +149,7 @@ impl Detector for LogisticRegression {
         for _ in 0..self.epochs {
             net.train_batch(&x, &targets, &mut opt);
         }
-        Box::new(LrModel { dirty: ctx.dirty, feats, net })
+        Box::new(LrModel { feats, net })
     }
 }
 
@@ -177,8 +202,9 @@ mod tests {
                 });
             }
         }
-        let eval: Vec<CellId> =
-            (30..60).flat_map(|t| (0..2).map(move |a| CellId::new(t, a))).collect();
+        let eval: Vec<CellId> = (30..60)
+            .flat_map(|t| (0..2).map(move |a| CellId::new(t, a)))
+            .collect();
         let ctx = FitContext {
             dirty: &dirty,
             train: &train,
@@ -187,9 +213,11 @@ mod tests {
             seed: 1,
         };
         let model = LogisticRegression::default().fit(&ctx);
-        let scores = model.score(&eval);
+        let scores = model.score_batch(&dirty, &eval).unwrap();
         assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
-        let labels = model.predict(&eval, model.default_threshold());
+        let labels = model
+            .predict_batch(&dirty, &eval, model.default_threshold())
+            .unwrap();
         let mut correct = 0;
         for (cell, label) in eval.iter().zip(&labels) {
             if *label == truth.label(*cell) {
@@ -213,7 +241,9 @@ mod tests {
             seed: 0,
         };
         let model = LogisticRegression::default().fit(&ctx);
-        let labels = model.predict(&eval, model.default_threshold());
+        let labels = model
+            .predict_batch(&dirty, &eval, model.default_threshold())
+            .unwrap();
         assert!(labels.iter().all(|&l| l == Label::Correct));
     }
 }

@@ -7,7 +7,7 @@
 //! *every* correlated attribute's conditional distribution.
 
 use holo_data::{CellId, Dataset, Symbol};
-use holo_eval::{Detector, FitContext, TrainedModel};
+use holo_eval::{Detector, FitContext, ModelError, TrainedModel};
 use std::collections::HashMap;
 
 /// The conditional-distribution outlier detector.
@@ -51,11 +51,15 @@ impl Conditionals {
         Conditionals { joint }
     }
 
-    /// `P(value of a | value of b)` for tuple `t`.
-    fn conditional(&self, d: &Dataset, t: usize, a: usize, b: usize) -> f64 {
-        let va = d.symbol(t, a);
-        let vb = d.symbol(t, b);
-        let Some(dist) = self.joint[a][b].get(&vb) else { return 0.0 };
+    /// `P(va | vb)` for fit-pool symbols (`None` = value the reference
+    /// never saw, which has zero conditional support).
+    fn conditional(&self, va: Option<Symbol>, a: usize, vb: Option<Symbol>, b: usize) -> f64 {
+        let (Some(va), Some(vb)) = (va, vb) else {
+            return 0.0;
+        };
+        let Some(dist) = self.joint[a][b].get(&vb) else {
+            return 0.0;
+        };
         let total: u32 = dist.values().sum();
         if total == 0 {
             return 0.0;
@@ -64,30 +68,36 @@ impl Conditionals {
     }
 }
 
-/// The fitted OD model: the pairwise conditional statistics plus the
-/// outlier threshold chosen at fit time.
-struct OutlierModel<'a> {
-    dirty: &'a Dataset,
+/// The fitted OD model: the owned reference dataset (for its pool), the
+/// pairwise conditional statistics, and the outlier threshold chosen at
+/// fit time. Values of the scored dataset are mapped through the
+/// reference pool, so unseen batches are scored against fit-time
+/// statistics (never-seen values have zero support → outliers).
+struct OutlierModel {
+    reference: Dataset,
     cond: Conditionals,
     threshold: f64,
 }
 
-impl TrainedModel for OutlierModel<'_> {
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
-        let d = self.dirty;
-        let na = d.n_attrs();
-        cells
+impl TrainedModel for OutlierModel {
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
+        ModelError::check_schema(self.reference.schema(), data)?;
+        ModelError::check_cells(data, cells)?;
+        let na = data.n_attrs();
+        let pool = self.reference.pool();
+        Ok(cells
             .iter()
             .map(|cell| {
                 if na < 2 {
                     return 0.0;
                 }
                 let (t, a) = (cell.t(), cell.a());
+                let va = pool.get(data.value(t, a));
                 // Best support among all other attributes: a correct value
                 // is usually well-supported by at least one correlate.
                 let best = (0..na)
                     .filter(|&b| b != a)
-                    .map(|b| self.cond.conditional(d, t, a, b))
+                    .map(|b| self.cond.conditional(va, a, pool.get(data.value(t, b)), b))
                     .fold(0.0f64, f64::max);
                 if best < self.threshold {
                     1.0
@@ -95,7 +105,7 @@ impl TrainedModel for OutlierModel<'_> {
                     0.0
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -104,9 +114,9 @@ impl Detector for OutlierDetector {
         "OD"
     }
 
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
         Box::new(OutlierModel {
-            dirty: ctx.dirty,
+            reference: ctx.dirty.clone(),
             cond: Conditionals::fit(ctx.dirty),
             threshold: self.threshold,
         })
@@ -139,7 +149,9 @@ mod tests {
             seed: 0,
         };
         let model = det.fit(&ctx);
-        let labels = model.predict(&cells, model.default_threshold());
+        let labels = model
+            .predict_batch(d, &cells, model.default_threshold())
+            .unwrap();
         cells.into_iter().zip(labels).collect()
     }
 

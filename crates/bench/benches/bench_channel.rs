@@ -11,7 +11,12 @@ use std::hint::black_box;
 
 fn bench_learning(c: &mut Criterion) {
     c.bench_function("learn_transformations_typo", |b| {
-        b.iter(|| black_box(learn_transformations("providence hospital", "providxence hospital")))
+        b.iter(|| {
+            black_box(learn_transformations(
+                "providence hospital",
+                "providxence hospital",
+            ))
+        })
     });
     c.bench_function("learn_transformations_swap", |b| {
         b.iter(|| black_box(learn_transformations("Female", "Male")))
@@ -26,7 +31,10 @@ fn channel_policy() -> Policy {
         ("Female", "Male"),
         ("60612", "60x612"),
     ];
-    let lists: Vec<_> = pairs.iter().map(|(a, b)| learn_transformations(a, b)).collect();
+    let lists: Vec<_> = pairs
+        .iter()
+        .map(|(a, b)| learn_transformations(a, b))
+        .collect();
     Policy::from_lists(&lists)
 }
 
@@ -56,5 +64,11 @@ fn bench_nb_repair(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_learning, bench_policy, bench_augment, bench_nb_repair);
+criterion_group!(
+    benches,
+    bench_learning,
+    bench_policy,
+    bench_augment,
+    bench_nb_repair
+);
 criterion_main!(benches);

@@ -42,5 +42,10 @@ fn bench_fd_discovery(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_engine_build, bench_override_query, bench_fd_discovery);
+criterion_group!(
+    benches,
+    bench_engine_build,
+    bench_override_query,
+    bench_fd_discovery
+);
 criterion_main!(benches);

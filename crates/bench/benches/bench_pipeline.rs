@@ -17,7 +17,11 @@ fn bench_featurizer(c: &mut Criterion) {
     let cfg = bench_config(&args);
     c.bench_function("featurizer_fit_hospital_400", |b| {
         b.iter(|| {
-            black_box(Featurizer::fit(&g.dirty, &g.constraints, cfg.features.clone()))
+            black_box(Featurizer::fit(
+                &g.dirty,
+                &g.constraints,
+                cfg.features.clone(),
+            ))
         })
     });
     let f = Featurizer::fit(&g.dirty, &g.constraints, cfg.features.clone());
@@ -32,11 +36,18 @@ fn bench_full_detect(c: &mut Criterion) {
     let g = generate(DatasetKind::Hospital, 300, 11);
     let split = Split::new(
         &g.dirty,
-        SplitConfig { train_frac: 0.10, sampling_frac: 0.0, seed: 1 },
+        SplitConfig {
+            train_frac: 0.10,
+            sampling_frac: 0.0,
+            seed: 1,
+        },
     );
     let train = split.training_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
-    let args = ExpArgs { epochs: 15, ..ExpArgs::default() };
+    let args = ExpArgs {
+        epochs: 15,
+        ..ExpArgs::default()
+    };
     let cfg = bench_config(&args);
     let empty = TrainingSet::new();
     c.bench_function("holodetect_aug_detect_hospital_300", |b| {

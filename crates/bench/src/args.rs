@@ -19,7 +19,13 @@ pub struct ExpArgs {
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { scale: 1.0, runs: 3, epochs: 60, datasets: Vec::new(), paper_faithful: false }
+        ExpArgs {
+            scale: 1.0,
+            runs: 3,
+            epochs: 60,
+            datasets: Vec::new(),
+            paper_faithful: false,
+        }
     }
 }
 
@@ -36,7 +42,8 @@ impl ExpArgs {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut grab = || {
-                it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+                it.next()
+                    .unwrap_or_else(|| die(&format!("{flag} needs a value")))
             };
             match flag.as_str() {
                 "--scale" => out.scale = parse_num(&grab(), &flag),
@@ -44,10 +51,7 @@ impl ExpArgs {
                 "--epochs" => out.epochs = parse_num::<usize>(&grab(), &flag).max(1),
                 "--paper-faithful" => out.paper_faithful = true,
                 "--datasets" => {
-                    out.datasets = grab()
-                        .split(',')
-                        .map(|s| parse_dataset(s.trim()))
-                        .collect();
+                    out.datasets = grab().split(',').map(|s| parse_dataset(s.trim())).collect();
                 }
                 "--help" | "-h" => {
                     println!(
@@ -74,7 +78,9 @@ impl ExpArgs {
 
     /// Scaled row count for a dataset.
     pub fn rows(&self, kind: DatasetKind) -> usize {
-        ((kind.default_rows() as f64) * self.scale).round().max(50.0) as usize
+        ((kind.default_rows() as f64) * self.scale)
+            .round()
+            .max(50.0) as usize
     }
 }
 
@@ -90,7 +96,8 @@ fn parse_dataset(s: &str) -> DatasetKind {
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| die(&format!("bad value {s:?} for {flag}")))
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {s:?} for {flag}")))
 }
 
 fn die(msg: &str) -> ! {
@@ -116,7 +123,15 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a = parse(&["--scale", "0.5", "--runs", "5", "--epochs", "10", "--paper-faithful"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--runs",
+            "5",
+            "--epochs",
+            "10",
+            "--paper-faithful",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.runs, 5);
         assert_eq!(a.epochs, 10);
@@ -129,7 +144,10 @@ mod tests {
         assert_eq!(a.datasets, vec![DatasetKind::Hospital, DatasetKind::Adult]);
         assert_eq!(a.datasets_or(&[DatasetKind::Soccer]), a.datasets);
         let b = parse(&[]);
-        assert_eq!(b.datasets_or(&[DatasetKind::Soccer]), vec![DatasetKind::Soccer]);
+        assert_eq!(
+            b.datasets_or(&[DatasetKind::Soccer]),
+            vec![DatasetKind::Soccer]
+        );
     }
 
     #[test]

@@ -17,8 +17,11 @@ fn main() {
          (runs={}, scale={})\n",
         args.runs, args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let mut t = Table::new(["Dataset", "Highway F1", "PlainDense F1", "ΔF1"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);

@@ -17,8 +17,11 @@ fn main() {
         "Extension ablation: policy temperature sweep (runs={}, scale={})\n",
         args.runs, args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let temperatures = [0.25f64, 0.5, 1.0, 2.0, 8.0];
     let mut t = Table::new(["Dataset", "T=0.25", "T=0.5", "T=1 (AUG)", "T=2", "T=8"]);
     for kind in datasets {
@@ -27,8 +30,7 @@ fn main() {
         for temp in temperatures {
             let mut c = cfg.clone();
             c.augment.temperature = temp;
-            let det =
-                HoloDetect::with_strategy(c, Strategy::Augmentation { target_ratio: None });
+            let det = HoloDetect::with_strategy(c, Strategy::Augmentation { target_ratio: None });
             row.push(fmt3(run_method(&det, &g, 0.05, &args).f1));
         }
         t.row(row);

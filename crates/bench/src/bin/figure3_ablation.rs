@@ -18,8 +18,11 @@ fn main() {
         args.runs, args.scale
     );
 
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let mut t = Table::new(["Dataset", "Removed", "Context", "F1", "ΔF1 vs full"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);

@@ -15,10 +15,20 @@ fn main() {
         args.runs, args.scale
     );
 
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let loops = [5usize, 10, 20, 100];
-    let mut t = Table::new(["Dataset", "k", "ActiveL F1", "AUG F1", "paper ActiveL≈", "paper AUG"]);
+    let mut t = Table::new([
+        "Dataset",
+        "k",
+        "ActiveL F1",
+        "AUG F1",
+        "paper ActiveL≈",
+        "paper AUG",
+    ]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
         let aug = HoloDetect::new(cfg.clone());

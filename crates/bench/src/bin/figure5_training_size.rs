@@ -14,8 +14,11 @@ fn main() {
         "Figure 5: AUG F1 vs training data size (runs={}, scale={})\n",
         args.runs, args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let fractions = [0.005f64, 0.01, 0.05, 0.10];
     let mut t = Table::new(["Dataset", "T size", "P", "R", "F1"]);
     for kind in datasets {

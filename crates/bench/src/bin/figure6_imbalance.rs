@@ -16,8 +16,11 @@ fn main() {
          (runs={}, scale={})\n",
         args.runs, args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Adult,
+        DatasetKind::Soccer,
+    ]);
     let ratios = [0.1f64, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9];
     let mut t = Table::new(["Dataset", "Errors/Total", "P", "R", "F1"]);
     for kind in datasets {
@@ -25,7 +28,9 @@ fn main() {
         for ratio in ratios {
             let det = HoloDetect::with_strategy(
                 cfg.clone(),
-                Strategy::Augmentation { target_ratio: Some(ratio) },
+                Strategy::Augmentation {
+                    target_ratio: Some(ratio),
+                },
             );
             let s = run_method(&det, &g, 0.05, &args);
             t.row([

@@ -10,7 +10,10 @@ use holo_datagen::DatasetKind;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Figure 8: learned augmentation policies (scale={})\n", args.scale);
+    println!(
+        "Figure 8: learned augmentation policies (scale={})\n",
+        args.scale
+    );
     let probes: [(DatasetKind, &str); 3] = [
         (DatasetKind::Hospital, "scip-inf-4"),
         (DatasetKind::Adult, "Female"),

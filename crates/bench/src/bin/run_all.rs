@@ -33,9 +33,13 @@ fn main() {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================\n");
-        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
-            .args(&pass_through)
-            .status();
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        )
+        .args(&pass_through)
+        .status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),

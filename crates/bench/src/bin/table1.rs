@@ -7,7 +7,10 @@ use holo_eval::Table;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Table 1: datasets (paper vs simulated at --scale {})\n", args.scale);
+    println!(
+        "Table 1: datasets (paper vs simulated at --scale {})\n",
+        args.scale
+    );
     let mut t = Table::new([
         "Dataset",
         "Paper rows",
@@ -33,7 +36,11 @@ fn main() {
             format!("{}", g.dirty.n_attrs()),
             format!("{paper_errors}"),
             format!("{}", g.truth.n_errors()),
-            format!("{:.0}%/{:.0}%", kind.typo_frac() * 100.0, (1.0 - kind.typo_frac()) * 100.0),
+            format!(
+                "{:.0}%/{:.0}%",
+                kind.typo_frac() * 100.0,
+                (1.0 - kind.typo_frac()) * 100.0
+            ),
         ]);
     }
     println!("{}", t.render());

@@ -23,7 +23,11 @@ fn main() {
     let mut t = Table::new(["Dataset", "Method", "P", "R", "F1", "paper P/R/F1"]);
     for kind in args.datasets_or(&DatasetKind::ALL) {
         let g = make_dataset(kind, &args);
-        let train_frac = if kind == DatasetKind::Hospital { 0.10 } else { 0.05 };
+        let train_frac = if kind == DatasetKind::Hospital {
+            0.10
+        } else {
+            0.05
+        };
         for det in detectors_for_table2(&cfg, active_loops) {
             let name = det.name();
             let s = run_method(det.as_ref(), &g, train_frac, &args);

@@ -14,11 +14,20 @@ fn main() {
         "Table 3: AUG vs Resampling vs SuperL, F1 by |T| (runs={}, scale={})\n",
         args.runs, args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let fractions = [(0.01f64, 1u32), (0.05, 5), (0.10, 10)];
-    let mut t =
-        Table::new(["Dataset", "T", "AUG", "Resampling", "SuperL", "paper AUG/Resamp/SuperL"]);
+    let mut t = Table::new([
+        "Dataset",
+        "T",
+        "AUG",
+        "Resampling",
+        "SuperL",
+        "paper AUG/Resamp/SuperL",
+    ]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
         for (frac, pct) in fractions {

@@ -16,8 +16,11 @@ fn main() {
         "Table 4: augmentation strategies, F1 (runs={}, scale={})\n",
         args.runs, args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let mut t = Table::new([
         "Dataset",
         "T",
@@ -32,10 +35,8 @@ fn main() {
             let f1_of = |strategy: AugmentStrategy| {
                 let mut c = cfg.clone();
                 c.augment.strategy = strategy;
-                let det = HoloDetect::with_strategy(
-                    c,
-                    Strategy::Augmentation { target_ratio: None },
-                );
+                let det =
+                    HoloDetect::with_strategy(c, Strategy::Augmentation { target_ratio: None });
                 run_method(&det, &g, frac, &args).f1
             };
             let aug = f1_of(AugmentStrategy::Learned);

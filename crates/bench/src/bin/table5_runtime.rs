@@ -15,12 +15,19 @@ fn main() {
         "Table 5: runtime per run in seconds (runs={}, scale={}, epochs={})\n",
         args.runs, args.scale, cfg.epochs
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
     let mut t = Table::new(["Dataset", "Method", "secs/run", "paper secs"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
-        let train_frac = if kind == DatasetKind::Hospital { 0.10 } else { 0.05 };
+        let train_frac = if kind == DatasetKind::Hospital {
+            0.10
+        } else {
+            0.05
+        };
         for det in detectors_for_table2(&cfg, 10) {
             let name = det.name();
             // FBI/HC are not in the paper's Table 5; skip to match it.
@@ -32,8 +39,7 @@ fn main() {
                 kind.name().to_owned(),
                 name.to_owned(),
                 fmt_secs(s.secs_per_run),
-                paper::table5(kind, name)
-                    .map_or("n/a".to_owned(), |v| format!("{v:.2}")),
+                paper::table5(kind, name).map_or("n/a".to_owned(), |v| format!("{v:.2}")),
             ]);
         }
     }

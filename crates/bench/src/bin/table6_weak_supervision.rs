@@ -5,18 +5,23 @@
 
 use holo_bench::{make_dataset, paper, ExpArgs};
 use holo_channel::{NaiveBayesRepair, RepairConfig};
+use holo_data::Label;
 use holo_datagen::DatasetKind;
 use holo_eval::report::fmt3;
 use holo_eval::Table;
-use holo_data::Label;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Table 6: Naive-Bayes weak supervision (scale={})\n", args.scale);
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Soccer, DatasetKind::Adult]);
-    let mut t =
-        Table::new(["Dataset", "Precision", "Recall", "Repairs", "paper P/R"]);
+    println!(
+        "Table 6: Naive-Bayes weak supervision (scale={})\n",
+        args.scale
+    );
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Soccer,
+        DatasetKind::Adult,
+    ]);
+    let mut t = Table::new(["Dataset", "Precision", "Recall", "Repairs", "paper P/R"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
         let nb = NaiveBayesRepair::build(&g.dirty, RepairConfig::default());
@@ -26,14 +31,19 @@ fn main() {
             .iter()
             .filter(|r| g.truth.label(r.cell) == Label::Error)
             .count();
-        let precision = if flagged == 0 { 0.0 } else { tp as f64 / flagged as f64 };
+        let precision = if flagged == 0 {
+            0.0
+        } else {
+            tp as f64 / flagged as f64
+        };
         let recall = if g.truth.n_errors() == 0 {
             0.0
         } else {
             tp as f64 / g.truth.n_errors() as f64
         };
-        let paper_ref = paper::table6(kind)
-            .map_or("-".to_owned(), |(p, r)| format!("{} / {}", fmt3(p), fmt3(r)));
+        let paper_ref = paper::table6(kind).map_or("-".to_owned(), |(p, r)| {
+            format!("{} / {}", fmt3(p), fmt3(r))
+        });
         t.row([
             kind.name().to_owned(),
             fmt3(precision),

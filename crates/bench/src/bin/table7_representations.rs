@@ -15,8 +15,12 @@ fn main() {
     let f = Featurizer::fit(&g.dirty, &g.constraints, cfg.features);
     let layout = f.layout();
 
-    println!("Table 7: representation models as fitted on {} ({} attrs, {} constraints)\n",
-        kind.name(), g.dirty.n_attrs(), g.constraints.len());
+    println!(
+        "Table 7: representation models as fitted on {} ({} attrs, {} constraints)\n",
+        kind.name(),
+        g.dirty.n_attrs(),
+        g.constraints.len()
+    );
     let mut t = Table::new(["Block", "Feature", "Kind", "Dims"]);
     // Wide features, grouped by prefix.
     let mut groups: Vec<(String, usize)> = Vec::new();

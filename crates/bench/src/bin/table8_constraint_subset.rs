@@ -24,8 +24,11 @@ fn main() {
          (subset samples={subset_samples}, scale={})\n",
         args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Adult,
+        DatasetKind::Soccer,
+    ]);
     let mut t = Table::new(["Dataset", "rho", "median F1", "paper F1"]);
     for kind in datasets {
         let g = make_dataset(kind, &args);
@@ -38,7 +41,11 @@ fn main() {
                 pool.shuffle(&mut rng);
                 pool.truncate(keep.min(pool.len()));
                 let det = HoloDetect::new(cfg.clone());
-                let split = SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 0 };
+                let split = SplitConfig {
+                    train_frac: 0.05,
+                    sampling_frac: 0.0,
+                    seed: 0,
+                };
                 let s = run_seeds(&det, &g.dirty, &g.truth, &pool, split, &seeds(1));
                 f1s.push(s.f1);
             }

@@ -17,8 +17,11 @@ fn main() {
         "Table 9: AUG F1 with α-noisy discovered constraints (scale={})\n",
         args.scale
     );
-    let datasets =
-        args.datasets_or(&[DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer]);
+    let datasets = args.datasets_or(&[
+        DatasetKind::Hospital,
+        DatasetKind::Adult,
+        DatasetKind::Soccer,
+    ]);
     let bands = [(0.55f64, 0.65), (0.65, 0.75), (0.75, 0.85), (0.85, 0.95)];
     let mut t = Table::new(["Dataset", "alpha band", "#constraints", "F1"]);
     for kind in datasets {
@@ -32,7 +35,11 @@ fn main() {
             // Match the clean constraint-set cardinality, as the paper does.
             noisy.truncate(n_clean);
             let det = HoloDetect::new(cfg.clone());
-            let split = SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 0 };
+            let split = SplitConfig {
+                train_frac: 0.05,
+                sampling_frac: 0.0,
+                seed: 0,
+            };
             let s = run_seeds(&det, &g.dirty, &g.truth, &noisy, split, &seeds(args.runs));
             t.row([
                 kind.name().to_owned(),

@@ -3,8 +3,7 @@
 
 use crate::args::ExpArgs;
 use holo_baselines::{
-    ConstraintViolations, ForbiddenItemsets, HoloCleanDetector, LogisticRegression,
-    OutlierDetector,
+    ConstraintViolations, ForbiddenItemsets, HoloCleanDetector, LogisticRegression, OutlierDetector,
 };
 use holo_datagen::{generate, DatasetKind, GeneratedDataset};
 use holo_embed::SkipGramConfig;
@@ -29,7 +28,10 @@ pub fn bench_config(args: &ExpArgs) -> HoloDetectConfig {
     let mut cfg = if args.paper_faithful {
         HoloDetectConfig::paper_faithful()
     } else {
-        HoloDetectConfig { epochs: args.epochs, ..HoloDetectConfig::default() }
+        HoloDetectConfig {
+            epochs: args.epochs,
+            ..HoloDetectConfig::default()
+        }
     };
     cfg.features = FeatureConfig {
         embed: SkipGramConfig {
@@ -46,10 +48,7 @@ pub fn bench_config(args: &ExpArgs) -> HoloDetectConfig {
 
 /// The nine Table 2 methods, in the paper's column order.
 /// `active_loops` sets ActiveL's `k` (the paper uses 100).
-pub fn detectors_for_table2(
-    cfg: &HoloDetectConfig,
-    active_loops: usize,
-) -> Vec<Box<dyn Detector>> {
+pub fn detectors_for_table2(cfg: &HoloDetectConfig, active_loops: usize) -> Vec<Box<dyn Detector>> {
     // Active learning retrains every loop: give each inner fit a lighter
     // schedule so k=100 stays tractable (documented in EXPERIMENTS.md).
     let mut active_cfg = cfg.clone();
@@ -62,8 +61,14 @@ pub fn detectors_for_table2(
         Box::new(ForbiddenItemsets::default()),
         Box::new(LogisticRegression::default()),
         Box::new(HoloDetect::with_strategy(cfg.clone(), Strategy::Supervised)),
-        Box::new(HoloDetect::with_strategy(cfg.clone(), Strategy::semi_default())),
-        Box::new(HoloDetect::with_strategy(active_cfg, Strategy::active(active_loops))),
+        Box::new(HoloDetect::with_strategy(
+            cfg.clone(),
+            Strategy::semi_default(),
+        )),
+        Box::new(HoloDetect::with_strategy(
+            active_cfg,
+            Strategy::active(active_loops),
+        )),
     ]
 }
 
@@ -75,8 +80,19 @@ pub fn run_method(
     train_frac: f64,
     args: &ExpArgs,
 ) -> RunSummary {
-    let split = SplitConfig { train_frac, sampling_frac: 0.2, seed: 0 };
-    run_seeds(detector, &g.dirty, &g.truth, &g.constraints, split, &seeds(args.runs))
+    let split = SplitConfig {
+        train_frac,
+        sampling_frac: 0.2,
+        seed: 0,
+    };
+    run_seeds(
+        detector,
+        &g.dirty,
+        &g.truth,
+        &g.constraints,
+        split,
+        &seeds(args.runs),
+    )
 }
 
 #[cfg(test)]
@@ -106,7 +122,12 @@ mod tests {
 
     #[test]
     fn small_end_to_end_run() {
-        let args = ExpArgs { scale: 0.06, runs: 1, epochs: 5, ..ExpArgs::default() };
+        let args = ExpArgs {
+            scale: 0.06,
+            runs: 1,
+            epochs: 5,
+            ..ExpArgs::default()
+        };
         let g = make_dataset(DatasetKind::Adult, &args);
         let s = run_method(&ConstraintViolations, &g, 0.05, &args);
         assert_eq!(s.runs.len(), 1);

@@ -168,7 +168,9 @@ pub fn table6(kind: DatasetKind) -> Option<(f64, f64)> {
 /// Table 8: median F1 under a ρ-subset of constraints.
 pub fn table8_f1(kind: DatasetKind, rho: f64) -> Option<f64> {
     use DatasetKind::*;
-    let idx = [0.2, 0.4, 0.6, 0.8, 1.0].iter().position(|r| (r - rho).abs() < 1e-9)?;
+    let idx = [0.2, 0.4, 0.6, 0.8, 1.0]
+        .iter()
+        .position(|r| (r - rho).abs() < 1e-9)?;
     let row = match kind {
         Hospital => [0.852, 0.852, 0.891, 0.910, 0.918],
         Adult => [0.922, 0.938, 0.945, 0.956, 0.965],
@@ -198,7 +200,9 @@ mod tests {
 
     #[test]
     fn table2_covers_all_cells() {
-        let methods = ["AUG", "CV", "HC", "OD", "FBI", "LR", "SuperL", "SemiL", "ActiveL"];
+        let methods = [
+            "AUG", "CV", "HC", "OD", "FBI", "LR", "SuperL", "SemiL", "ActiveL",
+        ];
         for kind in DatasetKind::ALL {
             for m in methods {
                 // Present or explicitly n/a (SemiL on big datasets).
@@ -224,7 +228,11 @@ mod tests {
 
     #[test]
     fn table8_monotone_in_rho() {
-        for kind in [DatasetKind::Hospital, DatasetKind::Adult, DatasetKind::Soccer] {
+        for kind in [
+            DatasetKind::Hospital,
+            DatasetKind::Adult,
+            DatasetKind::Soccer,
+        ] {
             let mut prev = 0.0;
             for rho in [0.2, 0.4, 0.6, 0.8, 1.0] {
                 let f1 = table8_f1(kind, rho).unwrap();

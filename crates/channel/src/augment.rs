@@ -147,7 +147,11 @@ fn augment_n(
         if dirty == *v {
             continue;
         }
-        out.push(AugmentedExample { source, clean: v.clone(), dirty });
+        out.push(AugmentedExample {
+            source,
+            clean: v.clone(),
+            dirty,
+        });
     }
     out
 }
@@ -224,7 +228,12 @@ mod tests {
     }
 
     fn corrects() -> Vec<String> {
-        vec!["chicago".into(), "madison".into(), "60612".into(), "evp coffee".into()]
+        vec![
+            "chicago".into(),
+            "madison".into(),
+            "60612".into(),
+            "evp coffee".into(),
+        ]
     }
 
     #[test]
@@ -242,7 +251,10 @@ mod tests {
     #[test]
     fn learned_strategy_produces_channel_like_errors() {
         let policy = x_typo_policy();
-        let cfg = AugmentConfig { alpha: 1.0, ..Default::default() };
+        let cfg = AugmentConfig {
+            alpha: 1.0,
+            ..Default::default()
+        };
         let out = augment(&corrects(), 0, &policy, &[], &cfg);
         // The x-typo channel inserts 'x' characters; every synthetic
         // error should contain an x the clean value lacked (or come from
@@ -264,7 +276,10 @@ mod tests {
     #[test]
     fn empty_policy_terminates() {
         let policy = Policy::from_lists(&[]);
-        let cfg = AugmentConfig { max_attempt_factor: 10, ..Default::default() };
+        let cfg = AugmentConfig {
+            max_attempt_factor: 10,
+            ..Default::default()
+        };
         let out = augment(&corrects(), 0, &policy, &[], &cfg);
         assert!(out.is_empty());
     }
@@ -274,8 +289,7 @@ mod tests {
         let policy = x_typo_policy();
         let correct: Vec<String> = (0..40).map(|i| format!("value{i}")).collect();
         for ratio in [0.1f64, 0.3, 0.5] {
-            let out =
-                augment_to_ratio(&correct, 0, ratio, &policy, &[], &AugmentConfig::default());
+            let out = augment_to_ratio(&correct, 0, ratio, &policy, &[], &AugmentConfig::default());
             let achieved = out.len() as f64 / (out.len() + correct.len()) as f64;
             assert!(
                 (achieved - ratio).abs() < 0.05,

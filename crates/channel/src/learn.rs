@@ -56,9 +56,15 @@ fn tl(v_star: &str, v: &str, out: &mut Vec<Transformation>, depth: usize) {
     let straight = char_overlap(&l_star, &l_v) + char_overlap(&r_star, &r_v);
     let crossed = char_overlap(&l_star, &r_v) + char_overlap(&r_star, &l_v);
     let ((p1, q1), (p2, q2)) = if straight >= crossed {
-        ((l_star.as_str(), l_v.as_str()), (r_star.as_str(), r_v.as_str()))
+        (
+            (l_star.as_str(), l_v.as_str()),
+            (r_star.as_str(), r_v.as_str()),
+        )
     } else {
-        ((l_star.as_str(), r_v.as_str()), (r_star.as_str(), l_v.as_str()))
+        (
+            (l_star.as_str(), r_v.as_str()),
+            (r_star.as_str(), l_v.as_str()),
+        )
     };
     // Lines 7–8 / 10–11: the pair-level transformations, then recursion.
     // `tl` itself pushes the pair transformation as its line-2 step, so
@@ -162,10 +168,7 @@ mod tests {
     fn duplicates_preserved_for_counting() {
         // aXbXc → aYbYc learns "X ↦ Y" twice (once per typo site).
         let ts = learn_transformations("aXbXc", "aYbYc");
-        let xy = ts
-            .iter()
-            .filter(|t| t.from == "X" && t.to == "Y")
-            .count();
+        let xy = ts.iter().filter(|t| t.from == "X" && t.to == "Y").count();
         assert!(xy >= 1, "expected X↦Y to be learned: {ts:?}");
     }
 }

@@ -34,9 +34,7 @@ impl Policy {
             .into_iter()
             .map(|(t, c)| (t.clone(), c as f64 / total.max(1) as f64))
             .collect();
-        entries.sort_by(|a, b| {
-            b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
-        });
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let index = entries
             .iter()
             .enumerate()
@@ -312,7 +310,9 @@ mod tests {
         }
         // A policy with no applicable transformations samples nothing.
         let narrow = Policy::from_lists(&[vec![t("zz", "y")]]);
-        assert!(narrow.sample_with_temperature("abc", 2.0, &mut rng).is_none());
+        assert!(narrow
+            .sample_with_temperature("abc", 2.0, &mut rng)
+            .is_none());
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct RepairConfig {
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        RepairConfig { acceptance_threshold: 0.9, smoothing: 1.0, max_candidates: 64 }
+        RepairConfig {
+            acceptance_threshold: 0.9,
+            smoothing: 1.0,
+            max_candidates: 64,
+        }
     }
 }
 
@@ -81,7 +85,12 @@ impl NaiveBayesRepair {
                 }
             }
         }
-        NaiveBayesRepair { cfg, value_counts, cooc, n_tuples: n }
+        NaiveBayesRepair {
+            cfg,
+            value_counts,
+            cooc,
+            n_tuples: n,
+        }
     }
 
     /// Impute cell `(t, a)`: the best candidate with its posterior, even
@@ -179,7 +188,10 @@ impl NaiveBayesRepair {
     /// Weak-supervision transformation examples `(v̂, v)` from accepted
     /// repairs: the suggestion plays the role of the clean value (§5.4).
     pub fn harvest_examples(&self, d: &Dataset) -> Vec<(String, String)> {
-        self.repairs(d).into_iter().map(|r| (r.suggested, r.observed)).collect()
+        self.repairs(d)
+            .into_iter()
+            .map(|r| (r.suggested, r.observed))
+            .collect()
     }
 }
 
@@ -278,7 +290,10 @@ mod tests {
         // Lowering the threshold lets the repair through.
         let nb2 = NaiveBayesRepair::build(
             &d,
-            RepairConfig { acceptance_threshold: 0.3, ..RepairConfig::default() },
+            RepairConfig {
+                acceptance_threshold: 0.3,
+                ..RepairConfig::default()
+            },
         );
         assert!(nb2.suggest(&d, 20, 1).is_some());
     }
@@ -292,7 +307,10 @@ mod tests {
         let d = b.build();
         let nb = NaiveBayesRepair::build(
             &d,
-            RepairConfig { max_candidates: 8, ..RepairConfig::default() },
+            RepairConfig {
+                max_candidates: 8,
+                ..RepairConfig::default()
+            },
         );
         // No panic, and imputation still returns something sensible.
         assert!(nb.impute(&d, 0, 1).is_some());

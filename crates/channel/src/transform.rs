@@ -74,7 +74,10 @@ impl Transformation {
         while let Some(pos) = value[start..].find(self.from.as_str()) {
             sites.push(start + pos);
             // Overlapping matches advance one char, not one match length.
-            let step = value[start + pos..].chars().next().map_or(1, char::len_utf8);
+            let step = value[start + pos..]
+                .chars()
+                .next()
+                .map_or(1, char::len_utf8);
             start += pos + step;
         }
         sites
@@ -103,7 +106,13 @@ impl Transformation {
 
 impl fmt::Display for Transformation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let show = |s: &str| if s.is_empty() { "ε".to_owned() } else { format!("{s:?}") };
+        let show = |s: &str| {
+            if s.is_empty() {
+                "ε".to_owned()
+            } else {
+                format!("{s:?}")
+            }
+        };
         write!(f, "{} ↦ {}", show(&self.from), show(&self.to))
     }
 }
@@ -123,9 +132,18 @@ mod tests {
 
     #[test]
     fn templates() {
-        assert_eq!(Transformation::new("", "x").unwrap().template(), Template::Add);
-        assert_eq!(Transformation::new("x", "").unwrap().template(), Template::Remove);
-        assert_eq!(Transformation::new("x", "y").unwrap().template(), Template::Exchange);
+        assert_eq!(
+            Transformation::new("", "x").unwrap().template(),
+            Template::Add
+        );
+        assert_eq!(
+            Transformation::new("x", "").unwrap().template(),
+            Template::Remove
+        );
+        assert_eq!(
+            Transformation::new("x", "y").unwrap().template(),
+            Template::Exchange
+        );
     }
 
     #[test]
@@ -153,7 +171,7 @@ mod tests {
     fn apply_at_paper_example() {
         // Insert "5" between '1' and '2' of "60612" → "606152".
         let t = Transformation::new("", "5").unwrap();
-        assert_eq!(t.apply_at("60612", 4), "60615" .to_owned() + "2");
+        assert_eq!(t.apply_at("60612", 4), "60615".to_owned() + "2");
         // Exchange "12" with "152".
         let t2 = Transformation::new("12", "152").unwrap();
         assert_eq!(t2.apply_at("60612", 3), "606152");

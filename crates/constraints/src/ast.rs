@@ -1,7 +1,8 @@
 //! The denial-constraint AST.
 
-use holo_data::Schema;
+use holo_data::{binio, Schema};
 use std::fmt;
+use std::io::{self, Read, Write};
 
 /// Comparison operators `B = {=, ≠, <, >, ≤, ≥, ≈}` (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,16 +86,12 @@ impl Predicate {
     /// usable as a hash-join key during violation detection.
     pub fn is_eq_join(&self) -> Option<usize> {
         match (&self.left, self.op, &self.right) {
-            (
-                Operand::Var { tuple: 0, attr: a },
-                Op::Eq,
-                Operand::Var { tuple: 1, attr: b },
-            )
-            | (
-                Operand::Var { tuple: 1, attr: a },
-                Op::Eq,
-                Operand::Var { tuple: 0, attr: b },
-            ) if a == b => Some(*a),
+            (Operand::Var { tuple: 0, attr: a }, Op::Eq, Operand::Var { tuple: 1, attr: b })
+            | (Operand::Var { tuple: 1, attr: a }, Op::Eq, Operand::Var { tuple: 0, attr: b })
+                if a == b =>
+            {
+                Some(*a)
+            }
             _ => None,
         }
     }
@@ -103,16 +100,12 @@ impl Predicate {
     /// the shape whose violations can be counted via group-by statistics.
     pub fn is_neq_same_attr(&self) -> Option<usize> {
         match (&self.left, self.op, &self.right) {
-            (
-                Operand::Var { tuple: 0, attr: a },
-                Op::Neq,
-                Operand::Var { tuple: 1, attr: b },
-            )
-            | (
-                Operand::Var { tuple: 1, attr: a },
-                Op::Neq,
-                Operand::Var { tuple: 0, attr: b },
-            ) if a == b => Some(*a),
+            (Operand::Var { tuple: 0, attr: a }, Op::Neq, Operand::Var { tuple: 1, attr: b })
+            | (Operand::Var { tuple: 1, attr: a }, Op::Neq, Operand::Var { tuple: 0, attr: b })
+                if a == b =>
+            {
+                Some(*a)
+            }
             _ => None,
         }
     }
@@ -204,11 +197,105 @@ impl DenialConstraint {
             });
         }
         predicates.push(Predicate {
-            left: Operand::Var { tuple: 0, attr: rhs },
+            left: Operand::Var {
+                tuple: 0,
+                attr: rhs,
+            },
             op: Op::Neq,
-            right: Operand::Var { tuple: 1, attr: rhs },
+            right: Operand::Var {
+                tuple: 1,
+                attr: rhs,
+            },
         });
-        DenialConstraint { name: name.into(), predicates }
+        DenialConstraint {
+            name: name.into(),
+            predicates,
+        }
+    }
+
+    /// Serialize the constraint (model artifacts persist the ASTs and
+    /// rebuild their violation indexes on load).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        binio::write_str(w, &self.name)?;
+        binio::write_usize(w, self.predicates.len())?;
+        for p in &self.predicates {
+            write_operand(w, &p.left)?;
+            binio::write_u8(w, op_tag(p.op))?;
+            write_operand(w, &p.right)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a constraint written by [`DenialConstraint::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<DenialConstraint> {
+        let name = binio::read_str(r)?;
+        let n = binio::read_usize(r)?;
+        let mut predicates = Vec::with_capacity(binio::bounded_cap(n, 64));
+        for _ in 0..n {
+            let left = read_operand(r)?;
+            let op = op_from_tag(binio::read_u8(r)?)?;
+            let right = read_operand(r)?;
+            predicates.push(Predicate { left, op, right });
+        }
+        Ok(DenialConstraint { name, predicates })
+    }
+}
+
+fn op_tag(op: Op) -> u8 {
+    match op {
+        Op::Eq => 0,
+        Op::Neq => 1,
+        Op::Lt => 2,
+        Op::Gt => 3,
+        Op::Leq => 4,
+        Op::Geq => 5,
+        Op::Sim => 6,
+    }
+}
+
+fn op_from_tag(tag: u8) -> io::Result<Op> {
+    Ok(match tag {
+        0 => Op::Eq,
+        1 => Op::Neq,
+        2 => Op::Lt,
+        3 => Op::Gt,
+        4 => Op::Leq,
+        5 => Op::Geq,
+        6 => Op::Sim,
+        t => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad op tag {t}"),
+            ))
+        }
+    })
+}
+
+fn write_operand<W: Write>(w: &mut W, o: &Operand) -> io::Result<()> {
+    match o {
+        Operand::Var { tuple, attr } => {
+            binio::write_u8(w, 0)?;
+            binio::write_u8(w, *tuple as u8)?;
+            binio::write_usize(w, *attr)
+        }
+        Operand::Const(c) => {
+            binio::write_u8(w, 1)?;
+            binio::write_str(w, c)
+        }
+    }
+}
+
+fn read_operand<R: Read>(r: &mut R) -> io::Result<Operand> {
+    match binio::read_u8(r)? {
+        0 => Ok(Operand::Var {
+            tuple: binio::read_u8(r)? as usize,
+            attr: binio::read_usize(r)?,
+        }),
+        1 => Ok(Operand::Const(binio::read_str(r)?)),
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad operand tag {t}"),
+        )),
     }
 }
 
@@ -267,5 +354,45 @@ mod tests {
             dc.display(&schema).to_string(),
             "¬(t1.Zip = t2.Zip ∧ t1.City != t2.City)"
         );
+    }
+
+    #[test]
+    fn binary_roundtrip_all_shapes() {
+        let fd = DenialConstraint::functional_dependency("fd", &[0, 1], 2);
+        let check = DenialConstraint {
+            name: "check".into(),
+            predicates: vec![Predicate {
+                left: Operand::Var { tuple: 0, attr: 3 },
+                op: Op::Lt,
+                right: Operand::Const("0".into()),
+            }],
+        };
+        let sim = DenialConstraint {
+            name: "near-dup".into(),
+            predicates: vec![Predicate {
+                left: Operand::Var { tuple: 0, attr: 1 },
+                op: Op::Sim,
+                right: Operand::Var { tuple: 1, attr: 1 },
+            }],
+        };
+        for dc in [fd, check, sim] {
+            let mut buf = Vec::new();
+            dc.write_to(&mut buf).unwrap();
+            let back = DenialConstraint::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+            assert_eq!(dc, back);
+        }
+    }
+
+    #[test]
+    fn read_rejects_bad_tags() {
+        let mut buf = Vec::new();
+        DenialConstraint::functional_dependency("fd", &[0], 1)
+            .write_to(&mut buf)
+            .unwrap();
+        // Corrupt the op tag of the first predicate (name len+name, count,
+        // operand tag, tuple, attr → then the op byte).
+        let op_pos = 8 + 2 + 8 + 1 + 1 + 8;
+        buf[op_pos] = 0xee;
+        assert!(DenialConstraint::read_from(&mut std::io::Cursor::new(buf)).is_err());
     }
 }

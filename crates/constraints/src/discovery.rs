@@ -32,7 +32,11 @@ pub fn fd_satisfaction(d: &Dataset, lhs: &[usize], rhs: usize) -> f64 {
     let mut groups: HashMap<Box<[Symbol]>, HashMap<Symbol, u64>> = HashMap::new();
     for t in 0..n {
         let key: Box<[Symbol]> = lhs.iter().map(|&a| d.symbol(t, a)).collect();
-        *groups.entry(key).or_default().entry(d.symbol(t, rhs)).or_insert(0) += 1;
+        *groups
+            .entry(key)
+            .or_default()
+            .entry(d.symbol(t, rhs))
+            .or_insert(0) += 1;
     }
     let pairs = |k: u64| k * k.saturating_sub(1) / 2;
     let mut violating: u64 = 0;
@@ -55,7 +59,10 @@ pub fn discover_fds(d: &Dataset, include_pairs: bool) -> Vec<ScoredConstraint> {
         let alpha = fd_satisfaction(d, lhs, rhs);
         let name = format!(
             "{} -> {}",
-            lhs.iter().map(|&a| d.schema().name(a)).collect::<Vec<_>>().join(","),
+            lhs.iter()
+                .map(|&a| d.schema().name(a))
+                .collect::<Vec<_>>()
+                .join(","),
             d.schema().name(rhs)
         );
         out.push(ScoredConstraint {
@@ -144,7 +151,9 @@ mod tests {
             assert!(w[0].alpha >= w[1].alpha);
         }
         // A -> B is perfect and should be at the top band.
-        assert!(found.iter().any(|s| s.constraint.name == "A -> B" && s.alpha == 1.0));
+        assert!(found
+            .iter()
+            .any(|s| s.constraint.name == "A -> B" && s.alpha == 1.0));
     }
 
     #[test]

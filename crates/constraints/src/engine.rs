@@ -75,7 +75,11 @@ impl ConstraintIndex {
     /// Build the index for one constraint.
     pub fn build(dataset: &Dataset, dc: DenialConstraint) -> Self {
         let kind = Self::classify(&dc);
-        let mut idx = ConstraintIndex { dc, kind, tuple_counts: Vec::new() };
+        let mut idx = ConstraintIndex {
+            dc,
+            kind,
+            tuple_counts: Vec::new(),
+        };
         idx.populate(dataset);
         idx
     }
@@ -107,7 +111,11 @@ impl ConstraintIndex {
                 };
             }
         }
-        IndexKind::Blocked { keys, residual, blocks: HashMap::new() }
+        IndexKind::Blocked {
+            keys,
+            residual,
+            blocks: HashMap::new(),
+        }
     }
 
     fn populate(&mut self, d: &Dataset) {
@@ -121,7 +129,12 @@ impl ConstraintIndex {
                     }
                 }
             }
-            IndexKind::Fd { keys, rhs, block, agree } => {
+            IndexKind::Fd {
+                keys,
+                rhs,
+                block,
+                agree,
+            } => {
                 block.reserve(n / 4);
                 for t in 0..n {
                     let key = key_symbols(d, t, keys, None);
@@ -137,7 +150,11 @@ impl ConstraintIndex {
                     self.tuple_counts[t] = in_block - agreeing;
                 }
             }
-            IndexKind::Blocked { keys, residual, blocks } => {
+            IndexKind::Blocked {
+                keys,
+                residual,
+                blocks,
+            } => {
                 for t in 0..n {
                     let key = key_symbols(d, t, keys, None);
                     blocks.entry(key).or_default().push(t as u32);
@@ -185,6 +202,64 @@ impl ConstraintIndex {
         self.tuple_counts.iter().filter(|&&c| c > 0).count()
     }
 
+    /// Conflicts between an *external* tuple — given as its resolved
+    /// values in schema order — and the reference dataset this index was
+    /// built over. This is the serving-time query: a trained artifact
+    /// scores tuples of an unseen batch against the reference data it
+    /// was fitted on. The external tuple is not assumed to be a member
+    /// of the reference, so no self-pair is excluded; a residual with a
+    /// disequality (the common case) rejects identical pairs anyway, so
+    /// re-presenting a reference tuple reproduces its fit-time count.
+    pub fn external_tuple_violations(&self, reference: &Dataset, values: &[&str]) -> u32 {
+        match &self.kind {
+            IndexKind::Unary => {
+                // Unary constraints mention only t1; evaluate directly on
+                // the external values (the partner index is never read).
+                u32::from(eval_conjunction_ext(
+                    &self.dc.predicates,
+                    reference,
+                    values,
+                    0,
+                    true,
+                ))
+            }
+            IndexKind::Fd {
+                keys,
+                rhs,
+                block,
+                agree,
+            } => {
+                let Some(key) = external_key_symbols(reference, values, keys) else {
+                    return 0; // never-seen key value: no reference partner
+                };
+                let in_block = block.get(&key).copied().unwrap_or(0);
+                let agreeing = match reference.pool().get(values[*rhs]) {
+                    Some(b) => agree.get(&(key, b)).copied().unwrap_or(0),
+                    None => 0, // brand-new value agrees with nobody
+                };
+                in_block.saturating_sub(agreeing)
+            }
+            IndexKind::Blocked {
+                keys,
+                residual,
+                blocks,
+            } => {
+                let Some(key) = external_key_symbols(reference, values, keys) else {
+                    return 0;
+                };
+                let Some(members) = blocks.get(&key) else {
+                    return 0;
+                };
+                count_partners_ext(residual, reference, values, members.len(), |i| {
+                    members[i] as usize
+                })
+            }
+            IndexKind::Unkeyed { residual } => {
+                count_partners_ext(residual, reference, values, reference.n_tuples(), |i| i)
+            }
+        }
+    }
+
     /// Hypothetical count: violations for tuple `t` if cell `(t, attr)`
     /// held `value` instead of its observed value.
     pub fn tuple_violations_with_override(
@@ -199,12 +274,19 @@ impl ConstraintIndex {
         if !self.dc.attrs().contains(&attr) {
             return self.tuple_counts[t];
         }
-        let ov = Override { tuple: t, attr, value };
+        let ov = Override {
+            tuple: t,
+            attr,
+            value,
+        };
         match &self.kind {
-            IndexKind::Unary => {
-                u32::from(eval_conjunction(&self.dc.predicates, d, t, t, Some(ov)))
-            }
-            IndexKind::Fd { keys, rhs, block, agree } => {
+            IndexKind::Unary => u32::from(eval_conjunction(&self.dc.predicates, d, t, t, Some(ov))),
+            IndexKind::Fd {
+                keys,
+                rhs,
+                block,
+                agree,
+            } => {
                 let orig_key = key_symbols(d, t, keys, None);
                 let orig_b = d.symbol(t, *rhs);
                 let new_key = match key_symbols_opt(d, t, keys, Some(ov)) {
@@ -212,7 +294,11 @@ impl ConstraintIndex {
                     // Key contains a never-seen value: no partners share it.
                     None => return 0,
                 };
-                let new_b = if *rhs == attr { d.pool().get(value) } else { Some(orig_b) };
+                let new_b = if *rhs == attr {
+                    d.pool().get(value)
+                } else {
+                    Some(orig_b)
+                };
                 let mut in_block = block.get(&new_key).copied().unwrap_or(0);
                 if new_key == orig_key {
                     in_block -= 1; // exclude self
@@ -226,12 +312,18 @@ impl ConstraintIndex {
                 }
                 in_block - agreeing
             }
-            IndexKind::Blocked { keys, residual, blocks } => {
+            IndexKind::Blocked {
+                keys,
+                residual,
+                blocks,
+            } => {
                 let new_key = match key_symbols_opt(d, t, keys, Some(ov)) {
                     Some(k) => k,
                     None => return 0,
                 };
-                let Some(members) = blocks.get(&new_key) else { return 0 };
+                let Some(members) = blocks.get(&new_key) else {
+                    return 0;
+                };
                 count_partners_for(residual, d, t, members, Some(ov))
             }
             IndexKind::Unkeyed { residual } => {
@@ -275,7 +367,20 @@ impl ViolationEngine {
 
     /// The violation-count vector for tuple `t`: one entry per constraint.
     pub fn tuple_vector(&self, t: usize) -> Vec<u32> {
-        self.indexes.iter().map(|ix| ix.tuple_violations(t)).collect()
+        self.indexes
+            .iter()
+            .map(|ix| ix.tuple_violations(t))
+            .collect()
+    }
+
+    /// Violation-count vector for an external tuple (resolved values in
+    /// schema order) against the reference dataset: one entry per
+    /// constraint. See [`ConstraintIndex::external_tuple_violations`].
+    pub fn external_tuple_vector(&self, reference: &Dataset, values: &[&str]) -> Vec<u32> {
+        self.indexes
+            .iter()
+            .map(|ix| ix.external_tuple_violations(reference, values))
+            .collect()
     }
 
     /// Hypothetical violation-count vector under a cell override.
@@ -318,6 +423,86 @@ fn key_symbols_opt(
         out.push(sym);
     }
     Some(out.into_boxed_slice())
+}
+
+/// Key symbols for an external tuple, or `None` when any key value is
+/// one the reference pool has never seen (such a key matches no block).
+fn external_key_symbols(
+    reference: &Dataset,
+    values: &[&str],
+    keys: &[usize],
+) -> Option<Box<[Symbol]>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for &a in keys {
+        out.push(reference.pool().get(values[a])?);
+    }
+    Some(out.into_boxed_slice())
+}
+
+/// Resolve an operand where one side of the pair is an external tuple
+/// (`ext`, values in schema order) and the other is reference tuple `s`.
+/// `ext_is_t1` says which constraint variable the external tuple plays.
+fn resolve_ext<'a>(
+    d: &'a Dataset,
+    operand: &'a Operand,
+    ext: &[&'a str],
+    s: usize,
+    ext_is_t1: bool,
+) -> &'a str {
+    match operand {
+        Operand::Const(c) => c,
+        Operand::Var { tuple, attr } => {
+            if (*tuple == 0) == ext_is_t1 {
+                ext[*attr]
+            } else {
+                d.value(s, *attr)
+            }
+        }
+    }
+}
+
+fn eval_conjunction_ext(
+    preds: &[Predicate],
+    d: &Dataset,
+    ext: &[&str],
+    s: usize,
+    ext_is_t1: bool,
+) -> bool {
+    preds.iter().all(|p| {
+        let l = resolve_ext(d, &p.left, ext, s, ext_is_t1);
+        let r = resolve_ext(d, &p.right, ext, s, ext_is_t1);
+        p.op.eval(l, r)
+    })
+}
+
+/// Reference partners conflicting with the external tuple, capped at
+/// [`SCAN_CAP`] samples and scaled back for an unbiased estimate (the
+/// same sampling scheme as [`count_partners_for`]).
+fn count_partners_ext(
+    residual: &[Predicate],
+    d: &Dataset,
+    ext: &[&str],
+    n_members: usize,
+    member: impl Fn(usize) -> usize,
+) -> u32 {
+    if n_members == 0 {
+        return 0;
+    }
+    let stride = (n_members / SCAN_CAP).max(1);
+    let mut sampled = 0usize;
+    let mut hits = 0usize;
+    let mut i = 0usize;
+    while i < n_members {
+        let s = member(i);
+        i += stride;
+        sampled += 1;
+        if eval_conjunction_ext(residual, d, ext, s, true)
+            || eval_conjunction_ext(residual, d, ext, s, false)
+        {
+            hits += 1;
+        }
+    }
+    ((hits as f64) * (n_members as f64) / (sampled as f64)).round() as u32
 }
 
 fn resolve<'a>(
@@ -391,7 +576,9 @@ fn count_partners_for(
     members: &[u32],
     ov: Option<Override>,
 ) -> u32 {
-    let others = members.len().saturating_sub(usize::from(members.contains(&(t as u32))));
+    let others = members
+        .len()
+        .saturating_sub(usize::from(members.contains(&(t as u32))));
     if others == 0 {
         return 0;
     }
@@ -542,8 +729,7 @@ mod tests {
         // This is actually FD-shaped on City after classification — use a
         // genuinely unkeyed one instead:
         let d = dataset();
-        let dcs =
-            parse_constraints("t1.City ~ t2.City & t1.Zip != t2.Zip", d.schema()).unwrap();
+        let dcs = parse_constraints("t1.City ~ t2.City & t1.Zip != t2.Zip", d.schema()).unwrap();
         let e2 = ViolationEngine::build(&d, &dcs);
         // Chicago ~ Cicago with different zips? zips are equal (60612) so
         // no violation; Madison isn't similar to anything else.
@@ -552,12 +738,72 @@ mod tests {
     }
 
     #[test]
+    fn external_tuple_matches_internal_for_member_tuples() {
+        // Re-presenting a reference tuple as an external one reproduces
+        // its fit-time count: the self-pair cancels through the
+        // agreement counts (FD) or fails the disequality (blocked).
+        for spec in [
+            "Zip -> City",
+            "t1.Zip = t2.Zip & t1.City ~ t2.City & t1.Score != t2.Score",
+        ] {
+            let (d, e) = engine(spec);
+            let ix = &e.indexes()[0];
+            for t in 0..d.n_tuples() {
+                let vals = d.tuple_values(t);
+                assert_eq!(
+                    ix.external_tuple_violations(&d, &vals),
+                    ix.tuple_violations(t),
+                    "{spec}: tuple {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn external_new_tuple_counts_reference_conflicts() {
+        let (d, e) = engine("Zip -> City");
+        let ix = &e.indexes()[0];
+        // A new 60612 tuple with a fresh city conflicts with all three
+        // 60612 reference rows.
+        assert_eq!(
+            ix.external_tuple_violations(&d, &["60612", "Springfield", "1"]),
+            3
+        );
+        // Agreeing with the majority leaves only the Cicago conflict.
+        assert_eq!(
+            ix.external_tuple_violations(&d, &["60612", "Chicago", "1"]),
+            1
+        );
+        // A never-seen key matches no block.
+        assert_eq!(
+            ix.external_tuple_violations(&d, &["99999", "Chicago", "1"]),
+            0
+        );
+    }
+
+    #[test]
+    fn external_unary_and_vector() {
+        let (d, e) = engine("Zip -> City\nt1.Score < '0'");
+        assert_eq!(
+            e.external_tuple_vector(&d, &["60612", "Cicago", "-3"]),
+            vec![2, 1]
+        );
+        assert_eq!(
+            e.external_tuple_vector(&d, &["53703", "Madison", "4"]),
+            vec![0, 0]
+        );
+    }
+
+    #[test]
     fn engine_vectors() {
         let (d, e) = engine("Zip -> City\nt1.Score < '0'");
         assert_eq!(e.len(), 2);
         assert_eq!(e.tuple_vector(2), vec![2, 0]);
         assert_eq!(e.tuple_vector(3), vec![0, 1]);
-        assert_eq!(e.tuple_vector_with_override(&d, 2, 1, "Chicago"), vec![0, 0]);
+        assert_eq!(
+            e.tuple_vector_with_override(&d, 2, 1, "Chicago"),
+            vec![0, 0]
+        );
     }
 
     #[test]

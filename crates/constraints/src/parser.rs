@@ -59,13 +59,18 @@ pub fn parse_constraint(line: &str, schema: &Schema) -> Result<Vec<DenialConstra
     if let Some((lhs, rhs)) = line.split_once("->") {
         return parse_fd(lhs, rhs, schema);
     }
-    let predicates: Result<Vec<Predicate>, ParseError> =
-        line.split('&').map(|p| parse_predicate(p.trim(), schema)).collect();
+    let predicates: Result<Vec<Predicate>, ParseError> = line
+        .split('&')
+        .map(|p| parse_predicate(p.trim(), schema))
+        .collect();
     let predicates = predicates?;
     if predicates.is_empty() {
         return Err(ParseError::BadLine(line.to_owned()));
     }
-    Ok(vec![DenialConstraint { name: line.to_owned(), predicates }])
+    Ok(vec![DenialConstraint {
+        name: line.to_owned(),
+        predicates,
+    }])
 }
 
 fn parse_fd(lhs: &str, rhs: &str, schema: &Schema) -> Result<Vec<DenialConstraint>, ParseError> {
@@ -74,11 +79,17 @@ fn parse_fd(lhs: &str, rhs: &str, schema: &Schema) -> Result<Vec<DenialConstrain
             .attr_index(s.trim())
             .ok_or_else(|| ParseError::UnknownAttribute(s.trim().to_owned()))
     };
-    let left: Result<Vec<usize>, _> =
-        lhs.split(',').filter(|s| !s.trim().is_empty()).map(resolve).collect();
+    let left: Result<Vec<usize>, _> = lhs
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(resolve)
+        .collect();
     let left = left?;
-    let right: Result<Vec<usize>, _> =
-        rhs.split(',').filter(|s| !s.trim().is_empty()).map(resolve).collect();
+    let right: Result<Vec<usize>, _> = rhs
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(resolve)
+        .collect();
     let right = right?;
     if left.is_empty() || right.is_empty() {
         return Err(ParseError::EmptyFd(format!("{lhs}->{rhs}")));
@@ -88,7 +99,10 @@ fn parse_fd(lhs: &str, rhs: &str, schema: &Schema) -> Result<Vec<DenialConstrain
         .map(|r| {
             let name = format!(
                 "{} -> {}",
-                left.iter().map(|&a| schema.name(a)).collect::<Vec<_>>().join(","),
+                left.iter()
+                    .map(|&a| schema.name(a))
+                    .collect::<Vec<_>>()
+                    .join(","),
                 schema.name(r)
             );
             DenialConstraint::functional_dependency(name, &left, r)
@@ -176,10 +190,7 @@ mod tests {
     fn constant_check_constraint() {
         let dcs = parse_constraint("t1.Score < '0'", &schema()).unwrap();
         assert!(!dcs[0].is_binary());
-        assert_eq!(
-            dcs[0].predicates[0].right,
-            Operand::Const("0".to_owned())
-        );
+        assert_eq!(dcs[0].predicates[0].right, Operand::Const("0".to_owned()));
     }
 
     #[test]

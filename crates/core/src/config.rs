@@ -70,7 +70,11 @@ impl Default for HoloDetectConfig {
 impl HoloDetectConfig {
     /// The paper's exact training schedule (§6.1): 500 epochs, batch 5.
     pub fn paper_faithful() -> Self {
-        HoloDetectConfig { epochs: 500, batch_size: 5, ..Self::default() }
+        HoloDetectConfig {
+            epochs: 500,
+            batch_size: 5,
+            ..Self::default()
+        }
     }
 
     /// A small/fast configuration for tests and examples.
@@ -85,7 +89,9 @@ impl HoloDetectConfig {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16)
 }
 
 #[cfg(test)]

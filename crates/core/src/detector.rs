@@ -21,7 +21,10 @@ pub struct HoloDetect {
 impl HoloDetect {
     /// AUG with the given configuration.
     pub fn new(cfg: HoloDetectConfig) -> Self {
-        HoloDetect { cfg, strategy: Strategy::Augmentation { target_ratio: None } }
+        HoloDetect {
+            cfg,
+            strategy: Strategy::Augmentation { target_ratio: None },
+        }
     }
 
     /// Any training strategy (SuperL / SemiL / ActiveL / Resampling /
@@ -44,7 +47,7 @@ impl HoloDetect {
     /// (strategy-dependent), the wide-and-deep classifier `M`, Platt
     /// calibration, and threshold tuning — returning the concrete fitted
     /// model (use [`Detector::fit`] when a trait object suffices).
-    pub fn fit_model<'a>(&self, ctx: &FitContext<'a>) -> FittedHoloDetect<'a> {
+    pub fn fit_model(&self, ctx: &FitContext<'_>) -> FittedHoloDetect {
         if ctx.train.is_empty() {
             return FittedHoloDetect::degenerate(self.strategy.method_name());
         }
@@ -58,7 +61,7 @@ impl Detector for HoloDetect {
         self.strategy.method_name()
     }
 
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
         Box::new(self.fit_model(ctx))
     }
 }
@@ -78,7 +81,11 @@ mod tests {
         let g = generate(DatasetKind::Hospital, 220, 5);
         let split = Split::new(
             &g.dirty,
-            SplitConfig { train_frac: 0.10, sampling_frac: 0.0, seed: 1 },
+            SplitConfig {
+                train_frac: 0.10,
+                sampling_frac: 0.0,
+                seed: 1,
+            },
         );
         let train = split.training_set(&g.dirty, &g.truth);
         let eval_cells = split.test_cells(&g.dirty);
@@ -123,8 +130,14 @@ mod tests {
         };
         let det = HoloDetect::new(HoloDetectConfig::fast());
         let model = det.fit(&ctx);
-        assert!(model.score(&cells).iter().all(|&p| p == 0.0));
-        let labels = model.predict(&cells, model.default_threshold());
+        assert!(model
+            .score_batch(&g.dirty, &cells)
+            .unwrap()
+            .iter()
+            .all(|&p| p == 0.0));
+        let labels = model
+            .predict_batch(&g.dirty, &cells, model.default_threshold())
+            .unwrap();
         assert!(labels.iter().all(|&l| l == Label::Correct));
     }
 
@@ -133,7 +146,11 @@ mod tests {
         let g = generate(DatasetKind::Hospital, 120, 9);
         let split = Split::new(
             &g.dirty,
-            SplitConfig { train_frac: 0.15, sampling_frac: 0.2, seed: 4 },
+            SplitConfig {
+                train_frac: 0.15,
+                sampling_frac: 0.2,
+                seed: 4,
+            },
         );
         let train = split.training_set(&g.dirty, &g.truth);
         let sampling = split.sampling_set(&g.dirty, &g.truth);
@@ -149,22 +166,33 @@ mod tests {
         };
         let strategies = [
             Strategy::Augmentation { target_ratio: None },
-            Strategy::Augmentation { target_ratio: Some(0.3) },
+            Strategy::Augmentation {
+                target_ratio: Some(0.3),
+            },
             Strategy::Supervised,
             Strategy::Resampling,
-            Strategy::SemiSupervised { rounds: 1, confidence: 0.9, max_per_round: 50 },
-            Strategy::ActiveLearning { loops: 2, per_loop: 10 },
+            Strategy::SemiSupervised {
+                rounds: 1,
+                confidence: 0.9,
+                max_per_round: 50,
+            },
+            Strategy::ActiveLearning {
+                loops: 2,
+                per_loop: 10,
+            },
         ];
         for s in strategies {
             let det = HoloDetect::with_strategy(cfg.clone(), s.clone());
             let model = det.fit(&ctx);
-            let scores = model.score(&eval_cells);
+            let scores = model.score_batch(&g.dirty, &eval_cells).unwrap();
             assert_eq!(scores.len(), eval_cells.len(), "strategy {s:?}");
             assert!(
                 scores.iter().all(|p| (0.0..=1.0).contains(p)),
                 "strategy {s:?} produced out-of-range scores"
             );
-            let labels = model.predict(&eval_cells, model.default_threshold());
+            let labels = model
+                .predict_batch(&g.dirty, &eval_cells, model.default_threshold())
+                .unwrap();
             assert_eq!(labels.len(), eval_cells.len(), "strategy {s:?}");
         }
     }
@@ -174,7 +202,11 @@ mod tests {
         let g = generate(DatasetKind::Adult, 80, 3);
         let split = Split::new(
             &g.dirty,
-            SplitConfig { train_frac: 0.2, sampling_frac: 0.0, seed: 2 },
+            SplitConfig {
+                train_frac: 0.2,
+                sampling_frac: 0.0,
+                seed: 2,
+            },
         );
         let train = split.training_set(&g.dirty, &g.truth);
         let eval_cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(40).collect();
@@ -202,7 +234,11 @@ mod tests {
         let g = generate(DatasetKind::Hospital, 150, 8);
         let split = Split::new(
             &g.dirty,
-            SplitConfig { train_frac: 0.15, sampling_frac: 0.0, seed: 3 },
+            SplitConfig {
+                train_frac: 0.15,
+                sampling_frac: 0.0,
+                seed: 3,
+            },
         );
         let train = split.training_set(&g.dirty, &g.truth);
         let cells: Vec<CellId> = split.test_cells(&g.dirty).into_iter().take(60).collect();
@@ -217,10 +253,10 @@ mod tests {
         };
         let det = HoloDetect::new(cfg);
         let model = det.fit(&ctx);
-        let all = model.score(&cells);
+        let all = model.score_batch(&g.dirty, &cells).unwrap();
         let (first, second) = cells.split_at(cells.len() / 2);
-        let mut rejoined = model.score(first);
-        rejoined.extend(model.score(second));
+        let mut rejoined = model.score_batch(&g.dirty, first).unwrap();
+        rejoined.extend(model.score_batch(&g.dirty, second).unwrap());
         assert_eq!(all, rejoined);
     }
 }

@@ -1,28 +1,57 @@
-//! The fitted HoloDetect model: the reusable product of `fit`.
+//! The fitted HoloDetect model: the reusable, persistable product of
+//! `fit`.
 //!
-//! [`FittedHoloDetect`] bundles the fitted representation `Q` (inside
-//! the [`Pipeline`]), the trained wide-and-deep classifier `M`, the
-//! Platt scaler of §4.2, and the holdout-tuned decision threshold. It
-//! implements [`holo_eval::TrainedModel`], so `score` / `predict` can be
-//! called repeatedly over arbitrary cell batches — from many threads —
-//! without re-training, and it exposes [`FittedHoloDetect::refit_with`],
-//! the explicit incremental hook the active-learning and self-training
-//! strategies drive their labeling loops through.
+//! [`FittedHoloDetect`] wraps a [`ModelArtifact`] — the fully *owned*
+//! bundle of everything fitting produced: the representation `Q`
+//! (inside the [`Pipeline`], which owns a copy of the reference
+//! dataset), the trained wide-and-deep classifier `M`, the Platt scaler
+//! of §4.2, the holdout-tuned decision threshold, and the training
+//! examples behind the classifier. Nothing borrows the fit context, so
+//! the model is `'static`: it implements [`holo_eval::TrainedModel`],
+//! scoring cell batches of **any** schema-compatible dataset — the fit
+//! data or a CSV loaded long after — from many threads, without
+//! re-training.
+//!
+//! Artifacts persist: [`FittedHoloDetect::save`] writes a versioned
+//! binary file (hand-rolled codec, no registry dependencies) and
+//! [`FittedHoloDetect::load`] restores it in a fresh process with
+//! bitwise-identical scoring behaviour. Train once on a reference
+//! sample; deploy the file; score incoming batches for the artifact's
+//! whole life.
+//!
+//! [`FittedHoloDetect::refit_with`] is the explicit incremental hook the
+//! active-learning and self-training strategies drive their labeling
+//! loops through; on a degenerate model it returns a typed error rather
+//! than panicking.
 
-use crate::model::WideDeepModel;
+use crate::config::HoloDetectConfig;
+use crate::model::{BranchStyle, WideDeepModel};
 use crate::trainer::{Pipeline, TrainExample};
-use holo_data::CellId;
-use holo_eval::TrainedModel;
-use holo_nn::{Matrix, PlattScaler};
+use holo_channel::AugmentStrategy;
+use holo_data::{binio, CellId, Dataset, Label};
+use holo_eval::{ModelError, TrainedModel};
+use holo_features::Featurizer;
+use holo_nn::{Matrix, Param, PlattScaler};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Artifact file magic (8 bytes).
+const MAGIC: &[u8; 8] = b"HOLOARTF";
+/// Current artifact format version.
+const FORMAT_VERSION: u32 = 1;
 
 /// A fitted HoloDetect model (any strategy).
-pub struct FittedHoloDetect<'a> {
+pub struct FittedHoloDetect {
     method: &'static str,
-    state: Option<TrainedState<'a>>,
+    state: Option<ModelArtifact>,
 }
 
-struct TrainedState<'a> {
-    pipeline: Pipeline<'a>,
+/// The owned, serializable product of fitting: representation,
+/// classifier, calibration, threshold, and the training examples behind
+/// them (kept so [`FittedHoloDetect::refit_with`] can extend them).
+pub struct ModelArtifact {
+    pipeline: Pipeline,
     /// The training examples behind `model` — kept so `refit_with` can
     /// extend them.
     examples: Vec<TrainExample>,
@@ -36,11 +65,31 @@ struct TrainedState<'a> {
     threshold: f64,
 }
 
-impl<'a> FittedHoloDetect<'a> {
+impl ModelArtifact {
+    /// The pipeline (configuration + fitted representation `Q`).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The reference dataset the artifact was fitted over.
+    pub fn reference(&self) -> &Dataset {
+        self.pipeline.reference()
+    }
+
+    /// The holdout-tuned decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl FittedHoloDetect {
     /// The degenerate model fitted from an empty training set: every
     /// cell scores 0 (no evidence of errors).
     pub(crate) fn degenerate(method: &'static str) -> Self {
-        FittedHoloDetect { method, state: None }
+        FittedHoloDetect {
+            method,
+            state: None,
+        }
     }
 
     /// Featurize → train → calibrate → tune the threshold. `tune` is a
@@ -48,7 +97,7 @@ impl<'a> FittedHoloDetect<'a> {
     /// itself (unit weights).
     pub(crate) fn train(
         method: &'static str,
-        pipeline: Pipeline<'a>,
+        pipeline: Pipeline,
         examples: Vec<TrainExample>,
         holdout: Vec<TrainExample>,
         tune: Option<(Vec<TrainExample>, Vec<f64>)>,
@@ -81,7 +130,7 @@ impl<'a> FittedHoloDetect<'a> {
         };
         FittedHoloDetect {
             method,
-            state: Some(TrainedState {
+            state: Some(ModelArtifact {
                 pipeline,
                 examples,
                 holdout,
@@ -99,21 +148,26 @@ impl<'a> FittedHoloDetect<'a> {
     /// labeling loops, SemiL's pseudo-label rounds) are built on this,
     /// and it is the entry point for future online-learning work.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a degenerate model (fitted from an empty training
-    /// set): it has no pipeline to retrain, and silently dropping the
-    /// caller's labels would be worse. Fit with a non-empty `T` first.
-    pub fn refit_with(self, extra: Vec<TrainExample>) -> Self {
+    /// [`ModelError::Degenerate`] when the model was fitted from an
+    /// empty training set: it has no pipeline to retrain, and silently
+    /// dropping the caller's labels would be worse. Fit with a non-empty
+    /// `T` first.
+    pub fn refit_with(self, extra: Vec<TrainExample>) -> Result<Self, ModelError> {
         let Some(mut s) = self.state else {
-            panic!(
-                "refit_with on a degenerate {} model: it was fitted without training \
-                 data and has no pipeline; fit with a non-empty training set first",
-                self.method
-            )
+            return Err(ModelError::Degenerate {
+                method: self.method.to_owned(),
+            });
         };
         s.examples.extend(extra);
-        Self::train(self.method, s.pipeline, s.examples, s.holdout, s.tune)
+        Ok(Self::train(
+            self.method,
+            s.pipeline,
+            s.examples,
+            s.holdout,
+            s.tune,
+        ))
     }
 
     /// The method name (as the paper's tables print it).
@@ -127,8 +181,13 @@ impl<'a> FittedHoloDetect<'a> {
         self.state.as_ref().map_or(0.5, |s| s.threshold)
     }
 
+    /// The underlying artifact (`None` for the degenerate model).
+    pub fn artifact(&self) -> Option<&ModelArtifact> {
+        self.state.as_ref()
+    }
+
     /// The underlying pipeline (`None` for the degenerate model).
-    pub fn pipeline(&self) -> Option<&Pipeline<'a>> {
+    pub fn pipeline(&self) -> Option<&Pipeline> {
         self.state.as_ref().map(|s| &s.pipeline)
     }
 
@@ -137,17 +196,25 @@ impl<'a> FittedHoloDetect<'a> {
         self.state.as_ref().map_or(0, |s| s.examples.len())
     }
 
-    /// Raw classifier margins `z_error − z_correct` for a cell batch —
-    /// the uncalibrated scores the Platt scaler maps to probabilities.
-    pub fn raw_scores(&self, cells: &[CellId]) -> Vec<f32> {
+    /// Raw classifier margins `z_error − z_correct` for a cell batch of
+    /// `data` — the uncalibrated scores the Platt scaler maps to
+    /// probabilities. Validates `data` and `cells` like
+    /// [`TrainedModel::score_batch`]: incompatible inputs are typed
+    /// errors, never garbage margins.
+    pub fn raw_scores(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f32>, ModelError> {
         match &self.state {
-            None => vec![0.0; cells.len()],
+            None => {
+                ModelError::check_cells(data, cells)?;
+                Ok(vec![0.0; cells.len()])
+            }
             Some(s) => {
+                ModelError::check_schema(s.pipeline.reference().schema(), data)?;
+                ModelError::check_cells(data, cells)?;
                 if cells.is_empty() {
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
-                let x = s.pipeline.featurize_cells(cells);
-                s.model.scores(&x)
+                let x = s.pipeline.featurize_cells(data, cells);
+                Ok(s.model.scores(&x))
             }
         }
     }
@@ -160,28 +227,453 @@ impl<'a> FittedHoloDetect<'a> {
             Some(s) => s.model.predict_proba(x),
         }
     }
+
+    /// Persist the fitted model to a versioned binary artifact file.
+    /// The artifact is self-contained: reloading it in a fresh process
+    /// ([`FittedHoloDetect::load`]) reproduces scores bit for bit.
+    pub fn save(&self, path: &Path) -> Result<(), ModelError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        binio::write_u32(&mut w, FORMAT_VERSION)?;
+        binio::write_str(&mut w, self.method)?;
+        binio::write_bool(&mut w, self.state.is_some())?;
+        if let Some(s) = &self.state {
+            write_config(&mut w, &s.pipeline.cfg)?;
+            binio::write_u64(&mut w, s.pipeline.seed)?;
+            s.pipeline.featurizer.write_to(&mut w)?;
+            write_examples(&mut w, &s.examples)?;
+            write_examples(&mut w, &s.holdout)?;
+            binio::write_bool(&mut w, s.tune.is_some())?;
+            if let Some((t, weights)) = &s.tune {
+                write_examples(&mut w, t)?;
+                binio::write_usize(&mut w, weights.len())?;
+                for &x in weights {
+                    binio::write_f64(&mut w, x)?;
+                }
+            }
+            write_model_params(&mut w, &s.model)?;
+            binio::write_f32(&mut w, s.platt.a)?;
+            binio::write_f32(&mut w, s.platt.b)?;
+            binio::write_f64(&mut w, s.threshold)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load an artifact written by [`FittedHoloDetect::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Format`] for a wrong magic, an unsupported format
+    /// version, or internally inconsistent contents;
+    /// [`ModelError::Io`] for read failures (including truncation).
+    pub fn load(path: &Path) -> Result<Self, ModelError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ModelError::Format("not a HoloDetect artifact file".into()));
+        }
+        let version = binio::read_u32(&mut r)?;
+        if version != FORMAT_VERSION {
+            return Err(ModelError::Format(format!(
+                "unsupported artifact format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let method = intern_method(&binio::read_str(&mut r)?)?;
+        if !binio::read_bool(&mut r)? {
+            return Ok(FittedHoloDetect::degenerate(method));
+        }
+        let cfg = read_config(&mut r)?;
+        let seed = binio::read_u64(&mut r)?;
+        let featurizer = Featurizer::read_from(&mut r)?;
+        let pipeline = Pipeline::from_parts(cfg, featurizer, seed);
+        let examples = read_examples(&mut r)?;
+        let holdout = read_examples(&mut r)?;
+        let tune = if binio::read_bool(&mut r)? {
+            let t = read_examples(&mut r)?;
+            let n = binio::read_usize(&mut r)?;
+            let mut weights = Vec::with_capacity(binio::bounded_cap(n, 8));
+            for _ in 0..n {
+                weights.push(binio::read_f64(&mut r)?);
+            }
+            if weights.len() != t.len() {
+                return Err(ModelError::Format("tuning weights arity mismatch".into()));
+            }
+            Some((t, weights))
+        } else {
+            None
+        };
+        // Rebuild the model skeleton exactly as `train_model` does, then
+        // overwrite every parameter with the saved weights.
+        let mut model = WideDeepModel::with_branch_style(
+            pipeline.featurizer.layout().clone(),
+            pipeline.cfg.hidden_dim,
+            pipeline.cfg.dropout,
+            seed,
+            pipeline.cfg.branch_style,
+        );
+        read_model_params(&mut r, &mut model)?;
+        let platt = PlattScaler {
+            a: binio::read_f32(&mut r)?,
+            b: binio::read_f32(&mut r)?,
+        };
+        let threshold = binio::read_f64(&mut r)?;
+        Ok(FittedHoloDetect {
+            method,
+            state: Some(ModelArtifact {
+                pipeline,
+                examples,
+                holdout,
+                tune,
+                model,
+                platt,
+                threshold,
+            }),
+        })
+    }
 }
 
-impl TrainedModel for FittedHoloDetect<'_> {
-    /// Platt-calibrated error probability per cell (§4.2).
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
+impl TrainedModel for FittedHoloDetect {
+    /// Platt-calibrated error probability per cell of `data` (§4.2) —
+    /// the fit-time dataset or any schema-compatible batch.
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
         match &self.state {
-            None => vec![0.0; cells.len()],
+            None => {
+                ModelError::check_cells(data, cells)?;
+                Ok(vec![0.0; cells.len()])
+            }
             Some(s) => {
+                ModelError::check_schema(s.pipeline.reference().schema(), data)?;
+                ModelError::check_cells(data, cells)?;
                 if cells.is_empty() {
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
-                let x = s.pipeline.featurize_cells(cells);
-                s.pipeline
+                let x = s.pipeline.featurize_cells(data, cells);
+                Ok(s.pipeline
                     .predict_proba(&s.model, &s.platt, &x)
                     .into_iter()
                     .map(f64::from)
-                    .collect()
+                    .collect())
             }
         }
     }
 
     fn default_threshold(&self) -> f64 {
         self.threshold()
+    }
+}
+
+/// Map a deserialized method name back to the `'static` strategy name.
+fn intern_method(name: &str) -> Result<&'static str, ModelError> {
+    for known in ["AUG", "SuperL", "SemiL", "ActiveL", "Resampling"] {
+        if name == known {
+            return Ok(known);
+        }
+    }
+    Err(ModelError::Format(format!(
+        "unknown method name {name:?} in artifact"
+    )))
+}
+
+fn write_config<W: Write>(w: &mut W, cfg: &HoloDetectConfig) -> io::Result<()> {
+    binio::write_usize(w, cfg.epochs)?;
+    binio::write_usize(w, cfg.batch_size)?;
+    binio::write_f32(w, cfg.lr)?;
+    binio::write_usize(w, cfg.hidden_dim)?;
+    binio::write_f32(w, cfg.dropout)?;
+    binio::write_f64(w, cfg.holdout_frac)?;
+    binio::write_usize(w, cfg.platt_epochs)?;
+    binio::write_f32(w, cfg.decision_threshold)?;
+    binio::write_f64(w, cfg.augment.alpha)?;
+    binio::write_f64(w, cfg.augment.temperature)?;
+    binio::write_u8(
+        w,
+        match cfg.augment.strategy {
+            AugmentStrategy::Learned => 0,
+            AugmentStrategy::NoPolicy => 1,
+            AugmentStrategy::Random => 2,
+        },
+    )?;
+    binio::write_u64(w, cfg.augment.seed)?;
+    binio::write_usize(w, cfg.augment.max_attempt_factor)?;
+    cfg.features.write_to(w)?;
+    binio::write_usize(w, cfg.min_error_examples)?;
+    binio::write_u8(
+        w,
+        match cfg.branch_style {
+            BranchStyle::Highway => 0,
+            BranchStyle::PlainDense => 1,
+        },
+    )?;
+    binio::write_usize(w, cfg.threads)?;
+    binio::write_u64(w, cfg.seed)
+}
+
+fn read_config<R: Read>(r: &mut R) -> Result<HoloDetectConfig, ModelError> {
+    let epochs = binio::read_usize(r)?;
+    let batch_size = binio::read_usize(r)?;
+    let lr = binio::read_f32(r)?;
+    let hidden_dim = binio::read_usize(r)?;
+    let dropout = binio::read_f32(r)?;
+    let holdout_frac = binio::read_f64(r)?;
+    let platt_epochs = binio::read_usize(r)?;
+    let decision_threshold = binio::read_f32(r)?;
+    // Struct literal fields evaluate in source order, matching the
+    // write order above.
+    let augment = holo_channel::AugmentConfig {
+        alpha: binio::read_f64(r)?,
+        temperature: binio::read_f64(r)?,
+        strategy: match binio::read_u8(r)? {
+            0 => AugmentStrategy::Learned,
+            1 => AugmentStrategy::NoPolicy,
+            2 => AugmentStrategy::Random,
+            t => return Err(ModelError::Format(format!("bad augment strategy tag {t}"))),
+        },
+        seed: binio::read_u64(r)?,
+        max_attempt_factor: binio::read_usize(r)?,
+    };
+    let features = holo_features::FeatureConfig::read_from(r)?;
+    let min_error_examples = binio::read_usize(r)?;
+    let branch_style = match binio::read_u8(r)? {
+        0 => BranchStyle::Highway,
+        1 => BranchStyle::PlainDense,
+        t => return Err(ModelError::Format(format!("bad branch style tag {t}"))),
+    };
+    Ok(HoloDetectConfig {
+        epochs,
+        batch_size,
+        lr,
+        hidden_dim,
+        dropout,
+        holdout_frac,
+        platt_epochs,
+        decision_threshold,
+        augment,
+        features,
+        min_error_examples,
+        branch_style,
+        threads: binio::read_usize(r)?,
+        seed: binio::read_u64(r)?,
+    })
+}
+
+fn write_examples<W: Write>(w: &mut W, xs: &[TrainExample]) -> io::Result<()> {
+    binio::write_usize(w, xs.len())?;
+    for e in xs {
+        binio::write_u32(w, e.cell.tuple)?;
+        binio::write_u32(w, e.cell.attr)?;
+        binio::write_str(w, &e.value)?;
+        binio::write_u8(w, u8::from(e.label.is_error()))?;
+    }
+    Ok(())
+}
+
+fn read_examples<R: Read>(r: &mut R) -> io::Result<Vec<TrainExample>> {
+    let n = binio::read_usize(r)?;
+    let mut out = Vec::with_capacity(binio::bounded_cap(n, 48));
+    for _ in 0..n {
+        let tuple = binio::read_u32(r)? as usize;
+        let attr = binio::read_u32(r)? as usize;
+        let value = binio::read_str(r)?;
+        let label = match binio::read_u8(r)? {
+            0 => Label::Correct,
+            1 => Label::Error,
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad label tag {t}"),
+                ))
+            }
+        };
+        out.push(TrainExample {
+            cell: CellId::new(tuple, attr),
+            value,
+            label,
+        });
+    }
+    Ok(out)
+}
+
+fn write_model_params<W: Write>(w: &mut W, model: &WideDeepModel) -> io::Result<()> {
+    let mut n = 0usize;
+    model.for_each_param(|_| n += 1);
+    binio::write_usize(w, n)?;
+    let mut res: io::Result<()> = Ok(());
+    model.for_each_param(|p| {
+        if res.is_err() {
+            return;
+        }
+        res = (|| {
+            binio::write_usize(w, p.value.rows())?;
+            binio::write_usize(w, p.value.cols())?;
+            binio::write_f32_slice(w, p.value.data())
+        })();
+    });
+    res
+}
+
+#[allow(clippy::needless_range_loop)]
+fn read_model_params<R: Read>(r: &mut R, model: &mut WideDeepModel) -> Result<(), ModelError> {
+    let mut expected = 0usize;
+    model.for_each_param(|_| expected += 1);
+    let n = binio::read_usize(r)?;
+    if n != expected {
+        return Err(ModelError::Format(format!(
+            "artifact has {n} parameter tensors, model skeleton expects {expected}"
+        )));
+    }
+    let mut res: Result<(), ModelError> = Ok(());
+    model.for_each_param_mut(|p| {
+        if res.is_err() {
+            return;
+        }
+        res = (|| {
+            let rows = binio::read_usize(r)?;
+            let cols = binio::read_usize(r)?;
+            let data = binio::read_f32_slice(r)?;
+            if (rows, cols) != p.value.shape() || data.len() != rows * cols {
+                return Err(ModelError::Format(format!(
+                    "parameter shape {rows}x{cols} disagrees with skeleton {:?}",
+                    p.value.shape()
+                )));
+            }
+            *p = Param::new(Matrix::from_vec(rows, cols, data));
+            Ok(())
+        })();
+    });
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::HoloDetect;
+    use holo_data::{DatasetBuilder, GroundTruth, Schema};
+    use holo_eval::FitContext;
+
+    fn world() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for _ in 0..25 {
+            b.push_row(&["60612", "Chicago"]);
+            b.push_row(&["53703", "Madison"]);
+        }
+        let clean = b.build();
+        let mut dirty = clean.clone();
+        dirty.set_value(0, 1, "Cxhicago");
+        dirty.set_value(7, 1, "Madxison");
+        let truth = GroundTruth::from_pair(&clean, &dirty);
+        (dirty, truth)
+    }
+
+    fn fitted(dirty: &Dataset, truth: &GroundTruth) -> FittedHoloDetect {
+        let mut cfg = HoloDetectConfig::fast();
+        cfg.epochs = 10;
+        let train = truth.label_tuples(dirty, &(0..20).collect::<Vec<_>>());
+        let ctx = FitContext {
+            dirty,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            seed: 3,
+        };
+        HoloDetect::new(cfg).fit_model(&ctx)
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("holo-fitted-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bitwise_identical() {
+        let (dirty, truth) = world();
+        let model = fitted(&dirty, &truth);
+        let cells: Vec<CellId> = dirty.cell_ids().take(40).collect();
+        let before = model.score_batch(&dirty, &cells).unwrap();
+
+        let path = tmp_path("roundtrip.bin");
+        model.save(&path).unwrap();
+        let loaded = FittedHoloDetect::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.method(), model.method());
+        assert_eq!(loaded.threshold(), model.threshold());
+        assert_eq!(loaded.n_train_examples(), model.n_train_examples());
+        let after = loaded.score_batch(&dirty, &cells).unwrap();
+        assert_eq!(
+            before.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            after.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "reloaded artifact scores are not bitwise-identical"
+        );
+    }
+
+    #[test]
+    fn degenerate_model_roundtrips_and_refit_errors() {
+        let deg = FittedHoloDetect::degenerate("AUG");
+        let path = tmp_path("degenerate.bin");
+        deg.save(&path).unwrap();
+        let loaded = FittedHoloDetect::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.artifact().is_none());
+        assert_eq!(loaded.method(), "AUG");
+        // refit_with on a degenerate model is a typed error, not a panic.
+        let Err(err) = loaded.refit_with(Vec::new()) else {
+            panic!("degenerate refit should error")
+        };
+        assert!(matches!(err, ModelError::Degenerate { .. }));
+    }
+
+    #[test]
+    fn load_rejects_wrong_magic_and_version() {
+        let path = tmp_path("badmagic.bin");
+        std::fs::write(&path, b"NOTANARTIFACT___").unwrap();
+        assert!(matches!(
+            FittedHoloDetect::load(&path),
+            Err(ModelError::Format(_))
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        binio::write_u32(&mut buf, FORMAT_VERSION + 9).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let Err(err) = FittedHoloDetect::load(&path) else {
+            panic!("future version should be rejected")
+        };
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn schema_mismatch_scores_are_an_error() {
+        let (dirty, truth) = world();
+        let model = fitted(&dirty, &truth);
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "Town"]));
+        b.push_row(&["60612", "Chicago"]);
+        let other = b.build();
+        assert!(matches!(
+            model.score_batch(&other, &[CellId::new(0, 0)]),
+            Err(ModelError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scores_unseen_dataset_via_reference_statistics() {
+        let (dirty, truth) = world();
+        let model = fitted(&dirty, &truth);
+        // A fresh batch the model never saw, same schema.
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        b.push_row(&["60612", "Chicago"]); // consistent with reference
+        b.push_row(&["60612", "Chixcago"]); // typo'd unseen value
+        let batch = b.build();
+        let cells: Vec<CellId> = batch.cell_ids().collect();
+        let scores = model.score_batch(&batch, &cells).unwrap();
+        assert_eq!(scores.len(), 4);
+        assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
+        // The typo'd city must look more suspicious than the clean one.
+        assert!(
+            scores[3] > scores[1],
+            "typo {:.4} should outscore clean {:.4}",
+            scores[3],
+            scores[1]
+        );
     }
 }

@@ -25,18 +25,28 @@
 //! plain supervision, self-training (SemiL), uncertainty-sampling active
 //! learning (ActiveL), and minority oversampling (Resampling).
 //!
-//! The API is staged — fit once, predict many times:
+//! The API is staged — fit once on a reference sample, then score any
+//! number of batches (of the fit data *or* datasets loaded later), and
+//! persist the artifact across process restarts:
 //!
 //! ```no_run
-//! use holodetect::{HoloDetect, HoloDetectConfig};
+//! use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 //! use holo_eval::{Detector, FitContext, TrainedModel};
+//! use std::path::Path;
 //! # fn ctx() -> FitContext<'static> { unimplemented!() }
+//! # fn batch() -> holo_data::Dataset { unimplemented!() }
 //! # fn cells() -> Vec<holo_data::CellId> { unimplemented!() }
 //!
 //! let detector = HoloDetect::new(HoloDetectConfig::default());
-//! let model = detector.fit(&ctx());           // train once
-//! let probs = model.score(&cells());          // calibrated P(error)
-//! let labels = model.predict(&cells(), model.default_threshold());
+//! let model = detector.fit_model(&ctx());          // train once
+//! model.save(Path::new("detector.holoart"))?;      // deploy the file
+//!
+//! // …later, in another process:
+//! let model = FittedHoloDetect::load(Path::new("detector.holoart"))?;
+//! let incoming = batch();                          // unseen data, same schema
+//! let probs = model.score_batch(&incoming, &cells())?;
+//! let labels = model.predict_batch(&incoming, &cells(), model.default_threshold())?;
+//! # Ok::<(), holo_eval::ModelError>(())
 //! ```
 
 pub mod config;
@@ -48,6 +58,6 @@ pub mod trainer;
 
 pub use config::HoloDetectConfig;
 pub use detector::HoloDetect;
-pub use fitted::FittedHoloDetect;
+pub use fitted::{FittedHoloDetect, ModelArtifact};
 pub use model::{BranchStyle, WideDeepModel};
 pub use strategies::Strategy;

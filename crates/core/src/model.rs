@@ -11,7 +11,7 @@
 
 use holo_features::FeatureLayout;
 use holo_nn::{
-    softmax_cross_entropy, Adam, Dense, Dropout, Highway, Layer, Matrix, Optimizer, Relu,
+    softmax_cross_entropy, Adam, Dense, Dropout, Highway, Layer, Matrix, Optimizer, Param, Relu,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -81,8 +81,11 @@ impl WideDeepModel {
         style: BranchStyle,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let branches: Vec<Branch> =
-            layout.branch_dims.iter().map(|&d| Branch::new(d, style, &mut rng)).collect();
+        let branches: Vec<Branch> = layout
+            .branch_dims
+            .iter()
+            .map(|&d| Branch::new(d, style, &mut rng))
+            .collect();
         let joint_dim = layout.wide_dim() + branches.len();
         let classifier: Vec<Box<dyn Layer>> = vec![
             Box::new(Dropout::new(dropout, seed.wrapping_add(1))),
@@ -90,7 +93,12 @@ impl WideDeepModel {
             Box::new(Relu::new()),
             Box::new(Dense::new(hidden_dim, 2, &mut rng)),
         ];
-        WideDeepModel { layout, branches, classifier, rng }
+        WideDeepModel {
+            layout,
+            branches,
+            classifier,
+            rng,
+        }
     }
 
     /// The layout this model expects.
@@ -243,7 +251,9 @@ impl WideDeepModel {
             return Vec::new();
         }
         let logits = self.forward_infer(x);
-        (0..x.rows()).map(|i| logits.get(i, 1) - logits.get(i, 0)).collect()
+        (0..x.rows())
+            .map(|i| logits.get(i, 1) - logits.get(i, 0))
+            .collect()
     }
 
     /// Uncalibrated error probabilities via softmax (eval mode, shared
@@ -255,6 +265,42 @@ impl WideDeepModel {
         let logits = self.forward_infer(x);
         let p = holo_nn::loss::softmax(&logits);
         (0..x.rows()).map(|i| p.get(i, 1)).collect()
+    }
+
+    /// Visit every trainable parameter in the fixed traversal order
+    /// (branches in layout order, then the classifier; layers front to
+    /// back). Model serialization writes weights through this walk.
+    pub fn for_each_param<F: FnMut(&Param)>(&self, mut f: F) {
+        for b in &self.branches {
+            for l in &b.layers {
+                for p in l.params() {
+                    f(p);
+                }
+            }
+        }
+        for l in &self.classifier {
+            for p in l.params() {
+                f(p);
+            }
+        }
+    }
+
+    /// Mutable counterpart of [`WideDeepModel::for_each_param`] — the
+    /// same traversal order; artifact loading overwrites weights through
+    /// this walk.
+    pub fn for_each_param_mut<F: FnMut(&mut Param)>(&mut self, mut f: F) {
+        for b in &mut self.branches {
+            for l in &mut b.layers {
+                for p in l.params_mut() {
+                    f(p);
+                }
+            }
+        }
+        for l in &mut self.classifier {
+            for p in l.params_mut() {
+                f(p);
+            }
+        }
     }
 }
 
@@ -312,7 +358,11 @@ mod tests {
         for _ in 0..n {
             use rand::Rng;
             let wide0: f32 = rng.random_range(0.0..1.0);
-            let sign: f32 = if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+            let sign: f32 = if rng.random_range(0.0..1.0) < 0.5 {
+                1.0
+            } else {
+                -1.0
+            };
             let mut row = vec![wide0, rng.random_range(0.0..1.0), 0.5];
             row.extend((0..8).map(|_| sign * rng.random_range(0.1..0.5f32)));
             row.extend((0..8).map(|_| rng.random_range(-0.3..0.3f32)));
@@ -381,8 +431,7 @@ mod tests {
     #[test]
     fn plain_dense_branches_also_learn() {
         let (x, y) = synthetic(300, 4);
-        let mut m =
-            WideDeepModel::with_branch_style(layout(), 24, 0.0, 5, BranchStyle::PlainDense);
+        let mut m = WideDeepModel::with_branch_style(layout(), 24, 0.0, 5, BranchStyle::PlainDense);
         let loss = m.train(&x, &y, 120, 32, 0.01);
         assert!(loss < 0.45, "plain-dense loss {loss}");
     }
@@ -390,8 +439,7 @@ mod tests {
     #[test]
     fn branch_styles_have_different_param_counts() {
         let mut hw = WideDeepModel::with_branch_style(layout(), 8, 0.0, 1, BranchStyle::Highway);
-        let mut pd =
-            WideDeepModel::with_branch_style(layout(), 8, 0.0, 1, BranchStyle::PlainDense);
+        let mut pd = WideDeepModel::with_branch_style(layout(), 8, 0.0, 1, BranchStyle::PlainDense);
         // Highway: 2 layers × (2 weight matrices + 2 biases); dense: 2 ×
         // (1 matrix + 1 bias) — highway must be bigger.
         assert!(hw.n_params() > pd.n_params());
@@ -446,11 +494,9 @@ mod tests {
                             }
                             (p.value.data()[i], p.grad.data()[i])
                         };
-                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] =
-                            orig + eps;
+                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] = orig + eps;
                         let lp = loss_of(&mut m);
-                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] =
-                            orig - eps;
+                        m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] = orig - eps;
                         let lm = loss_of(&mut m);
                         m.branches[bi].layers[li].params_mut()[pi].value.data_mut()[i] = orig;
                         let num = (lp - lm) / (2.0 * eps);

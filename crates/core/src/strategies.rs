@@ -62,22 +62,29 @@ impl Strategy {
 
     /// The paper's ActiveL setting (k loops, 50 labels per loop).
     pub fn active(loops: usize) -> Self {
-        Strategy::ActiveLearning { loops, per_loop: 50 }
+        Strategy::ActiveLearning {
+            loops,
+            per_loop: 50,
+        }
     }
 
     /// The paper's SemiL setting.
     pub fn semi_default() -> Self {
-        Strategy::SemiSupervised { rounds: 3, confidence: 0.95, max_per_round: 500 }
+        Strategy::SemiSupervised {
+            rounds: 3,
+            confidence: 0.95,
+            max_per_round: 500,
+        }
     }
 }
 
 /// Run the strategy-specific training pipeline, producing a reusable
 /// fitted model. Consumes the pipeline (the fitted model owns it).
-pub fn fit_strategy<'a>(
+pub fn fit_strategy(
     strategy: &Strategy,
-    pipeline: Pipeline<'a>,
-    ctx: &FitContext<'a>,
-) -> FittedHoloDetect<'a> {
+    pipeline: Pipeline,
+    ctx: &FitContext<'_>,
+) -> FittedHoloDetect {
     let method = strategy.method_name();
     if ctx.train.is_empty() {
         return FittedHoloDetect::degenerate(method);
@@ -122,7 +129,11 @@ pub fn fit_strategy<'a>(
             let examples = resample(examples, pipeline.seed);
             train_plain(method, pipeline, examples, holdout_examples)
         }
-        Strategy::SemiSupervised { rounds, confidence, max_per_round } => semi_supervised(
+        Strategy::SemiSupervised {
+            rounds,
+            confidence,
+            max_per_round,
+        } => semi_supervised(
             method,
             pipeline,
             examples,
@@ -132,26 +143,35 @@ pub fn fit_strategy<'a>(
             *confidence,
             *max_per_round,
         ),
-        Strategy::ActiveLearning { loops, per_loop } => {
-            active_learning(method, pipeline, examples, holdout_examples, ctx, *loops, *per_loop)
-        }
+        Strategy::ActiveLearning { loops, per_loop } => active_learning(
+            method,
+            pipeline,
+            examples,
+            holdout_examples,
+            ctx,
+            *loops,
+            *per_loop,
+        ),
     }
 }
 
 /// Train with the holdout doubling as the (unit-weight) tuning set.
-fn train_plain<'a>(
+fn train_plain(
     method: &'static str,
-    pipeline: Pipeline<'a>,
+    pipeline: Pipeline,
     examples: Vec<TrainExample>,
     holdout: Vec<TrainExample>,
-) -> FittedHoloDetect<'a> {
+) -> FittedHoloDetect {
     FittedHoloDetect::train(method, pipeline, examples, holdout, None)
 }
 
 /// Oversample the minority (error) class by cycling its examples.
 fn resample(mut examples: Vec<TrainExample>, seed: u64) -> Vec<TrainExample> {
-    let errors: Vec<TrainExample> =
-        examples.iter().filter(|e| e.label.is_error()).cloned().collect();
+    let errors: Vec<TrainExample> = examples
+        .iter()
+        .filter(|e| e.label.is_error())
+        .cloned()
+        .collect();
     let n_correct = examples.len() - errors.len();
     if errors.is_empty() || errors.len() >= n_correct {
         return examples;
@@ -166,24 +186,29 @@ fn resample(mut examples: Vec<TrainExample>, seed: u64) -> Vec<TrainExample> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn semi_supervised<'a>(
+fn semi_supervised(
     method: &'static str,
-    pipeline: Pipeline<'a>,
+    pipeline: Pipeline,
     base: Vec<TrainExample>,
     holdout: Vec<TrainExample>,
-    ctx: &FitContext<'a>,
+    ctx: &FitContext<'_>,
     rounds: usize,
     confidence: f32,
     max_per_round: usize,
-) -> FittedHoloDetect<'a> {
+) -> FittedHoloDetect {
     // The unlabeled pool: a deterministic sample of the dataset's cells
     // outside `T` (fitting never looks at evaluation batches).
-    let mut pool: Vec<CellId> =
-        ctx.dirty.cell_ids().filter(|&c| !ctx.train.contains(c)).collect();
+    let mut pool: Vec<CellId> = ctx
+        .dirty
+        .cell_ids()
+        .filter(|&c| !ctx.train.contains(c))
+        .collect();
     let mut rng = StdRng::seed_from_u64(pipeline.seed.wrapping_add(0x5e81));
     pool.shuffle(&mut rng);
     pool.truncate((max_per_round * 4).max(1000).min(pool.len()));
-    let pool_x = pipeline.featurize_cells(&pool);
+    // Featurize against the pipeline's owned reference (identical to
+    // ctx.dirty at fit time, and hits the aligned fast path).
+    let pool_x = pipeline.featurize_cells(pipeline.reference(), &pool);
 
     let mut fitted = train_plain(method, pipeline, base, holdout);
     let mut claimed: std::collections::HashSet<CellId> = std::collections::HashSet::new();
@@ -215,20 +240,22 @@ fn semi_supervised<'a>(
         if acquired.is_empty() {
             break;
         }
-        fitted = fitted.refit_with(acquired);
+        fitted = fitted
+            .refit_with(acquired)
+            .expect("refitting a freshly trained (non-degenerate) model");
     }
     fitted
 }
 
-fn active_learning<'a>(
+fn active_learning(
     method: &'static str,
-    pipeline: Pipeline<'a>,
+    pipeline: Pipeline,
     base: Vec<TrainExample>,
     holdout: Vec<TrainExample>,
-    ctx: &FitContext<'a>,
+    ctx: &FitContext<'_>,
     loops: usize,
     per_loop: usize,
-) -> FittedHoloDetect<'a> {
+) -> FittedHoloDetect {
     let empty = TrainingSet::new();
     let sampling: &TrainingSet = ctx.sampling.unwrap_or(&empty);
     // Featurize the sampling pool once; loops only refit and gather.
@@ -237,7 +264,7 @@ fn active_learning<'a>(
         None
     } else {
         let cells: Vec<CellId> = pool.iter().map(|e| e.cell).collect();
-        Some(pipeline.featurize_cells(&cells))
+        Some(pipeline.featurize_cells(pipeline.reference(), &cells))
     };
 
     let mut fitted = train_plain(method, pipeline, base, holdout);
@@ -265,7 +292,9 @@ fn active_learning<'a>(
                 label: ex.label(),
             });
         }
-        fitted = fitted.refit_with(acquired);
+        fitted = fitted
+            .refit_with(acquired)
+            .expect("refitting a freshly trained (non-degenerate) model");
     }
     fitted
 }
@@ -276,7 +305,10 @@ mod tests {
 
     #[test]
     fn method_names_match_paper() {
-        assert_eq!(Strategy::Augmentation { target_ratio: None }.method_name(), "AUG");
+        assert_eq!(
+            Strategy::Augmentation { target_ratio: None }.method_name(),
+            "AUG"
+        );
         assert_eq!(Strategy::Supervised.method_name(), "SuperL");
         assert_eq!(Strategy::semi_default().method_name(), "SemiL");
         assert_eq!(Strategy::active(5).method_name(), "ActiveL");

@@ -3,7 +3,9 @@
 
 use crate::config::HoloDetectConfig;
 use crate::model::{matrix_from_rows, WideDeepModel};
-use holo_channel::{augment, augment_to_ratio, learn_transformations, NaiveBayesRepair, Policy, RepairConfig};
+use holo_channel::{
+    augment, augment_to_ratio, learn_transformations, NaiveBayesRepair, Policy, RepairConfig,
+};
 use holo_constraints::DenialConstraint;
 use holo_data::{CellId, Dataset, Label, TrainingSet};
 use holo_features::Featurizer;
@@ -39,31 +41,51 @@ impl TrainExample {
     }
 }
 
-/// The fitted pipeline for one detection run. Owns its configuration
-/// and representation model so a fitted detector can outlive the
-/// `HoloDetect` instance that created it; only the dataset is borrowed.
-pub struct Pipeline<'a> {
+/// The fitted pipeline for one detection run. Fully owned — the
+/// configuration, the representation model `Q`, and (inside the
+/// featurizer) a copy of the reference dataset — so a fitted detector is
+/// `'static`: it outlives the `HoloDetect` instance that created it
+/// *and* the dataset it was fitted on, and can featurize cells of any
+/// schema-compatible dataset handed in later.
+pub struct Pipeline {
     /// Configuration (owned — cloned at fit time).
     pub cfg: HoloDetectConfig,
-    /// The dirty dataset.
-    pub dirty: &'a Dataset,
-    /// The fitted representation model `Q`.
+    /// The fitted representation model `Q` (owns the reference dataset).
     pub featurizer: Featurizer,
     /// The run seed (combined with `cfg.seed`).
     pub seed: u64,
 }
 
-impl<'a> Pipeline<'a> {
-    /// Fit the representation over the dirty dataset.
+impl Pipeline {
+    /// Fit the representation over the dirty dataset (the pipeline keeps
+    /// its own copy as the reference).
     pub fn fit(
         cfg: &HoloDetectConfig,
-        dirty: &'a Dataset,
+        dirty: &Dataset,
         constraints: &[DenialConstraint],
         run_seed: u64,
     ) -> Self {
         let featurizer = Featurizer::fit(dirty, constraints, cfg.features.clone());
         let seed = cfg.seed.wrapping_add(run_seed);
-        Pipeline { cfg: cfg.clone(), dirty, featurizer, seed }
+        Pipeline {
+            cfg: cfg.clone(),
+            featurizer,
+            seed,
+        }
+    }
+
+    /// Rebuild a pipeline from deserialized parts (artifact loading).
+    pub(crate) fn from_parts(cfg: HoloDetectConfig, featurizer: Featurizer, seed: u64) -> Self {
+        Pipeline {
+            cfg,
+            featurizer,
+            seed,
+        }
+    }
+
+    /// The reference dataset the pipeline was fitted over.
+    pub fn reference(&self) -> &Dataset {
+        self.featurizer.reference()
     }
 
     /// Split `T` into (train, holdout) after a seeded shuffle — the 10%
@@ -84,8 +106,8 @@ impl<'a> Pipeline<'a> {
     pub fn learn_channel(&self, t: &TrainingSet) -> Policy {
         let mut pairs = t.error_pairs();
         if pairs.len() < self.cfg.min_error_examples {
-            let nb = NaiveBayesRepair::build(self.dirty, RepairConfig::default());
-            pairs.extend(nb.harvest_examples(self.dirty));
+            let nb = NaiveBayesRepair::build(self.reference(), RepairConfig::default());
+            pairs.extend(nb.harvest_examples(self.reference()));
         }
         let lists: Vec<_> = pairs
             .iter()
@@ -129,12 +151,13 @@ impl<'a> Pipeline<'a> {
             .collect()
     }
 
-    /// Featurize examples into a matrix plus 0/1 targets.
+    /// Featurize training examples (cells of the reference dataset) into
+    /// a matrix plus 0/1 targets.
     pub fn featurize(&self, examples: &[TrainExample]) -> (Matrix, Vec<usize>) {
         let cells: Vec<(CellId, Option<String>)> = examples
             .iter()
             .map(|e| {
-                let observed = self.dirty.cell_value(e.cell);
+                let observed = self.reference().cell_value(e.cell);
                 if e.value == observed {
                     (e.cell, None)
                 } else {
@@ -142,15 +165,23 @@ impl<'a> Pipeline<'a> {
                 }
             })
             .collect();
-        let rows = self.featurizer.features_batch(self.dirty, &cells, self.cfg.threads);
-        let targets = examples.iter().map(|e| usize::from(e.label.is_error())).collect();
+        let rows = self
+            .featurizer
+            .features_batch(self.reference(), &cells, self.cfg.threads);
+        let targets = examples
+            .iter()
+            .map(|e| usize::from(e.label.is_error()))
+            .collect();
         (matrix_from_rows(&rows), targets)
     }
 
-    /// Featurize plain cells (observed values).
-    pub fn featurize_cells(&self, cells: &[CellId]) -> Matrix {
+    /// Featurize plain cells (observed values) of `data` — the reference
+    /// dataset or any later schema-compatible batch.
+    pub fn featurize_cells(&self, data: &Dataset, cells: &[CellId]) -> Matrix {
         let work: Vec<(CellId, Option<String>)> = cells.iter().map(|&c| (c, None)).collect();
-        let rows = self.featurizer.features_batch(self.dirty, &work, self.cfg.threads);
+        let rows = self
+            .featurizer
+            .features_batch(data, &work, self.cfg.threads);
         matrix_from_rows(&rows)
     }
 
@@ -163,7 +194,13 @@ impl<'a> Pipeline<'a> {
             self.seed,
             self.cfg.branch_style,
         );
-        model.train(x, targets, self.cfg.epochs, self.cfg.batch_size, self.cfg.lr);
+        model.train(
+            x,
+            targets,
+            self.cfg.epochs,
+            self.cfg.batch_size,
+            self.cfg.lr,
+        );
         model
     }
 
@@ -245,17 +282,9 @@ impl<'a> Pipeline<'a> {
     /// [`Pipeline::select_threshold_weighted`] from pre-computed
     /// calibrated probabilities — lets a caller that already scored the
     /// tuning set reuse that work.
-    pub fn select_threshold_probs(
-        &self,
-        probs: &[f32],
-        targets: &[usize],
-        weights: &[f64],
-    ) -> f64 {
+    pub fn select_threshold_probs(&self, probs: &[f32], targets: &[usize], weights: &[f64]) -> f64 {
         assert_eq!(probs.len(), weights.len(), "weights arity");
-        if probs.is_empty()
-            || targets.iter().all(|&t| t == 1)
-            || targets.iter().all(|&t| t == 0)
-        {
+        if probs.is_empty() || targets.iter().all(|&t| t == 1) || targets.iter().all(|&t| t == 0) {
             return f64::from(self.cfg.decision_threshold);
         }
         // Grid-search calibrated thresholds; ties keep the lowest
@@ -272,7 +301,11 @@ impl<'a> Pipeline<'a> {
                     (false, false) => {}
                 }
             }
-            let f1 = if tp == 0.0 { 0.0 } else { 2.0 * tp / (2.0 * tp + fp + fn_) };
+            let f1 = if tp == 0.0 {
+                0.0
+            } else {
+                2.0 * tp / (2.0 * tp + fp + fn_)
+            };
             if f1 > best.1 {
                 best = (thr, f1);
             }
@@ -284,19 +317,26 @@ impl<'a> Pipeline<'a> {
     pub fn labels_from_proba(&self, probs: &[f32], threshold: f64) -> Vec<Label> {
         probs
             .iter()
-            .map(|&p| if f64::from(p) >= threshold { Label::Error } else { Label::Correct })
+            .map(|&p| {
+                if f64::from(p) >= threshold {
+                    Label::Error
+                } else {
+                    Label::Correct
+                }
+            })
             .collect()
     }
 
     /// A pool of alternative values for the random-swap strategy: one
     /// representative per distinct value, capped for memory.
     fn swap_pool(&self) -> Vec<String> {
+        let d = self.reference();
         let mut pool = Vec::new();
-        'outer: for a in 0..self.dirty.n_attrs() {
+        'outer: for a in 0..d.n_attrs() {
             let mut seen = std::collections::HashSet::new();
-            for &s in self.dirty.column(a) {
+            for &s in d.column(a) {
                 if seen.insert(s) {
-                    pool.push(self.dirty.pool().resolve(s).to_owned());
+                    pool.push(d.pool().resolve(s).to_owned());
                     if pool.len() >= 1000 {
                         break 'outer;
                     }
@@ -339,7 +379,10 @@ mod tests {
         let policy = p.learn_channel(&t);
         assert!(!policy.is_empty());
         // The x-typo channel should be represented.
-        assert!(policy.entries().iter().any(|(t, _)| t.to == "x" || t.to.contains('x')));
+        assert!(policy
+            .entries()
+            .iter()
+            .any(|(t, _)| t.to == "x" || t.to.contains('x')));
     }
 
     #[test]
@@ -399,8 +442,10 @@ mod tests {
         let (x, y) = p.featurize(&examples);
         let model = p.train_model(&x, &y);
         let platt = p.calibrate(&model, &TrainExample::from_training_set(&hold));
-        let eval: Vec<CellId> = (40..50).flat_map(|t| [CellId::new(t, 0), CellId::new(t, 1)]).collect();
-        let xe = p.featurize_cells(&eval);
+        let eval: Vec<CellId> = (40..50)
+            .flat_map(|t| [CellId::new(t, 0), CellId::new(t, 1)])
+            .collect();
+        let xe = p.featurize_cells(&dirty, &eval);
         let probs = p.predict_proba(&model, &platt, &xe);
         assert_eq!(probs.len(), eval.len());
         assert!(probs.iter().all(|&pr| (0.0..=1.0).contains(&pr)));

@@ -1,0 +1,222 @@
+//! A tiny hand-rolled binary codec for model artifacts.
+//!
+//! Trained models must survive process restarts without pulling a
+//! serialization framework from a registry, so every persistable type in
+//! the workspace writes itself through these little-endian primitives.
+//! The format is deliberately dumb: fixed-width integers, IEEE-754 bit
+//! patterns for floats (bitwise-exact roundtrips), and length-prefixed
+//! UTF-8 for strings. Versioning lives in each artifact's own header,
+//! not here.
+
+use std::io::{self, Read, Write};
+
+/// Ceiling for speculative pre-allocation from length prefixes read out
+/// of a file. Lengths themselves may legitimately exceed this (huge
+/// reference datasets); the cap only bounds how much memory a *corrupt*
+/// length field can reserve before any payload bytes arrive — readers
+/// grow past it organically as real data streams in.
+const PREALLOC_CAP: usize = 1 << 20;
+
+/// A pre-allocation size for `len` elements that a corrupted length
+/// prefix cannot abuse: `min(len, cap)` where the cap keeps the initial
+/// reservation at or below [`PREALLOC_CAP`] bytes for `elem_size`-byte
+/// elements. Use for every `Vec::with_capacity`/`HashMap::with_capacity`
+/// fed by [`read_usize`] on untrusted input.
+pub fn bounded_cap(len: usize, elem_size: usize) -> usize {
+    len.min(PREALLOC_CAP / elem_size.max(1))
+}
+
+/// Write a `u8`.
+pub fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Write a `u32` (little-endian).
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Write a `u64` (little-endian).
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Write a `usize` as a `u64` (portable across word sizes).
+pub fn write_usize<W: Write>(w: &mut W, v: usize) -> io::Result<()> {
+    write_u64(w, v as u64)
+}
+
+/// Write an `f32` as its IEEE-754 bit pattern (bitwise-exact roundtrip).
+pub fn write_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    write_u32(w, v.to_bits())
+}
+
+/// Write an `f64` as its IEEE-754 bit pattern (bitwise-exact roundtrip).
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    write_u64(w, v.to_bits())
+}
+
+/// Write a `bool` as one byte.
+pub fn write_bool<W: Write>(w: &mut W, v: bool) -> io::Result<()> {
+    write_u8(w, u8::from(v))
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_usize(w, s.len())?;
+    w.write_all(s.as_bytes())
+}
+
+/// Write a slice of `f32` with a length prefix.
+pub fn write_f32_slice<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
+    write_usize(w, xs.len())?;
+    for &x in xs {
+        write_f32(w, x)?;
+    }
+    Ok(())
+}
+
+/// Read a `u8`.
+pub fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Read a `u32` (little-endian).
+pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Read a `u64` (little-endian).
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Read a `usize` written by [`write_usize`]. Errors when the value does
+/// not fit the current platform's word size.
+pub fn read_usize<R: Read>(r: &mut R) -> io::Result<usize> {
+    usize::try_from(read_u64(r)?)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "length overflows usize"))
+}
+
+/// Read an `f32` bit pattern.
+pub fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    Ok(f32::from_bits(read_u32(r)?))
+}
+
+/// Read an `f64` bit pattern.
+pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    Ok(f64::from_bits(read_u64(r)?))
+}
+
+/// Read a `bool`; any byte other than 0/1 is a format error.
+pub fn read_bool<R: Read>(r: &mut R) -> io::Result<bool> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad bool byte {b}"),
+        )),
+    }
+}
+
+/// Read a string written by [`write_str`]. The buffer grows as bytes
+/// actually arrive (via `Read::take`), so a corrupted length prefix on
+/// a truncated file yields a clean error instead of a giant allocation.
+pub fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_usize(r)?;
+    let mut buf = Vec::with_capacity(bounded_cap(len, 1));
+    let got = r.take(len as u64).read_to_end(&mut buf)?;
+    if got != len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("string truncated: {got} of {len} bytes"),
+        ));
+    }
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid utf-8 in string"))
+}
+
+/// Read a slice of `f32` written by [`write_f32_slice`].
+pub fn read_f32_slice<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let len = read_usize(r)?;
+    let mut out = Vec::with_capacity(bounded_cap(len, 4));
+    for _ in 0..len {
+        out.push(read_f32(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u32(&mut buf, 0xdead_beef).unwrap();
+        write_u64(&mut buf, u64::MAX - 3).unwrap();
+        write_usize(&mut buf, 42).unwrap();
+        write_f32(&mut buf, -0.0).unwrap();
+        write_f64(&mut buf, f64::MIN_POSITIVE).unwrap();
+        write_bool(&mut buf, true).unwrap();
+        write_str(&mut buf, "héllo, wörld").unwrap();
+        write_f32_slice(&mut buf, &[1.5, f32::NAN, -3.25]).unwrap();
+
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_u8(&mut r).unwrap(), 7);
+        assert_eq!(read_u32(&mut r).unwrap(), 0xdead_beef);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 3);
+        assert_eq!(read_usize(&mut r).unwrap(), 42);
+        assert_eq!(read_f32(&mut r).unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(read_f64(&mut r).unwrap(), f64::MIN_POSITIVE);
+        assert!(read_bool(&mut r).unwrap());
+        assert_eq!(read_str(&mut r).unwrap(), "héllo, wörld");
+        let xs = read_f32_slice(&mut r).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0], 1.5);
+        assert!(xs[1].is_nan());
+        assert_eq!(xs[2], -3.25);
+    }
+
+    #[test]
+    fn huge_length_prefix_does_not_preallocate() {
+        // A corrupted length prefix claiming 2^60 bytes must produce a
+        // clean error, not a giant allocation attempt.
+        let mut buf = Vec::new();
+        write_usize(&mut buf, 1 << 60).unwrap();
+        buf.extend_from_slice(b"short");
+        assert!(read_str(&mut Cursor::new(buf)).is_err());
+        assert!(bounded_cap(1 << 60, 8) <= (1 << 20) / 8);
+        assert_eq!(bounded_cap(3, 8), 3);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 9).unwrap();
+        buf.truncate(3);
+        assert!(read_u64(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn bad_bool_errors() {
+        assert!(read_bool(&mut Cursor::new(vec![9u8])).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut buf = Vec::new();
+        write_usize(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(read_str(&mut Cursor::new(buf)).is_err());
+    }
+}

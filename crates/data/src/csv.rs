@@ -15,7 +15,11 @@ pub enum CsvError {
     /// The input was empty — no header row to build a schema from.
     MissingHeader,
     /// A record's field count disagrees with the header. `(line, got, want)`.
-    ArityMismatch { line: usize, got: usize, want: usize },
+    ArityMismatch {
+        line: usize,
+        got: usize,
+        want: usize,
+    },
     /// A quoted field never closed.
     UnterminatedQuote { line: usize },
 }
@@ -48,7 +52,11 @@ pub fn parse_csv(input: &str) -> Result<Dataset, CsvError> {
     let mut b = DatasetBuilder::new(schema).with_capacity(records.len());
     for (i, rec) in records.iter().enumerate() {
         if rec.len() != want {
-            return Err(CsvError::ArityMismatch { line: i + 2, got: rec.len(), want });
+            return Err(CsvError::ArityMismatch {
+                line: i + 2,
+                got: rec.len(),
+                want,
+            });
         }
         b.push_row(rec);
     }
@@ -184,7 +192,14 @@ mod tests {
     #[test]
     fn arity_error_reports_line() {
         let e = parse_csv("A,B\n1,2\n3\n").unwrap_err();
-        assert_eq!(e, CsvError::ArityMismatch { line: 3, got: 1, want: 2 });
+        assert_eq!(
+            e,
+            CsvError::ArityMismatch {
+                line: 3,
+                got: 1,
+                want: 2
+            }
+        );
     }
 
     #[test]
@@ -194,7 +209,10 @@ mod tests {
 
     #[test]
     fn unterminated_quote_is_error() {
-        assert!(matches!(parse_csv("A\n\"oops\n"), Err(CsvError::UnterminatedQuote { .. })));
+        assert!(matches!(
+            parse_csv("A\n\"oops\n"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! attribute (empirical distributions, format models, constraint joins)
 //! touch one contiguous `Vec<u32>`-sized allocation per column.
 
+use crate::binio;
 use crate::cell::CellId;
 use crate::schema::Schema;
 use crate::value::{Symbol, ValuePool};
+use std::io::{self, Read, Write};
 
 /// A relational dataset: schema + columns of interned values + the pool.
 #[derive(Debug, Clone)]
@@ -101,6 +103,65 @@ impl Dataset {
     pub fn same_shape(&self, other: &Dataset) -> bool {
         self.schema == other.schema && self.n_tuples() == other.n_tuples()
     }
+
+    /// Serialize the dataset: schema, pool strings in symbol order, then
+    /// the columns as raw symbol ids. Preserving the pool's interning
+    /// order makes the roundtrip exact — symbols in a reloaded dataset
+    /// are identical to the original's, so symbol-keyed indexes rebuilt
+    /// over it match the fit-time ones bit for bit.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        binio::write_usize(w, self.schema.len())?;
+        for name in self.schema.names() {
+            binio::write_str(w, name)?;
+        }
+        binio::write_usize(w, self.pool.len())?;
+        for (_, s) in self.pool.iter() {
+            binio::write_str(w, s)?;
+        }
+        binio::write_usize(w, self.n_tuples())?;
+        for col in &self.columns {
+            for sym in col {
+                binio::write_u32(w, sym.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize a dataset written by [`Dataset::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Dataset> {
+        let na = binio::read_usize(r)?;
+        let mut names = Vec::with_capacity(binio::bounded_cap(na, 24));
+        for _ in 0..na {
+            names.push(binio::read_str(r)?);
+        }
+        let schema = Schema::new(names);
+        let n_strings = binio::read_usize(r)?;
+        let mut pool = ValuePool::new();
+        for _ in 0..n_strings {
+            pool.intern(&binio::read_str(r)?);
+        }
+        let nt = binio::read_usize(r)?;
+        let mut columns = Vec::with_capacity(binio::bounded_cap(na, 24));
+        for _ in 0..na {
+            let mut col = Vec::with_capacity(binio::bounded_cap(nt, 4));
+            for _ in 0..nt {
+                let raw = binio::read_u32(r)?;
+                if raw as usize >= pool.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("symbol {raw} out of pool range {}", pool.len()),
+                    ));
+                }
+                col.push(Symbol(raw));
+            }
+            columns.push(col);
+        }
+        Ok(Dataset {
+            schema,
+            columns,
+            pool,
+        })
+    }
 }
 
 /// Row-by-row builder for [`Dataset`].
@@ -115,7 +176,11 @@ impl DatasetBuilder {
     /// Start building a dataset with the given schema.
     pub fn new(schema: Schema) -> Self {
         let columns = (0..schema.len()).map(|_| Vec::new()).collect();
-        DatasetBuilder { schema, columns, pool: ValuePool::new() }
+        DatasetBuilder {
+            schema,
+            columns,
+            pool: ValuePool::new(),
+        }
     }
 
     /// Reserve capacity for `rows` tuples.
@@ -150,7 +215,11 @@ impl DatasetBuilder {
 
     /// Finish building.
     pub fn build(self) -> Dataset {
-        Dataset { schema: self.schema, columns: self.columns, pool: self.pool }
+        Dataset {
+            schema: self.schema,
+            columns: self.columns,
+            pool: self.pool,
+        }
     }
 }
 
@@ -226,6 +295,34 @@ mod tests {
         assert_eq!(d.n_tuples(), 0);
         assert_eq!(d.n_cells(), 0);
         assert_eq!(d.cell_ids().count(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_values_and_symbols() {
+        let mut d = toy();
+        d.set_value(0, 2, "60613"); // post-build intern, exercises pool order
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let d2 = Dataset::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert!(d.same_shape(&d2));
+        for t in 0..d.n_tuples() {
+            for a in 0..d.n_attrs() {
+                assert_eq!(d.value(t, a), d2.value(t, a));
+                assert_eq!(d.symbol(t, a), d2.symbol(t, a));
+            }
+        }
+        assert_eq!(d.pool().len(), d2.pool().len());
+    }
+
+    #[test]
+    fn read_rejects_out_of_range_symbol() {
+        let d = toy();
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let n = buf.len();
+        // Corrupt the last symbol id to an out-of-pool value.
+        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Dataset::read_from(&mut std::io::Cursor::new(buf)).is_err());
     }
 
     #[test]

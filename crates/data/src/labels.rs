@@ -114,7 +114,11 @@ impl TrainingSet {
 
     /// Count of (correct, error) examples.
     pub fn class_counts(&self) -> (usize, usize) {
-        let errors = self.examples.iter().filter(|e| e.label().is_error()).count();
+        let errors = self
+            .examples
+            .iter()
+            .filter(|e| e.label().is_error())
+            .count();
         (self.examples.len() - errors, errors)
     }
 
@@ -132,7 +136,10 @@ impl TrainingSet {
     /// tuning + Platt scaling, §4.2). Returns `(train, holdout)`.
     /// Caller is responsible for shuffling beforehand if desired.
     pub fn split_holdout(&self, frac: f64) -> (TrainingSet, TrainingSet) {
-        assert!((0.0..1.0).contains(&frac), "holdout fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "holdout fraction must be in [0,1)"
+        );
         let n_hold = ((self.examples.len() as f64) * frac).round() as usize;
         let cut = self.examples.len() - n_hold;
         let mut train = TrainingSet::new();
@@ -163,7 +170,10 @@ impl GroundTruth {
     /// # Panics
     /// Panics if the datasets differ in schema or row count.
     pub fn from_pair(clean: &Dataset, dirty: &Dataset) -> Self {
-        assert!(clean.same_shape(dirty), "clean/dirty datasets must share shape");
+        assert!(
+            clean.same_shape(dirty),
+            "clean/dirty datasets must share shape"
+        );
         let mut errors = HashMap::new();
         for t in 0..clean.n_tuples() {
             for a in 0..clean.n_attrs() {
@@ -173,7 +183,10 @@ impl GroundTruth {
                 }
             }
         }
-        GroundTruth { errors, n_cells: clean.n_cells() }
+        GroundTruth {
+            errors,
+            n_cells: clean.n_cells(),
+        }
     }
 
     /// Construct directly from a map of erroneous cells (for hand-labeled
@@ -227,7 +240,11 @@ impl GroundTruth {
                 let cell = CellId::new(row, a);
                 let observed = dirty.cell_value(cell).to_owned();
                 let truth = self.true_value(cell, dirty).to_owned();
-                t.insert(LabeledCell { cell, observed, truth });
+                t.insert(LabeledCell {
+                    cell,
+                    observed,
+                    truth,
+                });
             }
         }
         t
@@ -312,8 +329,16 @@ mod tests {
     fn training_set_insert_replaces() {
         let mut t = TrainingSet::new();
         let c = CellId::new(0, 0);
-        t.insert(LabeledCell { cell: c, observed: "a".into(), truth: "a".into() });
-        t.insert(LabeledCell { cell: c, observed: "a".into(), truth: "b".into() });
+        t.insert(LabeledCell {
+            cell: c,
+            observed: "a".into(),
+            truth: "a".into(),
+        });
+        t.insert(LabeledCell {
+            cell: c,
+            observed: "a".into(),
+            truth: "b".into(),
+        });
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(c).unwrap().label(), Label::Error);
     }

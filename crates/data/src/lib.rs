@@ -13,9 +13,12 @@
 //! * [`dataset::Dataset`] — the columnar table plus cell addressing
 //!   ([`cell::CellId`]),
 //! * [`csv`] — a small, dependency-free CSV reader/writer,
+//! * [`binio`] — the hand-rolled binary codec trained-model artifacts
+//!   persist through (no registry dependencies),
 //! * [`labels`] — the training set `T = {(c, v_c, v*_c)}`, ground truth,
 //!   and the `E_c ∈ {correct, error}` label type.
 
+pub mod binio;
 pub mod cell;
 pub mod csv;
 pub mod dataset;

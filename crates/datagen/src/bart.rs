@@ -39,7 +39,12 @@ pub struct ErrorSpec {
 impl ErrorSpec {
     /// A plain keyboard-typo channel at `rate`, all typos.
     pub fn typos(rate: f64) -> Self {
-        ErrorSpec { cell_rate: rate, typo_frac: 1.0, typo_style: TypoStyle::Keyboard, columns: None }
+        ErrorSpec {
+            cell_rate: rate,
+            typo_frac: 1.0,
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        }
     }
 }
 
@@ -100,8 +105,7 @@ fn typo(v: &str, style: TypoStyle, rng: &mut StdRng) -> Option<String> {
                 Some(out)
             } else {
                 // replace a non-'x' character with x
-                let non_x: Vec<usize> =
-                    (0..chars.len()).filter(|&i| chars[i] != 'x').collect();
+                let non_x: Vec<usize> = (0..chars.len()).filter(|&i| chars[i] != 'x').collect();
                 if non_x.is_empty() {
                     return None;
                 }

@@ -43,7 +43,13 @@ pub fn generate(kind: DatasetKind, rows: usize, seed: u64) -> GeneratedDataset {
     let constraints = parse_constraints(constraint_text, clean.schema())
         .expect("built-in constraints must parse");
     let (dirty, truth) = inject_errors(&clean, &kind.error_spec(), seed.wrapping_add(1));
-    GeneratedDataset { kind, clean, dirty, truth, constraints }
+    GeneratedDataset {
+        kind,
+        clean,
+        dirty,
+        truth,
+        constraints,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -77,7 +83,12 @@ fn hospital(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
     let regions = ["South", "Midwest", "Midwest", "West", "South", "East"];
     let types = ["Acute Care", "Critical Access", "Childrens"];
     let owners = ["Government", "Proprietary", "Voluntary non-profit"];
-    let conditions = ["Heart Attack", "Pneumonia", "Surgical Infection", "Heart Failure"];
+    let conditions = [
+        "Heart Attack",
+        "Pneumonia",
+        "Surgical Infection",
+        "Heart Failure",
+    ];
 
     // City worlds: (city, county, zip, state index).
     let cities: Vec<(String, String, String, usize)> = {
@@ -112,7 +123,11 @@ fn hospital(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
             phone: phone(rng),
             htype: types[rng.random_range(0..types.len())],
             owner: owners[rng.random_range(0..owners.len())],
-            emergency: if rng.random_range(0.0..1.0) < 0.7 { "Yes" } else { "No" },
+            emergency: if rng.random_range(0.0..1.0) < 0.7 {
+                "Yes"
+            } else {
+                "No"
+            },
             accreditation: format!("ACC-{}", numeric_code(rng, 3)),
         })
         .collect();
@@ -127,7 +142,9 @@ fn hospital(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
             code: format!("scip-inf-{i}"),
             name: format!("{} measure", pseudo_phrase(rng, 2)),
             condition: conditions[rng.random_range(0..conditions.len())],
-            state_avg: (0..states.len()).map(|_| format!("{}%", rng.random_range(50..100))).collect(),
+            state_avg: (0..states.len())
+                .map(|_| format!("{}%", rng.random_range(50..100)))
+                .collect(),
         })
         .collect();
 
@@ -190,11 +207,19 @@ fn food(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
         "Ward",
     ]);
     let n_places = (rows / 10).clamp(20, 400);
-    let facility_types = ["Restaurant", "Grocery Store", "Bakery", "Coffee Shop", "School"];
+    let facility_types = [
+        "Restaurant",
+        "Grocery Store",
+        "Bakery",
+        "Coffee Shop",
+        "School",
+    ];
     let risks = ["Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"];
     let insp_types = ["Canvass", "Complaint", "License", "Re-inspection"];
     let results = ["Pass", "Fail", "Pass w/ Conditions", "No Entry"];
-    let zips: Vec<String> = (0..25).map(|_| format!("606{}", numeric_code(rng, 2))).collect();
+    let zips: Vec<String> = (0..25)
+        .map(|_| format!("606{}", numeric_code(rng, 2)))
+        .collect();
 
     struct P {
         dba: String,
@@ -346,8 +371,14 @@ fn adult(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
         "Sex",
         "Income",
     ]);
-    let workclasses =
-        ["Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov", "Without-pay"];
+    let workclasses = [
+        "Private",
+        "Self-emp",
+        "Federal-gov",
+        "Local-gov",
+        "State-gov",
+        "Without-pay",
+    ];
     let educations = [
         ("Bachelors", "13"),
         ("HS-grad", "9"),
@@ -358,7 +389,13 @@ fn adult(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
         ("Doctorate", "16"),
         ("9th", "5"),
     ];
-    let marital = ["Married", "Divorced", "Never-married", "Widowed", "Separated"];
+    let marital = [
+        "Married",
+        "Divorced",
+        "Never-married",
+        "Widowed",
+        "Separated",
+    ];
     let occupations = [
         "Tech-support",
         "Craft-repair",
@@ -369,7 +406,13 @@ fn adult(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
         "Adm-clerical",
     ];
     let relationships = ["Wife", "Husband", "Own-child", "Not-in-family", "Unmarried"];
-    let races = ["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"];
+    let races = [
+        "White",
+        "Black",
+        "Asian-Pac-Islander",
+        "Amer-Indian-Eskimo",
+        "Other",
+    ];
 
     let mut b = DatasetBuilder::new(schema).with_capacity(rows);
     for _ in 0..rows {
@@ -384,8 +427,18 @@ fn adult(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
             occupations[rng.random_range(0..occupations.len())].to_owned(),
             relationships[rng.random_range(0..relationships.len())].to_owned(),
             races[rng.random_range(0..races.len())].to_owned(),
-            if rng.random_range(0.0..1.0) < 0.52 { "Male" } else { "Female" }.to_owned(),
-            if rng.random_range(0.0..1.0) < 0.24 { ">50K" } else { "<=50K" }.to_owned(),
+            if rng.random_range(0.0..1.0) < 0.52 {
+                "Male"
+            } else {
+                "Female"
+            }
+            .to_owned(),
+            if rng.random_range(0.0..1.0) < 0.24 {
+                ">50K"
+            } else {
+                "<=50K"
+            }
+            .to_owned(),
         ]);
     }
     (
@@ -443,7 +496,11 @@ fn animal(rows: usize, rng: &mut StdRng) -> (Dataset, &'static str) {
         .map(|i| A {
             id: format!("A{i:05}"),
             species: species[rng.random_range(0..species.len())],
-            sex: if rng.random_range(0.0..1.0) < 0.5 { "M" } else { "F" },
+            sex: if rng.random_range(0.0..1.0) < 0.5 {
+                "M"
+            } else {
+                "F"
+            },
             tag: format!("T{}", numeric_code(rng, 4)),
         })
         .collect();
@@ -559,7 +616,11 @@ mod tests {
         // violations in the dirty copy.
         let g = generate(DatasetKind::Hospital, 800, 13);
         let engine = ViolationEngine::build(&g.dirty, &g.constraints);
-        let total: usize = engine.indexes().iter().map(|ix| ix.n_violating_tuples()).sum();
+        let total: usize = engine
+            .indexes()
+            .iter()
+            .map(|ix| ix.n_violating_tuples())
+            .sum();
         assert!(total > 0, "no violations despite injected errors");
     }
 

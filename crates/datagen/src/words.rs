@@ -8,8 +8,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-const ONSETS: [&str; 16] =
-    ["b", "br", "c", "ch", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v"];
+const ONSETS: [&str; 16] = [
+    "b", "br", "c", "ch", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v",
+];
 const VOWELS: [&str; 8] = ["a", "e", "i", "o", "u", "ia", "ea", "oo"];
 const CODAS: [&str; 8] = ["", "n", "r", "s", "l", "m", "ck", "rd"];
 
@@ -56,7 +57,11 @@ pub fn name_pool(rng: &mut StdRng, n: usize, syllables: usize) -> Vec<String> {
 /// A zero-padded numeric code of fixed width, e.g. `"04217"`.
 pub fn numeric_code(rng: &mut StdRng, width: u32) -> String {
     let max = 10u64.pow(width);
-    format!("{:0width$}", rng.random_range(0..max), width = width as usize)
+    format!(
+        "{:0width$}",
+        rng.random_range(0..max),
+        width = width as usize
+    )
 }
 
 /// A US-style phone number `"(xxx) xxx-xxxx"`.
@@ -72,7 +77,12 @@ pub fn phone(rng: &mut StdRng) -> String {
 /// A street address `"123 Karalo St"`.
 pub fn address(rng: &mut StdRng) -> String {
     let suffix = ["St", "Ave", "Blvd", "Rd", "Ln"][rng.random_range(0..5usize)];
-    format!("{} {} {}", rng.random_range(1..9999), pseudo_name(rng, 2), suffix)
+    format!(
+        "{} {} {}",
+        rng.random_range(1..9999),
+        pseudo_name(rng, 2),
+        suffix
+    )
 }
 
 /// A date `"2016-03-14"` within 2000–2019.

@@ -62,7 +62,13 @@ mod tests {
     fn emb() -> Embedding {
         Embedding::train(
             &corpus(),
-            &SkipGramConfig { dim: 12, epochs: 6, buckets: 128, window: None, ..Default::default() },
+            &SkipGramConfig {
+                dim: 12,
+                epochs: 6,
+                buckets: 128,
+                window: None,
+                ..Default::default()
+            },
         )
     }
 
@@ -94,8 +100,10 @@ mod tests {
     #[test]
     fn distance_in_valid_range() {
         let e = emb();
-        let cands: Vec<String> =
-            ["0:chicago", "0:madison", "1:il", "1:wi"].iter().map(|s| s.to_string()).collect();
+        let cands: Vec<String> = ["0:chicago", "0:madison", "1:il", "1:wi"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         for c in &cands {
             let d = nearest_distance(&e, c, &cands);
             assert!((0.0..=2.0).contains(&d), "distance out of range: {d}");

@@ -6,8 +6,10 @@
 //! error detection cares about) still embed near their clean neighbours.
 
 use crate::vocab::Vocab;
+use holo_data::binio;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
 
 /// Configuration for [`Embedding::train`].
 #[derive(Debug, Clone)]
@@ -72,7 +74,12 @@ impl Embedding {
             *x = rng.random_range(-0.5..0.5f32) / dim as f32;
         }
         let output = vec![0.0f32; v * dim];
-        let mut emb = Embedding { vocab, dim, input, output };
+        let mut emb = Embedding {
+            vocab,
+            dim,
+            input,
+            output,
+        };
         if v == 0 {
             return emb;
         }
@@ -85,9 +92,7 @@ impl Embedding {
             .iter()
             .map(|s| {
                 s.iter()
-                    .filter_map(|t| {
-                        emb.vocab.id(t).map(|id| (id, emb.vocab.subword_buckets(t)))
-                    })
+                    .filter_map(|t| emb.vocab.id(t).map(|id| (id, emb.vocab.subword_buckets(t))))
                     .collect()
             })
             .collect();
@@ -186,7 +191,14 @@ impl Embedding {
 
     /// One (center, context) update; accumulates dL/d(center) in grad_in
     /// and applies the output-vector update immediately.
-    fn sgns_pair(&mut self, ctx: usize, positive: bool, center: &[f32], grad_in: &mut [f32], lr: f32) {
+    fn sgns_pair(
+        &mut self,
+        ctx: usize,
+        positive: bool,
+        center: &[f32],
+        grad_in: &mut [f32],
+        lr: f32,
+    ) {
         let dim = self.dim;
         let out = &mut self.output[ctx * dim..(ctx + 1) * dim];
         let mut dot = 0.0f32;
@@ -262,6 +274,35 @@ impl Embedding {
     /// Cosine similarity between two tokens' composed vectors.
     pub fn similarity(&self, a: &str, b: &str) -> f32 {
         cosine(&self.vector(a), &self.vector(b))
+    }
+
+    /// Serialize the trained table (vectors are written bit-exactly, so
+    /// a reloaded embedding reproduces every query identically).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.vocab.write_to(w)?;
+        binio::write_usize(w, self.dim)?;
+        binio::write_f32_slice(w, &self.input)?;
+        binio::write_f32_slice(w, &self.output)
+    }
+
+    /// Deserialize an embedding written by [`Embedding::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Embedding> {
+        let vocab = Vocab::read_from(r)?;
+        let dim = binio::read_usize(r)?;
+        let input = binio::read_f32_slice(r)?;
+        let output = binio::read_f32_slice(r)?;
+        if input.len() != (vocab.len() + vocab.buckets) * dim || output.len() != vocab.len() * dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "embedding table sizes disagree with vocabulary",
+            ));
+        }
+        Ok(Embedding {
+            vocab,
+            dim,
+            input,
+            output,
+        })
     }
 }
 
@@ -366,9 +407,39 @@ mod tests {
 
     #[test]
     fn whole_sentence_window() {
-        let cfg = SkipGramConfig { window: None, ..small_cfg() };
+        let cfg = SkipGramConfig {
+            window: None,
+            ..small_cfg()
+        };
         let emb = Embedding::train(&clustered_corpus(), &cfg);
         assert!(emb.similarity("chicago", "il") > emb.similarity("chicago", "sweet"));
+    }
+
+    #[test]
+    fn binary_roundtrip_reproduces_vectors_exactly() {
+        let emb = Embedding::train(&clustered_corpus(), &small_cfg());
+        let mut buf = Vec::new();
+        emb.write_to(&mut buf).unwrap();
+        let back = Embedding::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.dim(), emb.dim());
+        assert_eq!(back.vocab().len(), emb.vocab().len());
+        for token in ["chicago", "banana", "chicagq" /* OOV via subwords */] {
+            let (a, b) = (emb.vector(token), back.vector(token));
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "vector for {token} not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn read_rejects_inconsistent_tables() {
+        let emb = Embedding::train(&clustered_corpus(), &small_cfg());
+        let mut buf = Vec::new();
+        emb.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 8); // drop part of the output table
+        assert!(Embedding::read_from(&mut std::io::Cursor::new(buf)).is_err());
     }
 
     #[test]

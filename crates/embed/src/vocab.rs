@@ -1,6 +1,8 @@
 //! Token vocabulary with FastText-style hashed subword n-grams.
 
+use holo_data::binio;
 use std::collections::HashMap;
+use std::io::{self, Read, Write};
 
 /// FNV-1a, the classic cheap string hash FastText also relies on.
 #[inline]
@@ -52,7 +54,13 @@ impl Vocab {
             tokens.push(t.to_owned());
             counts.push(c);
         }
-        Vocab { ids, tokens, counts, subword_range, buckets }
+        Vocab {
+            ids,
+            tokens,
+            counts,
+            subword_range,
+            buckets,
+        }
     }
 
     /// Vocabulary size (distinct retained tokens).
@@ -110,6 +118,49 @@ impl Vocab {
             }
         }
         out
+    }
+
+    /// Serialize the vocabulary: tokens and counts in id order plus the
+    /// subword configuration (the id map rebuilds on read).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        binio::write_usize(w, self.tokens.len())?;
+        for (t, &c) in self.tokens.iter().zip(&self.counts) {
+            binio::write_str(w, t)?;
+            binio::write_u64(w, c)?;
+        }
+        binio::write_usize(w, self.subword_range.0)?;
+        binio::write_usize(w, self.subword_range.1)?;
+        binio::write_usize(w, self.buckets)
+    }
+
+    /// Deserialize a vocabulary written by [`Vocab::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Vocab> {
+        let n = binio::read_usize(r)?;
+        let mut ids = HashMap::with_capacity(binio::bounded_cap(n, 48));
+        let mut tokens = Vec::with_capacity(binio::bounded_cap(n, 24));
+        let mut counts = Vec::with_capacity(binio::bounded_cap(n, 8));
+        for _ in 0..n {
+            let t = binio::read_str(r)?;
+            let c = binio::read_u64(r)?;
+            ids.insert(t.clone(), tokens.len());
+            tokens.push(t);
+            counts.push(c);
+        }
+        let subword_range = (binio::read_usize(r)?, binio::read_usize(r)?);
+        let buckets = binio::read_usize(r)?;
+        if subword_range.0 < 1 || subword_range.0 > subword_range.1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad subword range",
+            ));
+        }
+        Ok(Vocab {
+            ids,
+            tokens,
+            counts,
+            subword_range,
+            buckets,
+        })
     }
 
     /// The unigram^(3/4) negative-sampling table as a cumulative

@@ -2,23 +2,33 @@
 //!
 //! HoloDetect is a two-phase method: learn the channel, augment, and
 //! train the wide-and-deep model **once**, then classify arbitrarily
-//! many cells. The API mirrors that split:
+//! many cells. The API mirrors that split — and keeps the trained model
+//! independent of the dataset it was fitted on:
 //!
 //! * [`Detector::fit`] consumes a [`FitContext`] (dirty data, training
-//!   set, constraints, seed) and returns a [`TrainedModel`];
-//! * [`TrainedModel::score`] maps any cell batch to calibrated error
-//!   probabilities, and [`TrainedModel::predict`] thresholds them —
-//!   both are `&self`, re-usable, and safe to call from many threads
-//!   (`TrainedModel: Send + Sync`);
+//!   set, constraints, seed) and returns a `'static` [`TrainedModel`]
+//!   that owns everything it learned — no borrow of the fit-time
+//!   dataset survives;
+//! * [`TrainedModel::score_batch`] maps any cell batch *of any
+//!   schema-compatible dataset* — including one loaded after fitting —
+//!   to calibrated error probabilities; [`TrainedModel::predict_batch`]
+//!   thresholds them and [`TrainedModel::score_all`] sweeps a whole
+//!   dataset. All scoring is `&self`, re-usable, and safe to call from
+//!   many threads (`TrainedModel: Send + Sync`);
 //! * [`Detector::detect`] is the one-call convenience shim (fit +
-//!   predict at the fitted threshold) the experiment harness uses.
+//!   predict over the fit dataset) the experiment harness uses.
+//!
+//! Scoring is fallible by design: handing a model a dataset with the
+//! wrong schema, or cells outside the dataset, returns a typed
+//! [`ModelError`] instead of garbage scores.
 //!
 //! Table 2 compares nine methods; the experiment binaries drive them
 //! all through this one trait so splits, seeding, and scoring stay
 //! identical across methods.
 
+use crate::error::ModelError;
 use holo_constraints::DenialConstraint;
-use holo_data::{CellId, Dataset, Label, TrainingSet};
+use holo_data::{CellId, Dataset, Label, Schema, TrainingSet};
 use std::collections::HashSet;
 
 /// Everything a detector may use to fit one model.
@@ -65,18 +75,31 @@ impl<'a> DetectionContext<'a> {
     }
 }
 
-/// A fitted error-detection model: score and classify arbitrary cell
-/// batches without re-training.
+/// A fitted error-detection model: an owned, dataset-independent
+/// artifact that scores and classifies cell batches of any
+/// schema-compatible dataset without re-training.
 ///
-/// `Send + Sync` is part of the contract so one fitted model can serve
-/// cell batches from many threads concurrently — the hook sharding,
-/// batching, and serving layers build on.
+/// `Send + Sync + 'static` is part of the contract so one fitted model
+/// can outlive its fit context and serve cell batches from many threads
+/// concurrently — the hook the sharding, batching, and serving layers
+/// build on. Train once on a reference sample, then apply the artifact
+/// to arbitrary incoming batches for its whole deployed life.
 pub trait TrainedModel: Send + Sync {
-    /// Error probability per cell, in `[0, 1]`, in input order.
+    /// Error probability per cell of `data`, in `[0, 1]`, in input
+    /// order.
     ///
-    /// For HoloDetect this is the Platt-calibrated probability of §4.2;
-    /// rule-based baselines return degenerate `{0, 1}` confidences.
-    fn score(&self, cells: &[CellId]) -> Vec<f64>;
+    /// `data` is the dataset the cells address — the fit-time dataset or
+    /// any later batch with the same schema. For HoloDetect this is the
+    /// Platt-calibrated probability of §4.2; rule-based baselines return
+    /// degenerate `{0, 1}` confidences.
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError>;
+
+    /// Error probabilities for every cell of `data`, in row-major cell
+    /// order (the [`Dataset::cell_ids`] order).
+    fn score_all(&self, data: &Dataset) -> Result<Vec<f64>, ModelError> {
+        let cells: Vec<CellId> = data.cell_ids().collect();
+        self.score_batch(data, &cells)
+    }
 
     /// The decision threshold chosen at fit time (holdout-tuned where
     /// the method tunes one; 0.5 otherwise).
@@ -85,29 +108,47 @@ pub trait TrainedModel: Send + Sync {
     }
 
     /// One label per cell: `Error` iff `score >= threshold`.
-    fn predict(&self, cells: &[CellId], threshold: f64) -> Vec<Label> {
-        self.score(cells)
+    fn predict_batch(
+        &self,
+        data: &Dataset,
+        cells: &[CellId],
+        threshold: f64,
+    ) -> Result<Vec<Label>, ModelError> {
+        Ok(self
+            .score_batch(data, cells)?
             .into_iter()
-            .map(|p| if p >= threshold { Label::Error } else { Label::Correct })
-            .collect()
+            .map(|p| {
+                if p >= threshold {
+                    Label::Error
+                } else {
+                    Label::Correct
+                }
+            })
+            .collect())
     }
 }
 
-/// An error-detection method: fit once, then score/predict repeatedly
-/// through the returned [`TrainedModel`].
+/// An error-detection method: fit once, then score/predict repeatedly —
+/// over the fit dataset or later batches — through the returned
+/// [`TrainedModel`].
 pub trait Detector {
     /// Method name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
-    /// Train on the context, returning a model that borrows at most the
-    /// context's data (never the detector itself).
-    fn fit<'a>(&self, ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a>;
+    /// Train on the context, returning an owned `'static` model: nothing
+    /// in it borrows the context (or the detector), so it can outlive
+    /// both and score datasets loaded long after fitting.
+    fn fit(&self, ctx: &FitContext<'_>) -> Box<dyn TrainedModel>;
 
     /// Convenience shim: fit + predict at the fitted threshold in one
-    /// call — keeps the paper-table harness one-liner simple.
+    /// call — keeps the paper-table harness one-liner simple. Scoring
+    /// the very dataset the model was fitted on cannot mismatch, so
+    /// this surfaces no `Result`.
     fn detect(&self, ctx: &DetectionContext<'_>) -> Vec<Label> {
         let model = self.fit(&ctx.fit_context());
-        model.predict(ctx.eval_cells, model.default_threshold())
+        model
+            .predict_batch(ctx.dirty, ctx.eval_cells, model.default_threshold())
+            .expect("fit-time dataset is always schema-compatible with its own model")
     }
 }
 
@@ -116,22 +157,28 @@ pub trait Detector {
 pub struct ConstantScore(pub f64);
 
 impl TrainedModel for ConstantScore {
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
-        vec![self.0; cells.len()]
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
+        ModelError::check_cells(data, cells)?;
+        Ok(vec![self.0; cells.len()])
     }
 }
 
 /// A trained model backed by a set of flagged cells: score 1 for
 /// flagged, 0 otherwise. Rule-based detectors (CV and friends) produce
 /// exactly this shape.
+///
+/// The flag set addresses rows of the fit-time dataset, so the model
+/// records the fitted schema and refuses schema-incompatible batches;
+/// cells of a compatible dataset beyond the fitted rows score 0.
 pub struct FlagSetModel {
+    schema: Schema,
     flagged: HashSet<CellId>,
 }
 
 impl FlagSetModel {
-    /// Wrap a flag set.
-    pub fn new(flagged: HashSet<CellId>) -> Self {
-        FlagSetModel { flagged }
+    /// Wrap a flag set computed over a dataset with `schema`.
+    pub fn new(schema: Schema, flagged: HashSet<CellId>) -> Self {
+        FlagSetModel { schema, flagged }
     }
 
     /// Number of flagged cells.
@@ -141,11 +188,13 @@ impl FlagSetModel {
 }
 
 impl TrainedModel for FlagSetModel {
-    fn score(&self, cells: &[CellId]) -> Vec<f64> {
-        cells
+    fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
+        ModelError::check_schema(&self.schema, data)?;
+        ModelError::check_cells(data, cells)?;
+        Ok(cells
             .iter()
             .map(|c| if self.flagged.contains(c) { 1.0 } else { 0.0 })
-            .collect()
+            .collect())
     }
 }
 
@@ -162,7 +211,7 @@ pub(crate) mod test_support {
             "Constant"
         }
 
-        fn fit<'a>(&self, _ctx: &FitContext<'a>) -> Box<dyn TrainedModel + 'a> {
+        fn fit(&self, _ctx: &FitContext<'_>) -> Box<dyn TrainedModel> {
             Box::new(ConstantScore(if self.0.is_error() { 1.0 } else { 0.0 }))
         }
     }
@@ -172,13 +221,17 @@ pub(crate) mod test_support {
 mod tests {
     use super::test_support::ConstantDetector;
     use super::*;
-    use holo_data::{DatasetBuilder, Schema};
+    use holo_data::DatasetBuilder;
 
     fn ctx_world() -> (Dataset, TrainingSet, Vec<CellId>) {
         let mut b = DatasetBuilder::new(Schema::new(["A"]));
         b.push_row(&["x"]);
         b.push_row(&["y"]);
-        (b.build(), TrainingSet::new(), vec![CellId::new(0, 0), CellId::new(1, 0)])
+        (
+            b.build(),
+            TrainingSet::new(),
+            vec![CellId::new(0, 0), CellId::new(1, 0)],
+        )
     }
 
     #[test]
@@ -193,12 +246,33 @@ mod tests {
         };
         let det = ConstantDetector(Label::Error);
         let model = det.fit(&fit_ctx);
-        assert_eq!(model.score(&cells), vec![1.0, 1.0]);
+        assert_eq!(model.score_batch(&d, &cells).unwrap(), vec![1.0, 1.0]);
         assert_eq!(
-            model.predict(&cells, model.default_threshold()),
+            model
+                .predict_batch(&d, &cells, model.default_threshold())
+                .unwrap(),
             vec![Label::Error, Label::Error]
         );
         assert_eq!(det.name(), "Constant");
+    }
+
+    #[test]
+    fn fitted_model_outlives_its_fit_context() {
+        // The tentpole contract: the model is 'static — the fit-time
+        // dataset and training set can be dropped before scoring.
+        let model: Box<dyn TrainedModel> = {
+            let (d, train, _) = ctx_world();
+            let ctx = FitContext {
+                dirty: &d,
+                train: &train,
+                sampling: None,
+                constraints: &[],
+                seed: 0,
+            };
+            ConstantDetector(Label::Error).fit(&ctx)
+        };
+        let (later, _, cells) = ctx_world();
+        assert_eq!(model.score_batch(&later, &cells).unwrap(), vec![1.0, 1.0]);
     }
 
     #[test]
@@ -215,28 +289,68 @@ mod tests {
         let det = ConstantDetector(Label::Correct);
         assert_eq!(det.detect(&ctx), vec![Label::Correct, Label::Correct]);
         let model = det.fit(&ctx.fit_context());
-        assert_eq!(det.detect(&ctx), model.predict(&cells, model.default_threshold()));
+        assert_eq!(
+            det.detect(&ctx),
+            model
+                .predict_batch(&d, &cells, model.default_threshold())
+                .unwrap()
+        );
     }
 
     #[test]
     fn flag_set_model_scores_membership() {
+        let mut b = DatasetBuilder::new(Schema::new(["A"]));
+        for v in ["x", "y", "z"] {
+            b.push_row(&[v]);
+        }
+        let d = b.build();
         let cells = vec![CellId::new(0, 0), CellId::new(1, 0), CellId::new(2, 0)];
         let flagged: HashSet<CellId> = [CellId::new(1, 0)].into_iter().collect();
-        let m = FlagSetModel::new(flagged);
+        let m = FlagSetModel::new(d.schema().clone(), flagged);
         assert_eq!(m.n_flagged(), 1);
-        assert_eq!(m.score(&cells), vec![0.0, 1.0, 0.0]);
+        assert_eq!(m.score_batch(&d, &cells).unwrap(), vec![0.0, 1.0, 0.0]);
         assert_eq!(
-            m.predict(&cells, 0.5),
+            m.predict_batch(&d, &cells, 0.5).unwrap(),
             vec![Label::Correct, Label::Error, Label::Correct]
         );
     }
 
     #[test]
+    fn flag_set_model_rejects_wrong_schema() {
+        let (d, _, _) = ctx_world();
+        let m = FlagSetModel::new(Schema::new(["Other"]), HashSet::new());
+        assert!(matches!(
+            m.score_batch(&d, &[CellId::new(0, 0)]),
+            Err(ModelError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_cells_are_an_error_not_garbage() {
+        let (d, _, _) = ctx_world();
+        let m = ConstantScore(0.5);
+        assert!(matches!(
+            m.score_batch(&d, &[CellId::new(99, 0)]),
+            Err(ModelError::CellOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn score_all_sweeps_every_cell() {
+        let (d, _, _) = ctx_world();
+        let m = ConstantScore(0.25);
+        assert_eq!(m.score_all(&d).unwrap(), vec![0.25; d.n_cells()]);
+    }
+
+    #[test]
     fn trained_models_are_shareable_across_threads() {
+        let (d, _, _) = ctx_world();
         let m = ConstantScore(0.25);
         let cells = vec![CellId::new(0, 0)];
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| m.score(&cells))).collect();
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| m.score_batch(&d, &cells).unwrap()))
+                .collect();
             for h in handles {
                 assert_eq!(h.join().unwrap(), vec![0.25]);
             }

@@ -1,0 +1,150 @@
+//! The error type of the trained-model artifact API.
+
+use holo_data::{CellId, Dataset, Schema};
+use std::fmt;
+
+/// Everything that can go wrong when scoring with, refitting, or
+/// persisting a trained model.
+#[derive(Debug)]
+pub enum ModelError {
+    /// The dataset handed to `score_batch` does not match the schema the
+    /// model was fitted on.
+    SchemaMismatch {
+        /// Attribute names the model was fitted on.
+        expected: Vec<String>,
+        /// Attribute names of the offending dataset.
+        found: Vec<String>,
+    },
+    /// A cell id addresses outside the dataset being scored.
+    CellOutOfBounds {
+        /// The offending cell.
+        cell: CellId,
+        /// Rows in the dataset.
+        n_tuples: usize,
+        /// Columns in the dataset.
+        n_attrs: usize,
+    },
+    /// The operation needs a trained pipeline but the model is the
+    /// degenerate one fitted from an empty training set.
+    Degenerate {
+        /// Method name of the degenerate model.
+        method: String,
+    },
+    /// An I/O failure while saving or loading an artifact.
+    Io(std::io::Error),
+    /// A malformed, truncated, or version-incompatible artifact file.
+    Format(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::SchemaMismatch { expected, found } => write!(
+                f,
+                "schema mismatch: model fitted on ({}), dataset has ({})",
+                expected.join(", "),
+                found.join(", ")
+            ),
+            ModelError::CellOutOfBounds {
+                cell,
+                n_tuples,
+                n_attrs,
+            } => write!(
+                f,
+                "cell {cell} is outside the {n_tuples}x{n_attrs} dataset being scored"
+            ),
+            ModelError::Degenerate { method } => write!(
+                f,
+                "{method} model is degenerate (fitted without training data); \
+                 fit with a non-empty training set first"
+            ),
+            ModelError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            ModelError::Format(reason) => write!(f, "bad artifact format: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+impl ModelError {
+    /// Check that `data` carries exactly the attribute names of
+    /// `expected` (order-sensitive — positions address columns).
+    pub fn check_schema(expected: &Schema, data: &Dataset) -> Result<(), ModelError> {
+        if expected == data.schema() {
+            Ok(())
+        } else {
+            Err(ModelError::SchemaMismatch {
+                expected: expected.names().to_vec(),
+                found: data.schema().names().to_vec(),
+            })
+        }
+    }
+
+    /// Check that every cell id addresses inside `data`.
+    pub fn check_cells(data: &Dataset, cells: &[CellId]) -> Result<(), ModelError> {
+        let (nt, na) = (data.n_tuples(), data.n_attrs());
+        for &cell in cells {
+            if cell.t() >= nt || cell.a() >= na {
+                return Err(ModelError::CellOutOfBounds {
+                    cell,
+                    n_tuples: nt,
+                    n_attrs: na,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::{DatasetBuilder, Schema};
+
+    #[test]
+    fn schema_check_accepts_identical_names() {
+        let d = DatasetBuilder::new(Schema::new(["A", "B"])).build();
+        assert!(ModelError::check_schema(&Schema::new(["A", "B"]), &d).is_ok());
+    }
+
+    #[test]
+    fn schema_check_rejects_renamed_and_reordered() {
+        let d = DatasetBuilder::new(Schema::new(["B", "A"])).build();
+        let err = ModelError::check_schema(&Schema::new(["A", "B"]), &d).unwrap_err();
+        assert!(matches!(err, ModelError::SchemaMismatch { .. }));
+        assert!(err.to_string().contains("schema mismatch"));
+    }
+
+    #[test]
+    fn cell_bounds_checked() {
+        let mut b = DatasetBuilder::new(Schema::new(["A"]));
+        b.push_row(&["x"]);
+        let d = b.build();
+        assert!(ModelError::check_cells(&d, &[CellId::new(0, 0)]).is_ok());
+        assert!(matches!(
+            ModelError::check_cells(&d, &[CellId::new(1, 0)]),
+            Err(ModelError::CellOutOfBounds { .. })
+        ));
+        assert!(ModelError::check_cells(&d, &[CellId::new(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: ModelError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, ModelError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

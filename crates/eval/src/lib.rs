@@ -2,34 +2,47 @@
 //!
 //! The detector API and the evaluation harness of §6.1.
 //!
-//! ## The fit / score / predict lifecycle
+//! ## The fit → save → load → score lifecycle
 //!
-//! Error detection is two-phase, and the API is staged to match:
+//! Error detection is two-phase, and the API is staged to match — with
+//! the trained model an *owned, dataset-independent artifact*:
 //!
 //! 1. **fit** — [`Detector::fit`] consumes a [`FitContext`] (dirty
 //!    dataset `D`, labeled training set `T`, optional sampling pool,
-//!    denial constraints `Σ`, seed) and returns a [`TrainedModel`].
-//!    All learning — channel, augmentation, representation `Q`,
-//!    classifier `M`, Platt calibration, threshold tuning — happens
-//!    here, once.
-//! 2. **score** — [`TrainedModel::score`] maps any cell batch to
-//!    calibrated error probabilities in `[0, 1]`. Models are
-//!    `Send + Sync`; one fitted model serves batches from many threads.
-//! 3. **predict** — [`TrainedModel::predict`] thresholds scores into
-//!    labels; [`TrainedModel::default_threshold`] is the value tuned on
-//!    the holdout at fit time.
+//!    denial constraints `Σ`, seed) and returns a `'static`
+//!    [`TrainedModel`]. All learning — channel, augmentation,
+//!    representation `Q`, classifier `M`, Platt calibration, threshold
+//!    tuning — happens here, once. Nothing in the returned model
+//!    borrows the fit context: it owns its representation and can
+//!    outlive the data it learned from.
+//! 2. **save / load** — concrete artifacts (HoloDetect's
+//!    `FittedHoloDetect`) persist to disk with hand-rolled versioned
+//!    binary serialization and reload in a fresh process with
+//!    bitwise-identical scoring behaviour. Train once on a reference
+//!    sample; deploy the file.
+//! 3. **score** — [`TrainedModel::score_batch`] maps any cell batch of
+//!    any *schema-compatible* dataset — the fit-time data or a CSV
+//!    loaded long after — to calibrated error probabilities in
+//!    `[0, 1]`; [`TrainedModel::score_all`] sweeps a whole dataset.
+//!    Models are `Send + Sync`; one artifact serves batches from many
+//!    threads. Incompatible schemas and out-of-bounds cells are typed
+//!    [`ModelError`]s, never garbage scores.
+//! 4. **predict** — [`TrainedModel::predict_batch`] thresholds scores
+//!    into labels; [`TrainedModel::default_threshold`] is the value
+//!    tuned on the holdout at fit time.
 //!
-//! [`Detector::detect`] remains as a one-call shim (fit + predict) so
-//! the paper-table harness stays one-liner simple. Iterative training
-//! paradigms (active learning, self-training) express their labeling
-//! loops through an explicit refit hook on the concrete fitted model
-//! rather than hiding retraining inside `detect`.
+//! [`Detector::detect`] remains as a one-call shim (fit + predict over
+//! the fit dataset) so the paper-table harness stays one-liner simple.
+//! Iterative training paradigms (active learning, self-training)
+//! express their labeling loops through an explicit refit hook on the
+//! concrete fitted model rather than hiding retraining inside `detect`.
 //!
 //! ## Harness modules
 //!
 //! * [`detector`] — [`FitContext`], [`TrainedModel`], [`Detector`], and
 //!   the reusable [`ConstantScore`] / [`FlagSetModel`] trained-model
 //!   shapes,
+//! * [`error`] — [`ModelError`], the artifact API's error type,
 //! * [`metrics`] — precision / recall / F1 from cell-level predictions,
 //! * [`stats`] — median / mean / standard-error summaries over the
 //!   paper's 10-seed runs,
@@ -42,6 +55,7 @@
 //! * [`report`] — fixed-width tables for the experiment binaries.
 
 pub mod detector;
+pub mod error;
 pub mod metrics;
 pub mod report;
 pub mod runner;
@@ -51,6 +65,7 @@ pub mod stats;
 pub use detector::{
     ConstantScore, DetectionContext, Detector, FitContext, FlagSetModel, TrainedModel,
 };
+pub use error::ModelError;
 pub use metrics::Confusion;
 pub use report::Table;
 pub use runner::{run_seeds, RunSummary};

@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn all_correct_predictions_have_zero_recall() {
         let truth = truth_with_one_error();
-        let preds: Vec<_> = (0..3).map(|t| (CellId::new(t, 0), Label::Correct)).collect();
+        let preds: Vec<_> = (0..3)
+            .map(|t| (CellId::new(t, 0), Label::Correct))
+            .collect();
         let c = Confusion::from_predictions(preds, &truth);
         assert_eq!(c.precision(), 0.0);
         assert_eq!(c.recall(), 0.0);
@@ -140,7 +142,12 @@ mod tests {
 
     #[test]
     fn f1_is_harmonic_mean() {
-        let c = Confusion { tp: 1, fp: 1, tn: 0, fn_: 3 };
+        let c = Confusion {
+            tp: 1,
+            fp: 1,
+            tn: 0,
+            fn_: 3,
+        };
         // p = 0.5, r = 0.25 → f1 = 2·0.125/0.75 = 1/3
         assert!((c.f1() - 1.0 / 3.0).abs() < 1e-12);
     }

@@ -69,7 +69,9 @@ pub fn run_seeds(
         let model = detector.fit(&ctx);
         fit_secs += fit_started.elapsed().as_secs_f64();
         let predict_started = std::time::Instant::now();
-        let labels = model.predict(&eval_cells, model.default_threshold());
+        let labels = model
+            .predict_batch(dirty, &eval_cells, model.default_threshold())
+            .expect("fit-time dataset is schema-compatible with its own model");
         predict_secs += predict_started.elapsed().as_secs_f64();
         assert_eq!(labels.len(), eval_cells.len(), "detector output arity");
         let mut c = Confusion::default();
@@ -111,7 +113,13 @@ pub fn labels_from_flags(
 ) -> Vec<Label> {
     eval_cells
         .iter()
-        .map(|c| if flagged.contains(c) { Label::Error } else { Label::Correct })
+        .map(|c| {
+            if flagged.contains(c) {
+                Label::Error
+            } else {
+                Label::Correct
+            }
+        })
         .collect()
 }
 
@@ -140,7 +148,11 @@ mod tests {
     fn all_error_detector_has_full_recall() {
         let (dirty, truth) = world();
         let det = ConstantDetector(Label::Error);
-        let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.1, seed: 0 };
+        let split = SplitConfig {
+            train_frac: 0.1,
+            sampling_frac: 0.1,
+            seed: 0,
+        };
         let s = run_seeds(&det, &dirty, &truth, &[], split, &[1, 2, 3]);
         assert_eq!(s.runs.len(), 3);
         // Every error in the test split is caught…
@@ -157,7 +169,11 @@ mod tests {
     fn all_correct_detector_scores_zero() {
         let (dirty, truth) = world();
         let det = ConstantDetector(Label::Correct);
-        let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 0 };
+        let split = SplitConfig {
+            train_frac: 0.1,
+            sampling_frac: 0.0,
+            seed: 0,
+        };
         let s = run_seeds(&det, &dirty, &truth, &[], split, &[7]);
         assert_eq!(s.f1, 0.0);
     }
@@ -175,9 +191,24 @@ mod tests {
         // Three runs with distinct f1s: the summary triple must come from
         // the median run, not be element-wise medians.
         let runs = vec![
-            Confusion { tp: 1, fp: 0, tn: 10, fn_: 9 },  // r=0.1, p=1.0
-            Confusion { tp: 5, fp: 5, tn: 5, fn_: 5 },   // p=r=0.5
-            Confusion { tp: 10, fp: 0, tn: 10, fn_: 0 }, // perfect
+            Confusion {
+                tp: 1,
+                fp: 0,
+                tn: 10,
+                fn_: 9,
+            }, // r=0.1, p=1.0
+            Confusion {
+                tp: 5,
+                fp: 5,
+                tn: 5,
+                fn_: 5,
+            }, // p=r=0.5
+            Confusion {
+                tp: 10,
+                fp: 0,
+                tn: 10,
+                fn_: 0,
+            }, // perfect
         ];
         let s = summarize_runs("test", runs, 0.0);
         assert_eq!(s.precision, 0.5);
@@ -189,7 +220,11 @@ mod tests {
     fn empty_seeds_panics() {
         let (dirty, truth) = world();
         let det = ConstantDetector(Label::Error);
-        let split = SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 0 };
+        let split = SplitConfig {
+            train_frac: 0.1,
+            sampling_frac: 0.0,
+            seed: 0,
+        };
         run_seeds(&det, &dirty, &truth, &[], split, &[]);
     }
 }

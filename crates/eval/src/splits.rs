@@ -25,7 +25,11 @@ pub struct SplitConfig {
 impl SplitConfig {
     /// The paper's default: 5% training, 20% sampling pool.
     pub fn paper_default(seed: u64) -> Self {
-        SplitConfig { train_frac: 0.05, sampling_frac: 0.20, seed }
+        SplitConfig {
+            train_frac: 0.05,
+            sampling_frac: 0.20,
+            seed,
+        }
     }
 }
 
@@ -97,7 +101,14 @@ mod tests {
     #[test]
     fn partitions_are_disjoint_and_cover() {
         let d = dataset(100);
-        let s = Split::new(&d, SplitConfig { train_frac: 0.1, sampling_frac: 0.2, seed: 3 });
+        let s = Split::new(
+            &d,
+            SplitConfig {
+                train_frac: 0.1,
+                sampling_frac: 0.2,
+                seed: 3,
+            },
+        );
         assert_eq!(s.train_tuples.len(), 10);
         assert_eq!(s.sampling_tuples.len(), 20);
         assert_eq!(s.test_tuples.len(), 70);
@@ -115,14 +126,28 @@ mod tests {
     #[test]
     fn at_least_one_training_tuple() {
         let d = dataset(5);
-        let s = Split::new(&d, SplitConfig { train_frac: 0.001, sampling_frac: 0.0, seed: 1 });
+        let s = Split::new(
+            &d,
+            SplitConfig {
+                train_frac: 0.001,
+                sampling_frac: 0.0,
+                seed: 1,
+            },
+        );
         assert_eq!(s.train_tuples.len(), 1);
     }
 
     #[test]
     fn test_cells_cover_all_attrs() {
         let d = dataset(10);
-        let s = Split::new(&d, SplitConfig { train_frac: 0.2, sampling_frac: 0.0, seed: 5 });
+        let s = Split::new(
+            &d,
+            SplitConfig {
+                train_frac: 0.2,
+                sampling_frac: 0.0,
+                seed: 5,
+            },
+        );
         let cells = s.test_cells(&d);
         assert_eq!(cells.len(), 8 * 2);
     }
@@ -151,7 +176,14 @@ mod tests {
         let mut dirty = clean.clone();
         dirty.set_value(0, 1, "broken");
         let truth = GroundTruth::from_pair(&clean, &dirty);
-        let s = Split::new(&dirty, SplitConfig { train_frac: 1.0, sampling_frac: 0.0, seed: 2 });
+        let s = Split::new(
+            &dirty,
+            SplitConfig {
+                train_frac: 1.0,
+                sampling_frac: 0.0,
+                seed: 2,
+            },
+        );
         let t = s.training_set(&dirty, &truth);
         assert_eq!(t.len(), 40);
         let (_, errors) = t.class_counts();

@@ -23,7 +23,12 @@ pub struct Summary {
 pub fn summarize(values: &[f64]) -> Summary {
     let n = values.len();
     if n == 0 {
-        return Summary { median: 0.0, mean: 0.0, stderr: 0.0, n };
+        return Summary {
+            median: 0.0,
+            mean: 0.0,
+            stderr: 0.0,
+            n,
+        };
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
@@ -35,7 +40,12 @@ pub fn summarize(values: &[f64]) -> Summary {
         let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         (var / n as f64).sqrt()
     };
-    Summary { median, mean, stderr, n }
+    Summary {
+        median,
+        mean,
+        stderr,
+        n,
+    }
 }
 
 /// Index of the median element in `values` (lower-middle), so callers can

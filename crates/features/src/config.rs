@@ -1,6 +1,8 @@
 //! Featurizer configuration and the ablation component enumeration.
 
+use holo_data::binio;
 use holo_embed::SkipGramConfig;
+use std::io::{self, Read, Write};
 
 /// The removable representation models of the Figure 3 ablation study.
 /// Grouped by context exactly as the paper groups its bars: attribute
@@ -125,6 +127,76 @@ impl FeatureConfig {
         }
         self
     }
+
+    /// Serialize the configuration (part of a trained-model artifact).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let e = &self.embed;
+        binio::write_usize(w, e.dim)?;
+        binio::write_usize(w, e.epochs)?;
+        binio::write_f32(w, e.lr)?;
+        binio::write_usize(w, e.negative)?;
+        binio::write_bool(w, e.window.is_some())?;
+        binio::write_usize(w, e.window.unwrap_or(0))?;
+        binio::write_u64(w, e.min_count)?;
+        binio::write_usize(w, e.subword_range.0)?;
+        binio::write_usize(w, e.subword_range.1)?;
+        binio::write_usize(w, e.buckets)?;
+        binio::write_u64(w, e.seed)?;
+        binio::write_usize(w, self.disabled.len())?;
+        for c in &self.disabled {
+            binio::write_u8(w, component_tag(*c))?;
+        }
+        binio::write_usize(w, self.ngram_order)?;
+        binio::write_f64(w, self.smoothing)
+    }
+
+    /// Deserialize a configuration written by [`FeatureConfig::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<FeatureConfig> {
+        let dim = binio::read_usize(r)?;
+        let epochs = binio::read_usize(r)?;
+        let lr = binio::read_f32(r)?;
+        let negative = binio::read_usize(r)?;
+        let has_window = binio::read_bool(r)?;
+        let window_val = binio::read_usize(r)?;
+        let embed = SkipGramConfig {
+            dim,
+            epochs,
+            lr,
+            negative,
+            window: has_window.then_some(window_val),
+            min_count: binio::read_u64(r)?,
+            subword_range: (binio::read_usize(r)?, binio::read_usize(r)?),
+            buckets: binio::read_usize(r)?,
+            seed: binio::read_u64(r)?,
+        };
+        let n_disabled = binio::read_usize(r)?;
+        let mut disabled = Vec::with_capacity(binio::bounded_cap(n_disabled, 1));
+        for _ in 0..n_disabled {
+            disabled.push(component_from_tag(binio::read_u8(r)?)?);
+        }
+        Ok(FeatureConfig {
+            embed,
+            disabled,
+            ngram_order: binio::read_usize(r)?,
+            smoothing: binio::read_f64(r)?,
+        })
+    }
+}
+
+fn component_tag(c: Component) -> u8 {
+    Component::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("component in ALL") as u8
+}
+
+fn component_from_tag(tag: u8) -> io::Result<Component> {
+    Component::ALL.get(tag as usize).copied().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad component tag {tag}"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -134,9 +206,18 @@ mod tests {
     #[test]
     fn all_components_have_groups() {
         assert_eq!(Component::ALL.len(), 8);
-        let attr = Component::ALL.iter().filter(|c| c.context() == "Attribute").count();
-        let tup = Component::ALL.iter().filter(|c| c.context() == "Tuple").count();
-        let ds = Component::ALL.iter().filter(|c| c.context() == "Dataset").count();
+        let attr = Component::ALL
+            .iter()
+            .filter(|c| c.context() == "Attribute")
+            .count();
+        let tup = Component::ALL
+            .iter()
+            .filter(|c| c.context() == "Tuple")
+            .count();
+        let ds = Component::ALL
+            .iter()
+            .filter(|c| c.context() == "Dataset")
+            .count();
         assert_eq!((attr, tup, ds), (4, 2, 2));
     }
 
@@ -148,6 +229,25 @@ mod tests {
         // idempotent
         let cfg2 = cfg.without(Component::Neighborhood);
         assert_eq!(cfg2.disabled.len(), 1);
+    }
+
+    #[test]
+    fn config_binary_roundtrip() {
+        let cfg = FeatureConfig::fast()
+            .without(Component::Neighborhood)
+            .without(Component::TupleEmbedding);
+        let mut buf = Vec::new();
+        cfg.write_to(&mut buf).unwrap();
+        let back = FeatureConfig::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.ngram_order, cfg.ngram_order);
+        assert_eq!(back.smoothing, cfg.smoothing);
+        assert_eq!(back.disabled, cfg.disabled);
+        assert_eq!(back.embed.dim, cfg.embed.dim);
+        assert_eq!(back.embed.window, cfg.embed.window);
+        assert_eq!(back.embed.seed, cfg.embed.seed);
+        for c in Component::ALL {
+            assert_eq!(back.enabled(c), cfg.enabled(c));
+        }
     }
 
     #[test]

@@ -5,22 +5,61 @@ use crate::config::{Component, FeatureConfig};
 use crate::layout::FeatureLayout;
 use crate::wide::{CoocModel, EmpiricalModel, LengthModel, NgramModel};
 use holo_constraints::{DenialConstraint, ViolationEngine};
-use holo_data::{CellId, Dataset};
+use holo_data::{binio, CellId, Dataset};
 use holo_embed::corpus::{self, value_token};
 use holo_embed::{nearest_distance, Embedding, SkipGramConfig};
 use holo_text::{char_tokens, word_tokens};
 use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
 use std::sync::RwLock;
 
-/// The fitted representation model `Q`.
+/// Bound on the nearest-neighbour memo. Long-lived artifacts score
+/// endless batches of fresh values; without a cap the memo is a slow
+/// memory leak. When full, the map is dropped wholesale (O(1) amortized,
+/// no bookkeeping) and re-warms from the current batch's working set.
+const NN_CACHE_CAP: usize = 1 << 16;
+
+/// Per-batch memo for violation queries against a *foreign* dataset.
 ///
-/// Fit once per dataset ([`Featurizer::fit`]); query per cell with
-/// [`Featurizer::features`] or, for augmented examples,
-/// [`Featurizer::features_with_value`]. All queries are `&self` and
-/// thread-safe, so batch featurization parallelizes with scoped threads.
+/// All cells of one tuple share the same external violation vector (for
+/// their observed values) and the same alignment verdict, but the
+/// per-cell query API cannot know it is being called `n_attrs` times
+/// per tuple. Batch featurization threads each carry one of these so
+/// the block scans and row comparisons run once per tuple instead of
+/// once per cell. Only valid for a single queried dataset.
+#[derive(Default)]
+struct ViolMemo {
+    /// tuple → does it match the reference row of the same index?
+    aligned: HashMap<usize, bool>,
+    /// tuple → external violation vector for its *observed* values.
+    foreign_observed: HashMap<usize, Vec<u32>>,
+}
+
+/// The fitted representation model `Q` — an owned, dataset-independent
+/// artifact.
+///
+/// Fit once per reference dataset ([`Featurizer::fit`]); the featurizer
+/// *owns* a copy of that reference plus every statistic it learned, so
+/// queries can address cells of **any** dataset with the same schema:
+/// pass the dataset being scored to [`Featurizer::features`] /
+/// [`Featurizer::features_with_value`]. Value statistics come from the
+/// fit-time models; tuple context (co-occurrence partners, tuple
+/// embeddings) comes from the queried dataset; constraint violations are
+/// counted against the reference — with a per-cell fast path when the
+/// queried tuple *is* a reference tuple (same row, same values), which
+/// reproduces fit-time semantics exactly.
+///
+/// All queries are `&self` and thread-safe, so batch featurization
+/// parallelizes with scoped threads.
 pub struct Featurizer {
     cfg: FeatureConfig,
     layout: FeatureLayout,
+    /// The dataset the representation was fitted over (owned — the
+    /// artifact outlives whatever the caller fitted on).
+    reference: Dataset,
+    /// The fit-time constraints (kept so violation indexes can be
+    /// rebuilt when an artifact is reloaded).
+    constraints: Vec<DenialConstraint>,
     n_attrs: usize,
     // Attribute-level wide models (per column).
     ngram: Vec<NgramModel>,
@@ -42,20 +81,26 @@ pub struct Featurizer {
     /// Per-column candidate value tokens for the neighbourhood distance.
     neighbor_candidates: Vec<Vec<String>>,
     /// Cache: (attr, value) → top-1 distance. Neighbour queries are the
-    /// most expensive feature; values repeat massively.
+    /// most expensive feature; values repeat massively. Size-bounded by
+    /// [`NN_CACHE_CAP`].
     nn_cache: RwLock<HashMap<(usize, String), f32>>,
 }
 
 impl Featurizer {
-    /// Fit the representation over `d` with the given constraints.
+    /// Fit the representation over `d` with the given constraints. The
+    /// featurizer keeps its own copy of `d` as the reference dataset.
     pub fn fit(d: &Dataset, constraints: &[DenialConstraint], cfg: FeatureConfig) -> Self {
         let na = d.n_attrs();
         let order = cfg.ngram_order;
 
         let (ngram, sym_ngram, length) = if cfg.enabled(Component::FormatModels) {
             (
-                (0..na).map(|a| NgramModel::fit(d, a, order, false)).collect(),
-                (0..na).map(|a| NgramModel::fit(d, a, order, true)).collect(),
+                (0..na)
+                    .map(|a| NgramModel::fit(d, a, order, false))
+                    .collect(),
+                (0..na)
+                    .map(|a| NgramModel::fit(d, a, order, true))
+                    .collect(),
                 (0..na).map(|a| LengthModel::fit(d, a)).collect(),
             )
         } else {
@@ -69,33 +114,28 @@ impl Featurizer {
         let cooc = cfg
             .enabled(Component::Cooccurrence)
             .then(|| CoocModel::fit(d, cfg.smoothing));
-        let violations = (cfg.enabled(Component::ConstraintViolations)
-            && !constraints.is_empty())
-        .then(|| ViolationEngine::build(d, constraints));
-        let n_constraints = violations.as_ref().map_or(0, |v| v.len());
-        // Attribute mask per constraint: the violation feature of a cell
-        // is zeroed for constraints that do not mention its attribute,
-        // so one bad cell does not taint its whole tuple's features.
-        let constraint_attrs: Vec<Vec<usize>> = violations
-            .as_ref()
-            .map(|v| v.indexes().iter().map(|ix| ix.constraint().attrs()).collect())
-            .unwrap_or_default();
 
         // Embedding corpora. Char/token corpora are deduplicated by cell
         // value (values repeat heavily; dedup keeps skip-gram training
         // linear in *distinct* values — documented substitution).
-        let char_emb = cfg.enabled(Component::CharEmbedding).then(|| {
-            Embedding::train(&dedup(corpus::char_corpus(d)), &cfg.embed)
-        });
-        let word_emb = cfg.enabled(Component::WordEmbedding).then(|| {
-            Embedding::train(&dedup(corpus::token_corpus(d)), &cfg.embed)
-        });
+        let char_emb = cfg
+            .enabled(Component::CharEmbedding)
+            .then(|| Embedding::train(&dedup(corpus::char_corpus(d)), &cfg.embed));
+        let word_emb = cfg
+            .enabled(Component::WordEmbedding)
+            .then(|| Embedding::train(&dedup(corpus::token_corpus(d)), &cfg.embed));
         let tuple_emb = cfg.enabled(Component::TupleEmbedding).then(|| {
-            let bag_cfg = SkipGramConfig { window: None, ..cfg.embed.clone() };
+            let bag_cfg = SkipGramConfig {
+                window: None,
+                ..cfg.embed.clone()
+            };
             Embedding::train(&corpus::tuple_bag_corpus(d), &bag_cfg)
         });
         let value_emb = cfg.enabled(Component::Neighborhood).then(|| {
-            let bag_cfg = SkipGramConfig { window: None, ..cfg.embed.clone() };
+            let bag_cfg = SkipGramConfig {
+                window: None,
+                ..cfg.embed.clone()
+            };
             Embedding::train(&corpus::value_token_corpus(d), &bag_cfg)
         });
 
@@ -116,10 +156,63 @@ impl Featurizer {
             Vec::new()
         };
 
+        Self::assemble(
+            cfg,
+            d.clone(),
+            constraints.to_vec(),
+            ngram,
+            sym_ngram,
+            length,
+            empirical,
+            cooc,
+            char_emb,
+            word_emb,
+            tuple_emb,
+            value_emb,
+            neighbor_candidates,
+        )
+    }
+
+    /// Shared tail of fitting and deserialization: build the violation
+    /// engine over the reference, derive the layout, wire everything up.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        cfg: FeatureConfig,
+        reference: Dataset,
+        constraints: Vec<DenialConstraint>,
+        ngram: Vec<NgramModel>,
+        sym_ngram: Vec<NgramModel>,
+        length: Vec<LengthModel>,
+        empirical: Vec<EmpiricalModel>,
+        cooc: Option<CoocModel>,
+        char_emb: Option<Embedding>,
+        word_emb: Option<Embedding>,
+        tuple_emb: Option<Embedding>,
+        value_emb: Option<Embedding>,
+        neighbor_candidates: Vec<Vec<String>>,
+    ) -> Self {
+        let na = reference.n_attrs();
+        let violations = (cfg.enabled(Component::ConstraintViolations) && !constraints.is_empty())
+            .then(|| ViolationEngine::build(&reference, &constraints));
+        let n_constraints = violations.as_ref().map_or(0, |v| v.len());
+        // Attribute mask per constraint: the violation feature of a cell
+        // is zeroed for constraints that do not mention its attribute,
+        // so one bad cell does not taint its whole tuple's features.
+        let constraint_attrs: Vec<Vec<usize>> = violations
+            .as_ref()
+            .map(|v| {
+                v.indexes()
+                    .iter()
+                    .map(|ix| ix.constraint().attrs())
+                    .collect()
+            })
+            .unwrap_or_default();
         let layout = Self::build_layout(&cfg, na, n_constraints);
         Featurizer {
             cfg,
             layout,
+            reference,
+            constraints,
             n_attrs: na,
             ngram,
             sym_ngram,
@@ -183,7 +276,11 @@ impl Featurizer {
             branch_names.push("neighborhood-embedding".to_owned());
             branch_dims.push(dim);
         }
-        FeatureLayout { wide_names, branch_names, branch_dims }
+        FeatureLayout {
+            wide_names,
+            branch_names,
+            branch_dims,
+        }
     }
 
     /// The layout of produced vectors.
@@ -191,15 +288,91 @@ impl Featurizer {
         &self.layout
     }
 
-    /// Features for a cell with its observed value.
+    /// The owned reference dataset the representation was fitted over.
+    pub fn reference(&self) -> &Dataset {
+        &self.reference
+    }
+
+    /// The fit-time constraints.
+    pub fn constraints(&self) -> &[DenialConstraint] {
+        &self.constraints
+    }
+
+    /// Is the queried tuple literally a reference tuple — same row
+    /// index, same values? Then fit-time violation semantics apply
+    /// (conflict counts exclude the tuple itself); otherwise the tuple
+    /// is scored as an external one against the reference.
+    fn row_matches_reference(&self, d: &Dataset, t: usize) -> bool {
+        if std::ptr::eq(d, &self.reference) {
+            return true;
+        }
+        t < self.reference.n_tuples()
+            && d.n_attrs() == self.n_attrs
+            && (0..self.n_attrs).all(|a| d.value(t, a) == self.reference.value(t, a))
+    }
+
+    /// Features for a cell of `d` (the dataset being scored — the
+    /// reference or any schema-compatible batch) with its observed value.
     pub fn features(&self, d: &Dataset, cell: CellId) -> Vec<f32> {
         let value = d.cell_value(cell).to_owned();
         self.features_with_value(d, cell, &value)
     }
 
-    /// Features for a cell under a hypothetical value (the augmented
-    /// example case: a transformed value inside the real tuple context).
+    /// Features for a cell of `d` under a hypothetical value (the
+    /// augmented example case: a transformed value inside the real tuple
+    /// context).
     pub fn features_with_value(&self, d: &Dataset, cell: CellId, value: &str) -> Vec<f32> {
+        self.features_memo(d, cell, value, &mut ViolMemo::default())
+    }
+
+    /// The violation-count vector for cell `(t, a)` holding `value`,
+    /// routed through the per-tuple memo for foreign datasets.
+    fn violation_counts(
+        &self,
+        engine: &ViolationEngine,
+        d: &Dataset,
+        t: usize,
+        a: usize,
+        value: &str,
+        memo: &mut ViolMemo,
+    ) -> Vec<u32> {
+        let aligned = if std::ptr::eq(d, &self.reference) {
+            true
+        } else {
+            *memo
+                .aligned
+                .entry(t)
+                .or_insert_with(|| self.row_matches_reference(d, t))
+        };
+        if aligned {
+            if value == self.reference.value(t, a) {
+                engine.tuple_vector(t)
+            } else {
+                engine.tuple_vector_with_override(&self.reference, t, a, value)
+            }
+        } else if value == d.value(t, a) {
+            memo.foreign_observed
+                .entry(t)
+                .or_insert_with(|| {
+                    let values: Vec<&str> = (0..self.n_attrs).map(|c| d.value(t, c)).collect();
+                    engine.external_tuple_vector(&self.reference, &values)
+                })
+                .clone()
+        } else {
+            let values: Vec<&str> = (0..self.n_attrs)
+                .map(|c| if c == a { value } else { d.value(t, c) })
+                .collect();
+            engine.external_tuple_vector(&self.reference, &values)
+        }
+    }
+
+    fn features_memo(
+        &self,
+        d: &Dataset,
+        cell: CellId,
+        value: &str,
+        memo: &mut ViolMemo,
+    ) -> Vec<f32> {
         let (t, a) = (cell.t(), cell.a());
         let mut out = Vec::with_capacity(self.layout.total_dim());
 
@@ -210,7 +383,7 @@ impl Featurizer {
             out.push(self.length[a].prob(value));
         }
         if self.cfg.enabled(Component::EmpiricalModels) {
-            out.push(self.empirical[a].prob(d, value));
+            out.push(self.empirical[a].prob(value));
             for col in 0..self.n_attrs {
                 out.push(f32::from(col == a));
             }
@@ -220,11 +393,7 @@ impl Featurizer {
         }
         if self.cfg.enabled(Component::ConstraintViolations) {
             if let Some(engine) = &self.violations {
-                let counts = if value == d.cell_value(cell) {
-                    engine.tuple_vector(t)
-                } else {
-                    engine.tuple_vector_with_override(d, t, a, value)
-                };
+                let counts = self.violation_counts(engine, d, t, a, value, memo);
                 for (ci, c) in counts.into_iter().enumerate() {
                     // Mask: only constraints mentioning this cell's
                     // attribute contribute to its violation features.
@@ -266,7 +435,7 @@ impl Featurizer {
     }
 
     /// Batch featurization with scoped-thread parallelism. `cells` pairs
-    /// each cell with an optional value override.
+    /// each cell of `d` with an optional value override.
     pub fn features_batch(
         &self,
         d: &Dataset,
@@ -282,10 +451,16 @@ impl Featurizer {
         std::thread::scope(|s| {
             for (slot, work) in out.chunks_mut(chunk).zip(cells.chunks(chunk)) {
                 s.spawn(move || {
+                    // One memo per worker: foreign-tuple violation scans
+                    // run once per tuple in this chunk, not once per cell.
+                    let mut memo = ViolMemo::default();
                     for (o, (cell, ov)) in slot.iter_mut().zip(work) {
                         *o = match ov {
-                            Some(v) => self.features_with_value(d, *cell, v),
-                            None => self.features(d, *cell),
+                            Some(v) => self.features_memo(d, *cell, v, &mut memo),
+                            None => {
+                                let value = d.cell_value(*cell).to_owned();
+                                self.features_memo(d, *cell, &value, &mut memo)
+                            }
                         };
                     }
                 });
@@ -302,8 +477,134 @@ impl Featurizer {
         let emb = self.value_emb.as_ref().expect("neighborhood enabled");
         let token = value_token(a, value);
         let dist = nearest_distance(emb, &token, &self.neighbor_candidates[a]);
-        self.nn_cache.write().expect("nn cache poisoned").insert(key, dist);
+        let mut cache = self.nn_cache.write().expect("nn cache poisoned");
+        if cache.len() >= NN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, dist);
         dist
+    }
+
+    /// Current number of memoized neighbour distances (diagnostics).
+    pub fn nn_cache_len(&self) -> usize {
+        self.nn_cache.read().expect("nn cache poisoned").len()
+    }
+
+    /// Serialize the fitted representation. The violation engine, the
+    /// layout, and the constraint masks are *not* written — they are
+    /// rebuilt deterministically from the reference dataset and the
+    /// constraint ASTs on [`Featurizer::read_from`].
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.cfg.write_to(w)?;
+        self.reference.write_to(w)?;
+        binio::write_usize(w, self.constraints.len())?;
+        for dc in &self.constraints {
+            dc.write_to(w)?;
+        }
+        for models in [&self.ngram, &self.sym_ngram] {
+            binio::write_usize(w, models.len())?;
+            for m in models.iter() {
+                m.write_to(w)?;
+            }
+        }
+        binio::write_usize(w, self.length.len())?;
+        for m in &self.length {
+            m.write_to(w)?;
+        }
+        binio::write_usize(w, self.empirical.len())?;
+        for m in &self.empirical {
+            m.write_to(w)?;
+        }
+        binio::write_bool(w, self.cooc.is_some())?;
+        if let Some(c) = &self.cooc {
+            c.write_to(w)?;
+        }
+        for emb in [
+            &self.char_emb,
+            &self.word_emb,
+            &self.tuple_emb,
+            &self.value_emb,
+        ] {
+            binio::write_bool(w, emb.is_some())?;
+            if let Some(e) = emb {
+                e.write_to(w)?;
+            }
+        }
+        binio::write_usize(w, self.neighbor_candidates.len())?;
+        for col in &self.neighbor_candidates {
+            binio::write_usize(w, col.len())?;
+            for c in col {
+                binio::write_str(w, c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize a representation written by [`Featurizer::write_to`],
+    /// rebuilding the violation indexes over the reloaded reference.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Featurizer> {
+        let cfg = FeatureConfig::read_from(r)?;
+        let reference = Dataset::read_from(r)?;
+        let n_dc = binio::read_usize(r)?;
+        let mut constraints = Vec::with_capacity(binio::bounded_cap(n_dc, 64));
+        for _ in 0..n_dc {
+            constraints.push(DenialConstraint::read_from(r)?);
+        }
+        let read_ngrams = |r: &mut R| -> io::Result<Vec<NgramModel>> {
+            let n = binio::read_usize(r)?;
+            (0..n).map(|_| NgramModel::read_from(r)).collect()
+        };
+        let ngram = read_ngrams(r)?;
+        let sym_ngram = read_ngrams(r)?;
+        let n_len = binio::read_usize(r)?;
+        let length: Vec<LengthModel> = (0..n_len)
+            .map(|_| LengthModel::read_from(r))
+            .collect::<io::Result<_>>()?;
+        let n_emp = binio::read_usize(r)?;
+        let empirical: Vec<EmpiricalModel> = (0..n_emp)
+            .map(|_| EmpiricalModel::read_from(r))
+            .collect::<io::Result<_>>()?;
+        let cooc = if binio::read_bool(r)? {
+            Some(CoocModel::read_from(r)?)
+        } else {
+            None
+        };
+        let read_emb = |r: &mut R| -> io::Result<Option<Embedding>> {
+            Ok(if binio::read_bool(r)? {
+                Some(Embedding::read_from(r)?)
+            } else {
+                None
+            })
+        };
+        let char_emb = read_emb(r)?;
+        let word_emb = read_emb(r)?;
+        let tuple_emb = read_emb(r)?;
+        let value_emb = read_emb(r)?;
+        let n_cols = binio::read_usize(r)?;
+        let mut neighbor_candidates = Vec::with_capacity(binio::bounded_cap(n_cols, 24));
+        for _ in 0..n_cols {
+            let n = binio::read_usize(r)?;
+            let mut col = Vec::with_capacity(binio::bounded_cap(n, 24));
+            for _ in 0..n {
+                col.push(binio::read_str(r)?);
+            }
+            neighbor_candidates.push(col);
+        }
+        Ok(Self::assemble(
+            cfg,
+            reference,
+            constraints,
+            ngram,
+            sym_ngram,
+            length,
+            empirical,
+            cooc,
+            char_emb,
+            word_emb,
+            tuple_emb,
+            value_emb,
+            neighbor_candidates,
+        ))
     }
 }
 
@@ -359,21 +660,71 @@ mod tests {
         let hypo = f.features_with_value(&d, cell, "Cicago");
         assert_ne!(observed, hypo);
         // Empirical frequency of "Chicago" >> "Cicago".
-        let freq_idx = f.layout().wide_names.iter().position(|n| n == "empirical:freq").unwrap();
+        let freq_idx = f
+            .layout()
+            .wide_names
+            .iter()
+            .position(|n| n == "empirical:freq")
+            .unwrap();
         assert!(observed[freq_idx] > hypo[freq_idx]);
     }
 
     #[test]
     fn violation_feature_reflects_overrides() {
         let (d, f) = fitted();
-        let viol_idx =
-            f.layout().wide_names.iter().position(|n| n == "violations:dc0").unwrap();
+        let viol_idx = f
+            .layout()
+            .wide_names
+            .iter()
+            .position(|n| n == "violations:dc0")
+            .unwrap();
         // The typo row participates in violations; fixing it clears them.
         let typo_cell = CellId::new(40, 1);
         let dirty = f.features(&d, typo_cell);
         let fixed = f.features_with_value(&d, typo_cell, "Chicago");
         assert!(dirty[viol_idx] > 0.0);
         assert_eq!(fixed[viol_idx], 0.0);
+    }
+
+    #[test]
+    fn queries_against_the_owned_reference_match_the_original() {
+        // The featurizer owns its reference: querying through the clone
+        // must equal querying through the caller's original dataset.
+        let (d, f) = fitted();
+        for cell in [CellId::new(0, 0), CellId::new(40, 1), CellId::new(5, 2)] {
+            assert_eq!(f.features(&d, cell), f.features(f.reference(), cell));
+        }
+    }
+
+    #[test]
+    fn foreign_dataset_cells_are_featurizable() {
+        let (d, f) = fitted();
+        // A batch the featurizer never saw: one consistent tuple, one
+        // breaking the FD against the reference's evidence.
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City", "State"]));
+        b.push_row(&["60612", "Chicago", "IL"]);
+        b.push_row(&["60612", "Springfield", "IL"]);
+        let batch = b.build();
+
+        let viol_idx = f
+            .layout()
+            .wide_names
+            .iter()
+            .position(|n| n == "violations:dc0")
+            .unwrap();
+        let consistent = f.features(&batch, CellId::new(0, 1));
+        let breaking = f.features(&batch, CellId::new(1, 1));
+        assert_eq!(consistent.len(), f.layout().total_dim());
+        // The consistent tuple agrees with the reference majority: only
+        // the reference typo row conflicts. The Springfield tuple
+        // conflicts with every 60612 reference row.
+        assert!(breaking[viol_idx] > consistent[viol_idx]);
+
+        // Value statistics come from the reference, not the batch: a
+        // batch cell whose value matches reference row 0 featurizes like
+        // reference row 0 except for violation self-exclusion — and row
+        // 0 of this batch *is* reference row 0, so it matches exactly.
+        assert_eq!(consistent, f.features(&d, CellId::new(0, 1)));
     }
 
     #[test]
@@ -409,7 +760,11 @@ mod tests {
     fn no_constraints_means_no_violation_features() {
         let d = dataset();
         let f = Featurizer::fit(&d, &[], FeatureConfig::fast());
-        assert!(!f.layout().wide_names.iter().any(|n| n.starts_with("violations")));
+        assert!(!f
+            .layout()
+            .wide_names
+            .iter()
+            .any(|n| n.starts_with("violations")));
     }
 
     #[test]
@@ -423,7 +778,41 @@ mod tests {
         let batch = f.features_batch(&d, &cells, 3);
         assert_eq!(batch[0], f.features(&d, CellId::new(0, 0)));
         assert_eq!(batch[1], f.features(&d, CellId::new(1, 2)));
-        assert_eq!(batch[2], f.features_with_value(&d, CellId::new(40, 1), "Chicago"));
+        assert_eq!(
+            batch[2],
+            f.features_with_value(&d, CellId::new(40, 1), "Chicago")
+        );
+    }
+
+    #[test]
+    fn foreign_batch_memo_matches_single_cell_queries() {
+        // The per-thread violation memo must be invisible: batch
+        // featurization of a foreign dataset (mixed observed and
+        // override cells across repeated tuples) equals per-cell calls.
+        let (_, f) = fitted();
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City", "State"]));
+        b.push_row(&["60612", "Chicago", "IL"]);
+        b.push_row(&["60612", "Springfield", "IL"]);
+        b.push_row(&["53703", "Madison", "WI"]);
+        let batch = b.build();
+        let cells = vec![
+            (CellId::new(0, 0), None),
+            (CellId::new(0, 1), None),
+            (CellId::new(1, 1), None),
+            (CellId::new(1, 1), Some("Chicago".to_owned())),
+            (CellId::new(2, 2), None),
+            (CellId::new(1, 0), None),
+        ];
+        for threads in [1, 3] {
+            let out = f.features_batch(&batch, &cells, threads);
+            for (i, (cell, ov)) in cells.iter().enumerate() {
+                let expect = match ov {
+                    Some(v) => f.features_with_value(&batch, *cell, v),
+                    None => f.features(&batch, *cell),
+                };
+                assert_eq!(out[i], expect, "cell {cell} (threads={threads})");
+            }
+        }
     }
 
     #[test]
@@ -431,10 +820,47 @@ mod tests {
         let (d, f) = fitted();
         let v1 = f.features(&d, CellId::new(0, 1));
         let v2 = f.features(&d, CellId::new(2, 1)); // same value, same column
-        let nn_idx =
-            f.layout().wide_names.iter().position(|n| n == "neighborhood:dist").unwrap();
+        let nn_idx = f
+            .layout()
+            .wide_names
+            .iter()
+            .position(|n| n == "neighborhood:dist")
+            .unwrap();
         assert_eq!(v1[nn_idx], v2[nn_idx]);
         assert!((0.0..=2.0).contains(&v1[nn_idx]));
+        assert!(f.nn_cache_len() >= 1);
+    }
+
+    #[test]
+    fn binary_roundtrip_reproduces_features_exactly() {
+        let (d, f) = fitted();
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        let back = Featurizer::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.layout(), f.layout());
+        for cell in [CellId::new(0, 0), CellId::new(40, 1), CellId::new(7, 2)] {
+            let (a, b) = (f.features(&d, cell), back.features(&d, cell));
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "features for {cell} not bit-identical after reload"
+            );
+        }
+        // Hypothetical values too (the augmented-example path).
+        let (a, b) = (
+            f.features_with_value(&d, CellId::new(0, 1), "Cihcago"),
+            back.features_with_value(&d, CellId::new(0, 1), "Cihcago"),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_artifact_is_an_error() {
+        let (_, f) = fitted();
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Featurizer::read_from(&mut std::io::Cursor::new(buf)).is_err());
     }
 
     #[test]

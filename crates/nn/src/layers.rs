@@ -32,6 +32,13 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Shared access to trainable parameters, in the same order as
+    /// [`Layer::params_mut`] — the traversal model serialization walks
+    /// from a `&self` fitted model.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
     /// Zero all parameter gradients.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -97,6 +104,10 @@ impl Layer for Dense {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
     }
 }
 
@@ -180,8 +191,15 @@ impl Dropout {
     /// A dropout layer with drop probability `p ∈ [0, 1)` and its own
     /// seeded RNG (keeps training runs reproducible).
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
-        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 }
 
@@ -199,7 +217,11 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut mask = Matrix::zeros(input.rows(), input.cols());
         for v in mask.data_mut() {
-            *v = if self.rng.random_range(0.0f32..1.0) < keep { scale } else { 0.0 };
+            *v = if self.rng.random_range(0.0f32..1.0) < keep {
+                scale
+            } else {
+                0.0
+            };
         }
         let out = input.hadamard(&mask);
         self.mask = Some(mask);
@@ -278,7 +300,12 @@ impl Layer for Highway {
 
     fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
         let (h_pre, h, t, y) = self.compute(input);
-        self.cache = Some(HighwayCache { x: input.clone(), h_pre, h, t });
+        self.cache = Some(HighwayCache {
+            x: input.clone(),
+            h_pre,
+            h,
+            t,
+        });
         y
     }
 
@@ -315,6 +342,10 @@ impl Layer for Highway {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.wh, &mut self.bh, &mut self.wt, &mut self.bt]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wh, &self.bh, &self.wt, &self.bt]
     }
 }
 
@@ -396,7 +427,10 @@ mod tests {
         let x = Matrix::from_vec(1, 4, vec![0.5, -0.5, 1.0, 0.0]);
         let y = hw.forward(&x, true);
         for (yv, xv) in y.data().iter().zip(x.data()) {
-            assert!((yv - xv).abs() < 0.5, "highway output drifted: {yv} vs {xv}");
+            assert!(
+                (yv - xv).abs() < 0.5,
+                "highway output drifted: {yv} vs {xv}"
+            );
         }
     }
 
@@ -416,6 +450,22 @@ mod tests {
         assert_eq!(hw.params_mut().len(), 4);
         let mut r = Relu::new();
         assert!(r.params_mut().is_empty());
+    }
+
+    /// `params` and `params_mut` must expose the same tensors in the
+    /// same order — serialization writes through one and loads through
+    /// the other.
+    #[test]
+    fn shared_params_match_mut_order() {
+        let mut d = Dense::new(3, 2, &mut rng());
+        let shapes: Vec<_> = d.params().iter().map(|p| p.value.shape()).collect();
+        let shapes_mut: Vec<_> = d.params_mut().iter().map(|p| p.value.shape()).collect();
+        assert_eq!(shapes, shapes_mut);
+        let mut hw = Highway::new(4, &mut rng());
+        let shapes: Vec<_> = hw.params().iter().map(|p| p.value.shape()).collect();
+        let shapes_mut: Vec<_> = hw.params_mut().iter().map(|p| p.value.shape()).collect();
+        assert_eq!(shapes, shapes_mut);
+        assert!(Relu::new().params().is_empty());
     }
 
     /// Numerical gradient check for a layer, comparing the analytic input

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -26,20 +30,30 @@ impl Matrix {
     /// # Panics
     /// Panics when `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
     /// A 1×n row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Xavier/Glorot-uniform initialization: `U(-√(6/(in+out)), +√(6/(in+out)))`.
     pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.random_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -220,7 +234,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
         }
     }
 
@@ -260,9 +279,15 @@ impl Matrix {
     /// # Panics
     /// Panics when the widths do not sum to `cols`.
     pub fn split_cols(&self, widths: &[usize]) -> Vec<Matrix> {
-        assert_eq!(widths.iter().sum::<usize>(), self.cols, "split widths mismatch");
-        let mut out: Vec<Matrix> =
-            widths.iter().map(|&w| Matrix::zeros(self.rows, w)).collect();
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.cols,
+            "split widths mismatch"
+        );
+        let mut out: Vec<Matrix> = widths
+            .iter()
+            .map(|&w| Matrix::zeros(self.rows, w))
+            .collect();
         for i in 0..self.rows {
             let src = self.row(i);
             let mut off = 0;

@@ -84,12 +84,7 @@ impl Sequential {
 
     /// One training step on a batch: forward, softmax cross-entropy,
     /// backward, optimizer update. Returns the batch loss.
-    pub fn train_batch(
-        &mut self,
-        x: &Matrix,
-        targets: &[usize],
-        opt: &mut dyn Optimizer,
-    ) -> f32 {
+    pub fn train_batch(&mut self, x: &Matrix, targets: &[usize], opt: &mut dyn Optimizer) -> f32 {
         self.zero_grad();
         let logits = self.forward(x, true);
         let (loss, grad) = softmax_cross_entropy(&logits, targets);

@@ -26,7 +26,13 @@ pub struct Adam {
 impl Adam {
     /// ADAM with a learning rate and default moment decays.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Override the moment decays.

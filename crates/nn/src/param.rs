@@ -20,7 +20,12 @@ impl Param {
     /// Wrap an initialized value matrix with zeroed gradient/moments.
     pub fn new(value: Matrix) -> Self {
         let (r, c) = value.shape();
-        Param { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
     }
 
     /// Zero the accumulated gradient (start of a batch).

@@ -11,7 +11,11 @@
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let ac: Vec<char> = a.chars().collect();
     let bc: Vec<char> = b.chars().collect();
-    let (short, long) = if ac.len() <= bc.len() { (&ac, &bc) } else { (&bc, &ac) };
+    let (short, long) = if ac.len() <= bc.len() {
+        (&ac, &bc)
+    } else {
+        (&bc, &ac)
+    };
     if short.is_empty() {
         return long.len();
     }

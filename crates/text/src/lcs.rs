@@ -32,19 +32,31 @@ pub fn longest_common_substring(a: &str, b: &str) -> LcsMatch {
 /// caller already holds decoded `char` buffers (Algorithm 1's recursion).
 pub fn lcs_chars(a: &[char], b: &[char]) -> LcsMatch {
     if a.is_empty() || b.is_empty() {
-        return LcsMatch { start_a: 0, start_b: 0, len: 0 };
+        return LcsMatch {
+            start_a: 0,
+            start_b: 0,
+            len: 0,
+        };
     }
     // Rolling 1-D DP: prev[j] = length of common suffix of a[..i] and b[..j].
     let mut prev = vec![0usize; b.len() + 1];
     let mut cur = vec![0usize; b.len() + 1];
-    let mut best = LcsMatch { start_a: 0, start_b: 0, len: 0 };
+    let mut best = LcsMatch {
+        start_a: 0,
+        start_b: 0,
+        len: 0,
+    };
     for (i, &ca) in a.iter().enumerate() {
         for (j, &cb) in b.iter().enumerate() {
             if ca == cb {
                 let l = prev[j] + 1;
                 cur[j + 1] = l;
                 if l > best.len {
-                    best = LcsMatch { start_a: i + 1 - l, start_b: j + 1 - l, len: l };
+                    best = LcsMatch {
+                        start_a: i + 1 - l,
+                        start_b: j + 1 - l,
+                        len: l,
+                    };
                 }
             } else {
                 cur[j + 1] = 0;
@@ -68,7 +80,14 @@ mod tests {
     #[test]
     fn identical_strings() {
         let m = longest_common_substring("60612", "60612");
-        assert_eq!(m, LcsMatch { start_a: 0, start_b: 0, len: 5 });
+        assert_eq!(
+            m,
+            LcsMatch {
+                start_a: 0,
+                start_b: 0,
+                len: 5
+            }
+        );
     }
 
     #[test]

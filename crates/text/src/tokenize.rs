@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn words_split_on_punct_and_space() {
-        assert_eq!(word_tokens("EVP Coffee, IL-60612"), vec!["evp", "coffee", "il", "60612"]);
+        assert_eq!(
+            word_tokens("EVP Coffee, IL-60612"),
+            vec!["evp", "coffee", "il", "60612"]
+        );
     }
 
     #[test]

@@ -11,9 +11,7 @@
 
 use holodetect_repro::core::{HoloDetect, HoloDetectConfig, Strategy};
 use holodetect_repro::datagen::{generate, DatasetKind};
-use holodetect_repro::eval::{
-    Confusion, Detector, FitContext, Split, SplitConfig,
-};
+use holodetect_repro::eval::{Confusion, Detector, FitContext, Split, SplitConfig};
 
 fn main() {
     let g = generate(DatasetKind::Adult, 4000, 42);
@@ -25,16 +23,31 @@ fn main() {
         100.0 * g.truth.n_errors() as f64 / g.dirty.n_cells() as f64
     );
 
-    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 3 });
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac: 0.05,
+            sampling_frac: 0.0,
+            seed: 3,
+        },
+    );
     let train = split.training_set(&g.dirty, &g.truth);
     let (p, n) = train.class_counts();
-    println!("training set: {} cells ({} correct, {} errors) — few-shot indeed\n", train.len(), p, n);
+    println!(
+        "training set: {} cells ({} correct, {} errors) — few-shot indeed\n",
+        train.len(),
+        p,
+        n
+    );
     let eval_cells = split.test_cells(&g.dirty);
 
     let mut cfg = HoloDetectConfig::fast();
     cfg.epochs = 40;
 
-    for strategy in [Strategy::Augmentation { target_ratio: None }, Strategy::Supervised] {
+    for strategy in [
+        Strategy::Augmentation { target_ratio: None },
+        Strategy::Supervised,
+    ] {
         let ctx = FitContext {
             dirty: &g.dirty,
             train: &train,
@@ -46,7 +59,9 @@ fn main() {
         // Fit once, then classify the whole evaluation set in one
         // reusable predict pass.
         let model = det.fit(&ctx);
-        let labels = model.predict(&eval_cells, model.default_threshold());
+        let labels = model
+            .predict_batch(&g.dirty, &eval_cells, model.default_threshold())
+            .expect("fit dataset is schema-compatible");
         let mut c = Confusion::default();
         for (cell, label) in eval_cells.iter().zip(&labels) {
             c.record(*label, g.truth.label(*cell));

@@ -66,5 +66,9 @@ fn main() {
     let cells: Vec<(CellId, Option<String>)> =
         g.dirty.cell_ids().take(8).map(|c| (c, None)).collect();
     let batch = f.features_batch(&g.dirty, &cells, 2);
-    println!("batch featurized {} cells x {} dims", batch.len(), batch[0].len());
+    println!(
+        "batch featurized {} cells x {} dims",
+        batch.len(),
+        batch[0].len()
+    );
 }

@@ -25,7 +25,14 @@ fn main() {
         g.truth.n_errors()
     );
 
-    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.05, sampling_frac: 0.0, seed: 5 });
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac: 0.05,
+            sampling_frac: 0.0,
+            seed: 5,
+        },
+    );
     let train = split.training_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
 

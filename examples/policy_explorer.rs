@@ -32,7 +32,10 @@ fn main() {
     }
 
     let policy = Policy::from_lists(&lists);
-    println!("\nAlgorithms 2+3 — empirical policy ({} transformations):", policy.len());
+    println!(
+        "\nAlgorithms 2+3 — empirical policy ({} transformations):",
+        policy.len()
+    );
     for (t, p) in policy.entries().iter().take(8) {
         println!("  {p:>6.3}  {t}");
     }
@@ -47,7 +50,10 @@ fn main() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let cfg = AugmentConfig { alpha: 1.0, ..AugmentConfig::default() };
+    let cfg = AugmentConfig {
+        alpha: 1.0,
+        ..AugmentConfig::default()
+    };
     for ex in augment(&corrects, 0, &policy, &[], &cfg) {
         println!("  {:?} → {:?}", ex.clean, ex.dirty);
     }

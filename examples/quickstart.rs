@@ -10,9 +10,7 @@
 use holodetect_repro::constraints::parse_constraints;
 use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::{DatasetBuilder, GroundTruth, Schema};
-use holodetect_repro::eval::{
-    Confusion, Detector, FitContext, Split, SplitConfig,
-};
+use holodetect_repro::eval::{Confusion, Detector, FitContext, Split, SplitConfig};
 
 fn main() {
     // 1. A clean relation: zip codes determine cities and states.
@@ -49,10 +47,21 @@ fn main() {
     let constraints = parse_constraints("Zip -> City, State", dirty.schema()).unwrap();
 
     // 4. Label 20% of tuples; evaluate on the rest.
-    let split = Split::new(&dirty, SplitConfig { train_frac: 0.2, sampling_frac: 0.0, seed: 7 });
+    let split = Split::new(
+        &dirty,
+        SplitConfig {
+            train_frac: 0.2,
+            sampling_frac: 0.0,
+            seed: 7,
+        },
+    );
     let train = split.training_set(&dirty, &truth);
     let eval_cells = split.test_cells(&dirty);
-    println!("labeled cells: {} — detecting over {} cells", train.len(), eval_cells.len());
+    println!(
+        "labeled cells: {} — detecting over {} cells",
+        train.len(),
+        eval_cells.len()
+    );
 
     // 5. Fit once. The returned model owns the trained pipeline and can
     //    score/predict arbitrary cell batches without re-training.
@@ -68,12 +77,19 @@ fn main() {
 
     // 6. Score: calibrated error probabilities, then labels at the
     //    holdout-tuned threshold.
-    let scores = model.score(&eval_cells);
-    let labels = model.predict(&eval_cells, model.default_threshold());
+    let scores = model
+        .score_batch(&dirty, &eval_cells)
+        .expect("schema-compatible");
+    let labels = model
+        .predict_batch(&dirty, &eval_cells, model.default_threshold())
+        .expect("schema-compatible");
 
     // 7. Show what was flagged, with confidences.
     let mut confusion = Confusion::default();
-    println!("\nflagged cells (threshold {:.2}):", model.default_threshold());
+    println!(
+        "\nflagged cells (threshold {:.2}):",
+        model.default_threshold()
+    );
     for ((cell, label), p) in eval_cells.iter().zip(&labels).zip(&scores) {
         confusion.record(*label, truth.label(*cell));
         if label.is_error() {

@@ -2,29 +2,41 @@
 //! HoloDetect reproduction crate so examples and integration tests can
 //! use a single dependency.
 //!
-//! # The fit / score / predict lifecycle
+//! # The fit → save → load → score lifecycle
 //!
-//! The detector API is staged the way the method itself is: train the
-//! noisy channel + augmentation + wide-and-deep model **once**, then
-//! classify any number of cell batches through the resulting
-//! [`eval::TrainedModel`]:
+//! The detector API is staged the way a deployment is: train the noisy
+//! channel + augmentation + wide-and-deep model **once** on a reference
+//! sample, persist the resulting artifact, and score any number of cell
+//! batches — of the fit dataset or of schema-compatible datasets loaded
+//! long after — through the resulting [`eval::TrainedModel`]:
 //!
 //! ```no_run
-//! use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
-//! use holodetect_repro::eval::{Detector, FitContext};
+//! use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
+//! use holodetect_repro::eval::{Detector, FitContext, TrainedModel};
+//! use std::path::Path;
 //! # fn ctx() -> FitContext<'static> { unimplemented!() }
+//! # fn batch() -> holodetect_repro::data::Dataset { unimplemented!() }
 //! # fn cells() -> Vec<holodetect_repro::data::CellId> { unimplemented!() }
 //!
 //! let detector = HoloDetect::new(HoloDetectConfig::default());
-//! let model = detector.fit(&ctx());      // learn once (expensive)
-//! let probs = model.score(&cells());     // calibrated P(error), reusable
-//! let labels = model.predict(&cells(), model.default_threshold());
+//! let model = detector.fit_model(&ctx());      // learn once (expensive)
+//! model.save(Path::new("detector.holoart"))?;  // deploy the file
+//!
+//! // …in a later process:
+//! let served = FittedHoloDetect::load(Path::new("detector.holoart"))?;
+//! let incoming = batch();                      // unseen data, same schema
+//! let probs = served.score_batch(&incoming, &cells())?;
+//! let labels = served.predict_batch(&incoming, &cells(), served.default_threshold())?;
+//! # Ok::<(), holodetect_repro::eval::ModelError>(())
 //! ```
 //!
-//! `model` is `Send + Sync`: batches can be scored concurrently from
-//! many threads, which is the hook sharding/batching/serving layers
-//! build on. The one-call [`eval::Detector::detect`] shim remains for
-//! harness one-liners.
+//! Models are owned and `'static` (no borrow of the fit context
+//! survives), `Send + Sync` (batches can be scored concurrently from
+//! many threads — the hook sharding/batching/serving layers build on),
+//! and defensive (schema mismatches and out-of-range cells are typed
+//! [`eval::ModelError`]s, never garbage scores). A reloaded artifact
+//! scores bit-identically to the in-process model. The one-call
+//! [`eval::Detector::detect`] shim remains for harness one-liners.
 //!
 //! # Crates
 //!

@@ -1,0 +1,213 @@
+//! Integration tests for the dataset-independent artifact lifecycle:
+//! fit on a reference sample → save → load in a "fresh process" → score
+//! unseen, separately-loaded batches. The contract under test:
+//!
+//! * a trained model is `'static` and scores datasets it never saw at
+//!   fit time (including CSVs parsed after fitting),
+//! * scores depend on cell *values*, not on which interning pool or
+//!   loading path produced the dataset (golden-score stability),
+//! * save → load reproduces scores and predictions bit for bit,
+//! * schema mismatches and out-of-range cells are typed errors, never
+//!   garbage scores.
+
+use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
+use holodetect_repro::data::csv::{parse_csv, write_csv};
+use holodetect_repro::data::{CellId, Dataset};
+use holodetect_repro::datagen::{generate, DatasetKind};
+use holodetect_repro::eval::{Detector, FitContext, ModelError, Split, SplitConfig, TrainedModel};
+use std::path::PathBuf;
+
+fn fast_cfg() -> HoloDetectConfig {
+    let mut cfg = HoloDetectConfig::fast();
+    cfg.epochs = 12;
+    cfg
+}
+
+/// Fit a model on one generated Hospital sample.
+fn fit_reference() -> (Dataset, FittedHoloDetect) {
+    let g = generate(DatasetKind::Hospital, 200, 5);
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac: 0.15,
+            sampling_frac: 0.0,
+            seed: 1,
+        },
+    );
+    let train = split.training_set(&g.dirty, &g.truth);
+    let ctx = FitContext {
+        dirty: &g.dirty,
+        train: &train,
+        sampling: None,
+        constraints: &g.constraints,
+        seed: 7,
+    };
+    let model = HoloDetect::new(fast_cfg()).fit_model(&ctx);
+    (g.dirty, model)
+}
+
+/// An unseen batch with the same schema: a later draw from the same
+/// generator family (different rows, different values, fresh pool).
+fn unseen_batch() -> Dataset {
+    generate(DatasetKind::Hospital, 60, 99).dirty
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("holo-lifecycle-{}-{name}", std::process::id()))
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Train on one split, then score a batch that was serialized to CSV and
+/// freshly re-loaded: the scores must be *golden* — identical to scoring
+/// the same rows through the original in-memory dataset, because scoring
+/// depends on values, not on interning pools or loading paths.
+#[test]
+fn csv_reloaded_unseen_batch_scores_match_in_memory_batch() {
+    let (_, model) = fit_reference();
+    let batch = unseen_batch();
+    let reloaded = parse_csv(&write_csv(&batch)).expect("csv roundtrip");
+    assert!(batch.same_shape(&reloaded));
+
+    let cells: Vec<CellId> = batch.cell_ids().collect();
+    let direct = model.score_batch(&batch, &cells).unwrap();
+    let via_csv = model.score_batch(&reloaded, &cells).unwrap();
+    assert_eq!(
+        bits(&direct),
+        bits(&via_csv),
+        "scores depend on the loading path, not just the values"
+    );
+    assert!(direct.iter().all(|p| (0.0..=1.0).contains(p)));
+    // The model actually discriminates on the unseen batch.
+    let spread = direct.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - direct.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        spread > 1e-3,
+        "degenerate scores on unseen data, spread {spread}"
+    );
+}
+
+/// Save → load reproduces scores and predictions bitwise — on the fit
+/// dataset *and* on an unseen batch — satisfying the deployment
+/// contract: an artifact loaded in a fresh process behaves identically
+/// to the in-process model.
+#[test]
+fn save_load_roundtrip_bitwise_identical_on_fit_and_unseen_data() {
+    let (dirty, model) = fit_reference();
+    let batch = unseen_batch();
+    let fit_cells: Vec<CellId> = dirty.cell_ids().take(120).collect();
+    let batch_cells: Vec<CellId> = batch.cell_ids().collect();
+
+    let path = tmp_path("roundtrip.holoart");
+    model.save(&path).unwrap();
+    let loaded = FittedHoloDetect::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.method(), model.method());
+    assert_eq!(loaded.threshold().to_bits(), model.threshold().to_bits());
+
+    for (data, cells) in [(&dirty, &fit_cells), (&batch, &batch_cells)] {
+        let before = model.score_batch(data, cells).unwrap();
+        let after = loaded.score_batch(data, cells).unwrap();
+        assert_eq!(
+            bits(&before),
+            bits(&after),
+            "scores drifted through save/load"
+        );
+        let thr = model.default_threshold();
+        assert_eq!(
+            model.predict_batch(data, cells, thr).unwrap(),
+            loaded.predict_batch(data, cells, thr).unwrap(),
+            "predictions drifted through save/load"
+        );
+    }
+}
+
+/// The trained model outlives everything it was fitted from: drop the
+/// fit dataset, the training set, and the detector, then score a
+/// dataset loaded afterwards.
+#[test]
+fn artifact_outlives_fit_context_and_scores_later_data() {
+    let model: Box<dyn TrainedModel> = {
+        let g = generate(DatasetKind::Hospital, 150, 3);
+        let split = Split::new(
+            &g.dirty,
+            SplitConfig {
+                train_frac: 0.15,
+                sampling_frac: 0.0,
+                seed: 2,
+            },
+        );
+        let train = split.training_set(&g.dirty, &g.truth);
+        let ctx = FitContext {
+            dirty: &g.dirty,
+            train: &train,
+            sampling: None,
+            constraints: &g.constraints,
+            seed: 4,
+        };
+        HoloDetect::new(fast_cfg()).fit(&ctx)
+        // g, split, train all drop here.
+    };
+    let batch = unseen_batch();
+    let scores = model.score_all(&batch).unwrap();
+    assert_eq!(scores.len(), batch.n_cells());
+}
+
+/// A schema-incompatible dataset is a typed error — scoring must refuse
+/// rather than hand back garbage probabilities.
+#[test]
+fn schema_mismatch_is_an_error_not_garbage() {
+    let (_, model) = fit_reference();
+    let other = generate(DatasetKind::Adult, 30, 1).dirty;
+    let cells: Vec<CellId> = other.cell_ids().take(5).collect();
+    match model.score_batch(&other, &cells) {
+        Err(ModelError::SchemaMismatch { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        Err(e) => panic!("wrong error kind: {e}"),
+        Ok(_) => panic!("schema mismatch silently produced scores"),
+    }
+}
+
+/// Cells addressing outside the scored dataset are typed errors too.
+#[test]
+fn out_of_bounds_cells_are_an_error() {
+    let (_, model) = fit_reference();
+    let batch = unseen_batch();
+    let bad = vec![CellId::new(batch.n_tuples() + 7, 0)];
+    assert!(matches!(
+        model.score_batch(&batch, &bad),
+        Err(ModelError::CellOutOfBounds { .. })
+    ));
+}
+
+/// Refitting is part of the artifact lifecycle: a loaded artifact keeps
+/// its training examples, so the incremental hook still works after a
+/// process restart.
+#[test]
+fn loaded_artifact_still_supports_refit() {
+    let (dirty, model) = fit_reference();
+    let n = model.n_train_examples();
+    let path = tmp_path("refit.holoart");
+    model.save(&path).unwrap();
+    let loaded = FittedHoloDetect::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let extra: Vec<_> = dirty
+        .cell_ids()
+        .take(5)
+        .map(|cell| holodetect_repro::core::trainer::TrainExample {
+            cell,
+            value: dirty.cell_value(cell).to_owned(),
+            label: holodetect_repro::data::Label::Correct,
+        })
+        .collect();
+    let refitted = loaded.refit_with(extra).expect("loaded artifact refits");
+    assert_eq!(refitted.n_train_examples(), n + 5);
+    let cells: Vec<CellId> = dirty.cell_ids().take(20).collect();
+    let scores = refitted.score_batch(&dirty, &cells).unwrap();
+    assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
+}

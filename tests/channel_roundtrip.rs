@@ -3,8 +3,7 @@
 //! regenerates errors with the same statistical signature.
 
 use holodetect_repro::channel::{
-    augment, learn_transformations, AugmentConfig, NaiveBayesRepair, Policy, RepairConfig,
-    Template,
+    augment, learn_transformations, AugmentConfig, NaiveBayesRepair, Policy, RepairConfig, Template,
 };
 use holodetect_repro::data::Label;
 use holodetect_repro::datagen::{generate, DatasetKind};
@@ -45,12 +44,15 @@ fn hospital_channel_learns_x_typos() {
 #[test]
 fn learned_channel_regenerates_hospital_like_errors() {
     let (policy, _) = learned_policy(DatasetKind::Hospital, 600);
-    let corrects: Vec<String> =
-        ["providence hospital", "60612", "heart attack", "scip-inf-3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-    let cfg = AugmentConfig { alpha: 1.0, seed: 3, ..Default::default() };
+    let corrects: Vec<String> = ["providence hospital", "60612", "heart attack", "scip-inf-3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let cfg = AugmentConfig {
+        alpha: 1.0,
+        seed: 3,
+        ..Default::default()
+    };
     let out = augment(&corrects, 0, &policy, &[], &cfg);
     assert!(!out.is_empty());
     // The synthetic errors should overwhelmingly add x's — the learned

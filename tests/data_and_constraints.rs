@@ -16,7 +16,11 @@ fn generated_datasets_roundtrip_through_csv() {
         assert_eq!(back.n_tuples(), g.dirty.n_tuples(), "{kind}");
         assert_eq!(back.n_attrs(), g.dirty.n_attrs(), "{kind}");
         for t in (0..back.n_tuples()).step_by(17) {
-            assert_eq!(back.tuple_values(t), g.dirty.tuple_values(t), "{kind} row {t}");
+            assert_eq!(
+                back.tuple_values(t),
+                g.dirty.tuple_values(t),
+                "{kind} row {t}"
+            );
         }
     }
 }
@@ -36,11 +40,18 @@ fn clean_copies_satisfy_all_constraints_dirty_do_not() {
             );
         }
         let dirty_engine = ViolationEngine::build(&g.dirty, &g.constraints);
-        if dirty_engine.indexes().iter().any(|ix| ix.n_violating_tuples() > 0) {
+        if dirty_engine
+            .indexes()
+            .iter()
+            .any(|ix| ix.n_violating_tuples() > 0)
+        {
             any_dirty_violation = true;
         }
     }
-    assert!(any_dirty_violation, "no dataset produced violations from injected errors");
+    assert!(
+        any_dirty_violation,
+        "no dataset produced violations from injected errors"
+    );
 }
 
 #[test]
@@ -52,7 +63,10 @@ fn fd_satisfaction_degrades_from_clean_to_dirty() {
     let dirty_alpha = fd_satisfaction(&g.dirty, &[zip], city);
     assert_eq!(clean_alpha, 1.0);
     assert!(dirty_alpha < 1.0, "errors should break the Zip→City FD");
-    assert!(dirty_alpha > 0.5, "errors are sparse; alpha should stay high");
+    assert!(
+        dirty_alpha > 0.5,
+        "errors are sparse; alpha should stay high"
+    );
 }
 
 #[test]

@@ -3,8 +3,7 @@
 //! and baselines.
 
 use holodetect_repro::baselines::{
-    ConstraintViolations, ForbiddenItemsets, HoloCleanDetector, LogisticRegression,
-    OutlierDetector,
+    ConstraintViolations, ForbiddenItemsets, HoloCleanDetector, LogisticRegression, OutlierDetector,
 };
 use holodetect_repro::core::{HoloDetect, HoloDetectConfig, Strategy};
 use holodetect_repro::data::Label;
@@ -13,15 +12,16 @@ use holodetect_repro::eval::{
     Confusion, DetectionContext, Detector, FitContext, Split, SplitConfig,
 };
 
-fn run_detector(
-    det: &dyn Detector,
-    kind: DatasetKind,
-    rows: usize,
-    train_frac: f64,
-) -> Confusion {
+fn run_detector(det: &dyn Detector, kind: DatasetKind, rows: usize, train_frac: f64) -> Confusion {
     let g = generate(kind, rows, 77);
-    let split =
-        Split::new(&g.dirty, SplitConfig { train_frac, sampling_frac: 0.1, seed: 5 });
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac,
+            sampling_frac: 0.1,
+            seed: 5,
+        },
+    );
     let train = split.training_set(&g.dirty, &g.truth);
     let sampling = split.sampling_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
@@ -33,14 +33,16 @@ fn run_detector(
         seed: 9,
     };
     let model = det.fit(&ctx);
-    let scores = model.score(&eval_cells);
+    let scores = model.score_batch(&g.dirty, &eval_cells).unwrap();
     assert_eq!(scores.len(), eval_cells.len());
     assert!(
         scores.iter().all(|p| (0.0..=1.0).contains(p)),
         "{}: scores out of [0,1]",
         det.name()
     );
-    let labels = model.predict(&eval_cells, model.default_threshold());
+    let labels = model
+        .predict_batch(&g.dirty, &eval_cells, model.default_threshold())
+        .unwrap();
     assert_eq!(labels.len(), eval_cells.len());
     let mut c = Confusion::default();
     for (cell, pred) in eval_cells.iter().zip(&labels) {
@@ -74,7 +76,11 @@ fn every_baseline_runs_on_every_dataset() {
         ];
         for det in &detectors {
             let c = run_detector(det.as_ref(), kind, 150, 0.10);
-            assert!(c.total() > 0, "{kind}: {} produced no predictions", det.name());
+            assert!(
+                c.total() > 0,
+                "{kind}: {} produced no predictions",
+                det.name()
+            );
         }
     }
 }
@@ -93,7 +99,12 @@ fn cv_recall_tracks_constraint_coverage_on_hospital() {
 #[test]
 fn hc_has_higher_precision_than_cv() {
     let c_cv = run_detector(&ConstraintViolations, DatasetKind::Hospital, 400, 0.10);
-    let c_hc = run_detector(&HoloCleanDetector::default(), DatasetKind::Hospital, 400, 0.10);
+    let c_hc = run_detector(
+        &HoloCleanDetector::default(),
+        DatasetKind::Hospital,
+        400,
+        0.10,
+    );
     assert!(
         c_hc.precision() >= c_cv.precision(),
         "HC {:.3} vs CV {:.3}",
@@ -123,7 +134,14 @@ fn detections_are_deterministic_across_identical_runs() {
     let mut cfg = HoloDetectConfig::fast();
     cfg.epochs = 10;
     let g = generate(DatasetKind::Soccer, 200, 31);
-    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 2 });
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac: 0.1,
+            sampling_frac: 0.0,
+            seed: 2,
+        },
+    );
     let train = split.training_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
     let run = || {
@@ -143,7 +161,14 @@ fn detections_are_deterministic_across_identical_runs() {
 #[test]
 fn label_arity_matches_eval_cells_even_when_empty() {
     let g = generate(DatasetKind::Animal, 120, 3);
-    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 8 });
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac: 0.1,
+            sampling_frac: 0.0,
+            seed: 8,
+        },
+    );
     let train = split.training_set(&g.dirty, &g.truth);
     let ctx = FitContext {
         dirty: &g.dirty,
@@ -154,8 +179,11 @@ fn label_arity_matches_eval_cells_even_when_empty() {
     };
     let det = HoloDetect::new(HoloDetectConfig::fast());
     let model = det.fit(&ctx);
-    assert!(model.score(&[]).is_empty());
-    assert!(model.predict(&[], model.default_threshold()).is_empty());
+    assert!(model.score_batch(&g.dirty, &[]).unwrap().is_empty());
+    assert!(model
+        .predict_batch(&g.dirty, &[], model.default_threshold())
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -164,7 +192,14 @@ fn predictions_use_both_labels() {
     cfg.epochs = 25;
     let det = HoloDetect::new(cfg);
     let g = generate(DatasetKind::Hospital, 250, 13);
-    let split = Split::new(&g.dirty, SplitConfig { train_frac: 0.1, sampling_frac: 0.0, seed: 6 });
+    let split = Split::new(
+        &g.dirty,
+        SplitConfig {
+            train_frac: 0.1,
+            sampling_frac: 0.0,
+            seed: 6,
+        },
+    );
     let train = split.training_set(&g.dirty, &g.truth);
     let eval_cells = split.test_cells(&g.dirty);
     let ctx = FitContext {
@@ -175,7 +210,9 @@ fn predictions_use_both_labels() {
         seed: 1,
     };
     let model = det.fit(&ctx);
-    let labels = model.predict(&eval_cells, model.default_threshold());
+    let labels = model
+        .predict_batch(&g.dirty, &eval_cells, model.default_threshold())
+        .unwrap();
     assert!(labels.contains(&Label::Error), "never flags anything");
     assert!(labels.contains(&Label::Correct), "flags everything");
 }

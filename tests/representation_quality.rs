@@ -8,11 +8,7 @@ use holodetect_repro::datagen::{generate, DatasetKind};
 use holodetect_repro::features::{FeatureConfig, Featurizer};
 
 /// Mean of feature `idx` over (erroneous, correct) cells.
-fn feature_means(
-    kind: DatasetKind,
-    rows: usize,
-    name: &str,
-) -> (f32, f32) {
+fn feature_means(kind: DatasetKind, rows: usize, name: &str) -> (f32, f32) {
     let g = generate(kind, rows, 13);
     let f = Featurizer::fit(&g.dirty, &g.constraints, FeatureConfig::fast());
     let idx = f
@@ -73,7 +69,10 @@ fn violation_features_fire_on_erroneous_cells() {
     let (err, ok) = feature_means(DatasetKind::Hospital, 400, "violations:dc0");
     // dc0 is ZipCode -> City: errors on those attrs spike it, correct
     // cells should mostly read zero.
-    assert!(err >= ok, "violations should mark errors: err {err:.4} vs ok {ok:.4}");
+    assert!(
+        err >= ok,
+        "violations should mark errors: err {err:.4} vs ok {ok:.4}"
+    );
 }
 
 #[test]
@@ -89,11 +88,7 @@ fn feature_vectors_distinguish_dirty_from_repaired() {
         let dirty = f.features(&g.dirty, cell);
         let fixed = f.features_with_value(&g.dirty, cell, truth_value);
         total += 1;
-        if dirty
-            .iter()
-            .zip(&fixed)
-            .any(|(a, b)| (a - b).abs() > 1e-6)
-        {
+        if dirty.iter().zip(&fixed).any(|(a, b)| (a - b).abs() > 1e-6) {
             differs += 1;
         }
     }

@@ -21,7 +21,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, sample_time: Duration::from_millis(50) }
+        Criterion {
+            sample_size: 20,
+            sample_time: Duration::from_millis(50),
+        }
     }
 }
 
@@ -38,7 +41,10 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         // Warm-up + calibration sample.
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters as u32;
         let iters_per_sample = (self.sample_time.as_nanos() / per_iter.as_nanos().max(1))
@@ -46,7 +52,10 @@ impl Criterion {
 
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             samples.push(b.elapsed / iters_per_sample as u32);
         }

@@ -220,7 +220,10 @@ pub mod collection {
     /// A `Vec` strategy with element strategy `element` and a size given
     /// as an exact count, a half-open range, or an inclusive range.
     pub fn vec<S: Strategy, R: Into<SizeRange>>(element: S, size: R) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Element-count bounds for [`vec`].
@@ -238,14 +241,20 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec size range");
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -259,8 +268,7 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut StubRng) -> Vec<S::Value> {
-            let n = self.size.min
-                + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            let n = self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }

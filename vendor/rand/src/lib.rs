@@ -212,8 +212,10 @@ mod tests {
     #[test]
     fn float_mean_is_centered() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mean: f64 =
-            (0..20_000).map(|_| rng.random_range(0.0..1.0f64)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| rng.random_range(0.0..1.0f64))
+            .sum::<f64>()
+            / 20_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 
