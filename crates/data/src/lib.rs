@@ -29,5 +29,5 @@ pub mod value;
 pub use cell::CellId;
 pub use dataset::{Dataset, DatasetBuilder};
 pub use labels::{GroundTruth, Label, LabeledCell, TrainingSet};
-pub use schema::Schema;
+pub use schema::{Row, RowError, Schema};
 pub use value::{Symbol, ValuePool};

@@ -72,7 +72,106 @@ impl Schema {
         self.attr_index(name)
             .unwrap_or_else(|| panic!("schema has no attribute named {name:?}"))
     }
+
+    /// Validate name→value pairs (any order) into a [`Row`] in schema
+    /// order — the ingest path for record-shaped input (JSON objects,
+    /// maps) where nothing guarantees the attribute order or arity.
+    ///
+    /// # Errors
+    /// [`RowError::UnknownAttribute`] for a name outside the schema,
+    /// [`RowError::DuplicateAttribute`] for a name given twice, and
+    /// [`RowError::MissingAttribute`] when the pairs don't cover every
+    /// attribute (arity mismatch). Data is never silently dropped,
+    /// reordered, or defaulted.
+    pub fn row_from_pairs<I, K, V>(&self, pairs: I) -> Result<Row, RowError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: AsRef<str>,
+        V: Into<String>,
+    {
+        let mut slots: Vec<Option<String>> = vec![None; self.len()];
+        for (name, value) in pairs {
+            let name = name.as_ref();
+            let i = self
+                .attr_index(name)
+                .ok_or_else(|| RowError::UnknownAttribute { name: name.into() })?;
+            if slots[i].is_some() {
+                return Err(RowError::DuplicateAttribute { name: name.into() });
+            }
+            slots[i] = Some(value.into());
+        }
+        let mut values = Vec::with_capacity(self.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(v) => values.push(v),
+                None => {
+                    return Err(RowError::MissingAttribute {
+                        name: self.names[i].clone(),
+                    })
+                }
+            }
+        }
+        Ok(Row { values })
+    }
 }
+
+/// A validated tuple: values in schema order, produced by
+/// [`Schema::row_from_pairs`]. Feed it to
+/// [`crate::dataset::DatasetBuilder::push_row`] via [`Row::values`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    values: Vec<String>,
+}
+
+impl Row {
+    /// The values, in schema order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Consume into the value vector, in schema order.
+    pub fn into_values(self) -> Vec<String> {
+        self.values
+    }
+}
+
+/// Why name→value pairs failed to validate against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowError {
+    /// A pair names an attribute the schema doesn't have.
+    UnknownAttribute {
+        /// The offending name.
+        name: String,
+    },
+    /// The same attribute was given twice.
+    DuplicateAttribute {
+        /// The offending name.
+        name: String,
+    },
+    /// An attribute of the schema got no value (arity mismatch).
+    MissingAttribute {
+        /// The uncovered attribute.
+        name: String,
+    },
+}
+
+impl fmt::Display for RowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowError::UnknownAttribute { name } => {
+                write!(f, "unknown attribute {name:?}")
+            }
+            RowError::DuplicateAttribute { name } => {
+                write!(f, "attribute {name:?} given more than once")
+            }
+            RowError::MissingAttribute { name } => {
+                write!(f, "attribute {name:?} has no value (arity mismatch)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RowError {}
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -116,5 +215,45 @@ mod tests {
     #[should_panic(expected = "no attribute named")]
     fn expect_attr_panics_with_name() {
         Schema::new(["A"]).expect_attr("Z");
+    }
+
+    #[test]
+    fn row_from_pairs_reorders_into_schema_order() {
+        let s = Schema::new(["City", "State", "Zip"]);
+        let row = s
+            .row_from_pairs([("Zip", "60612"), ("City", "Chicago"), ("State", "IL")])
+            .unwrap();
+        assert_eq!(row.values(), ["Chicago", "IL", "60612"]);
+        assert_eq!(row.clone().into_values(), vec!["Chicago", "IL", "60612"]);
+    }
+
+    #[test]
+    fn row_from_pairs_rejects_unknown_duplicate_and_missing() {
+        let s = Schema::new(["A", "B"]);
+        assert_eq!(
+            s.row_from_pairs([("A", "1"), ("C", "2")]).unwrap_err(),
+            RowError::UnknownAttribute { name: "C".into() }
+        );
+        assert_eq!(
+            s.row_from_pairs([("A", "1"), ("A", "2"), ("B", "3")])
+                .unwrap_err(),
+            RowError::DuplicateAttribute { name: "A".into() }
+        );
+        let err = s.row_from_pairs([("A", "1")]).unwrap_err();
+        assert_eq!(err, RowError::MissingAttribute { name: "B".into() });
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn validated_rows_feed_the_dataset_builder() {
+        use crate::dataset::DatasetBuilder;
+        let s = Schema::new(["A", "B"]);
+        let mut b = DatasetBuilder::new(s.clone());
+        for pairs in [[("B", "y"), ("A", "x")], [("A", "p"), ("B", "q")]] {
+            b.push_row(s.row_from_pairs(pairs).unwrap().values());
+        }
+        let d = b.build();
+        assert_eq!(d.tuple_values(0), vec!["x", "y"]);
+        assert_eq!(d.tuple_values(1), vec!["p", "q"]);
     }
 }

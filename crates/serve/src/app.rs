@@ -1,0 +1,485 @@
+//! The serving application: endpoint routing, JSON ingest/egress, and
+//! the [`ModelError`] → HTTP status mapping.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint                        | Meaning                                   |
+//! |---------------------------------|-------------------------------------------|
+//! | `POST /v1/models/{name}/score`  | calibrated error probability per cell     |
+//! | `POST /v1/models/{name}/predict`| thresholded labels (+ scores)             |
+//! | `POST /v1/models/{name}/reload` | atomic hot-swap from the artifact file    |
+//! | `GET /healthz`                  | liveness + registered model names         |
+//! | `GET /metrics`                  | counters, latency & batch histograms      |
+//!
+//! A score/predict body carries schema-shaped rows plus (optionally) the
+//! target cells:
+//!
+//! ```json
+//! {"rows": [{"Zip": "60612", "City": "Chicago"}],
+//!  "cells": [{"row": 0, "attr": "City"}]}
+//! ```
+//!
+//! Rows are validated into the model's fitted schema through
+//! [`Schema::row_from_pairs`] — unknown columns, missing columns, and
+//! duplicates are 400s with the offending name in the message, never
+//! silently reordered data. Omitting `"cells"` scores every cell.
+//!
+//! ## Error mapping
+//!
+//! Typed [`ModelError`]s map onto statuses ([`error_status`]): client-
+//! shaped failures (`SchemaMismatch`, `CellOutOfBounds`) are 400s, an
+//! unusable degenerate model is a 409, and artifact I/O or format
+//! failures (reloads) are 500s. Every mapped error is also counted per
+//! category in the metrics, so a schema-mismatch storm is visible on
+//! `GET /metrics` as such.
+
+use crate::batch::{BatchConfig, MicroBatcher};
+use crate::http::{self, Handler, HttpConfig, Request, Response, ServerHandle};
+use crate::json::{self, Json, ParseLimits};
+use crate::metrics::{model_error_category, Metrics};
+use crate::registry::{ModelRegistry, ServedModel};
+use holo_data::{CellId, Dataset, DatasetBuilder, Schema};
+use holo_eval::{ModelError, TrainedModel};
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything the serving stack needs to start.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// HTTP layer knobs.
+    pub http: HttpConfig,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+}
+
+/// The HTTP status a [`ModelError`] maps to.
+pub fn error_status(e: &ModelError) -> u16 {
+    match e {
+        ModelError::SchemaMismatch { .. } | ModelError::CellOutOfBounds { .. } => 400,
+        ModelError::Degenerate { .. } => 409,
+        ModelError::Io(_) | ModelError::Format(_) => 500,
+    }
+}
+
+/// Shared state behind the handler closure.
+struct App {
+    registry: Arc<ModelRegistry>,
+    batcher: MicroBatcher,
+    metrics: Arc<Metrics>,
+    limits: ParseLimits,
+}
+
+/// A running serving stack: HTTP server + batcher + registry.
+pub struct RunningServer {
+    http: Option<ServerHandle>,
+    app: Arc<App>,
+}
+
+impl RunningServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.http.as_ref().expect("server running").addr()
+    }
+
+    /// The live metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.app.metrics)
+    }
+
+    /// The model registry (for out-of-band loads/reloads).
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.app.registry)
+    }
+
+    /// Graceful shutdown: drain in-flight HTTP requests, then the
+    /// batching queue, then join every thread.
+    pub fn shutdown(mut self) {
+        if let Some(h) = self.http.take() {
+            h.shutdown();
+        }
+        self.app.batcher.shutdown();
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if let Some(h) = self.http.take() {
+            h.shutdown();
+        }
+        self.app.batcher.shutdown();
+    }
+}
+
+/// Bind `addr` and serve the registry. Returns once listening.
+pub fn start(
+    addr: &str,
+    cfg: ServeConfig,
+    registry: Arc<ModelRegistry>,
+) -> io::Result<RunningServer> {
+    let metrics = Arc::new(Metrics::new());
+    let batcher = MicroBatcher::start(cfg.batch, Arc::clone(&metrics));
+    let app = Arc::new(App {
+        registry,
+        batcher,
+        metrics,
+        limits: ParseLimits::default(),
+    });
+    let handler: Handler = {
+        let app = Arc::clone(&app);
+        Arc::new(move |req: &Request| app.route(req))
+    };
+    // Count protocol-level rejections (oversized/malformed requests the
+    // HTTP layer answers itself) so request storms show up on /metrics.
+    let observer = {
+        let metrics = Arc::clone(&app.metrics);
+        Arc::new(move |status: u16| metrics.record_protocol_error(status))
+    };
+    let http = http::serve_with_observer(addr, cfg.http, handler, Some(observer))?;
+    Ok(RunningServer {
+        http: Some(http),
+        app,
+    })
+}
+
+/// A handler-level failure: status + message (+ the typed model error
+/// when there is one, for metrics).
+struct Failure {
+    status: u16,
+    msg: String,
+    model_error: Option<ModelError>,
+}
+
+impl Failure {
+    fn bad_request(msg: impl Into<String>) -> Self {
+        Failure {
+            status: 400,
+            msg: msg.into(),
+            model_error: None,
+        }
+    }
+
+    fn not_found(msg: impl Into<String>) -> Self {
+        Failure {
+            status: 404,
+            msg: msg.into(),
+            model_error: None,
+        }
+    }
+
+    fn model(e: ModelError) -> Self {
+        Failure {
+            status: error_status(&e),
+            msg: e.to_string(),
+            model_error: Some(e),
+        }
+    }
+
+    fn into_response(self, metrics: &Metrics) -> Response {
+        let mut body = vec![("error".to_string(), Json::Str(self.msg))];
+        if let Some(e) = &self.model_error {
+            body.push((
+                "category".to_string(),
+                Json::Str(model_error_category(e).to_string()),
+            ));
+            metrics.record_model_error(e);
+        }
+        Response::json(self.status, Json::Obj(body).to_string())
+    }
+}
+
+impl App {
+    fn route(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        let resp = self
+            .dispatch(req)
+            .unwrap_or_else(|f| f.into_response(&self.metrics));
+        self.metrics.record_response(resp.status, start.elapsed());
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Result<Response, Failure> {
+        let segments: Vec<&str> = req
+            .path_only()
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Ok(self.healthz()),
+            ("GET", ["metrics"]) => Ok(Response::text(200, self.metrics.render())),
+            ("POST", ["v1", "models", name, "score"]) => self.score(req, name, false),
+            ("POST", ["v1", "models", name, "predict"]) => self.score(req, name, true),
+            ("POST", ["v1", "models", name, "reload"]) => self.reload(name),
+            (_, ["healthz" | "metrics"])
+            | (_, ["v1", "models", _, "score" | "predict" | "reload"]) => Err(Failure {
+                status: 405,
+                msg: format!("method {} not allowed here", req.method),
+                model_error: None,
+            }),
+            _ => Err(Failure::not_found(format!(
+                "no such endpoint: {}",
+                req.path_only()
+            ))),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let models = self
+            .registry
+            .names()
+            .into_iter()
+            .map(Json::Str)
+            .collect::<Vec<_>>();
+        let body = Json::Obj(vec![
+            ("status".into(), Json::Str("ok".into())),
+            ("models".into(), Json::Arr(models)),
+            (
+                "uptime_secs".into(),
+                Json::Num(self.metrics.uptime().as_secs() as f64),
+            ),
+        ]);
+        Response::json(200, body.to_string())
+    }
+
+    fn reload(&self, name: &str) -> Result<Response, Failure> {
+        match self.registry.reload(name) {
+            None => Err(Failure::not_found(format!("no model named {name:?}"))),
+            Some(Err(e)) => Err(Failure::model(e)),
+            Some(Ok(model)) => {
+                self.metrics.record_reload();
+                Ok(Response::json(
+                    200,
+                    Json::Obj(vec![
+                        ("model".into(), Json::Str(model.name().into())),
+                        ("generation".into(), Json::Num(model.generation() as f64)),
+                    ])
+                    .to_string(),
+                ))
+            }
+        }
+    }
+
+    fn score(&self, req: &Request, name: &str, predict: bool) -> Result<Response, Failure> {
+        let model = self
+            .registry
+            .get(name)
+            .ok_or_else(|| Failure::not_found(format!("no model named {name:?}")))?;
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| Failure::bad_request("request body is not utf-8"))?;
+        let doc = json::parse_with_limits(body, &self.limits)
+            .map_err(|e| Failure::bad_request(e.to_string()))?;
+
+        let (data, cells) = self.ingest(&doc, &model)?;
+        let scores = self
+            .app_score(Arc::clone(&model), data, cells)
+            .map_err(Failure::model)?;
+
+        let mut out = vec![
+            ("model".to_string(), Json::Str(model.name().into())),
+            (
+                "generation".to_string(),
+                Json::Num(model.generation() as f64),
+            ),
+        ];
+        if predict {
+            let threshold = match doc.get("threshold") {
+                None => model.model().default_threshold(),
+                Some(t) => t
+                    .as_f64()
+                    .ok_or_else(|| Failure::bad_request("\"threshold\" must be a number"))?,
+            };
+            let labels = scores
+                .iter()
+                .map(|&p| Json::Str(if p >= threshold { "error" } else { "correct" }.into()))
+                .collect();
+            out.push(("threshold".into(), Json::Num(threshold)));
+            out.push(("labels".into(), Json::Arr(labels)));
+        }
+        out.push((
+            "scores".into(),
+            Json::Arr(scores.into_iter().map(Json::Num).collect()),
+        ));
+        Ok(Response::json(200, Json::Obj(out).to_string()))
+    }
+
+    fn app_score(
+        &self,
+        model: Arc<ServedModel>,
+        data: Dataset,
+        cells: Vec<CellId>,
+    ) -> Result<Vec<f64>, ModelError> {
+        self.batcher.score(model, data, cells)
+    }
+
+    /// Decode `{"rows": [...], "cells": [...]}` into a dataset batch
+    /// shaped by the model's fitted schema, plus the target cells.
+    fn ingest(&self, doc: &Json, model: &ServedModel) -> Result<(Dataset, Vec<CellId>), Failure> {
+        let rows = doc
+            .get("rows")
+            .ok_or_else(|| Failure::bad_request("missing \"rows\" array"))?
+            .as_arr()
+            .ok_or_else(|| Failure::bad_request("\"rows\" must be an array of objects"))?;
+
+        // The fitted schema shapes the batch; a degenerate artifact has
+        // none, so the first row's keys define it.
+        let schema = match model.schema() {
+            Some(s) => s.clone(),
+            None => schema_from_first_row(rows)?,
+        };
+
+        let mut b = DatasetBuilder::new(schema.clone()).with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let obj = row
+                .as_obj()
+                .ok_or_else(|| Failure::bad_request(format!("rows[{i}] is not an object")))?;
+            let mut pairs = Vec::with_capacity(obj.len());
+            for (key, value) in obj {
+                pairs.push((
+                    key.as_str(),
+                    cell_string(value).ok_or_else(|| {
+                        Failure::bad_request(format!(
+                            "rows[{i}].{key:?} must be a string, number, or bool"
+                        ))
+                    })?,
+                ));
+            }
+            let row = schema
+                .row_from_pairs(pairs)
+                .map_err(|e| Failure::bad_request(format!("rows[{i}]: {e}")))?;
+            b.push_row(row.values());
+        }
+        let data = b.build();
+
+        let cells = match doc.get("cells") {
+            None => data.cell_ids().collect(),
+            Some(spec) => {
+                let arr = spec
+                    .as_arr()
+                    .ok_or_else(|| Failure::bad_request("\"cells\" must be an array"))?;
+                let mut out = Vec::with_capacity(arr.len());
+                for (i, c) in arr.iter().enumerate() {
+                    out.push(
+                        parse_cell(c, &schema)
+                            .map_err(|msg| Failure::bad_request(format!("cells[{i}]: {msg}")))?,
+                    );
+                }
+                out
+            }
+        };
+        Ok((data, cells))
+    }
+}
+
+/// The cell-value string of a scalar JSON value.
+fn cell_string(v: &Json) -> Option<String> {
+    match v {
+        Json::Str(s) => Some(s.clone()),
+        Json::Num(x) => Some(Json::Num(*x).to_string()),
+        Json::Bool(b) => Some(b.to_string()),
+        _ => None,
+    }
+}
+
+/// For degenerate models only: derive a schema from the first row's
+/// keys (the server has no fitted schema to validate against).
+fn schema_from_first_row(rows: &[Json]) -> Result<Schema, Failure> {
+    let Some(first) = rows.first() else {
+        return Ok(Schema::new(Vec::<String>::new()));
+    };
+    let obj = first
+        .as_obj()
+        .ok_or_else(|| Failure::bad_request("rows[0] is not an object"))?;
+    let mut names = Vec::with_capacity(obj.len());
+    for (k, _) in obj {
+        if names.contains(k) {
+            return Err(Failure::bad_request(format!(
+                "rows[0] repeats column {k:?}"
+            )));
+        }
+        names.push(k.clone());
+    }
+    Ok(Schema::new(names))
+}
+
+/// Parse `{"row": n, "attr": name-or-index}` into a [`CellId`].
+fn parse_cell(c: &Json, schema: &Schema) -> Result<CellId, String> {
+    let row = c
+        .get("row")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric \"row\"")?;
+    if row < 0.0 || row.fract() != 0.0 || row > u32::MAX as f64 {
+        return Err(format!("\"row\" {row} is not a valid row index"));
+    }
+    let attr = match c.get("attr") {
+        Some(Json::Str(name)) => schema
+            .attr_index(name)
+            .ok_or_else(|| format!("unknown attribute {name:?}"))?,
+        Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x < schema.len() as f64 => {
+            *x as usize
+        }
+        Some(Json::Num(x)) => return Err(format!("attribute index {x} out of range")),
+        _ => return Err("missing \"attr\" (name or index)".into()),
+    };
+    Ok(CellId::new(row as usize, attr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_errors_map_to_documented_statuses() {
+        assert_eq!(
+            error_status(&ModelError::SchemaMismatch {
+                expected: vec![],
+                found: vec![]
+            }),
+            400
+        );
+        assert_eq!(
+            error_status(&ModelError::CellOutOfBounds {
+                cell: CellId::new(0, 0),
+                n_tuples: 0,
+                n_attrs: 0
+            }),
+            400
+        );
+        assert_eq!(
+            error_status(&ModelError::Degenerate {
+                method: "AUG".into()
+            }),
+            409
+        );
+        assert_eq!(error_status(&ModelError::Io(io::Error::other("x"))), 500);
+        assert_eq!(error_status(&ModelError::Format("x".into())), 500);
+    }
+
+    #[test]
+    fn parse_cell_resolves_names_and_indexes() {
+        let schema = Schema::new(["Zip", "City"]);
+        let by_name = json::parse(r#"{"row": 2, "attr": "City"}"#).unwrap();
+        assert_eq!(parse_cell(&by_name, &schema).unwrap(), CellId::new(2, 1));
+        let by_index = json::parse(r#"{"row": 0, "attr": 0}"#).unwrap();
+        assert_eq!(parse_cell(&by_index, &schema).unwrap(), CellId::new(0, 0));
+        for bad in [
+            r#"{"attr": "City"}"#,
+            r#"{"row": -1, "attr": "City"}"#,
+            r#"{"row": 1.5, "attr": "City"}"#,
+            r#"{"row": 0, "attr": "Nope"}"#,
+            r#"{"row": 0, "attr": 7}"#,
+            r#"{"row": 0}"#,
+        ] {
+            let c = json::parse(bad).unwrap();
+            assert!(parse_cell(&c, &schema).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn cell_string_accepts_scalars_only() {
+        assert_eq!(cell_string(&Json::Str("x".into())), Some("x".into()));
+        assert_eq!(cell_string(&Json::Num(60612.0)), Some("60612".into()));
+        assert_eq!(cell_string(&Json::Bool(true)), Some("true".into()));
+        assert_eq!(cell_string(&Json::Null), None);
+        assert_eq!(cell_string(&Json::Arr(vec![])), None);
+    }
+}

@@ -1,0 +1,513 @@
+//! The micro-batching queue: coalesce concurrent score requests into
+//! larger `score_batch` calls.
+//!
+//! Featurization inside `score_batch` fans out across `cfg.threads`
+//! worker threads and amortizes per-call setup, so one 256-cell call is
+//! much cheaper than sixteen 16-cell calls. The batcher exploits that:
+//! HTTP workers submit `(model, dataset, cells)` jobs and block on a
+//! reply channel; a single batcher thread takes the first queued job,
+//! gathers compatible jobs for up to [`BatchConfig::max_wait`] (or until
+//! [`BatchConfig::max_batch_cells`] cells are pending), merges their
+//! rows into one dataset, issues **one** `score_batch`, and fans the
+//! scores back out.
+//!
+//! ## Merge safety — why served scores stay bitwise-identical
+//!
+//! Scores must be *exactly* what the caller would have gotten from a
+//! direct `score_batch` on its own dataset. Every HoloDetect feature is
+//! row-local (format/empirical/co-occurrence models query the cell's own
+//! row against fit-time statistics) **except** one: the violation
+//! featurizer has an index-aligned fast path — a queried row whose index
+//! `t` and values match reference row `t` is scored with fit-time
+//! self-excluding semantics. Merging shifts row indices, which could
+//! flip that alignment. [`merge_safe`] therefore admits a job into a
+//! merged batch only if none of its rows is reference-aligned at either
+//! its original or its shifted index; anything else is scored solo.
+//! The check is O(rows × attrs) string comparisons per job — noise next
+//! to featurization.
+
+use crate::metrics::Metrics;
+use crate::registry::ServedModel;
+use holo_data::{CellId, Dataset, DatasetBuilder};
+use holo_eval::{ModelError, TrainedModel};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Stop gathering once this many cells are pending in the group.
+    /// `1` disables coalescing (every request scores solo).
+    pub max_batch_cells: usize,
+    /// How long the batcher waits for more requests to coalesce after
+    /// the first one arrives. Zero disables waiting.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch_cells: 512,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Job {
+    model: Arc<ServedModel>,
+    data: Dataset,
+    cells: Vec<CellId>,
+    reply: Sender<Result<Vec<f64>, ModelError>>,
+}
+
+/// The batching queue plus its worker thread.
+pub struct MicroBatcher {
+    cfg: BatchConfig,
+    tx: Mutex<Option<Sender<Job>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MicroBatcher {
+    /// Start the batcher thread.
+    pub fn start(cfg: BatchConfig, metrics: Arc<Metrics>) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let loop_cfg = cfg.clone();
+        let worker = std::thread::Builder::new()
+            .name("holo-serve-batcher".into())
+            .spawn(move || {
+                let mut queue: VecDeque<Job> = VecDeque::new();
+                loop {
+                    // First job of the round: a stashed incompatible one,
+                    // else block for a fresh arrival. Disconnect + empty
+                    // queue = shutdown complete.
+                    let first = match queue.pop_front() {
+                        Some(j) => j,
+                        None => match rx.recv() {
+                            Ok(j) => j,
+                            Err(_) => break,
+                        },
+                    };
+                    let deadline = Instant::now() + loop_cfg.max_wait;
+                    let mut group = vec![first];
+                    let mut group_cells = group[0].cells.len();
+                    let mut group_rows = group[0].data.n_tuples();
+                    // Absorb compatible jobs already waiting in the
+                    // queue (stashed in an earlier round), so stashed
+                    // traffic coalesces too instead of draining solo.
+                    let mut i = 0;
+                    while i < queue.len() && group_cells < loop_cfg.max_batch_cells {
+                        if compatible(&group[0], &queue[i], group_rows) {
+                            let job = queue.remove(i).expect("index in range");
+                            group_cells += job.cells.len();
+                            group_rows += job.data.n_tuples();
+                            group.push(job);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let mut stash: VecDeque<Job> = VecDeque::new();
+                    // Only wait on the wire when there is no backlog —
+                    // queued jobs should not sit behind a gather timer.
+                    while queue.is_empty() && group_cells < loop_cfg.max_batch_cells {
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        let job = match rx.recv_timeout(left) {
+                            Ok(j) => j,
+                            // Timeout: the window closed. Disconnected:
+                            // drain mode — run what we have.
+                            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                                break
+                            }
+                        };
+                        if compatible(&group[0], &job, group_rows) {
+                            group_cells += job.cells.len();
+                            group_rows += job.data.n_tuples();
+                            group.push(job);
+                        } else {
+                            stash.push_back(job);
+                            if stash.len() >= 64 {
+                                break; // don't hoard other models' work
+                            }
+                        }
+                    }
+                    // Scoring runs user-model code; a panic there must
+                    // cost this group its replies (callers see a typed
+                    // error), never the batcher thread.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute(group, &metrics)
+                    }));
+                    queue.append(&mut stash);
+                }
+            })
+            .expect("spawn batcher");
+        MicroBatcher {
+            cfg,
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Score `cells` of `data` through `model`, coalescing with other
+    /// concurrent requests when profitable. Blocks until scored.
+    pub fn score(
+        &self,
+        model: Arc<ServedModel>,
+        data: Dataset,
+        cells: Vec<CellId>,
+    ) -> Result<Vec<f64>, ModelError> {
+        let sender = self
+            .tx
+            .lock()
+            .expect("batcher lock poisoned")
+            .clone()
+            .ok_or_else(shut_down)?;
+        let (reply_tx, reply_rx) = channel();
+        sender
+            .send(Job {
+                model,
+                data,
+                cells,
+                reply: reply_tx,
+            })
+            .map_err(|_| shut_down())?;
+        // A dropped reply after a successful send means the batcher
+        // aborted this group (it survives; see `guarded_score`).
+        reply_rx
+            .recv()
+            .map_err(|_| ModelError::Format("scoring was aborted by the batcher".into()))?
+    }
+
+    /// Stop accepting new jobs, finish the queued ones, join the thread.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("batcher lock poisoned").take());
+        if let Some(w) = self.worker.lock().expect("batcher lock poisoned").take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn shut_down() -> ModelError {
+    ModelError::Io(std::io::Error::other("serving batcher is shut down"))
+}
+
+/// May `job` join a merged batch led by `first`, with `offset` rows
+/// already ahead of it?
+fn compatible(first: &Job, job: &Job, offset: usize) -> bool {
+    Arc::ptr_eq(&first.model, &job.model)
+        && first.data.schema() == job.data.schema()
+        && merge_safe(&job.model, &job.data, offset)
+}
+
+/// True when every row of `data` scores identically whether the dataset
+/// is scored alone or spliced into a merged batch at row `offset`: no
+/// row may be reference-aligned (same index, same values) at either its
+/// original index or its shifted one. See the module docs.
+fn merge_safe(model: &ServedModel, data: &Dataset, offset: usize) -> bool {
+    let Some(artifact) = model.model().artifact() else {
+        return true; // degenerate model: every score is 0 regardless
+    };
+    let reference = artifact.reference();
+    let n_ref = reference.n_tuples();
+    let na = data.n_attrs();
+    if reference.n_attrs() != na {
+        return false; // will error either way — keep the blast radius solo
+    }
+    let row_eq = |t: usize, r: usize| (0..na).all(|a| data.value(t, a) == reference.value(r, a));
+    for t in 0..data.n_tuples() {
+        if t < n_ref && row_eq(t, t) {
+            return false;
+        }
+        let shifted = t + offset;
+        if shifted < n_ref && row_eq(t, shifted) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Run scoring work behind panic isolation: model code must never be
+/// able to take the batcher thread down, so a panic becomes a typed
+/// error on the offending call.
+fn guarded<F: FnOnce() -> Result<Vec<f64>, ModelError>>(f: F) -> Result<Vec<f64>, ModelError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .unwrap_or_else(|_| Err(ModelError::Format("model panicked while scoring".into())))
+}
+
+fn guarded_score(
+    model: &ServedModel,
+    data: &Dataset,
+    cells: &[CellId],
+) -> Result<Vec<f64>, ModelError> {
+    guarded(|| model.model().score_batch(data, cells))
+}
+
+/// Score one job solo, keeping the books: the call shape lands in the
+/// batch histograms, the cells in the scored total only on success.
+fn execute_solo(job: Job, metrics: &Metrics) {
+    metrics.record_batch(job.cells.len(), 1);
+    let result = guarded_score(&job.model, &job.data, &job.cells);
+    if let Ok(scores) = &result {
+        metrics.record_scored_cells(scores.len());
+    }
+    let _ = job.reply.send(result);
+}
+
+fn execute(group: Vec<Job>, metrics: &Metrics) {
+    if group.len() == 1 {
+        let job = group.into_iter().next().expect("one job");
+        execute_solo(job, metrics);
+        return;
+    }
+
+    // Merge: concatenate rows, shift each job's cells by its row offset.
+    let total_cells: usize = group.iter().map(|j| j.cells.len()).sum();
+    let mut b = DatasetBuilder::new(group[0].data.schema().clone());
+    let mut merged_cells = Vec::with_capacity(total_cells);
+    for job in &group {
+        let offset = b.rows();
+        for t in 0..job.data.n_tuples() {
+            b.push_row(&job.data.tuple_values(t));
+        }
+        merged_cells.extend(job.cells.iter().map(|c| CellId::new(c.t() + offset, c.a())));
+    }
+    let merged = b.build();
+    metrics.record_batch(total_cells, group.len());
+    match guarded_score(&group[0].model, &merged, &merged_cells) {
+        Ok(scores) => {
+            metrics.record_scored_cells(scores.len());
+            let mut rest = scores.as_slice();
+            for job in group {
+                let (mine, tail) = rest.split_at(job.cells.len());
+                let _ = job.reply.send(Ok(mine.to_vec()));
+                rest = tail;
+            }
+        }
+        // A merged failure must not poison innocent neighbours: fall
+        // back to scoring each job alone so errors land only where they
+        // belong (each fallback call is its own entry in the books).
+        Err(_) => {
+            for job in group {
+                execute_solo(job, metrics);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use holo_data::{GroundTruth, Schema};
+    use holo_eval::FitContext;
+    use holodetect::{HoloDetect, HoloDetectConfig};
+
+    /// Fit a small real model, save it, and load it through the registry
+    /// (the shape the server uses).
+    fn served_model() -> (Arc<ServedModel>, Dataset) {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for _ in 0..25 {
+            b.push_row(&["60612", "Chicago"]);
+            b.push_row(&["53703", "Madison"]);
+        }
+        let clean = b.build();
+        let mut dirty = clean.clone();
+        dirty.set_value(0, 1, "Cxhicago");
+        dirty.set_value(7, 1, "Madxison");
+        let truth = GroundTruth::from_pair(&clean, &dirty);
+        let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
+        let mut cfg = HoloDetectConfig::fast();
+        cfg.epochs = 8;
+        let fitted = HoloDetect::new(cfg).fit_model(&FitContext {
+            dirty: &dirty,
+            train: &train,
+            sampling: None,
+            constraints: &[],
+            seed: 3,
+        });
+        let path = std::env::temp_dir().join(format!(
+            "holo-serve-batch-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fitted.save(&path).expect("save");
+        let reg = ModelRegistry::new();
+        let model = reg.load_insert("m", &path).expect("load");
+        std::fs::remove_file(&path).ok();
+        (model, dirty)
+    }
+
+    /// A foreign batch (rows the reference never saw, so merging is
+    /// always admissible).
+    fn foreign_batch(tag: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        b.push_row(&[format!("606{tag:02}"), "Chicago".to_string()]);
+        b.push_row(&["53703".to_string(), format!("Madiso{tag}")]);
+        b.build()
+    }
+
+    #[test]
+    fn concurrent_jobs_score_bitwise_identical_to_direct_calls() {
+        let (model, _) = served_model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::start(
+            BatchConfig {
+                max_batch_cells: 64,
+                max_wait: Duration::from_millis(25),
+            },
+            Arc::clone(&metrics),
+        );
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let model = Arc::clone(&model);
+                    let batcher = &batcher;
+                    s.spawn(move || {
+                        let data = foreign_batch(i);
+                        let cells: Vec<CellId> = data.cell_ids().collect();
+                        let direct = model.model().score_batch(&data, &cells).expect("direct");
+                        let served = batcher
+                            .score(Arc::clone(&model), data, cells)
+                            .expect("served");
+                        (direct, served)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (direct, served) = h.join().expect("job thread");
+                assert_eq!(
+                    direct.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    served.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    "batched scores differ from direct score_batch"
+                );
+            }
+        });
+        // Every submitted cell was scored exactly once.
+        batcher.shutdown();
+        assert!(metrics
+            .render()
+            .contains("holo_serve_cells_scored_total 32"));
+    }
+
+    #[test]
+    fn reference_aligned_rows_still_score_identically() {
+        // Rows that *are* reference rows (aligned fast path) mixed with
+        // foreign ones: the safety check must keep parity exact.
+        let (model, dirty) = served_model();
+        let batcher = MicroBatcher::start(
+            BatchConfig {
+                max_batch_cells: 256,
+                max_wait: Duration::from_millis(25),
+            },
+            Arc::new(Metrics::new()),
+        );
+        // A dataset equal to the reference's first rows — aligned.
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for t in 0..6 {
+            b.push_row(&dirty.tuple_values(t));
+        }
+        let aligned = b.build();
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    let model = Arc::clone(&model);
+                    let batcher = &batcher;
+                    let data = if i % 2 == 0 {
+                        aligned.clone()
+                    } else {
+                        foreign_batch(40 + i)
+                    };
+                    s.spawn(move || {
+                        let cells: Vec<CellId> = data.cell_ids().collect();
+                        let direct = model.model().score_batch(&data, &cells).expect("direct");
+                        let served = batcher
+                            .score(Arc::clone(&model), data, cells)
+                            .expect("served");
+                        assert_eq!(
+                            direct.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                            served.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                        );
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("job thread");
+            }
+        });
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn merge_safe_flags_aligned_rows() {
+        let (model, dirty) = served_model();
+        // The reference itself at offset 0: aligned → unsafe to merge.
+        assert!(!merge_safe(&model, &dirty, 0));
+        // Foreign rows: safe at any offset.
+        let foreign = foreign_batch(9);
+        assert!(merge_safe(&model, &foreign, 0));
+        assert!(merge_safe(&model, &foreign, 17));
+        // A foreign batch whose row 0 equals reference row 3 becomes
+        // unsafe exactly when the offset would align them.
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        b.push_row(&dirty.tuple_values(3));
+        let shifted = b.build();
+        assert!(!merge_safe(&model, &shifted, 3));
+        assert!(merge_safe(&model, &shifted, 4));
+    }
+
+    #[test]
+    fn errors_only_land_on_the_offending_job() {
+        let (model, _) = served_model();
+        let batcher = MicroBatcher::start(BatchConfig::default(), Arc::new(Metrics::new()));
+        let good = foreign_batch(1);
+        let good_cells: Vec<CellId> = good.cell_ids().collect();
+        // Out-of-bounds cells: typed error, not garbage, not a panic.
+        let bad = foreign_batch(2);
+        let r = batcher.score(Arc::clone(&model), bad, vec![CellId::new(99, 0)]);
+        assert!(matches!(r, Err(ModelError::CellOutOfBounds { .. })));
+        // And the batcher still serves afterwards.
+        let ok = batcher.score(Arc::clone(&model), good, good_cells).unwrap();
+        assert_eq!(ok.len(), 4);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn panicking_model_code_is_a_typed_error_not_a_dead_batcher() {
+        // The guard that keeps the batcher thread alive: a panic inside
+        // scoring becomes a Format error on that call.
+        let r = guarded(|| panic!("poisoned model"));
+        let Err(ModelError::Format(msg)) = r else {
+            panic!("panic was not converted to a typed error")
+        };
+        assert!(msg.contains("panicked"));
+        // Non-panicking work passes through untouched.
+        assert_eq!(guarded(|| Ok(vec![0.5])).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn shutdown_is_typed_not_hung() {
+        let (model, _) = served_model();
+        let batcher = MicroBatcher::start(BatchConfig::default(), Arc::new(Metrics::new()));
+        batcher.shutdown();
+        let data = foreign_batch(3);
+        let cells: Vec<CellId> = data.cell_ids().collect();
+        assert!(matches!(
+            batcher.score(model, data, cells),
+            Err(ModelError::Io(_))
+        ));
+    }
+}

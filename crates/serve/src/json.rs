@@ -1,0 +1,692 @@
+//! A hand-rolled JSON codec for the serving boundary.
+//!
+//! The workspace is offline, so the wire format is implemented here the
+//! same way `holo_data::binio` implements artifact persistence: from
+//! scratch, over std. The codec is deliberately small — a tokenizer, a
+//! [`Json`] tree, a compact printer — and *defensive*: parsing untrusted
+//! request bodies is bounded by [`ParseLimits`] (nesting depth and total
+//! node count), so a hostile payload cannot recurse the stack away or
+//! allocate unboundedly before the request-size cap has already bounded
+//! its bytes.
+//!
+//! Printing uses Rust's shortest-roundtrip float formatting, so
+//! `parse(print(v)) == v` holds for every representable value — a
+//! property the server leans on: scores serialized into a response parse
+//! back to bitwise-identical `f64`s on the client.
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order (a `Vec` of pairs, not a map): printing a
+/// parsed document reproduces it byte for byte modulo whitespace, and
+/// duplicate-key detection stays the ingest layer's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always an `f64`, like browsers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(kvs) => Some(kvs),
+            _ => None,
+        }
+    }
+
+    /// The first value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid json at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Caps applied while parsing untrusted input.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth.
+    pub max_depth: usize,
+    /// Maximum total number of values in the document.
+    pub max_nodes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: 64,
+            max_nodes: 1 << 20,
+        }
+    }
+}
+
+/// Parse a complete JSON document under the default [`ParseLimits`].
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    parse_with_limits(input, &ParseLimits::default())
+}
+
+/// Parse a complete JSON document under explicit limits.
+pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        nodes: 0,
+        limits,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    nodes: usize,
+    limits: &'a ParseLimits,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            return Err(self.err(format!("document exceeds {} values", self.limits.max_nodes)));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn enter(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth + 1 > self.limits.max_depth {
+            Err(self.err(format!(
+                "nesting exceeds depth limit {}",
+                self.limits.max_depth
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.enter(depth)?;
+        self.pos += 1; // consume '['
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(out));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.enter(depth)?;
+        self.pos += 1; // consume '{'
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            out.push((key, val));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(out));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume opening '"'
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("unescaped control character in string")),
+                _ => {
+                    // Multi-byte UTF-8 is already valid (input is &str);
+                    // copy the whole scalar.
+                    let s = &self.bytes[self.pos..];
+                    let ch_len = utf8_len(b);
+                    let ch = std::str::from_utf8(&s[..ch_len.min(s.len())])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    out.push_str(ch);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    /// The four hex digits after `\u`, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if !(self.eat(b'\\') && self.eat(b'u')) {
+                return Err(self.err("lone high surrogate"));
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xDC00..=0xDFFF).contains(&hi) {
+            Err(self.err("lone low surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid unicode escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        // Integer part: "0" or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.eat(b'.') {
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let x: f64 = text.parse().map_err(|_| self.err("unparseable number"))?;
+        if !x.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(x))
+    }
+}
+
+/// Leading-byte UTF-8 sequence length (input is valid UTF-8 already).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact printing (no insignificant whitespace). Floats use Rust's
+    /// shortest-roundtrip formatting, so printing and re-parsing is the
+    /// identity on values — except non-finite numbers, which JSON cannot
+    /// represent and which print as `null`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            // JSON has no NaN/Infinity; print them as null (the parser
+            // rejects them on input, so they are unrepresentable, and
+            // emitting "NaN" would make the whole document unparseable).
+            Json::Num(x) if !x.is_finite() => f.write_str("null"),
+            Json::Num(x) => write!(f, "{x}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(kvs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in kvs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) {
+        let printed = v.to_string();
+        let back = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        assert_eq!(&back, v, "roundtrip through {printed:?}");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_containers_preserving_order() {
+        let v = parse(r#"{"b": [1, {"x": null}], "a": "y"}"#).unwrap();
+        let Json::Obj(kvs) = &v else {
+            panic!("not an object")
+        };
+        assert_eq!(kvs[0].0, "b");
+        assert_eq!(kvs[1].0, "a");
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("y"));
+        assert_eq!(
+            v.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse(r#""a\"b\\c\/d\n\t\r\b\fAé😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c/d\n\t\r\u{8}\u{c}Aé😀");
+        roundtrip(&v);
+        roundtrip(&Json::Str("control \u{1} and quote \" and é".into()));
+    }
+
+    #[test]
+    fn number_formatting_roundtrips_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1e-12,
+            1e15,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            123456789.1234,
+        ] {
+            let printed = Json::Num(x).to_string();
+            let back = parse(&printed).unwrap();
+            assert_eq!(
+                back.as_f64().unwrap().to_bits(),
+                x.to_bits(),
+                "{x:?} printed as {printed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nulll",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "{1: 2}",
+            "+1",
+            "\u{1}",
+            "\"raw \u{1} control\"",
+            "1e309",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let limits = ParseLimits {
+            max_depth: 4,
+            max_nodes: 1000,
+        };
+        assert!(parse_with_limits("[[[[1]]]]", &limits).is_ok());
+        assert!(parse_with_limits("[[[[[1]]]]]", &limits).is_err());
+        // A deep bomb fails fast instead of recursing the stack away.
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let limits = ParseLimits {
+            max_depth: 8,
+            max_nodes: 4,
+        };
+        assert!(parse_with_limits("[1,2,3]", &limits).is_ok());
+        assert!(parse_with_limits("[1,2,3,4]", &limits).is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_print_as_null_not_invalid_json() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Arr(vec![Json::Num(x), Json::Num(1.5)]).to_string();
+            assert_eq!(doc, "[null,1.5]");
+            assert!(parse(&doc).is_ok(), "printed document must stay valid");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = parse("[1, xyz]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::StubRng;
+
+    /// A bounded-depth strategy over arbitrary [`Json`] trees.
+    struct JsonTree;
+
+    fn gen_value(rng: &mut StubRng, depth: usize) -> Json {
+        // Leaves only at the bottom; containers get rarer with depth.
+        let kind = rng.below(if depth == 0 { 4 } else { 6 });
+        match kind {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 0),
+            2 => {
+                // Mix integers, fractions, negatives, and magnitudes.
+                let mantissa = rng.below(1 << 53) as i64 - (1i64 << 52);
+                let scale = [1.0, 1e-6, 1e6, 0.5][rng.below(4) as usize];
+                let x = mantissa as f64 * scale;
+                Json::Num(if x.is_finite() { x } else { 0.0 })
+            }
+            3 => Json::Str(gen_string(rng)),
+            4 => Json::Arr(
+                (0..rng.below(4))
+                    .map(|_| gen_value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.below(4))
+                    .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn gen_string(rng: &mut StubRng) -> String {
+        let n = rng.below(8);
+        (0..n)
+            .map(|_| {
+                match rng.below(5) {
+                    // Printable ASCII, escapes, controls, and non-ASCII.
+                    0 => char::from(b' ' + rng.below(95) as u8),
+                    1 => ['"', '\\', '/'][rng.below(3) as usize],
+                    2 => char::from(rng.below(0x20) as u8),
+                    3 => ['é', 'λ', '中', '😀'][rng.below(4) as usize],
+                    _ => char::from(b'a' + rng.below(26) as u8),
+                }
+            })
+            .collect()
+    }
+
+    impl Strategy for JsonTree {
+        type Value = Json;
+        fn generate(&self, rng: &mut StubRng) -> Json {
+            gen_value(rng, 3)
+        }
+    }
+
+    proptest! {
+        /// parse ∘ print = id on generated values.
+        #[test]
+        fn print_parse_roundtrip(v in JsonTree) {
+            let printed = v.to_string();
+            let back = match parse(&printed) {
+                Ok(b) => b,
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("printed {printed:?} failed to reparse: {e}"))),
+            };
+            prop_assert_eq!(back, v);
+        }
+
+        /// Arbitrary garbage never panics the parser — it returns.
+        #[test]
+        fn malformed_input_never_panics(s in "[ -~]{0,40}") {
+            let _ = parse(&s);
+        }
+
+        /// Garbage built from JSON structural tokens never panics either.
+        #[test]
+        fn jsonish_fuzz_never_panics(v in proptest::collection::vec(0usize..12, 0..10)) {
+            const TOKENS: [&str; 12] = [
+                "[", "]", "{", "}", ":", ",", "\"", "0", "-1.5e3", "null", "\\u12", "\"a\"",
+            ];
+            let doc: String = v.iter().map(|&i| TOKENS[i]).collect();
+            let _ = parse(&doc);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # holo-serve
+//!
+//! A std-only concurrent model-serving subsystem: the layer that turns a
+//! saved HoloDetect artifact (`FittedHoloDetect::save`) into a
+//! long-running network service.
+//!
+//! The paper's economics are train-rarely / score-constantly: few-shot
+//! fitting is the expensive step, and inference over incoming cells is
+//! cheap and embarrassingly batchable. This crate is the deployment
+//! shape of that split — a HoloClean-style detector session as a server:
+//! load artifacts once, keep them resident, and answer detection queries
+//! over tuples as they arrive.
+//!
+//! ## Why std-only
+//!
+//! The workspace builds offline — there is no registry to pull an HTTP
+//! framework, async runtime, or JSON crate from. Like
+//! [`holo_data::binio`] before it, the entire stack is hand-rolled over
+//! std and threads:
+//!
+//! * [`http`] — an HTTP/1.1 server on `std::net::TcpListener`: fixed
+//!   worker pool, keep-alive, request-size limits, per-connection panic
+//!   isolation (a poisoned request costs a 500, never a worker), and
+//!   graceful drain-then-join shutdown.
+//! * [`json`] — a tokenizer/printer for the wire format with depth and
+//!   node caps on untrusted input; printing uses shortest-roundtrip
+//!   float formatting so scores survive the wire bit for bit.
+//! * [`registry`] — [`registry::ModelRegistry`]: names → `Arc`-held
+//!   loaded artifacts behind lock-striped reads, with atomic hot-swap
+//!   reload from disk (`POST /v1/models/{name}/reload`).
+//! * [`batch`] — [`batch::MicroBatcher`]: coalesces concurrent score
+//!   requests into larger `score_batch` calls under a max-batch /
+//!   max-wait policy, with a merge-safety rule that keeps served scores
+//!   bitwise-identical to direct in-process scoring.
+//! * [`metrics`] — saturating counters, monotonic latency/batch-size
+//!   histograms, and per-category [`holo_eval::ModelError`] counts on
+//!   `GET /metrics`.
+//! * [`app`] — the endpoints, request/response schemas, and the
+//!   `ModelError` → HTTP status mapping.
+//!
+//! ## Batching semantics
+//!
+//! A request is answered from the micro-batching queue: the batcher
+//! waits up to `max_wait` (default 2ms) after the first pending request,
+//! gathering compatible requests until `max_batch_cells` cells are
+//! pending, then issues one merged `score_batch`. Merging never changes
+//! scores: requests whose rows would collide with the model's reference
+//! rows under re-indexing are scored solo (see [`batch`] docs). Latency
+//! cost is bounded by `max_wait`; throughput gain comes from
+//! featurization fanning out across the model's worker threads once per
+//! merged call instead of once per request.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! holo-serve --model food=food.holoart --addr 127.0.0.1:7878 --workers 8
+//! curl -s localhost:7878/v1/models/food/score \
+//!   -d '{"rows": [{"Zip": "60612", "City": "Cxhicago"}]}'
+//! ```
+
+pub mod app;
+pub mod batch;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use app::{error_status, start, RunningServer, ServeConfig};
+pub use batch::{BatchConfig, MicroBatcher};
+pub use http::{HttpConfig, Request, Response, ServerHandle};
+pub use json::{parse as parse_json, Json, JsonError, ParseLimits};
+pub use metrics::{model_error_category, Histogram, Metrics};
+pub use registry::{ModelRegistry, ServedModel};

@@ -1,0 +1,138 @@
+//! The `holo-serve` binary: load saved artifacts, bind, serve.
+//!
+//! ```text
+//! holo-serve --model food=artifacts/food.holoart \
+//!            --model census=artifacts/census.holoart \
+//!            --addr 127.0.0.1:7878 --workers 8 \
+//!            --max-batch-cells 512 --max-wait-ms 2
+//! ```
+
+use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ServeConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    models: Vec<(String, String)>,
+    http: HttpConfig,
+    batch: BatchConfig,
+}
+
+const USAGE: &str = "\
+usage: holo-serve --model NAME=PATH [--model NAME=PATH ...] [options]
+
+options:
+  --addr HOST:PORT       listen address          (default 127.0.0.1:7878)
+  --workers N            HTTP worker threads     (default 4)
+  --max-body-bytes N     request body cap        (default 1048576)
+  --max-batch-cells N    micro-batch cell cap    (default 512; 1 disables batching)
+  --max-wait-ms N        micro-batch gather wait (default 2)
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        models: Vec::new(),
+        http: HttpConfig::default(),
+        batch: BatchConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--model" => {
+                let spec = value("--model")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model wants NAME=PATH, got {spec:?}"))?;
+                args.models.push((name.to_string(), path.to_string()));
+            }
+            "--workers" => {
+                args.http.workers = parse_num(&value("--workers")?, "--workers")?;
+            }
+            "--max-body-bytes" => {
+                args.http.max_body_bytes =
+                    parse_num(&value("--max-body-bytes")?, "--max-body-bytes")?;
+            }
+            "--max-batch-cells" => {
+                args.batch.max_batch_cells =
+                    parse_num(&value("--max-batch-cells")?, "--max-batch-cells")?;
+            }
+            "--max-wait-ms" => {
+                args.batch.max_wait = Duration::from_millis(parse_num(
+                    &value("--max-wait-ms")?,
+                    "--max-wait-ms",
+                )? as u64);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.models.is_empty() {
+        return Err("at least one --model NAME=PATH is required".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} wants a number, got {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("holo-serve: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = Arc::new(ModelRegistry::new());
+    for (name, path) in &args.models {
+        match registry.load_insert(name, std::path::Path::new(path)) {
+            Ok(m) => eprintln!(
+                "loaded model {name:?} from {path} (method {}, threshold {:.4})",
+                m.model().method(),
+                m.model().threshold()
+            ),
+            Err(e) => {
+                eprintln!("holo-serve: failed to load {name:?} from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = ServeConfig {
+        http: args.http,
+        batch: args.batch,
+    };
+    let server = match holo_serve::start(&args.addr, cfg, registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("holo-serve: failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "holo-serve listening on http://{} ({} models)",
+        server.addr(),
+        args.models.len()
+    );
+
+    // Serve until the process is killed; workers drain on their own
+    // when the handle drops.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

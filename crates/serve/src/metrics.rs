@@ -1,0 +1,393 @@
+//! Serving metrics: counters and histograms, rendered as a
+//! Prometheus-style text page at `GET /metrics`.
+//!
+//! Two hard rules, both enforced here rather than hoped for:
+//!
+//! * **Bucket bounds are monotonic.** [`Histogram::new`] rejects any
+//!   non-strictly-increasing bound list at construction, and rendering
+//!   emits *cumulative* counts, so the `le`-series a scraper ingests is
+//!   non-decreasing by construction.
+//! * **Counters saturate.** Every increment is a `saturating_add`
+//!   compare-exchange — a long-lived server pegs at `u64::MAX` instead
+//!   of wrapping to zero and faking a counter reset.
+//!
+//! [`ModelError`] outcomes are counted *per category*, so a storm of
+//! schema-mismatch requests is visible as such on the metrics page
+//! rather than drowned in a generic error total.
+
+use holo_eval::ModelError;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Saturating increment-by-`v` for metric counters.
+fn sat_add(counter: &AtomicU64, v: u64) {
+    // fetch_update never fails with an always-Some closure.
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        Some(cur.saturating_add(v))
+    });
+}
+
+/// A fixed-bound histogram with saturating counters.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One per bound, plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Build with the given upper bounds.
+    ///
+    /// # Panics
+    /// Panics unless the bounds are non-empty and strictly increasing —
+    /// a non-monotonic bucket list silently misroutes observations, so
+    /// it is rejected at construction, not at scrape time.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (saturating everywhere).
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        sat_add(&self.buckets[idx], 1);
+        sat_add(&self.count, 1);
+        sat_add(&self.sum, v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative counts per bound (`le`-style), then the total; each
+    /// entry saturates rather than wrapping.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for b in &self.buckets {
+            acc = acc.saturating_add(b.load(Ordering::Relaxed));
+            out.push(acc);
+        }
+        out
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let cumulative = self.cumulative();
+        for (bound, cum) in self.bounds.iter().zip(&cumulative) {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"+Inf\"}} {}",
+            cumulative.last().expect("non-empty")
+        );
+        let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_sum {}", self.sum.load(Ordering::Relaxed));
+    }
+}
+
+/// [`ModelError`] categories, in render order.
+pub const MODEL_ERROR_CATEGORIES: [&str; 5] = [
+    "schema_mismatch",
+    "cell_out_of_bounds",
+    "degenerate",
+    "io",
+    "format",
+];
+
+/// The stable category label of a [`ModelError`].
+pub fn model_error_category(e: &ModelError) -> &'static str {
+    match e {
+        ModelError::SchemaMismatch { .. } => MODEL_ERROR_CATEGORIES[0],
+        ModelError::CellOutOfBounds { .. } => MODEL_ERROR_CATEGORIES[1],
+        ModelError::Degenerate { .. } => MODEL_ERROR_CATEGORIES[2],
+        ModelError::Io(_) => MODEL_ERROR_CATEGORIES[3],
+        ModelError::Format(_) => MODEL_ERROR_CATEGORIES[4],
+    }
+}
+
+/// All serving metrics, shared across workers and the batcher.
+pub struct Metrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    cells_scored_total: AtomicU64,
+    reloads_total: AtomicU64,
+    /// Request latency in microseconds.
+    latency_micros: Histogram,
+    /// Cells per `score_batch` call issued by the micro-batcher.
+    batch_cells: Histogram,
+    /// Requests coalesced per `score_batch` call.
+    batch_requests: Histogram,
+    model_errors: [AtomicU64; MODEL_ERROR_CATEGORIES.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics with the standard bucket layouts.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            cells_scored_total: AtomicU64::new(0),
+            reloads_total: AtomicU64::new(0),
+            latency_micros: Histogram::new(vec![
+                100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+                1_000_000,
+            ]),
+            batch_cells: Histogram::new(vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]),
+            batch_requests: Histogram::new(vec![1, 2, 4, 8, 16, 32]),
+            model_errors: Default::default(),
+        }
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Record one finished request.
+    pub fn record_response(&self, status: u16, latency: Duration) {
+        sat_add(&self.requests_total, 1);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        sat_add(class, 1);
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latency_micros.observe(micros);
+    }
+
+    /// Record the shape of one `score_batch` call issued by the
+    /// micro-batcher (issued, whatever its outcome).
+    pub fn record_batch(&self, cells: usize, coalesced_requests: usize) {
+        self.batch_cells.observe(cells as u64);
+        self.batch_requests.observe(coalesced_requests as u64);
+    }
+
+    /// Record cells that were actually scored (successful calls only —
+    /// an error storm must not inflate the scored total).
+    pub fn record_scored_cells(&self, cells: usize) {
+        sat_add(&self.cells_scored_total, cells as u64);
+    }
+
+    /// Record a typed scoring/loading failure by category.
+    pub fn record_model_error(&self, e: &ModelError) {
+        let cat = model_error_category(e);
+        let idx = MODEL_ERROR_CATEGORIES
+            .iter()
+            .position(|c| *c == cat)
+            .expect("known category");
+        sat_add(&self.model_errors[idx], 1);
+    }
+
+    /// Record a protocol-level error response (400/413/431/501) the
+    /// HTTP layer wrote before any handler ran. Counted in the request
+    /// total and status classes but not the latency histogram (no
+    /// request was actually processed).
+    pub fn record_protocol_error(&self, status: u16) {
+        sat_add(&self.requests_total, 1);
+        let class = match status {
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        sat_add(class, 1);
+    }
+
+    /// Record a successful model hot-swap.
+    pub fn record_reload(&self) {
+        sat_add(&self.reloads_total, 1);
+    }
+
+    /// Total requests recorded so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /metrics` page.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "holo_serve_uptime_seconds {}", self.uptime().as_secs());
+        let _ = writeln!(out, "holo_serve_requests_total {}", self.requests_total());
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "holo_serve_responses_total{{class=\"{class}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "holo_serve_cells_scored_total {}",
+            self.cells_scored_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "holo_serve_model_reloads_total {}",
+            self.reloads_total.load(Ordering::Relaxed)
+        );
+        for (cat, counter) in MODEL_ERROR_CATEGORIES.iter().zip(&self.model_errors) {
+            let _ = writeln!(
+                out,
+                "holo_serve_model_errors_total{{category=\"{cat}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        self.latency_micros
+            .render("holo_serve_request_latency_micros", &mut out);
+        self.batch_cells.render("holo_serve_batch_cells", &mut out);
+        self.batch_requests
+            .render("holo_serve_batch_requests", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_data::CellId;
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_bounds_are_rejected() {
+        Histogram::new(vec![10, 5, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_bounds_are_rejected() {
+        Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        // le=10 → {1,10}; le=100 → +{11,100}; le=1000 → +{}; +Inf → +{5000}.
+        assert_eq!(h.cumulative(), vec![2, 4, 4, 5]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone_nondecreasing() {
+        let h = Histogram::new(vec![2, 4, 8, 16]);
+        for v in 0..40 {
+            h.observe(v % 20);
+        }
+        let cum = h.cumulative();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "{cum:?}");
+        assert_eq!(*cum.last().unwrap(), h.count());
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let h = Histogram::new(vec![10]);
+        h.count.store(u64::MAX, Ordering::Relaxed);
+        h.sum.store(u64::MAX - 1, Ordering::Relaxed);
+        h.buckets[0].store(u64::MAX, Ordering::Relaxed);
+        h.observe(3);
+        assert_eq!(h.count(), u64::MAX, "count wrapped");
+        assert_eq!(h.sum.load(Ordering::Relaxed), u64::MAX, "sum wrapped");
+        // Cumulative rendering saturates too (MAX + overflow bucket).
+        h.observe(99);
+        let cum = h.cumulative();
+        assert_eq!(cum, vec![u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn scored_cells_count_successes_only() {
+        let m = Metrics::new();
+        m.record_batch(100, 4); // issued, but the call failed
+        let page = m.render();
+        assert!(page.contains("holo_serve_cells_scored_total 0"), "{page}");
+        assert!(page.contains("holo_serve_batch_cells_count 1"));
+        m.record_scored_cells(100);
+        assert!(m.render().contains("holo_serve_cells_scored_total 100"));
+    }
+
+    #[test]
+    fn protocol_errors_count_in_request_and_class_totals() {
+        let m = Metrics::new();
+        m.record_protocol_error(431);
+        m.record_protocol_error(501);
+        let page = m.render();
+        assert!(page.contains("holo_serve_requests_total 2"), "{page}");
+        assert!(page.contains("holo_serve_responses_total{class=\"4xx\"} 1"));
+        assert!(page.contains("holo_serve_responses_total{class=\"5xx\"} 1"));
+        // No latency observation was faked for them.
+        assert!(page.contains("holo_serve_request_latency_micros_count 0"));
+    }
+
+    #[test]
+    fn model_errors_are_counted_per_category() {
+        let m = Metrics::new();
+        m.record_model_error(&ModelError::SchemaMismatch {
+            expected: vec!["A".into()],
+            found: vec!["B".into()],
+        });
+        m.record_model_error(&ModelError::SchemaMismatch {
+            expected: vec![],
+            found: vec![],
+        });
+        m.record_model_error(&ModelError::CellOutOfBounds {
+            cell: CellId::new(9, 9),
+            n_tuples: 1,
+            n_attrs: 1,
+        });
+        m.record_model_error(&ModelError::Format("bad".into()));
+        let page = m.render();
+        assert!(page.contains("holo_serve_model_errors_total{category=\"schema_mismatch\"} 2"));
+        assert!(page.contains("holo_serve_model_errors_total{category=\"cell_out_of_bounds\"} 1"));
+        assert!(page.contains("holo_serve_model_errors_total{category=\"format\"} 1"));
+        assert!(page.contains("holo_serve_model_errors_total{category=\"io\"} 0"));
+    }
+
+    #[test]
+    fn render_includes_latency_and_batch_series() {
+        let m = Metrics::new();
+        m.record_response(200, Duration::from_micros(300));
+        m.record_response(404, Duration::from_micros(80));
+        m.record_response(500, Duration::from_secs(30)); // beyond last bound
+        m.record_batch(40, 3);
+        m.record_scored_cells(40);
+        let page = m.render();
+        assert!(page.contains("holo_serve_requests_total 3"));
+        assert!(page.contains("holo_serve_responses_total{class=\"2xx\"} 1"));
+        assert!(page.contains("holo_serve_responses_total{class=\"4xx\"} 1"));
+        assert!(page.contains("holo_serve_responses_total{class=\"5xx\"} 1"));
+        assert!(page.contains("holo_serve_request_latency_micros_bucket{le=\"+Inf\"} 3"));
+        assert!(page.contains("holo_serve_batch_cells_count 1"));
+        assert!(page.contains("holo_serve_batch_requests_bucket{le=\"4\"} 1"));
+        assert!(page.contains("holo_serve_cells_scored_total 40"));
+    }
+}

@@ -1,0 +1,235 @@
+//! The model registry: names → loaded artifacts, with lock-striped
+//! reads and atomic hot-swap reloads.
+//!
+//! Models are held as `Arc<ServedModel>`. A lookup clones the `Arc`
+//! under a striped read lock and drops the lock before any scoring
+//! happens, so the locks only ever guard a pointer swap — never model
+//! work. Reloading loads the artifact from disk *outside* every lock,
+//! then swaps the map entry in one write-locked insert: requests that
+//! already resolved the old `Arc` finish on the old weights, requests
+//! that resolve after the swap get the new ones, and no request ever
+//! observes a half-loaded model.
+
+use holo_eval::ModelError;
+use holodetect::FittedHoloDetect;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// One loaded, immutable, share-anywhere model version.
+pub struct ServedModel {
+    name: String,
+    path: PathBuf,
+    generation: u64,
+    model: FittedHoloDetect,
+}
+
+impl ServedModel {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The artifact file this version was loaded from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reload counter: 0 for the initial load, +1 per hot swap.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The loaded model.
+    pub fn model(&self) -> &FittedHoloDetect {
+        &self.model
+    }
+
+    /// The schema the model scores against (`None` for a degenerate
+    /// artifact, which accepts any schema).
+    pub fn schema(&self) -> Option<&holo_data::Schema> {
+        self.model.artifact().map(|a| a.reference().schema())
+    }
+}
+
+/// Names → current model version, striped to keep readers from
+/// contending on one lock.
+pub struct ModelRegistry {
+    stripes: Vec<RwLock<HashMap<String, Arc<ServedModel>>>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// A registry with the default stripe count.
+    pub fn new() -> Self {
+        Self::with_stripes(8)
+    }
+
+    /// A registry with `n` lock stripes (≥ 1).
+    pub fn with_stripes(n: usize) -> Self {
+        ModelRegistry {
+            stripes: (0..n.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe(&self, name: &str) -> &RwLock<HashMap<String, Arc<ServedModel>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % self.stripes.len()]
+    }
+
+    /// Load an artifact file and register (or replace) it under `name`.
+    /// Returns the registered version.
+    pub fn load_insert(&self, name: &str, path: &Path) -> Result<Arc<ServedModel>, ModelError> {
+        let model = FittedHoloDetect::load(path)?;
+        let mut map = self.stripe(name).write().expect("registry lock poisoned");
+        let generation = map.get(name).map_or(0, |m| m.generation + 1);
+        let entry = Arc::new(ServedModel {
+            name: name.to_string(),
+            path: path.to_path_buf(),
+            generation,
+            model,
+        });
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// The current version of `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
+        self.stripe(name)
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Hot-swap `name` from its artifact file on disk. `None` when the
+    /// name is not registered; `Some(Err)` when the file fails to load
+    /// — in which case the old version keeps serving untouched.
+    pub fn reload(&self, name: &str) -> Option<Result<Arc<ServedModel>, ModelError>> {
+        let current = self.get(name)?;
+        // Disk I/O and deserialization happen outside every lock.
+        Some(self.load_insert(name, current.path()))
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("registry lock poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.read().expect("registry lock poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Write a minimal valid (degenerate) artifact file by hand — enough
+    /// to exercise registry plumbing without fitting a model.
+    fn tmp_artifact(name: &str) -> PathBuf {
+        use holo_data::binio;
+        let path = std::env::temp_dir().join(format!(
+            "holo-serve-registry-{}-{name}.bin",
+            std::process::id()
+        ));
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(b"HOLOARTF"); // artifact magic
+        binio::write_u32(&mut buf, 1).unwrap(); // format version
+        binio::write_str(&mut buf, "AUG").unwrap(); // method
+        binio::write_bool(&mut buf, false).unwrap(); // degenerate: no state
+        std::fs::write(&path, &buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_get_reload_bumps_generation() {
+        let path = tmp_artifact("gen");
+        let reg = ModelRegistry::with_stripes(4);
+        assert!(reg.is_empty());
+        let v0 = reg.load_insert("food", &path).unwrap();
+        assert_eq!(v0.generation(), 0);
+        assert_eq!(reg.get("food").unwrap().generation(), 0);
+        assert_eq!(reg.len(), 1);
+
+        let v1 = reg.reload("food").unwrap().unwrap();
+        assert_eq!(v1.generation(), 1);
+        assert_eq!(reg.get("food").unwrap().generation(), 1);
+        // The old Arc still scores — hot swap never invalidates holders.
+        assert_eq!(v0.generation(), 0);
+        assert_eq!(v0.name(), "food");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_names_and_bad_files_are_distinct_failures() {
+        let reg = ModelRegistry::new();
+        assert!(reg.reload("ghost").is_none());
+        assert!(reg.get("ghost").is_none());
+
+        let bad = std::env::temp_dir().join(format!("holo-serve-bad-{}.bin", std::process::id()));
+        std::fs::write(&bad, b"not an artifact").unwrap();
+        assert!(matches!(
+            reg.load_insert("bad", &bad),
+            Err(ModelError::Format(_))
+        ));
+        // A failed load registers nothing.
+        assert!(reg.get("bad").is_none());
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_the_old_version() {
+        let path = tmp_artifact("stale");
+        let reg = ModelRegistry::new();
+        reg.load_insert("m", &path).unwrap();
+        // Corrupt the file on disk, then try to reload.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(reg.reload("m"), Some(Err(_))));
+        // The registered version is still the good one.
+        let cur = reg.get("m").unwrap();
+        assert_eq!(cur.generation(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn names_are_sorted_across_stripes() {
+        let reg = ModelRegistry::with_stripes(3);
+        for n in ["zeta", "alpha", "mid"] {
+            let path = tmp_artifact(n);
+            reg.load_insert(n, &path).unwrap();
+            std::fs::remove_file(&path).ok();
+        }
+        assert_eq!(reg.names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(reg.len(), 3);
+    }
+}

@@ -13,15 +13,25 @@
 
 use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::csv::{parse_csv, write_csv};
-use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
+use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth};
 use holodetect_repro::datagen::{generate, DatasetKind};
 use holodetect_repro::eval::{Confusion, FitContext, Split, SplitConfig, TrainedModel};
 
-/// Copy a row range of `d` into a standalone dataset (fresh pool).
+/// Copy a row range of `d` into a standalone dataset (fresh pool),
+/// going through `Schema::row_from_pairs` — the same validated
+/// name→value ingest path the serving layer uses for JSON rows.
 fn row_slice(d: &Dataset, range: std::ops::Range<usize>) -> Dataset {
-    let mut b = DatasetBuilder::new(Schema::new(d.schema().names().to_vec()));
+    let schema = d.schema().clone();
+    let mut b = DatasetBuilder::new(schema.clone());
     for t in range {
-        b.push_row(&d.tuple_values(t));
+        let pairs = d
+            .schema()
+            .names()
+            .iter()
+            .map(String::as_str)
+            .zip(d.tuple_values(t));
+        let row = schema.row_from_pairs(pairs).expect("same schema");
+        b.push_row(row.values());
     }
     b.build()
 }

@@ -51,7 +51,9 @@
 //! * [`core`] — the HoloDetect pipeline and its training strategies,
 //! * [`baselines`] — the competing methods of Table 2,
 //! * [`eval`] — the detector API, splits, metrics, multi-seed runs,
-//! * [`datagen`] — simulated stand-ins for the paper's five datasets.
+//! * [`datagen`] — simulated stand-ins for the paper's five datasets,
+//! * [`serve`] — the std-only serving subsystem: HTTP scoring server,
+//!   model registry with hot reload, micro-batching, metrics.
 
 pub use holo_baselines as baselines;
 pub use holo_channel as channel;
@@ -62,5 +64,6 @@ pub use holo_embed as embed;
 pub use holo_eval as eval;
 pub use holo_features as features;
 pub use holo_nn as nn;
+pub use holo_serve as serve;
 pub use holo_text as text;
 pub use holodetect as core;

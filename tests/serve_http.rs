@@ -1,0 +1,416 @@
+//! End-to-end tests for the `holo-serve` subsystem: a real fitted
+//! artifact served over real TCP by the full stack (HTTP worker pool →
+//! JSON ingest → registry → micro-batcher → `score_batch`).
+//!
+//! The contract under test (the PR's acceptance criterion):
+//!
+//! * concurrent HTTP score requests return scores **bitwise-identical**
+//!   to in-process `score_batch` on the same rows/cells,
+//! * typed failures map to the documented HTTP statuses,
+//! * malformed requests (broken HTTP, broken JSON, wrong shapes) are
+//!   4xx responses that never take the server down,
+//! * a mid-flight `POST .../reload` hot-swaps the model without
+//!   breaking in-flight or subsequent scoring,
+//! * shutdown drains cleanly.
+
+use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
+use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
+use holodetect_repro::eval::{FitContext, TrainedModel};
+use holodetect_repro::serve::{
+    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- world
+
+/// A small two-column world with injected typos (the `fitted.rs` test
+/// world, kept tiny so the whole suite fits in CI).
+fn world() -> (Dataset, GroundTruth) {
+    let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+    for _ in 0..25 {
+        b.push_row(&["60612", "Chicago"]);
+        b.push_row(&["53703", "Madison"]);
+    }
+    let clean = b.build();
+    let mut dirty = clean.clone();
+    dirty.set_value(0, 1, "Cxhicago");
+    dirty.set_value(7, 1, "Madxison");
+    let truth = GroundTruth::from_pair(&clean, &dirty);
+    (dirty, truth)
+}
+
+fn fit_artifact(tag: &str) -> (FittedHoloDetect, PathBuf) {
+    let (dirty, truth) = world();
+    let mut cfg = HoloDetectConfig::fast();
+    cfg.epochs = 10;
+    let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
+    let model = HoloDetect::new(cfg).fit_model(&FitContext {
+        dirty: &dirty,
+        train: &train,
+        sampling: None,
+        constraints: &[],
+        seed: 3,
+    });
+    let path = std::env::temp_dir().join(format!(
+        "holo-serve-it-{}-{tag}.holoart",
+        std::process::id()
+    ));
+    model.save(&path).expect("save artifact");
+    (model, path)
+}
+
+fn start_server(path: &std::path::Path) -> RunningServer {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_insert("food", path).expect("load artifact");
+    serve::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            http: HttpConfig {
+                workers: 4,
+                ..HttpConfig::default()
+            },
+            batch: BatchConfig {
+                max_batch_cells: 64,
+                max_wait: Duration::from_millis(10),
+            },
+        },
+        registry,
+    )
+    .expect("bind port 0")
+}
+
+// ------------------------------------------------------------- raw http
+
+/// One raw HTTP/1.1 round-trip on a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("send");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(addr, "POST", path, body)
+}
+
+/// Rows of a dataset as the `{"rows": [...]}` JSON the server ingests.
+fn rows_json(d: &Dataset) -> Json {
+    let names = d.schema().names();
+    let rows = (0..d.n_tuples())
+        .map(|t| {
+            Json::Obj(
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(a, n)| (n.clone(), Json::Str(d.value(t, a).to_string())))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::Obj(vec![("rows".to_string(), Json::Arr(rows))])
+}
+
+fn scores_of(body: &str) -> Vec<f64> {
+    let doc = serve::parse_json(body).unwrap_or_else(|e| panic!("bad response {body:?}: {e}"));
+    doc.get("scores")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("no scores in {body}"))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric score"))
+        .collect()
+}
+
+/// A batch of rows the model never saw (distinct per `tag`).
+fn unseen_batch(tag: usize) -> Dataset {
+    let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+    b.push_row(&[format!("606{:02}", tag % 100), "Chicago".to_string()]);
+    b.push_row(&["53703".to_string(), format!("Madis{tag}n")]);
+    b.push_row(&["60612".to_string(), "Chicago".to_string()]);
+    b.build()
+}
+
+// ---------------------------------------------------------------- tests
+
+#[test]
+fn concurrent_scores_are_bitwise_identical_to_in_process_score_batch() {
+    let (model, path) = fit_artifact("parity");
+    let server = start_server(&path);
+    let addr = server.addr();
+
+    // 6 client threads x 4 requests, concurrently, through the
+    // micro-batcher; every response must equal a direct score_batch.
+    std::thread::scope(|s| {
+        let model = &model;
+        let handles: Vec<_> = (0..6)
+            .map(|client| {
+                s.spawn(move || {
+                    for round in 0..4 {
+                        let batch = unseen_batch(client * 10 + round);
+                        let cells: Vec<CellId> = batch.cell_ids().collect();
+                        let expected = model.score_batch(&batch, &cells).expect("direct");
+                        let (status, body) = post(
+                            addr,
+                            "/v1/models/food/score",
+                            &rows_json(&batch).to_string(),
+                        );
+                        assert_eq!(status, 200, "body: {body}");
+                        let served = scores_of(&body);
+                        assert_eq!(
+                            served.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                            expected.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                            "served scores differ from in-process score_batch"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // The metrics page saw the traffic and the batcher's histograms.
+    let (status, page) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(page.contains("holo_serve_requests_total"));
+    assert!(page.contains("holo_serve_batch_cells_bucket"));
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explicit_cells_and_predict_match_in_process_calls() {
+    let (model, path) = fit_artifact("predict");
+    let server = start_server(&path);
+    let addr = server.addr();
+
+    let batch = unseen_batch(7);
+    // Score only the City column, by name and by index.
+    let cells = vec![CellId::new(0, 1), CellId::new(2, 1)];
+    let expected = model.score_batch(&batch, &cells).expect("direct");
+    let mut doc = rows_json(&batch);
+    if let Json::Obj(kvs) = &mut doc {
+        kvs.push((
+            "cells".to_string(),
+            Json::Arr(vec![
+                serve::parse_json(r#"{"row": 0, "attr": "City"}"#).unwrap(),
+                serve::parse_json(r#"{"row": 2, "attr": 1}"#).unwrap(),
+            ]),
+        ));
+    }
+    let (status, body) = post(addr, "/v1/models/food/score", &doc.to_string());
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(
+        scores_of(&body)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect::<Vec<_>>(),
+        expected.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+    );
+
+    // predict returns thresholded labels consistent with predict_batch.
+    let threshold = model.default_threshold();
+    let expected_labels = model
+        .predict_batch(&batch, &cells, threshold)
+        .expect("direct predict");
+    let (status, body) = post(addr, "/v1/models/food/predict", &doc.to_string());
+    assert_eq!(status, 200, "body: {body}");
+    let resp = serve::parse_json(&body).unwrap();
+    assert_eq!(
+        resp.get("threshold").and_then(Json::as_f64),
+        Some(threshold)
+    );
+    let labels: Vec<String> = resp
+        .get("labels")
+        .and_then(Json::as_arr)
+        .expect("labels")
+        .iter()
+        .map(|l| l.as_str().expect("label string").to_string())
+        .collect();
+    let expected_labels: Vec<String> = expected_labels
+        .iter()
+        .map(|l| if l.is_error() { "error" } else { "correct" }.to_string())
+        .collect();
+    assert_eq!(labels, expected_labels);
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn errors_map_to_documented_statuses_and_server_survives() {
+    let (_model, path) = fit_artifact("errors");
+    let server = start_server(&path);
+    let addr = server.addr();
+    let ok_rows = rows_json(&unseen_batch(1)).to_string();
+
+    // Unknown model → 404.
+    let (status, body) = post(addr, "/v1/models/ghost/score", &ok_rows);
+    assert_eq!(status, 404, "body: {body}");
+    // Unknown endpoint → 404; wrong method → 405.
+    assert_eq!(post(addr, "/v1/frobnicate", "{}").0, 404);
+    assert_eq!(http(addr, "GET", "/v1/models/food/score", "").0, 405);
+    assert_eq!(post(addr, "/metrics", "").0, 405);
+    // Broken JSON → 400.
+    let (status, body) = post(addr, "/v1/models/food/score", "{\"rows\": [");
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("invalid json"));
+    // Valid JSON, wrong shape → 400.
+    assert_eq!(post(addr, "/v1/models/food/score", "{}").0, 400);
+    assert_eq!(
+        post(addr, "/v1/models/food/score", "{\"rows\": [42]}").0,
+        400
+    );
+    // Unknown column in a row → 400 naming the column.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/score",
+        r#"{"rows": [{"Zip": "60612", "Town": "Chicago"}]}"#,
+    );
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("Town"), "body: {body}");
+    // Missing column (arity mismatch) → 400.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/score",
+        r#"{"rows": [{"Zip": "60612"}]}"#,
+    );
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("City"), "body: {body}");
+    // Out-of-bounds cell → 400 with the typed category.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/score",
+        r#"{"rows": [{"Zip": "60612", "City": "Chicago"}], "cells": [{"row": 99, "attr": "City"}]}"#,
+    );
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("cell_out_of_bounds"), "body: {body}");
+    // Raw garbage that isn't HTTP → 400, connection closed.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"\x00\x01\x02 utter garbage\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    let _ = s.read_to_string(&mut resp);
+    assert!(resp.is_empty() || resp.contains("400"));
+
+    // After all of that, the server still scores fine.
+    let (status, _) = post(addr, "/v1/models/food/score", &ok_rows);
+    assert_eq!(status, 200);
+    // …and the error storm is visible per category on /metrics.
+    let (_, page) = http(addr, "GET", "/metrics", "");
+    assert!(
+        page.contains("holo_serve_model_errors_total{category=\"cell_out_of_bounds\"} 1"),
+        "page: {page}"
+    );
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mid_flight_reload_hot_swaps_without_breaking_scoring() {
+    let (model, path) = fit_artifact("reload");
+    let server = start_server(&path);
+    let addr = server.addr();
+
+    // healthz lists the model before we start.
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"food\""));
+
+    // Scoring threads hammer the server while the main thread reloads
+    // the artifact (same file → same weights → parity must survive).
+    std::thread::scope(|s| {
+        let model = &model;
+        let scorers: Vec<_> = (0..4)
+            .map(|client| {
+                s.spawn(move || {
+                    for round in 0..6 {
+                        let batch = unseen_batch(100 + client * 10 + round);
+                        let cells: Vec<CellId> = batch.cell_ids().collect();
+                        let expected = model.score_batch(&batch, &cells).expect("direct");
+                        let (status, body) = post(
+                            addr,
+                            "/v1/models/food/score",
+                            &rows_json(&batch).to_string(),
+                        );
+                        assert_eq!(status, 200, "body: {body}");
+                        assert_eq!(
+                            scores_of(&body)
+                                .iter()
+                                .map(|p| p.to_bits())
+                                .collect::<Vec<_>>(),
+                            expected.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                            "scores drifted across a mid-flight reload"
+                        );
+                    }
+                })
+            })
+            .collect();
+        // Two reloads racing the scoring traffic.
+        for _ in 0..2 {
+            let (status, body) = post(addr, "/v1/models/food/reload", "");
+            assert_eq!(status, 200, "body: {body}");
+        }
+        for h in scorers {
+            h.join().expect("scorer thread");
+        }
+    });
+
+    // Generations bumped: two successful reloads on top of load 0.
+    let (_, body) = post(addr, "/v1/models/food/reload", "");
+    let doc = serve::parse_json(&body).unwrap();
+    assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(3.0));
+
+    // Reloading a model whose file vanished → 500 io, old model serves.
+    std::fs::remove_file(&path).ok();
+    let (status, body) = post(addr, "/v1/models/food/reload", "");
+    assert_eq!(status, 500, "body: {body}");
+    assert!(body.contains("\"io\""), "body: {body}");
+    let (status, _) = post(
+        addr,
+        "/v1/models/food/score",
+        &rows_json(&unseen_batch(5)).to_string(),
+    );
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_connections() {
+    let (_model, path) = fit_artifact("shutdown");
+    let server = start_server(&path);
+    let addr = server.addr();
+    let (status, _) = post(
+        addr,
+        "/v1/models/food/score",
+        &rows_json(&unseen_batch(2)).to_string(),
+    );
+    assert_eq!(status, 200);
+    server.shutdown();
+    // The listener is gone: connecting fails or the socket yields EOF.
+    let refused = match TcpStream::connect_timeout(&addr, Duration::from_millis(300)) {
+        Err(_) => true,
+        Ok(mut s) => {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(300)));
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).map(|n| n == 0).unwrap_or(true)
+        }
+    };
+    assert!(refused, "server still serving after shutdown");
+    std::fs::remove_file(&path).ok();
+}
