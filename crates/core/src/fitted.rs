@@ -228,11 +228,113 @@ impl FittedHoloDetect {
         }
     }
 
+    /// Apply one reference-dataset delta to the fitted state in place
+    /// of a refit: the owned representation `Q` (inside the featurizer)
+    /// advances one epoch with the guarantee that scoring afterwards is
+    /// bitwise-identical to a model whose count-based representation was
+    /// rebuilt from scratch over the post-delta dataset (the classifier,
+    /// calibration, and learned embeddings are frozen between refits —
+    /// exactly what [`FittedHoloDetect::rebuild_representation_at`]
+    /// reproduces).
+    ///
+    /// The stored training/holdout/tuning examples are maintained too,
+    /// so [`FittedHoloDetect::refit_with`] stays valid after any delta
+    /// sequence: a deleted tuple drops its examples, and examples behind
+    /// it shift down with their rows.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] for a model with no fitted state;
+    /// [`ModelError::Format`] for an inapplicable op (arity mismatch,
+    /// row/attr out of bounds) — nothing is half-applied.
+    pub fn apply_delta(&mut self, op: &holo_data::DeltaOp) -> Result<(), ModelError> {
+        let Some(s) = &mut self.state else {
+            return Err(ModelError::Degenerate {
+                method: self.method.to_owned(),
+            });
+        };
+        s.pipeline
+            .featurizer
+            .apply_delta(op)
+            .map_err(|e| ModelError::Format(e.to_string()))?;
+        if let holo_data::DeltaOp::Delete { tuple } = op {
+            let t = *tuple;
+            let keep = |e: &TrainExample| e.cell.t() != t;
+            let shift = |e: &mut TrainExample| {
+                if e.cell.t() > t {
+                    e.cell = CellId::new(e.cell.t() - 1, e.cell.a());
+                }
+            };
+            s.examples.retain(keep);
+            s.examples.iter_mut().for_each(shift);
+            s.holdout.retain(keep);
+            s.holdout.iter_mut().for_each(shift);
+            if let Some((tune, weights)) = &mut s.tune {
+                let mut kept = Vec::with_capacity(weights.len());
+                let mut i = 0;
+                tune.retain(|e| {
+                    let k = keep(e);
+                    if k {
+                        kept.push(weights[i]);
+                    }
+                    i += 1;
+                    k
+                });
+                tune.iter_mut().for_each(shift);
+                *weights = kept;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace the representation's count-based state with one rebuilt
+    /// from scratch over `d` (embeddings, classifier, and calibration
+    /// untouched) — the reference implementation
+    /// [`FittedHoloDetect::apply_delta`] is held bitwise-equal to, used
+    /// by the streaming parity tests and benchmarks.
+    ///
+    /// # Errors
+    /// [`ModelError::Degenerate`] for a model with no fitted state.
+    pub fn rebuild_representation_at(&mut self, d: &Dataset) -> Result<(), ModelError> {
+        let Some(s) = &mut self.state else {
+            return Err(ModelError::Degenerate {
+                method: self.method.to_owned(),
+            });
+        };
+        s.pipeline.featurizer = s.pipeline.featurizer.rebuilt_at(d);
+        Ok(())
+    }
+
+    /// Structural health of the current reference: (mean violations per
+    /// tuple, violating-tuple fraction). `(0.0, 0.0)` without
+    /// constraints or fitted state.
+    pub fn violation_stats(&self) -> (f64, f64) {
+        self.state
+            .as_ref()
+            .map_or((0.0, 0.0), |s| s.pipeline.featurizer.violation_stats())
+    }
+
+    /// Total violations of reference tuple `t` across all constraints.
+    pub fn tuple_violations(&self, t: usize) -> u32 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.pipeline.featurizer.tuple_violations(t))
+    }
+
     /// Persist the fitted model to a versioned binary artifact file.
     /// The artifact is self-contained: reloading it in a fresh process
     /// ([`FittedHoloDetect::load`]) reproduces scores bit for bit.
     pub fn save(&self, path: &Path) -> Result<(), ModelError> {
         let mut w = BufWriter::new(File::create(path)?);
+        self.save_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// [`FittedHoloDetect::save`] into any writer (the streaming refit
+    /// path snapshots models into memory without touching disk).
+    pub fn save_to<W: Write>(&self, w: &mut W) -> Result<(), ModelError> {
+        let mut w = w;
         w.write_all(MAGIC)?;
         binio::write_u32(&mut w, FORMAT_VERSION)?;
         binio::write_str(&mut w, self.method)?;
@@ -256,7 +358,6 @@ impl FittedHoloDetect {
             binio::write_f32(&mut w, s.platt.b)?;
             binio::write_f64(&mut w, s.threshold)?;
         }
-        w.flush()?;
         Ok(())
     }
 
@@ -269,6 +370,13 @@ impl FittedHoloDetect {
     /// [`ModelError::Io`] for read failures (including truncation).
     pub fn load(path: &Path) -> Result<Self, ModelError> {
         let mut r = BufReader::new(File::open(path)?);
+        Self::load_from(&mut r)
+    }
+
+    /// [`FittedHoloDetect::load`] from any reader (the streaming refit
+    /// path clones models through an in-memory snapshot).
+    pub fn load_from<R: Read>(r: &mut R) -> Result<Self, ModelError> {
+        let mut r = r;
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -652,6 +760,116 @@ mod tests {
         assert!(matches!(
             model.score_batch(&other, &[CellId::new(0, 0)]),
             Err(ModelError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_delta_scores_bitwise_equal_to_rebuilt_representation() {
+        use holo_data::DeltaOp;
+        let (dirty, truth) = world();
+        let live = fitted(&dirty, &truth);
+        // Two independent copies via an in-memory snapshot (also
+        // exercising save_to/load_from).
+        let mut buf = Vec::new();
+        live.save_to(&mut buf).unwrap();
+        let mut live = FittedHoloDetect::load_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let mut baseline = FittedHoloDetect::load_from(&mut std::io::Cursor::new(&buf)).unwrap();
+
+        let ops = [
+            DeltaOp::Append {
+                values: vec!["60612".into(), "Chicagoland".into()],
+            },
+            DeltaOp::Append {
+                values: vec!["94103".into(), "SF".into()],
+            },
+            DeltaOp::Update {
+                tuple: 0,
+                attr: 1,
+                value: "Chicago".into(),
+            },
+            DeltaOp::Delete { tuple: 7 },
+        ];
+        let mut replica = baseline.artifact().unwrap().reference().clone();
+        for op in &ops {
+            live.apply_delta(op).unwrap();
+            replica.apply_delta(op).unwrap();
+        }
+        baseline.rebuild_representation_at(&replica).unwrap();
+
+        // Scoring the grown reference and a foreign batch must agree bit
+        // for bit between incremental maintenance and a full rebuild.
+        let reference = live.artifact().unwrap().reference().clone();
+        let cells: Vec<CellId> = reference.cell_ids().collect();
+        let a = live.score_batch(&reference, &cells).unwrap();
+        let b = baseline.score_batch(&reference, &cells).unwrap();
+        assert_eq!(
+            a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        );
+        let mut fb = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        fb.push_row(&["60612", "Chicagoland"]);
+        fb.push_row(&["94103", "Berkeley"]);
+        let foreign = fb.build();
+        let fc: Vec<CellId> = foreign.cell_ids().collect();
+        let a = live.score_batch(&foreign, &fc).unwrap();
+        let b = baseline.score_batch(&foreign, &fc).unwrap();
+        assert_eq!(
+            a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn deltas_change_scores_and_refit_survives_deletes() {
+        use holo_data::DeltaOp;
+        let (dirty, truth) = world();
+        let mut model = fitted(&dirty, &truth);
+        let n_examples = model.n_train_examples();
+
+        // A foreign tuple whose value is unseen at fit time…
+        let mut fb = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        fb.push_row(&["60612", "Streeterville"]);
+        let foreign = fb.build();
+        let before = model.score_batch(&foreign, &[CellId::new(0, 1)]).unwrap()[0];
+        // …streamed into the reference thirty times becomes normal.
+        for _ in 0..30 {
+            model
+                .apply_delta(&DeltaOp::Append {
+                    values: vec!["60612".into(), "Streeterville".into()],
+                })
+                .unwrap();
+        }
+        let after = model.score_batch(&foreign, &[CellId::new(0, 1)]).unwrap()[0];
+        assert_ne!(
+            before.to_bits(),
+            after.to_bits(),
+            "ingest must be visible in scores"
+        );
+
+        // Deleting training rows drops their examples and shifts the
+        // rest; refit_with still runs on the maintained example set.
+        model.apply_delta(&DeltaOp::Delete { tuple: 0 }).unwrap();
+        model.apply_delta(&DeltaOp::Delete { tuple: 0 }).unwrap();
+        assert!(model.n_train_examples() < n_examples);
+        let refitted = model.refit_with(Vec::new()).unwrap();
+        let cells: Vec<CellId> = refitted
+            .artifact()
+            .unwrap()
+            .reference()
+            .cell_ids()
+            .take(20)
+            .collect();
+        let reference = refitted.artifact().unwrap().reference().clone();
+        let scores = refitted.score_batch(&reference, &cells).unwrap();
+        assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn degenerate_apply_delta_is_typed() {
+        let mut deg = FittedHoloDetect::degenerate("AUG");
+        assert!(matches!(
+            deg.apply_delta(&holo_data::DeltaOp::Delete { tuple: 0 }),
+            Err(ModelError::Degenerate { .. })
         ));
     }
 

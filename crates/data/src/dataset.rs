@@ -81,6 +81,37 @@ impl Dataset {
         self.columns[attr][tuple] = sym;
     }
 
+    /// Append one tuple at the end of the dataset (row index `n_tuples`),
+    /// interning its values.
+    ///
+    /// # Panics
+    /// Panics if the row arity does not match the schema.
+    pub fn push_row<S: AsRef<str>>(&mut self, row: &[S]) {
+        assert_eq!(
+            row.len(),
+            self.schema.len(),
+            "row arity {} does not match schema arity {}",
+            row.len(),
+            self.schema.len()
+        );
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(self.pool.intern(v.as_ref()));
+        }
+    }
+
+    /// Remove tuple `t`, shifting every later tuple up by one (so row
+    /// indices stay dense). The pool keeps the removed strings — symbols
+    /// of surviving cells are untouched.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn remove_row(&mut self, t: usize) {
+        assert!(t < self.n_tuples(), "remove_row({t}) out of range");
+        for col in &mut self.columns {
+            col.remove(t);
+        }
+    }
+
     /// Iterate over every cell id in row-major order.
     pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
         let (nt, na) = (self.n_tuples(), self.n_attrs());

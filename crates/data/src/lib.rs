@@ -15,6 +15,9 @@
 //! * [`csv`] — a small, dependency-free CSV reader/writer,
 //! * [`binio`] — the hand-rolled binary codec trained-model artifacts
 //!   persist through (no registry dependencies),
+//! * [`delta`] — epoch-stamped append/update/delete ops over a dataset
+//!   plus the durable, replayable [`delta::DeltaLog`] the streaming
+//!   subsystem maintains models through,
 //! * [`labels`] — the training set `T = {(c, v_c, v*_c)}`, ground truth,
 //!   and the `E_c ∈ {correct, error}` label type.
 
@@ -22,12 +25,14 @@ pub mod binio;
 pub mod cell;
 pub mod csv;
 pub mod dataset;
+pub mod delta;
 pub mod labels;
 pub mod schema;
 pub mod value;
 
 pub use cell::CellId;
 pub use dataset::{Dataset, DatasetBuilder};
+pub use delta::{DeltaError, DeltaLog, DeltaOp};
 pub use labels::{GroundTruth, Label, LabeledCell, TrainingSet};
 pub use schema::{Row, RowError, Schema};
 pub use value::{Symbol, ValuePool};

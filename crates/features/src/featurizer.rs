@@ -3,21 +3,29 @@
 
 use crate::config::{Component, FeatureConfig};
 use crate::layout::FeatureLayout;
+use crate::lru::LruCache;
 use crate::wide::{CoocModel, EmpiricalModel, LengthModel, NgramModel};
 use holo_constraints::{DenialConstraint, ViolationEngine};
-use holo_data::{binio, CellId, Dataset};
+use holo_data::{binio, CellId, Dataset, DeltaError, DeltaOp};
 use holo_embed::corpus::{self, value_token};
 use holo_embed::{nearest_distance, Embedding, SkipGramConfig};
 use holo_text::{char_tokens, word_tokens};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Bound on the nearest-neighbour memo. Long-lived artifacts score
 /// endless batches of fresh values; without a cap the memo is a slow
-/// memory leak. When full, the map is dropped wholesale (O(1) amortized,
-/// no bookkeeping) and re-warms from the current batch's working set.
+/// memory leak. Bounded LRU: a streaming featurizer keeps its hot
+/// entries for the life of the artifact instead of periodically dumping
+/// them wholesale (the PR 2 clear-on-full stopgap).
 const NN_CACHE_CAP: usize = 1 << 16;
+
+/// Work-grain (cells per claim) for batch featurization. Small enough
+/// that a straggler chunk cannot gate the whole batch, large enough to
+/// amortize the queue's atomic bump.
+const BATCH_GRAIN: usize = 16;
 
 /// Per-batch memo for violation queries against a *foreign* dataset.
 ///
@@ -78,12 +86,20 @@ pub struct Featurizer {
     word_emb: Option<Embedding>,
     tuple_emb: Option<Embedding>,
     value_emb: Option<Embedding>,
-    /// Per-column candidate value tokens for the neighbourhood distance.
+    /// Per-column candidate value tokens for the neighbourhood distance,
+    /// in first-appearance column order (the order a refit would produce
+    /// — the strided candidate scan is order-sensitive).
     neighbor_candidates: Vec<Vec<String>>,
-    /// Cache: (attr, value) → top-1 distance. Neighbour queries are the
-    /// most expensive feature; values repeat massively. Size-bounded by
-    /// [`NN_CACHE_CAP`].
-    nn_cache: RwLock<HashMap<(usize, String), f32>>,
+    /// Per-column distinct-value occurrence counts backing the candidate
+    /// lists under streaming deltas (empty until the first delta needs
+    /// them). `candidate_counts[a][value]` is how many cells of column
+    /// `a` currently hold `value`.
+    candidate_counts: Vec<HashMap<String, u32>>,
+    /// LRU memo: (attr, value) → top-1 distance. Neighbour queries are
+    /// the most expensive feature; values repeat massively. Bounded by
+    /// [`NN_CACHE_CAP`]; invalidated when a delta changes a column's
+    /// candidate set.
+    nn_cache: Mutex<LruCache<(usize, String), f32>>,
 }
 
 impl Featurizer {
@@ -140,18 +156,7 @@ impl Featurizer {
         });
 
         let neighbor_candidates: Vec<Vec<String>> = if cfg.enabled(Component::Neighborhood) {
-            (0..na)
-                .map(|a| {
-                    let mut seen = HashSet::new();
-                    let mut cands = Vec::new();
-                    for &s in d.column(a) {
-                        if seen.insert(s) {
-                            cands.push(value_token(a, d.pool().resolve(s)));
-                        }
-                    }
-                    cands
-                })
-                .collect()
+            (0..na).map(|a| column_candidates(d, a)).collect()
         } else {
             Vec::new()
         };
@@ -227,7 +232,8 @@ impl Featurizer {
             tuple_emb,
             value_emb,
             neighbor_candidates,
-            nn_cache: RwLock::new(HashMap::new()),
+            candidate_counts: Vec::new(),
+            nn_cache: Mutex::new(LruCache::new(NN_CACHE_CAP)),
         }
     }
 
@@ -436,6 +442,14 @@ impl Featurizer {
 
     /// Batch featurization with scoped-thread parallelism. `cells` pairs
     /// each cell of `d` with an optional value override.
+    ///
+    /// Work distribution is an atomic-cursor queue over small
+    /// [`BATCH_GRAIN`]-sized grains, not fixed even chunks: per-cell
+    /// cost varies wildly (cache-cold neighbour scans, huge violation
+    /// blocks), and with fixed chunking one slow chunk gates the whole
+    /// scoped batch while the other workers idle. Grains are claimed in
+    /// index order into pre-split output slots, so result ordering — and
+    /// every feature value — is identical to the chunked version.
     pub fn features_batch(
         &self,
         d: &Dataset,
@@ -445,23 +459,35 @@ impl Featurizer {
         if cells.is_empty() {
             return Vec::new();
         }
-        let threads = threads.max(1).min(cells.len());
+        let threads = threads.max(1).min(cells.len().div_ceil(BATCH_GRAIN));
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); cells.len()];
-        let chunk = cells.len().div_ceil(threads);
+        // Disjoint output windows, one per grain; each is claimed (and
+        // its Mutex locked) by exactly one worker, exactly once.
+        let slots: Vec<Mutex<&mut [Vec<f32>]>> =
+            out.chunks_mut(BATCH_GRAIN).map(Mutex::new).collect();
+        let work: Vec<&[(CellId, Option<String>)]> = cells.chunks(BATCH_GRAIN).collect();
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for (slot, work) in out.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-                s.spawn(move || {
+            for _ in 0..threads {
+                s.spawn(|| {
                     // One memo per worker: foreign-tuple violation scans
-                    // run once per tuple in this chunk, not once per cell.
+                    // run once per tuple a worker sees, not once per cell.
                     let mut memo = ViolMemo::default();
-                    for (o, (cell, ov)) in slot.iter_mut().zip(work) {
-                        *o = match ov {
-                            Some(v) => self.features_memo(d, *cell, v, &mut memo),
-                            None => {
-                                let value = d.cell_value(*cell).to_owned();
-                                self.features_memo(d, *cell, &value, &mut memo)
-                            }
-                        };
+                    loop {
+                        let g = cursor.fetch_add(1, Ordering::Relaxed);
+                        if g >= work.len() {
+                            break;
+                        }
+                        let mut slot = slots[g].lock().expect("batch slot poisoned");
+                        for (o, (cell, ov)) in slot.iter_mut().zip(work[g]) {
+                            *o = match ov {
+                                Some(v) => self.features_memo(d, *cell, v, &mut memo),
+                                None => {
+                                    let value = d.cell_value(*cell).to_owned();
+                                    self.features_memo(d, *cell, &value, &mut memo)
+                                }
+                            };
+                        }
                     }
                 });
             }
@@ -469,25 +495,303 @@ impl Featurizer {
         out
     }
 
+    // ------------------------------------------------- incremental ops
+
+    /// Apply one dataset delta to the fitted state *in place of* a
+    /// rebuild: the owned reference advances one epoch, and every
+    /// count-based model (format n-grams, lengths, empirical
+    /// distributions, co-occurrence tables, violation indexes,
+    /// neighbourhood candidates) is maintained so that subsequent
+    /// queries are **bitwise-identical** to a featurizer rebuilt from
+    /// scratch over the post-delta dataset with the same (frozen)
+    /// embeddings — see [`Featurizer::rebuilt_at`], the reference
+    /// implementation the proptests compare against.
+    ///
+    /// The learned embeddings are deliberately *not* maintained: they
+    /// are train-once artifacts, refreshed by the drift-triggered refit
+    /// path, not per delta.
+    pub fn apply_delta(&mut self, op: &DeltaOp) -> Result<(), DeltaError> {
+        match op {
+            DeltaOp::Append { values } => {
+                if values.len() != self.n_attrs {
+                    return Err(DeltaError::ArityMismatch {
+                        got: values.len(),
+                        want: self.n_attrs,
+                    });
+                }
+                self.ensure_candidate_counts();
+                self.reference.push_row(values);
+                if self.cfg.enabled(Component::FormatModels) {
+                    for (a, v) in values.iter().enumerate() {
+                        self.ngram[a].add_value(v);
+                        self.sym_ngram[a].add_value(v);
+                        self.length[a].add_value(v);
+                    }
+                }
+                if self.cfg.enabled(Component::EmpiricalModels) {
+                    for (a, v) in values.iter().enumerate() {
+                        self.empirical[a].add_value(v);
+                    }
+                }
+                if let Some(cooc) = &mut self.cooc {
+                    cooc.add_row(values);
+                }
+                if let Some(engine) = &mut self.violations {
+                    engine.apply_append(&self.reference);
+                }
+                if self.cfg.enabled(Component::Neighborhood) {
+                    let mut set_changed = false;
+                    for (a, v) in values.iter().enumerate() {
+                        let c = self.candidate_counts[a].entry(v.clone()).or_insert(0);
+                        *c += 1;
+                        if *c == 1 {
+                            // First appearance in this column: a rebuild
+                            // would list it last, exactly where we put it.
+                            self.neighbor_candidates[a].push(value_token(a, v));
+                            set_changed = true;
+                        }
+                    }
+                    if set_changed {
+                        self.invalidate_nn_cache();
+                    }
+                }
+            }
+            DeltaOp::Update { tuple, attr, value } => {
+                let (t, a) = (*tuple, *attr);
+                if t >= self.reference.n_tuples() {
+                    return Err(DeltaError::RowOutOfBounds {
+                        tuple: t,
+                        n_tuples: self.reference.n_tuples(),
+                    });
+                }
+                if a >= self.n_attrs {
+                    return Err(DeltaError::AttrOutOfBounds {
+                        attr: a,
+                        n_attrs: self.n_attrs,
+                    });
+                }
+                let old_row: Vec<String> = (0..self.n_attrs)
+                    .map(|c| self.reference.value(t, c).to_owned())
+                    .collect();
+                self.ensure_candidate_counts();
+                self.reference.set_value(t, a, value);
+                if self.cfg.enabled(Component::FormatModels) {
+                    self.ngram[a].remove_value(&old_row[a]);
+                    self.ngram[a].add_value(value);
+                    self.sym_ngram[a].remove_value(&old_row[a]);
+                    self.sym_ngram[a].add_value(value);
+                    self.length[a].remove_value(&old_row[a]);
+                    self.length[a].add_value(value);
+                }
+                if self.cfg.enabled(Component::EmpiricalModels) {
+                    self.empirical[a].replace_value(&old_row[a], value);
+                }
+                if let Some(cooc) = &mut self.cooc {
+                    let mut new_row = old_row.clone();
+                    new_row[a] = value.clone();
+                    cooc.remove_row(&old_row);
+                    cooc.add_row(&new_row);
+                }
+                if let Some(engine) = &mut self.violations {
+                    engine.apply_update(&self.reference, t, a, &old_row);
+                }
+                if self.cfg.enabled(Component::Neighborhood) && old_row[a] != *value {
+                    // A swap can reorder first appearances, and the
+                    // strided candidate scan is order-sensitive: rebuild
+                    // the column's list the way a refit would.
+                    if self.rebuild_candidates_column(a) {
+                        self.invalidate_nn_cache();
+                    }
+                }
+            }
+            DeltaOp::Delete { tuple } => {
+                let t = *tuple;
+                if t >= self.reference.n_tuples() {
+                    return Err(DeltaError::RowOutOfBounds {
+                        tuple: t,
+                        n_tuples: self.reference.n_tuples(),
+                    });
+                }
+                let old_row: Vec<String> = (0..self.n_attrs)
+                    .map(|c| self.reference.value(t, c).to_owned())
+                    .collect();
+                self.ensure_candidate_counts();
+                self.reference.remove_row(t);
+                if self.cfg.enabled(Component::FormatModels) {
+                    for (a, v) in old_row.iter().enumerate() {
+                        self.ngram[a].remove_value(v);
+                        self.sym_ngram[a].remove_value(v);
+                        self.length[a].remove_value(v);
+                    }
+                }
+                if self.cfg.enabled(Component::EmpiricalModels) {
+                    for (a, v) in old_row.iter().enumerate() {
+                        self.empirical[a].remove_value(v);
+                    }
+                }
+                if let Some(cooc) = &mut self.cooc {
+                    cooc.remove_row(&old_row);
+                }
+                if let Some(engine) = &mut self.violations {
+                    engine.apply_delete(&self.reference, t, &old_row);
+                }
+                if self.cfg.enabled(Component::Neighborhood) {
+                    // Removing a row can move any column's first
+                    // appearances; rebuild them all.
+                    let mut changed = false;
+                    for a in 0..self.n_attrs {
+                        changed |= self.rebuild_candidates_column(a);
+                    }
+                    if changed {
+                        self.invalidate_nn_cache();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A featurizer refitted from scratch over `d` with this one's
+    /// configuration, constraints, and **frozen** learned embeddings —
+    /// the reference implementation incremental maintenance is held
+    /// bitwise-equal to, and the baseline the streaming proptests
+    /// compare against.
+    pub fn rebuilt_at(&self, d: &Dataset) -> Featurizer {
+        let na = d.n_attrs();
+        let cfg = self.cfg.clone();
+        let order = cfg.ngram_order;
+        let (ngram, sym_ngram, length) = if cfg.enabled(Component::FormatModels) {
+            (
+                (0..na)
+                    .map(|a| NgramModel::fit(d, a, order, false))
+                    .collect(),
+                (0..na)
+                    .map(|a| NgramModel::fit(d, a, order, true))
+                    .collect(),
+                (0..na).map(|a| LengthModel::fit(d, a)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let empirical: Vec<EmpiricalModel> = if cfg.enabled(Component::EmpiricalModels) {
+            (0..na).map(|a| EmpiricalModel::fit(d, a)).collect()
+        } else {
+            Vec::new()
+        };
+        let cooc = cfg
+            .enabled(Component::Cooccurrence)
+            .then(|| CoocModel::fit(d, cfg.smoothing));
+        let neighbor_candidates: Vec<Vec<String>> = if cfg.enabled(Component::Neighborhood) {
+            (0..na).map(|a| column_candidates(d, a)).collect()
+        } else {
+            Vec::new()
+        };
+        Self::assemble(
+            cfg,
+            d.clone(),
+            self.constraints.clone(),
+            ngram,
+            sym_ngram,
+            length,
+            empirical,
+            cooc,
+            self.char_emb.clone(),
+            self.word_emb.clone(),
+            self.tuple_emb.clone(),
+            self.value_emb.clone(),
+            neighbor_candidates,
+        )
+    }
+
+    /// Mean violations per tuple and the violating-tuple fraction of
+    /// the current reference — the drift monitor's structural signal.
+    /// `(0.0, 0.0)` without constraints.
+    pub fn violation_stats(&self) -> (f64, f64) {
+        let n = self.reference.n_tuples();
+        let Some(engine) = &self.violations else {
+            return (0.0, 0.0);
+        };
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let total: u64 = engine
+            .indexes()
+            .iter()
+            .flat_map(|ix| ix.tuple_counts().iter().map(|&c| u64::from(c)))
+            .sum();
+        let rate = engine.violation_rate(n);
+        (total as f64 / n as f64, rate)
+    }
+
+    /// Per-tuple total violation count in the current reference.
+    pub fn tuple_violations(&self, t: usize) -> u32 {
+        self.violations
+            .as_ref()
+            .map_or(0, |e| e.tuple_vector(t).iter().sum())
+    }
+
+    /// Lazily build the per-column occurrence counts the candidate
+    /// maintainers need (one O(cells) scan, on the first delta only).
+    fn ensure_candidate_counts(&mut self) {
+        if !self.cfg.enabled(Component::Neighborhood) || !self.candidate_counts.is_empty() {
+            return;
+        }
+        self.candidate_counts = (0..self.n_attrs)
+            .map(|a| {
+                let mut m: HashMap<String, u32> = HashMap::new();
+                for &s in self.reference.column(a) {
+                    *m.entry(self.reference.pool().resolve(s).to_owned())
+                        .or_insert(0) += 1;
+                }
+                m
+            })
+            .collect();
+    }
+
+    /// Recompute column `a`'s candidate list (and occurrence counts)
+    /// from the current reference, in first-appearance order — exactly
+    /// what a refit produces. Returns whether the list changed.
+    fn rebuild_candidates_column(&mut self, a: usize) -> bool {
+        let fresh = column_candidates(&self.reference, a);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for &s in self.reference.column(a) {
+            *counts
+                .entry(self.reference.pool().resolve(s).to_owned())
+                .or_insert(0) += 1;
+        }
+        self.candidate_counts[a] = counts;
+        if fresh != self.neighbor_candidates[a] {
+            self.neighbor_candidates[a] = fresh;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop the nearest-neighbour memo: a candidate-set change makes
+    /// every cached distance potentially stale.
+    fn invalidate_nn_cache(&self) {
+        self.nn_cache.lock().expect("nn cache poisoned").clear();
+    }
+
     fn neighbor_distance(&self, a: usize, value: &str) -> f32 {
         let key = (a, value.to_owned());
-        if let Some(&dist) = self.nn_cache.read().expect("nn cache poisoned").get(&key) {
+        if let Some(dist) = self.nn_cache.lock().expect("nn cache poisoned").get(&key) {
             return dist;
         }
         let emb = self.value_emb.as_ref().expect("neighborhood enabled");
         let token = value_token(a, value);
         let dist = nearest_distance(emb, &token, &self.neighbor_candidates[a]);
-        let mut cache = self.nn_cache.write().expect("nn cache poisoned");
-        if cache.len() >= NN_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, dist);
+        self.nn_cache
+            .lock()
+            .expect("nn cache poisoned")
+            .insert(key, dist);
         dist
     }
 
     /// Current number of memoized neighbour distances (diagnostics).
     pub fn nn_cache_len(&self) -> usize {
-        self.nn_cache.read().expect("nn cache poisoned").len()
+        self.nn_cache.lock().expect("nn cache poisoned").len()
     }
 
     /// Serialize the fitted representation. The violation engine, the
@@ -606,6 +910,21 @@ impl Featurizer {
             neighbor_candidates,
         ))
     }
+}
+
+/// Column `a`'s distinct values as neighbourhood candidate tokens, in
+/// first-appearance order (the order fitting — and therefore the
+/// incremental maintainers — must reproduce: the candidate scan strides
+/// when the list is long, so order is part of the contract).
+fn column_candidates(d: &Dataset, a: usize) -> Vec<String> {
+    let mut seen = HashSet::new();
+    let mut cands = Vec::new();
+    for &s in d.column(a) {
+        if seen.insert(s) {
+            cands.push(value_token(a, d.pool().resolve(s)));
+        }
+    }
+    cands
 }
 
 /// Deduplicate sentences (used for char/token corpora where cell values
@@ -861,6 +1180,129 @@ mod tests {
         f.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(Featurizer::read_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    /// Features over every cell, plus one hypothetical per tuple,
+    /// bit-cast for exact comparison.
+    fn feature_bits(f: &Featurizer, d: &Dataset) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        for cell in d.cell_ids() {
+            out.push(f.features(d, cell).iter().map(|x| x.to_bits()).collect());
+        }
+        for t in 0..d.n_tuples() {
+            out.push(
+                f.features_with_value(d, CellId::new(t, 1), "Hypothetical")
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuilt_bitwise() {
+        let (_, mut f) = fitted();
+        // Mirror the deltas on a plain dataset for the rebuild baseline.
+        let mut replica = f.reference().clone();
+        let ops = [
+            DeltaOp::Append {
+                values: vec!["60612".into(), "Springfield".into(), "IL".into()],
+            },
+            DeltaOp::Append {
+                values: vec!["10001".into(), "NYC".into(), "NY".into()],
+            },
+            DeltaOp::Update {
+                tuple: 40,
+                attr: 1,
+                value: "Chicago".into(),
+            },
+            DeltaOp::Delete { tuple: 3 },
+            DeltaOp::Update {
+                tuple: 0,
+                attr: 0,
+                value: "99999".into(),
+            },
+            DeltaOp::Delete { tuple: 0 },
+        ];
+        for op in &ops {
+            f.apply_delta(op).unwrap();
+            replica.apply_delta(op).unwrap();
+        }
+        let rebuilt = f.rebuilt_at(&replica);
+        assert_eq!(rebuilt.layout(), f.layout());
+        // Scores on the (grown) reference itself…
+        assert_eq!(
+            feature_bits(&f, f.reference()),
+            feature_bits(&rebuilt, &replica)
+        );
+        // …and on a foreign batch mixing seen and unseen values.
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City", "State"]));
+        b.push_row(&["60612", "Chicago", "IL"]);
+        b.push_row(&["60612", "Springfield", "IL"]);
+        b.push_row(&["77777", "Lincoln", "NE"]);
+        let batch = b.build();
+        assert_eq!(feature_bits(&f, &batch), feature_bits(&rebuilt, &batch));
+    }
+
+    #[test]
+    fn apply_delta_rejects_invalid_ops_without_mutating() {
+        let (_, mut f) = fitted();
+        let before = f.reference().n_tuples();
+        assert!(f
+            .apply_delta(&DeltaOp::Append {
+                values: vec!["too".into(), "short".into()]
+            })
+            .is_err());
+        assert!(f
+            .apply_delta(&DeltaOp::Update {
+                tuple: 999,
+                attr: 0,
+                value: "x".into()
+            })
+            .is_err());
+        assert!(f.apply_delta(&DeltaOp::Delete { tuple: 999 }).is_err());
+        assert_eq!(f.reference().n_tuples(), before);
+    }
+
+    #[test]
+    fn appending_new_value_invalidates_nn_cache() {
+        let (d, mut f) = fitted();
+        // Warm the cache.
+        f.features(&d, CellId::new(0, 1));
+        assert!(f.nn_cache_len() >= 1);
+        // Appending a row with brand-new values changes candidate sets.
+        f.apply_delta(&DeltaOp::Append {
+            values: vec!["11111".into(), "Odessa".into(), "TX".into()],
+        })
+        .unwrap();
+        assert_eq!(f.nn_cache_len(), 0, "stale nn distances must be dropped");
+        // Appending only already-known values keeps the cache.
+        f.features(f.reference(), CellId::new(0, 1));
+        let warm = f.nn_cache_len();
+        assert!(warm >= 1);
+        f.apply_delta(&DeltaOp::Append {
+            values: vec!["60612".into(), "Chicago".into(), "IL".into()],
+        })
+        .unwrap();
+        assert_eq!(f.nn_cache_len(), warm);
+    }
+
+    #[test]
+    fn batch_work_queue_handles_many_shapes() {
+        // The atomic-cursor queue must cover exactly every slot for any
+        // cells/threads shape (more threads than grains, odd remainders).
+        let (d, f) = fitted();
+        let cells: Vec<(CellId, Option<String>)> =
+            d.cell_ids().take(37).map(|c| (c, None)).collect();
+        let expect: Vec<Vec<f32>> = cells.iter().map(|(c, _)| f.features(&d, *c)).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(
+                f.features_batch(&d, &cells, threads),
+                expect,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

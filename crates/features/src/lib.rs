@@ -25,8 +25,10 @@
 pub mod config;
 pub mod featurizer;
 pub mod layout;
+pub mod lru;
 pub mod wide;
 
 pub use config::{Component, FeatureConfig};
 pub use featurizer::Featurizer;
 pub use layout::FeatureLayout;
+pub use lru::LruCache;

@@ -1,0 +1,268 @@
+//! A bounded LRU map for feature memos.
+//!
+//! The featurizer memoizes nearest-neighbour distances keyed by
+//! `(attr, value)`. PR 2 capped that memo with a clear-on-full policy —
+//! fine for one-shot scoring runs, but a long-lived *streaming*
+//! featurizer periodically dumped its entire hot set and re-paid the
+//! most expensive feature from a cold start. This is the proper
+//! replacement: a classic hash-map + intrusive doubly-linked-list LRU
+//! with O(1) get/insert/evict, built on a slab (`Vec` of nodes with a
+//! free list) so eviction recycles allocations instead of churning the
+//! allocator.
+//!
+//! The structure is deliberately not thread-safe: callers wrap it in
+//! the lock that fits their access pattern (the featurizer uses a
+//! `Mutex`; a hit's bookkeeping is three pointer swaps, noise next to
+//! the embedding scan it saves).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel for "no node".
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (the eviction victim).
+    tail: usize,
+}
+
+impl<K: Clone + Eq + Hash, V: Copy> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &idx = self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(self.slab[idx].value)
+    }
+
+    /// Insert (or refresh) `key → value`, evicting the least-recently
+    /// used entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_tail();
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Drop every entry (the streaming maintainers call this when an
+    /// invalidation event makes cached values stale).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        if victim == NIL {
+            return;
+        }
+        self.detach(victim);
+        self.map.remove(&self.slab[victim].key);
+        self.free.push(victim);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_insert() {
+        let mut c = LruCache::new(4);
+        assert!(c.is_empty());
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"z"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_not_everything() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Touch "a" so "b" is the LRU victim.
+        assert_eq!(c.get(&"a"), Some(1));
+        c.insert("d", 4);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&"b"), None, "LRU entry should be evicted");
+        assert_eq!(c.get(&"a"), Some(1), "hot entry must survive");
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.get(&"d"), Some(4));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh: "b" becomes LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_degenerates_gracefully() {
+        let mut c = LruCache::new(1);
+        c.insert(1, "x");
+        c.insert(2, "y");
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some("y"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.insert(3, 3);
+        assert_eq!(c.get(&3), Some(3));
+    }
+
+    /// Cross-check against a naive model over a long mixed workload.
+    #[test]
+    fn matches_naive_lru_model() {
+        let cap = 8;
+        let mut c = LruCache::new(cap);
+        // The model: a vec of (key, value), front = most recent.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x1234_5678u64;
+        for step in 0..5000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 24;
+            if state.is_multiple_of(3) {
+                // insert
+                let val = step;
+                c.insert(key, val);
+                model.retain(|(k, _)| *k != key);
+                model.insert(0, (key, val));
+                model.truncate(cap);
+            } else {
+                // get
+                let got = c.get(&key);
+                let want = model.iter().position(|(k, _)| *k == key).map(|i| {
+                    let e = model.remove(i);
+                    model.insert(0, e);
+                    model[0].1
+                });
+                assert_eq!(got, want, "step {step} key {key}");
+            }
+            assert_eq!(c.len(), model.len(), "step {step}");
+        }
+    }
+}

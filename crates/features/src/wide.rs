@@ -93,6 +93,51 @@ impl NgramModel {
         ((-p.ln()) / 20.0).min(1.5) as f32
     }
 
+    /// Count `value`'s grams into the model (a streamed row arrived).
+    /// Keeps the model identical to a from-scratch fit over the grown
+    /// column, including the smoothing denominator.
+    pub fn add_value(&mut self, value: &str) {
+        let view = if self.symbolic {
+            symbolize(value)
+        } else {
+            value.to_owned()
+        };
+        for g in char_ngrams(&view, self.order) {
+            *self.counts.entry(g).or_insert(0) += 1;
+            self.total += 1;
+        }
+        self.refresh_vocab();
+    }
+
+    /// Remove one occurrence of `value`'s grams (a streamed row left).
+    /// Gram entries that reach zero are dropped so the distinct-gram
+    /// count (and thus the smoothing denominator) matches a refit.
+    pub fn remove_value(&mut self, value: &str) {
+        let view = if self.symbolic {
+            symbolize(value)
+        } else {
+            value.to_owned()
+        };
+        for g in char_ngrams(&view, self.order) {
+            if let Some(c) = self.counts.get_mut(&g) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&g);
+                }
+                self.total -= 1;
+            }
+        }
+        self.refresh_vocab();
+    }
+
+    /// Recompute the smoothing denominator exactly as `fit` would over
+    /// the current counts.
+    fn refresh_vocab(&mut self) {
+        if !self.symbolic {
+            self.vocab = self.counts.len() as f64 + 1000.0;
+        }
+    }
+
     /// Serialize the fitted model.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         binio::write_usize(w, self.order)?;
@@ -159,6 +204,26 @@ impl LengthModel {
         ((c + 1.0) / (self.total as f64 + self.counts.len() as f64 + 1.0)) as f32
     }
 
+    /// Count `value`'s length into the model (a streamed row arrived).
+    pub fn add_value(&mut self, value: &str) {
+        let len = value.chars().count();
+        *self.counts.entry(len).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Remove one occurrence of `value`'s length, dropping zero entries
+    /// so the distinct-length denominator matches a refit.
+    pub fn remove_value(&mut self, value: &str) {
+        let len = value.chars().count();
+        if let Some(c) = self.counts.get_mut(&len) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&len);
+            }
+            self.total -= 1;
+        }
+    }
+
     /// Serialize the fitted model.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         binio::write_usize(w, self.counts.len())?;
@@ -220,6 +285,37 @@ impl EmpiricalModel {
     /// Number of distinct values observed.
     pub fn distinct(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Register a streamed row's value for this column: the column
+    /// gained one cell, so both the value count and the row total grow.
+    pub fn add_value(&mut self, value: &str) {
+        *self.counts.entry(value.to_owned()).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Remove one occurrence of `value` and shrink the row total
+    /// (a streamed row left the column).
+    pub fn remove_value(&mut self, value: &str) {
+        if let Some(c) = self.counts.get_mut(value) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(value);
+            }
+            self.n -= 1;
+        }
+    }
+
+    /// Swap one occurrence of `old` for `new` (a cell update: the row
+    /// total is unchanged).
+    pub fn replace_value(&mut self, old: &str, new: &str) {
+        if let Some(c) = self.counts.get_mut(old) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(old);
+            }
+        }
+        *self.counts.entry(new.to_owned()).or_insert(0) += 1;
     }
 
     /// Serialize the fitted model.
@@ -341,6 +437,73 @@ impl CoocModel {
             out.push(self.conditional(a, value, a2, d.value(t, a2)));
         }
         out
+    }
+
+    /// Intern a streamed value into the model's private pool mirror
+    /// (new values get fresh dense symbols; the ids only ever serve as
+    /// hash keys, so the numbering never affects conditionals).
+    fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.ids.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.ids.len()).expect("cooc id overflow"));
+        self.ids.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Count a streamed row into the joint/marginal tables, keeping
+    /// every conditional identical to a from-scratch fit over the grown
+    /// dataset (smoothing denominators included).
+    pub fn add_row(&mut self, values: &[String]) {
+        let na = self.counts.len();
+        debug_assert_eq!(values.len(), na, "cooc row arity");
+        let syms: Vec<Symbol> = values.iter().map(|v| self.intern(v)).collect();
+        for a in 0..na {
+            *self.counts[a].entry(syms[a]).or_insert(0) += 1;
+            for a2 in (a + 1)..na {
+                *self.joint[a][a2 - a - 1]
+                    .entry((syms[a], syms[a2]))
+                    .or_insert(0) += 1;
+            }
+        }
+        self.refresh_distinct();
+    }
+
+    /// Remove one previously counted row. Entries that reach zero are
+    /// dropped so the per-column distinct counts (the smoothing
+    /// denominators) match a refit.
+    pub fn remove_row(&mut self, values: &[String]) {
+        let na = self.counts.len();
+        debug_assert_eq!(values.len(), na, "cooc row arity");
+        let syms: Vec<Symbol> = values
+            .iter()
+            .map(|v| *self.ids.get(v.as_str()).expect("removed row was counted"))
+            .collect();
+        for a in 0..na {
+            if let Some(c) = self.counts[a].get_mut(&syms[a]) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts[a].remove(&syms[a]);
+                }
+            }
+            for a2 in (a + 1)..na {
+                let key = (syms[a], syms[a2]);
+                if let Some(c) = self.joint[a][a2 - a - 1].get_mut(&key) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.joint[a][a2 - a - 1].remove(&key);
+                    }
+                }
+            }
+        }
+        self.refresh_distinct();
+    }
+
+    /// Recompute the smoothing denominators exactly as `fit` would.
+    fn refresh_distinct(&mut self) {
+        for (d, c) in self.distinct.iter_mut().zip(&self.counts) {
+            *d = (c.len() as f64).max(1.0);
+        }
     }
 
     /// Serialize the fitted model.
@@ -582,6 +745,97 @@ mod tests {
                 cooc2.conditional(0, v, 1, "Chicago").to_bits()
             );
         }
+    }
+
+    #[test]
+    fn incremental_updates_match_refit_bitwise() {
+        // Fit over the first 60 rows, stream the remaining 41 in, and
+        // the models must answer every probe exactly like a from-scratch
+        // fit over all 101 — including the smoothing denominators that
+        // depend on distinct counts.
+        let full = zips();
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for t in 0..60 {
+            b.push_row(&full.tuple_values(t));
+        }
+        let small = b.build();
+
+        let mut ngram = NgramModel::fit(&small, 0, 3, false);
+        let mut sym = NgramModel::fit(&small, 0, 3, true);
+        let mut length = LengthModel::fit(&small, 0);
+        let mut emp = EmpiricalModel::fit(&small, 0);
+        let mut cooc = CoocModel::fit(&small, 1.0);
+        for t in 60..full.n_tuples() {
+            let row: Vec<String> = full.tuple_values(t).iter().map(|s| s.to_string()).collect();
+            ngram.add_value(&row[0]);
+            sym.add_value(&row[0]);
+            length.add_value(&row[0]);
+            emp.add_value(&row[0]);
+            cooc.add_row(&row);
+        }
+
+        let ngram2 = NgramModel::fit(&full, 0, 3, false);
+        let sym2 = NgramModel::fit(&full, 0, 3, true);
+        let length2 = LengthModel::fit(&full, 0);
+        let emp2 = EmpiricalModel::fit(&full, 0);
+        let cooc2 = CoocModel::fit(&full, 1.0);
+        for v in ["60612", "6061x", "never-seen", ""] {
+            assert_eq!(ngram.feature(v).to_bits(), ngram2.feature(v).to_bits());
+            assert_eq!(sym.feature(v).to_bits(), sym2.feature(v).to_bits());
+            assert_eq!(length.prob(v).to_bits(), length2.prob(v).to_bits());
+            assert_eq!(emp.prob(v).to_bits(), emp2.prob(v).to_bits());
+            for partner in ["Chicago", "Madison", "nope"] {
+                assert_eq!(
+                    cooc.conditional(0, v, 1, partner).to_bits(),
+                    cooc2.conditional(0, v, 1, partner).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_removals_match_refit_bitwise() {
+        // Stream the format outlier out again: the models must equal a
+        // fit that never saw it — zero-count entries must be dropped so
+        // the distinct counts (denominators) shrink too.
+        let full = zips();
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for t in 0..100 {
+            b.push_row(&full.tuple_values(t));
+        }
+        let without = b.build();
+
+        let mut ngram = NgramModel::fit(&full, 0, 3, false);
+        let mut length = LengthModel::fit(&full, 0);
+        let mut emp = EmpiricalModel::fit(&full, 0);
+        let mut cooc = CoocModel::fit(&full, 1.0);
+        let outlier: Vec<String> = full
+            .tuple_values(100)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        ngram.remove_value(&outlier[0]);
+        length.remove_value(&outlier[0]);
+        emp.remove_value(&outlier[0]);
+        cooc.remove_row(&outlier);
+
+        let ngram2 = NgramModel::fit(&without, 0, 3, false);
+        let length2 = LengthModel::fit(&without, 0);
+        let emp2 = EmpiricalModel::fit(&without, 0);
+        let cooc2 = CoocModel::fit(&without, 1.0);
+        for v in ["60612", "6061x", ""] {
+            assert_eq!(ngram.feature(v).to_bits(), ngram2.feature(v).to_bits());
+            assert_eq!(length.prob(v).to_bits(), length2.prob(v).to_bits());
+            assert_eq!(emp.prob(v).to_bits(), emp2.prob(v).to_bits());
+            assert_eq!(
+                cooc.conditional(0, v, 1, "Chicago").to_bits(),
+                cooc2.conditional(0, v, 1, "Chicago").to_bits()
+            );
+        }
+        // And the empirical swap helper keeps the row total fixed.
+        emp.replace_value("60612", "99999");
+        assert!((emp.prob("99999") - 1.0 / 100.0).abs() < 1e-6);
+        assert!((emp.prob("60612") - 49.0 / 100.0).abs() < 1e-6);
     }
 
     #[test]

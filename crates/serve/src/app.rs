@@ -8,8 +8,16 @@
 //! | `POST /v1/models/{name}/score`  | calibrated error probability per cell     |
 //! | `POST /v1/models/{name}/predict`| thresholded labels (+ scores)             |
 //! | `POST /v1/models/{name}/reload` | atomic hot-swap from the artifact file    |
+//! | `POST /v1/models/{name}/rows`   | streaming ingest (live models only)       |
+//! | `GET /v1/models/{name}/drift`   | drift report (live models only)           |
+//! | `POST /v1/models/{name}/refit`  | forced refit + hot swap (live models only)|
 //! | `GET /healthz`                  | liveness + registered model names         |
-//! | `GET /metrics`                  | counters, latency & batch histograms      |
+//! | `GET /metrics`                  | counters, histograms, stream gauges       |
+//!
+//! The three streaming endpoints answer 409 for a model served
+//! statically; registering a `holo_stream::LiveModel` through
+//! [`ModelRegistry::insert_live`] enables them (see the README's
+//! Streaming section and the `holo-serve --stream` flag).
 //!
 //! A score/predict body carries schema-shaped rows plus (optionally) the
 //! target cells:
@@ -39,7 +47,7 @@ use crate::json::{self, Json, ParseLimits};
 use crate::metrics::{model_error_category, Metrics};
 use crate::registry::{ModelRegistry, ServedModel};
 use holo_data::{CellId, Dataset, DatasetBuilder, Schema};
-use holo_eval::{ModelError, TrainedModel};
+use holo_eval::ModelError;
 use std::io;
 use std::sync::Arc;
 use std::time::Instant;
@@ -206,12 +214,18 @@ impl App {
             .collect();
         match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => Ok(self.healthz()),
-            ("GET", ["metrics"]) => Ok(Response::text(200, self.metrics.render())),
+            ("GET", ["metrics"]) => Ok(Response::text(200, self.metrics_page())),
             ("POST", ["v1", "models", name, "score"]) => self.score(req, name, false),
             ("POST", ["v1", "models", name, "predict"]) => self.score(req, name, true),
             ("POST", ["v1", "models", name, "reload"]) => self.reload(name),
+            ("POST", ["v1", "models", name, "rows"]) => self.ingest_rows(req, name),
+            ("GET", ["v1", "models", name, "drift"]) => self.drift(name),
+            ("POST", ["v1", "models", name, "refit"]) => self.refit(name),
             (_, ["healthz" | "metrics"])
-            | (_, ["v1", "models", _, "score" | "predict" | "reload"]) => Err(Failure {
+            | (
+                _,
+                ["v1", "models", _, "score" | "predict" | "reload" | "rows" | "drift" | "refit"],
+            ) => Err(Failure {
                 status: 405,
                 msg: format!("method {} not allowed here", req.method),
                 model_error: None,
@@ -221,6 +235,156 @@ impl App {
                 req.path_only()
             ))),
         }
+    }
+
+    /// The `/metrics` page: global counters plus per-model streaming
+    /// gauges (epoch, drift, rows since refit, refits, generation) for
+    /// every live registry entry.
+    fn metrics_page(&self) -> String {
+        let mut page = self.metrics.render();
+        use std::fmt::Write as _;
+        for name in self.registry.names() {
+            let Some(model) = self.registry.get(&name) else {
+                continue;
+            };
+            let Some(live) = model.live() else {
+                continue;
+            };
+            let report = live.drift_report();
+            let _ = writeln!(
+                page,
+                "holo_stream_epoch{{model=\"{name}\"}} {}",
+                live.epoch()
+            );
+            let _ = writeln!(
+                page,
+                "holo_stream_drift{{model=\"{name}\"}} {}",
+                report.drift
+            );
+            let _ = writeln!(
+                page,
+                "holo_stream_rows_since_refit{{model=\"{name}\"}} {}",
+                report.rows_since_refit
+            );
+            let _ = writeln!(
+                page,
+                "holo_stream_refits_total{{model=\"{name}\"}} {}",
+                live.refits_total()
+            );
+            let _ = writeln!(
+                page,
+                "holo_stream_generation{{model=\"{name}\"}} {}",
+                live.generation()
+            );
+        }
+        page
+    }
+
+    /// The live session behind `name`, or the typed failures: 404 for
+    /// an unknown model, 409 for one served statically (streaming was
+    /// not enabled for it).
+    fn live_session(&self, name: &str) -> Result<std::sync::Arc<holo_stream::LiveModel>, Failure> {
+        let model = self
+            .registry
+            .get(name)
+            .ok_or_else(|| Failure::not_found(format!("no model named {name:?}")))?;
+        model.live().cloned().ok_or_else(|| Failure {
+            status: 409,
+            msg: format!("model {name:?} is not served in streaming mode"),
+            model_error: None,
+        })
+    }
+
+    /// `POST /v1/models/{name}/rows` — batched streaming ingest. The
+    /// body is the same `{"rows": [...]}` shape scoring takes; every
+    /// row is validated into the fitted schema, appended durably to the
+    /// delta log, and folded into the maintained model before the call
+    /// returns (read-your-writes: a subsequent score sees the rows).
+    fn ingest_rows(&self, req: &Request, name: &str) -> Result<Response, Failure> {
+        let live = self.live_session(name)?;
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| Failure::bad_request("request body is not utf-8"))?;
+        let doc = json::parse_with_limits(body, &self.limits)
+            .map_err(|e| Failure::bad_request(e.to_string()))?;
+        let rows = doc
+            .get("rows")
+            .ok_or_else(|| Failure::bad_request("missing \"rows\" array"))?
+            .as_arr()
+            .ok_or_else(|| Failure::bad_request("\"rows\" must be an array of objects"))?;
+        let validated = validated_rows(rows, live.schema())?;
+        let report = live.ingest_rows(validated).map_err(Failure::model)?;
+        self.metrics.record_rows_ingested(report.appended);
+        Ok(Response::json(
+            200,
+            Json::Obj(vec![
+                ("model".into(), Json::Str(name.into())),
+                ("appended".into(), Json::Num(report.appended as f64)),
+                ("epoch".into(), Json::Num(report.epoch as f64)),
+                ("drift".into(), Json::Num(report.drift)),
+            ])
+            .to_string(),
+        ))
+    }
+
+    /// `GET /v1/models/{name}/drift` — the drift report.
+    fn drift(&self, name: &str) -> Result<Response, Failure> {
+        let live = self.live_session(name)?;
+        let r = live.drift_report();
+        Ok(Response::json(
+            200,
+            Json::Obj(vec![
+                ("model".into(), Json::Str(name.into())),
+                ("epoch".into(), Json::Num(live.epoch() as f64)),
+                ("generation".into(), Json::Num(live.generation() as f64)),
+                ("drift".into(), Json::Num(r.drift)),
+                ("threshold".into(), Json::Num(live.config().drift_threshold)),
+                (
+                    "rows_since_refit".into(),
+                    Json::Num(r.rows_since_refit as f64),
+                ),
+                (
+                    "baseline_violation_rate".into(),
+                    Json::Num(r.baseline_violation_rate),
+                ),
+                (
+                    "recent_violation_rate".into(),
+                    Json::Num(r.recent_violation_rate),
+                ),
+                (
+                    "baseline_score_mean".into(),
+                    Json::Num(r.baseline_score_mean),
+                ),
+                ("recent_score_mean".into(), Json::Num(r.recent_score_mean)),
+                ("refits_total".into(), Json::Num(live.refits_total() as f64)),
+                ("would_refit".into(), Json::Bool(live.should_refit())),
+            ])
+            .to_string(),
+        ))
+    }
+
+    /// `POST /v1/models/{name}/refit` — force a refit now: retrain on a
+    /// snapshot (scoring continues), persist, hot-swap through the
+    /// registry's generation-bumped reload.
+    fn refit(&self, name: &str) -> Result<Response, Failure> {
+        let live = self.live_session(name)?;
+        let base_epoch = live.refit_to_disk().map_err(Failure::model)?;
+        let swapped = match self.registry.reload(name) {
+            None => return Err(Failure::not_found(format!("no model named {name:?}"))),
+            Some(Err(e)) => return Err(Failure::model(e)),
+            Some(Ok(m)) => m,
+        };
+        self.metrics.record_reload();
+        self.metrics.record_stream_refit();
+        Ok(Response::json(
+            200,
+            Json::Obj(vec![
+                ("model".into(), Json::Str(name.into())),
+                ("refit_epoch".into(), Json::Num(base_epoch as f64)),
+                ("epoch".into(), Json::Num(live.epoch() as f64)),
+                ("generation".into(), Json::Num(swapped.generation() as f64)),
+            ])
+            .to_string(),
+        ))
     }
 
     fn healthz(&self) -> Response {
@@ -283,7 +447,7 @@ impl App {
         ];
         if predict {
             let threshold = match doc.get("threshold") {
-                None => model.model().default_threshold(),
+                None => model.default_threshold(),
                 Some(t) => t
                     .as_f64()
                     .ok_or_else(|| Failure::bad_request("\"threshold\" must be a number"))?,
@@ -328,25 +492,8 @@ impl App {
         };
 
         let mut b = DatasetBuilder::new(schema.clone()).with_capacity(rows.len());
-        for (i, row) in rows.iter().enumerate() {
-            let obj = row
-                .as_obj()
-                .ok_or_else(|| Failure::bad_request(format!("rows[{i}] is not an object")))?;
-            let mut pairs = Vec::with_capacity(obj.len());
-            for (key, value) in obj {
-                pairs.push((
-                    key.as_str(),
-                    cell_string(value).ok_or_else(|| {
-                        Failure::bad_request(format!(
-                            "rows[{i}].{key:?} must be a string, number, or bool"
-                        ))
-                    })?,
-                ));
-            }
-            let row = schema
-                .row_from_pairs(pairs)
-                .map_err(|e| Failure::bad_request(format!("rows[{i}]: {e}")))?;
-            b.push_row(row.values());
+        for row in validated_rows(rows, &schema)? {
+            b.push_row(&row);
         }
         let data = b.build();
 
@@ -368,6 +515,35 @@ impl App {
         };
         Ok((data, cells))
     }
+}
+
+/// Validate a JSON `"rows"` array into schema-ordered value vectors —
+/// the one parsing/validation path for every endpoint that takes rows
+/// (`/score`, `/predict`, `/rows`), so the accepted row shape and the
+/// error wording can never diverge between scoring and ingest.
+fn validated_rows(rows: &[Json], schema: &Schema) -> Result<Vec<Vec<String>>, Failure> {
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let obj = row
+            .as_obj()
+            .ok_or_else(|| Failure::bad_request(format!("rows[{i}] is not an object")))?;
+        let mut pairs = Vec::with_capacity(obj.len());
+        for (key, value) in obj {
+            pairs.push((
+                key.as_str(),
+                cell_string(value).ok_or_else(|| {
+                    Failure::bad_request(format!(
+                        "rows[{i}].{key:?} must be a string, number, or bool"
+                    ))
+                })?,
+            ));
+        }
+        let row = schema
+            .row_from_pairs(pairs)
+            .map_err(|e| Failure::bad_request(format!("rows[{i}]: {e}")))?;
+        out.push(row.into_values());
+    }
+    Ok(out)
 }
 
 /// The cell-value string of a scalar JSON value.

@@ -29,7 +29,7 @@
 use crate::metrics::Metrics;
 use crate::registry::ServedModel;
 use holo_data::{CellId, Dataset, DatasetBuilder};
-use holo_eval::{ModelError, TrainedModel};
+use holo_eval::ModelError;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -216,7 +216,17 @@ fn compatible(first: &Job, job: &Job, offset: usize) -> bool {
 /// row may be reference-aligned (same index, same values) at either its
 /// original index or its shifted one. See the module docs.
 fn merge_safe(model: &ServedModel, data: &Dataset, offset: usize) -> bool {
-    let Some(artifact) = model.model().artifact() else {
+    if model.live().is_some() {
+        // A live model's reference mutates between the admission check
+        // and the merged call; the alignment verdict cannot be pinned,
+        // so streamed models always score solo.
+        return false;
+    }
+    let Some(artifact) = model
+        .static_model()
+        .expect("non-live models are static")
+        .artifact()
+    else {
         return true; // degenerate model: every score is 0 regardless
     };
     let reference = artifact.reference();
@@ -251,7 +261,7 @@ fn guarded_score(
     data: &Dataset,
     cells: &[CellId],
 ) -> Result<Vec<f64>, ModelError> {
-    guarded(|| model.model().score_batch(data, cells))
+    guarded(|| model.score_batch(data, cells))
 }
 
 /// Score one job solo, keeping the books: the call shape lands in the
@@ -378,7 +388,7 @@ mod tests {
                     s.spawn(move || {
                         let data = foreign_batch(i);
                         let cells: Vec<CellId> = data.cell_ids().collect();
-                        let direct = model.model().score_batch(&data, &cells).expect("direct");
+                        let direct = model.score_batch(&data, &cells).expect("direct");
                         let served = batcher
                             .score(Arc::clone(&model), data, cells)
                             .expect("served");
@@ -433,7 +443,7 @@ mod tests {
                     };
                     s.spawn(move || {
                         let cells: Vec<CellId> = data.cell_ids().collect();
-                        let direct = model.model().score_batch(&data, &cells).expect("direct");
+                        let direct = model.score_batch(&data, &cells).expect("direct");
                         let served = batcher
                             .score(Arc::clone(&model), data, cells)
                             .expect("served");

@@ -27,7 +27,11 @@
 //!   float formatting so scores survive the wire bit for bit.
 //! * [`registry`] — [`registry::ModelRegistry`]: names → `Arc`-held
 //!   loaded artifacts behind lock-striped reads, with atomic hot-swap
-//!   reload from disk (`POST /v1/models/{name}/reload`).
+//!   reload from disk (`POST /v1/models/{name}/reload`). Entries are
+//!   **static** (immutable artifact) or **live** (a
+//!   `holo_stream::LiveModel` with streaming ingest, drift monitoring,
+//!   and background drift-triggered refit — endpoints
+//!   `POST .../rows`, `GET .../drift`, `POST .../refit`).
 //! * [`batch`] — [`batch::MicroBatcher`]: coalesces concurrent score
 //!   requests into larger `score_batch` calls under a max-batch /
 //!   max-wait policy, with a merge-safety rule that keeps served scores

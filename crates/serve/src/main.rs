@@ -8,6 +8,7 @@
 //! ```
 
 use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ServeConfig};
+use holo_stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -15,6 +16,10 @@ use std::time::Duration;
 struct Args {
     addr: String,
     models: Vec<(String, String)>,
+    /// Streaming-enabled models: name -> delta-log path.
+    streams: Vec<(String, String)>,
+    stream: StreamConfig,
+    refit_interval: Duration,
     http: HttpConfig,
     batch: BatchConfig,
 }
@@ -28,12 +33,24 @@ options:
   --max-body-bytes N     request body cap        (default 1048576)
   --max-batch-cells N    micro-batch cell cap    (default 512; 1 disables batching)
   --max-wait-ms N        micro-batch gather wait (default 2)
+
+streaming (per model; see the README's Streaming section):
+  --stream NAME=LOGPATH  serve NAME in streaming mode with a durable
+                         delta log at LOGPATH (enables POST .../rows,
+                         GET .../drift, POST .../refit and background
+                         drift-triggered refits)
+  --drift-threshold X    refit when drift exceeds X      (default 0.2)
+  --min-refit-rows N     rows required between refits    (default 64)
+  --refit-interval-ms N  drift poll interval             (default 1000)
 ";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
         models: Vec::new(),
+        streams: Vec::new(),
+        stream: StreamConfig::default(),
+        refit_interval: Duration::from_millis(1000),
         http: HttpConfig::default(),
         batch: BatchConfig::default(),
     };
@@ -70,12 +87,42 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "--max-wait-ms",
                 )? as u64);
             }
+            "--stream" => {
+                let spec = value("--stream")?;
+                let (name, log) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--stream wants NAME=LOGPATH, got {spec:?}"))?;
+                args.streams.push((name.to_string(), log.to_string()));
+            }
+            "--drift-threshold" => {
+                let raw = value("--drift-threshold")?;
+                args.stream.drift_threshold = raw
+                    .parse()
+                    .map_err(|_| format!("--drift-threshold wants a number, got {raw:?}"))?;
+            }
+            "--min-refit-rows" => {
+                args.stream.min_rows_between_refits =
+                    parse_num(&value("--min-refit-rows")?, "--min-refit-rows")? as u64;
+            }
+            "--refit-interval-ms" => {
+                args.refit_interval = Duration::from_millis(parse_num(
+                    &value("--refit-interval-ms")?,
+                    "--refit-interval-ms",
+                )? as u64);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if args.models.is_empty() {
         return Err("at least one --model NAME=PATH is required".to_string());
+    }
+    for (name, _) in &args.streams {
+        if !args.models.iter().any(|(n, _)| n == name) {
+            return Err(format!(
+                "--stream {name:?} has no matching --model {name}=PATH"
+            ));
+        }
     }
     Ok(args)
 }
@@ -99,19 +146,65 @@ fn main() -> ExitCode {
     };
 
     let registry = Arc::new(ModelRegistry::new());
+    let mut targets = Vec::new();
     for (name, path) in &args.models {
-        match registry.load_insert(name, std::path::Path::new(path)) {
-            Ok(m) => eprintln!(
-                "loaded model {name:?} from {path} (method {}, threshold {:.4})",
-                m.model().method(),
-                m.model().threshold()
-            ),
-            Err(e) => {
-                eprintln!("holo-serve: failed to load {name:?} from {path}: {e}");
-                return ExitCode::FAILURE;
+        let path = std::path::Path::new(path);
+        match args.streams.iter().find(|(n, _)| n == name) {
+            None => match registry.load_insert(name, path) {
+                Ok(m) => eprintln!(
+                    "loaded model {name:?} from {} (method {}, threshold {:.4})",
+                    path.display(),
+                    m.method(),
+                    m.default_threshold()
+                ),
+                Err(e) => {
+                    eprintln!(
+                        "holo-serve: failed to load {name:?} from {}: {e}",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            Some((_, log_path)) => {
+                let live = match LiveModel::open(
+                    path,
+                    std::path::Path::new(log_path),
+                    args.stream.clone(),
+                ) {
+                    Ok(l) => Arc::new(l),
+                    Err(e) => {
+                        eprintln!(
+                            "holo-serve: failed to open streaming model {name:?} \
+                             ({} + {log_path}): {e}",
+                            path.display()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                };
+                eprintln!(
+                    "streaming model {name:?} from {} (method {}, epoch {}, log {log_path})",
+                    path.display(),
+                    live.method(),
+                    live.epoch()
+                );
+                // The scheduler hot-swaps through the registry reload,
+                // like a manual POST .../reload would.
+                let swap = {
+                    let registry = Arc::clone(&registry);
+                    let name = name.clone();
+                    Arc::new(move || match registry.reload(&name) {
+                        Some(Ok(_)) => Ok(()),
+                        Some(Err(e)) => Err(e.to_string()),
+                        None => Err(format!("model {name:?} vanished from the registry")),
+                    }) as holo_stream::scheduler::SwapHook
+                };
+                registry.insert_live(name, Arc::clone(&live));
+                targets.push(RefitTarget { live, swap });
             }
         }
     }
+    let _scheduler =
+        (!targets.is_empty()).then(|| RefitScheduler::spawn(targets, args.refit_interval));
 
     let cfg = ServeConfig {
         http: args.http,

@@ -128,6 +128,8 @@ pub struct Metrics {
     responses_5xx: AtomicU64,
     cells_scored_total: AtomicU64,
     reloads_total: AtomicU64,
+    rows_ingested_total: AtomicU64,
+    stream_refits_total: AtomicU64,
     /// Request latency in microseconds.
     latency_micros: Histogram,
     /// Cells per `score_batch` call issued by the micro-batcher.
@@ -154,6 +156,8 @@ impl Metrics {
             responses_5xx: AtomicU64::new(0),
             cells_scored_total: AtomicU64::new(0),
             reloads_total: AtomicU64::new(0),
+            rows_ingested_total: AtomicU64::new(0),
+            stream_refits_total: AtomicU64::new(0),
             latency_micros: Histogram::new(vec![
                 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
                 1_000_000,
@@ -223,6 +227,16 @@ impl Metrics {
         sat_add(&self.reloads_total, 1);
     }
 
+    /// Record rows accepted by a streaming ingest call.
+    pub fn record_rows_ingested(&self, rows: usize) {
+        sat_add(&self.rows_ingested_total, rows as u64);
+    }
+
+    /// Record a completed (endpoint-driven) streaming refit.
+    pub fn record_stream_refit(&self) {
+        sat_add(&self.stream_refits_total, 1);
+    }
+
     /// Total requests recorded so far.
     pub fn requests_total(&self) -> u64 {
         self.requests_total.load(Ordering::Relaxed)
@@ -253,6 +267,16 @@ impl Metrics {
             out,
             "holo_serve_model_reloads_total {}",
             self.reloads_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "holo_serve_rows_ingested_total {}",
+            self.rows_ingested_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "holo_serve_stream_refits_total {}",
+            self.stream_refits_total.load(Ordering::Relaxed)
         );
         for (cat, counter) in MODEL_ERROR_CATEGORIES.iter().zip(&self.model_errors) {
             let _ = writeln!(

@@ -9,8 +9,21 @@
 //! already resolved the old `Arc` finish on the old weights, requests
 //! that resolve after the swap get the new ones, and no request ever
 //! observes a half-loaded model.
+//!
+//! ## Static vs. live entries
+//!
+//! A **static** entry is PR 3's shape: an immutable loaded
+//! `FittedHoloDetect`; reload = load the file, swap the `Arc`. A
+//! **live** entry wraps a `holo_stream::LiveModel` — the same artifact
+//! plus streaming maintenance (ingest, drift, background refit). For a
+//! live entry the registry mapping never needs to change on reload:
+//! the swap happens *inside* the `LiveModel` (load the artifact,
+//! replay the delta-log tail so mid-refit ingest survives, bump the
+//! generation), which is exactly the path the drift-triggered
+//! `RefitScheduler` hot-swaps through.
 
 use holo_eval::ModelError;
+use holo_stream::LiveModel;
 use holodetect::FittedHoloDetect;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -18,12 +31,23 @@ use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
-/// One loaded, immutable, share-anywhere model version.
+/// How a served model answers queries. (The static artifact is boxed:
+/// a fitted model is a couple of kB inline, and parity with the `Arc`
+/// variant keeps the enum a pointer wide.)
+enum ModelSource {
+    /// An immutable loaded artifact (PR 3).
+    Static(Box<FittedHoloDetect>),
+    /// A streaming-maintained model (ingest/drift/refit).
+    Live(Arc<LiveModel>),
+}
+
+/// One loaded, share-anywhere model version.
 pub struct ServedModel {
     name: String,
     path: PathBuf,
-    generation: u64,
-    model: FittedHoloDetect,
+    /// Reload counter for static entries; live entries track their own.
+    static_generation: u64,
+    source: ModelSource,
 }
 
 impl ServedModel {
@@ -37,20 +61,73 @@ impl ServedModel {
         &self.path
     }
 
-    /// Reload counter: 0 for the initial load, +1 per hot swap.
+    /// Reload counter: 0 for the initial load, +1 per hot swap (for a
+    /// live entry, +1 per install — including drift-triggered refits).
     pub fn generation(&self) -> u64 {
-        self.generation
+        match &self.source {
+            ModelSource::Static(_) => self.static_generation,
+            ModelSource::Live(l) => l.generation(),
+        }
     }
 
-    /// The loaded model.
-    pub fn model(&self) -> &FittedHoloDetect {
-        &self.model
+    /// The loaded model, when this is a static entry (a live entry's
+    /// state lives behind its own lock).
+    pub fn static_model(&self) -> Option<&FittedHoloDetect> {
+        match &self.source {
+            ModelSource::Static(m) => Some(m),
+            ModelSource::Live(_) => None,
+        }
+    }
+
+    /// The streaming session, when this is a live entry.
+    pub fn live(&self) -> Option<&Arc<LiveModel>> {
+        match &self.source {
+            ModelSource::Static(_) => None,
+            ModelSource::Live(l) => Some(l),
+        }
+    }
+
+    /// Score cells of `data` through whichever state is current.
+    pub fn score_batch(
+        &self,
+        data: &holo_data::Dataset,
+        cells: &[holo_data::CellId],
+    ) -> Result<Vec<f64>, ModelError> {
+        match &self.source {
+            ModelSource::Static(m) => {
+                use holo_eval::TrainedModel;
+                m.score_batch(data, cells)
+            }
+            ModelSource::Live(l) => l.score_batch(data, cells),
+        }
+    }
+
+    /// The current decision threshold.
+    pub fn default_threshold(&self) -> f64 {
+        match &self.source {
+            ModelSource::Static(m) => {
+                use holo_eval::TrainedModel;
+                m.default_threshold()
+            }
+            ModelSource::Live(l) => l.default_threshold(),
+        }
+    }
+
+    /// The fitting method's name (as the paper's tables print it).
+    pub fn method(&self) -> &'static str {
+        match &self.source {
+            ModelSource::Static(m) => m.method(),
+            ModelSource::Live(l) => l.method(),
+        }
     }
 
     /// The schema the model scores against (`None` for a degenerate
-    /// artifact, which accepts any schema).
+    /// static artifact, which accepts any schema).
     pub fn schema(&self) -> Option<&holo_data::Schema> {
-        self.model.artifact().map(|a| a.reference().schema())
+        match &self.source {
+            ModelSource::Static(m) => m.artifact().map(|a| a.reference().schema()),
+            ModelSource::Live(l) => Some(l.schema()),
+        }
     }
 }
 
@@ -85,20 +162,37 @@ impl ModelRegistry {
         &self.stripes[(h.finish() as usize) % self.stripes.len()]
     }
 
-    /// Load an artifact file and register (or replace) it under `name`.
-    /// Returns the registered version.
+    /// Load an artifact file and register (or replace) it under `name`
+    /// as a static entry. Returns the registered version.
     pub fn load_insert(&self, name: &str, path: &Path) -> Result<Arc<ServedModel>, ModelError> {
         let model = FittedHoloDetect::load(path)?;
         let mut map = self.stripe(name).write().expect("registry lock poisoned");
-        let generation = map.get(name).map_or(0, |m| m.generation + 1);
+        let static_generation = map.get(name).map_or(0, |m| m.generation() + 1);
         let entry = Arc::new(ServedModel {
             name: name.to_string(),
             path: path.to_path_buf(),
-            generation,
-            model,
+            static_generation,
+            source: ModelSource::Static(Box::new(model)),
         });
         map.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
+    }
+
+    /// Register a streaming session under `name`. Scoring, reloads, and
+    /// the stream endpoints (`rows` / `drift` / `refit`) all route to
+    /// it; the drift scheduler's hot swaps bump its generation.
+    pub fn insert_live(&self, name: &str, live: Arc<LiveModel>) -> Arc<ServedModel> {
+        let entry = Arc::new(ServedModel {
+            name: name.to_string(),
+            path: live.path().to_path_buf(),
+            static_generation: 0,
+            source: ModelSource::Live(live),
+        });
+        self.stripe(name)
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), Arc::clone(&entry));
+        entry
     }
 
     /// The current version of `name`, if registered.
@@ -113,10 +207,20 @@ impl ModelRegistry {
     /// Hot-swap `name` from its artifact file on disk. `None` when the
     /// name is not registered; `Some(Err)` when the file fails to load
     /// — in which case the old version keeps serving untouched.
+    ///
+    /// Static entries swap the registry `Arc`. Live entries install the
+    /// loaded artifact into the session (replaying the delta-log tail,
+    /// bumping the generation) and keep the mapping — the path every
+    /// drift-triggered refit hot-swaps through.
     pub fn reload(&self, name: &str) -> Option<Result<Arc<ServedModel>, ModelError>> {
         let current = self.get(name)?;
-        // Disk I/O and deserialization happen outside every lock.
-        Some(self.load_insert(name, current.path()))
+        Some(match current.live() {
+            // Disk I/O and deserialization happen outside every lock.
+            None => self.load_insert(name, current.path()),
+            // The live reload is epoch-aware: a refit-stamped artifact
+            // replays only the log ops past its own epoch.
+            Some(live) => live.reload_install().map(|_| current),
+        })
     }
 
     /// All registered names, sorted.
@@ -187,6 +291,8 @@ mod tests {
         // The old Arc still scores — hot swap never invalidates holders.
         assert_eq!(v0.generation(), 0);
         assert_eq!(v0.name(), "food");
+        assert!(v0.static_model().is_some());
+        assert!(v0.live().is_none());
         std::fs::remove_file(&path).ok();
     }
 

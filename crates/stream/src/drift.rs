@@ -1,0 +1,156 @@
+//! Drift detection between epochs.
+//!
+//! Two cheap, model-grounded signals, both measured on the rows
+//! ingested since the last (re)fit and compared against a baseline
+//! anchored at that fit:
+//!
+//! * **violation rate** — the fraction of ingested tuples conflicting
+//!   with at least one denial constraint. A structural signal: if new
+//!   traffic suddenly violates the constraints far more (or less) than
+//!   the fit-time reference did, the reference statistics the detector
+//!   scores against no longer describe the stream.
+//! * **score mean** — the mean calibrated error probability the model
+//!   itself assigns to ingested cells. A distributional signal: a
+//!   detector whose average suspicion of fresh traffic departs from its
+//!   fit-time self-assessment is extrapolating.
+//!
+//! Drift is the larger of the two absolute gaps — both signals live in
+//! `[0, 1]`, so one threshold governs them. This is deliberately the
+//! adaptation-gap framing of AED (Yeh et al., 2024): few-shot detectors
+//! degrade quietly under distribution shift, so the monitor watches the
+//! two quantities the model's own machinery already exposes instead of
+//! requiring labeled feedback.
+
+/// Running drift state for one live model.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    /// Violating-tuple fraction of the reference at the last (re)fit.
+    baseline_violation_rate: f64,
+    /// Mean error score over a reference sample at the last (re)fit.
+    baseline_score_mean: f64,
+    /// Rows ingested since the last (re)fit.
+    rows: u64,
+    /// Of those, rows violating ≥ 1 constraint on arrival.
+    violating: u64,
+    /// Sum / count of scores over ingested cells.
+    score_sum: f64,
+    cells: u64,
+}
+
+/// A point-in-time view of the drift state (the `GET .../drift` body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Violating-tuple fraction of the reference at the last (re)fit.
+    pub baseline_violation_rate: f64,
+    /// Violating-tuple fraction of rows ingested since then.
+    pub recent_violation_rate: f64,
+    /// Mean cell score of the reference sample at the last (re)fit.
+    pub baseline_score_mean: f64,
+    /// Mean cell score of rows ingested since then.
+    pub recent_score_mean: f64,
+    /// Rows ingested since the last (re)fit.
+    pub rows_since_refit: u64,
+    /// `max(|Δ violation rate|, |Δ score mean|)`, `0` before any ingest.
+    pub drift: f64,
+}
+
+impl DriftMonitor {
+    /// A monitor anchored at the given baseline.
+    pub fn new(baseline_violation_rate: f64, baseline_score_mean: f64) -> Self {
+        DriftMonitor {
+            baseline_violation_rate,
+            baseline_score_mean,
+            rows: 0,
+            violating: 0,
+            score_sum: 0.0,
+            cells: 0,
+        }
+    }
+
+    /// Fold one ingested batch into the recent window.
+    pub fn record_batch(&mut self, rows: u64, violating: u64, score_sum: f64, cells: u64) {
+        self.rows += rows;
+        self.violating += violating;
+        self.score_sum += score_sum;
+        self.cells += cells;
+    }
+
+    /// Re-anchor after a refit: the freshly fitted model's statistics
+    /// become the baseline and the recent window restarts.
+    pub fn reanchor(&mut self, baseline_violation_rate: f64, baseline_score_mean: f64) {
+        *self = DriftMonitor::new(baseline_violation_rate, baseline_score_mean);
+    }
+
+    /// The current report.
+    pub fn report(&self) -> DriftReport {
+        let recent_violation_rate = if self.rows == 0 {
+            self.baseline_violation_rate
+        } else {
+            self.violating as f64 / self.rows as f64
+        };
+        let recent_score_mean = if self.cells == 0 {
+            self.baseline_score_mean
+        } else {
+            self.score_sum / self.cells as f64
+        };
+        let drift = if self.rows == 0 {
+            0.0
+        } else {
+            (recent_violation_rate - self.baseline_violation_rate)
+                .abs()
+                .max((recent_score_mean - self.baseline_score_mean).abs())
+        };
+        DriftReport {
+            baseline_violation_rate: self.baseline_violation_rate,
+            recent_violation_rate,
+            baseline_score_mean: self.baseline_score_mean,
+            recent_score_mean,
+            rows_since_refit: self.rows,
+            drift,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ingest_means_no_drift() {
+        let m = DriftMonitor::new(0.1, 0.3);
+        let r = m.report();
+        assert_eq!(r.drift, 0.0);
+        assert_eq!(r.rows_since_refit, 0);
+        assert_eq!(r.recent_violation_rate, 0.1);
+        assert_eq!(r.recent_score_mean, 0.3);
+    }
+
+    #[test]
+    fn drift_is_the_larger_gap() {
+        let mut m = DriftMonitor::new(0.10, 0.20);
+        // 8 of 10 rows violating (gap 0.7), scores mean 0.25 (gap 0.05).
+        m.record_batch(10, 8, 0.25 * 40.0, 40);
+        let r = m.report();
+        assert!((r.recent_violation_rate - 0.8).abs() < 1e-12);
+        assert!((r.drift - 0.7).abs() < 1e-12, "drift {}", r.drift);
+        // Score-side dominance works too.
+        let mut m = DriftMonitor::new(0.10, 0.20);
+        m.record_batch(10, 1, 0.9 * 40.0, 40);
+        assert!((m.report().drift - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batches_accumulate_and_reanchor_resets() {
+        let mut m = DriftMonitor::new(0.0, 0.5);
+        m.record_batch(5, 5, 2.5, 5);
+        m.record_batch(5, 0, 2.5, 5);
+        let r = m.report();
+        assert_eq!(r.rows_since_refit, 10);
+        assert!((r.recent_violation_rate - 0.5).abs() < 1e-12);
+        m.reanchor(0.5, 0.5);
+        let r = m.report();
+        assert_eq!(r.drift, 0.0);
+        assert_eq!(r.rows_since_refit, 0);
+        assert_eq!(r.baseline_violation_rate, 0.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! # holo-stream
+//!
+//! Streaming ingest with incremental model maintenance and
+//! drift-triggered refit: the layer that turns the frozen
+//! fit → save → serve lifecycle into a living one.
+//!
+//! A served HoloDetect artifact scores against the reference dataset it
+//! was fitted on — but production reference data is never frozen: rows
+//! arrive continuously and error distributions drift. Refitting per
+//! batch is economically absurd (artifact load is ~350× cheaper than a
+//! refit per the bench notes, and a refit is *far* more expensive than
+//! a load), so this crate keeps a served model current three ways:
+//!
+//! * **Incremental maintenance** — every ingested row becomes a
+//!   [`holo_data::DeltaOp`] in a durable [`holo_data::DeltaLog`] and is
+//!   applied to the fitted state through
+//!   `FittedHoloDetect::apply_delta`, which maintains the owned
+//!   reference copy, the violation indexes, and every count-based
+//!   representation model with the repo's established parity bar:
+//!   scoring after any delta sequence is **bitwise-identical** to a
+//!   from-scratch rebuild of the count-based state at the same epoch.
+//! * **Drift monitoring** — [`drift::DriftMonitor`] tracks the
+//!   violation rate and mean error score of ingested rows against a
+//!   baseline anchored at the last (re)fit; the gap between them is the
+//!   drift signal ([`drift::DriftReport`]).
+//! * **Background refit** — [`scheduler::RefitScheduler`] watches the
+//!   drift signal off the hot path and, past a configurable threshold,
+//!   runs `refit_with` on a snapshot (classifier + calibration +
+//!   threshold re-learned over the maintained representation), persists
+//!   the result, and hot-swaps it into serving through the caller's
+//!   swap hook (`ModelRegistry::reload` in holo-serve) — scoring never
+//!   blocks on a refit.
+//!
+//! [`live::LiveModel`] is the concurrency boundary tying the three
+//! together: scoring takes a read lock, ingest a brief write lock, and
+//! the refit's expensive training runs on a snapshot outside every
+//! lock. The durable invariant is `artifact ⊕ delta-log = state`: the
+//! on-disk artifact always corresponds to the log's compaction horizon,
+//! so a crashed process reopens the artifact, replays the log tail, and
+//! resumes at the exact epoch it died at.
+
+pub mod drift;
+pub mod live;
+pub mod scheduler;
+
+pub use drift::{DriftMonitor, DriftReport};
+pub use live::{IngestReport, LiveModel, StreamConfig};
+pub use scheduler::{RefitScheduler, RefitTarget};

@@ -1,0 +1,246 @@
+//! The background refit scheduler.
+//!
+//! One thread, many live models: each tick it asks every target
+//! [`LiveModel::should_refit`]; past the drift threshold it runs
+//! [`LiveModel::refit_to_disk`] (the expensive retrain, off every
+//! serving lock) and then fires the target's swap hook — in holo-serve
+//! that hook is `ModelRegistry::reload`, so the refitted artifact
+//! enters serving through the exact generation-bumped hot-swap path a
+//! manual reload uses, and scoring never blocks.
+//!
+//! A refit failure (degenerate snapshot, disk trouble) is recorded and
+//! retried on a later tick; it never kills the scheduler thread.
+
+use crate::live::LiveModel;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The swap hook fired after a successful refit-to-disk. Returns a
+/// human-readable error on failure (retried next tick).
+pub type SwapHook = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+/// One model under scheduler care.
+pub struct RefitTarget {
+    /// The live model to watch.
+    pub live: Arc<LiveModel>,
+    /// Hot-swap hook — `ModelRegistry::reload` when serving, or
+    /// [`LiveModel::refit_now`]-style install when standalone.
+    pub swap: SwapHook,
+}
+
+impl RefitTarget {
+    /// A standalone target: the swap hook reloads the artifact file and
+    /// installs it directly on the live model (no registry involved).
+    pub fn standalone(live: Arc<LiveModel>) -> Self {
+        let swap: SwapHook = {
+            let live = Arc::clone(&live);
+            Arc::new(move || live.reload_install().map(|_| ()).map_err(|e| e.to_string()))
+        };
+        RefitTarget { live, swap }
+    }
+}
+
+/// Handle to the background thread. Dropping (or calling
+/// [`RefitScheduler::shutdown`]) stops it and joins.
+pub struct RefitScheduler {
+    stop: Arc<AtomicBool>,
+    errors: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RefitScheduler {
+    /// Spawn the scheduler polling `targets` every `interval`.
+    pub fn spawn(targets: Vec<RefitTarget>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
+        let thread_stop = Arc::clone(&stop);
+        let thread_errors = Arc::clone(&errors);
+        let handle = std::thread::Builder::new()
+            .name("holo-stream-refit".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    for target in &targets {
+                        if thread_stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if !target.live.should_refit() {
+                            continue;
+                        }
+                        let outcome = target
+                            .live
+                            .refit_to_disk()
+                            .map_err(|e| e.to_string())
+                            .and_then(|_| (target.swap)());
+                        if outcome.is_err() {
+                            thread_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Sleep in short slices so shutdown is prompt even
+                    // with a long polling interval.
+                    let mut left = interval;
+                    while !left.is_zero() && !thread_stop.load(Ordering::Relaxed) {
+                        let nap = left.min(Duration::from_millis(25));
+                        std::thread::sleep(nap);
+                        left = left.saturating_sub(nap);
+                    }
+                }
+            })
+            .expect("spawn refit scheduler");
+        RefitScheduler {
+            stop,
+            errors,
+            handle: Some(handle),
+        }
+    }
+
+    /// Refit attempts that failed (and will be retried).
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Stop the thread and join it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RefitScheduler {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::StreamConfig;
+    use holo_data::{DatasetBuilder, GroundTruth, Schema};
+    use holo_eval::FitContext;
+    use holodetect::{HoloDetect, HoloDetectConfig};
+    use std::path::PathBuf;
+
+    fn live_with_constraints(tag: &str) -> (Arc<LiveModel>, PathBuf, PathBuf) {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for _ in 0..25 {
+            b.push_row(&["60612", "Chicago"]);
+            b.push_row(&["53703", "Madison"]);
+        }
+        let clean = b.build();
+        let mut dirty = clean.clone();
+        dirty.set_value(0, 1, "Cxhicago");
+        dirty.set_value(7, 1, "Madxison");
+        let truth = GroundTruth::from_pair(&clean, &dirty);
+        let mut cfg = HoloDetectConfig::fast();
+        cfg.epochs = 8;
+        let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
+        let dcs = holo_constraints::parse_constraints("Zip -> City", dirty.schema()).unwrap();
+        let model = HoloDetect::new(cfg).fit_model(&FitContext {
+            dirty: &dirty,
+            train: &train,
+            sampling: None,
+            constraints: &dcs,
+            seed: 3,
+        });
+        let dir = std::env::temp_dir();
+        let stamp = format!(
+            "{}-{:?}-{tag}",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        let artifact = dir.join(format!("holo-sched-{stamp}.holoart"));
+        let log = dir.join(format!("holo-sched-{stamp}.dlog"));
+        std::fs::remove_file(&log).ok();
+        model.save(&artifact).unwrap();
+        let live = Arc::new(
+            LiveModel::open(
+                &artifact,
+                &log,
+                StreamConfig {
+                    drift_threshold: 0.2,
+                    min_rows_between_refits: 8,
+                    baseline_sample_rows: 64,
+                },
+            )
+            .unwrap(),
+        );
+        (live, artifact, log)
+    }
+
+    #[test]
+    fn scheduler_refits_on_drift_and_is_quiet_otherwise() {
+        let (live, artifact, log) = live_with_constraints("auto");
+        let sched = RefitScheduler::spawn(
+            vec![RefitTarget::standalone(Arc::clone(&live))],
+            Duration::from_millis(10),
+        );
+
+        // Quiet traffic: no refit.
+        live.ingest_rows(vec![vec!["60612".into(), "Chicago".into()]; 4])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(live.refits_total(), 0, "no drift, no refit");
+
+        // Uniformly FD-violating traffic: drift crosses the threshold
+        // and the scheduler refits + hot-swaps in the background. (The
+        // batch is large enough that the 4 quiet rows above cannot
+        // dilute the score-shift signal below the threshold.)
+        let bad: Vec<Vec<String>> = (0..28)
+            .map(|i| vec!["60612".to_string(), format!("Springfield{i}")])
+            .collect();
+        let report = live.ingest_rows(bad).unwrap();
+        assert!(
+            report.drift > 0.2,
+            "bad traffic must register as drift (got {})",
+            report.drift
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while live.generation() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(live.generation() >= 1, "scheduler never hot-swapped");
+        assert!(live.refits_total() >= 1);
+        assert_eq!(live.epoch(), 32, "refit must preserve every epoch");
+        assert!(!live.should_refit(), "baseline re-anchored after refit");
+        sched.shutdown();
+        for p in [&artifact, &log] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn failed_swaps_are_counted_and_retried_not_fatal() {
+        let (live, artifact, log) = live_with_constraints("fail");
+        let swap: SwapHook = Arc::new(|| Err("swap refused".into()));
+        let sched = RefitScheduler::spawn(
+            vec![RefitTarget {
+                live: Arc::clone(&live),
+                swap,
+            }],
+            Duration::from_millis(10),
+        );
+        let bad: Vec<Vec<String>> = (0..12)
+            .map(|i| vec!["60612".to_string(), format!("Springfield{i}")])
+            .collect();
+        live.ingest_rows(bad).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while sched.error_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(sched.error_count() >= 1, "failure must be recorded");
+        // The scheduler thread survives failures; shutdown still joins.
+        sched.shutdown();
+        assert_eq!(live.generation(), 0, "failed swap installs nothing");
+        for p in [&artifact, &log] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -53,7 +53,10 @@
 //! * [`eval`] — the detector API, splits, metrics, multi-seed runs,
 //! * [`datagen`] — simulated stand-ins for the paper's five datasets,
 //! * [`serve`] — the std-only serving subsystem: HTTP scoring server,
-//!   model registry with hot reload, micro-batching, metrics.
+//!   model registry with hot reload, micro-batching, metrics,
+//! * [`stream`] — streaming ingest: durable delta logs, incremental
+//!   model maintenance (bitwise-equal to a rebuild at the same epoch),
+//!   drift monitoring, and background drift-triggered refit.
 
 pub use holo_baselines as baselines;
 pub use holo_channel as channel;
@@ -65,5 +68,6 @@ pub use holo_eval as eval;
 pub use holo_features as features;
 pub use holo_nn as nn;
 pub use holo_serve as serve;
+pub use holo_stream as stream;
 pub use holo_text as text;
 pub use holodetect as core;

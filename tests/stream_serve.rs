@@ -1,0 +1,440 @@
+//! End-to-end tests for the streaming serving path: a live model served
+//! over real TCP (HTTP → registry → live session), with ingest, drift,
+//! refit endpoints, and — the PR's availability criterion — scoring
+//! that keeps succeeding, parity-correct, while a drift-triggered
+//! background refit retrains and hot-swaps the model.
+
+use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
+use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
+use holodetect_repro::eval::FitContext;
+use holodetect_repro::serve::{
+    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig,
+};
+use holodetect_repro::stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- world
+
+fn fit_live(tag: &str, stream_cfg: StreamConfig) -> (Arc<LiveModel>, PathBuf, PathBuf) {
+    let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+    for _ in 0..25 {
+        b.push_row(&["60612", "Chicago"]);
+        b.push_row(&["53703", "Madison"]);
+    }
+    let clean = b.build();
+    let mut dirty = clean.clone();
+    dirty.set_value(0, 1, "Cxhicago");
+    dirty.set_value(7, 1, "Madxison");
+    let truth = GroundTruth::from_pair(&clean, &dirty);
+    let mut cfg = HoloDetectConfig::fast();
+    cfg.epochs = 8;
+    let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
+    let dcs = holodetect_repro::constraints::parse_constraints("Zip -> City", dirty.schema())
+        .expect("constraints");
+    let model = HoloDetect::new(cfg).fit_model(&FitContext {
+        dirty: &dirty,
+        train: &train,
+        sampling: None,
+        constraints: &dcs,
+        seed: 3,
+    });
+    let stamp = format!(
+        "{}-{:?}-{tag}",
+        std::process::id(),
+        std::thread::current().id()
+    );
+    let artifact = std::env::temp_dir().join(format!("holo-sserve-{stamp}.holoart"));
+    let log = std::env::temp_dir().join(format!("holo-sserve-{stamp}.dlog"));
+    std::fs::remove_file(&log).ok();
+    model.save(&artifact).expect("save artifact");
+    let live = Arc::new(LiveModel::open(&artifact, &log, stream_cfg).expect("open live"));
+    (live, artifact, log)
+}
+
+fn start_server(registry: Arc<ModelRegistry>) -> RunningServer {
+    serve::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            http: HttpConfig {
+                workers: 4,
+                ..HttpConfig::default()
+            },
+            batch: BatchConfig {
+                max_batch_cells: 64,
+                max_wait: Duration::from_millis(5),
+            },
+        },
+        registry,
+    )
+    .expect("bind port 0")
+}
+
+// ------------------------------------------------------------- raw http
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("send");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(addr, "POST", path, body)
+}
+
+fn rows_body(rows: &[(&str, &str)]) -> String {
+    let rows = rows
+        .iter()
+        .map(|(z, c)| {
+            Json::Obj(vec![
+                ("Zip".to_string(), Json::Str(z.to_string())),
+                ("City".to_string(), Json::Str(c.to_string())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("rows".to_string(), Json::Arr(rows))]).to_string()
+}
+
+fn field(body: &str, name: &str) -> f64 {
+    serve::parse_json(body)
+        .unwrap_or_else(|e| panic!("bad json {body:?}: {e}"))
+        .get(name)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("no numeric {name:?} in {body}"))
+}
+
+fn scores_of(body: &str) -> Vec<u64> {
+    serve::parse_json(body)
+        .unwrap_or_else(|e| panic!("bad response {body:?}: {e}"))
+        .get("scores")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("no scores in {body}"))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric score").to_bits())
+        .collect()
+}
+
+fn probe_batch(tag: usize) -> Dataset {
+    let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+    b.push_row(&[format!("606{:02}", tag % 100), "Chicago".to_string()]);
+    b.push_row(&["53703".to_string(), format!("Madiso{tag}")]);
+    b.build()
+}
+
+// ---------------------------------------------------------------- tests
+
+#[test]
+fn ingest_is_read_your_writes_and_visible_in_scores_and_metrics() {
+    let (live, artifact, log) = fit_live("ingest", StreamConfig::default());
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_live("food", Arc::clone(&live));
+    let server = start_server(registry);
+    let addr = server.addr();
+
+    // A probe scored before any ingest…
+    let probe = probe_batch(99);
+    let cells: Vec<CellId> = probe.cell_ids().collect();
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/score",
+        &rows_body(&[("60699", "Chicago"), ("53703", "Madiso99")]),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let before = scores_of(&body);
+
+    // Ingest rows teaching the model the probe's zip.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/rows",
+        &rows_body(&[("60699", "Chicago"); 8]),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(field(&body, "appended"), 8.0);
+    assert_eq!(field(&body, "epoch"), 8.0);
+
+    // Scores change, and serve-side equals in-process live scoring bit
+    // for bit (read-your-writes through the same session).
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/score",
+        &rows_body(&[("60699", "Chicago"), ("53703", "Madiso99")]),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let after = scores_of(&body);
+    assert_ne!(before, after, "ingest must be visible to scoring");
+    let direct: Vec<u64> = live
+        .score_batch(&probe, &cells)
+        .unwrap()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    assert_eq!(
+        after, direct,
+        "served scores must equal live session scores"
+    );
+
+    // Ingest validation: unknown column → 400 naming it; nothing applied.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/rows",
+        r#"{"rows": [{"Zip": "1", "Town": "x"}]}"#,
+    );
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("Town"), "body: {body}");
+    assert_eq!(live.epoch(), 8);
+
+    // The metrics page carries the global counter and per-model gauges.
+    let (_, page) = http(addr, "GET", "/metrics", "");
+    assert!(page.contains("holo_serve_rows_ingested_total 8"), "{page}");
+    assert!(
+        page.contains("holo_stream_epoch{model=\"food\"} 8"),
+        "{page}"
+    );
+    assert!(page.contains("holo_stream_generation{model=\"food\"} 0"));
+
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn drift_and_refit_endpoints_report_and_hot_swap() {
+    let (live, artifact, log) = fit_live(
+        "refit",
+        StreamConfig {
+            drift_threshold: 0.2,
+            min_rows_between_refits: 8,
+            baseline_sample_rows: 64,
+        },
+    );
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_live("food", Arc::clone(&live));
+    let server = start_server(registry);
+    let addr = server.addr();
+
+    // Drift on a fresh model is zero.
+    let (status, body) = http(addr, "GET", "/v1/models/food/drift", "");
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(field(&body, "drift"), 0.0);
+    assert_eq!(field(&body, "epoch"), 0.0);
+
+    // Uniformly FD-violating traffic drives drift up.
+    let bad: Vec<(String, String)> = (0..16)
+        .map(|i| ("60612".to_string(), format!("Springfield{i}")))
+        .collect();
+    let bad_refs: Vec<(&str, &str)> = bad.iter().map(|(z, c)| (z.as_str(), c.as_str())).collect();
+    let (status, body) = post(addr, "/v1/models/food/rows", &rows_body(&bad_refs));
+    assert_eq!(status, 200, "body: {body}");
+    assert!(field(&body, "drift") > 0.2, "body: {body}");
+    let (_, body) = http(addr, "GET", "/v1/models/food/drift", "");
+    assert!(field(&body, "rows_since_refit") >= 16.0, "body: {body}");
+
+    // Forced refit: retrain + persist + hot-swap, epoch preserved.
+    let (status, body) = post(addr, "/v1/models/food/refit", "");
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(field(&body, "generation"), 1.0);
+    assert_eq!(field(&body, "epoch"), 16.0);
+    let (_, body) = http(addr, "GET", "/v1/models/food/drift", "");
+    assert_eq!(
+        field(&body, "rows_since_refit"),
+        0.0,
+        "refit must re-anchor the drift window (body: {body})"
+    );
+    // Scoring still works and the generation shows on metrics.
+    let (status, _) = post(
+        addr,
+        "/v1/models/food/score",
+        &rows_body(&[("60612", "Chicago")]),
+    );
+    assert_eq!(status, 200);
+    let (_, page) = http(addr, "GET", "/metrics", "");
+    assert!(
+        page.contains("holo_stream_generation{model=\"food\"} 1"),
+        "{page}"
+    );
+    assert!(page.contains("holo_serve_stream_refits_total 1"), "{page}");
+
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn stream_endpoints_on_static_models_are_409() {
+    // A static entry (no streaming): rows/drift/refit are conflicts,
+    // and wrong methods are 405s.
+    let (live, artifact, log) = fit_live("static", StreamConfig::default());
+    drop(live); // only the artifact file is needed
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_insert("plain", &artifact).unwrap();
+    let server = start_server(registry);
+    let addr = server.addr();
+
+    let (status, body) = post(addr, "/v1/models/plain/rows", &rows_body(&[("1", "a")]));
+    assert_eq!(status, 409, "body: {body}");
+    assert!(body.contains("streaming"), "body: {body}");
+    assert_eq!(http(addr, "GET", "/v1/models/plain/drift", "").0, 409);
+    assert_eq!(post(addr, "/v1/models/plain/refit", "").0, 409);
+    assert_eq!(post(addr, "/v1/models/ghost/rows", "{}").0, 404);
+    assert_eq!(post(addr, "/v1/models/plain/drift", "").0, 405);
+    assert_eq!(http(addr, "GET", "/v1/models/plain/rows", "").0, 405);
+
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+/// The availability criterion: `POST .../rows` and `POST .../score`
+/// keep succeeding — no 5xx, no stalls — while the scheduler's
+/// drift-triggered refit retrains and hot-swaps in the background, and
+/// scores stay parity-correct with the live session throughout.
+#[test]
+fn scoring_and_ingest_stay_available_during_drift_triggered_refit() {
+    let (live, artifact, log) = fit_live(
+        "avail",
+        StreamConfig {
+            drift_threshold: 0.2,
+            min_rows_between_refits: 8,
+            baseline_sample_rows: 64,
+        },
+    );
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_live("food", Arc::clone(&live));
+    // Scheduler hot-swaps through the registry's reload, as production
+    // wiring does.
+    let scheduler = {
+        let registry = Arc::clone(&registry);
+        RefitScheduler::spawn(
+            vec![RefitTarget {
+                live: Arc::clone(&live),
+                swap: Arc::new(move || match registry.reload("food") {
+                    Some(Ok(_)) => Ok(()),
+                    Some(Err(e)) => Err(e.to_string()),
+                    None => Err("model vanished".into()),
+                }),
+            }],
+            Duration::from_millis(10),
+        )
+    };
+    let server = start_server(registry);
+    let addr = server.addr();
+
+    // Drive drift up so the scheduler refits while clients hammer.
+    let bad: Vec<(String, String)> = (0..24)
+        .map(|i| ("60612".to_string(), format!("Springfield{i}")))
+        .collect();
+    let bad_refs: Vec<(&str, &str)> = bad.iter().map(|(z, c)| (z.as_str(), c.as_str())).collect();
+    assert_eq!(
+        post(addr, "/v1/models/food/rows", &rows_body(&bad_refs)).0,
+        200
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    std::thread::scope(|s| {
+        // Scorers: every response must be 200 and bitwise-equal to an
+        // immediate in-process score of the same rows.
+        let mut handles = Vec::new();
+        for client in 0..3 {
+            let live = Arc::clone(&live);
+            handles.push(s.spawn(move || {
+                let mut round = 0usize;
+                while live.generation() == 0 && Instant::now() < deadline {
+                    round += 1;
+                    let probe = probe_batch(client * 10 + round % 7);
+                    let cells: Vec<CellId> = probe.cell_ids().collect();
+                    let body =
+                        rows_body(&[(probe.value(0, 0), "Chicago"), ("53703", probe.value(1, 1))]);
+                    let state_before = (live.generation(), live.epoch());
+                    let started = Instant::now();
+                    let (status, resp) = post(addr, "/v1/models/food/score", &body);
+                    assert_eq!(status, 200, "scoring failed mid-refit: {resp}");
+                    assert!(
+                        started.elapsed() < Duration::from_secs(10),
+                        "scoring stalled during refit"
+                    );
+                    // Parity: served scores must equal in-process live
+                    // scores, but the comparison is only well-defined
+                    // when no ingest (epoch) or hot swap (generation)
+                    // landed anywhere in the window — the concurrent
+                    // ingester thread makes that a real race, so rounds
+                    // where the state moved are skipped (parity on a
+                    // quiet session has its own test above).
+                    let direct: Vec<u64> = live
+                        .score_batch(&probe, &cells)
+                        .expect("live score")
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect();
+                    if (live.generation(), live.epoch()) == state_before {
+                        assert_eq!(scores_of(&resp), direct, "round {round}");
+                    }
+                }
+            }));
+        }
+        // An ingester: rows keep landing throughout the refit.
+        {
+            let live = Arc::clone(&live);
+            handles.push(s.spawn(move || {
+                let mut tag = 0;
+                while live.generation() == 0 && Instant::now() < deadline {
+                    tag += 1;
+                    let zip = format!("607{:02}", tag % 100);
+                    let (status, resp) = post(
+                        addr,
+                        "/v1/models/food/rows",
+                        &rows_body(&[(&zip, "Chicago")]),
+                    );
+                    assert_eq!(status, 200, "ingest failed mid-refit: {resp}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    assert!(
+        live.generation() >= 1,
+        "drift-triggered refit never hot-swapped"
+    );
+    assert!(live.refits_total() >= 1);
+    // No ingested epoch was lost across the swap.
+    assert_eq!(live.epoch(), 24 + (live.rows_ingested() - 24));
+    // Post-swap: serving and the live session agree bitwise again.
+    let probe = probe_batch(3);
+    let cells: Vec<CellId> = probe.cell_ids().collect();
+    let (status, resp) = post(
+        addr,
+        "/v1/models/food/score",
+        &rows_body(&[(probe.value(0, 0), "Chicago"), ("53703", probe.value(1, 1))]),
+    );
+    assert_eq!(status, 200);
+    let direct: Vec<u64> = live
+        .score_batch(&probe, &cells)
+        .unwrap()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    assert_eq!(scores_of(&resp), direct);
+
+    scheduler.shutdown();
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    std::fs::remove_file(&log).ok();
+}
