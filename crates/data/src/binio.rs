@@ -19,7 +19,7 @@ const PREALLOC_CAP: usize = 1 << 20;
 
 /// A pre-allocation size for `len` elements that a corrupted length
 /// prefix cannot abuse: `min(len, cap)` where the cap keeps the initial
-/// reservation at or below [`PREALLOC_CAP`] bytes for `elem_size`-byte
+/// reservation at or below `PREALLOC_CAP` bytes for `elem_size`-byte
 /// elements. Use for every `Vec::with_capacity`/`HashMap::with_capacity`
 /// fed by [`read_usize`] on untrusted input.
 pub fn bounded_cap(len: usize, elem_size: usize) -> usize {

@@ -30,6 +30,12 @@ pub struct ErrorSpec {
     /// Of the corrupted cells, the fraction receiving typos; the rest
     /// receive value swaps.
     pub typo_frac: f64,
+    /// Of the corrupted cells, the fraction blanked out entirely
+    /// (missing-value channel); drawn *before* the typo/swap split, so
+    /// `missing_frac = 0.1, typo_frac = 0.7` means 10% missing, 63%
+    /// typos, 27% swaps. Zero leaves the channel exactly as it was
+    /// before this knob existed (bit-for-bit, same RNG stream).
+    pub missing_frac: f64,
     /// Typo realization.
     pub typo_style: TypoStyle,
     /// Columns eligible for corruption (`None` = all).
@@ -42,6 +48,7 @@ impl ErrorSpec {
         ErrorSpec {
             cell_rate: rate,
             typo_frac: 1.0,
+            missing_frac: 0.0,
             typo_style: TypoStyle::Keyboard,
             columns: None,
         }
@@ -73,8 +80,18 @@ pub fn inject_errors(clean: &Dataset, spec: &ErrorSpec, seed: u64) -> (Dataset, 
             break;
         }
         let original = clean.value(t, a).to_owned();
-        let make_typo = rng.random_range(0.0..1.0) < spec.typo_frac;
-        let new_value = if make_typo {
+        // Roll for the missing-value channel only when it is enabled,
+        // so `missing_frac = 0` consumes the exact RNG stream older
+        // seeds produced (committed baselines depend on it).
+        let make_missing =
+            spec.missing_frac > 0.0 && rng.random_range(0.0..1.0) < spec.missing_frac;
+        let new_value = if make_missing {
+            if original.is_empty() {
+                None // already missing; nothing to corrupt
+            } else {
+                Some(String::new())
+            }
+        } else if rng.random_range(0.0..1.0) < spec.typo_frac {
             typo(&original, spec.typo_style, &mut rng)
         } else {
             swap_value(clean, t, a, &mut rng)
@@ -211,6 +228,7 @@ mod tests {
         let spec = ErrorSpec {
             cell_rate: 0.1,
             typo_frac: 1.0,
+            missing_frac: 0.0,
             typo_style: TypoStyle::XInjection,
             columns: None,
         };
@@ -230,6 +248,7 @@ mod tests {
         let spec = ErrorSpec {
             cell_rate: 0.1,
             typo_frac: 0.0, // all swaps
+            missing_frac: 0.0,
             typo_style: TypoStyle::Keyboard,
             columns: None,
         };
@@ -246,11 +265,50 @@ mod tests {
     }
 
     #[test]
+    fn missing_channel_blanks_cells() {
+        let d = clean();
+        let spec = ErrorSpec {
+            cell_rate: 0.1,
+            typo_frac: 1.0,
+            missing_frac: 1.0, // every corruption is a blank
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        };
+        let (dirty, truth) = inject_errors(&d, &spec, 13);
+        assert_eq!(truth.n_errors(), 20);
+        for (cell, true_value) in truth.error_cells() {
+            assert_eq!(dirty.cell_value(cell), "");
+            assert!(!true_value.is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_channel_produces_blanks_and_typos() {
+        let d = clean();
+        let spec = ErrorSpec {
+            cell_rate: 0.2,
+            typo_frac: 1.0,
+            missing_frac: 0.5,
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        };
+        let (dirty, truth) = inject_errors(&d, &spec, 21);
+        let blanks = truth
+            .error_cells()
+            .filter(|(c, _)| dirty.cell_value(*c).is_empty())
+            .count();
+        let typos = truth.n_errors() - blanks;
+        assert!(blanks > 0, "missing channel never fired");
+        assert!(typos > 0, "typo channel never fired");
+    }
+
+    #[test]
     fn column_restriction_respected() {
         let d = clean();
         let spec = ErrorSpec {
             cell_rate: 0.05,
             typo_frac: 1.0,
+            missing_frac: 0.0,
             typo_style: TypoStyle::Keyboard,
             columns: Some(vec![1]),
         };

@@ -32,6 +32,27 @@ pub struct GeneratedDataset {
 
 /// Generate a dataset simulating `kind` with `rows` tuples.
 pub fn generate(kind: DatasetKind, rows: usize, seed: u64) -> GeneratedDataset {
+    let (clean, constraints) = generate_clean(kind, rows, seed);
+    let (dirty, truth) = inject_errors(&clean, &kind.error_spec(), seed.wrapping_add(1));
+    GeneratedDataset {
+        kind,
+        clean,
+        dirty,
+        truth,
+        constraints,
+    }
+}
+
+/// Generate only the *clean* relation (constraints hold exactly) and
+/// its parsed denial constraints — for callers that corrupt slices of
+/// the data with their own per-slice error channels (e.g. the scenario
+/// suite's base-vs-drift split, where the head and tail of one entity
+/// world receive different [`ErrorSpec`](crate::ErrorSpec)s).
+pub fn generate_clean(
+    kind: DatasetKind,
+    rows: usize,
+    seed: u64,
+) -> (Dataset, Vec<DenialConstraint>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let (clean, constraint_text) = match kind {
         DatasetKind::Hospital => hospital(rows, &mut rng),
@@ -42,14 +63,7 @@ pub fn generate(kind: DatasetKind, rows: usize, seed: u64) -> GeneratedDataset {
     };
     let constraints = parse_constraints(constraint_text, clean.schema())
         .expect("built-in constraints must parse");
-    let (dirty, truth) = inject_errors(&clean, &kind.error_spec(), seed.wrapping_add(1));
-    GeneratedDataset {
-        kind,
-        clean,
-        dirty,
-        truth,
-        constraints,
-    }
+    (clean, constraints)
 }
 
 // ---------------------------------------------------------------------

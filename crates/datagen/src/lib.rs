@@ -30,5 +30,5 @@ pub mod spec;
 pub mod words;
 
 pub use bart::{inject_errors, ErrorSpec, TypoStyle};
-pub use generators::{generate, GeneratedDataset};
+pub use generators::{generate, generate_clean, GeneratedDataset};
 pub use spec::DatasetKind;

@@ -101,6 +101,7 @@ impl DatasetKind {
         ErrorSpec {
             cell_rate: self.cell_error_rate(),
             typo_frac: self.typo_frac(),
+            missing_frac: 0.0,
             typo_style: match self {
                 DatasetKind::Hospital => TypoStyle::XInjection,
                 _ => TypoStyle::Keyboard,

@@ -1,9 +1,15 @@
-//! Precision / recall / F1 over cell-level predictions.
+//! Precision / recall / F1 over cell-level predictions, plus
+//! threshold-free ranking metrics over raw scores.
 //!
 //! §6.1: "Precision (P) is the fraction of error predictions that are
 //! correct; Recall (R) is the fraction of true errors being predicted
 //! as errors"; F1 is their harmonic mean. The *error* class is the
 //! positive class everywhere.
+//!
+//! [`pr_auc`] and [`best_f1`] consume `(score, is_error)` pairs — the
+//! calibrated probabilities the staged API exposes — so detector
+//! quality can be tracked independently of any one decision threshold
+//! (the scenario suite's quality gate builds on them).
 
 use holo_data::{CellId, GroundTruth, Label};
 
@@ -81,6 +87,88 @@ impl Confusion {
     }
 }
 
+/// Sort `(score, is_error)` pairs by descending score and return, per
+/// distinct score value, the cumulative `(tp, fp)` counts after taking
+/// every cell scoring at or above it. Ties are grouped so a threshold
+/// can never split cells with equal scores.
+///
+/// # Panics
+/// On a NaN score: a ranking over NaN is meaningless, and the quality
+/// gate must fail loudly rather than order garbage.
+fn ranked_cut_points(scored: &[(f64, bool)]) -> Vec<(f64, usize, usize)> {
+    assert!(
+        scored.iter().all(|(s, _)| !s.is_nan()),
+        "NaN score in ranking metrics"
+    );
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN scores rejected above"));
+    let mut out = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < sorted.len() {
+        let score = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == score {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        out.push((score, tp, fp));
+    }
+    out
+}
+
+/// Area under the precision-recall curve (average-precision style: the
+/// step-wise sum `Σ (R_i − R_{i−1})·P_i` over descending-score cut
+/// points, with tied scores grouped). Error is the positive class.
+///
+/// Returns 0 when `scored` contains no true errors (recall is
+/// undefined; an empty curve gates conservatively).
+///
+/// # Panics
+/// On NaN scores — see `ranked_cut_points`.
+pub fn pr_auc(scored: &[(f64, bool)]) -> f64 {
+    let positives = scored.iter().filter(|(_, e)| *e).count();
+    if positives == 0 {
+        return 0.0;
+    }
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    for (_, tp, fp) in ranked_cut_points(scored) {
+        let recall = tp as f64 / positives as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        auc += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    auc
+}
+
+/// The `(threshold, f1)` pair maximizing F1 over all cut points of the
+/// score ranking (predict error iff `score >= threshold`). Returns
+/// `(f64::INFINITY, 0.0)` when no threshold beats predicting nothing —
+/// e.g. when `scored` has no true errors.
+///
+/// # Panics
+/// On NaN scores — see `ranked_cut_points`.
+pub fn best_f1(scored: &[(f64, bool)]) -> (f64, f64) {
+    let positives = scored.iter().filter(|(_, e)| *e).count();
+    let mut best = (f64::INFINITY, 0.0);
+    for (score, tp, fp) in ranked_cut_points(scored) {
+        let c = Confusion {
+            tp,
+            fp,
+            tn: 0, // f1 ignores true negatives
+            fn_: positives - tp,
+        };
+        if c.f1() > best.1 {
+            best = (score, c.f1());
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,9 +242,119 @@ mod tests {
 }
 
 #[cfg(test)]
+mod ranking_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_unit_auc() {
+        let scored = vec![(0.9, true), (0.8, true), (0.3, false), (0.1, false)];
+        assert!((pr_auc(&scored) - 1.0).abs() < 1e-12);
+        let (thr, f1) = best_f1(&scored);
+        assert_eq!(f1, 1.0);
+        assert_eq!(thr, 0.8);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_auc() {
+        let scored = vec![(0.9, false), (0.8, false), (0.3, true), (0.1, true)];
+        let auc = pr_auc(&scored);
+        assert!(auc < 0.5, "inverted ranking scored {auc}");
+    }
+
+    #[test]
+    fn no_positives_is_zero_not_nan() {
+        let scored = vec![(0.9, false), (0.1, false)];
+        assert_eq!(pr_auc(&scored), 0.0);
+        let (thr, f1) = best_f1(&scored);
+        assert_eq!(f1, 0.0);
+        assert_eq!(thr, f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(pr_auc(&[]), 0.0);
+        assert_eq!(best_f1(&[]).1, 0.0);
+    }
+
+    #[test]
+    fn tied_scores_are_grouped() {
+        // One positive and one negative share the top score: no
+        // threshold can split them, so precision at full recall is 1/2
+        // and the AUC must reflect the group, not an arbitrary order.
+        let scored = vec![(0.9, true), (0.9, false), (0.1, false)];
+        assert!((pr_auc(&scored) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_auc_equals_base_rate() {
+        // All cells tie: the only cut point takes everything, so
+        // precision = base error rate at recall 1.
+        let scored = vec![(0.5, true), (0.5, false), (0.5, false), (0.5, false)];
+        assert!((pr_auc(&scored) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_f1_threshold_is_attainable() {
+        let scored = vec![
+            (0.9, true),
+            (0.7, false),
+            (0.6, true),
+            (0.4, true),
+            (0.2, false),
+        ];
+        let (thr, f1) = best_f1(&scored);
+        // Re-derive the confusion at the returned threshold.
+        let mut c = Confusion::default();
+        for &(s, e) in &scored {
+            let pred = if s >= thr {
+                Label::Error
+            } else {
+                Label::Correct
+            };
+            let actual = if e { Label::Error } else { Label::Correct };
+            c.record(pred, actual);
+        }
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_panic() {
+        pr_auc(&[(f64::NAN, true), (0.1, false)]);
+    }
+}
+
+#[cfg(test)]
 mod props {
     use super::*;
     use proptest::prelude::*;
+
+    proptest! {
+        /// PR-AUC and best-F1 stay in [0,1] and a perfect separation
+        /// always reaches AUC 1.
+        #[test]
+        fn ranking_bounds(raw in proptest::collection::vec((0u32..100, 0u32..2), 0..40)) {
+            let scores: Vec<(f64, bool)> = raw
+                .into_iter()
+                .map(|(s, e)| (s as f64 / 100.0, e == 1))
+                .collect();
+            let auc = pr_auc(&scores);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&auc));
+            let (_, f1) = best_f1(&scores);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f1));
+        }
+
+        /// Separable inputs (every error scored above every non-error)
+        /// have AUC exactly 1.
+        #[test]
+        fn separable_is_perfect(n_pos in 1usize..10, n_neg in 1usize..10) {
+            let mut scored = Vec::new();
+            for i in 0..n_pos { scored.push((0.9 + (i as f64) * 0.001, true)); }
+            for i in 0..n_neg { scored.push((0.1 - (i as f64) * 0.001, false)); }
+            prop_assert!((pr_auc(&scored) - 1.0).abs() < 1e-12);
+            prop_assert!((best_f1(&scored).1 - 1.0).abs() < 1e-12);
+        }
+    }
 
     proptest! {
         /// P, R, F1 always in \[0,1\]; F1 between min and max of P and R

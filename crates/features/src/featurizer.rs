@@ -444,7 +444,7 @@ impl Featurizer {
     /// each cell of `d` with an optional value override.
     ///
     /// Work distribution is an atomic-cursor queue over small
-    /// [`BATCH_GRAIN`]-sized grains, not fixed even chunks: per-cell
+    /// `BATCH_GRAIN`-sized grains, not fixed even chunks: per-cell
     /// cost varies wildly (cache-cold neighbour scans, huge violation
     /// blocks), and with fixed chunking one slow chunk gates the whole
     /// scoped batch while the other workers idle. Grains are claimed in

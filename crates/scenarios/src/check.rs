@@ -1,0 +1,395 @@
+//! The quality-regression gate: compare a fresh suite report against a
+//! committed baseline (`BENCH_scenarios.json`) and fail loudly, with a
+//! per-scenario/per-metric diff, when quality dropped beyond the
+//! tolerance.
+//!
+//! Only *quality* metrics are gated ([`GATED_METRICS`]); latency
+//! numbers are machine-dependent and never fail the gate. All gated
+//! metrics are higher-is-better, so the check is one-sided: a current
+//! value below `baseline − tolerance` is a regression, an improvement
+//! is reported but always passes (refresh the baseline to ratchet).
+
+use holo_serve::Json;
+
+/// Top-level suite parameters that must agree between the two reports
+/// for a quality comparison to mean anything (same sizes, schedule,
+/// and seed — otherwise it's apples to oranges).
+pub const SUITE_PARAMS: &[&str] = &["rows", "drift_rows", "epochs", "seed"];
+
+/// The gated quality metrics, all higher-is-better.
+pub const GATED_METRICS: &[&str] = &[
+    "pr_auc",
+    "f1",
+    "pr_auc_drift_pre_refit",
+    "pr_auc_drift_post_refit",
+    "f1_drift_post_refit",
+];
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Scenario name.
+    pub scenario: String,
+    /// Metric key under `"quality"`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current − baseline` (negative = worse).
+    pub delta: f64,
+    /// Whether this metric regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// The gate's verdict: every compared metric plus the failures that
+/// would (and should) fail CI.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Every `(scenario, metric)` pair compared.
+    pub diffs: Vec<MetricDiff>,
+    /// Human-readable failure lines (empty = gate passes).
+    pub failures: Vec<String>,
+    /// The tolerance applied.
+    pub tolerance: f64,
+}
+
+impl CheckReport {
+    /// `true` when no metric regressed and no structural failure
+    /// (missing scenario/metric, NaN) occurred.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The diff rendered as a fixed-width table plus failure lines.
+    pub fn render(&self) -> String {
+        let mut t = holo_eval::Table::new([
+            "Scenario", "Metric", "Baseline", "Current", "Delta", "Verdict",
+        ]);
+        for d in &self.diffs {
+            t.row([
+                d.scenario.clone(),
+                d.metric.clone(),
+                format!("{:.4}", d.baseline),
+                format!("{:.4}", d.current),
+                format!("{:+.4}", d.delta),
+                if d.regressed { "REGRESSED" } else { "ok" }.to_owned(),
+            ]);
+        }
+        let mut out = t.render();
+        for f in &self.failures {
+            out.push_str("FAIL: ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A scenario's `"quality"` object, keyed by scenario name.
+fn quality_by_name(doc: &Json) -> Result<Vec<(String, Json)>, String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("document has no \"scenarios\" array")?;
+    let mut out = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("scenario without a \"name\"")?;
+        let quality = s
+            .get("quality")
+            .ok_or_else(|| format!("scenario {name:?} has no \"quality\" object"))?;
+        out.push((name.to_owned(), quality.clone()));
+    }
+    Ok(out)
+}
+
+/// A finite metric value, or the reason it is unusable. JSON cannot
+/// encode NaN — the serve codec prints non-finite numbers as `null` —
+/// so a null/missing/non-numeric gated metric is treated as NaN and
+/// rejected.
+fn finite_metric(quality: &Json, scenario: &str, metric: &str) -> Result<f64, String> {
+    let v = quality
+        .get(metric)
+        .ok_or_else(|| format!("scenario {scenario:?}: metric {metric:?} is missing"))?;
+    match v {
+        Json::Num(x) if x.is_finite() => Ok(*x),
+        Json::Num(x) => Err(format!(
+            "scenario {scenario:?}: metric {metric:?} is non-finite ({x})"
+        )),
+        Json::Null => Err(format!(
+            "scenario {scenario:?}: metric {metric:?} is null (NaN in the producing run)"
+        )),
+        _ => Err(format!(
+            "scenario {scenario:?}: metric {metric:?} is not a number"
+        )),
+    }
+}
+
+/// Gate `current` against `baseline` at `tolerance`.
+///
+/// Structural problems in the *baseline* (unparseable, no scenarios)
+/// are an `Err` — a broken committed baseline must not silently pass.
+/// Problems in the *current* run (missing scenario, missing/NaN
+/// metric, regression) are failures inside the returned report.
+pub fn check(current: &Json, baseline: &Json, tolerance: f64) -> Result<CheckReport, String> {
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(format!(
+            "tolerance must be finite and >= 0, got {tolerance}"
+        ));
+    }
+    let baseline_quality = quality_by_name(baseline).map_err(|e| format!("baseline: {e}"))?;
+    if baseline_quality.is_empty() {
+        return Err("baseline has no scenarios to gate on".into());
+    }
+    // Refuse to compare runs produced under different suite parameters:
+    // a bigger/easier configuration can mask a real regression while
+    // staying inside the tolerance.
+    for &key in SUITE_PARAMS {
+        if let (Some(b), Some(c)) = (baseline.get(key), current.get(key)) {
+            if b.to_string() != c.to_string() {
+                return Err(format!(
+                    "suite parameter {key:?} differs (baseline {b}, current {c}): \
+                     the runs are not comparable — rerun with matching flags or \
+                     regenerate the baseline"
+                ));
+            }
+        }
+    }
+    let current_quality = quality_by_name(current).map_err(|e| format!("current run: {e}"))?;
+
+    let mut diffs = Vec::new();
+    let mut failures = Vec::new();
+    for (name, base_q) in &baseline_quality {
+        let Some((_, cur_q)) = current_quality.iter().find(|(n, _)| n == name) else {
+            failures.push(format!(
+                "scenario {name:?} is in the baseline but missing from the current run"
+            ));
+            continue;
+        };
+        for &metric in GATED_METRICS {
+            let base = match finite_metric(base_q, name, metric) {
+                Ok(v) => v,
+                Err(e) => return Err(format!("baseline: {e}")),
+            };
+            let cur = match finite_metric(cur_q, name, metric) {
+                Ok(v) => v,
+                Err(e) => {
+                    failures.push(e);
+                    continue;
+                }
+            };
+            let delta = cur - base;
+            let regressed = base - cur > tolerance;
+            if regressed {
+                failures.push(format!(
+                    "scenario {name:?}: {metric} regressed {base:.4} → {cur:.4} \
+                     (Δ {delta:+.4}, tolerance {tolerance})"
+                ));
+            }
+            diffs.push(MetricDiff {
+                scenario: name.clone(),
+                metric: metric.to_owned(),
+                baseline: base,
+                current: cur,
+                delta,
+                regressed,
+            });
+        }
+    }
+    Ok(CheckReport {
+        diffs,
+        failures,
+        tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(scenarios: &[(&str, &[(&str, f64)])]) -> Json {
+        let arr = scenarios
+            .iter()
+            .map(|(name, metrics)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str((*name).into())),
+                    (
+                        "quality".into(),
+                        Json::Obj(
+                            metrics
+                                .iter()
+                                .map(|(k, v)| ((*k).to_owned(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("scenarios".into(), Json::Arr(arr))])
+    }
+
+    fn full_quality(v: f64) -> Vec<(&'static str, f64)> {
+        GATED_METRICS.iter().map(|&m| (m, v)).collect()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let q = full_quality(0.8);
+        let d = doc(&[("hospital", &q)]);
+        let r = check(&d, &d, 0.05).unwrap();
+        assert!(r.passed());
+        assert_eq!(r.diffs.len(), GATED_METRICS.len());
+        assert!(r.diffs.iter().all(|d| !d.regressed && d.delta == 0.0));
+    }
+
+    #[test]
+    fn drop_exactly_at_tolerance_passes_beyond_fails() {
+        // Exactly-representable binary fractions so the edge is exact:
+        // 0.75 − 0.5 == 0.25 == tolerance.
+        let base = doc(&[("hospital", &full_quality(0.75))]);
+        let at_edge = doc(&[("hospital", &full_quality(0.50))]);
+        assert!(check(&at_edge, &base, 0.25).unwrap().passed());
+        // A hair beyond: fails, and the failure names scenario+metric.
+        let beyond = doc(&[("hospital", &full_quality(0.4999))]);
+        let r = check(&beyond, &base, 0.25).unwrap();
+        assert!(!r.passed());
+        assert_eq!(r.failures.len(), GATED_METRICS.len());
+        assert!(r.failures[0].contains("hospital"));
+        assert!(r.failures[0].contains("pr_auc"));
+        assert!(r.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let base = doc(&[("food", &full_quality(0.6))]);
+        let better = doc(&[("food", &full_quality(0.9))]);
+        let r = check(&better, &base, 0.0).unwrap();
+        assert!(r.passed());
+        assert!(r.diffs.iter().all(|d| d.delta > 0.0));
+    }
+
+    #[test]
+    fn zero_tolerance_fails_any_drop() {
+        let base = doc(&[("food", &full_quality(0.6))]);
+        let worse = doc(&[("food", &full_quality(0.5999999))]);
+        assert!(!check(&worse, &base, 0.0).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let base = doc(&[
+            ("hospital", &full_quality(0.8)),
+            ("census", &full_quality(0.7)),
+        ]);
+        let current = doc(&[("hospital", &full_quality(0.8))]);
+        let r = check(&current, &base, 0.05).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures.iter().any(|f| f.contains("census")));
+        // The present scenario was still fully compared.
+        assert_eq!(r.diffs.len(), GATED_METRICS.len());
+    }
+
+    #[test]
+    fn extra_current_scenarios_are_ignored() {
+        let base = doc(&[("hospital", &full_quality(0.8))]);
+        let current = doc(&[
+            ("hospital", &full_quality(0.8)),
+            ("brand-new", &full_quality(0.1)),
+        ]);
+        assert!(check(&current, &base, 0.05).unwrap().passed());
+    }
+
+    #[test]
+    fn nan_metric_in_current_fails() {
+        let base = doc(&[("hospital", &full_quality(0.8))]);
+        // The serve codec prints NaN as null; model that directly.
+        let mut metrics: Vec<(String, Json)> = full_quality(0.8)
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), Json::Num(v)))
+            .collect();
+        metrics[0].1 = Json::Null;
+        let current = Json::Obj(vec![(
+            "scenarios".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str("hospital".into())),
+                ("quality".into(), Json::Obj(metrics)),
+            ])]),
+        )]);
+        let r = check(&current, &base, 0.05).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures.iter().any(|f| f.contains("null")));
+    }
+
+    #[test]
+    fn nan_metric_in_baseline_is_a_hard_error() {
+        let mut metrics: Vec<(String, Json)> = full_quality(0.8)
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), Json::Num(v)))
+            .collect();
+        metrics[1].1 = Json::Num(f64::NAN);
+        let base = Json::Obj(vec![(
+            "scenarios".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str("hospital".into())),
+                ("quality".into(), Json::Obj(metrics)),
+            ])]),
+        )]);
+        let current = doc(&[("hospital", &full_quality(0.8))]);
+        assert!(check(&current, &base, 0.05).is_err());
+    }
+
+    #[test]
+    fn missing_metric_in_current_fails() {
+        let base = doc(&[("hospital", &full_quality(0.8))]);
+        let current = doc(&[("hospital", &full_quality(0.8)[..1])]);
+        let r = check(&current, &base, 0.05).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures.iter().any(|f| f.contains("missing")));
+    }
+
+    #[test]
+    fn mismatched_suite_parameters_are_a_hard_error() {
+        fn with_params(rows: f64, seed: &str) -> Json {
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(rows)),
+                ("seed".into(), Json::Str(seed.into())),
+                (
+                    "scenarios".into(),
+                    doc(&[("hospital", &full_quality(0.8))])
+                        .get("scenarios")
+                        .unwrap()
+                        .clone(),
+                ),
+            ])
+        }
+        let base = with_params(240.0, "0x5ceaa210");
+        // Same parameters: compares fine.
+        assert!(check(&with_params(240.0, "0x5ceaa210"), &base, 0.05)
+            .unwrap()
+            .passed());
+        // Different rows: not comparable, hard error naming the key.
+        let e = check(&with_params(400.0, "0x5ceaa210"), &base, 0.05).unwrap_err();
+        assert!(e.contains("rows"), "{e}");
+        // Different seed: same.
+        let e = check(&with_params(240.0, "0x1"), &base, 0.05).unwrap_err();
+        assert!(e.contains("seed"), "{e}");
+        // Parameters absent from the baseline are tolerated (hand-
+        // trimmed baselines still gate on quality).
+        let bare = doc(&[("hospital", &full_quality(0.8))]);
+        assert!(check(&with_params(240.0, "0x1"), &bare, 0.05)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn structural_baseline_problems_are_hard_errors() {
+        let current = doc(&[("hospital", &full_quality(0.8))]);
+        assert!(check(&current, &Json::Obj(vec![]), 0.05).is_err());
+        let empty = Json::Obj(vec![("scenarios".into(), Json::Arr(vec![]))]);
+        assert!(check(&current, &empty, 0.05).is_err());
+        assert!(check(&current, &current, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! Suite configuration: which schemas to run, how big, and the
+//! per-schema error-channel profiles.
+//!
+//! Every knob that influences *quality* numbers (rows, seeds, epochs,
+//! channel profiles) is explicit and deterministic — the committed
+//! `BENCH_scenarios.json` baseline is only meaningful if the run that
+//! produced it is exactly reproducible. Latency numbers are the only
+//! machine-dependent output, and they can be suppressed entirely with
+//! `--no-latency` (the determinism tests diff the resulting bytes).
+
+use holo_datagen::{DatasetKind, ErrorSpec, TypoStyle};
+use std::path::PathBuf;
+
+/// One paper-style schema scenario: a clean-data generator plus the two
+/// error channels it is driven through (the fit-time base channel and
+/// the drifted channel streamed in afterwards).
+#[derive(Debug, Clone)]
+pub struct SchemaScenario {
+    /// Scenario name as it appears in reports ("hospital", …).
+    pub name: &'static str,
+    /// The generator behind it.
+    pub kind: DatasetKind,
+    /// The fit-time error channel.
+    pub base_errors: ErrorSpec,
+    /// The streamed drift channel: heavier and differently mixed, so
+    /// the drift monitor has something real to see.
+    pub drift_errors: ErrorSpec,
+}
+
+/// The hospital-like scenario: the paper's 100% artificial 'x'-typo
+/// channel (§6.1) with a trickle of missing values; drift quadruples
+/// the error mass and spikes the missing rate.
+pub fn hospital() -> SchemaScenario {
+    SchemaScenario {
+        name: "hospital",
+        kind: DatasetKind::Hospital,
+        base_errors: ErrorSpec {
+            cell_rate: 504.0 / 19_000.0, // Table 1's Hospital error mass
+            typo_frac: 1.0,
+            missing_frac: 0.05,
+            typo_style: TypoStyle::XInjection,
+            columns: None,
+        },
+        drift_errors: ErrorSpec {
+            cell_rate: 4.0 * 504.0 / 19_000.0,
+            typo_frac: 1.0,
+            missing_frac: 0.25,
+            typo_style: TypoStyle::XInjection,
+            columns: None,
+        },
+    }
+}
+
+/// The census-like scenario (Adult's schema): 70/30 keyboard typos vs
+/// value swaps (§6.1) at a rate high enough for stable curves at suite
+/// scale; drift inverts the mix toward swaps — in-domain, FD-violating
+/// updates that only the constraint signals catch — and triples the
+/// rate.
+pub fn census() -> SchemaScenario {
+    SchemaScenario {
+        name: "census",
+        kind: DatasetKind::Adult,
+        base_errors: ErrorSpec {
+            cell_rate: 0.02,
+            typo_frac: 0.70,
+            missing_frac: 0.02,
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        },
+        drift_errors: ErrorSpec {
+            cell_rate: 0.06,
+            typo_frac: 0.20, // swap-heavy: FD-violating updates dominate
+            missing_frac: 0.05,
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        },
+    }
+}
+
+/// The food-inspections-like scenario: the paper's swap-heavy 24/76
+/// typo/swap mix with a visible missing-value rate; drift doubles the
+/// mass and pushes missing values to 40% of corruptions.
+pub fn food() -> SchemaScenario {
+    SchemaScenario {
+        name: "food",
+        kind: DatasetKind::Food,
+        base_errors: ErrorSpec {
+            cell_rate: 0.027, // Food's labeled-sample rate (Table 1)
+            typo_frac: 0.24,
+            missing_frac: 0.10,
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        },
+        drift_errors: ErrorSpec {
+            cell_rate: 0.054,
+            typo_frac: 0.24,
+            missing_frac: 0.40,
+            typo_style: TypoStyle::Keyboard,
+            columns: None,
+        },
+    }
+}
+
+/// Look a scenario up by name.
+pub fn scenario_by_name(name: &str) -> Result<SchemaScenario, String> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "hospital" => Ok(hospital()),
+        "census" | "adult" => Ok(census()),
+        "food" => Ok(food()),
+        other => Err(format!(
+            "unknown scenario {other:?} (expected hospital, census, or food)"
+        )),
+    }
+}
+
+/// The default three-schema suite, in report order.
+pub fn default_suite() -> Vec<SchemaScenario> {
+    vec![hospital(), census(), food()]
+}
+
+/// Everything one suite invocation needs.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Scenarios to run, in order.
+    pub scenarios: Vec<SchemaScenario>,
+    /// Reference rows per scenario (fit-time dataset size).
+    pub rows: usize,
+    /// Rows streamed through the drift channel after fitting.
+    pub drift_rows: usize,
+    /// Training epochs for the wide-and-deep model.
+    pub epochs: usize,
+    /// Base seed; each scenario derives its own from it (see
+    /// [`SuiteConfig::scenario_seed`]).
+    pub seed: u64,
+    /// Fraction of base tuples labeled as the training set `T`.
+    pub train_frac: f64,
+    /// Where to write `SCENARIOS.json` (`None` = don't write).
+    pub out: Option<PathBuf>,
+    /// Baseline to gate against (`None` = report only).
+    pub check: Option<PathBuf>,
+    /// Maximum tolerated per-metric quality drop vs the baseline.
+    pub tolerance: f64,
+    /// Include wall-clock latency numbers in the report. Off, the
+    /// report is byte-for-byte reproducible for a fixed seed.
+    pub emit_latency: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            scenarios: default_suite(),
+            rows: 240,
+            drift_rows: 80,
+            epochs: 12,
+            seed: 0x5CEA_A210,
+            train_frac: 0.2,
+            out: Some(PathBuf::from("SCENARIOS.json")),
+            check: None,
+            tolerance: 0.05,
+            emit_latency: true,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Parse CLI flags (everything after the binary name).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = SuiteConfig::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut grab = || -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scenarios" => {
+                    out.scenarios = grab()?
+                        .split(',')
+                        .map(scenario_by_name)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if out.scenarios.is_empty() {
+                        return Err("--scenarios list is empty".into());
+                    }
+                }
+                "--rows" => out.rows = parse_num(&grab()?, &flag)?,
+                "--drift-rows" => out.drift_rows = parse_num(&grab()?, &flag)?,
+                "--epochs" => out.epochs = parse_num::<usize>(&grab()?, &flag)?.max(1),
+                "--seed" => out.seed = parse_num(&grab()?, &flag)?,
+                "--train-frac" => {
+                    let f: f64 = parse_num(&grab()?, &flag)?;
+                    if !(0.0..1.0).contains(&f) || f == 0.0 {
+                        return Err(format!("--train-frac must be in (0, 1), got {f}"));
+                    }
+                    out.train_frac = f;
+                }
+                "--out" => out.out = Some(PathBuf::from(grab()?)),
+                "--no-out" => out.out = None,
+                "--check" => out.check = Some(PathBuf::from(grab()?)),
+                "--tolerance" => {
+                    let t: f64 = parse_num(&grab()?, &flag)?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(format!("--tolerance must be finite and >= 0, got {t}"));
+                    }
+                    out.tolerance = t;
+                }
+                "--no-latency" => out.emit_latency = false,
+                "--help" | "-h" => {
+                    return Err(USAGE.to_owned());
+                }
+                other => return Err(format!("unknown flag {other:?} (try --help)")),
+            }
+        }
+        if out.rows < 40 {
+            return Err(format!("--rows must be >= 40, got {}", out.rows));
+        }
+        if out.drift_rows < 10 {
+            return Err(format!(
+                "--drift-rows must be >= 10, got {}",
+                out.drift_rows
+            ));
+        }
+        Ok(out)
+    }
+
+    /// The seed driving scenario `kind`: derived from the base seed and
+    /// the schema so each scenario has an independent, reproducible
+    /// stream (and `--seed` shifts all of them together).
+    pub fn scenario_seed(&self, kind: DatasetKind) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((kind as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+/// CLI usage text (also the `--help` output).
+pub const USAGE: &str = "usage: holo-scenarios [flags]
+  --scenarios a,b,c   scenarios to run: hospital, census, food (default all)
+  --rows N            reference rows per scenario (default 240, min 40)
+  --drift-rows N      drifted rows streamed per scenario (default 80, min 10)
+  --epochs N          training epochs (default 12)
+  --seed N            base RNG seed (default 0x5CEAA210)
+  --train-frac F      labeled tuple fraction in (0,1) (default 0.2)
+  --out PATH          write SCENARIOS.json here (default ./SCENARIOS.json)
+  --no-out            don't write a report file
+  --check PATH        gate quality against this baseline (exit 1 on regression)
+  --tolerance F       allowed per-metric quality drop (default 0.05)
+  --no-latency        omit wall-clock numbers (byte-reproducible output)";
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<SuiteConfig, String> {
+        SuiteConfig::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.scenarios.len(), 3);
+        assert_eq!(c.scenarios[0].name, "hospital");
+        assert_eq!(c.scenarios[1].name, "census");
+        assert_eq!(c.scenarios[2].name, "food");
+        assert!(c.check.is_none());
+        assert!(c.emit_latency);
+        assert_eq!(c.tolerance, 0.05);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let c = parse(&[
+            "--scenarios",
+            "food,hospital",
+            "--rows",
+            "120",
+            "--drift-rows",
+            "40",
+            "--epochs",
+            "6",
+            "--seed",
+            "9",
+            "--check",
+            "BENCH_scenarios.json",
+            "--tolerance",
+            "0.1",
+            "--no-latency",
+        ])
+        .unwrap();
+        assert_eq!(c.scenarios[0].name, "food");
+        assert_eq!(c.scenarios[1].name, "hospital");
+        assert_eq!((c.rows, c.drift_rows, c.epochs, c.seed), (120, 40, 6, 9));
+        assert_eq!(
+            c.check.as_deref(),
+            Some(std::path::Path::new("BENCH_scenarios.json"))
+        );
+        assert_eq!(c.tolerance, 0.1);
+        assert!(!c.emit_latency);
+    }
+
+    #[test]
+    fn rejects_unknown_scenario_and_flag() {
+        assert!(parse(&["--scenarios", "soccer"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_values() {
+        assert!(parse(&["--rows"]).is_err());
+        assert!(parse(&["--rows", "many"]).is_err());
+        assert!(parse(&["--tolerance", "-0.1"]).is_err());
+        assert!(parse(&["--tolerance", "NaN"]).is_err());
+        assert!(parse(&["--train-frac", "0"]).is_err());
+        assert!(parse(&["--train-frac", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(parse(&["--rows", "10"]).is_err());
+        assert!(parse(&["--drift-rows", "2"]).is_err());
+    }
+
+    #[test]
+    fn census_accepts_adult_alias() {
+        let c = parse(&["--scenarios", "adult"]).unwrap();
+        assert_eq!(c.scenarios[0].name, "census");
+        assert_eq!(c.scenarios[0].kind, DatasetKind::Adult);
+    }
+
+    #[test]
+    fn scenario_seeds_are_distinct_and_stable() {
+        let c = parse(&[]).unwrap();
+        let a = c.scenario_seed(DatasetKind::Hospital);
+        let b = c.scenario_seed(DatasetKind::Adult);
+        assert_ne!(a, b);
+        assert_eq!(a, parse(&[]).unwrap().scenario_seed(DatasetKind::Hospital));
+        // --seed shifts every scenario's derived seed.
+        let shifted = parse(&["--seed", "1"]).unwrap();
+        assert_ne!(a, shifted.scenario_seed(DatasetKind::Hospital));
+    }
+
+    #[test]
+    fn drift_profiles_are_heavier_than_base() {
+        for sc in default_suite() {
+            assert!(
+                sc.drift_errors.cell_rate > sc.base_errors.cell_rate,
+                "{}",
+                sc.name
+            );
+            assert!(sc.drift_errors.missing_frac >= sc.base_errors.missing_frac);
+        }
+    }
+}

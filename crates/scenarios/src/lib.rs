@@ -1,0 +1,45 @@
+//! # holo-scenarios
+//!
+//! The multi-dataset scenario suite: several paper-style schemas driven
+//! through the repo's full model lifecycle in one binary, with
+//! detection *quality* tracked next to the latency numbers the other
+//! benches already watch — and gated in CI.
+//!
+//! The HoloDetect paper evaluates across heterogeneous real schemas
+//! (hospital, census/adult, food inspections, …) whose error-channel
+//! mixes differ sharply: Hospital is pure artificial 'x'-typos, Adult
+//! is typo-heavy BART noise over categorical domains, Food is
+//! swap-dominated with real missing values. A reproduction that
+//! measures quality on one generated dataset — or, worse, gates PRs on
+//! latency alone — can silently lose detection quality on every schema
+//! it never looks at. This crate closes that gap:
+//!
+//! * [`config`] — the per-schema scenarios (hospital-like, census-like,
+//!   food-inspections-like) with distinct error-channel profiles
+//!   (typos, value swaps, FD-violating updates, missing values at
+//!   differing rates) layered on `holo-datagen`, plus CLI parsing;
+//! * [`run`] — the lifecycle driver: fit → save/load artifact → serve
+//!   over a real `holo-serve` HTTP server → stream the drifted tail
+//!   through `holo-stream` ingest → measure drift → trigger the refit
+//!   → re-score. Quality is PR-AUC, F1 at the tuned threshold, and
+//!   PR-AUC over the drifted rows before vs after the refit;
+//! * [`report`] — the machine-readable `SCENARIOS.json` document and a
+//!   human table;
+//! * [`check`](mod@check) — the quality gate: compare a fresh run against the
+//!   committed `BENCH_scenarios.json` and fail with a
+//!   per-scenario/per-metric diff when quality regresses beyond the
+//!   tolerance (`holo-scenarios --check BENCH_scenarios.json`).
+//!
+//! Everything that feeds a quality number is seeded explicitly, so a
+//! fixed `--seed` reproduces the report byte for byte (run with
+//! `--no-latency` to strip the only machine-dependent fields).
+
+pub mod check;
+pub mod config;
+pub mod report;
+pub mod run;
+
+pub use check::{check, CheckReport, MetricDiff, GATED_METRICS};
+pub use config::{default_suite, scenario_by_name, SchemaScenario, SuiteConfig};
+pub use report::{render_table, report_json};
+pub use run::{run_scenario, run_suite, ScenarioResult, SuiteReport};

@@ -1,0 +1,88 @@
+//! `holo-scenarios` — run the multi-dataset scenario suite and
+//! (optionally) gate quality against a committed baseline.
+//!
+//! ```text
+//! holo-scenarios                          # run, print table, write SCENARIOS.json
+//! holo-scenarios --check BENCH_scenarios.json   # …and fail on quality regression
+//! ```
+//!
+//! Exit codes: 0 success, 1 quality regression (or broken baseline),
+//! 2 usage error.
+
+use holo_scenarios::{check, render_table, report_json, run_suite, SuiteConfig};
+
+fn main() {
+    let cfg = match SuiteConfig::parse_from(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg == holo_scenarios::config::USAGE => {
+            println!("{msg}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let report = match run_suite(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("holo-scenarios: scenario run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{}", render_table(&report));
+    let doc = report_json(&report, cfg.emit_latency);
+
+    if let Some(out) = &cfg.out {
+        let mut text = doc.to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("holo-scenarios: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        println!("report written to {}", out.display());
+    }
+
+    if let Some(baseline_path) = &cfg.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "holo-scenarios: cannot read baseline {}: {e}",
+                    baseline_path.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        let baseline = match holo_serve::json::parse(&baseline_text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "holo-scenarios: baseline {} is not valid JSON: {e}",
+                    baseline_path.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        match check(&doc, &baseline, cfg.tolerance) {
+            Err(e) => {
+                eprintln!("holo-scenarios: {e}");
+                std::process::exit(1);
+            }
+            Ok(r) => {
+                println!("quality gate vs {}:", baseline_path.display());
+                println!("{}", r.render());
+                if !r.passed() {
+                    eprintln!(
+                        "holo-scenarios: quality gate FAILED ({} problem(s))",
+                        r.failures.len()
+                    );
+                    std::process::exit(1);
+                }
+                println!("quality gate passed (tolerance {})", r.tolerance);
+            }
+        }
+    }
+}

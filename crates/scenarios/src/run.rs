@@ -1,0 +1,429 @@
+//! The scenario lifecycle driver: one schema through
+//! fit → save/load → serve → stream → drift → refit → re-score.
+//!
+//! Each scenario exercises every subsystem the repo has grown, in the
+//! order a production deployment would: the model is fitted on a base
+//! reference corrupted by the scenario's fit-time channel, persisted
+//! and reloaded as an artifact, registered as a *live* model behind a
+//! real `holo-serve` HTTP server, probed over the wire (scores must be
+//! bitwise-identical to in-process scoring), fed the drifted tail of
+//! the same entity world through the streaming ingest endpoint, and
+//! finally refitted through the `/refit` endpoint once the drift
+//! monitor fires. Quality (PR-AUC, F1 at the tuned threshold, and
+//! PR-AUC over the drifted rows before vs after the refit) is measured
+//! at each stage; wall-clock latency rides along separately so the
+//! quality numbers stay byte-reproducible for a fixed seed.
+
+use crate::config::{SchemaScenario, SuiteConfig};
+use holo_data::{CellId, Dataset, DatasetBuilder, GroundTruth, Label};
+use holo_datagen::{generate_clean, inject_errors};
+use holo_eval::{best_f1, pr_auc, Confusion, ModelError, Split, SplitConfig, TrainedModel};
+use holo_serve::{Json, ModelRegistry, ServeConfig};
+use holo_stream::{LiveModel, StreamConfig};
+use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Quality metrics for one scenario — every field is deterministic for
+/// a fixed seed (these are the numbers the CI gate compares).
+#[derive(Debug, Clone)]
+pub struct ScenarioQuality {
+    /// PR-AUC over the held-out cells of the base reference.
+    pub pr_auc: f64,
+    /// F1 over the same cells at the model's holdout-tuned threshold.
+    pub f1: f64,
+    /// The tuned threshold itself.
+    pub threshold: f64,
+    /// Best attainable F1 over the base ranking (threshold-free upper
+    /// bound; a big gap to `f1` means the tuner, not the ranking, is
+    /// the bottleneck).
+    pub best_f1: f64,
+    /// PR-AUC over the drifted rows, scored after they streamed in but
+    /// *before* the refit (the incremental-maintenance-only model).
+    pub pr_auc_drift_pre_refit: f64,
+    /// PR-AUC over the same drifted rows after the drift-triggered
+    /// refit.
+    pub pr_auc_drift_post_refit: f64,
+    /// F1 over the drifted rows at the refitted model's threshold.
+    pub f1_drift_post_refit: f64,
+    /// The drift signal after the full drifted tail streamed in.
+    pub drift_signal: f64,
+    /// Whether the drift monitor itself crossed the refit threshold
+    /// (false = quiet drift; the scenario still forces the refit so
+    /// post-refit quality is always measured).
+    pub would_refit: bool,
+    /// Injected error cells in the base reference.
+    pub n_base_errors: usize,
+    /// Injected error cells in the drifted tail.
+    pub n_drift_errors: usize,
+}
+
+/// Wall-clock numbers for one scenario — machine-dependent, reported
+/// for trend-watching but never gated on and omitted under
+/// `--no-latency`.
+#[derive(Debug, Clone)]
+pub struct ScenarioLatency {
+    /// Seconds spent in `fit_model`.
+    pub fit_secs: f64,
+    /// Milliseconds to load the saved artifact back from disk.
+    pub artifact_load_ms: f64,
+    /// Milliseconds for one HTTP `/score` round-trip (probe batch).
+    pub http_score_ms: f64,
+    /// Streaming ingest throughput over the HTTP `/rows` endpoint.
+    pub ingest_rows_per_sec: f64,
+    /// Seconds for the drift-triggered `/refit` round-trip.
+    pub refit_secs: f64,
+}
+
+/// One scenario's full result.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name ("hospital", "census", "food").
+    pub name: String,
+    /// The generator schema behind it.
+    pub schema: String,
+    /// Base reference rows.
+    pub rows: usize,
+    /// Drifted rows streamed in.
+    pub drift_rows: usize,
+    /// The derived per-scenario seed.
+    pub seed: u64,
+    /// Deterministic quality metrics.
+    pub quality: ScenarioQuality,
+    /// Wall-clock numbers.
+    pub latency: ScenarioLatency,
+}
+
+/// The whole suite's result.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Base seed the per-scenario seeds derive from.
+    pub seed: u64,
+    /// Base rows per scenario.
+    pub rows: usize,
+    /// Drifted rows per scenario.
+    pub drift_rows: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Per-scenario results, in run order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Run every configured scenario.
+pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, ModelError> {
+    let mut scenarios = Vec::with_capacity(cfg.scenarios.len());
+    for sc in &cfg.scenarios {
+        eprintln!("[holo-scenarios] running {} ({:?})…", sc.name, sc.kind);
+        scenarios.push(run_scenario(sc, cfg)?);
+    }
+    Ok(SuiteReport {
+        seed: cfg.seed,
+        rows: cfg.rows,
+        drift_rows: cfg.drift_rows,
+        epochs: cfg.epochs,
+        scenarios,
+    })
+}
+
+/// Rebuild a contiguous row range of `d` as an owned dataset.
+fn slice_rows(d: &Dataset, range: std::ops::Range<usize>) -> Dataset {
+    let mut b = DatasetBuilder::new(d.schema().clone()).with_capacity(range.len());
+    for t in range {
+        b.push_row(&d.tuple_values(t));
+    }
+    b.build()
+}
+
+/// `(score, is_error)` pairs for `cells` of `data` under `truth`.
+fn scored_cells(scores: &[f64], cells: &[CellId], truth: &GroundTruth) -> Vec<(f64, bool)> {
+    scores
+        .iter()
+        .zip(cells)
+        .map(|(&s, &c)| (s, truth.label(c).is_error()))
+        .collect()
+}
+
+/// F1 of thresholding `scored` at `threshold`.
+fn f1_at(scored: &[(f64, bool)], threshold: f64) -> f64 {
+    let mut c = Confusion::default();
+    for &(s, e) in scored {
+        let pred = if s >= threshold {
+            Label::Error
+        } else {
+            Label::Correct
+        };
+        let actual = if e { Label::Error } else { Label::Correct };
+        c.record(pred, actual);
+    }
+    c.f1()
+}
+
+/// The training configuration for suite fits: the fast test substrate
+/// with the suite's epoch count.
+fn holo_config(cfg: &SuiteConfig) -> HoloDetectConfig {
+    HoloDetectConfig {
+        epochs: cfg.epochs,
+        ..HoloDetectConfig::fast()
+    }
+}
+
+/// Unique scratch paths for one scenario's artifact and delta log.
+fn scratch_paths(name: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let stamp = format!(
+        "holo-scenarios-{}-{:?}-{name}",
+        std::process::id(),
+        std::thread::current().id()
+    );
+    let artifact = dir.join(format!("{stamp}.holoart"));
+    let log = dir.join(format!("{stamp}.dlog"));
+    let _ = std::fs::remove_file(&artifact);
+    let _ = std::fs::remove_file(&log);
+    (artifact, log)
+}
+
+/// Drive one scenario through the full lifecycle.
+pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioResult, ModelError> {
+    let seed = cfg.scenario_seed(sc.kind);
+    let total = cfg.rows + cfg.drift_rows;
+
+    // One entity world for base and drift: the tail rows reference the
+    // same hospitals/households/establishments, so the only thing that
+    // changes at the drift boundary is the error channel.
+    let (clean_all, constraints) = generate_clean(sc.kind, total, seed);
+    let base_clean = slice_rows(&clean_all, 0..cfg.rows);
+    let drift_clean = slice_rows(&clean_all, cfg.rows..total);
+    let (base_dirty, base_truth) =
+        inject_errors(&base_clean, &sc.base_errors, seed.wrapping_add(1));
+    let (drift_dirty, drift_truth) =
+        inject_errors(&drift_clean, &sc.drift_errors, seed.wrapping_add(2));
+
+    // ---- fit ---------------------------------------------------------
+    let split = Split::new(
+        &base_dirty,
+        SplitConfig {
+            train_frac: cfg.train_frac,
+            sampling_frac: 0.0,
+            seed,
+        },
+    );
+    let train = split.training_set(&base_dirty, &base_truth);
+    let fit_started = Instant::now();
+    let fitted = HoloDetect::new(holo_config(cfg)).fit_model(&holo_eval::FitContext {
+        dirty: &base_dirty,
+        train: &train,
+        sampling: None,
+        constraints: &constraints,
+        seed,
+    });
+    let fit_secs = fit_started.elapsed().as_secs_f64();
+
+    // ---- base quality ------------------------------------------------
+    let eval_cells = split.test_cells(&base_dirty);
+    let base_scores = fitted.score_batch(&base_dirty, &eval_cells)?;
+    let base_scored = scored_cells(&base_scores, &eval_cells, &base_truth);
+    let quality_pr_auc = pr_auc(&base_scored);
+    let threshold = fitted.threshold();
+    let quality_f1 = f1_at(&base_scored, threshold);
+    let (_, quality_best_f1) = best_f1(&base_scored);
+
+    // ---- save / load the artifact ------------------------------------
+    let (artifact_path, log_path) = scratch_paths(sc.name);
+    fitted.save(&artifact_path)?;
+    let load_started = Instant::now();
+    let loaded = FittedHoloDetect::load(&artifact_path)?;
+    let artifact_load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    // Reload parity: the artifact must score exactly like the fitted
+    // model it was saved from.
+    let probe_cells: Vec<CellId> = eval_cells.iter().copied().take(64).collect();
+    let direct = fitted.score_batch(&base_dirty, &probe_cells)?;
+    let reloaded = loaded.score_batch(&base_dirty, &probe_cells)?;
+    assert_eq!(
+        direct.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        reloaded.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        "{}: reloaded artifact must score bitwise-identically",
+        sc.name
+    );
+    drop(fitted);
+    drop(loaded);
+
+    // ---- go live behind a real server --------------------------------
+    let stream_cfg = StreamConfig {
+        drift_threshold: 0.1,
+        min_rows_between_refits: (cfg.drift_rows as u64) / 2,
+        baseline_sample_rows: 128,
+    };
+    let live = Arc::new(LiveModel::open(&artifact_path, &log_path, stream_cfg)?);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_live(sc.name, Arc::clone(&live));
+    let server = holo_serve::start("127.0.0.1:0", ServeConfig::default(), Arc::clone(&registry))
+        .map_err(ModelError::Io)?;
+    let addr = server.addr();
+
+    // HTTP probe: a small batch scored over the wire must equal
+    // in-process scoring bit for bit.
+    let probe_rows = cfg.drift_rows.min(4);
+    let probe = slice_rows(&drift_dirty, 0..probe_rows);
+    let probe_body = Json::Obj(vec![("rows".into(), rows_json(&probe))]).to_string();
+    let score_started = Instant::now();
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/v1/models/{}/score", sc.name),
+        &probe_body,
+    );
+    let http_score_ms = score_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "{}: HTTP score failed: {body}", sc.name);
+    let http_scores = parse_scores(&body);
+    let probe_all: Vec<CellId> = probe.cell_ids().collect();
+    let direct = live.score_batch(&probe, &probe_all)?;
+    assert_eq!(
+        http_scores.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        direct.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        "{}: served scores must be bitwise-identical to in-process scoring",
+        sc.name
+    );
+
+    // ---- stream the drifted tail in ----------------------------------
+    let ingest_started = Instant::now();
+    let mut batch_start = 0;
+    while batch_start < drift_dirty.n_tuples() {
+        let batch_end = (batch_start + 32).min(drift_dirty.n_tuples());
+        let batch = slice_rows(&drift_dirty, batch_start..batch_end);
+        let body = Json::Obj(vec![("rows".into(), rows_json(&batch))]).to_string();
+        let (status, resp) = http(addr, "POST", &format!("/v1/models/{}/rows", sc.name), &body);
+        assert_eq!(status, 200, "{}: ingest failed: {resp}", sc.name);
+        batch_start = batch_end;
+    }
+    let ingest_secs = ingest_started.elapsed().as_secs_f64();
+    let ingest_rows_per_sec = if ingest_secs > 0.0 {
+        cfg.drift_rows as f64 / ingest_secs
+    } else {
+        f64::INFINITY
+    };
+
+    // Drift must be visible on the wire. `would_refit` records whether
+    // the monitor itself crossed the threshold — swap-heavy channels
+    // drift *quietly* (in-domain updates barely move the violation
+    // rate), which is exactly what the quality gate exists to catch.
+    let (status, drift_body) = http(addr, "GET", &format!("/v1/models/{}/drift", sc.name), "");
+    assert_eq!(status, 200, "{}: drift endpoint failed", sc.name);
+    let drift_doc = holo_serve::json::parse(&drift_body).expect("drift body is JSON");
+    let drift_signal = drift_doc
+        .get("drift")
+        .and_then(Json::as_f64)
+        .expect("drift field");
+    let would_refit = drift_doc
+        .get("would_refit")
+        .and_then(Json::as_bool)
+        .expect("would_refit field");
+
+    // ---- quality under drift, before the refit -----------------------
+    let drift_cells: Vec<CellId> = drift_dirty.cell_ids().collect();
+    let pre_scores = live.score_batch(&drift_dirty, &drift_cells)?;
+    let pre_scored = scored_cells(&pre_scores, &drift_cells, &drift_truth);
+    let pr_auc_drift_pre_refit = pr_auc(&pre_scored);
+
+    // ---- drift-triggered refit over the wire -------------------------
+    let refit_started = Instant::now();
+    let (status, refit_body) = http(addr, "POST", &format!("/v1/models/{}/refit", sc.name), "");
+    let refit_secs = refit_started.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "{}: refit failed: {refit_body}", sc.name);
+    assert!(
+        live.generation() >= 1,
+        "{}: refit must hot-swap a new generation",
+        sc.name
+    );
+
+    // ---- quality under drift, after the refit ------------------------
+    let post_scores = live.score_batch(&drift_dirty, &drift_cells)?;
+    let post_scored = scored_cells(&post_scores, &drift_cells, &drift_truth);
+    let pr_auc_drift_post_refit = pr_auc(&post_scored);
+    let f1_drift_post_refit = f1_at(&post_scored, live.default_threshold());
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&artifact_path);
+    let _ = std::fs::remove_file(&log_path);
+
+    Ok(ScenarioResult {
+        name: sc.name.to_owned(),
+        schema: sc.kind.name().to_owned(),
+        rows: cfg.rows,
+        drift_rows: cfg.drift_rows,
+        seed,
+        quality: ScenarioQuality {
+            pr_auc: quality_pr_auc,
+            f1: quality_f1,
+            threshold,
+            best_f1: quality_best_f1,
+            pr_auc_drift_pre_refit,
+            pr_auc_drift_post_refit,
+            f1_drift_post_refit,
+            drift_signal,
+            would_refit,
+            n_base_errors: base_truth.n_errors(),
+            n_drift_errors: drift_truth.n_errors(),
+        },
+        latency: ScenarioLatency {
+            fit_secs,
+            artifact_load_ms,
+            http_score_ms,
+            ingest_rows_per_sec,
+            refit_secs,
+        },
+    })
+}
+
+// ------------------------------------------------------------- raw http
+
+/// One raw HTTP/1.1 round-trip on a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to scenario server");
+    s.set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set read timeout");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: scenarios\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+/// Rows of a dataset as the `{"rows": [...]}` JSON the server ingests.
+fn rows_json(d: &Dataset) -> Json {
+    let names = d.schema().names();
+    let rows = (0..d.n_tuples())
+        .map(|t| {
+            Json::Obj(
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(a, n)| (n.clone(), Json::Str(d.value(t, a).to_owned())))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+/// The `"scores"` array of a score response.
+fn parse_scores(body: &str) -> Vec<f64> {
+    let doc = holo_serve::json::parse(body).expect("score body is JSON");
+    doc.get("scores")
+        .and_then(Json::as_arr)
+        .expect("scores array")
+        .iter()
+        .map(|v| v.as_f64().expect("score is a number"))
+        .collect()
+}

@@ -20,7 +20,7 @@
 //! featurizer has an index-aligned fast path — a queried row whose index
 //! `t` and values match reference row `t` is scored with fit-time
 //! self-excluding semantics. Merging shifts row indices, which could
-//! flip that alignment. [`merge_safe`] therefore admits a job into a
+//! flip that alignment. The internal `merge_safe` check therefore admits a job into a
 //! merged batch only if none of its rows is reference-aligned at either
 //! its original or its shifted index; anything else is scored solo.
 //! The check is O(rows × attrs) string comparisons per job — noise next

@@ -56,7 +56,11 @@
 //!   model registry with hot reload, micro-batching, metrics,
 //! * [`stream`] — streaming ingest: durable delta logs, incremental
 //!   model maintenance (bitwise-equal to a rebuild at the same epoch),
-//!   drift monitoring, and background drift-triggered refit.
+//!   drift monitoring, and background drift-triggered refit,
+//! * [`scenarios`] — the multi-dataset scenario suite: paper-style
+//!   schemas driven through fit → serve → stream → drift → refit with
+//!   PR-AUC/F1 tracked per schema and gated in CI against
+//!   `BENCH_scenarios.json`.
 
 pub use holo_baselines as baselines;
 pub use holo_channel as channel;
@@ -67,6 +71,7 @@ pub use holo_embed as embed;
 pub use holo_eval as eval;
 pub use holo_features as features;
 pub use holo_nn as nn;
+pub use holo_scenarios as scenarios;
 pub use holo_serve as serve;
 pub use holo_stream as stream;
 pub use holo_text as text;

@@ -226,7 +226,7 @@ pub mod collection {
         }
     }
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     pub struct SizeRange {
         min: usize,
         max: usize,
@@ -258,7 +258,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
