@@ -17,6 +17,9 @@
 //! All implement [`holo_eval::Detector`], so the experiment harness
 //! drives them exactly like the HoloDetect model.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod cv;
 pub mod fbi;
 pub mod holoclean;

@@ -16,6 +16,9 @@
 //! substrate datasets are simulations); the *shape* — who wins, by
 //! roughly what factor — is the reproduction target (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod args;
 pub mod harness;
 pub mod paper;

@@ -18,6 +18,9 @@
 //!   transformations; learned transformations without a policy) and the
 //!   forced-ratio mode of Figure 6.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod augment;
 pub mod learn;
 pub mod policy;

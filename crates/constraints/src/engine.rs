@@ -714,7 +714,7 @@ fn dedup_keys<'a>(old: &'a [Symbol], new: &'a [Symbol]) -> Vec<&'a [Symbol]> {
 }
 
 /// Key symbols for tuple `t` without overrides (always resolvable).
-fn key_symbols(d: &Dataset, t: usize, keys: &[usize], ov: Option<Override>) -> Box<[Symbol]> {
+fn key_symbols(d: &Dataset, t: usize, keys: &[usize], ov: Option<Override<'_>>) -> Box<[Symbol]> {
     key_symbols_opt(d, t, keys, ov).expect("non-override key must resolve")
 }
 
@@ -724,7 +724,7 @@ fn key_symbols_opt(
     d: &Dataset,
     t: usize,
     keys: &[usize],
-    ov: Option<Override>,
+    ov: Option<Override<'_>>,
 ) -> Option<Box<[Symbol]>> {
     let mut out = Vec::with_capacity(keys.len());
     for &a in keys {
@@ -843,7 +843,7 @@ fn eval_conjunction(
     d: &Dataset,
     t1: usize,
     t2: usize,
-    ov: Option<Override>,
+    ov: Option<Override<'_>>,
 ) -> bool {
     preds.iter().all(|p| {
         let l = resolve(d, &p.left, t1, t2, ov);
@@ -886,7 +886,7 @@ fn count_partners_for(
     d: &Dataset,
     t: usize,
     members: &[u32],
-    ov: Option<Override>,
+    ov: Option<Override<'_>>,
 ) -> u32 {
     let others = members
         .len()

@@ -17,6 +17,9 @@
 //! * [`discovery`] — approximate FD mining with a satisfaction ratio `α`,
 //!   used to synthesize the noisy constraints of Appendix A.2.2.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod ast;
 pub mod discovery;
 pub mod engine;

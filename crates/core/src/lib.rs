@@ -49,6 +49,9 @@
 //! # Ok::<(), holo_eval::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod config;
 pub mod detector;
 pub mod fitted;

@@ -21,6 +21,9 @@
 //! * [`labels`] — the training set `T = {(c, v_c, v*_c)}`, ground truth,
 //!   and the `E_c ∈ {correct, error}` label type.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod binio;
 pub mod cell;
 pub mod csv;

@@ -24,6 +24,9 @@
 //! * [`generators`] — the five clean-data generators,
 //! * [`bart`] — the error channel (typos and value swaps).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod bart;
 pub mod generators;
 pub mod spec;

@@ -19,6 +19,9 @@
 //! * [`nearest`] — top-1 cosine-distance queries for the neighbourhood
 //!   representation.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod corpus;
 pub mod nearest;
 pub mod skipgram;

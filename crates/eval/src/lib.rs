@@ -54,6 +54,9 @@
 //!   per seed, with fit and predict wall-clock tracked separately),
 //! * [`report`] — fixed-width tables for the experiment binaries.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod detector;
 pub mod error;
 pub mod metrics;

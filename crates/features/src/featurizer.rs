@@ -13,7 +13,7 @@ use holo_text::{char_tokens, word_tokens};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Bound on the nearest-neighbour memo. Long-lived artifacts score
 /// endless batches of fresh values; without a cap the memo is a slow
@@ -478,7 +478,10 @@ impl Featurizer {
                         if g >= work.len() {
                             break;
                         }
-                        let mut slot = slots[g].lock().expect("batch slot poisoned");
+                        // Recover from poisoning: each slot is a
+                        // disjoint chunk, and a panicked worker's
+                        // panic propagates at scope join regardless.
+                        let mut slot = slots[g].lock().unwrap_or_else(PoisonError::into_inner);
                         for (o, (cell, ov)) in slot.iter_mut().zip(work[g]) {
                             *o = match ov {
                                 Some(v) => self.features_memo(d, *cell, v, &mut memo),
@@ -771,27 +774,45 @@ impl Featurizer {
     /// Drop the nearest-neighbour memo: a candidate-set change makes
     /// every cached distance potentially stale.
     fn invalidate_nn_cache(&self) {
-        self.nn_cache.lock().expect("nn cache poisoned").clear();
+        // The cache locks all recover from poisoning: the memo holds
+        // only recomputable distances, so the worst case after a panic
+        // elsewhere is a recomputation, never a wrong feature.
+        self.nn_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     fn neighbor_distance(&self, a: usize, value: &str) -> f32 {
         let key = (a, value.to_owned());
-        if let Some(dist) = self.nn_cache.lock().expect("nn cache poisoned").get(&key) {
+        if let Some(dist) = self
+            .nn_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return dist;
         }
-        let emb = self.value_emb.as_ref().expect("neighborhood enabled");
+        // The embedding exists whenever Neighborhood is enabled (the
+        // only caller); 0.0 is the feature's neutral "no signal" value.
+        let Some(emb) = self.value_emb.as_ref() else {
+            return 0.0;
+        };
         let token = value_token(a, value);
         let dist = nearest_distance(emb, &token, &self.neighbor_candidates[a]);
         self.nn_cache
             .lock()
-            .expect("nn cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, dist);
         dist
     }
 
     /// Current number of memoized neighbour distances (diagnostics).
     pub fn nn_cache_len(&self) -> usize {
-        self.nn_cache.lock().expect("nn cache poisoned").len()
+        self.nn_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Serialize the fitted representation. The violation engine, the

@@ -22,6 +22,9 @@
 //! [`config::Component`] enumerates the eight removable representation
 //! models used in the Figure 3 ablation study.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod config;
 pub mod featurizer;
 pub mod layout;

@@ -1,0 +1,426 @@
+//! A Rust source tokenizer for the lint pass.
+//!
+//! This is *not* a Rust parser: the rules only need a token stream that
+//! is exact about the things grep cannot be — where strings, character
+//! literals, raw strings, and (nested) comments begin and end — so that
+//! `"panic!"` inside a string literal or a commented-out `unwrap()`
+//! never produces a finding. Everything else (numbers, multi-character
+//! operators) is deliberately approximate: numbers are lexed as plain
+//! alphanumeric runs and operators arrive as single-character punctuation
+//! tokens whose adjacency can be checked via byte positions (the same
+//! hand-rolled-scanner idiom as `holo_serve::json` and
+//! `holo_constraints::parser`).
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw `r#idents`).
+    Ident,
+    /// A lifetime such as `'static` (kept distinct from char literals).
+    Lifetime,
+    /// A numeric literal (lexed approximately; never interpreted).
+    Num,
+    /// A string literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// A character literal such as `'x'` or `'\n'`.
+    Char,
+    /// A single punctuation character.
+    Punct(char),
+    /// A `// …` comment (text excludes the slashes, includes doc text).
+    LineComment,
+    /// A `/* … */` comment (possibly nested).
+    BlockComment,
+}
+
+/// One token with enough position to reconstruct adjacency.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The kind tag.
+    pub kind: TokKind,
+    /// Source text for idents and comments; empty for the rest (rules
+    /// never need the contents of strings or numbers).
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: usize,
+    /// Byte offset of the token's first byte (for adjacency checks
+    /// like recognizing `+=` or `&&` from single-char puncts).
+    pub pos: usize,
+}
+
+impl Tok {
+    /// `true` when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// `true` for comment tokens (skipped by structural scans).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenize `source`. Unterminated strings/comments terminate at EOF
+/// rather than erroring: the linter must degrade gracefully on code the
+/// compiler would reject anyway.
+pub fn tokenize(source: &str) -> Vec<Tok> {
+    let b = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: source[i + 2..j].to_string(),
+                    line: start_line,
+                    pos: start,
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (j, nl) = skip_block_comment(b, i + 2);
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: source[i + 2..j.saturating_sub(2).max(i + 2)].to_string(),
+                    line: start_line,
+                    pos: start,
+                });
+                line += nl;
+                i = j;
+            }
+            b'"' => {
+                let (j, nl) = skip_string(b, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                    pos: start,
+                });
+                line += nl;
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`, `'_`) vs char literal
+                // (`'x'`, `'\n'`): a lifetime is `'` + ident-start NOT
+                // followed by a closing quote.
+                let is_lifetime = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(&n), after) => {
+                        (n.is_ascii_alphabetic() || n == b'_') && after != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: source[i + 1..j].to_string(),
+                        line: start_line,
+                        pos: start,
+                    });
+                    i = j;
+                } else {
+                    let (j, nl) = skip_char_literal(b, i + 1);
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: start_line,
+                        pos: start,
+                    });
+                    line += nl;
+                    i = j;
+                }
+            }
+            // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+            b'r' | b'b' if raw_or_byte_string_start(b, i) => {
+                let (j, nl) = skip_raw_or_byte_string(b, i);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                    pos: start,
+                });
+                line += nl;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                // Raw identifiers (`r#match`) reach here only when not a
+                // raw string; include the `r#` prefix in the ident scan.
+                if c == b'r' && b.get(i + 1) == Some(&b'#') {
+                    j += 2;
+                }
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[i..j].trim_start_matches("r#").to_string(),
+                    line: start_line,
+                    pos: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Approximate: an alphanumeric run. `1.5` arrives as
+                // Num(1) Punct(.) Num(5) — fine, rules never read
+                // numbers.
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line: start_line,
+                    pos: start,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    text: String::new(),
+                    line: start_line,
+                    pos: start,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// `true` when position `i` starts a raw/byte string rather than the
+/// identifiers `r`/`b` (e.g. `r"x"`, `r#"x"#`, `b"x"`, `br#"x"#`).
+fn raw_or_byte_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'"') {
+            return true;
+        }
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        let mut k = j;
+        while b.get(k) == Some(&b'#') {
+            k += 1;
+        }
+        // `r#ident` (raw identifier) has no quote after the hashes.
+        return k > j && b.get(k) == Some(&b'"') || (k == j && b.get(k) == Some(&b'"'));
+    }
+    false
+}
+
+/// Skip a `"…"` body starting just after the opening quote; returns
+/// (index after closing quote, newlines crossed).
+fn skip_string(b: &[u8], mut i: usize) -> (usize, usize) {
+    let mut nl = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Skip a char literal body starting just after the opening `'`.
+fn skip_char_literal(b: &[u8], mut i: usize) -> (usize, usize) {
+    let nl = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return (i + 1, nl),
+            b'\n' => {
+                // A stray `'` (e.g. macro token) — don't eat the file.
+                return (i, nl);
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Skip `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at the prefix.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize) -> (usize, usize) {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        i += 1;
+        let mut hashes = 0;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        let mut nl = 0;
+        while i < b.len() {
+            if b[i] == b'\n' {
+                nl += 1;
+            }
+            if b[i] == b'"' {
+                let mut k = 0;
+                while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return (i + 1 + hashes, nl);
+                }
+            }
+            i += 1;
+        }
+        (i, nl)
+    } else {
+        // b"…" — escapes like a normal string.
+        skip_string(b, i + 1)
+    }
+}
+
+/// Skip a (nested) block comment body starting after `/*`; returns
+/// (index after the final `*/`, newlines crossed).
+fn skip_block_comment(b: &[u8], mut i: usize) -> (usize, usize) {
+    let mut depth = 1;
+    let mut nl = 0;
+    while i < b.len() && depth > 0 {
+        match (b[i], b.get(i + 1)) {
+            (b'/', Some(&b'*')) => {
+                depth += 1;
+                i += 2;
+            }
+            (b'*', Some(&b'/')) => {
+                depth -= 1;
+                i += 2;
+            }
+            (b'\n', _) => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_tokenize() {
+        let toks = tokenize("let x = a.unwrap();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "a", "unwrap"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `unwrap` inside a string must not surface as an identifier.
+        let toks = tokenize(r#"let s = "x.unwrap() panic!";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = tokenize(r###"let s = r#"contains "quotes" and unwrap()"#; s.len()"###);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn comments_are_captured_not_parsed() {
+        let toks = tokenize("// lint:allow(x): reason\ncall(); /* panic! */");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].text, " lint:allow(x): reason");
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::BlockComment));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let toks = tokenize("/* a /* b */ still comment */ ident");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            1,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn char_escapes_do_not_derail_the_scan() {
+        let toks = tokenize(r"let c = '\''; let d = '\n'; x.lock()");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        assert!(toks.iter().any(|t| t.is_ident("lock")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nb.unwrap()";
+        let toks = tokenize(src);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn byte_and_raw_idents_lex_as_idents() {
+        let toks = tokenize(r##"let m = b"HOLOLIVE"; let r#type = 3;"##);
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(kinds("br#\"x\"#"), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn adjacency_is_recoverable_from_positions() {
+        let toks = tokenize("a += 1; b + c");
+        let plus_eq: Vec<_> = toks
+            .windows(2)
+            .filter(|w| w[0].is_punct('+') && w[1].is_punct('=') && w[1].pos == w[0].pos + 1)
+            .collect();
+        assert_eq!(plus_eq.len(), 1);
+    }
+}

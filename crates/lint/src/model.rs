@@ -1,0 +1,385 @@
+//! Structural view of one source file: the token stream plus the three
+//! overlays every rule needs — which lines are test-only code, which
+//! lines carry `lint:allow` suppressions, and where each function
+//! body begins and ends.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// A parsed `// lint:allow(<rule>): <reason>` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The free-text reason after the colon (trimmed; may be empty —
+    /// the meta-rule rejects that).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Lines the suppression covers: its own line, and — when the
+    /// comment stands alone on its line — the next line too.
+    pub covers: Vec<usize>,
+}
+
+/// One `fn` item with a resolved body span.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}` (or last token on EOF).
+    pub body_close: usize,
+}
+
+/// Token stream plus overlays for one file.
+pub struct FileModel {
+    /// Workspace-relative path label (used in findings).
+    pub path: String,
+    /// All tokens, comments included.
+    pub toks: Vec<Tok>,
+    /// For each token, `true` when it sits inside `#[cfg(test)] mod`
+    /// or a `#[test]` function — rules skip those regions.
+    pub in_test: Vec<bool>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// Function spans, in source order (nested fns both appear).
+    pub fns: Vec<FnSpan>,
+}
+
+impl FileModel {
+    /// Tokenize and overlay `source`.
+    pub fn build(path: &str, source: &str) -> FileModel {
+        let toks = tokenize(source);
+        let in_test = mark_test_regions(&toks);
+        let suppressions = parse_suppressions(&toks);
+        let fns = find_fns(&toks);
+        FileModel {
+            path: path.to_string(),
+            toks,
+            in_test,
+            suppressions,
+            fns,
+        }
+    }
+
+    /// Next non-comment token index at or after `i`.
+    pub fn skip_comments(&self, mut i: usize) -> usize {
+        while i < self.toks.len() && self.toks[i].is_comment() {
+            i += 1;
+        }
+        i
+    }
+
+    /// Previous non-comment token index strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if !self.toks[j].is_comment() {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// `true` when a suppression for `rule` covers `line`.
+    pub fn suppressed(&self, rule: &str, line: usize) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.rule == rule && s.covers.contains(&line))
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]`-attributed items and `#[test]`
+/// functions. Attribute detection is structural: `#` `[` … `]`
+/// containing the idents `cfg` `test` (or just `test`) immediately
+/// before an item whose brace-matched body is then marked.
+fn mark_test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut marked = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut k = 0;
+    while k < code.len() {
+        let i = code[k];
+        if toks[i].is_punct('#') && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('[')) {
+            // Scan the attribute body up to the matching `]`.
+            let mut depth = 0;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            let mut end = k + 1;
+            for (off, &j) in code.iter().enumerate().skip(k + 1) {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = off;
+                            break;
+                        }
+                    }
+                    TokKind::Ident => {
+                        // `#[test]` and `#[cfg(test)]` mark a test
+                        // region; `#[cfg(not(test))]` must not.
+                        if toks[j].text == "test" {
+                            saw_test = true;
+                        }
+                        if toks[j].text == "not" {
+                            saw_not = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let is_test_attr = saw_test && !saw_not;
+            if is_test_attr {
+                // Skip further attributes, then mark the following item
+                // through its matched braces (or to the `;` for
+                // brace-less items like `use`).
+                let mut m = end + 1;
+                while m + 1 < code.len()
+                    && toks[code[m]].is_punct('#')
+                    && toks[code[m + 1]].is_punct('[')
+                {
+                    let mut d = 0;
+                    let mut n = m + 1;
+                    while n < code.len() {
+                        if toks[code[n]].is_punct('[') {
+                            d += 1;
+                        } else if toks[code[n]].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        n += 1;
+                    }
+                    m = n + 1;
+                }
+                let mut depth = 0;
+                let mut entered = false;
+                let mut n = m;
+                while n < code.len() {
+                    let j = code[n];
+                    marked[j] = true;
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                        entered = true;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            break;
+                        }
+                    } else if toks[j].is_punct(';') && !entered {
+                        break;
+                    }
+                    n += 1;
+                }
+                k = n + 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    // Comments inherit the mark of the nearest following code token so
+    // suppression comments in tests stay "in test".
+    let mut next_mark = false;
+    for i in (0..toks.len()).rev() {
+        if toks[i].is_comment() {
+            marked[i] = next_mark;
+        } else {
+            next_mark = marked[i];
+        }
+    }
+    marked
+}
+
+/// Parse `lint:allow(rule): reason` out of line comments. A comment
+/// that is the only thing on its line covers the next line as well
+/// (the usual "suppress the statement below" shape); a trailing
+/// comment covers only its own line.
+fn parse_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text.trim();
+        let Some(rest) = text.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let reason = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("")
+            .to_string();
+        // Standalone if no code token earlier on the same line.
+        let standalone = !toks[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment());
+        let mut covers = vec![t.line];
+        if standalone {
+            covers.push(t.line + 1);
+        }
+        out.push(Suppression {
+            rule,
+            reason,
+            line: t.line,
+            covers,
+        });
+    }
+    out
+}
+
+/// Find every `fn name … { body }` and resolve the body braces. Works
+/// for free fns, methods, and nested fns; `fn` in trait definitions
+/// without bodies (ending `;`) yields no span.
+fn find_fns(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    for (k, &i) in code.iter().enumerate() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(&name_i) = code.get(k + 1) else {
+            continue;
+        };
+        if toks[name_i].kind != TokKind::Ident {
+            continue;
+        }
+        // Walk to the body `{`, skipping generics/args/where-clauses.
+        // `{` inside the where clause can't occur before the body in
+        // this grammar subset; a `;` first means no body.
+        let mut depth_paren = 0;
+        let mut depth_angle = 0i32;
+        let mut body_open = None;
+        for &j in &code[k + 2..] {
+            match toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth_paren += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth_paren -= 1,
+                TokKind::Punct('<') if depth_paren == 0 => depth_angle += 1,
+                TokKind::Punct('>') if depth_paren == 0 && depth_angle > 0 => depth_angle -= 1,
+                TokKind::Punct('{') if depth_paren == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') if depth_paren == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = body_open else { continue };
+        // Match the closing brace.
+        let mut depth = 0;
+        let mut close = *code.last().unwrap_or(&open);
+        for &j in code.iter().filter(|&&j| j >= open) {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        out.push(FnSpan {
+            name: toks[name_i].text.clone(),
+            line: toks[i].line,
+            fn_tok: i,
+            body_open: open,
+            body_close: close,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn after() { c.lock(); }";
+        let m = FileModel::build("x.rs", src);
+        let unwraps: Vec<(usize, bool)> = m
+            .toks
+            .iter()
+            .zip(&m.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(t, &b)| (t.line, b))
+            .collect();
+        assert_eq!(unwraps, vec![(1, false), (4, true)]);
+        let lock = m
+            .toks
+            .iter()
+            .zip(&m.in_test)
+            .find(|(t, _)| t.is_ident("lock"))
+            .unwrap();
+        assert!(!lock.1, "code after the test module is live again");
+    }
+
+    #[test]
+    fn test_attr_fns_are_marked() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn live() { y.unwrap(); }";
+        let m = FileModel::build("x.rs", src);
+        let flags: Vec<bool> = m
+            .toks
+            .iter()
+            .zip(&m.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &b)| b)
+            .collect();
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "// lint:allow(no-panic-paths): index bounded by construction\nlet v = q[0];\nlet w = q[1];";
+        let m = FileModel::build("x.rs", src);
+        assert!(m.suppressed("no-panic-paths", 2).is_some());
+        assert!(m.suppressed("no-panic-paths", 3).is_none());
+        assert_eq!(m.suppressions[0].reason, "index bounded by construction");
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line_only() {
+        let src = "let v = q[0]; // lint:allow(no-panic-paths): bounded\nlet w = q[1];";
+        let m = FileModel::build("x.rs", src);
+        assert!(m.suppressed("no-panic-paths", 1).is_some());
+        assert!(m.suppressed("no-panic-paths", 2).is_none());
+    }
+
+    #[test]
+    fn missing_reason_parses_with_empty_reason() {
+        let src = "// lint:allow(lock-order)\nstate.write();";
+        let m = FileModel::build("x.rs", src);
+        assert_eq!(m.suppressions.len(), 1);
+        assert!(m.suppressions[0].reason.is_empty());
+    }
+
+    #[test]
+    fn fn_spans_resolve_bodies_with_generics_and_nesting() {
+        let src = "fn outer<T: Fn() -> Vec<u8>>(x: T) -> Result<(), E> {\n    fn inner() { helper(); }\n    inner();\n}\nfn plain() {}";
+        let m = FileModel::build("x.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "plain"]);
+        let outer = &m.fns[0];
+        assert!(m.toks[outer.body_close].line >= 4);
+    }
+
+    #[test]
+    fn bodiless_trait_fns_yield_no_span() {
+        let m = FileModel::build("x.rs", "trait T { fn must(&self) -> u8; }\nfn real() {}");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Rendering: human terminal output and a machine-readable JSON
+//! report (hand-rolled serializer, same as the rest of the workspace —
+//! no serde).
+
+use crate::rules::Finding;
+
+/// The outcome of a full workspace pass.
+pub struct Report {
+    /// Every finding, suppressed ones included (the JSON report is an
+    /// audit trail, not just a failure list).
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a reasoned suppression.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Count of unsuppressed findings (the `--check` exit criterion).
+    pub fn unsuppressed_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Human-readable listing: unsuppressed findings first, then the
+    /// allowed ones with their reasons, then a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.unsuppressed() {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        let allowed: Vec<&Finding> = self
+            .findings
+            .iter()
+            .filter(|f| f.suppressed.is_some())
+            .collect();
+        if !allowed.is_empty() {
+            out.push('\n');
+            for f in &allowed {
+                out.push_str(&format!(
+                    "{}:{}: [{}] allowed: {}\n",
+                    f.path,
+                    f.line,
+                    f.rule,
+                    f.suppressed.as_deref().unwrap_or(""),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} finding(s): {} unsuppressed, {} allowed; {} file(s) scanned\n",
+            self.findings.len(),
+            self.unsuppressed_count(),
+            allowed.len(),
+            self.files_scanned,
+        ));
+        out
+    }
+
+    /// The JSON report uploaded as a CI artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"unsuppressed\": {},\n",
+            self.unsuppressed_count()
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            match &f.suppressed {
+                Some(reason) => out.push_str(&format!(
+                    "\"suppressed\": true, \"reason\": {}",
+                    json_str(reason)
+                )),
+                None => out.push_str("\"suppressed\": false, \"reason\": null"),
+            }
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_NO_PANIC;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: RULE_NO_PANIC,
+                    path: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    message: "a \"quoted\" problem".into(),
+                    suppressed: None,
+                },
+                Finding {
+                    rule: RULE_NO_PANIC,
+                    path: "crates/x/src/a.rs".into(),
+                    line: 9,
+                    message: "allowed one".into(),
+                    suppressed: Some("bounded by construction".into()),
+                },
+            ],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_output_separates_live_from_allowed() {
+        let r = sample();
+        let text = r.render_human();
+        assert!(text.contains("crates/x/src/a.rs:3: [no-panic-paths] a \"quoted\" problem"));
+        assert!(text.contains("a.rs:9: [no-panic-paths] allowed: bounded by construction"));
+        assert!(text.contains("2 finding(s): 1 unsuppressed, 1 allowed; 2 file(s) scanned"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let r = sample();
+        let j = r.render_json();
+        assert!(j.contains("\"unsuppressed\": 1"));
+        assert!(j.contains("\"a \\\"quoted\\\" problem\""));
+        assert!(j.contains("\"suppressed\": true, \"reason\": \"bounded by construction\""));
+        assert!(j.contains("\"suppressed\": false, \"reason\": null"));
+    }
+
+    #[test]
+    fn empty_report_renders_valid_json() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 40,
+        };
+        let j = r.render_json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"unsuppressed\": 0"));
+    }
+}

@@ -1,0 +1,178 @@
+//! The workspace walker: resolve the member list from the root
+//! `Cargo.toml` (including `crates/*`-style globs) and collect every
+//! member's `src/**/*.rs`.
+//!
+//! Only `src/` trees are scanned: the invariants protect shipping
+//! code, and integration tests / benches exercise panics and ambient
+//! timing on purpose. In-file `#[cfg(test)]` regions are excluded by
+//! the [`crate::model::FileModel`] overlay instead.
+
+use crate::config::Config;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file to lint: the workspace-relative label used in findings
+/// (and matched against `lint.toml` paths), plus the real path.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/serve/src/http.rs`.
+    pub label: String,
+    /// Absolute (or root-joined) filesystem path.
+    pub path: PathBuf,
+}
+
+/// Resolve all lintable sources under `root`. Member directories whose
+/// label starts with one of `cfg.skip` (vendored crates, build
+/// output) are excluded.
+pub fn workspace_sources(root: &Path, cfg: &Config) -> io::Result<Vec<SourceFile>> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs: Vec<String> = Vec::new();
+    // The root package itself (the umbrella crate), when present.
+    if manifest.lines().any(|l| l.trim() == "[package]") {
+        dirs.push(String::new());
+    }
+    for member in parse_members(&manifest) {
+        if let Some(prefix) = member.strip_suffix("/*") {
+            let Ok(entries) = std::fs::read_dir(root.join(prefix)) else {
+                continue;
+            };
+            let mut names: Vec<String> = entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().join("Cargo.toml").is_file())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .map(|n| format!("{prefix}/{n}"))
+                .collect();
+            names.sort();
+            dirs.extend(names);
+        } else {
+            dirs.push(member);
+        }
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        if cfg.skip.iter().any(|s| dir.starts_with(s.as_str())) {
+            continue;
+        }
+        let src = if dir.is_empty() {
+            root.join("src")
+        } else {
+            root.join(&dir).join("src")
+        };
+        let label_base = if dir.is_empty() {
+            "src".to_string()
+        } else {
+            format!("{dir}/src")
+        };
+        collect_rs(&src, &label_base, &mut out)?;
+    }
+    out.sort_by(|a, b| a.label.cmp(&b.label));
+    Ok(out)
+}
+
+/// Extract the `members = [...]` array from `[workspace]` (the value
+/// may span lines).
+fn parse_members(manifest: &str) -> Vec<String> {
+    let mut in_workspace = false;
+    let mut collecting = false;
+    let mut buf = String::new();
+    for line in manifest.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_workspace = trimmed == "[workspace]";
+            continue;
+        }
+        if collecting {
+            buf.push_str(trimmed);
+            if trimmed.contains(']') {
+                break;
+            }
+            continue;
+        }
+        if in_workspace {
+            if let Some(rest) = trimmed.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    buf.push_str(value.trim());
+                    if !value.contains(']') {
+                        collecting = true;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    // Pull out the quoted strings.
+    let mut members = Vec::new();
+    let mut rest = buf.as_str();
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            break;
+        };
+        members.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + len + 2..];
+    }
+    members
+}
+
+/// Recursively collect `*.rs` under `dir` (in sorted order).
+fn collect_rs(dir: &Path, label_base: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if path.is_dir() {
+            collect_rs(&path, &format!("{label_base}/{name}"), out)?;
+        } else if name.ends_with(".rs") {
+            out.push(SourceFile {
+                label: format!("{label_base}/{name}"),
+                path,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse_from_single_and_multi_line_arrays() {
+        let single = "[workspace]\nmembers = [\"crates/*\", \"vendor/*\"]\n";
+        assert_eq!(parse_members(single), vec!["crates/*", "vendor/*"]);
+        let multi = "[workspace]\nmembers = [\n  \"a\",\n  \"b\",\n]\n[package]\nname = \"x\"\n";
+        assert_eq!(parse_members(multi), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn members_outside_workspace_section_are_ignored() {
+        let t = "[package]\nmembers = [\"nope\"]\n[workspace]\nmembers = [\"yes\"]\n";
+        assert_eq!(parse_members(t), vec!["yes"]);
+    }
+
+    #[test]
+    fn this_workspace_resolves_and_skips_vendor() {
+        // The lint crate always runs from inside the workspace; walk
+        // up from the manifest dir to the root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let cfg = Config::default();
+        let files = workspace_sources(root, &cfg).unwrap();
+        assert!(files.iter().any(|f| f.label == "crates/serve/src/http.rs"));
+        assert!(files.iter().any(|f| f.label == "crates/lint/src/walker.rs"));
+        assert!(files.iter().any(|f| f.label.starts_with("src/")));
+        assert!(
+            !files.iter().any(|f| f.label.starts_with("vendor/")),
+            "vendored crates are never linted"
+        );
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`network::Sequential`] — a layer stack for simple models,
 //! * [`calibrate`] — Platt scaling \[46\] on a holdout set.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod calibrate;
 pub mod layers;
 pub mod loss;

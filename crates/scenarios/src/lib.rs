@@ -34,6 +34,9 @@
 //! fixed `--seed` reproduces the report byte for byte (run with
 //! `--no-latency` to strip the only machine-dependent fields).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod check;
 pub mod config;
 pub mod report;

@@ -9,6 +9,9 @@
 //! Exit codes: 0 success, 1 quality regression (or broken baseline),
 //! 2 usage error.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use holo_scenarios::{check, render_table, report_json, run_suite, SuiteConfig};
 
 fn main() {

@@ -80,6 +80,9 @@ struct App {
 
 /// A running serving stack: HTTP server + batcher + registry.
 pub struct RunningServer {
+    /// Captured at bind time so `addr()` never depends on whether the
+    /// handle has been taken for shutdown.
+    addr: std::net::SocketAddr,
     http: Option<ServerHandle>,
     app: Arc<App>,
 }
@@ -87,7 +90,7 @@ pub struct RunningServer {
 impl RunningServer {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
-        self.http.as_ref().expect("server running").addr()
+        self.addr
     }
 
     /// The live metrics.
@@ -126,7 +129,7 @@ pub fn start(
     registry: Arc<ModelRegistry>,
 ) -> io::Result<RunningServer> {
     let metrics = Arc::new(Metrics::new());
-    let batcher = MicroBatcher::start(cfg.batch, Arc::clone(&metrics));
+    let batcher = MicroBatcher::start(cfg.batch, Arc::clone(&metrics))?;
     let app = Arc::new(App {
         registry,
         batcher,
@@ -145,6 +148,7 @@ pub fn start(
     };
     let http = http::serve_with_observer(addr, cfg.http, handler, Some(observer))?;
     Ok(RunningServer {
+        addr: http.addr(),
         http: Some(http),
         app,
     })

@@ -71,8 +71,9 @@ pub struct MicroBatcher {
 }
 
 impl MicroBatcher {
-    /// Start the batcher thread.
-    pub fn start(cfg: BatchConfig, metrics: Arc<Metrics>) -> Self {
+    /// Start the batcher thread. Errs only when the OS refuses to
+    /// spawn the thread.
+    pub fn start(cfg: BatchConfig, metrics: Arc<Metrics>) -> std::io::Result<Self> {
         let (tx, rx) = channel::<Job>();
         let loop_cfg = cfg.clone();
         let worker = std::thread::Builder::new()
@@ -91,21 +92,23 @@ impl MicroBatcher {
                         },
                     };
                     let deadline = Instant::now() + loop_cfg.max_wait;
-                    let mut group = vec![first];
-                    let mut group_cells = group[0].cells.len();
-                    let mut group_rows = group[0].data.n_tuples();
+                    let mut rest: Vec<Job> = Vec::new();
+                    let mut group_cells = first.cells.len();
+                    let mut group_rows = first.data.n_tuples();
                     // Absorb compatible jobs already waiting in the
                     // queue (stashed in an earlier round), so stashed
                     // traffic coalesces too instead of draining solo.
                     let mut i = 0;
-                    while i < queue.len() && group_cells < loop_cfg.max_batch_cells {
-                        if compatible(&group[0], &queue[i], group_rows) {
-                            let job = queue.remove(i).expect("index in range");
-                            group_cells += job.cells.len();
-                            group_rows += job.data.n_tuples();
-                            group.push(job);
-                        } else {
-                            i += 1;
+                    while group_cells < loop_cfg.max_batch_cells {
+                        match queue.get(i) {
+                            None => break,
+                            Some(job) if compatible(&first, job, group_rows) => {
+                                let Some(job) = queue.remove(i) else { break };
+                                group_cells += job.cells.len();
+                                group_rows += job.data.n_tuples();
+                                rest.push(job);
+                            }
+                            Some(_) => i += 1,
                         }
                     }
                     let mut stash: VecDeque<Job> = VecDeque::new();
@@ -121,10 +124,10 @@ impl MicroBatcher {
                                 break
                             }
                         };
-                        if compatible(&group[0], &job, group_rows) {
+                        if compatible(&first, &job, group_rows) {
                             group_cells += job.cells.len();
                             group_rows += job.data.n_tuples();
-                            group.push(job);
+                            rest.push(job);
                         } else {
                             stash.push_back(job);
                             if stash.len() >= 64 {
@@ -136,17 +139,16 @@ impl MicroBatcher {
                     // cost this group its replies (callers see a typed
                     // error), never the batcher thread.
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        execute(group, &metrics)
+                        execute(first, rest, &metrics)
                     }));
                     queue.append(&mut stash);
                 }
-            })
-            .expect("spawn batcher");
-        MicroBatcher {
+            })?;
+        Ok(MicroBatcher {
             cfg,
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
-        }
+        })
     }
 
     /// The active configuration.
@@ -162,10 +164,12 @@ impl MicroBatcher {
         data: Dataset,
         cells: Vec<CellId>,
     ) -> Result<Vec<f64>, ModelError> {
+        // A poisoned sender slot only means some caller panicked while
+        // holding it; the Option inside is still coherent, so recover.
         let sender = self
             .tx
             .lock()
-            .expect("batcher lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .clone()
             .ok_or_else(shut_down)?;
         let (reply_tx, reply_rx) = channel();
@@ -186,8 +190,9 @@ impl MicroBatcher {
 
     /// Stop accepting new jobs, finish the queued ones, join the thread.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().expect("batcher lock poisoned").take());
-        if let Some(w) = self.worker.lock().expect("batcher lock poisoned").take() {
+        drop(self.tx.lock().unwrap_or_else(|p| p.into_inner()).take());
+        let handle = self.worker.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(w) = handle {
             let _ = w.join();
         }
     }
@@ -222,11 +227,12 @@ fn merge_safe(model: &ServedModel, data: &Dataset, offset: usize) -> bool {
         // so streamed models always score solo.
         return false;
     }
-    let Some(artifact) = model
-        .static_model()
-        .expect("non-live models are static")
-        .artifact()
-    else {
+    let Some(static_model) = model.static_model() else {
+        // Neither live nor static should be unreachable; score solo
+        // rather than guess about alignment.
+        return false;
+    };
+    let Some(artifact) = static_model.artifact() else {
         return true; // degenerate model: every score is 0 regardless
     };
     let reference = artifact.reference();
@@ -275,18 +281,17 @@ fn execute_solo(job: Job, metrics: &Metrics) {
     let _ = job.reply.send(result);
 }
 
-fn execute(group: Vec<Job>, metrics: &Metrics) {
-    if group.len() == 1 {
-        let job = group.into_iter().next().expect("one job");
-        execute_solo(job, metrics);
+fn execute(first: Job, rest: Vec<Job>, metrics: &Metrics) {
+    if rest.is_empty() {
+        execute_solo(first, metrics);
         return;
     }
 
     // Merge: concatenate rows, shift each job's cells by its row offset.
-    let total_cells: usize = group.iter().map(|j| j.cells.len()).sum();
-    let mut b = DatasetBuilder::new(group[0].data.schema().clone());
+    let total_cells: usize = first.cells.len() + rest.iter().map(|j| j.cells.len()).sum::<usize>();
+    let mut b = DatasetBuilder::new(first.data.schema().clone());
     let mut merged_cells = Vec::with_capacity(total_cells);
-    for job in &group {
+    for job in std::iter::once(&first).chain(rest.iter()) {
         let offset = b.rows();
         for t in 0..job.data.n_tuples() {
             b.push_row(&job.data.tuple_values(t));
@@ -294,22 +299,25 @@ fn execute(group: Vec<Job>, metrics: &Metrics) {
         merged_cells.extend(job.cells.iter().map(|c| CellId::new(c.t() + offset, c.a())));
     }
     let merged = b.build();
-    metrics.record_batch(total_cells, group.len());
-    match guarded_score(&group[0].model, &merged, &merged_cells) {
-        Ok(scores) => {
+    metrics.record_batch(total_cells, rest.len() + 1);
+    match guarded_score(&first.model, &merged, &merged_cells) {
+        // The contract is one score per requested cell; if a model ever
+        // broke it, fanning out would misroute scores across jobs, so
+        // fall back to solo scoring instead of splitting short.
+        Ok(scores) if scores.len() == total_cells => {
             metrics.record_scored_cells(scores.len());
-            let mut rest = scores.as_slice();
-            for job in group {
-                let (mine, tail) = rest.split_at(job.cells.len());
+            let mut remaining = scores.as_slice();
+            for job in std::iter::once(first).chain(rest) {
+                let (mine, tail) = remaining.split_at(job.cells.len());
                 let _ = job.reply.send(Ok(mine.to_vec()));
-                rest = tail;
+                remaining = tail;
             }
         }
         // A merged failure must not poison innocent neighbours: fall
         // back to scoring each job alone so errors land only where they
         // belong (each fallback call is its own entry in the books).
-        Err(_) => {
-            for job in group {
+        Ok(_) | Err(_) => {
+            for job in std::iter::once(first).chain(rest) {
                 execute_solo(job, metrics);
             }
         }
@@ -378,7 +386,8 @@ mod tests {
                 max_wait: Duration::from_millis(25),
             },
             Arc::clone(&metrics),
-        );
+        )
+        .expect("start batcher");
 
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..8)
@@ -423,7 +432,8 @@ mod tests {
                 max_wait: Duration::from_millis(25),
             },
             Arc::new(Metrics::new()),
-        );
+        )
+        .expect("start batcher");
         // A dataset equal to the reference's first rows — aligned.
         let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
         for t in 0..6 {
@@ -482,7 +492,8 @@ mod tests {
     #[test]
     fn errors_only_land_on_the_offending_job() {
         let (model, _) = served_model();
-        let batcher = MicroBatcher::start(BatchConfig::default(), Arc::new(Metrics::new()));
+        let batcher = MicroBatcher::start(BatchConfig::default(), Arc::new(Metrics::new()))
+            .expect("start batcher");
         let good = foreign_batch(1);
         let good_cells: Vec<CellId> = good.cell_ids().collect();
         // Out-of-bounds cells: typed error, not garbage, not a panic.
@@ -511,7 +522,8 @@ mod tests {
     #[test]
     fn shutdown_is_typed_not_hung() {
         let (model, _) = served_model();
-        let batcher = MicroBatcher::start(BatchConfig::default(), Arc::new(Metrics::new()));
+        let batcher = MicroBatcher::start(BatchConfig::default(), Arc::new(Metrics::new()))
+            .expect("start batcher");
         batcher.shutdown();
         let data = foreign_batch(3);
         let cells: Vec<CellId> = data.cell_ids().collect();

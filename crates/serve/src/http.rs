@@ -182,7 +182,7 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let ip = if self.addr.ip().is_unspecified() {
-            "127.0.0.1".parse().expect("loopback")
+            std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
         } else {
             self.addr.ip()
         };
@@ -238,31 +238,36 @@ pub fn serve_with_observer(
             std::thread::Builder::new()
                 .name(format!("holo-serve-worker-{i}"))
                 .spawn(move || worker_loop(&rx, &cfg, &handler, &shutdown, observer.as_ref()))
-                .expect("spawn worker")
         })
-        .collect();
+        .collect::<io::Result<Vec<_>>>()?;
 
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()
             .name("holo-serve-acceptor".into())
             .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(s) = stream {
-                        // A send can only fail after shutdown (workers
-                        // gone) — drop the connection then.
-                        if tx.send(s).is_err() {
+                // Panic isolation: nothing in the accept loop should be
+                // able to panic, but if it ever does, unwind stops here
+                // and `tx` still drops in an orderly fashion — workers
+                // see the disconnect and drain instead of hanging on a
+                // channel whose sender died mid-unwind.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
                             break;
                         }
+                        if let Ok(s) = stream {
+                            // A send can only fail after shutdown (workers
+                            // gone) — drop the connection then.
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
                     }
-                }
+                }));
                 // Dropping `tx` disconnects the channel: workers drain
                 // what was already accepted, then exit.
-            })
-            .expect("spawn acceptor")
+            })?
     };
 
     Ok(ServerHandle {
@@ -420,7 +425,8 @@ fn read_request(reader: &mut BufReader<TcpStream>, cfg: &HttpConfig) -> Result<R
             if Instant::now() > deadline {
                 return Err(ReadError::Bad(408, "request body read timed out"));
             }
-            match reader.read(&mut body[filled..]) {
+            let window = body.get_mut(filled..).ok_or(ReadError::Io)?;
+            match reader.read(window) {
                 Ok(0) => return Err(ReadError::Io),
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -462,7 +468,7 @@ fn read_crlf_line(
                 if buf.len() + i + 1 > *budget {
                     return Err(ReadError::Bad(431, "request head exceeds size limit"));
                 }
-                buf.extend_from_slice(&chunk[..i]);
+                buf.extend_from_slice(chunk.get(..i).ok_or(ReadError::Io)?);
                 reader.consume(i + 1);
                 *budget -= buf.len() + 1;
                 break;

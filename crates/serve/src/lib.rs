@@ -62,6 +62,9 @@
 //!   -d '{"rows": [{"Zip": "60612", "City": "Cxhicago"}]}'
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod app;
 pub mod batch;
 pub mod http;

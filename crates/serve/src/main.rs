@@ -7,6 +7,9 @@
 //!            --max-batch-cells 512 --max-wait-ms 2
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ServeConfig};
 use holo_stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
 use std::process::ExitCode;

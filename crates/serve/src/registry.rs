@@ -29,7 +29,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// How a served model answers queries. (The static artifact is boxed:
 /// a fitted model is a couple of kB inline, and parity with the `Arc`
@@ -159,14 +159,22 @@ impl ModelRegistry {
     fn stripe(&self, name: &str) -> &RwLock<HashMap<String, Arc<ServedModel>>> {
         let mut h = DefaultHasher::new();
         name.hash(&mut h);
+        // lint:allow(no-panic-paths): index is hash % stripes.len(); with_stripes guarantees stripes is non-empty
         &self.stripes[(h.finish() as usize) % self.stripes.len()]
     }
 
     /// Load an artifact file and register (or replace) it under `name`
     /// as a static entry. Returns the registered version.
+    ///
+    /// Every registry lock below recovers from poisoning: the guarded
+    /// sections are single `HashMap` operations that cannot be observed
+    /// half-done, so a panic elsewhere must not wedge model lookups.
     pub fn load_insert(&self, name: &str, path: &Path) -> Result<Arc<ServedModel>, ModelError> {
         let model = FittedHoloDetect::load(path)?;
-        let mut map = self.stripe(name).write().expect("registry lock poisoned");
+        let mut map = self
+            .stripe(name)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let static_generation = map.get(name).map_or(0, |m| m.generation() + 1);
         let entry = Arc::new(ServedModel {
             name: name.to_string(),
@@ -190,7 +198,7 @@ impl ModelRegistry {
         });
         self.stripe(name)
             .write()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), Arc::clone(&entry));
         entry
     }
@@ -199,7 +207,7 @@ impl ModelRegistry {
     pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
         self.stripe(name)
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
@@ -230,7 +238,7 @@ impl ModelRegistry {
             .iter()
             .flat_map(|s| {
                 s.read()
-                    .expect("registry lock poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .keys()
                     .cloned()
                     .collect::<Vec<_>>()
@@ -244,7 +252,7 @@ impl ModelRegistry {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.read().expect("registry lock poisoned").len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 

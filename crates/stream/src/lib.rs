@@ -39,6 +39,9 @@
 //! so a crashed process reopens the artifact, replays the log tail, and
 //! resumes at the exact epoch it died at.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod drift;
 pub mod live;
 pub mod scheduler;

@@ -37,7 +37,26 @@ use holodetect::FittedHoloDetect;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, PoisonError, RwLock};
+
+/// Saturating counter increment — lifetime counters must peg at
+/// `u64::MAX`, never wrap back to zero and fake a reset (the same
+/// `fetch_update` idiom the serving metrics use).
+fn sat_add(counter: &AtomicU64, v: u64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+        Some(c.saturating_add(v))
+    });
+}
+
+/// The typed refusal mutating paths answer when a lock was poisoned by
+/// a panic elsewhere: half-applied state must not be mutated further.
+/// (Read-only paths *recover* instead — see the accessors below — so a
+/// panicked ingest can never take scoring availability down with it.)
+fn poisoned(what: &str) -> ModelError {
+    ModelError::Format(format!(
+        "{what} lock was poisoned by an earlier panic; refusing to mutate live state"
+    ))
+}
 
 /// Magic of the epoch-stamped artifact wrapper refits write: the epoch
 /// travels *inside* the same atomically renamed file as the model, so
@@ -255,7 +274,10 @@ impl LiveModel {
 
     /// The current epoch (ops applied since the original fit).
     pub fn epoch(&self) -> u64 {
-        self.state.read().expect("live state poisoned").epoch
+        self.state
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .epoch
     }
 
     /// Hot-swap count: 0 until the first install.
@@ -277,7 +299,7 @@ impl LiveModel {
     pub fn method(&self) -> &'static str {
         self.state
             .read()
-            .expect("live state poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .model
             .method()
     }
@@ -286,7 +308,7 @@ impl LiveModel {
     pub fn default_threshold(&self) -> f64 {
         self.state
             .read()
-            .expect("live state poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .model
             .threshold()
     }
@@ -295,7 +317,7 @@ impl LiveModel {
     pub fn score_batch(&self, data: &Dataset, cells: &[CellId]) -> Result<Vec<f64>, ModelError> {
         self.state
             .read()
-            .expect("live state poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .model
             .score_batch(data, cells)
     }
@@ -306,7 +328,12 @@ impl LiveModel {
     pub fn ingest_rows(&self, rows: Vec<Vec<String>>) -> Result<IngestReport, ModelError> {
         if rows.is_empty() {
             let epoch = self.epoch();
-            let drift = self.drift.lock().expect("drift poisoned").report().drift;
+            let drift = self
+                .drift
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .report()
+                .drift;
             return Ok(IngestReport {
                 appended: 0,
                 epoch,
@@ -323,10 +350,10 @@ impl LiveModel {
             }
         }
         let appended = rows.len();
-        let mut st = self.state.write().expect("live state poisoned");
+        let mut st = self.state.write().map_err(|_| poisoned("live state"))?;
         // Log first (durability), group-committed; then apply.
         let epoch = {
-            let mut log = self.log.lock().expect("delta log poisoned");
+            let mut log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             for row in &rows {
                 log.append(DeltaOp::Append {
                     values: row.clone(),
@@ -335,12 +362,12 @@ impl LiveModel {
             log.flush()?;
             log.epoch()
         };
-        let first_new = st
-            .model
-            .artifact()
-            .expect("live models are never degenerate")
-            .reference()
-            .n_tuples();
+        let Some(artifact) = st.model.artifact() else {
+            return Err(ModelError::Degenerate {
+                method: st.model.method().to_owned(),
+            });
+        };
+        let first_new = artifact.reference().n_tuples();
         for row in rows {
             st.model.apply_delta(&DeltaOp::Append { values: row })?;
         }
@@ -354,12 +381,13 @@ impl LiveModel {
         // rows `first_new..` stay addressable even if more batches land
         // in between (their stats are folded by their own calls).
         let (violating, scores) = {
-            let st = self.state.read().expect("live state poisoned");
-            let reference = st
-                .model
-                .artifact()
-                .expect("live models are never degenerate")
-                .reference();
+            let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
+            let Some(artifact) = st.model.artifact() else {
+                return Err(ModelError::Degenerate {
+                    method: st.model.method().to_owned(),
+                });
+            };
+            let reference = artifact.reference();
             let na = reference.n_attrs();
             let nt = first_new + appended;
             let violating = (first_new..nt)
@@ -373,12 +401,14 @@ impl LiveModel {
 
         let score_sum: f64 = scores.iter().sum();
         let drift = {
-            let mut d = self.drift.lock().expect("drift poisoned");
+            // Recover even though this mutates: the rows are already
+            // durably logged and applied, so failing the whole ingest
+            // over advisory drift bookkeeping would mislead the caller.
+            let mut d = self.drift.lock().unwrap_or_else(PoisonError::into_inner);
             d.record_batch(appended as u64, violating, score_sum, scores.len() as u64);
             d.report().drift
         };
-        self.rows_ingested
-            .fetch_add(appended as u64, Ordering::Relaxed);
+        sat_add(&self.rows_ingested, appended as u64);
         Ok(IngestReport {
             appended,
             epoch,
@@ -388,7 +418,10 @@ impl LiveModel {
 
     /// The current drift report.
     pub fn drift_report(&self) -> DriftReport {
-        self.drift.lock().expect("drift poisoned").report()
+        self.drift
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .report()
     }
 
     /// `true` when the scheduler should refit: enough rows since the
@@ -410,9 +443,13 @@ impl LiveModel {
     /// when no registry is involved), which replays any ops that
     /// arrived mid-refit.
     pub fn refit_to_disk(&self) -> Result<u64, ModelError> {
-        let _serialized = self.refit_lock.lock().expect("refit lock poisoned");
+        // A poisoned refit lock guards no data (`Mutex<()>`) — recover.
+        let _serialized = self
+            .refit_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let (snapshot, base_epoch) = {
-            let st = self.state.read().expect("live state poisoned");
+            let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
             let mut buf = Vec::new();
             st.model.save_to(&mut buf)?;
             (buf, st.epoch)
@@ -425,10 +462,10 @@ impl LiveModel {
         // and finishes the compaction instead of double-replaying.
         write_epoch_artifact(&self.path, &refitted, base_epoch)?;
         {
-            let mut log = self.log.lock().expect("delta log poisoned");
+            let mut log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             log.compact_through(base_epoch)?;
         }
-        self.refits.fetch_add(1, Ordering::Relaxed);
+        sat_add(&self.refits, 1);
         Ok(base_epoch)
     }
 
@@ -466,8 +503,8 @@ impl LiveModel {
             ));
         }
         {
-            let mut st = self.state.write().expect("live state poisoned");
-            let log = self.log.lock().expect("delta log poisoned");
+            let mut st = self.state.write().map_err(|_| poisoned("live state"))?;
+            let log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             let artifact_epoch = file_epoch.unwrap_or_else(|| log.base_epoch());
             if artifact_epoch < log.base_epoch() || artifact_epoch > log.epoch() {
                 return Err(ModelError::Format(format!(
@@ -487,14 +524,22 @@ impl LiveModel {
         // scores a reference sample, and holding the write lock for it
         // would block every concurrent scorer mid-swap.
         let anchored = {
-            let st = self.state.read().expect("live state poisoned");
+            let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
             DriftMonitor::new_anchored(&st.model, &self.cfg)
         };
-        *self.drift.lock().expect("drift poisoned") = anchored;
+        // Whole-value overwrite, so recovery is safe even on this write.
+        *self.drift.lock().unwrap_or_else(PoisonError::into_inner) = anchored;
         // Bump the generation only after the drift baseline is
         // re-anchored: anyone observing generation N must also observe
         // N's drift state (the scheduler's post-swap check relies on it).
-        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let generation =
+            match self
+                .generation
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |g| {
+                    Some(g.saturating_add(1))
+                }) {
+                Ok(prev) | Err(prev) => prev.saturating_add(1),
+            };
         Ok(generation)
     }
 

@@ -12,10 +12,19 @@
 //! retried on a later tick; it never kills the scheduler thread.
 
 use crate::live::LiveModel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Saturating counter increment — the error counter must peg at
+/// `u64::MAX`, never wrap back to zero and erase a failure history.
+fn sat_add(counter: &AtomicU64, v: u64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+        Some(c.saturating_add(v))
+    });
+}
 
 /// The swap hook fired after a successful refit-to-disk. Returns a
 /// human-readable error on failure (retried next tick).
@@ -68,13 +77,20 @@ impl RefitScheduler {
                         if !target.live.should_refit() {
                             continue;
                         }
-                        let outcome = target
-                            .live
-                            .refit_to_disk()
-                            .map_err(|e| e.to_string())
-                            .and_then(|_| (target.swap)());
+                        // Isolate each refit attempt: a panic inside
+                        // the retrain or the swap hook is a failed
+                        // attempt to retry next tick, never a dead
+                        // scheduler thread.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            target
+                                .live
+                                .refit_to_disk()
+                                .map_err(|e| e.to_string())
+                                .and_then(|_| (target.swap)())
+                        }))
+                        .unwrap_or_else(|_| Err("refit panicked".into()));
                         if outcome.is_err() {
-                            thread_errors.fetch_add(1, Ordering::Relaxed);
+                            sat_add(&thread_errors, 1);
                         }
                     }
                     // Sleep in short slices so shutdown is prompt even

@@ -19,6 +19,9 @@
 //! boundaries; internally they work over `Vec<char>` where index
 //! arithmetic is required.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod classes;
 pub mod edit;
 pub mod lcs;

@@ -62,6 +62,9 @@
 //!   PR-AUC/F1 tracked per schema and gated in CI against
 //!   `BENCH_scenarios.json`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub use holo_baselines as baselines;
 pub use holo_channel as channel;
 pub use holo_constraints as constraints;
