@@ -1,0 +1,129 @@
+//! The labeled spot-check probe pool: a cheap, bounded window of
+//! operator-labeled cells compared against the model's own predictions.
+//!
+//! Distribution statistics (PSI/KS) detect that scores *moved*; probes
+//! detect that scores are *wrong*. Every label posted to a live model
+//! doubles as a spot check — the model's thresholded prediction for the
+//! labeled cell either agrees with the label or it does not — and the
+//! disagreement rate over a bounded ring of recent checks is the
+//! [`crate::DriftSignal::Probe`] signal. A stale channel that scores
+//! drifted errors as clean disagrees immediately, even when every
+//! unlabeled aggregate looks calm.
+
+/// Default capacity of the probe ring.
+pub const DEFAULT_PROBE_CAPACITY: usize = 512;
+
+/// A bounded ring of labeled spot checks. O(1) per probe, O(capacity)
+/// memory, oldest checks evicted first so the rate tracks *recent*
+/// model behaviour.
+#[derive(Debug, Clone)]
+pub struct ProbePool {
+    /// `true` = the model's prediction disagreed with the label.
+    ring: Vec<bool>,
+    /// Next write position.
+    head: usize,
+    /// Live entries (`<= ring.capacity` once warm).
+    len: usize,
+    capacity: usize,
+}
+
+impl ProbePool {
+    /// An empty pool holding up to `capacity` checks (clamped ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ProbePool {
+            ring: vec![false; capacity],
+            head: 0,
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Record one spot check: the model predicted `predicted_error`,
+    /// the label says `labeled_error`.
+    pub fn record(&mut self, predicted_error: bool, labeled_error: bool) {
+        if let Some(slot) = self.ring.get_mut(self.head) {
+            *slot = predicted_error != labeled_error;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    /// Checks currently in the window.
+    pub fn checked(&self) -> u64 {
+        self.len as u64
+    }
+
+    /// Of those, how many disagreed.
+    pub fn disagreed(&self) -> u64 {
+        self.ring.iter().take(self.len).filter(|&&d| d).count() as u64
+    }
+
+    /// Disagreement rate over the window (`0.0` when empty).
+    pub fn disagreement(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.disagreed() as f64 / self.len as f64
+        }
+    }
+
+    /// Forget every check (a refit re-anchors the pool: old
+    /// disagreements were against the *old* model).
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+impl Default for ProbePool {
+    fn default() -> Self {
+        ProbePool::new(DEFAULT_PROBE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pool_reports_zero() {
+        let p = ProbePool::new(8);
+        assert_eq!(p.checked(), 0);
+        assert_eq!(p.disagreement(), 0.0);
+    }
+
+    #[test]
+    fn disagreement_is_the_mismatch_rate() {
+        let mut p = ProbePool::new(8);
+        p.record(true, true); // agree
+        p.record(false, true); // disagree (missed error)
+        p.record(true, false); // disagree (false alarm)
+        p.record(false, false); // agree
+        assert_eq!(p.checked(), 4);
+        assert_eq!(p.disagreed(), 2);
+        assert!((p.disagreement() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_checks() {
+        let mut p = ProbePool::new(2);
+        p.record(false, true); // disagree
+        p.record(false, true); // disagree
+        assert_eq!(p.disagreement(), 1.0);
+        // Two agreeing checks push the disagreements out.
+        p.record(true, true);
+        p.record(false, false);
+        assert_eq!(p.checked(), 2);
+        assert_eq!(p.disagreement(), 0.0);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut p = ProbePool::new(4);
+        p.record(false, true);
+        p.reset();
+        assert_eq!(p.checked(), 0);
+        assert_eq!(p.disagreement(), 0.0);
+    }
+}

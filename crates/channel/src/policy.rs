@@ -43,6 +43,19 @@ impl Policy {
         Policy { entries, index }
     }
 
+    /// **Algorithms 1 + 2** fused: learn each `(clean, dirty)` pair's
+    /// transformation list and build the empirical policy from them —
+    /// the one-call path shared by initial fit and drift adaptation.
+    pub fn from_pairs<S: AsRef<str>>(pairs: &[(S, S)]) -> Self {
+        let lists: Vec<Vec<Transformation>> = pairs
+            .iter()
+            .map(|(clean, dirty)| {
+                crate::learn::learn_transformations(clean.as_ref(), dirty.as_ref())
+            })
+            .collect();
+        Policy::from_lists(&lists)
+    }
+
     /// Number of distinct transformations.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -339,6 +352,20 @@ mod tests {
         // ε↦x applies everywhere and should dominate any conditional.
         let cond = p.conditional("anything");
         assert_eq!(cond[0].0, add_x);
+    }
+
+    #[test]
+    fn from_pairs_fuses_learning_and_counting() {
+        let pairs = vec![
+            ("chicago".to_owned(), "chixcago".to_owned()),
+            ("madison".to_owned(), "madixson".to_owned()),
+        ];
+        let p = Policy::from_pairs(&pairs);
+        assert!(!p.is_empty());
+        assert!(p.prob(&t("", "x")) > 0.0, "x-insertions must be learned");
+        // Equal pairs contribute empty lists, not phantom mass.
+        let with_noop = vec![("same".to_owned(), "same".to_owned())];
+        assert!(Policy::from_pairs(&with_noop).is_empty());
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use crate::config::HoloDetectConfig;
 use crate::model::{matrix_from_rows, WideDeepModel};
-use holo_channel::{
-    augment, augment_to_ratio, learn_transformations, NaiveBayesRepair, Policy, RepairConfig,
-};
+use holo_channel::{augment, augment_to_ratio, NaiveBayesRepair, Policy, RepairConfig};
 use holo_constraints::DenialConstraint;
 use holo_data::{CellId, Dataset, Label, TrainingSet};
 use holo_features::Featurizer;
@@ -109,11 +107,7 @@ impl Pipeline {
             let nb = NaiveBayesRepair::build(self.reference(), RepairConfig::default());
             pairs.extend(nb.harvest_examples(self.reference()));
         }
-        let lists: Vec<_> = pairs
-            .iter()
-            .map(|(v_star, v)| learn_transformations(v_star, v))
-            .collect();
-        Policy::from_lists(&lists)
+        Policy::from_pairs(&pairs)
     }
 
     /// Algorithm 4 over the correct examples of `t`, producing synthetic

@@ -69,7 +69,7 @@ pub use detector::{
     ConstantScore, DetectionContext, Detector, FitContext, FlagSetModel, TrainedModel,
 };
 pub use error::ModelError;
-pub use metrics::{best_f1, pr_auc, Confusion};
+pub use metrics::{best_f1, f1_at_threshold, pr_auc, Confusion};
 pub use report::Table;
 pub use runner::{run_seeds, RunSummary};
 pub use splits::{Split, SplitConfig};

@@ -169,6 +169,36 @@ pub fn best_f1(scored: &[(f64, bool)]) -> (f64, f64) {
     best
 }
 
+/// F1 of thresholding `scored` at a fixed `threshold` (predict error
+/// iff `score >= threshold`). Error is the positive class. This is the
+/// deployed-model counterpart of [`best_f1`]: the tuned threshold the
+/// artifact ships with, not the oracle cut point.
+///
+/// # Panics
+/// On NaN scores — a NaN comparison would silently predict "correct",
+/// and NaN scores are rejected everywhere else in the metrics.
+pub fn f1_at_threshold(scored: &[(f64, bool)], threshold: f64) -> f64 {
+    assert!(
+        scored.iter().all(|(s, _)| !s.is_nan()),
+        "NaN score in f1_at_threshold"
+    );
+    let mut c = Confusion::default();
+    for &(score, is_error) in scored {
+        let pred = if score >= threshold {
+            Label::Error
+        } else {
+            Label::Correct
+        };
+        let actual = if is_error {
+            Label::Error
+        } else {
+            Label::Correct
+        };
+        c.record(pred, actual);
+    }
+    c.f1()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +384,26 @@ mod props {
             prop_assert!((pr_auc(&scored) - 1.0).abs() < 1e-12);
             prop_assert!((best_f1(&scored).1 - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn f1_at_threshold_matches_hand_confusion() {
+        let scored = [(0.9, true), (0.6, false), (0.4, true), (0.1, false)];
+        // At 0.5: tp=1 fp=1 fn=1 -> precision 0.5, recall 0.5, F1 0.5.
+        assert!((f1_at_threshold(&scored, 0.5) - 0.5).abs() < 1e-12);
+        // At the top score the single prediction is the error: F1 = 2/3.
+        assert!((f1_at_threshold(&scored, 0.9) - 2.0 / 3.0).abs() < 1e-12);
+        // An impossible threshold predicts nothing: F1 = 0.
+        assert_eq!(f1_at_threshold(&scored, 2.0), 0.0);
+        // The tuned-threshold F1 can never beat the oracle cut point.
+        let (thr, best) = best_f1(&scored);
+        assert!(f1_at_threshold(&scored, thr) <= best + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN score")]
+    fn f1_at_threshold_rejects_nan_scores() {
+        f1_at_threshold(&[(f64::NAN, true)], 0.5);
     }
 
     proptest! {

@@ -8,6 +8,9 @@
 //! metrics are higher-is-better, so the check is one-sided: a current
 //! value below `baseline − tolerance` is a regression, an improvement
 //! is reported but always passes (refresh the baseline to ratchet).
+//! Boolean capabilities ([`GATED_BOOLS`], e.g. `would_refit`) ratchet
+//! the same way: once the committed baseline records a detector firing,
+//! a run where it goes quiet fails regardless of tolerance.
 
 use holo_serve::Json;
 
@@ -24,6 +27,11 @@ pub const GATED_METRICS: &[&str] = &[
     "pr_auc_drift_post_refit",
     "f1_drift_post_refit",
 ];
+
+/// Gated boolean capabilities: once the baseline has one `true`, a
+/// current `false` is a regression (a detector that used to fire and no
+/// longer does). A baseline `false` never constrains the current run.
+pub const GATED_BOOLS: &[&str] = &["would_refit"];
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +206,34 @@ pub fn check(current: &Json, baseline: &Json, tolerance: f64) -> Result<CheckRep
                 regressed,
             });
         }
+        for &metric in GATED_BOOLS {
+            // Only gate capabilities the baseline actually has — older
+            // baselines without the key (or with `false`) don't
+            // constrain the current run.
+            let Some(true) = base_q.get(metric).and_then(Json::as_bool) else {
+                continue;
+            };
+            let cur = cur_q.get(metric).and_then(Json::as_bool);
+            let regressed = cur != Some(true);
+            if regressed {
+                failures.push(format!(
+                    "scenario {name:?}: {metric} regressed true → {} \
+                     (a detector that fired in the baseline must keep firing)",
+                    match cur {
+                        Some(b) => b.to_string(),
+                        None => "missing".to_owned(),
+                    }
+                ));
+            }
+            diffs.push(MetricDiff {
+                scenario: name.clone(),
+                metric: metric.to_owned(),
+                baseline: 1.0,
+                current: if cur == Some(true) { 1.0 } else { 0.0 },
+                delta: if cur == Some(true) { 0.0 } else { -1.0 },
+                regressed,
+            });
+        }
     }
     Ok(CheckReport {
         diffs,
@@ -276,6 +312,64 @@ mod tests {
         let base = doc(&[("food", &full_quality(0.6))]);
         let worse = doc(&[("food", &full_quality(0.5999999))]);
         assert!(!check(&worse, &base, 0.0).unwrap().passed());
+    }
+
+    fn doc_with_bool(metrics: &[(&str, f64)], would_refit: Option<bool>) -> Json {
+        let mut quality: Vec<(String, Json)> = metrics
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), Json::Num(*v)))
+            .collect();
+        if let Some(b) = would_refit {
+            quality.push(("would_refit".into(), Json::Bool(b)));
+        }
+        Json::Obj(vec![(
+            "scenarios".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str("census".into())),
+                ("quality".into(), Json::Obj(quality)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn bool_gate_ratchets_would_refit() {
+        let q = full_quality(0.8);
+        let base = doc_with_bool(&q, Some(true));
+        // Still firing: passes, and the bool shows in the diff table.
+        let r = check(&doc_with_bool(&q, Some(true)), &base, 0.05).unwrap();
+        assert!(r.passed());
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| d.metric == "would_refit" && !d.regressed));
+        // Gone quiet: fails regardless of tolerance.
+        let r = check(&doc_with_bool(&q, Some(false)), &base, 10.0).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("would_refit")),
+            "{:?}",
+            r.failures
+        );
+        // Dropped entirely: also fails.
+        assert!(!check(&doc_with_bool(&q, None), &base, 0.05)
+            .unwrap()
+            .passed());
+        // A baseline that never fired constrains nothing.
+        let quiet_base = doc_with_bool(&q, Some(false));
+        assert!(check(&doc_with_bool(&q, Some(false)), &quiet_base, 0.05)
+            .unwrap()
+            .passed());
+        assert!(check(&doc_with_bool(&q, Some(true)), &quiet_base, 0.05)
+            .unwrap()
+            .passed());
+        // Pre-bool baselines (no key at all) are tolerated.
+        assert!(check(
+            &doc_with_bool(&q, Some(false)),
+            &doc(&[("census", &q)]),
+            0.05
+        )
+        .unwrap()
+        .passed());
     }
 
     #[test]

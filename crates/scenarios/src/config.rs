@@ -72,7 +72,14 @@ pub fn census() -> SchemaScenario {
             typo_frac: 0.20, // swap-heavy: FD-violating updates dominate
             missing_frac: 0.05,
             typo_style: TypoStyle::Keyboard,
-            columns: None,
+            // The drifted channel is column-concentrated, as real drift
+            // is (a broken upstream mapping garbles specific fields):
+            // Education (3) and EducationNum (4), Adult's FD pair, so
+            // the swaps actually violate the FD instead of landing on
+            // independent enum columns where no detector — and no
+            // amount of labels — could ever tell a swapped value from
+            // a legitimate one.
+            columns: Some(vec![3, 4]),
         },
     }
 }
@@ -143,6 +150,12 @@ pub struct SuiteConfig {
     /// Include wall-clock latency numbers in the report. Off, the
     /// report is byte-for-byte reproducible for a fixed seed.
     pub emit_latency: bool,
+    /// Operator labels posted on the drifted slice before the refit
+    /// (the adaptive-refit few-shot budget).
+    pub label_budget: usize,
+    /// Label budgets for the offline adaptation sweep (PR-AUC/F1 vs
+    /// #labels per scenario); empty disables the sweep.
+    pub label_sweep: Vec<usize>,
 }
 
 impl Default for SuiteConfig {
@@ -158,6 +171,8 @@ impl Default for SuiteConfig {
             check: None,
             tolerance: 0.05,
             emit_latency: true,
+            label_budget: 20,
+            label_sweep: vec![0, 5, 10, 20],
         }
     }
 }
@@ -203,6 +218,19 @@ impl SuiteConfig {
                     out.tolerance = t;
                 }
                 "--no-latency" => out.emit_latency = false,
+                "--label-budget" => out.label_budget = parse_num(&grab()?, &flag)?,
+                "--label-sweep" => {
+                    let v = grab()?;
+                    if v.trim().is_empty() {
+                        out.label_sweep = Vec::new();
+                    } else {
+                        out.label_sweep = v
+                            .split(',')
+                            .map(|n| parse_num::<usize>(n.trim(), &flag))
+                            .collect::<Result<Vec<_>, _>>()?;
+                    }
+                }
+                "--no-label-sweep" => out.label_sweep = Vec::new(),
                 "--help" | "-h" => {
                     return Err(USAGE.to_owned());
                 }
@@ -243,7 +271,11 @@ pub const USAGE: &str = "usage: holo-scenarios [flags]
   --no-out            don't write a report file
   --check PATH        gate quality against this baseline (exit 1 on regression)
   --tolerance F       allowed per-metric quality drop (default 0.05)
-  --no-latency        omit wall-clock numbers (byte-reproducible output)";
+  --no-latency        omit wall-clock numbers (byte-reproducible output)
+  --label-budget N    operator labels posted before the refit (default 20)
+  --label-sweep a,b,c label budgets for the offline adaptation sweep
+                      (default 0,5,10,20; empty list disables)
+  --no-label-sweep    skip the adaptation sweep";
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
@@ -267,6 +299,22 @@ mod tests {
         assert!(c.check.is_none());
         assert!(c.emit_latency);
         assert_eq!(c.tolerance, 0.05);
+        assert_eq!(c.label_budget, 20);
+        assert_eq!(c.label_sweep, vec![0, 5, 10, 20]);
+    }
+
+    #[test]
+    fn parses_label_flags() {
+        let c = parse(&["--label-budget", "8", "--label-sweep", "0, 4,8"]).unwrap();
+        assert_eq!(c.label_budget, 8);
+        assert_eq!(c.label_sweep, vec![0, 4, 8]);
+        assert!(parse(&["--no-label-sweep"]).unwrap().label_sweep.is_empty());
+        assert!(parse(&["--label-sweep", ""])
+            .unwrap()
+            .label_sweep
+            .is_empty());
+        assert!(parse(&["--label-sweep", "1,x"]).is_err());
+        assert!(parse(&["--label-budget", "-3"]).is_err());
     }
 
     #[test]

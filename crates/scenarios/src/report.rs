@@ -36,6 +36,26 @@ fn quality_json(r: &ScenarioResult) -> Json {
         ),
         ("drift_signal".into(), Json::Num(q.drift_signal)),
         ("would_refit".into(), Json::Bool(q.would_refit)),
+        (
+            "drift_fired".into(),
+            Json::Arr(q.drift_fired.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("labels_used".into(), Json::Num(q.labels_used as f64)),
+        (
+            "label_sweep".into(),
+            Json::Arr(
+                q.label_sweep
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("labels".into(), Json::Num(p.labels as f64)),
+                            ("pr_auc".into(), Json::Num(p.pr_auc)),
+                            ("f1".into(), Json::Num(p.f1)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("n_base_errors".into(), Json::Num(q.n_base_errors as f64)),
         ("n_drift_errors".into(), Json::Num(q.n_drift_errors as f64)),
     ])
@@ -124,7 +144,7 @@ pub fn render_table(report: &SuiteReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::{ScenarioLatency, ScenarioQuality};
+    use crate::run::{ScenarioLatency, ScenarioQuality, SweepPoint};
 
     fn sample() -> SuiteReport {
         SuiteReport {
@@ -150,6 +170,20 @@ mod tests {
                     would_refit: true,
                     n_base_errors: 50,
                     n_drift_errors: 40,
+                    labels_used: 20,
+                    drift_fired: vec!["psi".into(), "ks".into()],
+                    label_sweep: vec![
+                        SweepPoint {
+                            labels: 0,
+                            pr_auc: 0.3,
+                            f1: 0.2,
+                        },
+                        SweepPoint {
+                            labels: 20,
+                            pr_auc: 0.75,
+                            f1: 0.6,
+                        },
+                    ],
                 },
                 latency: ScenarioLatency {
                     fit_secs: 1.5,
@@ -168,6 +202,14 @@ mod tests {
         let with = report_json(&r, true);
         let scenario = &with.get("scenarios").unwrap().as_arr().unwrap()[0];
         assert!(scenario.get("latency").is_some());
+        let q = scenario.get("quality").unwrap();
+        assert_eq!(q.get("labels_used").and_then(Json::as_f64), Some(20.0));
+        let fired = q.get("drift_fired").and_then(Json::as_arr).unwrap();
+        assert_eq!(fired[0].as_str(), Some("psi"));
+        let sweep = q.get("label_sweep").and_then(Json::as_arr).unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[1].get("labels").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(sweep[1].get("pr_auc").and_then(Json::as_f64), Some(0.75));
         assert_eq!(
             scenario
                 .get("quality")

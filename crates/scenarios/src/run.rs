@@ -1,5 +1,5 @@
 //! The scenario lifecycle driver: one schema through
-//! fit → save/load → serve → stream → drift → refit → re-score.
+//! fit → save/load → serve → stream → drift → label → refit → re-score.
 //!
 //! Each scenario exercises every subsystem the repo has grown, in the
 //! order a production deployment would: the model is fitted on a base
@@ -15,9 +15,10 @@
 //! quality numbers stay byte-reproducible for a fixed seed.
 
 use crate::config::{SchemaScenario, SuiteConfig};
-use holo_data::{CellId, Dataset, DatasetBuilder, GroundTruth, Label};
+use holo_adapt::{AdaptConfig, AdaptiveRefit, RowLabel};
+use holo_data::{CellId, Dataset, DatasetBuilder, DeltaOp, GroundTruth};
 use holo_datagen::{generate_clean, inject_errors};
-use holo_eval::{best_f1, pr_auc, Confusion, ModelError, Split, SplitConfig, TrainedModel};
+use holo_eval::{best_f1, f1_at_threshold, pr_auc, ModelError, Split, SplitConfig, TrainedModel};
 use holo_serve::{Json, ModelRegistry, ServeConfig};
 use holo_stream::{LiveModel, StreamConfig};
 use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
@@ -59,6 +60,26 @@ pub struct ScenarioQuality {
     pub n_base_errors: usize,
     /// Injected error cells in the drifted tail.
     pub n_drift_errors: usize,
+    /// Operator labels posted before the refit (the few-shot budget the
+    /// adaptive refit actually consumed).
+    pub labels_used: usize,
+    /// Which drift signals fired after the drifted tail streamed in,
+    /// *before* any labels were posted (wire names, e.g. "psi").
+    pub drift_fired: Vec<String>,
+    /// The offline adaptation sweep: post-refit quality on the drifted
+    /// rows as a function of the label budget.
+    pub label_sweep: Vec<SweepPoint>,
+}
+
+/// One point of the label-budget sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Labels granted to the adaptive refit.
+    pub labels: usize,
+    /// PR-AUC over the drifted rows after that refit.
+    pub pr_auc: f64,
+    /// F1 over the drifted rows at that refit's tuned threshold.
+    pub f1: f64,
 }
 
 /// Wall-clock numbers for one scenario — machine-dependent, reported
@@ -146,19 +167,42 @@ fn scored_cells(scores: &[f64], cells: &[CellId], truth: &GroundTruth) -> Vec<(f
         .collect()
 }
 
-/// F1 of thresholding `scored` at `threshold`.
-fn f1_at(scored: &[(f64, bool)], threshold: f64) -> f64 {
-    let mut c = Confusion::default();
-    for &(s, e) in scored {
-        let pred = if s >= threshold {
-            Label::Error
-        } else {
-            Label::Correct
-        };
-        let actual = if e { Label::Error } else { Label::Correct };
-        c.record(pred, actual);
+/// Deterministic few-shot labels on the drifted slice: rows carrying at
+/// least one injected error first (in row order — the rows an operator
+/// spot-checking flagged cells would label), topped up with clean rows.
+/// `row` indexes into the *live* reference, where drifted row `t` sits
+/// at `base_rows + t`.
+fn few_shot_labels(
+    drift_clean: &Dataset,
+    drift_truth: &GroundTruth,
+    base_rows: usize,
+    budget: usize,
+) -> Vec<RowLabel> {
+    let n_attrs = drift_clean.schema().len();
+    let has_error =
+        |t: usize| (0..n_attrs).any(|a| drift_truth.label(CellId::new(t, a)).is_error());
+    let label_of = |t: usize| RowLabel {
+        row: base_rows + t,
+        clean: drift_clean
+            .tuple_values(t)
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+    };
+    let mut out: Vec<RowLabel> = (0..drift_clean.n_tuples())
+        .filter(|&t| has_error(t))
+        .take(budget)
+        .map(label_of)
+        .collect();
+    if out.len() < budget {
+        out.extend(
+            (0..drift_clean.n_tuples())
+                .filter(|&t| !has_error(t))
+                .take(budget - out.len())
+                .map(label_of),
+        );
     }
-    c.f1()
+    out
 }
 
 /// The training configuration for suite fits: the fast test substrate
@@ -227,7 +271,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     let base_scored = scored_cells(&base_scores, &eval_cells, &base_truth);
     let quality_pr_auc = pr_auc(&base_scored);
     let threshold = fitted.threshold();
-    let quality_f1 = f1_at(&base_scored, threshold);
+    let quality_f1 = f1_at_threshold(&base_scored, threshold);
     let (_, quality_best_f1) = best_f1(&base_scored);
 
     // ---- save / load the artifact ------------------------------------
@@ -255,6 +299,8 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
         drift_threshold: 0.1,
         min_rows_between_refits: (cfg.drift_rows as u64) / 2,
         baseline_sample_rows: 128,
+        refit_label_budget: cfg.label_budget.max(1),
+        ..StreamConfig::default()
     };
     let live = Arc::new(LiveModel::open(&artifact_path, &log_path, stream_cfg)?);
     let registry = Arc::new(ModelRegistry::new());
@@ -320,12 +366,97 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
         .get("would_refit")
         .and_then(Json::as_bool)
         .expect("would_refit field");
+    let drift_fired: Vec<String> = drift_doc
+        .get("fired")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default();
 
     // ---- quality under drift, before the refit -----------------------
     let drift_cells: Vec<CellId> = drift_dirty.cell_ids().collect();
     let pre_scores = live.score_batch(&drift_dirty, &drift_cells)?;
     let pre_scored = scored_cells(&pre_scores, &drift_cells, &drift_truth);
     let pr_auc_drift_pre_refit = pr_auc(&pre_scored);
+
+    // ---- few-shot labels on the drifted slice ------------------------
+    // The drift report above is captured *before* labels land, so
+    // `would_refit`/`fired` reflect the unlabeled detectors. The labels
+    // then ride the wire like an operator would post them, and the
+    // `/refit` below takes the adaptive path over them.
+    let sweep_max = cfg.label_sweep.iter().copied().max().unwrap_or(0);
+    let all_labels = few_shot_labels(
+        &drift_clean,
+        &drift_truth,
+        cfg.rows,
+        cfg.label_budget.max(sweep_max),
+    );
+    let posted = all_labels.len().min(cfg.label_budget);
+    if posted > 0 {
+        let names = drift_clean.schema().names();
+        let items = all_labels[..posted]
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("row".into(), Json::Num(l.row as f64)),
+                    (
+                        "values".into(),
+                        Json::Obj(
+                            names
+                                .iter()
+                                .zip(&l.clean)
+                                .map(|(n, v)| (n.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let body = Json::Obj(vec![("labels".into(), Json::Arr(items))]).to_string();
+        let (status, resp) = http(
+            addr,
+            "POST",
+            &format!("/v1/models/{}/labels", sc.name),
+            &body,
+        );
+        assert_eq!(status, 200, "{}: posting labels failed: {resp}", sc.name);
+    }
+
+    // ---- offline label-budget sweep ----------------------------------
+    // Each budget refits the same pre-refit state (base artifact plus
+    // the drifted tail, reconstructed via the delta path) with the
+    // first `b` labels, then scores the drifted rows. Budget 0 is the
+    // label-free retrain — the floor the adaptation must beat.
+    let mut label_sweep = Vec::with_capacity(cfg.label_sweep.len());
+    for &b in &cfg.label_sweep {
+        let mut pre = FittedHoloDetect::load(&artifact_path)?;
+        for t in 0..drift_dirty.n_tuples() {
+            pre.apply_delta(&DeltaOp::Append {
+                values: drift_dirty
+                    .tuple_values(t)
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect(),
+            })?;
+        }
+        let adapt = AdaptiveRefit::new(AdaptConfig {
+            max_labels: b,
+            seed,
+            ..AdaptConfig::default()
+        });
+        let take = b.min(all_labels.len());
+        let (refitted, _) = adapt.refit(pre, &all_labels[..take])?;
+        let scores = refitted.score_batch(&drift_dirty, &drift_cells)?;
+        let scored = scored_cells(&scores, &drift_cells, &drift_truth);
+        label_sweep.push(SweepPoint {
+            labels: take,
+            pr_auc: pr_auc(&scored),
+            f1: f1_at_threshold(&scored, refitted.threshold()),
+        });
+    }
 
     // ---- drift-triggered refit over the wire -------------------------
     let refit_started = Instant::now();
@@ -342,7 +473,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     let post_scores = live.score_batch(&drift_dirty, &drift_cells)?;
     let post_scored = scored_cells(&post_scores, &drift_cells, &drift_truth);
     let pr_auc_drift_post_refit = pr_auc(&post_scored);
-    let f1_drift_post_refit = f1_at(&post_scored, live.default_threshold());
+    let f1_drift_post_refit = f1_at_threshold(&post_scored, live.default_threshold());
 
     server.shutdown();
     let _ = std::fs::remove_file(&artifact_path);
@@ -366,6 +497,9 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
             would_refit,
             n_base_errors: base_truth.n_errors(),
             n_drift_errors: drift_truth.n_errors(),
+            labels_used: posted,
+            drift_fired,
+            label_sweep,
         },
         latency: ScenarioLatency {
             fit_secs,

@@ -10,14 +10,30 @@
 //! | `POST /v1/models/{name}/reload` | atomic hot-swap from the artifact file    |
 //! | `POST /v1/models/{name}/rows`   | streaming ingest (live models only)       |
 //! | `GET /v1/models/{name}/drift`   | drift report (live models only)           |
+//! | `POST /v1/models/{name}/labels` | operator labels for adaptation (live only)|
 //! | `POST /v1/models/{name}/refit`  | forced refit + hot swap (live models only)|
 //! | `GET /healthz`                  | liveness + registered model names         |
 //! | `GET /metrics`                  | counters, histograms, stream gauges       |
 //!
-//! The three streaming endpoints answer 409 for a model served
+//! The four streaming endpoints answer 409 for a model served
 //! statically; registering a `holo_stream::LiveModel` through
 //! [`ModelRegistry::insert_live`] enables them (see the README's
 //! Streaming section and the `holo-serve --stream` flag).
+//!
+//! A `/labels` body carries labeled rows — the row index into the
+//! served reference plus that row's *clean* values, shaped like any
+//! other row object and validated through the same
+//! [`Schema::row_from_pairs`] path:
+//!
+//! ```json
+//! {"labels": [{"row": 50, "values": {"Zip": "60612", "City": "Chicago"}}]}
+//! ```
+//!
+//! Accepted labels feed the probe drift signal immediately and buffer
+//! for the next refit, which takes the adaptive path (channel learning
+//! and augmentation over ≤ `refit_label_budget` labels). `GET /drift`
+//! reports the full five-signal picture: per-attribute PSI/KS, probe
+//! disagreement, which signals fired, and the pending label count.
 //!
 //! A score/predict body carries schema-shaped rows plus (optionally) the
 //! target cells:
@@ -224,11 +240,12 @@ impl App {
             ("POST", ["v1", "models", name, "reload"]) => self.reload(name),
             ("POST", ["v1", "models", name, "rows"]) => self.ingest_rows(req, name),
             ("GET", ["v1", "models", name, "drift"]) => self.drift(name),
+            ("POST", ["v1", "models", name, "labels"]) => self.labels(req, name),
             ("POST", ["v1", "models", name, "refit"]) => self.refit(name),
             (_, ["healthz" | "metrics"])
             | (
                 _,
-                ["v1", "models", _, "score" | "predict" | "reload" | "rows" | "drift" | "refit"],
+                ["v1", "models", _, "score" | "predict" | "reload" | "rows" | "drift" | "labels" | "refit"],
             ) => Err(Failure {
                 status: 405,
                 msg: format!("method {} not allowed here", req.method),
@@ -280,6 +297,23 @@ impl App {
                 "holo_stream_generation{{model=\"{name}\"}} {}",
                 live.generation()
             );
+            let _ = writeln!(
+                page,
+                "holo_stream_labels_pending{{model=\"{name}\"}} {}",
+                live.labels_pending()
+            );
+            // Per-attribute shape-drift gauges: the quiet-drift signals
+            // the first-moment `holo_stream_drift` gauge cannot see.
+            let names = live.schema().names();
+            for (stat, series) in [("psi", &report.psi), ("ks", &report.ks)] {
+                for (i, v) in series.iter().enumerate() {
+                    let attr = names.get(i).map(String::as_str).unwrap_or("?");
+                    let _ = writeln!(
+                        page,
+                        "holo_adapt_{stat}{{model=\"{name}\",attr=\"{attr}\"}} {v}"
+                    );
+                }
+            }
         }
         page
     }
@@ -330,10 +364,42 @@ impl App {
         ))
     }
 
-    /// `GET /v1/models/{name}/drift` — the drift report.
+    /// `GET /v1/models/{name}/drift` — the five-signal drift report:
+    /// first moments, per-attribute PSI/KS shape statistics, the probe
+    /// pool, which signals fired, and the pending label count.
     fn drift(&self, name: &str) -> Result<Response, Failure> {
         let live = self.live_session(name)?;
         let r = live.drift_report();
+        let names = live.schema().names();
+        let per_attr = |series: &[f64]| {
+            Json::Obj(
+                series
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let attr = names.get(i).map(String::as_str).unwrap_or("?");
+                        (attr.to_string(), Json::Num(v))
+                    })
+                    .collect(),
+            )
+        };
+        let signals = live
+            .drift_stats()
+            .into_iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("signal".into(), Json::Str(s.signal.name().into())),
+                    ("value".into(), Json::Num(s.value)),
+                    ("threshold".into(), Json::Num(s.threshold)),
+                    ("fired".into(), Json::Bool(s.fired)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let fired = r
+            .fired
+            .iter()
+            .map(|s| Json::Str(s.name().into()))
+            .collect::<Vec<_>>();
         Ok(Response::json(
             200,
             Json::Obj(vec![
@@ -359,7 +425,79 @@ impl App {
                     Json::Num(r.baseline_score_mean),
                 ),
                 ("recent_score_mean".into(), Json::Num(r.recent_score_mean)),
+                ("psi".into(), per_attr(&r.psi)),
+                ("psi_max".into(), Json::Num(r.psi_max())),
+                ("ks".into(), per_attr(&r.ks)),
+                ("ks_max".into(), Json::Num(r.ks_max())),
+                ("probe_checked".into(), Json::Num(r.probe_checked as f64)),
+                ("probe_disagreement".into(), Json::Num(r.probe_disagreement)),
+                ("fired".into(), Json::Arr(fired)),
+                ("signals".into(), Json::Arr(signals)),
+                (
+                    "labels_pending".into(),
+                    Json::Num(live.labels_pending() as f64),
+                ),
                 ("refits_total".into(), Json::Num(live.refits_total() as f64)),
+                ("would_refit".into(), Json::Bool(live.should_refit())),
+            ])
+            .to_string(),
+        ))
+    }
+
+    /// `POST /v1/models/{name}/labels` — accept operator labels on the
+    /// served reference. Each label names a row index and that row's
+    /// clean values; the values object is validated into the fitted
+    /// schema through [`Schema::row_from_pairs`], exactly like scoring
+    /// rows. Accepted labels immediately feed the probe drift signal
+    /// and buffer for the next (adaptive) refit.
+    fn labels(&self, req: &Request, name: &str) -> Result<Response, Failure> {
+        let live = self.live_session(name)?;
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| Failure::bad_request("request body is not utf-8"))?;
+        let doc = json::parse_with_limits(body, &self.limits)
+            .map_err(|e| Failure::bad_request(e.to_string()))?;
+        let items = doc
+            .get("labels")
+            .ok_or_else(|| Failure::bad_request("missing \"labels\" array"))?
+            .as_arr()
+            .ok_or_else(|| Failure::bad_request("\"labels\" must be an array of objects"))?;
+        let schema = live.schema().clone();
+        let mut labels = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let row = item.get("row").and_then(Json::as_f64).ok_or_else(|| {
+                Failure::bad_request(format!("labels[{i}]: missing numeric \"row\""))
+            })?;
+            if row < 0.0 || row.fract() != 0.0 || row > u32::MAX as f64 {
+                return Err(Failure::bad_request(format!(
+                    "labels[{i}]: \"row\" {row} is not a valid row index"
+                )));
+            }
+            let values = item.get("values").ok_or_else(|| {
+                Failure::bad_request(format!("labels[{i}]: missing \"values\" object"))
+            })?;
+            let clean = validated_rows(std::slice::from_ref(values), &schema)
+                .map_err(|f| Failure::bad_request(format!("labels[{i}]: {}", f.msg)))?
+                .pop()
+                .ok_or_else(|| Failure::bad_request(format!("labels[{i}]: empty values")))?;
+            labels.push(holo_stream::RowLabel {
+                row: row as usize,
+                clean,
+            });
+        }
+        let accepted = live.add_labels(labels).map_err(Failure::model)?;
+        self.metrics.record_labels_received(accepted);
+        let r = live.drift_report();
+        Ok(Response::json(
+            200,
+            Json::Obj(vec![
+                ("model".into(), Json::Str(name.into())),
+                ("accepted".into(), Json::Num(accepted as f64)),
+                (
+                    "labels_pending".into(),
+                    Json::Num(live.labels_pending() as f64),
+                ),
+                ("probe_checked".into(), Json::Num(r.probe_checked as f64)),
+                ("probe_disagreement".into(), Json::Num(r.probe_disagreement)),
                 ("would_refit".into(), Json::Bool(live.should_refit())),
             ])
             .to_string(),

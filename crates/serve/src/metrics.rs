@@ -130,6 +130,7 @@ pub struct Metrics {
     reloads_total: AtomicU64,
     rows_ingested_total: AtomicU64,
     stream_refits_total: AtomicU64,
+    labels_received_total: AtomicU64,
     /// Request latency in microseconds.
     latency_micros: Histogram,
     /// Cells per `score_batch` call issued by the micro-batcher.
@@ -158,6 +159,7 @@ impl Metrics {
             reloads_total: AtomicU64::new(0),
             rows_ingested_total: AtomicU64::new(0),
             stream_refits_total: AtomicU64::new(0),
+            labels_received_total: AtomicU64::new(0),
             latency_micros: Histogram::new(vec![
                 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
                 1_000_000,
@@ -237,6 +239,11 @@ impl Metrics {
         sat_add(&self.stream_refits_total, 1);
     }
 
+    /// Record operator labels accepted by a `/labels` call.
+    pub fn record_labels_received(&self, labels: usize) {
+        sat_add(&self.labels_received_total, labels as u64);
+    }
+
     /// Total requests recorded so far.
     pub fn requests_total(&self) -> u64 {
         self.requests_total.load(Ordering::Relaxed)
@@ -277,6 +284,11 @@ impl Metrics {
             out,
             "holo_serve_stream_refits_total {}",
             self.stream_refits_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "holo_serve_labels_received_total {}",
+            self.labels_received_total.load(Ordering::Relaxed)
         );
         for (cat, counter) in MODEL_ERROR_CATEGORIES.iter().zip(&self.model_errors) {
             let _ = writeln!(
@@ -370,6 +382,21 @@ mod tests {
         assert!(page.contains("holo_serve_responses_total{class=\"5xx\"} 1"));
         // No latency observation was faked for them.
         assert!(page.contains("holo_serve_request_latency_micros_count 0"));
+    }
+
+    #[test]
+    fn labels_received_counter_renders_and_saturates() {
+        let m = Metrics::new();
+        assert!(m.render().contains("holo_serve_labels_received_total 0"));
+        m.record_labels_received(7);
+        assert!(m.render().contains("holo_serve_labels_received_total 7"));
+        m.labels_received_total.store(u64::MAX, Ordering::Relaxed);
+        m.record_labels_received(3);
+        assert!(
+            m.render()
+                .contains(&format!("holo_serve_labels_received_total {}", u64::MAX)),
+            "counter wrapped"
+        );
     }
 
     #[test]

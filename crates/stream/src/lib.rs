@@ -19,17 +19,25 @@
 //!   representation model with the repo's established parity bar:
 //!   scoring after any delta sequence is **bitwise-identical** to a
 //!   from-scratch rebuild of the count-based state at the same epoch.
-//! * **Drift monitoring** — [`drift::DriftMonitor`] tracks the
-//!   violation rate and mean error score of ingested rows against a
-//!   baseline anchored at the last (re)fit; the gap between them is the
-//!   drift signal ([`drift::DriftReport`]).
+//! * **Drift monitoring** — [`drift::DriftMonitor`] tracks five
+//!   signals of ingested rows against a baseline anchored at the last
+//!   (re)fit: the violation rate and mean error score (first moments),
+//!   per-attribute PSI/KS score-shape statistics from `holo-adapt`
+//!   (which catch the quiet in-domain drift the first two miss), and a
+//!   labeled spot-check probe pool. Which signals fired is part of the
+//!   report ([`drift::DriftReport`], [`drift::SignalStat`]).
 //! * **Background refit** — [`scheduler::RefitScheduler`] watches the
-//!   drift signal off the hot path and, past a configurable threshold,
-//!   runs `refit_with` on a snapshot (classifier + calibration +
-//!   threshold re-learned over the maintained representation), persists
-//!   the result, and hot-swaps it into serving through the caller's
-//!   swap hook (`ModelRegistry::reload` in holo-serve) — scoring never
-//!   blocks on a refit.
+//!   drift signals off the hot path and, past their thresholds, refits
+//!   on a snapshot (classifier + calibration + threshold re-learned
+//!   over the maintained representation), persists the result, and
+//!   hot-swaps it into serving through the caller's swap hook
+//!   (`ModelRegistry::reload` in holo-serve) — scoring never blocks on
+//!   a refit. When operator labels were posted
+//!   ([`live::LiveModel::add_labels`]), the refit takes the *adaptive*
+//!   path: `holo_adapt::AdaptiveRefit` learns the drifted error channel
+//!   from ≤ `refit_label_budget` labels, amplifies it by augmentation,
+//!   and extends the training set — recovering quality a label-free
+//!   retrain cannot.
 //!
 //! [`live::LiveModel`] is the concurrency boundary tying the three
 //! together: scoring takes a read lock, ingest a brief write lock, and
@@ -46,6 +54,7 @@ pub mod drift;
 pub mod live;
 pub mod scheduler;
 
-pub use drift::{DriftMonitor, DriftReport};
+pub use drift::{DriftMonitor, DriftReport, DriftThresholds, SignalStat};
+pub use holo_adapt::{DriftSignal, RowLabel};
 pub use live::{IngestReport, LiveModel, StreamConfig};
 pub use scheduler::{RefitScheduler, RefitTarget};

@@ -18,9 +18,21 @@
 //!   ops arrived mid-refit — so a refit never loses deltas and never
 //!   blocks scoring beyond the final pointer swap.
 //!
-//! Lock order (outermost first): `refit_lock → state → log → drift`.
-//! Any path may take a suffix of that chain, never a prefix out of
-//! order.
+//! Lock order (outermost first):
+//! `refit_lock → state → log → drift → labels`. Any path may take a
+//! suffix of that chain, never a prefix out of order.
+//!
+//! ## Adaptation
+//!
+//! Labels posted through [`LiveModel::add_labels`] serve twice: each
+//! labeled cell is immediately spot-checked against the current model
+//! (feeding the probe drift signal), and the labels are buffered so the
+//! next refit runs the few-shot adaptive path —
+//! `holo_adapt::AdaptiveRefit` learns the drifted error channel from
+//! the labels' `(clean, observed)` pairs, amplifies it, and extends the
+//! training set — instead of retraining on the stale fit-time examples
+//! alone. Labels are only drained once the refit that consumed them
+//! succeeds.
 //!
 //! ## Durability
 //!
@@ -30,7 +42,8 @@
 //! log tail — landing on the exact epoch (and, by the parity bar, the
 //! exact scores) the process died with.
 
-use crate::drift::{DriftMonitor, DriftReport};
+use crate::drift::{DriftMonitor, DriftReport, DriftThresholds, SignalStat};
+use holo_adapt::{AdaptConfig, AdaptiveRefit, RowLabel};
 use holo_data::{binio, CellId, Dataset, DeltaLog, DeltaOp, Schema};
 use holo_eval::{ModelError, TrainedModel};
 use holodetect::FittedHoloDetect;
@@ -114,16 +127,37 @@ fn read_epoch_artifact(path: &Path) -> Result<(FittedHoloDetect, Option<u64>), M
 /// Streaming knobs.
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
-    /// Drift level past which the scheduler (or an operator) should
-    /// refit. Both drift signals live in `[0, 1]`.
+    /// First-moment gap (violation rate / score mean, both in `[0, 1]`)
+    /// past which those signals fire.
     pub drift_threshold: f64,
     /// Don't consider a refit before this many rows arrived since the
     /// last one (keeps a handful of unlucky early rows from triggering
     /// an expensive retrain).
     pub min_rows_between_refits: u64,
     /// Rows sampled (evenly strided) from the reference when anchoring
-    /// the baseline score mean.
+    /// the baseline score mean and score histograms.
     pub baseline_sample_rows: usize,
+    /// Per-attribute PSI past which the PSI signal fires.
+    pub psi_threshold: f64,
+    /// Per-attribute KS statistic past which the KS signal fires.
+    pub ks_threshold: f64,
+    /// Probe disagreement rate past which the probe signal fires.
+    pub probe_threshold: f64,
+    /// Labeled spot checks required before the probe signal may fire.
+    pub min_probe_labels: u64,
+    /// Bins in the drift score histograms. Calibrated error scores
+    /// concentrate near zero (a healthy model scores almost every cell
+    /// well under its threshold), so the shape signals need bins fine
+    /// enough to resolve movement *inside* that low-score mass — at the
+    /// coarse `holo_adapt::DEFAULT_SCORE_BINS` the census quiet swap drift
+    /// is invisible (PSI ≈ 0.04), at 40 bins it is loud (PSI ≈ 0.85).
+    pub score_bins: usize,
+    /// Pending labels the buffer holds before refusing more (back
+    /// pressure; a refit drains what it consumes).
+    pub max_label_buffer: usize,
+    /// Labels one adaptive refit consumes at most (the few-shot
+    /// budget — HoloDetect's §5 regime).
+    pub refit_label_budget: usize,
 }
 
 impl Default for StreamConfig {
@@ -132,6 +166,27 @@ impl Default for StreamConfig {
             drift_threshold: 0.2,
             min_rows_between_refits: 64,
             baseline_sample_rows: 256,
+            psi_threshold: 0.25,
+            ks_threshold: 0.2,
+            probe_threshold: 0.3,
+            min_probe_labels: 8,
+            score_bins: 40,
+            max_label_buffer: 1024,
+            refit_label_budget: 20,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The drift thresholds this configuration implies.
+    pub fn thresholds(&self) -> DriftThresholds {
+        DriftThresholds {
+            gap: self.drift_threshold,
+            psi: self.psi_threshold,
+            ks: self.ks_threshold,
+            probe: self.probe_threshold,
+            min_probe_labels: self.min_probe_labels,
+            score_bins: self.score_bins,
         }
     }
 }
@@ -162,10 +217,15 @@ pub struct LiveModel {
     drift: Mutex<DriftMonitor>,
     /// Serializes refits (scheduler vs. the `/refit` endpoint).
     refit_lock: Mutex<()>,
+    /// Pending operator labels, oldest first — the few-shot budget the
+    /// next adaptive refit draws from. Last in the lock order.
+    labels: Mutex<Vec<RowLabel>>,
     /// Bumped on every install (hot swap).
     generation: AtomicU64,
     rows_ingested: AtomicU64,
     refits: AtomicU64,
+    labels_received: AtomicU64,
+    labels_consumed: AtomicU64,
 }
 
 impl LiveModel {
@@ -200,7 +260,7 @@ impl LiveModel {
             model.apply_delta(op)?;
         }
         let epoch = log.epoch();
-        let drift = DriftMonitor::new_anchored(&model, &cfg);
+        let drift = DriftMonitor::new_anchored(&model, &cfg)?;
         Ok(LiveModel {
             path: artifact_path.to_path_buf(),
             schema,
@@ -209,9 +269,12 @@ impl LiveModel {
             log: Mutex::new(log),
             drift: Mutex::new(drift),
             refit_lock: Mutex::new(()),
+            labels: Mutex::new(Vec::new()),
             generation: AtomicU64::new(0),
             rows_ingested: AtomicU64::new(0),
             refits: AtomicU64::new(0),
+            labels_received: AtomicU64::new(0),
+            labels_consumed: AtomicU64::new(0),
         })
     }
 
@@ -399,13 +462,14 @@ impl LiveModel {
             (violating, st.model.score_batch(reference, &cells)?)
         };
 
-        let score_sum: f64 = scores.iter().sum();
         let drift = {
             // Recover even though this mutates: the rows are already
             // durably logged and applied, so failing the whole ingest
             // over advisory drift bookkeeping would mislead the caller.
+            // A NaN score still errors out (`record_batch`): that is
+            // model corruption, not advisory bookkeeping.
             let mut d = self.drift.lock().unwrap_or_else(PoisonError::into_inner);
-            d.record_batch(appended as u64, violating, score_sum, scores.len() as u64);
+            d.record_batch(appended as u64, violating, &scores)?;
             d.report().drift
         };
         sat_add(&self.rows_ingested, appended as u64);
@@ -424,19 +488,118 @@ impl LiveModel {
             .report()
     }
 
-    /// `true` when the scheduler should refit: enough rows since the
-    /// last refit and drift past the threshold.
-    pub fn should_refit(&self) -> bool {
-        let r = self.drift_report();
-        r.rows_since_refit >= self.cfg.min_rows_between_refits && r.drift > self.cfg.drift_threshold
+    /// Every drift signal's current value against its threshold — the
+    /// diagnosis `GET /drift` serves alongside the report.
+    pub fn drift_stats(&self) -> Vec<SignalStat> {
+        self.drift
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
-    /// Run `refit_with` on a snapshot of the current state — classifier,
+    /// `true` when the scheduler should refit: enough rows since the
+    /// last refit and at least one drift signal past its threshold.
+    pub fn should_refit(&self) -> bool {
+        let r = self.drift_report();
+        r.rows_since_refit >= self.cfg.min_rows_between_refits && !r.fired.is_empty()
+    }
+
+    /// Operator labels waiting for the next adaptive refit.
+    pub fn labels_pending(&self) -> usize {
+        self.labels
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Labels accepted over this process's lifetime.
+    pub fn labels_received(&self) -> u64 {
+        self.labels_received.load(Ordering::Relaxed)
+    }
+
+    /// Labels consumed by completed refits over this process's lifetime.
+    pub fn labels_consumed(&self) -> u64 {
+        self.labels_consumed.load(Ordering::Relaxed)
+    }
+
+    /// Accept operator labels on the maintained reference: validate
+    /// them against the current state, spot-check every labeled cell
+    /// against the model's prediction (the probe drift signal), and
+    /// buffer them for the next adaptive refit. Returns how many labels
+    /// were accepted (all of them, or a typed error — never a silent
+    /// partial accept).
+    ///
+    /// # Errors
+    /// [`ModelError::CellOutOfBounds`] / [`ModelError::Format`] for a
+    /// label addressing outside the reference or with the wrong arity;
+    /// [`ModelError::Format`] when the buffer is full (back pressure —
+    /// refit to drain it).
+    pub fn add_labels(&self, new_labels: Vec<RowLabel>) -> Result<usize, ModelError> {
+        if new_labels.is_empty() {
+            return Ok(0);
+        }
+        {
+            let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
+            let Some(artifact) = st.model.artifact() else {
+                return Err(ModelError::Degenerate {
+                    method: st.model.method().to_owned(),
+                });
+            };
+            let reference = artifact.reference();
+            let (nt, na) = (reference.n_tuples(), reference.n_attrs());
+            for label in &new_labels {
+                if label.row >= nt {
+                    return Err(ModelError::CellOutOfBounds {
+                        cell: CellId::new(label.row, 0),
+                        n_tuples: nt,
+                        n_attrs: na,
+                    });
+                }
+                if label.clean.len() != na {
+                    return Err(ModelError::Format(format!(
+                        "label for row {} has arity {}, schema has {}",
+                        label.row,
+                        label.clean.len(),
+                        na
+                    )));
+                }
+            }
+            // Every label doubles as a spot check of the current model.
+            let mut d = self.drift.lock().unwrap_or_else(PoisonError::into_inner);
+            AdaptiveRefit::default().probe(&st.model, &new_labels, d.probes_mut())?;
+        }
+        let accepted = new_labels.len();
+        {
+            let mut buf = self.labels.lock().map_err(|_| poisoned("label buffer"))?;
+            if buf.len().saturating_add(accepted) > self.cfg.max_label_buffer {
+                return Err(ModelError::Format(format!(
+                    "label buffer full ({} pending, capacity {}); refit to drain it",
+                    buf.len(),
+                    self.cfg.max_label_buffer
+                )));
+            }
+            buf.extend(new_labels);
+        }
+        sat_add(&self.labels_received, accepted as u64);
+        Ok(accepted)
+    }
+
+    /// Refit on a snapshot of the current state — classifier,
     /// calibration, and threshold re-learned over the maintained
     /// representation — persist the result atomically to the artifact
     /// path, and compact the log to the snapshot's epoch. Scoring and
     /// ingest proceed throughout: the only state lock taken is a read
     /// lock for the in-memory snapshot.
+    ///
+    /// When operator labels are pending ([`LiveModel::add_labels`]),
+    /// this is the *adaptive* path: up to `refit_label_budget` labels
+    /// are turned into drifted-channel training examples by
+    /// `holo_adapt::AdaptiveRefit` (learn the channel from the labels'
+    /// error pairs, amplify by augmentation) before the retrain — the
+    /// only way a refit recovers from a changed error channel. Consumed
+    /// labels are drained only after the refit succeeds, so a failed
+    /// refit loses nothing. With no labels pending this degrades to the
+    /// label-free `refit_with(vec![])`.
     ///
     /// The refitted artifact is *not* installed; hot-swapping happens
     /// through the serving registry's reload (or [`LiveModel::refit_now`]
@@ -454,8 +617,23 @@ impl LiveModel {
             st.model.save_to(&mut buf)?;
             (buf, st.epoch)
         };
+        // Snapshot the label budget *after* the state snapshot: labels
+        // are validated against the reference at add time and the
+        // session is append-only, so every buffered label addresses
+        // inside the snapshot's reference.
+        let label_snapshot: Vec<RowLabel> = {
+            let buf = self.labels.lock().map_err(|_| poisoned("label buffer"))?;
+            buf.iter()
+                .take(self.cfg.refit_label_budget)
+                .cloned()
+                .collect()
+        };
         let copy = FittedHoloDetect::load_from(&mut std::io::Cursor::new(snapshot))?;
-        let refitted = copy.refit_with(Vec::new())?;
+        let adapt = AdaptiveRefit::new(AdaptConfig {
+            max_labels: self.cfg.refit_label_budget,
+            ..AdaptConfig::default()
+        });
+        let (refitted, adapt_report) = adapt.refit(copy, &label_snapshot)?;
         // The epoch rides inside the atomically renamed file, so a
         // crash between this rename and the compaction below cannot
         // desynchronize them: `open` sees artifact-epoch > log-horizon
@@ -464,6 +642,15 @@ impl LiveModel {
         {
             let mut log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             log.compact_through(base_epoch)?;
+        }
+        // The refit is durable — now (and only now) drain the labels it
+        // consumed. New labels appended mid-refit sit behind the
+        // snapshot prefix and survive for the next round.
+        {
+            let mut buf = self.labels.lock().map_err(|_| poisoned("label buffer"))?;
+            let consumed = adapt_report.labeled_rows.min(buf.len());
+            buf.drain(..consumed);
+            sat_add(&self.labels_consumed, consumed as u64);
         }
         sat_add(&self.refits, 1);
         Ok(base_epoch)
@@ -525,7 +712,7 @@ impl LiveModel {
         // would block every concurrent scorer mid-swap.
         let anchored = {
             let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
-            DriftMonitor::new_anchored(&st.model, &self.cfg)
+            DriftMonitor::new_anchored(&st.model, &self.cfg)?
         };
         // Whole-value overwrite, so recovery is safe even on this write.
         *self.drift.lock().unwrap_or_else(PoisonError::into_inner) = anchored;
@@ -554,25 +741,42 @@ impl LiveModel {
 
 impl DriftMonitor {
     /// A monitor anchored at `model`'s current statistics: the
-    /// reference's violation rate and the mean score over an evenly
-    /// strided sample of reference rows.
-    pub fn new_anchored(model: &FittedHoloDetect, cfg: &StreamConfig) -> DriftMonitor {
+    /// reference's violation rate, plus the mean score *and*
+    /// per-attribute score histograms over an evenly strided sample of
+    /// reference rows.
+    ///
+    /// # Errors
+    /// [`ModelError::Format`] if the model produces a NaN score over
+    /// its own reference (model corruption).
+    pub fn new_anchored(
+        model: &FittedHoloDetect,
+        cfg: &StreamConfig,
+    ) -> Result<DriftMonitor, ModelError> {
         let (_, violation_rate) = model.violation_stats();
-        let score_mean = baseline_score_mean(model, cfg.baseline_sample_rows);
-        DriftMonitor::new(violation_rate, score_mean)
+        let n_attrs = model.artifact().map_or(0, |a| a.reference().n_attrs());
+        let scores = baseline_scores(model, cfg.baseline_sample_rows);
+        let score_mean = if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        };
+        let mut m = DriftMonitor::new(violation_rate, score_mean, n_attrs, cfg.thresholds());
+        m.record_baseline_scores(&scores)?;
+        Ok(m)
     }
 }
 
-/// Mean score over every cell of up to `sample_rows` evenly strided
-/// reference rows. `0.0` for a degenerate model or empty reference.
-fn baseline_score_mean(model: &FittedHoloDetect, sample_rows: usize) -> f64 {
+/// Scores of every cell of up to `sample_rows` evenly strided reference
+/// rows, in row-major `(tuple, attr)` order (the layout the drift
+/// histograms expect). Empty for a degenerate model or empty reference.
+fn baseline_scores(model: &FittedHoloDetect, sample_rows: usize) -> Vec<f64> {
     let Some(artifact) = model.artifact() else {
-        return 0.0;
+        return Vec::new();
     };
     let reference = artifact.reference();
     let nt = reference.n_tuples();
     if nt == 0 || sample_rows == 0 {
-        return 0.0;
+        return Vec::new();
     }
     let stride = nt.div_ceil(sample_rows).max(1);
     let na = reference.n_attrs();
@@ -580,10 +784,7 @@ fn baseline_score_mean(model: &FittedHoloDetect, sample_rows: usize) -> f64 {
         .step_by(stride)
         .flat_map(|t| (0..na).map(move |a| CellId::new(t, a)))
         .collect();
-    match model.score_batch(reference, &cells) {
-        Ok(scores) if !scores.is_empty() => scores.iter().sum::<f64>() / scores.len() as f64,
-        _ => 0.0,
-    }
+    model.score_batch(reference, &cells).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -747,6 +948,7 @@ mod tests {
                 drift_threshold: 0.2,
                 min_rows_between_refits: 8,
                 baseline_sample_rows: 64,
+                ..StreamConfig::default()
             },
         )
         .unwrap();
@@ -916,6 +1118,64 @@ mod tests {
             LiveModel::open(&artifact, &log, StreamConfig::default()),
             Err(ModelError::Format(_))
         ));
+        cleanup(&[&artifact, &log]);
+    }
+
+    #[test]
+    fn labels_probe_the_model_and_adaptive_refit_drains_them() {
+        let (artifact, log) = fit_artifact("labels");
+        let live = LiveModel::open(&artifact, &log, StreamConfig::default()).unwrap();
+        // Swap-drifted rows: zips and cities crossed, all in-domain.
+        let drifted: Vec<Vec<String>> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec!["60612".into(), "Madison".into()]
+                } else {
+                    vec!["53703".into(), "Chicago".into()]
+                }
+            })
+            .collect();
+        live.ingest_rows(drifted).unwrap();
+        // The reference had 50 rows; label 4 of the appended ones with
+        // their clean versions (one cell of each is the swap error).
+        let labels: Vec<RowLabel> = (0..4)
+            .map(|i| RowLabel {
+                row: 50 + i,
+                clean: if i % 2 == 0 {
+                    vec!["60612".into(), "Chicago".into()]
+                } else {
+                    vec!["53703".into(), "Madison".into()]
+                },
+            })
+            .collect();
+        assert_eq!(live.add_labels(labels).unwrap(), 4);
+        assert_eq!(live.labels_pending(), 4);
+        assert_eq!(live.labels_received(), 4);
+        // Every labeled cell became a probe spot check.
+        assert_eq!(live.drift_report().probe_checked, 8);
+        // Bad labels are typed refusals that leave the buffer alone.
+        assert!(matches!(
+            live.add_labels(vec![RowLabel {
+                row: 9999,
+                clean: vec!["a".into(), "b".into()],
+            }]),
+            Err(ModelError::CellOutOfBounds { .. })
+        ));
+        assert!(live
+            .add_labels(vec![RowLabel {
+                row: 0,
+                clean: vec!["one".into()],
+            }])
+            .is_err());
+        assert_eq!(live.labels_pending(), 4);
+        // The adaptive refit consumes the labels and drains the buffer
+        // only after succeeding; the re-anchor forgets the old model's
+        // probe checks.
+        live.refit_now().unwrap();
+        assert_eq!(live.labels_pending(), 0);
+        assert_eq!(live.labels_consumed(), 4);
+        assert_eq!(live.drift_report().probe_checked, 0);
+        assert!(live.refits_total() >= 1);
         cleanup(&[&artifact, &log]);
     }
 

@@ -6,7 +6,10 @@
 //! serving lock) and then fires the target's swap hook — in holo-serve
 //! that hook is `ModelRegistry::reload`, so the refitted artifact
 //! enters serving through the exact generation-bumped hot-swap path a
-//! manual reload uses, and scoring never blocks.
+//! manual reload uses, and scoring never blocks. When operator labels
+//! are buffered on the model, the refit it triggers is the *adaptive*
+//! one: `holo_adapt::AdaptiveRefit` turns those labels into learned
+//! channel + amplified training examples before retraining.
 //!
 //! A refit failure (degenerate snapshot, disk trouble) is recorded and
 //! retried on a later tick; it never kills the scheduler thread.
@@ -184,6 +187,7 @@ mod tests {
                     drift_threshold: 0.2,
                     min_rows_between_refits: 8,
                     baseline_sample_rows: 64,
+                    ..StreamConfig::default()
                 },
             )
             .unwrap(),

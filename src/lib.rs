@@ -60,11 +60,15 @@
 //! * [`scenarios`] — the multi-dataset scenario suite: paper-style
 //!   schemas driven through fit → serve → stream → drift → refit with
 //!   PR-AUC/F1 tracked per schema and gated in CI against
-//!   `BENCH_scenarios.json`.
+//!   `BENCH_scenarios.json`,
+//! * [`adapt`] — few-shot drift adaptation: PSI/KS score-distribution
+//!   drift detection, labeled probe pools, and the label → channel →
+//!   augment → refit pipeline that recovers quality on quiet drift.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub use holo_adapt as adapt;
 pub use holo_baselines as baselines;
 pub use holo_channel as channel;
 pub use holo_constraints as constraints;

@@ -30,6 +30,8 @@ fn tiny_config() -> SuiteConfig {
         check: None,
         tolerance: 0.05,
         emit_latency: false,
+        label_budget: 6,
+        label_sweep: vec![0, 6],
     }
 }
 
@@ -86,6 +88,28 @@ fn fixed_seed_reproduces_scenarios_json_byte_for_byte() {
             .unwrap()
             > 0.0
     );
+    // The adaptation story must be in the report: a firing verdict, the
+    // per-detector names, the labels actually spent, and the label-
+    // budget sweep at exactly the configured budgets with sane curves.
+    assert!(quality.get("would_refit").and_then(Json::as_bool).is_some());
+    assert!(quality.get("drift_fired").and_then(Json::as_arr).is_some());
+    assert!(quality.get("labels_used").and_then(Json::as_f64).unwrap() <= 6.0);
+    let sweep = quality
+        .get("label_sweep")
+        .and_then(Json::as_arr)
+        .expect("label_sweep array");
+    let budgets: Vec<f64> = sweep
+        .iter()
+        .map(|p| p.get("labels").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert_eq!(budgets, vec![0.0, 6.0]);
+    for p in sweep {
+        let pr = p
+            .get("pr_auc")
+            .and_then(Json::as_f64)
+            .expect("sweep pr_auc");
+        assert!((0.0..=1.0).contains(&pr), "sweep pr_auc out of range: {pr}");
+    }
 }
 
 #[test]
@@ -96,7 +120,13 @@ fn quality_gate_passes_on_itself_and_fails_on_injected_regression() {
     // Gate against the run's own numbers: zero tolerance, must pass.
     let self_check = check(&current, &current, 0.0).expect("self-check runs");
     assert!(self_check.passed(), "{:?}", self_check.failures);
-    assert_eq!(self_check.diffs.len(), GATED_METRICS.len());
+    // All gated metrics are compared, plus the would_refit capability
+    // ratchet when the run's detector fired.
+    let fired = a.scenarios[0].quality.would_refit;
+    assert_eq!(
+        self_check.diffs.len(),
+        GATED_METRICS.len() + usize::from(fired)
+    );
 
     // Inject a quality regression: pretend the committed baseline had a
     // much better base PR-AUC than this run achieved.

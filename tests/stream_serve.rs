@@ -221,6 +221,7 @@ fn drift_and_refit_endpoints_report_and_hot_swap() {
             drift_threshold: 0.2,
             min_rows_between_refits: 8,
             baseline_sample_rows: 64,
+            ..StreamConfig::default()
         },
     );
     let registry = Arc::new(ModelRegistry::new());
@@ -290,6 +291,7 @@ fn stream_endpoints_on_static_models_are_409() {
     assert_eq!(status, 409, "body: {body}");
     assert!(body.contains("streaming"), "body: {body}");
     assert_eq!(http(addr, "GET", "/v1/models/plain/drift", "").0, 409);
+    assert_eq!(post(addr, "/v1/models/plain/labels", "{}").0, 409);
     assert_eq!(post(addr, "/v1/models/plain/refit", "").0, 409);
     assert_eq!(post(addr, "/v1/models/ghost/rows", "{}").0, 404);
     assert_eq!(post(addr, "/v1/models/plain/drift", "").0, 405);
@@ -312,6 +314,7 @@ fn scoring_and_ingest_stay_available_during_drift_triggered_refit() {
             drift_threshold: 0.2,
             min_rows_between_refits: 8,
             baseline_sample_rows: 64,
+            ..StreamConfig::default()
         },
     );
     let registry = Arc::new(ModelRegistry::new());
@@ -434,6 +437,118 @@ fn scoring_and_ingest_stay_available_during_drift_triggered_refit() {
     assert_eq!(scores_of(&resp), direct);
 
     scheduler.shutdown();
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+/// The adaptation loop over HTTP: operator labels are validated through
+/// the schema path, feed the probe signal, show up in the enriched
+/// drift report and metrics, and drain through a refit.
+#[test]
+fn labels_endpoint_probes_buffers_and_adapts_the_refit() {
+    let (live, artifact, log) = fit_live("labels", StreamConfig::default());
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_live("food", Arc::clone(&live));
+    let server = start_server(registry);
+    let addr = server.addr();
+
+    // Swap-drifted traffic: in-domain values, crossed pairs.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/rows",
+        &rows_body(&[
+            ("60612", "Madison"),
+            ("53703", "Chicago"),
+            ("60612", "Madison"),
+            ("53703", "Chicago"),
+            ("60612", "Madison"),
+            ("53703", "Chicago"),
+        ]),
+    );
+    assert_eq!(status, 200, "body: {body}");
+
+    // Label four of the appended rows (reference had 50) with their
+    // clean versions; the values object rides the row validation path.
+    let labels_body = r#"{"labels": [
+        {"row": 50, "values": {"Zip": "60612", "City": "Chicago"}},
+        {"row": 51, "values": {"Zip": "53703", "City": "Madison"}},
+        {"row": 52, "values": {"Zip": "60612", "City": "Chicago"}},
+        {"row": 53, "values": {"Zip": "53703", "City": "Madison"}}
+    ]}"#;
+    let (status, body) = post(addr, "/v1/models/food/labels", labels_body);
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(field(&body, "accepted"), 4.0);
+    assert_eq!(field(&body, "labels_pending"), 4.0);
+    assert_eq!(field(&body, "probe_checked"), 8.0, "2 cells per label");
+
+    // The enriched drift report names the shape statistics per
+    // attribute and which signals fired.
+    let (status, body) = http(addr, "GET", "/v1/models/food/drift", "");
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(field(&body, "labels_pending"), 4.0);
+    assert_eq!(field(&body, "probe_checked"), 8.0);
+    let doc = serve::parse_json(&body).expect("drift json");
+    for stat in ["psi", "ks"] {
+        let per_attr = doc.get(stat).unwrap_or_else(|| panic!("no {stat}"));
+        for attr in ["Zip", "City"] {
+            assert!(
+                per_attr.get(attr).and_then(Json::as_f64).is_some(),
+                "{stat} missing attribute {attr}: {body}"
+            );
+        }
+    }
+    assert!(doc.get("fired").and_then(Json::as_arr).is_some(), "{body}");
+    let signals = doc
+        .get("signals")
+        .and_then(Json::as_arr)
+        .expect("signals array");
+    assert_eq!(signals.len(), 5, "five drift signals: {body}");
+
+    // Validation failures are 400s that name the problem and leave the
+    // buffer alone; wrong method is a 405.
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/labels",
+        r#"{"labels": [{"row": 0, "values": {"Zip": "1", "Town": "x"}}]}"#,
+    );
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("Town"), "body: {body}");
+    let (status, body) = post(
+        addr,
+        "/v1/models/food/labels",
+        r#"{"labels": [{"row": 9999, "values": {"Zip": "1", "City": "x"}}]}"#,
+    );
+    assert_eq!(status, 400, "body: {body}");
+    assert_eq!(live.labels_pending(), 4);
+    assert_eq!(http(addr, "GET", "/v1/models/food/labels", "").0, 405);
+
+    // Metrics: the labels counter, the pending gauge, and per-attribute
+    // PSI/KS gauges.
+    let (_, page) = http(addr, "GET", "/metrics", "");
+    assert!(
+        page.contains("holo_serve_labels_received_total 4"),
+        "{page}"
+    );
+    assert!(
+        page.contains("holo_stream_labels_pending{model=\"food\"} 4"),
+        "{page}"
+    );
+    assert!(
+        page.contains("holo_adapt_psi{model=\"food\",attr=\"Zip\"}"),
+        "{page}"
+    );
+    assert!(
+        page.contains("holo_adapt_ks{model=\"food\",attr=\"City\"}"),
+        "{page}"
+    );
+
+    // A forced refit consumes the labels through the adaptive path.
+    let (status, body) = post(addr, "/v1/models/food/refit", "");
+    assert_eq!(status, 200, "body: {body}");
+    let (_, body) = http(addr, "GET", "/v1/models/food/drift", "");
+    assert_eq!(field(&body, "labels_pending"), 0.0, "body: {body}");
+
     server.shutdown();
     std::fs::remove_file(&artifact).ok();
     std::fs::remove_file(&log).ok();
