@@ -43,4 +43,4 @@ pub mod refit;
 
 pub use detect::{ks, psi, DriftSignal, ScoreHistogram, DEFAULT_SCORE_BINS};
 pub use probe::{ProbePool, DEFAULT_PROBE_CAPACITY};
-pub use refit::{AdaptConfig, AdaptReport, AdaptiveRefit, RowLabel};
+pub use refit::{AdaptConfig, AdaptReport, AdaptTiming, AdaptiveRefit, RowLabel};

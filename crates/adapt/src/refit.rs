@@ -18,6 +18,7 @@ use crate::ProbePool;
 use holo_channel::{augment_to_ratio, AugmentConfig, NaiveBayesRepair, Policy, RepairConfig};
 use holo_data::{CellId, Dataset, Label};
 use holo_eval::{ModelError, TrainedModel};
+use holo_trace::Stopwatch;
 use holodetect::trainer::TrainExample;
 use holodetect::FittedHoloDetect;
 
@@ -131,6 +132,22 @@ pub struct AdaptReport {
     pub replication: usize,
 }
 
+/// Wall-clock attribution for one adaptation pass, kept apart from
+/// [`AdaptReport`] so the report stays deterministic (and `Eq`) for a
+/// fixed seed. The live model folds these into its refit timelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptTiming {
+    /// Turning labeled rows into per-cell examples and channel pairs.
+    pub label_drain_micros: u64,
+    /// Learning the drifted channel (Algorithms 1 + 2) from the pairs.
+    pub channel_learn_micros: u64,
+    /// Amplifying and broadcasting the channel (Algorithm 4).
+    pub augment_micros: u64,
+    /// `FittedHoloDetect::refit_with` (plus the optional self-repair
+    /// pass and its retrain) — the expensive retrain itself.
+    pub refit_with_micros: u64,
+}
+
 /// The label → channel → augment → refit pipeline. Stateless besides
 /// its configuration; every method is deterministic for a fixed seed.
 #[derive(Debug, Clone, Default)]
@@ -164,6 +181,24 @@ impl AdaptiveRefit {
         reference: &Dataset,
         labels: &[RowLabel],
     ) -> Result<(Vec<TrainExample>, AdaptReport), ModelError> {
+        let (examples, report, _) = self.examples_timed(reference, labels)?;
+        Ok((examples, report))
+    }
+
+    /// [`AdaptiveRefit::examples`] plus wall-clock attribution for the
+    /// drain / channel-learn / augment phases (an [`AdaptTiming`] with
+    /// `refit_with_micros` left zero — only [`AdaptiveRefit::refit_timed`]
+    /// runs the retrain).
+    ///
+    /// # Errors
+    /// Exactly those of [`AdaptiveRefit::examples`].
+    pub fn examples_timed(
+        &self,
+        reference: &Dataset,
+        labels: &[RowLabel],
+    ) -> Result<(Vec<TrainExample>, AdaptReport, AdaptTiming), ModelError> {
+        let mut timing = AdaptTiming::default();
+        let drain_clock = Stopwatch::start();
         let nt = reference.n_tuples();
         let na = reference.n_attrs();
         let budget = labels.len().min(self.cfg.max_labels);
@@ -212,13 +247,17 @@ impl AdaptiveRefit {
                 }
             }
         }
+        timing.label_drain_micros = drain_clock.elapsed_micros();
 
         // Algorithm 1 + 2 on the drifted error pairs.
+        let channel_clock = Stopwatch::start();
         let policy = Policy::from_pairs(&pairs);
         report.channel_size = policy.len();
+        timing.channel_learn_micros = channel_clock.elapsed_micros();
 
         // Algorithm 4: amplify the few real errors to the target ratio,
         // in the labeled correct cells' own tuple contexts.
+        let augment_clock = Stopwatch::start();
         let values: Vec<String> = corrects.iter().map(|(_, v)| v.clone()).collect();
         let aug_cfg = AugmentConfig {
             seed: self.cfg.seed,
@@ -306,7 +345,8 @@ impl AdaptiveRefit {
                 });
             }
         }
-        Ok((examples, report))
+        timing.augment_micros = augment_clock.elapsed_micros();
+        Ok((examples, report, timing))
     }
 
     /// The whole adaptive path: build examples from `labels` and hand
@@ -323,12 +363,27 @@ impl AdaptiveRefit {
         model: FittedHoloDetect,
         labels: &[RowLabel],
     ) -> Result<(FittedHoloDetect, AdaptReport), ModelError> {
+        let (refitted, report, _) = self.refit_timed(model, labels)?;
+        Ok((refitted, report))
+    }
+
+    /// [`AdaptiveRefit::refit`] plus wall-clock attribution for every
+    /// phase — the live model's refit timelines record these.
+    ///
+    /// # Errors
+    /// Exactly those of [`AdaptiveRefit::refit`].
+    pub fn refit_timed(
+        &self,
+        model: FittedHoloDetect,
+        labels: &[RowLabel],
+    ) -> Result<(FittedHoloDetect, AdaptReport, AdaptTiming), ModelError> {
         let Some(artifact) = model.artifact() else {
             return Err(ModelError::Degenerate {
                 method: model.method().to_owned(),
             });
         };
-        let (examples, mut report) = self.examples(artifact.reference(), labels)?;
+        let (examples, mut report, mut timing) =
+            self.examples_timed(artifact.reference(), labels)?;
         let examples = self.weight_fresh(examples, model.n_train_examples(), &mut report);
         let mut model = model;
         if self.cfg.repair_labeled {
@@ -358,6 +413,7 @@ impl AdaptiveRefit {
                 }
             }
         }
+        let train_clock = Stopwatch::start();
         let mut refitted = model.refit_with(examples)?;
         if self.cfg.self_repair {
             report.self_repaired_cells = self.self_repair_pass(&mut refitted, labels)?;
@@ -365,7 +421,8 @@ impl AdaptiveRefit {
                 refitted = refitted.refit_with(Vec::new())?;
             }
         }
-        Ok((refitted, report))
+        timing.refit_with_micros = train_clock.elapsed_micros();
+        Ok((refitted, report, timing))
     }
 
     /// The model-guided repair pass: score every reference cell with

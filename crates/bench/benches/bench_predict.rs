@@ -60,9 +60,9 @@ fn bench_fit_vs_predict(c: &mut Criterion) {
     let det = HoloDetect::new(cfg());
 
     // The one-time training cost.
-    let fit_started = std::time::Instant::now();
+    let fit_clock = holo_trace::Stopwatch::start();
     let model = det.fit_model(&ctx);
-    let fit_secs = fit_started.elapsed().as_secs_f64();
+    let fit_secs = fit_clock.elapsed_secs();
 
     // Reuse cost: one 500-cell batch through the fitted model.
     c.bench_function("predict_batch_500", |b| {
@@ -116,16 +116,16 @@ fn bench_fit_vs_predict(c: &mut Criterion) {
     });
 
     // Per-batch predict wall-clock, measured directly for the summary.
-    let predict_started = std::time::Instant::now();
+    let predict_clock = holo_trace::Stopwatch::start();
     let _ = model
         .predict_batch(&w.g.dirty, &cells[..BATCH], 0.5)
         .expect("schema-compatible");
-    let batch_secs = predict_started.elapsed().as_secs_f64();
+    let batch_secs = predict_clock.elapsed_secs();
 
     // Artifact-load wall-clock, measured directly for the summary.
-    let load_started = std::time::Instant::now();
+    let load_clock = holo_trace::Stopwatch::start();
     let loaded = FittedHoloDetect::load(&artifact_path).expect("load artifact");
-    let load_secs = load_started.elapsed().as_secs_f64();
+    let load_secs = load_clock.elapsed_secs();
     drop(loaded);
     std::fs::remove_file(&artifact_path).ok();
 

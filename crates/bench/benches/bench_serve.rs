@@ -11,7 +11,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use holo_data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
 use holo_eval::{FitContext, TrainedModel};
-use holo_serve::{BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig};
+use holo_serve::{
+    BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig, TraceConfig,
+};
 use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -107,6 +109,7 @@ fn start(path: &std::path::Path, workers: usize, batch: BatchConfig) -> RunningS
                 ..HttpConfig::default()
             },
             batch,
+            trace: TraceConfig::default(),
         },
         registry,
     )

@@ -24,9 +24,9 @@ use holo_data::{CellId, Dataset, DatasetBuilder, DeltaOp, GroundTruth, Schema};
 use holo_eval::FitContext;
 use holo_features::{FeatureConfig, Featurizer};
 use holo_stream::{LiveModel, StreamConfig};
+use holo_trace::Stopwatch;
 use holodetect::{HoloDetect, HoloDetectConfig};
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Reference size for the delta-vs-rebuild comparison (the acceptance
 /// bar demands ≥ 1k rows).
@@ -81,19 +81,19 @@ fn bench_apply_delta_vs_rebuild(c: &mut Criterion) -> (f64, f64) {
     });
 
     // Direct wall-clock for the asserted ratio and the JSON summary.
-    let started = Instant::now();
+    let clock = Stopwatch::start();
     let delta_rounds = 200;
     for i in 0..delta_rounds {
         live.apply_delta(&append(1000 + i)).expect("apply");
     }
-    let delta_secs = started.elapsed().as_secs_f64() / delta_rounds as f64;
+    let delta_secs = clock.elapsed_secs() / delta_rounds as f64;
 
-    let started = Instant::now();
+    let clock = Stopwatch::start();
     let rebuild_rounds = 5;
     for _ in 0..rebuild_rounds {
         black_box(baseline.rebuilt_at(&d));
     }
-    let rebuild_secs = started.elapsed().as_secs_f64() / rebuild_rounds as f64;
+    let rebuild_secs = clock.elapsed_secs() / rebuild_rounds as f64;
 
     assert!(
         delta_secs * 10.0 < rebuild_secs,
@@ -146,12 +146,12 @@ fn bench_ingest_throughput(c: &mut Criterion) -> f64 {
         b.iter(|| live.ingest_rows(black_box(batch.clone())).expect("ingest"))
     });
 
-    let started = Instant::now();
+    let clock = Stopwatch::start();
     let rounds = 10;
     for _ in 0..rounds {
         live.ingest_rows(batch.clone()).expect("ingest");
     }
-    let rows_per_sec = (rounds * batch.len()) as f64 / started.elapsed().as_secs_f64();
+    let rows_per_sec = (rounds * batch.len()) as f64 / clock.elapsed_secs();
     assert!(
         rows_per_sec > 100.0,
         "streaming ingest unreasonably slow: {rows_per_sec:.0} rows/s"
@@ -206,9 +206,9 @@ fn bench_scoring_during_refit(c: &mut Criterion) -> (f64, f64) {
 fn median_score_latency(live: &LiveModel, d: &Dataset, cells: &[CellId], rounds: usize) -> f64 {
     let mut samples: Vec<f64> = (0..rounds)
         .map(|_| {
-            let started = Instant::now();
+            let clock = Stopwatch::start();
             black_box(live.score_batch(d, cells).expect("score"));
-            started.elapsed().as_secs_f64()
+            clock.elapsed_secs()
         })
         .collect();
     samples.sort_by(f64::total_cmp);

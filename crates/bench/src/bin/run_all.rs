@@ -28,7 +28,7 @@ const BINARIES: [&str; 16] = [
 
 fn main() {
     let pass_through: Vec<String> = std::env::args().skip(1).collect();
-    let started = std::time::Instant::now();
+    let clock = holo_trace::Stopwatch::start();
     for bin in BINARIES {
         println!("\n================================================================");
         println!("== {bin}");
@@ -46,8 +46,5 @@ fn main() {
             Err(e) => eprintln!("failed to launch {bin}: {e}"),
         }
     }
-    println!(
-        "\nall experiments finished in {:.1}s",
-        started.elapsed().as_secs_f64()
-    );
+    println!("\nall experiments finished in {:.1}s", clock.elapsed_secs());
 }

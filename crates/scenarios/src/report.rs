@@ -61,6 +61,16 @@ fn quality_json(r: &ScenarioResult) -> Json {
     ])
 }
 
+/// `(name, micros)` pairs as an ordered JSON object.
+fn stages_json(stages: &[(String, u64)]) -> Json {
+    Json::Obj(
+        stages
+            .iter()
+            .map(|(name, micros)| (name.clone(), Json::Num(*micros as f64)))
+            .collect(),
+    )
+}
+
 /// The latency numbers of one scenario as ordered JSON pairs.
 fn latency_json(r: &ScenarioResult) -> Json {
     let l = &r.latency;
@@ -73,6 +83,14 @@ fn latency_json(r: &ScenarioResult) -> Json {
             Json::Num(l.ingest_rows_per_sec),
         ),
         ("refit_secs".into(), Json::Num(l.refit_secs)),
+        (
+            "score_stage_micros".into(),
+            stages_json(&l.score_stage_micros),
+        ),
+        (
+            "refit_phase_micros".into(),
+            stages_json(&l.refit_phase_micros),
+        ),
     ])
 }
 
@@ -191,6 +209,18 @@ mod tests {
                     http_score_ms: 4.0,
                     ingest_rows_per_sec: 1000.0,
                     refit_secs: 0.9,
+                    score_stage_micros: vec![
+                        ("batch-wait".into(), 2000),
+                        ("score".into(), 1500),
+                        ("encode".into(), 80),
+                    ],
+                    refit_phase_micros: vec![
+                        ("snapshot".into(), 300),
+                        ("adapt".into(), 4000),
+                        ("refit_with".into(), 800_000),
+                        ("persist".into(), 2000),
+                        ("install".into(), 900),
+                    ],
                 },
             }],
         }
@@ -201,7 +231,17 @@ mod tests {
         let r = sample();
         let with = report_json(&r, true);
         let scenario = &with.get("scenarios").unwrap().as_arr().unwrap()[0];
-        assert!(scenario.get("latency").is_some());
+        let latency = scenario.get("latency").expect("latency object");
+        let stages = latency.get("score_stage_micros").expect("score stages");
+        assert_eq!(
+            stages.get("batch-wait").and_then(Json::as_f64),
+            Some(2000.0)
+        );
+        let phases = latency.get("refit_phase_micros").expect("refit phases");
+        assert_eq!(
+            phases.get("refit_with").and_then(Json::as_f64),
+            Some(800_000.0)
+        );
         let q = scenario.get("quality").unwrap();
         assert_eq!(q.get("labels_used").and_then(Json::as_f64), Some(20.0));
         let fired = q.get("drift_fired").and_then(Json::as_arr).unwrap();

@@ -21,12 +21,13 @@ use holo_datagen::{generate_clean, inject_errors};
 use holo_eval::{best_f1, f1_at_threshold, pr_auc, ModelError, Split, SplitConfig, TrainedModel};
 use holo_serve::{Json, ModelRegistry, ServeConfig};
 use holo_stream::{LiveModel, StreamConfig};
+use holo_trace::Stopwatch;
 use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Quality metrics for one scenario — every field is deterministic for
 /// a fixed seed (these are the numbers the CI gate compares).
@@ -97,6 +98,13 @@ pub struct ScenarioLatency {
     pub ingest_rows_per_sec: f64,
     /// Seconds for the drift-triggered `/refit` round-trip.
     pub refit_secs: f64,
+    /// Per-stage breakdown of the HTTP score probe, from the server's
+    /// own trace of the request (`parse`/`validate`/`batch-wait`/
+    /// `score`/`encode`), as `(stage, micros)` in span order.
+    pub score_stage_micros: Vec<(String, u64)>,
+    /// Phase durations of the refit's recorded timeline (`snapshot`,
+    /// `adapt`, `refit_with`, `persist`, `install`, …).
+    pub refit_phase_micros: Vec<(String, u64)>,
 }
 
 /// One scenario's full result.
@@ -255,7 +263,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
         },
     );
     let train = split.training_set(&base_dirty, &base_truth);
-    let fit_started = Instant::now();
+    let fit_clock = Stopwatch::start();
     let fitted = HoloDetect::new(holo_config(cfg)).fit_model(&holo_eval::FitContext {
         dirty: &base_dirty,
         train: &train,
@@ -263,7 +271,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
         constraints: &constraints,
         seed,
     });
-    let fit_secs = fit_started.elapsed().as_secs_f64();
+    let fit_secs = fit_clock.elapsed_secs();
 
     // ---- base quality ------------------------------------------------
     let eval_cells = split.test_cells(&base_dirty);
@@ -277,9 +285,9 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     // ---- save / load the artifact ------------------------------------
     let (artifact_path, log_path) = scratch_paths(sc.name);
     fitted.save(&artifact_path)?;
-    let load_started = Instant::now();
+    let load_clock = Stopwatch::start();
     let loaded = FittedHoloDetect::load(&artifact_path)?;
-    let artifact_load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    let artifact_load_ms = load_clock.elapsed_millis();
     // Reload parity: the artifact must score exactly like the fitted
     // model it was saved from.
     let probe_cells: Vec<CellId> = eval_cells.iter().copied().take(64).collect();
@@ -314,15 +322,20 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     let probe_rows = cfg.drift_rows.min(4);
     let probe = slice_rows(&drift_dirty, 0..probe_rows);
     let probe_body = Json::Obj(vec![("rows".into(), rows_json(&probe))]).to_string();
-    let score_started = Instant::now();
-    let (status, body) = http(
+    let score_clock = Stopwatch::start();
+    let (status, head, body) = http_full(
         addr,
         "POST",
         &format!("/v1/models/{}/score", sc.name),
         &probe_body,
     );
-    let http_score_ms = score_started.elapsed().as_secs_f64() * 1e3;
+    let http_score_ms = score_clock.elapsed_millis();
     assert_eq!(status, 200, "{}: HTTP score failed: {body}", sc.name);
+    // The server traced the probe: pull its per-stage breakdown back
+    // out by the id it echoed.
+    let trace_id = header_value(&head, "x-holo-trace")
+        .unwrap_or_else(|| panic!("{}: no x-holo-trace header on score", sc.name));
+    let score_stage_micros = score_stages(addr, &trace_id);
     let http_scores = parse_scores(&body);
     let probe_all: Vec<CellId> = probe.cell_ids().collect();
     let direct = live.score_batch(&probe, &probe_all)?;
@@ -334,7 +347,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     );
 
     // ---- stream the drifted tail in ----------------------------------
-    let ingest_started = Instant::now();
+    let ingest_clock = Stopwatch::start();
     let mut batch_start = 0;
     while batch_start < drift_dirty.n_tuples() {
         let batch_end = (batch_start + 32).min(drift_dirty.n_tuples());
@@ -344,7 +357,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
         assert_eq!(status, 200, "{}: ingest failed: {resp}", sc.name);
         batch_start = batch_end;
     }
-    let ingest_secs = ingest_started.elapsed().as_secs_f64();
+    let ingest_secs = ingest_clock.elapsed_secs();
     let ingest_rows_per_sec = if ingest_secs > 0.0 {
         cfg.drift_rows as f64 / ingest_secs
     } else {
@@ -459,15 +472,16 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     }
 
     // ---- drift-triggered refit over the wire -------------------------
-    let refit_started = Instant::now();
+    let refit_clock = Stopwatch::start();
     let (status, refit_body) = http(addr, "POST", &format!("/v1/models/{}/refit", sc.name), "");
-    let refit_secs = refit_started.elapsed().as_secs_f64();
+    let refit_secs = refit_clock.elapsed_secs();
     assert_eq!(status, 200, "{}: refit failed: {refit_body}", sc.name);
     assert!(
         live.generation() >= 1,
         "{}: refit must hot-swap a new generation",
         sc.name
     );
+    let refit_phase_micros = refit_phases(addr, sc.name);
 
     // ---- quality under drift, after the refit ------------------------
     let post_scores = live.score_batch(&drift_dirty, &drift_cells)?;
@@ -507,14 +521,17 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
             http_score_ms,
             ingest_rows_per_sec,
             refit_secs,
+            score_stage_micros,
+            refit_phase_micros,
         },
     })
 }
 
 // ------------------------------------------------------------- raw http
 
-/// One raw HTTP/1.1 round-trip on a fresh connection.
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One raw HTTP/1.1 round-trip on a fresh connection, returning the
+/// status, the raw header block, and the body.
+fn http_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect to scenario server");
     s.set_read_timeout(Some(Duration::from_secs(120)))
         .expect("set read timeout");
@@ -530,8 +547,67 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+/// One raw HTTP/1.1 round-trip on a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http_full(addr, method, path, body);
     (status, body)
+}
+
+/// The value of a response header (case-insensitive name), if present.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
+}
+
+/// The score probe's per-stage breakdown, pulled from the server's own
+/// trace of the request (`x-holo-trace` → `GET /v1/trace/{id}`): every
+/// top-level span of the tree as `(stage, micros)` in span order.
+fn score_stages(addr: SocketAddr, trace_id: &str) -> Vec<(String, u64)> {
+    let (status, body) = http(addr, "GET", &format!("/v1/trace/{trace_id}"), "");
+    assert_eq!(status, 200, "trace {trace_id} must be retained: {body}");
+    let doc = holo_serve::json::parse(&body).expect("trace body is JSON");
+    doc.get("spans")
+        .and_then(Json::as_arr)
+        .expect("spans array")
+        .iter()
+        .filter(|s| s.get("parent").and_then(Json::as_f64) == Some(0.0))
+        .map(|s| {
+            (
+                s.get("name").and_then(Json::as_str).expect("name").into(),
+                s.get("duration_micros")
+                    .and_then(Json::as_f64)
+                    .expect("duration") as u64,
+            )
+        })
+        .collect()
+}
+
+/// The newest refit timeline's `(phase, micros)` pairs from
+/// `GET /v1/models/{name}/refits`.
+fn refit_phases(addr: SocketAddr, name: &str) -> Vec<(String, u64)> {
+    let (status, body) = http(addr, "GET", &format!("/v1/models/{name}/refits"), "");
+    assert_eq!(status, 200, "{name}: refits endpoint failed: {body}");
+    let doc = holo_serve::json::parse(&body).expect("refits body is JSON");
+    let refits = doc.get("refits").and_then(Json::as_arr).expect("refits");
+    assert!(!refits.is_empty(), "{name}: refit left no timeline: {body}");
+    refits[0]
+        .get("phases")
+        .and_then(Json::as_arr)
+        .expect("phases")
+        .iter()
+        .map(|p| {
+            (
+                p.get("phase").and_then(Json::as_str).expect("phase").into(),
+                p.get("micros").and_then(Json::as_f64).expect("micros") as u64,
+            )
+        })
+        .collect()
 }
 
 /// Rows of a dataset as the `{"rows": [...]}` JSON the server ingests.

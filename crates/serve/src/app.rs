@@ -12,8 +12,27 @@
 //! | `GET /v1/models/{name}/drift`   | drift report (live models only)           |
 //! | `POST /v1/models/{name}/labels` | operator labels for adaptation (live only)|
 //! | `POST /v1/models/{name}/refit`  | forced refit + hot swap (live models only)|
+//! | `GET /v1/models/{name}/refits`  | recent refit timelines (live models only) |
+//! | `GET /v1/trace/recent`          | most recent request traces                |
+//! | `GET /v1/trace/{id}`            | one trace by its `x-holo-trace` id        |
+//! | `GET /v1/trace/slow`            | slowest retained traces per endpoint      |
 //! | `GET /healthz`                  | liveness + registered model names         |
 //! | `GET /metrics`                  | counters, histograms, stream gauges       |
+//!
+//! ## Tracing
+//!
+//! Every request is traced: the handler opens a `holo-trace` span tree
+//! named after the *normalized* endpoint (`/v1/models/{name}/score`,
+//! never the raw path — label cardinality stays bounded), records
+//! per-stage child spans (`parse`, `validate`, `batch-wait`, `score`,
+//! `encode`; `log-append` / `apply-delta` / `drift-update` on ingest),
+//! and echoes the trace id back as the `x-holo-trace` response header.
+//! Finished traces land in a bounded in-memory ring
+//! ([`holo_trace::SpanRecorder`]) the three `/v1/trace/*` endpoints
+//! page, and their span durations feed the
+//! `holo_trace_stage_micros{stage=...}` histograms on `/metrics`.
+//! [`TraceConfig::access_log`] additionally emits one structured JSON
+//! line per request on stderr.
 //!
 //! The four streaming endpoints answer 409 for a model served
 //! statically; registering a `holo_stream::LiveModel` through
@@ -60,13 +79,18 @@
 use crate::batch::{BatchConfig, MicroBatcher};
 use crate::http::{self, Handler, HttpConfig, Request, Response, ServerHandle};
 use crate::json::{self, Json, ParseLimits};
-use crate::metrics::{model_error_category, Metrics};
+use crate::metrics::{
+    escape_label, model_error_category, render_stage_histograms, write_family_header, Metrics,
+};
 use crate::registry::{ModelRegistry, ServedModel};
 use holo_data::{CellId, Dataset, DatasetBuilder, Schema};
 use holo_eval::ModelError;
+use holo_trace::{
+    format_trace_id, parse_trace_id, RecorderConfig, SpanRecorder, Stopwatch, Trace, TraceBuilder,
+    Tracer, Value,
+};
 use std::io;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Everything the serving stack needs to start.
 #[derive(Debug, Clone, Default)]
@@ -75,7 +99,36 @@ pub struct ServeConfig {
     pub http: HttpConfig,
     /// Micro-batching knobs.
     pub batch: BatchConfig,
+    /// Request-tracing knobs.
+    pub trace: TraceConfig,
 }
+
+/// Request-tracing knobs.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Byte budget for the recorder's trace ring (overwrite-oldest).
+    pub ring_bytes: usize,
+    /// Slow-request exemplars retained per endpoint.
+    pub slow_per_endpoint: usize,
+    /// Emit one structured JSON log line per finished request on
+    /// stderr (trace id, endpoint, status, total microseconds).
+    pub access_log: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_bytes: 1 << 20,
+            slow_per_endpoint: 8,
+            access_log: false,
+        }
+    }
+}
+
+/// Traces `GET /v1/trace/recent` returns at most.
+const RECENT_TRACES_SERVED: usize = 32;
+/// Timelines `GET /v1/models/{name}/refits` returns at most.
+const REFIT_TIMELINES_SERVED: usize = 16;
 
 /// The HTTP status a [`ModelError`] maps to.
 pub fn error_status(e: &ModelError) -> u16 {
@@ -86,12 +139,25 @@ pub fn error_status(e: &ModelError) -> u16 {
     }
 }
 
+/// One live registry entry on the metrics page: name, session, and its
+/// drift report (taken once so the page is a consistent snapshot).
+type LivePageEntry = (
+    String,
+    Arc<holo_stream::LiveModel>,
+    holo_stream::DriftReport,
+);
+
+/// Formats one gauge value from a [`LivePageEntry`].
+type GaugeFn<'a> = &'a dyn Fn(&LivePageEntry) -> String;
+
 /// Shared state behind the handler closure.
 struct App {
     registry: Arc<ModelRegistry>,
     batcher: MicroBatcher,
     metrics: Arc<Metrics>,
     limits: ParseLimits,
+    tracer: Tracer,
+    access_log: bool,
 }
 
 /// A running serving stack: HTTP server + batcher + registry.
@@ -117,6 +183,12 @@ impl RunningServer {
     /// The model registry (for out-of-band loads/reloads).
     pub fn registry(&self) -> Arc<ModelRegistry> {
         Arc::clone(&self.app.registry)
+    }
+
+    /// The span recorder request traces land in (what the `/v1/trace/*`
+    /// endpoints page).
+    pub fn trace_recorder(&self) -> Arc<SpanRecorder> {
+        Arc::clone(self.app.tracer.recorder())
     }
 
     /// Graceful shutdown: drain in-flight HTTP requests, then the
@@ -146,11 +218,17 @@ pub fn start(
 ) -> io::Result<RunningServer> {
     let metrics = Arc::new(Metrics::new());
     let batcher = MicroBatcher::start(cfg.batch, Arc::clone(&metrics))?;
+    let recorder = Arc::new(SpanRecorder::new(RecorderConfig {
+        ring_bytes: cfg.trace.ring_bytes,
+        slow_per_endpoint: cfg.trace.slow_per_endpoint,
+    }));
     let app = Arc::new(App {
         registry,
         batcher,
         metrics,
         limits: ParseLimits::default(),
+        tracer: Tracer::new(recorder),
+        access_log: cfg.trace.access_log,
     });
     let handler: Handler = {
         let app = Arc::clone(&app);
@@ -218,15 +296,33 @@ impl Failure {
 
 impl App {
     fn route(&self, req: &Request) -> Response {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
+        let mut trace = self.tracer.span(&endpoint_label(req));
+        trace.note("method", Value::Str(req.method.clone()));
+        if req.parse_micros > 0 {
+            trace.child_micros("parse", req.parse_micros);
+        }
         let resp = self
-            .dispatch(req)
+            .dispatch(req, &mut trace)
             .unwrap_or_else(|f| f.into_response(&self.metrics));
-        self.metrics.record_response(resp.status, start.elapsed());
-        resp
+        self.metrics.record_response(resp.status, clock.elapsed());
+        trace.note("status", Value::U64(u64::from(resp.status)));
+        let id = trace.id();
+        let finished = trace.finish();
+        if self.access_log {
+            let line = Json::Obj(vec![
+                ("trace".into(), Json::Str(format_trace_id(id))),
+                ("method".into(), Json::Str(req.method.clone())),
+                ("endpoint".into(), Json::Str(finished.endpoint.clone())),
+                ("status".into(), Json::Num(f64::from(resp.status))),
+                ("micros".into(), Json::Num(finished.total_micros as f64)),
+            ]);
+            eprintln!("{line}");
+        }
+        resp.with_header("x-holo-trace", format_trace_id(id))
     }
 
-    fn dispatch(&self, req: &Request) -> Result<Response, Failure> {
+    fn dispatch(&self, req: &Request, trace: &mut TraceBuilder) -> Result<Response, Failure> {
         let segments: Vec<&str> = req
             .path_only()
             .split('/')
@@ -235,17 +331,22 @@ impl App {
         match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => Ok(self.healthz()),
             ("GET", ["metrics"]) => Ok(Response::text(200, self.metrics_page())),
-            ("POST", ["v1", "models", name, "score"]) => self.score(req, name, false),
-            ("POST", ["v1", "models", name, "predict"]) => self.score(req, name, true),
+            ("POST", ["v1", "models", name, "score"]) => self.score(req, name, false, trace),
+            ("POST", ["v1", "models", name, "predict"]) => self.score(req, name, true, trace),
             ("POST", ["v1", "models", name, "reload"]) => self.reload(name),
-            ("POST", ["v1", "models", name, "rows"]) => self.ingest_rows(req, name),
+            ("POST", ["v1", "models", name, "rows"]) => self.ingest_rows(req, name, trace),
             ("GET", ["v1", "models", name, "drift"]) => self.drift(name),
             ("POST", ["v1", "models", name, "labels"]) => self.labels(req, name),
             ("POST", ["v1", "models", name, "refit"]) => self.refit(name),
+            ("GET", ["v1", "models", name, "refits"]) => self.refit_timelines(name),
+            ("GET", ["v1", "trace", "recent"]) => Ok(self.trace_recent()),
+            ("GET", ["v1", "trace", "slow"]) => Ok(self.trace_slow()),
+            ("GET", ["v1", "trace", id]) => self.trace_by_id(id),
             (_, ["healthz" | "metrics"])
+            | (_, ["v1", "trace", _])
             | (
                 _,
-                ["v1", "models", _, "score" | "predict" | "reload" | "rows" | "drift" | "labels" | "refit"],
+                ["v1", "models", _, "score" | "predict" | "reload" | "rows" | "drift" | "labels" | "refit" | "refits"],
             ) => Err(Failure {
                 status: 405,
                 msg: format!("method {} not allowed here", req.method),
@@ -258,63 +359,126 @@ impl App {
         }
     }
 
-    /// The `/metrics` page: global counters plus per-model streaming
-    /// gauges (epoch, drift, rows since refit, refits, generation) for
-    /// every live registry entry.
+    /// The `/metrics` page: global counters, per-model streaming gauges
+    /// (epoch, drift, rows since refit, refits, generation) for every
+    /// live registry entry, and the per-stage trace histograms. Every
+    /// family carries `# HELP`/`# TYPE` and every label value is
+    /// escaped — the whole page stays parseable Prometheus text format.
     fn metrics_page(&self) -> String {
         let mut page = self.metrics.render();
         use std::fmt::Write as _;
+        let mut lives = Vec::new();
         for name in self.registry.names() {
             let Some(model) = self.registry.get(&name) else {
                 continue;
             };
-            let Some(live) = model.live() else {
+            let Some(live) = model.live().cloned() else {
                 continue;
             };
             let report = live.drift_report();
-            let _ = writeln!(
-                page,
-                "holo_stream_epoch{{model=\"{name}\"}} {}",
-                live.epoch()
-            );
-            let _ = writeln!(
-                page,
-                "holo_stream_drift{{model=\"{name}\"}} {}",
-                report.drift
-            );
-            let _ = writeln!(
-                page,
-                "holo_stream_rows_since_refit{{model=\"{name}\"}} {}",
-                report.rows_since_refit
-            );
-            let _ = writeln!(
-                page,
-                "holo_stream_refits_total{{model=\"{name}\"}} {}",
-                live.refits_total()
-            );
-            let _ = writeln!(
-                page,
-                "holo_stream_generation{{model=\"{name}\"}} {}",
-                live.generation()
-            );
-            let _ = writeln!(
-                page,
-                "holo_stream_labels_pending{{model=\"{name}\"}} {}",
-                live.labels_pending()
-            );
-            // Per-attribute shape-drift gauges: the quiet-drift signals
-            // the first-moment `holo_stream_drift` gauge cannot see.
-            let names = live.schema().names();
-            for (stat, series) in [("psi", &report.psi), ("ks", &report.ks)] {
-                for (i, v) in series.iter().enumerate() {
-                    let attr = names.get(i).map(String::as_str).unwrap_or("?");
+            lives.push((name, live, report));
+        }
+        if !lives.is_empty() {
+            let gauges: [(&str, &str, GaugeFn<'_>); 6] = [
+                (
+                    "holo_stream_epoch",
+                    "Ops applied since the original fit.",
+                    &|(_, live, _)| live.epoch().to_string(),
+                ),
+                (
+                    "holo_stream_drift",
+                    "Current first-moment drift level.",
+                    &|(_, _, report)| report.drift.to_string(),
+                ),
+                (
+                    "holo_stream_rows_since_refit",
+                    "Rows ingested since the last refit.",
+                    &|(_, _, report)| report.rows_since_refit.to_string(),
+                ),
+                (
+                    "holo_stream_refits_total",
+                    "Completed refits over this process's lifetime.",
+                    &|(_, live, _)| live.refits_total().to_string(),
+                ),
+                (
+                    "holo_stream_generation",
+                    "Hot-swap count (0 until the first install).",
+                    &|(_, live, _)| live.generation().to_string(),
+                ),
+                (
+                    "holo_stream_labels_pending",
+                    "Operator labels buffered for the next adaptive refit.",
+                    &|(_, live, _)| live.labels_pending().to_string(),
+                ),
+            ];
+            for (family, help, value) in gauges {
+                write_family_header(&mut page, family, help, "gauge");
+                for entry in &lives {
                     let _ = writeln!(
                         page,
-                        "holo_adapt_{stat}{{model=\"{name}\",attr=\"{attr}\"}} {v}"
+                        "{family}{{model=\"{}\"}} {}",
+                        escape_label(&entry.0),
+                        value(entry)
                     );
                 }
             }
+            // Per-attribute shape-drift gauges: the quiet-drift signals
+            // the first-moment `holo_stream_drift` gauge cannot see.
+            for (stat, help) in [
+                ("psi", "Per-attribute PSI of recent scores vs the baseline."),
+                (
+                    "ks",
+                    "Per-attribute KS statistic of recent scores vs the baseline.",
+                ),
+            ] {
+                write_family_header(&mut page, &format!("holo_adapt_{stat}"), help, "gauge");
+                for (name, live, report) in &lives {
+                    let series = if stat == "psi" {
+                        &report.psi
+                    } else {
+                        &report.ks
+                    };
+                    let names = live.schema().names();
+                    for (i, v) in series.iter().enumerate() {
+                        let attr = names.get(i).map(String::as_str).unwrap_or("?");
+                        let _ = writeln!(
+                            page,
+                            "holo_adapt_{stat}{{model=\"{}\",attr=\"{}\"}} {v}",
+                            escape_label(name),
+                            escape_label(attr)
+                        );
+                    }
+                }
+            }
         }
+        let recorder = self.tracer.recorder();
+        for (family, help, value) in [
+            (
+                "holo_trace_recorded_total",
+                "Traces delivered to the span recorder.",
+                recorder.recorded_total(),
+            ),
+            (
+                "holo_trace_evicted_total",
+                "Traces evicted from (or refused by) the recorder ring.",
+                recorder.evicted_total(),
+            ),
+        ] {
+            write_family_header(&mut page, family, help, "counter");
+            let _ = writeln!(page, "{family} {value}");
+        }
+        write_family_header(
+            &mut page,
+            "holo_trace_ring_bytes_used",
+            "Approximate bytes the trace ring currently holds.",
+            "gauge",
+        );
+        let _ = writeln!(
+            page,
+            "holo_trace_ring_bytes_used {}",
+            recorder.ring_bytes_used()
+        );
+        render_stage_histograms(&recorder.stages(), &mut page);
         page
     }
 
@@ -338,8 +502,14 @@ impl App {
     /// row is validated into the fitted schema, appended durably to the
     /// delta log, and folded into the maintained model before the call
     /// returns (read-your-writes: a subsequent score sees the rows).
-    fn ingest_rows(&self, req: &Request, name: &str) -> Result<Response, Failure> {
+    fn ingest_rows(
+        &self,
+        req: &Request,
+        name: &str,
+        trace: &mut TraceBuilder,
+    ) -> Result<Response, Failure> {
         let live = self.live_session(name)?;
+        trace.child("validate");
         let body = std::str::from_utf8(&req.body)
             .map_err(|_| Failure::bad_request("request body is not utf-8"))?;
         let doc = json::parse_with_limits(body, &self.limits)
@@ -350,7 +520,19 @@ impl App {
             .as_arr()
             .ok_or_else(|| Failure::bad_request("\"rows\" must be an array of objects"))?;
         let validated = validated_rows(rows, live.schema())?;
+        trace.annotate("rows", Value::U64(validated.len() as u64));
+        trace.close();
         let report = live.ingest_rows(validated).map_err(Failure::model)?;
+        // The ingest stages were measured inside the live model; lay
+        // them out back-to-back ending now.
+        let now = trace.elapsed_micros();
+        let drift_start = now.saturating_sub(report.drift_update_micros);
+        let apply_start = drift_start.saturating_sub(report.apply_delta_micros);
+        let log_start = apply_start.saturating_sub(report.log_append_micros);
+        trace.child_at("log-append", log_start, report.log_append_micros);
+        trace.child_at("apply-delta", apply_start, report.apply_delta_micros);
+        trace.child_at("drift-update", drift_start, report.drift_update_micros);
+        trace.note("model", Value::Str(name.to_string()));
         self.metrics.record_rows_ingested(report.appended);
         Ok(Response::json(
             200,
@@ -565,7 +747,15 @@ impl App {
         }
     }
 
-    fn score(&self, req: &Request, name: &str, predict: bool) -> Result<Response, Failure> {
+    fn score(
+        &self,
+        req: &Request,
+        name: &str,
+        predict: bool,
+        trace: &mut TraceBuilder,
+    ) -> Result<Response, Failure> {
+        trace.note("model", Value::Str(name.to_string()));
+        trace.child("validate");
         let model = self
             .registry
             .get(name)
@@ -576,10 +766,25 @@ impl App {
             .map_err(|e| Failure::bad_request(e.to_string()))?;
 
         let (data, cells) = self.ingest(&doc, &model)?;
-        let scores = self
-            .app_score(Arc::clone(&model), data, cells)
-            .map_err(Failure::model)?;
+        trace.annotate("rows", Value::U64(data.n_tuples() as u64));
+        trace.annotate("cells", Value::U64(cells.len() as u64));
+        trace.close();
 
+        let (result, timing) = self.batcher.score_timed(Arc::clone(&model), data, cells);
+        let scores = result.map_err(Failure::model)?;
+        // Queue wait and model call were measured on the batcher's
+        // side; lay them out back-to-back ending now.
+        let now = trace.elapsed_micros();
+        let score_start = now.saturating_sub(timing.score_micros);
+        trace.child_at(
+            "batch-wait",
+            score_start.saturating_sub(timing.batch_wait_micros),
+            timing.batch_wait_micros,
+        );
+        trace.child_at("score", score_start, timing.score_micros);
+        trace.note("merged_requests", Value::U64(timing.merged_requests as u64));
+
+        trace.child("encode");
         let mut out = vec![
             ("model".to_string(), Json::Str(model.name().into())),
             (
@@ -605,16 +810,95 @@ impl App {
             "scores".into(),
             Json::Arr(scores.into_iter().map(Json::Num).collect()),
         ));
-        Ok(Response::json(200, Json::Obj(out).to_string()))
+        let resp = Response::json(200, Json::Obj(out).to_string());
+        trace.close();
+        Ok(resp)
     }
 
-    fn app_score(
-        &self,
-        model: Arc<ServedModel>,
-        data: Dataset,
-        cells: Vec<CellId>,
-    ) -> Result<Vec<f64>, ModelError> {
-        self.batcher.score(model, data, cells)
+    /// `GET /v1/trace/recent` — the newest traces still in the ring.
+    fn trace_recent(&self) -> Response {
+        let traces = self.tracer.recorder().recent(RECENT_TRACES_SERVED);
+        Response::json(
+            200,
+            Json::Obj(vec![(
+                "traces".into(),
+                Json::Arr(traces.iter().map(trace_json).collect()),
+            )])
+            .to_string(),
+        )
+    }
+
+    /// `GET /v1/trace/{id}` — one trace by its `x-holo-trace` id.
+    fn trace_by_id(&self, id: &str) -> Result<Response, Failure> {
+        let parsed = parse_trace_id(id)
+            .ok_or_else(|| Failure::bad_request(format!("invalid trace id {id:?}")))?;
+        let trace = self.tracer.recorder().get(parsed).ok_or_else(|| {
+            Failure::not_found(format!("no trace {id:?} (the ring may have evicted it)"))
+        })?;
+        Ok(Response::json(200, trace_json(&trace).to_string()))
+    }
+
+    /// `GET /v1/trace/slow` — the slowest retained traces per endpoint.
+    fn trace_slow(&self) -> Response {
+        let slow = self
+            .tracer
+            .recorder()
+            .slow()
+            .into_iter()
+            .map(|(endpoint, traces)| {
+                Json::Obj(vec![
+                    ("endpoint".into(), Json::Str(endpoint)),
+                    (
+                        "traces".into(),
+                        Json::Arr(traces.iter().map(trace_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::Obj(vec![("endpoints".into(), Json::Arr(slow))]).to_string(),
+        )
+    }
+
+    /// `GET /v1/models/{name}/refits` — the last few refit timelines,
+    /// newest first: trigger, phases with durations, installed or not.
+    fn refit_timelines(&self, name: &str) -> Result<Response, Failure> {
+        let live = self.live_session(name)?;
+        let refits = live
+            .refit_timelines(REFIT_TIMELINES_SERVED)
+            .into_iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("trigger".into(), Json::Str(t.trigger.clone())),
+                    ("base_epoch".into(), Json::Num(t.base_epoch as f64)),
+                    ("installed".into(), Json::Bool(t.installed)),
+                    ("total_micros".into(), Json::Num(t.total_micros() as f64)),
+                    (
+                        "phases".into(),
+                        Json::Arr(
+                            t.phases
+                                .iter()
+                                .map(|p| {
+                                    Json::Obj(vec![
+                                        ("phase".into(), Json::Str(p.name.clone())),
+                                        ("micros".into(), Json::Num(p.micros as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Response::json(
+            200,
+            Json::Obj(vec![
+                ("model".into(), Json::Str(name.into())),
+                ("refits".into(), Json::Arr(refits)),
+            ])
+            .to_string(),
+        ))
     }
 
     /// Decode `{"rows": [...], "cells": [...]}` into a dataset batch
@@ -657,6 +941,86 @@ impl App {
         };
         Ok((data, cells))
     }
+}
+
+/// The normalized endpoint label a request's trace is filed under.
+/// Path parameters become placeholders and unknown paths collapse to
+/// one bucket: the label keys the slow-exemplar store and the stage
+/// histograms, so its cardinality must stay bounded no matter what
+/// clients put on the wire.
+fn endpoint_label(req: &Request) -> String {
+    let segments: Vec<&str> = req
+        .path_only()
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match segments.as_slice() {
+        ["healthz"] => "/healthz".to_string(),
+        ["metrics"] => "/metrics".to_string(),
+        ["v1", "models", _, tail @ ("score" | "predict" | "reload" | "rows" | "drift" | "labels" | "refit"
+        | "refits")] => {
+            format!("/v1/models/{{name}}/{tail}")
+        }
+        ["v1", "trace", "recent"] => "/v1/trace/recent".to_string(),
+        ["v1", "trace", "slow"] => "/v1/trace/slow".to_string(),
+        ["v1", "trace", _] => "/v1/trace/{id}".to_string(),
+        _ => "/unmatched".to_string(),
+    }
+}
+
+/// A [`Value`] annotation as JSON.
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::U64(x) => Json::Num(*x as f64),
+        Value::F64(x) => Json::Num(*x),
+        Value::Str(s) => Json::Str(s.clone()),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}
+
+/// A note list as a JSON object.
+fn notes_json(notes: &[(String, Value)]) -> Json {
+    Json::Obj(
+        notes
+            .iter()
+            .map(|(k, v)| (k.clone(), value_json(v)))
+            .collect(),
+    )
+}
+
+/// A completed [`Trace`] in the shape the `/v1/trace/*` endpoints serve:
+/// spans carry parent *indices* into the flat span array (index 0 is
+/// the root), offsets are microseconds from trace start.
+fn trace_json(t: &Trace) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::Str(format_trace_id(t.id))),
+        ("endpoint".into(), Json::Str(t.endpoint.clone())),
+        ("total_micros".into(), Json::Num(t.total_micros as f64)),
+        ("notes".into(), notes_json(&t.notes)),
+        (
+            "spans".into(),
+            Json::Arr(
+                t.spans
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            (
+                                "parent".into(),
+                                s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                            ),
+                            ("start_micros".into(), Json::Num(s.start_micros as f64)),
+                            (
+                                "duration_micros".into(),
+                                Json::Num(s.duration_micros as f64),
+                            ),
+                            ("notes".into(), notes_json(&s.notes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Validate a JSON `"rows"` array into schema-ordered value vectors —

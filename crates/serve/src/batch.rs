@@ -30,6 +30,7 @@ use crate::metrics::Metrics;
 use crate::registry::ServedModel;
 use holo_data::{CellId, Dataset, DatasetBuilder};
 use holo_eval::ModelError;
+use holo_trace::Stopwatch;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -56,11 +57,27 @@ impl Default for BatchConfig {
     }
 }
 
+/// Where a scoring request's time went inside the batcher, reported
+/// back alongside the scores so the caller's trace can attribute
+/// queueing separately from model work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScoreTiming {
+    /// Time between enqueue and the start of the `score_batch` call
+    /// that served this job (the gather window plus any backlog).
+    pub batch_wait_micros: u64,
+    /// Duration of the `score_batch` call itself (shared by every job
+    /// in a merged batch).
+    pub score_micros: u64,
+    /// How many requests that call served (1 = scored solo).
+    pub merged_requests: usize,
+}
+
 struct Job {
     model: Arc<ServedModel>,
     data: Dataset,
     cells: Vec<CellId>,
-    reply: Sender<Result<Vec<f64>, ModelError>>,
+    enqueued: Stopwatch,
+    reply: Sender<(Result<Vec<f64>, ModelError>, ScoreTiming)>,
 }
 
 /// The batching queue plus its worker thread.
@@ -164,28 +181,54 @@ impl MicroBatcher {
         data: Dataset,
         cells: Vec<CellId>,
     ) -> Result<Vec<f64>, ModelError> {
+        self.score_timed(model, data, cells).0
+    }
+
+    /// [`MicroBatcher::score`], also reporting where the time went
+    /// (queue wait vs. the `score_batch` call). Timing is zeroed when
+    /// the request never reached a scoring call.
+    pub fn score_timed(
+        &self,
+        model: Arc<ServedModel>,
+        data: Dataset,
+        cells: Vec<CellId>,
+    ) -> (Result<Vec<f64>, ModelError>, ScoreTiming) {
         // A poisoned sender slot only means some caller panicked while
         // holding it; the Option inside is still coherent, so recover.
-        let sender = self
+        let sender = match self
             .tx
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .clone()
-            .ok_or_else(shut_down)?;
+            .ok_or_else(shut_down)
+        {
+            Ok(s) => s,
+            Err(e) => return (Err(e), ScoreTiming::default()),
+        };
         let (reply_tx, reply_rx) = channel();
-        sender
+        if sender
             .send(Job {
                 model,
                 data,
                 cells,
+                enqueued: Stopwatch::start(),
                 reply: reply_tx,
             })
-            .map_err(|_| shut_down())?;
+            .is_err()
+        {
+            return (Err(shut_down()), ScoreTiming::default());
+        }
         // A dropped reply after a successful send means the batcher
         // aborted this group (it survives; see `guarded_score`).
-        reply_rx
-            .recv()
-            .map_err(|_| ModelError::Format("scoring was aborted by the batcher".into()))?
+        match reply_rx.recv() {
+            Ok((result, timing)) => (result, timing),
+            Err(_) => (
+                Err(ModelError::Format(
+                    "scoring was aborted by the batcher".into(),
+                )),
+                ScoreTiming::default(),
+            ),
+        }
     }
 
     /// Stop accepting new jobs, finish the queued ones, join the thread.
@@ -274,11 +317,18 @@ fn guarded_score(
 /// batch histograms, the cells in the scored total only on success.
 fn execute_solo(job: Job, metrics: &Metrics) {
     metrics.record_batch(job.cells.len(), 1);
+    let batch_wait_micros = job.enqueued.elapsed_micros();
+    let call = Stopwatch::start();
     let result = guarded_score(&job.model, &job.data, &job.cells);
+    let timing = ScoreTiming {
+        batch_wait_micros,
+        score_micros: call.elapsed_micros(),
+        merged_requests: 1,
+    };
     if let Ok(scores) = &result {
         metrics.record_scored_cells(scores.len());
     }
-    let _ = job.reply.send(result);
+    let _ = job.reply.send((result, timing));
 }
 
 fn execute(first: Job, rest: Vec<Job>, metrics: &Metrics) {
@@ -299,17 +349,31 @@ fn execute(first: Job, rest: Vec<Job>, metrics: &Metrics) {
         merged_cells.extend(job.cells.iter().map(|c| CellId::new(c.t() + offset, c.a())));
     }
     let merged = b.build();
-    metrics.record_batch(total_cells, rest.len() + 1);
+    let merged_requests = rest.len() + 1;
+    metrics.record_batch(total_cells, merged_requests);
+    // Per-job queue wait ends here; the scoring call itself is one
+    // duration shared by every member of the merged batch.
+    let waits: Vec<u64> = std::iter::once(&first)
+        .chain(rest.iter())
+        .map(|j| j.enqueued.elapsed_micros())
+        .collect();
+    let call = Stopwatch::start();
     match guarded_score(&first.model, &merged, &merged_cells) {
         // The contract is one score per requested cell; if a model ever
         // broke it, fanning out would misroute scores across jobs, so
         // fall back to solo scoring instead of splitting short.
         Ok(scores) if scores.len() == total_cells => {
+            let score_micros = call.elapsed_micros();
             metrics.record_scored_cells(scores.len());
             let mut remaining = scores.as_slice();
-            for job in std::iter::once(first).chain(rest) {
+            for (job, wait) in std::iter::once(first).chain(rest).zip(waits) {
                 let (mine, tail) = remaining.split_at(job.cells.len());
-                let _ = job.reply.send(Ok(mine.to_vec()));
+                let timing = ScoreTiming {
+                    batch_wait_micros: wait,
+                    score_micros,
+                    merged_requests,
+                };
+                let _ = job.reply.send((Ok(mine.to_vec()), timing));
                 remaining = tail;
             }
         }

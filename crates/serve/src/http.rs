@@ -70,6 +70,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// How long the HTTP layer spent reading + parsing this request
+    /// (head and body), in microseconds — the handler's trace records
+    /// it as the `parse` stage, which happens before the handler runs.
+    pub parse_micros: u64,
 }
 
 impl Request {
@@ -97,6 +101,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers (name, value), written verbatim after
+    /// the standard head. Names must be valid header names; values must
+    /// not contain CR/LF (callers only put hex ids and numbers here).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -106,6 +114,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -115,7 +124,14 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Adds an extra response header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
     }
 
     fn reason(status: u16) -> &'static str {
@@ -369,6 +385,7 @@ fn handle_connection(
 }
 
 fn read_request(reader: &mut BufReader<TcpStream>, cfg: &HttpConfig) -> Result<Request, ReadError> {
+    let parse_clock = holo_trace::Stopwatch::start();
     // Overall deadline for this one request: per-read timeouts restart
     // on every byte, so a trickler is bounded here instead.
     let deadline = Instant::now() + cfg.request_timeout;
@@ -401,6 +418,7 @@ fn read_request(reader: &mut BufReader<TcpStream>, cfg: &HttpConfig) -> Result<R
         version: version.to_string(),
         headers,
         body: Vec::new(),
+        parse_micros: 0,
     };
     if req
         .header("transfer-encoding")
@@ -435,6 +453,7 @@ fn read_request(reader: &mut BufReader<TcpStream>, cfg: &HttpConfig) -> Result<R
         }
         req.body = body;
     }
+    req.parse_micros = parse_clock.elapsed_micros();
     Ok(req)
 }
 
@@ -493,14 +512,21 @@ fn read_crlf_line(
 }
 
 fn write_response(w: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         Response::reason(resp.status),
         resp.content_type,
         resp.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(&resp.body)?;
     w.flush()

@@ -38,9 +38,16 @@
 //!   bitwise-identical to direct in-process scoring.
 //! * [`metrics`] — saturating counters, monotonic latency/batch-size
 //!   histograms, and per-category [`holo_eval::ModelError`] counts on
-//!   `GET /metrics`.
+//!   `GET /metrics`, rendered as parseable Prometheus text format.
 //! * [`app`] — the endpoints, request/response schemas, and the
 //!   `ModelError` → HTTP status mapping.
+//!
+//! Every request is traced through `holo-trace`: per-stage spans
+//! (`parse` / `validate` / `batch-wait` / `score` / `encode`), the
+//! trace id echoed as the `x-holo-trace` response header, a bounded
+//! in-memory ring served by `GET /v1/trace/recent`, `/v1/trace/{id}`,
+//! and `/v1/trace/slow`, and per-stage latency histograms on
+//! `GET /metrics` ([`app::TraceConfig`]).
 //!
 //! ## Batching semantics
 //!
@@ -72,8 +79,9 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 
-pub use app::{error_status, start, RunningServer, ServeConfig};
-pub use batch::{BatchConfig, MicroBatcher};
+pub use app::{error_status, start, RunningServer, ServeConfig, TraceConfig};
+pub use batch::{BatchConfig, MicroBatcher, ScoreTiming};
+pub use holo_trace::{format_trace_id, parse_trace_id, SpanRecorder, Trace, Tracer};
 pub use http::{HttpConfig, Request, Response, ServerHandle};
 pub use json::{parse as parse_json, Json, JsonError, ParseLimits};
 pub use metrics::{model_error_category, Histogram, Metrics};

@@ -10,7 +10,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ServeConfig};
+use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ServeConfig, TraceConfig};
 use holo_stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,6 +25,7 @@ struct Args {
     refit_interval: Duration,
     http: HttpConfig,
     batch: BatchConfig,
+    trace: TraceConfig,
 }
 
 const USAGE: &str = "\
@@ -36,6 +37,9 @@ options:
   --max-body-bytes N     request body cap        (default 1048576)
   --max-batch-cells N    micro-batch cell cap    (default 512; 1 disables batching)
   --max-wait-ms N        micro-batch gather wait (default 2)
+  --access-log           one JSON log line per request on stderr
+                         (trace id, endpoint, status, micros)
+  --trace-ring-bytes N   trace ring byte budget  (default 1048576)
 
 streaming (per model; see the README's Streaming section):
   --stream NAME=LOGPATH  serve NAME in streaming mode with a durable
@@ -56,6 +60,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         refit_interval: Duration::from_millis(1000),
         http: HttpConfig::default(),
         batch: BatchConfig::default(),
+        trace: TraceConfig::default(),
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -89,6 +94,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     &value("--max-wait-ms")?,
                     "--max-wait-ms",
                 )? as u64);
+            }
+            "--access-log" => args.trace.access_log = true,
+            "--trace-ring-bytes" => {
+                args.trace.ring_bytes =
+                    parse_num(&value("--trace-ring-bytes")?, "--trace-ring-bytes")?;
             }
             "--stream" => {
                 let spec = value("--stream")?;
@@ -212,6 +222,7 @@ fn main() -> ExitCode {
     let cfg = ServeConfig {
         http: args.http,
         batch: args.batch,
+        trace: args.trace,
     };
     let server = match holo_serve::start(&args.addr, cfg, registry) {
         Ok(s) => s,

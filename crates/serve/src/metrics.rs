@@ -1,7 +1,7 @@
 //! Serving metrics: counters and histograms, rendered as a
-//! Prometheus-style text page at `GET /metrics`.
+//! Prometheus text-exposition-format page at `GET /metrics`.
 //!
-//! Two hard rules, both enforced here rather than hoped for:
+//! Three hard rules, all enforced here rather than hoped for:
 //!
 //! * **Bucket bounds are monotonic.** [`Histogram::new`] rejects any
 //!   non-strictly-increasing bound list at construction, and rendering
@@ -10,10 +10,18 @@
 //! * **Counters saturate.** Every increment is a `saturating_add`
 //!   compare-exchange — a long-lived server pegs at `u64::MAX` instead
 //!   of wrapping to zero and faking a counter reset.
+//! * **The page parses.** Every family gets its `# HELP` / `# TYPE`
+//!   preamble ([`write_family_header`]) and every dynamic label value
+//!   is escaped ([`escape_label`]), so a standard Prometheus scraper
+//!   ingests the whole page — there is a unit test that parses the full
+//!   exposition output line by line.
 //!
 //! [`ModelError`] outcomes are counted *per category*, so a storm of
 //! schema-mismatch requests is visible as such on the metrics page
-//! rather than drowned in a generic error total.
+//! rather than drowned in a generic error total. Per-stage latency
+//! histograms ([`render_stage_histograms`]) are derived from the trace
+//! recorder's spans, so `/metrics` aggregates and `/v1/trace/*`
+//! exemplars can never disagree.
 
 use holo_eval::ModelError;
 use std::fmt::Write as _;
@@ -26,6 +34,73 @@ fn sat_add(counter: &AtomicU64, v: u64) {
     let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
         Some(cur.saturating_add(v))
     });
+}
+
+/// Writes the `# HELP` / `# TYPE` preamble for a metric family, as the
+/// Prometheus text exposition format requires before its first sample.
+pub fn write_family_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Escapes a label *value* per the Prometheus text exposition format:
+/// backslash, double-quote, and newline must be backslash-escaped.
+/// Every dynamically-sourced label (model names, stage names) goes
+/// through this before interpolation.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the per-stage latency histograms derived from recorded
+/// trace spans as one `holo_trace_stage_micros` histogram family
+/// labeled by stage name.
+pub fn render_stage_histograms(stages: &[holo_trace::StageStat], out: &mut String) {
+    write_family_header(
+        out,
+        "holo_trace_stage_micros",
+        "Per-stage latency derived from recorded trace spans.",
+        "histogram",
+    );
+    for stat in stages {
+        let stage = escape_label(&stat.stage);
+        let mut acc = 0u64;
+        for (bound, count) in holo_trace::STAGE_BOUNDS_MICROS.iter().zip(&stat.buckets) {
+            acc = acc.saturating_add(*count);
+            let _ = writeln!(
+                out,
+                "holo_trace_stage_micros_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {acc}"
+            );
+        }
+        acc = acc.saturating_add(
+            stat.buckets
+                .get(holo_trace::STAGE_BOUNDS_MICROS.len())
+                .copied()
+                .unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "holo_trace_stage_micros_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {acc}"
+        );
+        let _ = writeln!(
+            out,
+            "holo_trace_stage_micros_count{{stage=\"{stage}\"}} {}",
+            stat.count
+        );
+        let _ = writeln!(
+            out,
+            "holo_trace_stage_micros_sum{{stage=\"{stage}\"}} {}",
+            stat.sum_micros
+        );
+    }
 }
 
 /// A fixed-bound histogram with saturating counters.
@@ -84,7 +159,8 @@ impl Histogram {
         out
     }
 
-    fn render(&self, name: &str, out: &mut String) {
+    fn render(&self, name: &str, help: &str, out: &mut String) {
+        write_family_header(out, name, help, "histogram");
         let cumulative = self.cumulative();
         for (bound, cum) in self.bounds.iter().zip(&cumulative) {
             let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
@@ -251,9 +327,27 @@ impl Metrics {
 
     /// The `GET /metrics` page.
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(2048);
+        let mut out = String::with_capacity(4096);
+        write_family_header(
+            &mut out,
+            "holo_serve_uptime_seconds",
+            "Seconds since the server started.",
+            "gauge",
+        );
         let _ = writeln!(out, "holo_serve_uptime_seconds {}", self.uptime().as_secs());
+        write_family_header(
+            &mut out,
+            "holo_serve_requests_total",
+            "Requests received, protocol errors included.",
+            "counter",
+        );
         let _ = writeln!(out, "holo_serve_requests_total {}", self.requests_total());
+        write_family_header(
+            &mut out,
+            "holo_serve_responses_total",
+            "Responses by status class.",
+            "counter",
+        );
         for (class, counter) in [
             ("2xx", &self.responses_2xx),
             ("4xx", &self.responses_4xx),
@@ -265,30 +359,41 @@ impl Metrics {
                 counter.load(Ordering::Relaxed)
             );
         }
-        let _ = writeln!(
-            out,
-            "holo_serve_cells_scored_total {}",
-            self.cells_scored_total.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(
-            out,
-            "holo_serve_model_reloads_total {}",
-            self.reloads_total.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(
-            out,
-            "holo_serve_rows_ingested_total {}",
-            self.rows_ingested_total.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(
-            out,
-            "holo_serve_stream_refits_total {}",
-            self.stream_refits_total.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(
-            out,
-            "holo_serve_labels_received_total {}",
-            self.labels_received_total.load(Ordering::Relaxed)
+        for (name, help, counter) in [
+            (
+                "holo_serve_cells_scored_total",
+                "Cells scored by successful score_batch calls.",
+                &self.cells_scored_total,
+            ),
+            (
+                "holo_serve_model_reloads_total",
+                "Successful model hot-swaps.",
+                &self.reloads_total,
+            ),
+            (
+                "holo_serve_rows_ingested_total",
+                "Rows accepted by streaming ingest.",
+                &self.rows_ingested_total,
+            ),
+            (
+                "holo_serve_stream_refits_total",
+                "Completed endpoint-driven streaming refits.",
+                &self.stream_refits_total,
+            ),
+            (
+                "holo_serve_labels_received_total",
+                "Operator labels accepted by /labels calls.",
+                &self.labels_received_total,
+            ),
+        ] {
+            write_family_header(&mut out, name, help, "counter");
+            let _ = writeln!(out, "{name} {}", counter.load(Ordering::Relaxed));
+        }
+        write_family_header(
+            &mut out,
+            "holo_serve_model_errors_total",
+            "Typed scoring/loading failures by category.",
+            "counter",
         );
         for (cat, counter) in MODEL_ERROR_CATEGORIES.iter().zip(&self.model_errors) {
             let _ = writeln!(
@@ -297,11 +402,21 @@ impl Metrics {
                 counter.load(Ordering::Relaxed)
             );
         }
-        self.latency_micros
-            .render("holo_serve_request_latency_micros", &mut out);
-        self.batch_cells.render("holo_serve_batch_cells", &mut out);
-        self.batch_requests
-            .render("holo_serve_batch_requests", &mut out);
+        self.latency_micros.render(
+            "holo_serve_request_latency_micros",
+            "End-to-end request latency in microseconds.",
+            &mut out,
+        );
+        self.batch_cells.render(
+            "holo_serve_batch_cells",
+            "Cells per score_batch call issued by the micro-batcher.",
+            &mut out,
+        );
+        self.batch_requests.render(
+            "holo_serve_batch_requests",
+            "Requests coalesced per score_batch call.",
+            &mut out,
+        );
         out
     }
 }
@@ -310,6 +425,7 @@ impl Metrics {
 mod tests {
     use super::*;
     use holo_data::CellId;
+    use holo_trace::StageStat;
 
     #[test]
     #[should_panic(expected = "strictly increasing")]
@@ -440,5 +556,164 @@ mod tests {
         assert!(page.contains("holo_serve_batch_cells_count 1"));
         assert!(page.contains("holo_serve_batch_requests_bucket{le=\"4\"} 1"));
         assert!(page.contains("holo_serve_cells_scored_total 40"));
+    }
+
+    #[test]
+    fn escape_label_handles_all_reserved_characters() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label(r"a\b"), r"a\\b");
+        assert_eq!(escape_label("a\nb"), r"a\nb");
+        assert_eq!(escape_label("m\"x\\y\nz"), "m\\\"x\\\\y\\nz");
+    }
+
+    /// Check one `key="value"` label pair list for well-formedness:
+    /// quotes balanced, reserved characters escaped.
+    fn assert_labels_well_formed(labels: &str, line: &str) {
+        let inner = labels
+            .strip_prefix('{')
+            .and_then(|l| l.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unbalanced label braces: {line}"));
+        let mut rest = inner;
+        loop {
+            let (key, after_key) = rest
+                .split_once("=\"")
+                .unwrap_or_else(|| panic!("label without =\" in: {line}"));
+            assert!(
+                !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad label name {key:?} in: {line}"
+            );
+            // Scan the value to its closing unescaped quote.
+            let mut escaped = false;
+            let mut close = None;
+            for (i, c) in after_key.char_indices() {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => {
+                        close = Some(i);
+                        break;
+                    }
+                    (false, '\n') => panic!("raw newline in label value: {line}"),
+                    _ => {}
+                }
+            }
+            let close = close.unwrap_or_else(|| panic!("unterminated label value: {line}"));
+            match after_key.get(close + 1..) {
+                None | Some("") => break,
+                Some(tail) => {
+                    rest = tail
+                        .strip_prefix(',')
+                        .unwrap_or_else(|| panic!("junk after label value: {line}"));
+                }
+            }
+        }
+    }
+
+    /// The satellite contract: the full exposition output parses. Every
+    /// sample line is `name[{labels}] value`, and every sample belongs
+    /// to a family that declared `# HELP` and `# TYPE` first.
+    pub(crate) fn assert_exposition_parses(page: &str) {
+        let mut helped = std::collections::BTreeSet::new();
+        let mut types = std::collections::BTreeMap::new();
+        for line in page.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+                assert!(!help.trim().is_empty(), "empty HELP for {name}");
+                assert!(helped.insert(name.to_string()), "duplicate HELP {name}");
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE name");
+                let kind = parts.next().expect("TYPE kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE {kind} on: {line}"
+                );
+                assert!(
+                    helped.contains(name),
+                    "TYPE before HELP for {name} (or HELP missing)"
+                );
+                assert!(
+                    types.insert(name.to_string(), kind.to_string()).is_none(),
+                    "duplicate TYPE {name}"
+                );
+            } else if !line.is_empty() {
+                let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+                assert!(
+                    value.parse::<f64>().is_ok(),
+                    "unparseable sample value on: {line}"
+                );
+                let (name, labels) = match series.find('{') {
+                    Some(i) => series.split_at(i),
+                    None => (series, ""),
+                };
+                if !labels.is_empty() {
+                    assert_labels_well_formed(labels, line);
+                }
+                // Histogram samples resolve to their family name.
+                let family = ["_bucket", "_count", "_sum"]
+                    .iter()
+                    .find_map(|suf| name.strip_suffix(suf))
+                    .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+                    .unwrap_or(name);
+                assert!(
+                    types.contains_key(family),
+                    "sample {name} has no # TYPE declaration"
+                );
+            }
+        }
+        assert!(!types.is_empty(), "page declared no metric families");
+    }
+
+    #[test]
+    fn full_exposition_output_parses() {
+        let m = Metrics::new();
+        m.record_response(200, Duration::from_micros(300));
+        m.record_response(500, Duration::from_secs(30));
+        m.record_protocol_error(431);
+        m.record_batch(40, 3);
+        m.record_scored_cells(40);
+        m.record_model_error(&ModelError::Format("bad".into()));
+        m.record_reload();
+        m.record_rows_ingested(12);
+        m.record_stream_refit();
+        m.record_labels_received(2);
+        let mut page = m.render();
+        // Include the trace-derived stage family with a label value that
+        // needs escaping, exactly as `/metrics` serves it.
+        render_stage_histograms(
+            &[holo_trace::StageStat {
+                stage: "score\"odd\\name".to_string(),
+                buckets: vec![1; holo_trace::STAGE_BOUNDS_MICROS.len() + 1],
+                count: 13,
+                sum_micros: 999,
+            }],
+            &mut page,
+        );
+        assert_exposition_parses(&page);
+    }
+
+    #[test]
+    fn stage_histograms_render_cumulative_with_escaped_labels() {
+        let mut buckets = vec![0; holo_trace::STAGE_BOUNDS_MICROS.len() + 1];
+        buckets[0] = 2;
+        buckets[1] = 1;
+        *buckets.last_mut().unwrap() = 1;
+        let mut out = String::new();
+        render_stage_histograms(
+            &[StageStat {
+                stage: "batch-wait".to_string(),
+                buckets,
+                count: 4,
+                sum_micros: 2_000_400,
+            }],
+            &mut out,
+        );
+        assert!(out.contains("# TYPE holo_trace_stage_micros histogram"));
+        assert!(out.contains("holo_trace_stage_micros_bucket{stage=\"batch-wait\",le=\"100\"} 2"));
+        assert!(out.contains("holo_trace_stage_micros_bucket{stage=\"batch-wait\",le=\"250\"} 3"));
+        assert!(out.contains("holo_trace_stage_micros_bucket{stage=\"batch-wait\",le=\"+Inf\"} 4"));
+        assert!(out.contains("holo_trace_stage_micros_count{stage=\"batch-wait\"} 4"));
+        assert!(out.contains("holo_trace_stage_micros_sum{stage=\"batch-wait\"} 2000400"));
     }
 }

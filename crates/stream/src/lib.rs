@@ -46,6 +46,14 @@
 //! on-disk artifact always corresponds to the log's compaction horizon,
 //! so a crashed process reopens the artifact, replays the log tail, and
 //! resumes at the exact epoch it died at.
+//!
+//! Every maintenance path is wall-clock attributed through
+//! `holo-trace`: [`live::IngestReport`] carries per-stage ingest
+//! timings (log-append / apply-delta / drift-update), and each refit
+//! records a [`holo_trace::RefitTimeline`] — snapshot, the adaptive
+//! phases, retrain, persist, install — retained in a bounded ring
+//! ([`live::LiveModel::refit_timelines`]) that holo-serve pages as
+//! `GET /v1/models/{name}/refits`.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -56,5 +64,6 @@ pub mod scheduler;
 
 pub use drift::{DriftMonitor, DriftReport, DriftThresholds, SignalStat};
 pub use holo_adapt::{DriftSignal, RowLabel};
+pub use holo_trace::{RefitPhase, RefitTimeline};
 pub use live::{IngestReport, LiveModel, StreamConfig};
 pub use scheduler::{RefitScheduler, RefitTarget};

@@ -19,8 +19,8 @@
 //!   blocks scoring beyond the final pointer swap.
 //!
 //! Lock order (outermost first):
-//! `refit_lock → state → log → drift → labels`. Any path may take a
-//! suffix of that chain, never a prefix out of order.
+//! `refit_lock → state → log → drift → labels → timelines`. Any path
+//! may take a suffix of that chain, never a prefix out of order.
 //!
 //! ## Adaptation
 //!
@@ -46,6 +46,7 @@ use crate::drift::{DriftMonitor, DriftReport, DriftThresholds, SignalStat};
 use holo_adapt::{AdaptConfig, AdaptiveRefit, RowLabel};
 use holo_data::{binio, CellId, Dataset, DeltaLog, DeltaOp, Schema};
 use holo_eval::{ModelError, TrainedModel};
+use holo_trace::{RefitTimeline, Stopwatch, TimelineRing};
 use holodetect::FittedHoloDetect;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -77,6 +78,10 @@ fn poisoned(what: &str) -> ModelError {
 const LIVE_MAGIC: &[u8; 8] = b"HOLOLIVE";
 /// Wrapper format version.
 const LIVE_VERSION: u32 = 1;
+
+/// Refit timelines retained per live model (newest win; the ring is
+/// what `GET /v1/models/{name}/refits` pages through).
+const REFIT_TIMELINE_CAP: usize = 32;
 
 /// Atomically persist `model` stamped with the epoch it corresponds to
 /// (temp file + rename). The file starts with [`LIVE_MAGIC`]; a plain
@@ -200,6 +205,15 @@ pub struct IngestReport {
     pub epoch: u64,
     /// Drift after folding the batch in.
     pub drift: f64,
+    /// Wall-clock spent durably appending the batch to the delta log
+    /// (group commit). Zero for an empty batch.
+    pub log_append_micros: u64,
+    /// Wall-clock spent applying the appended ops to the in-memory
+    /// model. Zero for an empty batch.
+    pub apply_delta_micros: u64,
+    /// Wall-clock spent measuring the new rows' drift statistics
+    /// (violations, scores, histogram folds). Zero for an empty batch.
+    pub drift_update_micros: u64,
 }
 
 struct LiveState {
@@ -218,8 +232,11 @@ pub struct LiveModel {
     /// Serializes refits (scheduler vs. the `/refit` endpoint).
     refit_lock: Mutex<()>,
     /// Pending operator labels, oldest first — the few-shot budget the
-    /// next adaptive refit draws from. Last in the lock order.
+    /// next adaptive refit draws from.
     labels: Mutex<Vec<RowLabel>>,
+    /// Phase-attributed timelines of the last few refits (what
+    /// `GET /v1/models/{name}/refits` serves). Last in the lock order.
+    timelines: Mutex<TimelineRing>,
     /// Bumped on every install (hot swap).
     generation: AtomicU64,
     rows_ingested: AtomicU64,
@@ -270,6 +287,7 @@ impl LiveModel {
             drift: Mutex::new(drift),
             refit_lock: Mutex::new(()),
             labels: Mutex::new(Vec::new()),
+            timelines: Mutex::new(TimelineRing::new(REFIT_TIMELINE_CAP)),
             generation: AtomicU64::new(0),
             rows_ingested: AtomicU64::new(0),
             refits: AtomicU64::new(0),
@@ -401,6 +419,9 @@ impl LiveModel {
                 appended: 0,
                 epoch,
                 drift,
+                log_append_micros: 0,
+                apply_delta_micros: 0,
+                drift_update_micros: 0,
             });
         }
         for row in &rows {
@@ -415,6 +436,7 @@ impl LiveModel {
         let appended = rows.len();
         let mut st = self.state.write().map_err(|_| poisoned("live state"))?;
         // Log first (durability), group-committed; then apply.
+        let append_clock = Stopwatch::start();
         let epoch = {
             let mut log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             for row in &rows {
@@ -425,17 +447,20 @@ impl LiveModel {
             log.flush()?;
             log.epoch()
         };
+        let log_append_micros = append_clock.elapsed_micros();
         let Some(artifact) = st.model.artifact() else {
             return Err(ModelError::Degenerate {
                 method: st.model.method().to_owned(),
             });
         };
         let first_new = artifact.reference().n_tuples();
+        let apply_clock = Stopwatch::start();
         for row in rows {
             st.model.apply_delta(&DeltaOp::Append { values: row })?;
         }
         st.epoch = epoch;
         drop(st);
+        let apply_delta_micros = apply_clock.elapsed_micros();
 
         // Drift statistics for the freshly appended rows — violations
         // on arrival plus the model's own scores for their cells —
@@ -443,6 +468,7 @@ impl LiveModel {
         // blocked on this bookkeeping. The session is append-only, so
         // rows `first_new..` stay addressable even if more batches land
         // in between (their stats are folded by their own calls).
+        let drift_clock = Stopwatch::start();
         let (violating, scores) = {
             let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
             let Some(artifact) = st.model.artifact() else {
@@ -472,11 +498,15 @@ impl LiveModel {
             d.record_batch(appended as u64, violating, &scores)?;
             d.report().drift
         };
+        let drift_update_micros = drift_clock.elapsed_micros();
         sat_add(&self.rows_ingested, appended as u64);
         Ok(IngestReport {
             appended,
             epoch,
             drift,
+            log_append_micros,
+            apply_delta_micros,
+            drift_update_micros,
         })
     }
 
@@ -606,11 +636,24 @@ impl LiveModel {
     /// when no registry is involved), which replays any ops that
     /// arrived mid-refit.
     pub fn refit_to_disk(&self) -> Result<u64, ModelError> {
+        self.refit_to_disk_as("manual")
+    }
+
+    /// [`LiveModel::refit_to_disk`] with an explicit trigger label
+    /// (`"manual"` for operator requests, `"drift"` from the
+    /// scheduler) — the label the refit's timeline records, so
+    /// `GET /v1/models/{name}/refits` can tell drift-driven retrains
+    /// from operator-driven ones.
+    ///
+    /// # Errors
+    /// Exactly those of [`LiveModel::refit_to_disk`].
+    pub fn refit_to_disk_as(&self, trigger: &str) -> Result<u64, ModelError> {
         // A poisoned refit lock guards no data (`Mutex<()>`) — recover.
         let _serialized = self
             .refit_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        let snapshot_clock = Stopwatch::start();
         let (snapshot, base_epoch) = {
             let st = self.state.read().unwrap_or_else(PoisonError::into_inner);
             let mut buf = Vec::new();
@@ -629,20 +672,23 @@ impl LiveModel {
                 .collect()
         };
         let copy = FittedHoloDetect::load_from(&mut std::io::Cursor::new(snapshot))?;
+        let snapshot_micros = snapshot_clock.elapsed_micros();
         let adapt = AdaptiveRefit::new(AdaptConfig {
             max_labels: self.cfg.refit_label_budget,
             ..AdaptConfig::default()
         });
-        let (refitted, adapt_report) = adapt.refit(copy, &label_snapshot)?;
+        let (refitted, adapt_report, adapt_timing) = adapt.refit_timed(copy, &label_snapshot)?;
         // The epoch rides inside the atomically renamed file, so a
         // crash between this rename and the compaction below cannot
         // desynchronize them: `open` sees artifact-epoch > log-horizon
         // and finishes the compaction instead of double-replaying.
+        let persist_clock = Stopwatch::start();
         write_epoch_artifact(&self.path, &refitted, base_epoch)?;
         {
             let mut log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             log.compact_through(base_epoch)?;
         }
+        let persist_micros = persist_clock.elapsed_micros();
         // The refit is durable — now (and only now) drain the labels it
         // consumed. New labels appended mid-refit sit behind the
         // snapshot prefix and survive for the next round.
@@ -653,7 +699,44 @@ impl LiveModel {
             sat_add(&self.labels_consumed, consumed as u64);
         }
         sat_add(&self.refits, 1);
+        // Phase durations clamp to ≥ 1µs: a phase that *ran* must be
+        // distinguishable from one that is absent, however fast it was.
+        let adapt_micros = adapt_timing
+            .label_drain_micros
+            .saturating_add(adapt_timing.channel_learn_micros)
+            .saturating_add(adapt_timing.augment_micros);
+        let mut timeline = RefitTimeline::new(self.model_label(), trigger, base_epoch);
+        timeline.push_phase("snapshot", snapshot_micros.max(1));
+        timeline.push_phase("adapt", adapt_micros.max(1));
+        timeline.push_phase("adapt.label-drain", adapt_timing.label_drain_micros.max(1));
+        timeline.push_phase(
+            "adapt.channel-learn",
+            adapt_timing.channel_learn_micros.max(1),
+        );
+        timeline.push_phase("adapt.augment", adapt_timing.augment_micros.max(1));
+        timeline.push_phase("refit_with", adapt_timing.refit_with_micros.max(1));
+        timeline.push_phase("persist", persist_micros.max(1));
+        self.timelines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(timeline);
         Ok(base_epoch)
+    }
+
+    /// The newest `k` refit timelines, most recent first.
+    pub fn refit_timelines(&self, k: usize) -> Vec<RefitTimeline> {
+        self.timelines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .last(k)
+    }
+
+    /// The label refit timelines carry: the artifact file's stem.
+    fn model_label(&self) -> &str {
+        self.path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("model")
     }
 
     /// Install a model that corresponds to the log's compaction horizon
@@ -679,6 +762,7 @@ impl LiveModel {
         mut loaded: FittedHoloDetect,
         file_epoch: Option<u64>,
     ) -> Result<u64, ModelError> {
+        let install_clock = Stopwatch::start();
         let Some(artifact) = loaded.artifact() else {
             return Err(ModelError::Degenerate {
                 method: loaded.method().to_owned(),
@@ -689,7 +773,7 @@ impl LiveModel {
                 "installed artifact schema does not match the live model".into(),
             ));
         }
-        {
+        let artifact_epoch = {
             let mut st = self.state.write().map_err(|_| poisoned("live state"))?;
             let log = self.log.lock().map_err(|_| poisoned("delta log"))?;
             let artifact_epoch = file_epoch.unwrap_or_else(|| log.base_epoch());
@@ -706,7 +790,8 @@ impl LiveModel {
             }
             st.model = loaded;
             st.epoch = log.epoch();
-        }
+            artifact_epoch
+        };
         // Re-anchor the drift baseline under a *read* lock: the anchor
         // scores a reference sample, and holding the write lock for it
         // would block every concurrent scorer mid-swap.
@@ -727,6 +812,13 @@ impl LiveModel {
                 }) {
                 Ok(prev) | Err(prev) => prev.saturating_add(1),
             };
+        // Close the matching refit timeline, if one is still retained —
+        // a plain-artifact install (epoch at the log horizon with no
+        // pending refit) simply finds nothing to mark.
+        self.timelines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .mark_installed(artifact_epoch, install_clock.elapsed_micros().max(1));
         Ok(generation)
     }
 

@@ -87,7 +87,7 @@ impl RefitScheduler {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             target
                                 .live
-                                .refit_to_disk()
+                                .refit_to_disk_as("drift")
                                 .map_err(|e| e.to_string())
                                 .and_then(|_| (target.swap)())
                         }))

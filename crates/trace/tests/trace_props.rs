@@ -1,0 +1,172 @@
+//! Property tests for trace correctness: any open/close sequence
+//! yields a well-formed tree, the recorder's ring buffer never exceeds
+//! its byte budget, and concurrent tracing from worker threads never
+//! interleaves spans across trace ids.
+
+use holo_trace::{RecorderConfig, SpanRecorder, Trace, TraceBuilder, Tracer, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Structural well-formedness: rooted at index 0, parents precede
+/// children, children start no earlier than their parents, and every
+/// span fits inside the trace's total duration.
+fn assert_well_formed(trace: &Trace) -> Result<(), String> {
+    if trace.spans.is_empty() {
+        return Err("trace has no root span".to_string());
+    }
+    for (i, span) in trace.spans.iter().enumerate() {
+        match (i, span.parent) {
+            (0, None) => {}
+            (0, Some(p)) => return Err(format!("root has parent {p}")),
+            (_, None) => return Err(format!("span {i} has no parent")),
+            (_, Some(p)) => {
+                if p >= i {
+                    return Err(format!("span {i} has forward parent {p}"));
+                }
+                let parent_start = trace.spans[p].start_micros;
+                if span.start_micros < parent_start {
+                    return Err(format!("span {i} starts before parent {p}"));
+                }
+            }
+        }
+        let end = span.start_micros.saturating_add(span.duration_micros);
+        if end > trace.total_micros {
+            return Err(format!(
+                "span {i} ends at {end} past total {}",
+                trace.total_micros
+            ));
+        }
+    }
+    if trace.spans[0].duration_micros != trace.total_micros {
+        return Err("root span does not cover the trace".to_string());
+    }
+    Ok(())
+}
+
+/// Applies one encoded op to the builder. The op space deliberately
+/// includes pathological shapes: closing more than was opened, leaving
+/// spans open for finish to sweep, and attaching completed children
+/// with arbitrary offsets/durations.
+fn apply_op(b: &mut TraceBuilder, op: u8, name: &str, amount: u64) {
+    match op % 5 {
+        0 => {
+            b.child(name);
+        }
+        1 => {
+            b.close();
+        }
+        2 => {
+            b.child_micros(name, amount);
+        }
+        3 => {
+            b.child_at(name, amount / 2, amount);
+        }
+        _ => {
+            b.annotate(name, Value::U64(amount));
+        }
+    }
+}
+
+proptest! {
+    /// Any sequence of opens, closes, completed-child attachments, and
+    /// annotations — balanced or not — finishes into a well-formed tree.
+    #[test]
+    fn any_open_close_sequence_is_well_formed(
+        ops in proptest::collection::vec(0u8..5, 0..40),
+        names in proptest::collection::vec("[a-e]{1,6}", 40..41),
+        amounts in proptest::collection::vec(0u64..50_000, 40..41),
+    ) {
+        let mut b = TraceBuilder::detached("/prop");
+        for (i, &op) in ops.iter().enumerate() {
+            apply_op(&mut b, op, &names[i], amounts[i]);
+        }
+        let trace = b.finish();
+        if let Err(msg) = assert_well_formed(&trace) {
+            prop_assert!(false, "{}", msg);
+        }
+        // Every open contributes exactly one span; closes/annotations none.
+        let opens = ops.iter().filter(|&&o| matches!(o % 5, 0 | 2 | 3)).count();
+        prop_assert_eq!(trace.spans.len(), opens + 1);
+    }
+
+    /// However many traces of whatever size are recorded, the ring's
+    /// byte accounting never exceeds its configured budget.
+    #[test]
+    fn ring_never_exceeds_byte_budget(
+        budget in 64usize..2_048,
+        shapes in proptest::collection::vec((0u8..4, 1usize..12, 0u64..10_000), 1..60),
+    ) {
+        let rec = SpanRecorder::new(RecorderConfig {
+            ring_bytes: budget,
+            slow_per_endpoint: 2,
+        });
+        for &(endpoint, spans, micros) in &shapes {
+            let mut b = TraceBuilder::detached(match endpoint {
+                0 => "/score",
+                1 => "/predict",
+                2 => "/rows",
+                _ => "/an/intentionally/longer/endpoint/label/to/vary/cost",
+            });
+            for s in 0..spans {
+                b.child_micros(if s % 2 == 0 { "score" } else { "encode" }, micros);
+            }
+            rec.record(b.finish());
+            prop_assert!(
+                rec.ring_bytes_used() <= budget,
+                "ring used {} > budget {}",
+                rec.ring_bytes_used(),
+                budget
+            );
+        }
+        prop_assert!(rec.recorded_total() >= shapes.len() as u64);
+    }
+
+    /// Worker threads tracing concurrently through one shared recorder
+    /// never bleed spans across trace ids: every recorded trace holds
+    /// only the spans its own thread created, and ids stay unique.
+    #[test]
+    fn concurrent_tracing_never_interleaves(
+        per_thread in 1usize..5,
+        spans_per_trace in 1usize..4,
+    ) {
+        let rec = Arc::new(SpanRecorder::new(RecorderConfig {
+            ring_bytes: 1 << 20,
+            slow_per_endpoint: 4,
+        }));
+        let tracer = Tracer::new(Arc::clone(&rec));
+        std::thread::scope(|s| {
+            for worker in 0..4usize {
+                let tracer = tracer.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let mut b = tracer.span(&format!("/w{worker}"));
+                        for j in 0..spans_per_trace {
+                            b.child(&format!("w{worker}-t{i}-s{j}"));
+                            b.close();
+                        }
+                        b.finish();
+                    }
+                });
+            }
+        });
+        let recent = rec.recent(usize::MAX);
+        prop_assert_eq!(recent.len(), 4 * per_thread);
+        let mut ids = HashSet::new();
+        for trace in &recent {
+            prop_assert!(ids.insert(trace.id), "duplicate trace id");
+            // Root name identifies the owning worker; every non-root
+            // span must carry that worker's tag.
+            let owner = trace.endpoint.clone();
+            let tag = owner.trim_start_matches('/').to_string();
+            for span in trace.spans.iter().skip(1) {
+                prop_assert!(
+                    span.name.starts_with(&tag),
+                    "span {} leaked into trace for {}",
+                    span.name.clone(),
+                    owner.clone()
+                );
+            }
+        }
+    }
+}

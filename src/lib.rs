@@ -63,7 +63,11 @@
 //!   `BENCH_scenarios.json`,
 //! * [`adapt`] — few-shot drift adaptation: PSI/KS score-distribution
 //!   drift detection, labeled probe pools, and the label → channel →
-//!   augment → refit pipeline that recovers quality on quiet drift.
+//!   augment → refit pipeline that recovers quality on quiet drift,
+//! * [`trace`] — request-scoped span tracing: monotonic span trees, a
+//!   bounded ring-buffer recorder with slow-request exemplars, and
+//!   refit timelines, surfaced as `/v1/trace/*` endpoints and
+//!   per-stage `/metrics` histograms by [`serve`].
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -82,4 +86,5 @@ pub use holo_scenarios as scenarios;
 pub use holo_serve as serve;
 pub use holo_stream as stream;
 pub use holo_text as text;
+pub use holo_trace as trace;
 pub use holodetect as core;

@@ -17,7 +17,7 @@ use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
 use holodetect_repro::eval::{FitContext, TrainedModel};
 use holodetect_repro::serve::{
-    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig,
+    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig, TraceConfig,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -77,6 +77,7 @@ fn start_server(path: &std::path::Path) -> RunningServer {
                 max_batch_cells: 64,
                 max_wait: Duration::from_millis(10),
             },
+            trace: TraceConfig::default(),
         },
         registry,
     )
@@ -85,8 +86,9 @@ fn start_server(path: &std::path::Path) -> RunningServer {
 
 // ------------------------------------------------------------- raw http
 
-/// One raw HTTP/1.1 round-trip on a fresh connection.
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One raw HTTP/1.1 round-trip on a fresh connection, returning the
+/// status, the raw header block, and the body.
+fn http_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
     let req = format!(
@@ -101,8 +103,22 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+/// One raw HTTP/1.1 round-trip on a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http_full(addr, method, path, body);
     (status, body)
+}
+
+/// The value of a response header (case-insensitive name), if present.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
@@ -387,6 +403,86 @@ fn mid_flight_reload_hot_swaps_without_breaking_scoring() {
     );
     assert_eq!(status, 200);
     server.shutdown();
+}
+
+#[test]
+fn traced_score_request_attributes_its_wall_time_to_stages() {
+    let (_model, path) = fit_artifact("trace");
+    let server = start_server(&path);
+    let addr = server.addr();
+
+    // A scored request comes back with an `x-holo-trace` id…
+    let (status, head, body) = http_full(
+        addr,
+        "POST",
+        "/v1/models/food/score",
+        &rows_json(&unseen_batch(9)).to_string(),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let id = header_value(&head, "x-holo-trace").expect("x-holo-trace header on a scored request");
+    assert_eq!(id.len(), 16, "trace id is 16 hex chars, got {id:?}");
+
+    // …whose span tree is fetchable by id and attributes the request's
+    // wall time: batch-wait + score + encode must cover ≥ 90% of the
+    // measured total (the 10ms micro-batch gather wait dominates).
+    let (status, trace_body) = http(addr, "GET", &format!("/v1/trace/{id}"), "");
+    assert_eq!(status, 200, "body: {trace_body}");
+    let doc = serve::parse_json(&trace_body).expect("trace json");
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some(id.as_str()));
+    assert_eq!(
+        doc.get("endpoint").and_then(Json::as_str),
+        Some("/v1/models/{name}/score")
+    );
+    let total = doc
+        .get("total_micros")
+        .and_then(Json::as_f64)
+        .expect("total_micros");
+    assert!(total > 0.0);
+    let spans = doc.get("spans").and_then(Json::as_arr).expect("spans");
+    let stage = |name: &str| -> f64 {
+        spans
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no {name:?} span in {trace_body}"))
+            .get("duration_micros")
+            .and_then(Json::as_f64)
+            .expect("duration_micros")
+    };
+    let attributed = stage("batch-wait") + stage("score") + stage("encode");
+    assert!(
+        attributed >= 0.9 * total && attributed <= 1.1 * total,
+        "stages must attribute the wall time: batch-wait+score+encode = \
+         {attributed}us of {total}us total ({trace_body})"
+    );
+
+    // The ring serves it under /recent, and the slow store retains the
+    // endpoint's worst exemplars.
+    let (status, body) = http(addr, "GET", "/v1/trace/recent", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&id),
+        "recent traces must include {id}: {body}"
+    );
+    let (status, body) = http(addr, "GET", "/v1/trace/slow", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("/v1/models/{name}/score"),
+        "slow exemplars grouped by endpoint: {body}"
+    );
+
+    // Bad ids are typed errors, not panics.
+    assert_eq!(http(addr, "GET", "/v1/trace/not-hex!", "").0, 400);
+    assert_eq!(http(addr, "GET", "/v1/trace/00000000deadbeef", "").0, 404);
+
+    // The stage histograms derived from the same spans are on /metrics.
+    let (_, page) = http(addr, "GET", "/metrics", "");
+    assert!(
+        page.contains("holo_trace_stage_micros_bucket{stage=\"score\""),
+        "page: {page}"
+    );
+    assert!(page.contains("holo_trace_recorded_total"), "page: {page}");
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -8,7 +8,7 @@ use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
 use holodetect_repro::eval::FitContext;
 use holodetect_repro::serve::{
-    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig,
+    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig, TraceConfig,
 };
 use holodetect_repro::stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
 use std::io::{Read, Write};
@@ -67,6 +67,7 @@ fn start_server(registry: Arc<ModelRegistry>) -> RunningServer {
                 max_batch_cells: 64,
                 max_wait: Duration::from_millis(5),
             },
+            trace: TraceConfig::default(),
         },
         registry,
     )
@@ -128,6 +129,44 @@ fn scores_of(body: &str) -> Vec<u64> {
         .iter()
         .map(|v| v.as_f64().expect("numeric score").to_bits())
         .collect()
+}
+
+/// Asserts the newest `/v1/models/{name}/refits` timeline: expected
+/// trigger, installed, and nonzero adapt / refit_with / install phases.
+fn assert_refit_timeline(addr: SocketAddr, trigger: &str) {
+    let (status, body) = http(addr, "GET", "/v1/models/food/refits", "");
+    assert_eq!(status, 200, "body: {body}");
+    let doc = serve::parse_json(&body).expect("refits json");
+    assert_eq!(doc.get("model").and_then(Json::as_str), Some("food"));
+    let refits = doc.get("refits").and_then(Json::as_arr).expect("refits");
+    assert!(!refits.is_empty(), "no refit timelines in {body}");
+    let newest = &refits[0];
+    assert_eq!(
+        newest.get("trigger").and_then(Json::as_str),
+        Some(trigger),
+        "body: {body}"
+    );
+    assert_eq!(
+        newest.get("installed").and_then(Json::as_bool),
+        Some(true),
+        "newest refit must be installed: {body}"
+    );
+    let phases = newest.get("phases").and_then(Json::as_arr).expect("phases");
+    for want in ["snapshot", "adapt", "refit_with", "persist", "install"] {
+        let micros = phases
+            .iter()
+            .find(|p| p.get("phase").and_then(Json::as_str) == Some(want))
+            .unwrap_or_else(|| panic!("no {want:?} phase in {body}"))
+            .get("micros")
+            .and_then(Json::as_f64)
+            .expect("micros");
+        assert!(micros >= 1.0, "{want} phase must be nonzero: {body}");
+    }
+    let total = newest
+        .get("total_micros")
+        .and_then(Json::as_f64)
+        .expect("total_micros");
+    assert!(total >= phases.len() as f64, "body: {body}");
 }
 
 fn probe_batch(tag: usize) -> Dataset {
@@ -271,6 +310,12 @@ fn drift_and_refit_endpoints_report_and_hot_swap() {
     );
     assert!(page.contains("holo_serve_stream_refits_total 1"), "{page}");
 
+    // The refit left a phase-attributed timeline behind.
+    assert_refit_timeline(addr, "manual");
+    // Refits on a ghost model are 404; wrong method is 405.
+    assert_eq!(http(addr, "GET", "/v1/models/ghost/refits", "").0, 404);
+    assert_eq!(post(addr, "/v1/models/food/refits", "").0, 405);
+
     server.shutdown();
     std::fs::remove_file(&artifact).ok();
     std::fs::remove_file(&log).ok();
@@ -291,6 +336,7 @@ fn stream_endpoints_on_static_models_are_409() {
     assert_eq!(status, 409, "body: {body}");
     assert!(body.contains("streaming"), "body: {body}");
     assert_eq!(http(addr, "GET", "/v1/models/plain/drift", "").0, 409);
+    assert_eq!(http(addr, "GET", "/v1/models/plain/refits", "").0, 409);
     assert_eq!(post(addr, "/v1/models/plain/labels", "{}").0, 409);
     assert_eq!(post(addr, "/v1/models/plain/refit", "").0, 409);
     assert_eq!(post(addr, "/v1/models/ghost/rows", "{}").0, 404);
@@ -435,6 +481,10 @@ fn scoring_and_ingest_stay_available_during_drift_triggered_refit() {
         .map(|p| p.to_bits())
         .collect();
     assert_eq!(scores_of(&resp), direct);
+
+    // The background refit recorded a drift-triggered timeline with
+    // every phase attributed and the install marked.
+    assert_refit_timeline(addr, "drift");
 
     scheduler.shutdown();
     server.shutdown();
