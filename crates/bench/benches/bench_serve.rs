@@ -12,7 +12,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use holo_data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
 use holo_eval::{FitContext, TrainedModel};
 use holo_serve::{
-    BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig, TraceConfig,
+    BatchConfig, HttpConfig, Json, ModelRegistry, ProfConfig, RunningServer, ServeConfig,
+    TraceConfig,
 };
 use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 use std::io::{Read, Write};
@@ -99,6 +100,15 @@ fn post_score(addr: SocketAddr, body: &str) -> usize {
 }
 
 fn start(path: &std::path::Path, workers: usize, batch: BatchConfig) -> RunningServer {
+    start_prof(path, workers, batch, ProfConfig::default())
+}
+
+fn start_prof(
+    path: &std::path::Path,
+    workers: usize,
+    batch: BatchConfig,
+    prof: ProfConfig,
+) -> RunningServer {
     let registry = Arc::new(ModelRegistry::new());
     registry.load_insert("m", path).expect("load artifact");
     holo_serve::start(
@@ -110,6 +120,7 @@ fn start(path: &std::path::Path, workers: usize, batch: BatchConfig) -> RunningS
             },
             batch,
             trace: TraceConfig::default(),
+            prof,
         },
         registry,
     )
@@ -209,7 +220,45 @@ fn bench_serving(c: &mut Criterion) {
          ({:.2} requests/call)",
         coalesced as f64 / calls.max(1) as f64
     );
+
+    prof_overhead_guard(&path);
     std::fs::remove_file(&path).ok();
+}
+
+/// The profiling overhead budget: p50 scoring latency with `--prof` on
+/// must stay within 5% (plus a small absolute jitter allowance) of the
+/// p50 with it off. Measured off-then-on because scope attribution is a
+/// sticky process-wide enable — once a prof-enabled server has run in
+/// this process there is no going back to a clean baseline.
+fn prof_overhead_guard(path: &std::path::Path) {
+    let p50_micros = |prof: ProfConfig| -> u64 {
+        let server = start_prof(path, 4, batched(), prof);
+        let addr = server.addr();
+        let body = rows_body(&unseen_batch(7));
+        for _ in 0..10 {
+            post_score(addr, &body); // warm-up
+        }
+        let mut lat: Vec<u64> = (0..100)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                post_score(addr, &body);
+                t.elapsed().as_micros() as u64
+            })
+            .collect();
+        server.shutdown();
+        lat.sort_unstable();
+        lat[lat.len() / 2]
+    };
+    let off = p50_micros(ProfConfig::default());
+    let on = p50_micros(ProfConfig { enabled: true });
+    // 5% relative + 250us absolute: the absolute term absorbs scheduler
+    // jitter on a quiet p50 without hiding a real 5% regression.
+    let budget = off + off / 20 + 250;
+    println!("prof overhead: p50 off={off}us on={on}us budget={budget}us");
+    assert!(
+        on <= budget,
+        "--prof p50 overhead blew the 5% budget: off={off}us on={on}us"
+    );
 }
 
 criterion_group! {

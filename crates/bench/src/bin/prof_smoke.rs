@@ -1,18 +1,17 @@
-//! Trace smoke: a live serving process scraped end to end.
+//! Prof smoke: the continuous-profiling surface scraped end to end.
 //!
-//! Fits a tiny model, serves it for real (TCP, worker pool,
-//! micro-batcher), fires a burst of scored requests, and then checks
-//! the whole observability surface from the outside: the
-//! `x-holo-trace` response header, `/v1/trace/{id}`,
-//! `/v1/trace/recent`, `/v1/trace/slow`, and the
-//! `holo_trace_stage_micros` histograms on `/metrics`. The slow-trace
-//! exemplars are written to the path given as the first argument
-//! (default `slow-traces.json`) — CI uploads that file as a workflow
-//! artifact, so every run leaves its worst traces behind for
-//! inspection.
+//! Fits a tiny model, serves it for real with `--prof` semantics
+//! (allocation scope attribution on), fires a burst of scored requests,
+//! and checks the profiling surface from the outside: `GET /v1/prof`
+//! (allocation totals, per-scope bytes, lock contention, pool
+//! utilization), the per-stage `alloc_bytes` notes on the request's
+//! trace, and the `holo_prof_*` families on `/metrics`. The `/v1/prof`
+//! snapshot is written to the path given as the first argument (default
+//! `prof-snapshot.json`) — CI uploads it as a workflow artifact, so
+//! every run leaves its heap/lock/pool profile behind for inspection.
 //!
 //! ```text
-//! cargo run --release -p holo-bench --bin trace_smoke -- slow-traces.json
+//! cargo run --release -p holo-bench --bin prof_smoke -- prof-snapshot.json
 //! ```
 
 use holo_data::{DatasetBuilder, GroundTruth, Schema};
@@ -54,7 +53,7 @@ fn check(ok: bool, what: &str) -> bool {
 fn main() -> ExitCode {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "slow-traces.json".to_string());
+        .unwrap_or_else(|| "prof-snapshot.json".to_string());
 
     // A tiny servable world (the serve test fixture, shrunk).
     let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
@@ -77,7 +76,7 @@ fn main() -> ExitCode {
         seed: 3,
     });
     let artifact =
-        std::env::temp_dir().join(format!("holo-trace-smoke-{}.holoart", std::process::id()));
+        std::env::temp_dir().join(format!("holo-prof-smoke-{}.holoart", std::process::id()));
     model.save(&artifact).expect("save artifact");
 
     let registry = Arc::new(ModelRegistry::new());
@@ -94,13 +93,13 @@ fn main() -> ExitCode {
                 max_wait: Duration::from_millis(2),
             },
             trace: TraceConfig::default(),
-            prof: ProfConfig::default(),
+            prof: ProfConfig { enabled: true },
         },
         registry,
     )
     .expect("bind port 0");
     let addr = server.addr();
-    println!("trace smoke serving on {addr}");
+    println!("prof smoke serving on {addr} (profiling on)");
 
     // A burst of scored requests; keep the last trace id.
     let mut last_id = String::new();
@@ -119,69 +118,87 @@ fn main() -> ExitCode {
             last_id = id;
         }
     }
-    ok &= check(last_id.len() == 16, "x-holo-trace id echoed on responses");
 
-    // The span tree is fetchable by id and names the scoring stages.
-    let (status, _, trace) = http(addr, "GET", &format!("/v1/trace/{last_id}"), "");
-    ok &= check(status == 200, "GET /v1/trace/{id}");
-    for stage in ["batch-wait", "score", "encode"] {
+    // The snapshot parses and carries every documented section.
+    let (status, _, prof) = http(addr, "GET", "/v1/prof", "");
+    ok &= check(status == 200, "GET /v1/prof");
+    let doc = holo_serve::parse_json(&prof);
+    ok &= check(doc.is_ok(), "prof snapshot parses as JSON");
+    if let Ok(doc) = &doc {
         ok &= check(
-            trace.contains(&format!("\"{stage}\"")),
-            &format!("trace has a {stage} span"),
+            doc.get("enabled").and_then(holo_serve::Json::as_bool) == Some(true),
+            "profiling reported enabled",
+        );
+        for section in ["alloc", "scopes", "locks", "pools"] {
+            ok &= check(
+                doc.get(section).is_some(),
+                &format!("snapshot has the {section} section"),
+            );
+        }
+        let scope_bytes = doc
+            .get("scopes")
+            .and_then(holo_serve::Json::as_arr)
+            .and_then(|scopes| {
+                scopes
+                    .iter()
+                    .find(|s| s.get("scope").and_then(holo_serve::Json::as_str) == Some("score"))
+            })
+            .and_then(|s| s.get("bytes").and_then(holo_serve::Json::as_f64))
+            .unwrap_or(0.0);
+        ok &= check(
+            scope_bytes > 0.0,
+            &format!("score scope booked bytes ({scope_bytes})"),
+        );
+        let pools = doc
+            .get("pools")
+            .and_then(holo_serve::Json::as_arr)
+            .map(|p| {
+                p.iter()
+                    .filter_map(|e| e.get("pool").and_then(holo_serve::Json::as_str))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        ok &= check(
+            pools.contains(&"http-worker") && pools.contains(&"batcher"),
+            &format!("worker pools registered ({pools:?})"),
         );
     }
 
-    // The ring pages recent traces; the exemplar store has the worst.
-    let (status, _, recent) = http(addr, "GET", "/v1/trace/recent", "");
+    // The request's trace carries per-stage alloc_bytes notes.
+    let (status, _, trace) = http(addr, "GET", &format!("/v1/trace/{last_id}"), "");
+    ok &= check(status == 200, "GET /v1/trace/{id}");
     ok &= check(
-        status == 200 && recent.contains(&last_id),
-        "GET /v1/trace/recent retains the id",
-    );
-    let (status, _, slow) = http(addr, "GET", "/v1/trace/slow", "");
-    ok &= check(
-        status == 200 && slow.contains("/v1/models/{name}/score"),
-        "GET /v1/trace/slow has score exemplars",
-    );
-    ok &= check(
-        holo_serve::parse_json(&slow).is_ok(),
-        "slow exemplars parse as JSON",
+        trace.contains("alloc_bytes"),
+        "trace spans carry alloc_bytes notes",
     );
 
-    // The same spans drive the /metrics stage histograms.
+    // The same profile feeds the /metrics families.
     let (status, _, page) = http(addr, "GET", "/metrics", "");
     ok &= check(status == 200, "GET /metrics");
     for needle in [
-        "# TYPE holo_trace_stage_micros histogram",
-        "holo_trace_stage_micros_bucket{stage=\"score\"",
-        "holo_trace_recorded_total",
+        "# TYPE holo_prof_lock_wait_micros histogram",
+        "holo_prof_allocated_bytes_total",
+        "holo_prof_alloc_bytes{scope=\"score\"}",
+        "holo_prof_worker_busy_ratio{pool=\"http-worker\"}",
+        "holo_features_nn_cache_hits_total",
     ] {
         ok &= check(page.contains(needle), &format!("metrics expose {needle}"));
     }
-    let count = page
-        .lines()
-        .find(|l| l.starts_with("holo_trace_stage_micros_count{stage=\"score\""))
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(0);
-    ok &= check(
-        count >= SCORE_REQUESTS as u64,
-        &format!("score stage histogram saw the burst ({count} observations)"),
-    );
 
-    // Leave the slow-trace exemplars behind for the CI artifact.
-    let pretty = holo_serve::parse_json(&slow)
+    // Leave the snapshot behind for the CI artifact.
+    let pretty = holo_serve::parse_json(&prof)
         .map(|j| j.to_string())
-        .unwrap_or(slow);
-    std::fs::write(&out_path, format!("{pretty}\n")).expect("write slow traces");
-    println!("slow-trace exemplars written to {out_path}");
+        .unwrap_or(prof);
+    std::fs::write(&out_path, format!("{pretty}\n")).expect("write prof snapshot");
+    println!("prof snapshot written to {out_path}");
 
     server.shutdown();
     std::fs::remove_file(&artifact).ok();
     if ok {
-        println!("trace smoke: all checks passed");
+        println!("prof smoke: all checks passed");
         ExitCode::SUCCESS
     } else {
-        println!("trace smoke: FAILED");
+        println!("prof smoke: FAILED");
         ExitCode::FAILURE
     }
 }

@@ -196,6 +196,17 @@ impl FittedHoloDetect {
         self.state.as_ref().map_or(0, |s| s.examples.len())
     }
 
+    /// Lifetime hit/miss/eviction counters of the featurizer's
+    /// nearest-neighbour memo (all-zero for the degenerate model, which
+    /// has no featurizer). Surfaced per served model as the
+    /// `holo_features_nn_cache_*` metrics families.
+    pub fn nn_cache_stats(&self) -> holo_features::CacheStats {
+        self.state
+            .as_ref()
+            .map(|s| s.pipeline.featurizer.nn_cache_stats())
+            .unwrap_or_default()
+    }
+
     /// Raw classifier margins `z_error − z_correct` for a cell batch of
     /// `data` — the uncalibrated scores the Platt scaler maps to
     /// probabilities. Validates `data` and `cells` like

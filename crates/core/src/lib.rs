@@ -62,5 +62,6 @@ pub mod trainer;
 pub use config::HoloDetectConfig;
 pub use detector::HoloDetect;
 pub use fitted::{FittedHoloDetect, ModelArtifact};
+pub use holo_features::CacheStats;
 pub use model::{BranchStyle, WideDeepModel};
 pub use strategies::Strategy;

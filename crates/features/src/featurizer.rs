@@ -815,6 +815,15 @@ impl Featurizer {
             .len()
     }
 
+    /// Lifetime hit/miss/eviction counters (plus occupancy) of the
+    /// nearest-neighbour memo, for `/metrics` export.
+    pub fn nn_cache_stats(&self) -> crate::lru::CacheStats {
+        self.nn_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
+    }
+
     /// Serialize the fitted representation. The violation engine, the
     /// layout, and the constraint masks are *not* written — they are
     /// rebuilt deterministically from the reference dataset and the

@@ -34,4 +34,4 @@ pub mod wide;
 pub use config::{Component, FeatureConfig};
 pub use featurizer::Featurizer;
 pub use layout::FeatureLayout;
-pub use lru::LruCache;
+pub use lru::{CacheStats, LruCache};

@@ -21,6 +21,25 @@ use std::hash::Hash;
 /// Sentinel for "no node".
 const NIL: usize = usize::MAX;
 
+/// Lifetime counters (plus current occupancy) for an [`LruCache`].
+///
+/// Hits/misses/evictions are cumulative since construction and survive
+/// [`LruCache::clear`] — an invalidation empties the cache but does not
+/// rewrite its history, so `/metrics` rates stay monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found their key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure (not by `clear`).
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
 struct Node<K, V> {
     key: K,
     value: V,
@@ -38,6 +57,9 @@ pub struct LruCache<K, V> {
     head: usize,
     /// Least recently used (the eviction victim).
     tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl<K: Clone + Eq + Hash, V: Copy> LruCache<K, V> {
@@ -51,6 +73,9 @@ impl<K: Clone + Eq + Hash, V: Copy> LruCache<K, V> {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
@@ -71,7 +96,11 @@ impl<K: Clone + Eq + Hash, V: Copy> LruCache<K, V> {
 
     /// Look up `key`, marking it most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        let &idx = self.map.get(key)?;
+        let Some(&idx) = self.map.get(key) else {
+            self.misses = self.misses.saturating_add(1);
+            return None;
+        };
+        self.hits = self.hits.saturating_add(1);
         self.detach(idx);
         self.attach_front(idx);
         Some(self.slab[idx].value)
@@ -110,13 +139,25 @@ impl<K: Clone + Eq + Hash, V: Copy> LruCache<K, V> {
     }
 
     /// Drop every entry (the streaming maintainers call this when an
-    /// invalidation event makes cached values stale).
+    /// invalidation event makes cached values stale). Lifetime
+    /// hit/miss/eviction counters are preserved — see [`CacheStats`].
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+    }
+
+    /// Lifetime counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
     }
 
     fn evict_tail(&mut self) {
@@ -127,6 +168,7 @@ impl<K: Clone + Eq + Hash, V: Copy> LruCache<K, V> {
         self.detach(victim);
         self.map.remove(&self.slab[victim].key);
         self.free.push(victim);
+        self.evictions = self.evictions.saturating_add(1);
     }
 
     fn detach(&mut self, idx: usize) {
@@ -230,6 +272,31 @@ mod tests {
         assert_eq!(c.get(&1), None);
         c.insert(3, 3);
         assert_eq!(c.get(&3), Some(3));
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions_and_survive_clear() {
+        let mut c = LruCache::new(2);
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                capacity: 2,
+                ..CacheStats::default()
+            }
+        );
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // hit
+        assert_eq!(c.get(&"z"), None); // miss
+        c.insert("c", 3); // evicts "b"
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 1));
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.capacity, 2);
+        c.clear();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 1));
+        assert_eq!(s.entries, 0);
     }
 
     /// Cross-check against a naive model over a long mixed workload.

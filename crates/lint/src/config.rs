@@ -42,6 +42,9 @@ pub struct Config {
     /// Files (workspace-relative) where panicking constructs are
     /// forbidden.
     pub no_panic_paths: Vec<String>,
+    /// Crates where raw `Mutex`/`RwLock` construction is forbidden in
+    /// favor of the instrumented `holo_prof` wrappers.
+    pub lock_instr_crates: Vec<String>,
     /// Crates whose counter updates must be saturating.
     pub counter_crates: Vec<String>,
     /// Files holding metrics state where even non-atomic `+=`/`-=`
@@ -58,6 +61,7 @@ impl Default for Config {
             lock_order_crates: Vec::new(),
             lock_order: Vec::new(),
             no_panic_paths: Vec::new(),
+            lock_instr_crates: Vec::new(),
             counter_crates: Vec::new(),
             counter_metrics_files: Vec::new(),
             seed_allow_paths: Vec::new(),
@@ -118,6 +122,7 @@ impl Config {
         cfg.lock_order_crates = take(&sections, "lock-order", "crates");
         cfg.lock_order = take(&sections, "lock-order", "order");
         cfg.no_panic_paths = take(&sections, "no-panic-paths", "paths");
+        cfg.lock_instr_crates = take(&sections, "lock-instrumentation", "crates");
         cfg.counter_crates = take(&sections, "counter-discipline", "crates");
         cfg.counter_metrics_files = take(&sections, "counter-discipline", "metrics-files");
         cfg.seed_allow_paths = take(&sections, "seed-hygiene", "allow-paths");
@@ -217,6 +222,9 @@ order = ["refit_lock", "state", "log", "drift"]  # outermost first
 [no-panic-paths]
 paths = ["crates/serve/src/http.rs"]
 
+[lock-instrumentation]
+crates = ["serve", "stream"]
+
 [counter-discipline]
 crates = ["serve", "stream"]
 metrics-files = ["crates/serve/src/metrics.rs"]
@@ -234,6 +242,7 @@ allow-paths = ["crates/bench"]
         assert_eq!(cfg.lock_rank("drift"), Some(3));
         assert_eq!(cfg.lock_rank("unrelated"), None);
         assert_eq!(cfg.no_panic_paths, vec!["crates/serve/src/http.rs"]);
+        assert_eq!(cfg.lock_instr_crates, vec!["serve", "stream"]);
         assert_eq!(
             cfg.counter_metrics_files,
             vec!["crates/serve/src/metrics.rs"]

@@ -1,4 +1,4 @@
-//! The rule engine: five invariant rules plus the suppression
+//! The rule engine: six invariant rules plus the suppression
 //! meta-rule, all deny-by-default.
 //!
 //! Each rule encodes an invariant the workspace already claims in
@@ -37,12 +37,14 @@ pub const RULE_THREAD_ENTRY: &str = "thread-entry-isolation";
 pub const RULE_COUNTER: &str = "counter-discipline";
 /// See [`RULE_LOCK_ORDER`].
 pub const RULE_SEED: &str = "seed-hygiene";
+/// See [`RULE_LOCK_ORDER`].
+pub const RULE_LOCK_INSTR: &str = "lock-instrumentation";
 /// The meta-rule: a suppression without a reason is itself a finding,
 /// and the reasonless suppression does not suppress anything.
 pub const RULE_SUPPRESSION_REASON: &str = "suppression-missing-reason";
 
 /// `(name, one-line description)` for every rule, in catalog order.
-pub const RULES: [(&str, &str); 6] = [
+pub const RULES: [(&str, &str); 7] = [
     (
         RULE_LOCK_ORDER,
         "lock acquisitions must follow the hierarchy declared in lint.toml [lock-order]",
@@ -62,6 +64,10 @@ pub const RULES: [(&str, &str); 6] = [
     (
         RULE_SEED,
         "no time-derived or ambient randomness seeding outside benches",
+    ),
+    (
+        RULE_LOCK_INSTR,
+        "locks in instrumented crates must be holo_prof wrappers, not raw Mutex/RwLock",
     ),
     (
         RULE_SUPPRESSION_REASON,
@@ -100,6 +106,9 @@ pub fn lint_file_filtered(
     }
     if on(RULE_SEED) {
         seeds(&m, cfg, &mut findings);
+    }
+    if on(RULE_LOCK_INSTR) {
+        lock_instrumentation(&m, cfg, &mut findings);
     }
     // A suppression only works when it carries a reason; a reasonless
     // one leaves the finding live AND adds a meta finding.
@@ -575,6 +584,53 @@ fn seeds(m: &FileModel, cfg: &Config, out: &mut Vec<Finding>) {
                 message: format!(
                     "`{}` is an ambient/time-derived entropy source; seeds must be explicit \
                      and deterministic outside benches",
+                    t.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------- lock-instrumentation
+
+/// Rule 6: in the configured crates, every lock must be one of the
+/// instrumented `holo_prof` wrappers — a raw `Mutex::new(` /
+/// `RwLock::new(` construction site is flagged. The wrappers feed the
+/// contention profile (`/v1/prof`, `holo_prof_lock_wait_micros`), so a
+/// raw lock is an invisible lock. `ProfMutex::new` tokenizes as its own
+/// identifier and never matches; type positions (`Mutex<...>`) are not
+/// construction and are ignored. Suppress with a written reason for a
+/// lock that genuinely cannot be wrapped (e.g. const/static init before
+/// the registry exists).
+fn lock_instrumentation(m: &FileModel, cfg: &Config, out: &mut Vec<Finding>) {
+    if !in_crates(&m.path, &cfg.lock_instr_crates) {
+        return;
+    }
+    for i in 0..m.toks.len() {
+        if m.toks[i].is_comment() || m.in_test[i] {
+            continue;
+        }
+        let t = &m.toks[i];
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "Mutex" | "RwLock") {
+            continue;
+        }
+        let is_new_call = after(m, i)
+            .filter(|&a| m.toks[a].is_punct(':'))
+            .and_then(|a| after(m, a))
+            .filter(|&b| m.toks[b].is_punct(':'))
+            .and_then(|b| after(m, b))
+            .filter(|&c| m.toks[c].is_ident("new"))
+            .and_then(|c| after(m, c))
+            .is_some_and(|d| m.toks[d].is_punct('('));
+        if is_new_call {
+            out.push(Finding {
+                rule: RULE_LOCK_INSTR,
+                path: m.path.clone(),
+                line: t.line,
+                message: format!(
+                    "raw `{0}::new` in an instrumented crate; construct a named \
+                     `holo_prof::Prof{0}` so its contention shows up in /v1/prof",
                     t.text
                 ),
                 suppressed: None,

@@ -19,6 +19,9 @@ order = ["refit_lock", "state", "log", "drift"]
 [no-panic-paths]
 paths = ["crates/serve/src/http.rs"]
 
+[lock-instrumentation]
+crates = ["serve", "stream"]
+
 [counter-discipline]
 crates = ["serve", "stream"]
 metrics-files = ["crates/serve/src/metrics.rs"]
@@ -438,6 +441,86 @@ fn handle(v: Option<u32>) -> u32 {
     );
 }
 
+// ---------------------------------------------- lock-instrumentation
+
+#[test]
+fn raw_mutex_construction_in_instrumented_crate_is_flagged() {
+    let src = r#"
+fn build() {
+    let q = std::sync::Mutex::new(Vec::new());
+    let s = RwLock::new(State::default());
+}
+"#;
+    let f = lint_file("crates/serve/src/batch.rs", src, &cfg());
+    let hits: Vec<&Finding> = f
+        .iter()
+        .filter(|f| f.rule == "lock-instrumentation")
+        .collect();
+    assert_eq!(hits.len(), 2, "{f:?}");
+    assert!(hits[0].message.contains("ProfMutex"), "{:?}", hits[0]);
+    assert!(hits[1].message.contains("ProfRwLock"), "{:?}", hits[1]);
+    assert_rule_is_live("crates/serve/src/batch.rs", src, "lock-instrumentation");
+}
+
+#[test]
+fn prof_wrappers_and_type_positions_do_not_trigger() {
+    let src = r#"
+struct S {
+    state: ProfRwLock<State>,
+    raw_typed: Mutex<u32>,
+}
+fn build() -> ProfMutex<Vec<u32>> {
+    ProfMutex::new("queue", Vec::new())
+}
+"#;
+    let f = lint_file("crates/stream/src/live.rs", src, &cfg());
+    assert!(
+        !f.iter().any(|f| f.rule == "lock-instrumentation"),
+        "wrappers and type positions are not construction sites: {f:?}"
+    );
+}
+
+#[test]
+fn raw_locks_outside_instrumented_crates_are_fine() {
+    let src = "fn build() { let m = Mutex::new(0u32); }";
+    let f = lint_file("crates/features/src/lru.rs", src, &cfg());
+    assert!(!f.iter().any(|f| f.rule == "lock-instrumentation"), "{f:?}");
+}
+
+#[test]
+fn raw_locks_in_tests_are_fine() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let m = Mutex::new(0u32);
+    }
+}
+"#;
+    let f = lint_file("crates/serve/src/batch.rs", src, &cfg());
+    assert!(!f.iter().any(|f| f.rule == "lock-instrumentation"), "{f:?}");
+}
+
+#[test]
+fn lock_instrumentation_suppression_with_reason_works() {
+    let src = r#"
+fn build() {
+    // lint:allow(lock-instrumentation): const-init before the profiler registry exists
+    let m = Mutex::new(0u32);
+}
+"#;
+    let f = lint_file("crates/serve/src/batch.rs", src, &cfg());
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "lock-instrumentation")
+        .expect("the finding still exists, suppressed");
+    assert!(hit.suppressed.is_some(), "{hit:?}");
+    assert!(unsuppressed(&f)
+        .iter()
+        .all(|f| f.rule != "lock-instrumentation"));
+}
+
 // ------------------------------------------------------ rule catalog
 
 #[test]
@@ -451,6 +534,7 @@ fn rule_catalog_matches_the_implemented_rules() {
             "thread-entry-isolation",
             "counter-discipline",
             "seed-hygiene",
+            "lock-instrumentation",
             "suppression-missing-reason",
         ]
     );

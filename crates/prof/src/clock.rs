@@ -1,12 +1,18 @@
 //! The workspace's single monotonic-clock helper.
 //!
-//! Every duration the workspace reports — span durations, scenario
-//! latencies, bench wall times — funnels through [`Stopwatch`] so the
-//! clock source and the rounding rules live in exactly one place. The
-//! wall clock ([`std::time::SystemTime`]) is never consulted: it can
-//! jump backwards under NTP correction, and the lint suite's
-//! seed-hygiene rule bans it outside `crates/bench` for determinism
-//! reasons anyway.
+//! Every duration the workspace reports — span durations, lock wait
+//! times, scenario latencies, bench wall times — funnels through
+//! [`Stopwatch`] so the clock source and the rounding rules live in
+//! exactly one place. The wall clock ([`std::time::SystemTime`]) is
+//! never consulted: it can jump backwards under NTP correction, and
+//! the lint suite's seed-hygiene rule bans it outside `crates/bench`
+//! for determinism reasons anyway.
+//!
+//! This module used to live in `holo-trace`; it moved here when
+//! `holo-prof` became the lowest layer of the observability stack so
+//! both tracing (spans) and profiling (lock wait/hold, pool busy/idle)
+//! share one clock. `holo_trace::Stopwatch` re-exports this type, so
+//! existing imports keep working.
 
 use std::time::{Duration, Instant};
 

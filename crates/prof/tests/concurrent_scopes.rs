@@ -1,0 +1,83 @@
+//! Property test: allocator scope attribution is *exact* under
+//! concurrent tagged scopes.
+//!
+//! N threads each enter their own scope tag and perform M allocations
+//! of a known size (`Vec::<u8>::with_capacity(s)` allocates exactly
+//! `s` bytes; the holder vector is pre-sized outside the scope so no
+//! incidental reallocation is tagged). Per-scope byte and allocation
+//! deltas must then equal each thread's M×S exactly, and the per-scope
+//! deltas must sum to the global tagged total — no losses, no
+//! double-counting, no cross-thread bleed.
+
+use proptest::collection;
+use proptest::prelude::*;
+use std::thread;
+
+const NAMES: [&str; 4] = [
+    "prop-scope-0",
+    "prop-scope-1",
+    "prop-scope-2",
+    "prop-scope-3",
+];
+
+fn scope_stat(name: &str) -> (u64, u64) {
+    holo_prof::scope_allocs()
+        .iter()
+        .find(|s| s.scope == name)
+        .map(|s| (s.allocs, s.bytes))
+        .unwrap_or((0, 0))
+}
+
+proptest! {
+    #[test]
+    fn per_scope_deltas_exact_and_sum_to_tagged_total(
+        threads in 1usize..=4,
+        allocs in 1usize..=16,
+        sizes in collection::vec(1usize..=256, 4),
+    ) {
+        holo_prof::set_enabled(true);
+        // Intern every name up front so baseline reads see a slot.
+        for n in NAMES {
+            drop(holo_prof::scope(n));
+        }
+        let before: Vec<(u64, u64)> = NAMES.iter().map(|n| scope_stat(n)).collect();
+        let global_before = holo_prof::alloc_totals();
+
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let size = sizes[i];
+                thread::spawn(move || {
+                    // Pre-size the holder *outside* the scope so pushes
+                    // never reallocate inside it.
+                    let mut holder: Vec<Vec<u8>> = Vec::with_capacity(allocs);
+                    {
+                        let _g = holo_prof::scope(NAMES[i]);
+                        for _ in 0..allocs {
+                            holder.push(Vec::with_capacity(size));
+                        }
+                    }
+                    drop(holder);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut tagged_delta = 0u64;
+        let mut expected_total = 0u64;
+        for i in 0..threads {
+            let (a0, b0) = before[i];
+            let (a1, b1) = scope_stat(NAMES[i]);
+            let expected = (allocs * sizes[i]) as u64;
+            prop_assert_eq!(b1 - b0, expected);
+            prop_assert_eq!(a1 - a0, allocs as u64);
+            tagged_delta += b1 - b0;
+            expected_total += expected;
+        }
+        prop_assert_eq!(tagged_delta, expected_total);
+        // The global counter saw at least everything the scopes saw.
+        let global_after = holo_prof::alloc_totals();
+        prop_assert!(global_after.bytes - global_before.bytes >= expected_total);
+    }
+}

@@ -91,6 +91,14 @@ fn latency_json(r: &ScenarioResult) -> Json {
             "refit_phase_micros".into(),
             stages_json(&l.refit_phase_micros),
         ),
+        (
+            "alloc_per_request_bytes".into(),
+            Json::Num(l.alloc_per_request_bytes as f64),
+        ),
+        (
+            "top_lock_wait_micros".into(),
+            stages_json(&l.top_lock_wait_micros),
+        ),
     ])
 }
 
@@ -221,6 +229,12 @@ mod tests {
                         ("persist".into(), 2000),
                         ("install".into(), 900),
                     ],
+                    alloc_per_request_bytes: 48_000,
+                    top_lock_wait_micros: vec![
+                        ("state".into(), 1200),
+                        ("log".into(), 40),
+                        ("traces".into(), 5),
+                    ],
                 },
             }],
         }
@@ -242,6 +256,14 @@ mod tests {
             phases.get("refit_with").and_then(Json::as_f64),
             Some(800_000.0)
         );
+        assert_eq!(
+            latency
+                .get("alloc_per_request_bytes")
+                .and_then(Json::as_f64),
+            Some(48_000.0)
+        );
+        let locks = latency.get("top_lock_wait_micros").expect("top locks");
+        assert_eq!(locks.get("state").and_then(Json::as_f64), Some(1200.0));
         let q = scenario.get("quality").unwrap();
         assert_eq!(q.get("labels_used").and_then(Json::as_f64), Some(20.0));
         let fired = q.get("drift_fired").and_then(Json::as_arr).unwrap();

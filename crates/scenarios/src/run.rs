@@ -19,7 +19,7 @@ use holo_adapt::{AdaptConfig, AdaptiveRefit, RowLabel};
 use holo_data::{CellId, Dataset, DatasetBuilder, DeltaOp, GroundTruth};
 use holo_datagen::{generate_clean, inject_errors};
 use holo_eval::{best_f1, f1_at_threshold, pr_auc, ModelError, Split, SplitConfig, TrainedModel};
-use holo_serve::{Json, ModelRegistry, ServeConfig};
+use holo_serve::{Json, ModelRegistry, ProfConfig, ServeConfig};
 use holo_stream::{LiveModel, StreamConfig};
 use holo_trace::Stopwatch;
 use holodetect::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
@@ -105,6 +105,14 @@ pub struct ScenarioLatency {
     /// Phase durations of the refit's recorded timeline (`snapshot`,
     /// `adapt`, `refit_with`, `persist`, `install`, …).
     pub refit_phase_micros: Vec<(String, u64)>,
+    /// Heap bytes the score probe allocated, summed from the per-stage
+    /// `alloc_bytes` notes on its trace (the suite serves with
+    /// profiling on).
+    pub alloc_per_request_bytes: u64,
+    /// The three hottest locks by cumulative wait time from the
+    /// server's `/v1/prof` contention profile at the end of the run,
+    /// as `(lock, wait_micros)` wait-descending.
+    pub top_lock_wait_micros: Vec<(String, u64)>,
 }
 
 /// One scenario's full result.
@@ -313,7 +321,13 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     let live = Arc::new(LiveModel::open(&artifact_path, &log_path, stream_cfg)?);
     let registry = Arc::new(ModelRegistry::new());
     registry.insert_live(sc.name, Arc::clone(&live));
-    let server = holo_serve::start("127.0.0.1:0", ServeConfig::default(), Arc::clone(&registry))
+    // Profiling on: the scenario's latency section records where the
+    // probe's heap traffic went and which serving locks ran hottest.
+    let serve_cfg = ServeConfig {
+        prof: ProfConfig { enabled: true },
+        ..ServeConfig::default()
+    };
+    let server = holo_serve::start("127.0.0.1:0", serve_cfg, Arc::clone(&registry))
         .map_err(ModelError::Io)?;
     let addr = server.addr();
 
@@ -335,7 +349,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
     // out by the id it echoed.
     let trace_id = header_value(&head, "x-holo-trace")
         .unwrap_or_else(|| panic!("{}: no x-holo-trace header on score", sc.name));
-    let score_stage_micros = score_stages(addr, &trace_id);
+    let (score_stage_micros, alloc_per_request_bytes) = score_stages(addr, &trace_id);
     let http_scores = parse_scores(&body);
     let probe_all: Vec<CellId> = probe.cell_ids().collect();
     let direct = live.score_batch(&probe, &probe_all)?;
@@ -482,6 +496,7 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
         sc.name
     );
     let refit_phase_micros = refit_phases(addr, sc.name);
+    let top_lock_wait_micros = top_lock_waits(addr, 3);
 
     // ---- quality under drift, after the refit ------------------------
     let post_scores = live.score_batch(&drift_dirty, &drift_cells)?;
@@ -523,6 +538,8 @@ pub fn run_scenario(sc: &SchemaScenario, cfg: &SuiteConfig) -> Result<ScenarioRe
             refit_secs,
             score_stage_micros,
             refit_phase_micros,
+            alloc_per_request_bytes,
+            top_lock_wait_micros,
         },
     })
 }
@@ -567,14 +584,18 @@ fn header_value(head: &str, name: &str) -> Option<String> {
 
 /// The score probe's per-stage breakdown, pulled from the server's own
 /// trace of the request (`x-holo-trace` → `GET /v1/trace/{id}`): every
-/// top-level span of the tree as `(stage, micros)` in span order.
-fn score_stages(addr: SocketAddr, trace_id: &str) -> Vec<(String, u64)> {
+/// top-level span of the tree as `(stage, micros)` in span order, plus
+/// the request's heap traffic summed from the per-stage `alloc_bytes`
+/// notes the profiling-enabled server attached to those spans.
+fn score_stages(addr: SocketAddr, trace_id: &str) -> (Vec<(String, u64)>, u64) {
     let (status, body) = http(addr, "GET", &format!("/v1/trace/{trace_id}"), "");
     assert_eq!(status, 200, "trace {trace_id} must be retained: {body}");
     let doc = holo_serve::json::parse(&body).expect("trace body is JSON");
-    doc.get("spans")
+    let spans = doc
+        .get("spans")
         .and_then(Json::as_arr)
-        .expect("spans array")
+        .expect("spans array");
+    let stages = spans
         .iter()
         .filter(|s| s.get("parent").and_then(Json::as_f64) == Some(0.0))
         .map(|s| {
@@ -583,6 +604,37 @@ fn score_stages(addr: SocketAddr, trace_id: &str) -> Vec<(String, u64)> {
                 s.get("duration_micros")
                     .and_then(Json::as_f64)
                     .expect("duration") as u64,
+            )
+        })
+        .collect();
+    let alloc_bytes = spans
+        .iter()
+        .filter_map(|s| {
+            s.get("notes")
+                .and_then(|n| n.get("alloc_bytes"))
+                .and_then(Json::as_f64)
+        })
+        .sum::<f64>() as u64;
+    (stages, alloc_bytes)
+}
+
+/// The `n` hottest locks by cumulative wait from `GET /v1/prof`
+/// (served wait-descending) as `(lock, wait_micros)`.
+fn top_lock_waits(addr: SocketAddr, n: usize) -> Vec<(String, u64)> {
+    let (status, body) = http(addr, "GET", "/v1/prof", "");
+    assert_eq!(status, 200, "prof endpoint failed: {body}");
+    let doc = holo_serve::json::parse(&body).expect("prof body is JSON");
+    doc.get("locks")
+        .and_then(Json::as_arr)
+        .expect("locks array")
+        .iter()
+        .take(n)
+        .map(|l| {
+            (
+                l.get("lock").and_then(Json::as_str).expect("lock").into(),
+                l.get("wait_micros")
+                    .and_then(Json::as_f64)
+                    .expect("wait_micros") as u64,
             )
         })
         .collect()

@@ -16,8 +16,20 @@
 //! | `GET /v1/trace/recent`          | most recent request traces                |
 //! | `GET /v1/trace/{id}`            | one trace by its `x-holo-trace` id        |
 //! | `GET /v1/trace/slow`            | slowest retained traces per endpoint      |
+//! | `GET /v1/prof`                  | profiling snapshot: allocs, locks, pools  |
 //! | `GET /healthz`                  | liveness + registered model names         |
 //! | `GET /metrics`                  | counters, histograms, stream gauges       |
+//!
+//! ## Profiling
+//!
+//! `GET /v1/prof` snapshots the in-process profiler (`holo-prof`):
+//! global heap counters, the top allocation scopes (populated once the
+//! server runs with [`ProfConfig::enabled`] / `--prof`), every
+//! instrumented lock ranked hottest-wait-first, and per-pool worker
+//! utilization. All counters are cumulative and monotone for the life
+//! of the process. Traces answer *where the time went* per request;
+//! this page answers *why* — which lock scoring waited on, which stage
+//! allocates, whether the worker pools are saturated.
 //!
 //! ## Tracing
 //!
@@ -80,7 +92,8 @@ use crate::batch::{BatchConfig, MicroBatcher};
 use crate::http::{self, Handler, HttpConfig, Request, Response, ServerHandle};
 use crate::json::{self, Json, ParseLimits};
 use crate::metrics::{
-    escape_label, model_error_category, render_stage_histograms, write_family_header, Metrics,
+    escape_label, model_error_category, render_nn_cache_metrics, render_prof_metrics,
+    render_stage_histograms, write_family_header, Metrics,
 };
 use crate::registry::{ModelRegistry, ServedModel};
 use holo_data::{CellId, Dataset, DatasetBuilder, Schema};
@@ -101,6 +114,22 @@ pub struct ServeConfig {
     pub batch: BatchConfig,
     /// Request-tracing knobs.
     pub trace: TraceConfig,
+    /// Continuous-profiling knobs (`--prof`).
+    pub prof: ProfConfig,
+}
+
+/// Continuous-profiling knobs.
+///
+/// The cheap instruments (global allocation counters, lock wait/hold
+/// accounting, pool utilization) are always on; this flag additionally
+/// enables *scope attribution* — tagging allocations with the stage
+/// names trace spans use — and the per-stage `alloc_bytes` notes on
+/// request traces. Enabling is **sticky for the process**: `holo-prof`'s
+/// switch never turns back off, so `/v1/prof` scope data stays monotone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfConfig {
+    /// Turn on allocation scope attribution and per-stage alloc notes.
+    pub enabled: bool,
 }
 
 /// Request-tracing knobs.
@@ -158,6 +187,7 @@ struct App {
     limits: ParseLimits,
     tracer: Tracer,
     access_log: bool,
+    prof_enabled: bool,
 }
 
 /// A running serving stack: HTTP server + batcher + registry.
@@ -217,6 +247,11 @@ pub fn start(
     registry: Arc<ModelRegistry>,
 ) -> io::Result<RunningServer> {
     let metrics = Arc::new(Metrics::new());
+    if cfg.prof.enabled {
+        // Sticky: once any server in this process opts in, scope
+        // attribution stays on (see `ProfConfig`).
+        holo_prof::set_enabled(true);
+    }
     let batcher = MicroBatcher::start(cfg.batch, Arc::clone(&metrics))?;
     let recorder = Arc::new(SpanRecorder::new(RecorderConfig {
         ring_bytes: cfg.trace.ring_bytes,
@@ -229,6 +264,7 @@ pub fn start(
         limits: ParseLimits::default(),
         tracer: Tracer::new(recorder),
         access_log: cfg.trace.access_log,
+        prof_enabled: cfg.prof.enabled,
     });
     let handler: Handler = {
         let app = Arc::clone(&app);
@@ -342,8 +378,10 @@ impl App {
             ("GET", ["v1", "trace", "recent"]) => Ok(self.trace_recent()),
             ("GET", ["v1", "trace", "slow"]) => Ok(self.trace_slow()),
             ("GET", ["v1", "trace", id]) => self.trace_by_id(id),
+            ("GET", ["v1", "prof"]) => Ok(self.prof_page()),
             (_, ["healthz" | "metrics"])
             | (_, ["v1", "trace", _])
+            | (_, ["v1", "prof"])
             | (
                 _,
                 ["v1", "models", _, "score" | "predict" | "reload" | "rows" | "drift" | "labels" | "refit" | "refits"],
@@ -479,6 +517,16 @@ impl App {
             recorder.ring_bytes_used()
         );
         render_stage_histograms(&recorder.stages(), &mut page);
+        // Profiler families (allocation scopes, lock waits, pool
+        // ratios) and per-model neighbour-cache effectiveness.
+        render_prof_metrics(&mut page);
+        let mut nn_stats = Vec::new();
+        for name in self.registry.names() {
+            if let Some(model) = self.registry.get(&name) {
+                nn_stats.push((name, model.nn_cache_stats()));
+            }
+        }
+        render_nn_cache_metrics(&nn_stats, &mut page);
         page
     }
 
@@ -754,8 +802,15 @@ impl App {
         predict: bool,
         trace: &mut TraceBuilder,
     ) -> Result<Response, Failure> {
+        let prof = self.prof_enabled;
         trace.note("model", Value::Str(name.to_string()));
         trace.child("validate");
+        // Stage scope + thread-local byte baseline: under `--prof` each
+        // stage span carries an `alloc_bytes` note and the scope tag
+        // books the same bytes into `/v1/prof`'s scope table. The scope
+        // guard is inert (and the notes skipped) when profiling is off.
+        let validate_scope = holo_prof::scope("validate");
+        let validate_bytes = holo_prof::thread_alloc_bytes();
         let model = self
             .registry
             .get(name)
@@ -768,6 +823,11 @@ impl App {
         let (data, cells) = self.ingest(&doc, &model)?;
         trace.annotate("rows", Value::U64(data.n_tuples() as u64));
         trace.annotate("cells", Value::U64(cells.len() as u64));
+        if prof {
+            let delta = holo_prof::thread_alloc_bytes().wrapping_sub(validate_bytes);
+            trace.annotate("alloc_bytes", Value::U64(delta));
+        }
+        drop(validate_scope);
         trace.close();
 
         let (result, timing) = self.batcher.score_timed(Arc::clone(&model), data, cells);
@@ -782,9 +842,16 @@ impl App {
             timing.batch_wait_micros,
         );
         trace.child_at("score", score_start, timing.score_micros);
+        if prof {
+            // Measured on the batcher thread around the score_batch
+            // call; `annotate_last` reaches the closed "score" span.
+            trace.annotate_last("alloc_bytes", Value::U64(timing.score_alloc_bytes));
+        }
         trace.note("merged_requests", Value::U64(timing.merged_requests as u64));
 
         trace.child("encode");
+        let encode_scope = holo_prof::scope("encode");
+        let encode_bytes = holo_prof::thread_alloc_bytes();
         let mut out = vec![
             ("model".to_string(), Json::Str(model.name().into())),
             (
@@ -811,8 +878,76 @@ impl App {
             Json::Arr(scores.into_iter().map(Json::Num).collect()),
         ));
         let resp = Response::json(200, Json::Obj(out).to_string());
+        if prof {
+            let delta = holo_prof::thread_alloc_bytes().wrapping_sub(encode_bytes);
+            trace.annotate("alloc_bytes", Value::U64(delta));
+        }
+        drop(encode_scope);
         trace.close();
         Ok(resp)
+    }
+
+    /// `GET /v1/prof` — one consistent JSON snapshot of the in-process
+    /// profiler: global heap counters, top allocation scopes (heaviest
+    /// first), instrumented locks (hottest wait first), and worker-pool
+    /// utilization. Every counter is cumulative, so successive
+    /// snapshots are monotone non-decreasing.
+    fn prof_page(&self) -> Response {
+        let totals = holo_prof::alloc_totals();
+        let scopes = holo_prof::scope_allocs()
+            .into_iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("scope".into(), Json::Str(s.scope.to_string())),
+                    ("allocs".into(), Json::Num(s.allocs as f64)),
+                    ("bytes".into(), Json::Num(s.bytes as f64)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let locks = holo_prof::lock_snapshots()
+            .into_iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("lock".into(), Json::Str(l.lock.to_string())),
+                    ("acquires".into(), Json::Num(l.acquires as f64)),
+                    ("contended".into(), Json::Num(l.contended as f64)),
+                    ("wait_micros".into(), Json::Num(l.wait_micros as f64)),
+                    ("hold_micros".into(), Json::Num(l.hold_micros as f64)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let pools = holo_prof::pool_snapshots()
+            .into_iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("pool".into(), Json::Str(p.pool.to_string())),
+                    ("busy_micros".into(), Json::Num(p.busy_micros as f64)),
+                    ("idle_micros".into(), Json::Num(p.idle_micros as f64)),
+                    ("tasks".into(), Json::Num(p.tasks as f64)),
+                    ("busy_ratio".into(), Json::Num(p.busy_ratio)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Response::json(
+            200,
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(holo_prof::enabled())),
+                (
+                    "alloc".into(),
+                    Json::Obj(vec![
+                        ("allocs".into(), Json::Num(totals.allocs as f64)),
+                        ("bytes".into(), Json::Num(totals.bytes as f64)),
+                        ("freed_bytes".into(), Json::Num(totals.freed_bytes as f64)),
+                        ("live_bytes".into(), Json::Num(totals.live_bytes as f64)),
+                        ("peak_bytes".into(), Json::Num(totals.peak_bytes as f64)),
+                    ]),
+                ),
+                ("scopes".into(), Json::Arr(scopes)),
+                ("locks".into(), Json::Arr(locks)),
+                ("pools".into(), Json::Arr(pools)),
+            ])
+            .to_string(),
+        )
     }
 
     /// `GET /v1/trace/recent` — the newest traces still in the ring.
@@ -964,6 +1099,7 @@ fn endpoint_label(req: &Request) -> String {
         ["v1", "trace", "recent"] => "/v1/trace/recent".to_string(),
         ["v1", "trace", "slow"] => "/v1/trace/slow".to_string(),
         ["v1", "trace", _] => "/v1/trace/{id}".to_string(),
+        ["v1", "prof"] => "/v1/prof".to_string(),
         _ => "/unmatched".to_string(),
     }
 }

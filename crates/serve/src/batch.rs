@@ -30,10 +30,11 @@ use crate::metrics::Metrics;
 use crate::registry::ServedModel;
 use holo_data::{CellId, Dataset, DatasetBuilder};
 use holo_eval::ModelError;
+use holo_prof::{PoolStats, ProfMutex};
 use holo_trace::Stopwatch;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,11 @@ pub struct ScoreTiming {
     pub score_micros: u64,
     /// How many requests that call served (1 = scored solo).
     pub merged_requests: usize,
+    /// Bytes allocated on the batcher thread during the `score_batch`
+    /// call (dataset merge buffers, score vectors; always measured —
+    /// the thread-local byte counter is unconditional). Shared by every
+    /// job in a merged batch, like [`ScoreTiming::score_micros`].
+    pub score_alloc_bytes: u64,
 }
 
 struct Job {
@@ -83,8 +89,8 @@ struct Job {
 /// The batching queue plus its worker thread.
 pub struct MicroBatcher {
     cfg: BatchConfig,
-    tx: Mutex<Option<Sender<Job>>>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    tx: ProfMutex<Option<Sender<Job>>>,
+    worker: ProfMutex<Option<JoinHandle<()>>>,
 }
 
 impl MicroBatcher {
@@ -96,6 +102,9 @@ impl MicroBatcher {
         let worker = std::thread::Builder::new()
             .name("holo-serve-batcher".into())
             .spawn(move || {
+                // The gather window counts as busy: coalesce occupancy
+                // is work the batcher chose, not starvation.
+                let pool = PoolStats::register("batcher");
                 let mut queue: VecDeque<Job> = VecDeque::new();
                 loop {
                     // First job of the round: a stashed incompatible one,
@@ -103,11 +112,17 @@ impl MicroBatcher {
                     // queue = shutdown complete.
                     let first = match queue.pop_front() {
                         Some(j) => j,
-                        None => match rx.recv() {
-                            Ok(j) => j,
-                            Err(_) => break,
-                        },
+                        None => {
+                            let idle = Stopwatch::start();
+                            let got = rx.recv();
+                            pool.record_idle(idle.elapsed_micros());
+                            match got {
+                                Ok(j) => j,
+                                Err(_) => break,
+                            }
+                        }
                     };
+                    let round = Stopwatch::start();
                     let deadline = Instant::now() + loop_cfg.max_wait;
                     let mut rest: Vec<Job> = Vec::new();
                     let mut group_cells = first.cells.len();
@@ -159,12 +174,13 @@ impl MicroBatcher {
                         execute(first, rest, &metrics)
                     }));
                     queue.append(&mut stash);
+                    pool.record_busy(round.elapsed_micros());
                 }
             })?;
         Ok(MicroBatcher {
             cfg,
-            tx: Mutex::new(Some(tx)),
-            worker: Mutex::new(Some(worker)),
+            tx: ProfMutex::new("batcher-tx", Some(tx)),
+            worker: ProfMutex::new("batcher-worker", Some(worker)),
         })
     }
 
@@ -305,12 +321,18 @@ fn guarded<F: FnOnce() -> Result<Vec<f64>, ModelError>>(f: F) -> Result<Vec<f64>
         .unwrap_or_else(|_| Err(ModelError::Format("model panicked while scoring".into())))
 }
 
+/// Score under the `"score"` allocation scope, also reporting the bytes
+/// the call allocated on this thread (exact: the thread-local counter
+/// wraps rather than saturates, so the delta survives overflow).
 fn guarded_score(
     model: &ServedModel,
     data: &Dataset,
     cells: &[CellId],
-) -> Result<Vec<f64>, ModelError> {
-    guarded(|| model.score_batch(data, cells))
+) -> (Result<Vec<f64>, ModelError>, u64) {
+    let _scope = holo_prof::scope("score");
+    let before = holo_prof::thread_alloc_bytes();
+    let result = guarded(|| model.score_batch(data, cells));
+    (result, holo_prof::thread_alloc_bytes().wrapping_sub(before))
 }
 
 /// Score one job solo, keeping the books: the call shape lands in the
@@ -319,11 +341,12 @@ fn execute_solo(job: Job, metrics: &Metrics) {
     metrics.record_batch(job.cells.len(), 1);
     let batch_wait_micros = job.enqueued.elapsed_micros();
     let call = Stopwatch::start();
-    let result = guarded_score(&job.model, &job.data, &job.cells);
+    let (result, score_alloc_bytes) = guarded_score(&job.model, &job.data, &job.cells);
     let timing = ScoreTiming {
         batch_wait_micros,
         score_micros: call.elapsed_micros(),
         merged_requests: 1,
+        score_alloc_bytes,
     };
     if let Ok(scores) = &result {
         metrics.record_scored_cells(scores.len());
@@ -358,7 +381,8 @@ fn execute(first: Job, rest: Vec<Job>, metrics: &Metrics) {
         .map(|j| j.enqueued.elapsed_micros())
         .collect();
     let call = Stopwatch::start();
-    match guarded_score(&first.model, &merged, &merged_cells) {
+    let (outcome, score_alloc_bytes) = guarded_score(&first.model, &merged, &merged_cells);
+    match outcome {
         // The contract is one score per requested cell; if a model ever
         // broke it, fanning out would misroute scores across jobs, so
         // fall back to solo scoring instead of splitting short.
@@ -372,6 +396,7 @@ fn execute(first: Job, rest: Vec<Job>, metrics: &Metrics) {
                     batch_wait_micros: wait,
                     score_micros,
                     merged_requests,
+                    score_alloc_bytes,
                 };
                 let _ = job.reply.send((Ok(mine.to_vec()), timing));
                 remaining = tail;

@@ -17,12 +17,13 @@
 //!   connections already accepted into the queue) finish and get their
 //!   responses; only *new* work is refused.
 
+use holo_prof::{PoolStats, ProfMutex, Stopwatch};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -242,7 +243,8 @@ pub fn serve_with_observer(
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
+    // Named so /v1/prof shows workers contending on the accept queue.
+    let rx = Arc::new(ProfMutex::new("http-queue", rx));
 
     let workers = (0..cfg.workers.max(1))
         .map(|i| {
@@ -295,23 +297,31 @@ pub fn serve_with_observer(
 }
 
 fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
+    rx: &ProfMutex<Receiver<TcpStream>>,
     cfg: &HttpConfig,
     handler: &Handler,
     shutdown: &AtomicBool,
     observer: Option<&ProtocolErrorObserver>,
 ) {
+    // All workers share the "http-worker" slot: the pool-wide busy
+    // ratio is what answers "are four workers enough".
+    let pool = PoolStats::register("http-worker");
     loop {
-        // Hold the lock only for the dequeue, never while serving.
+        // Hold the lock only for the dequeue, never while serving. The
+        // whole dequeue (queue-lock wait + blocking recv) is idle time.
+        let idle = Stopwatch::start();
         let stream = match rx.lock() {
             Ok(guard) => guard.recv(),
             Err(_) => return, // a sibling panicked *inside recv* — bail
         };
+        pool.record_idle(idle.elapsed_micros());
         let Ok(stream) = stream else { return };
         // A connection must never take its worker down with it.
+        let busy = Stopwatch::start();
         let _ = catch_unwind(AssertUnwindSafe(|| {
             handle_connection(stream, cfg, handler, shutdown, observer);
         }));
+        pool.record_busy(busy.elapsed_micros());
     }
 }
 
@@ -385,7 +395,7 @@ fn handle_connection(
 }
 
 fn read_request(reader: &mut BufReader<TcpStream>, cfg: &HttpConfig) -> Result<Request, ReadError> {
-    let parse_clock = holo_trace::Stopwatch::start();
+    let parse_clock = Stopwatch::start();
     // Overall deadline for this one request: per-read timeouts restart
     // on every byte, so a trickler is bounded here instead.
     let deadline = Instant::now() + cfg.request_timeout;

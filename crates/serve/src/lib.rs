@@ -49,6 +49,14 @@
 //! and `/v1/trace/slow`, and per-stage latency histograms on
 //! `GET /metrics` ([`app::TraceConfig`]).
 //!
+//! The stack is continuously profiled through `holo-prof`: the serving
+//! locks (registry stripes, batcher queue, HTTP accept queue) are
+//! instrumented [`holo_prof::ProfMutex`]/[`holo_prof::ProfRwLock`]
+//! wrappers, the worker pools book busy/idle time, and the counting
+//! allocator attributes heap traffic to request stages when `--prof`
+//! ([`app::ProfConfig`]) is on. `GET /v1/prof` serves the snapshot and
+//! `/metrics` carries the `holo_prof_*` families.
+//!
 //! ## Batching semantics
 //!
 //! A request is answered from the micro-batching queue: the batcher
@@ -79,7 +87,7 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 
-pub use app::{error_status, start, RunningServer, ServeConfig, TraceConfig};
+pub use app::{error_status, start, ProfConfig, RunningServer, ServeConfig, TraceConfig};
 pub use batch::{BatchConfig, MicroBatcher, ScoreTiming};
 pub use holo_trace::{format_trace_id, parse_trace_id, SpanRecorder, Trace, Tracer};
 pub use http::{HttpConfig, Request, Response, ServerHandle};

@@ -10,7 +10,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ServeConfig, TraceConfig};
+use holo_serve::{BatchConfig, HttpConfig, ModelRegistry, ProfConfig, ServeConfig, TraceConfig};
 use holo_stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,6 +26,7 @@ struct Args {
     http: HttpConfig,
     batch: BatchConfig,
     trace: TraceConfig,
+    prof: ProfConfig,
 }
 
 const USAGE: &str = "\
@@ -40,6 +41,9 @@ options:
   --access-log           one JSON log line per request on stderr
                          (trace id, endpoint, status, micros)
   --trace-ring-bytes N   trace ring byte budget  (default 1048576)
+  --prof                 enable allocation scope attribution and
+                         per-stage alloc notes on traces (lock and
+                         pool profiles are always on; see GET /v1/prof)
 
 streaming (per model; see the README's Streaming section):
   --stream NAME=LOGPATH  serve NAME in streaming mode with a durable
@@ -61,6 +65,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         http: HttpConfig::default(),
         batch: BatchConfig::default(),
         trace: TraceConfig::default(),
+        prof: ProfConfig::default(),
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -96,6 +101,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )? as u64);
             }
             "--access-log" => args.trace.access_log = true,
+            "--prof" => args.prof.enabled = true,
             "--trace-ring-bytes" => {
                 args.trace.ring_bytes =
                     parse_num(&value("--trace-ring-bytes")?, "--trace-ring-bytes")?;
@@ -223,6 +229,7 @@ fn main() -> ExitCode {
         http: args.http,
         batch: args.batch,
         trace: args.trace,
+        prof: args.prof,
     };
     let server = match holo_serve::start(&args.addr, cfg, registry) {
         Ok(s) => s,

@@ -103,6 +103,214 @@ pub fn render_stage_histograms(stages: &[holo_trace::StageStat], out: &mut Strin
     }
 }
 
+/// Renders the `holo_prof_*` families sourced from the in-process
+/// profiler (`holo-prof`): global heap counters, per-scope allocation
+/// attribution, per-lock wait histograms, and worker-pool busy ratios.
+///
+/// Pure rendering — the underlying counters accumulate regardless of
+/// the `--prof` flag (scope attribution alone stays empty until
+/// profiling is enabled), so the families are always present and a
+/// scraper never sees one appear mid-flight.
+pub fn render_prof_metrics(out: &mut String) {
+    let totals = holo_prof::alloc_totals();
+    for (name, help, value) in [
+        (
+            "holo_prof_allocations_total",
+            "Heap allocations observed by the counting allocator.",
+            totals.allocs,
+        ),
+        (
+            "holo_prof_allocated_bytes_total",
+            "Cumulative heap bytes allocated process-wide.",
+            totals.bytes,
+        ),
+    ] {
+        write_family_header(out, name, help, "counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, help, value) in [
+        (
+            "holo_prof_heap_live_bytes",
+            "Currently live heap bytes (allocated minus freed).",
+            totals.live_bytes,
+        ),
+        (
+            "holo_prof_heap_peak_bytes",
+            "High-water mark of live heap bytes.",
+            totals.peak_bytes,
+        ),
+    ] {
+        write_family_header(out, name, help, "gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    write_family_header(
+        out,
+        "holo_prof_alloc_bytes",
+        "Heap bytes attributed to each profiling scope (requires --prof).",
+        "counter",
+    );
+    for s in holo_prof::scope_allocs() {
+        let scope = escape_label(s.scope);
+        let _ = writeln!(
+            out,
+            "holo_prof_alloc_bytes{{scope=\"{scope}\"}} {}",
+            s.bytes
+        );
+    }
+    write_family_header(
+        out,
+        "holo_prof_lock_wait_micros",
+        "Microseconds spent blocked on each instrumented lock (contended acquisitions only).",
+        "histogram",
+    );
+    let locks = holo_prof::lock_snapshots();
+    for snap in &locks {
+        let lock = escape_label(snap.lock);
+        let mut acc = 0u64;
+        for (bound, count) in holo_prof::LOCK_WAIT_BOUNDS_MICROS
+            .iter()
+            .zip(&snap.wait_buckets)
+        {
+            acc = acc.saturating_add(*count);
+            let _ = writeln!(
+                out,
+                "holo_prof_lock_wait_micros_bucket{{lock=\"{lock}\",le=\"{bound}\"}} {acc}"
+            );
+        }
+        acc = acc.saturating_add(
+            snap.wait_buckets
+                .get(holo_prof::LOCK_WAIT_BUCKETS)
+                .copied()
+                .unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "holo_prof_lock_wait_micros_bucket{{lock=\"{lock}\",le=\"+Inf\"}} {acc}"
+        );
+        let _ = writeln!(
+            out,
+            "holo_prof_lock_wait_micros_count{{lock=\"{lock}\"}} {}",
+            snap.contended
+        );
+        let _ = writeln!(
+            out,
+            "holo_prof_lock_wait_micros_sum{{lock=\"{lock}\"}} {}",
+            snap.wait_micros
+        );
+    }
+    write_family_header(
+        out,
+        "holo_prof_lock_acquires_total",
+        "Successful acquisitions per instrumented lock.",
+        "counter",
+    );
+    for snap in &locks {
+        let lock = escape_label(snap.lock);
+        let _ = writeln!(
+            out,
+            "holo_prof_lock_acquires_total{{lock=\"{lock}\"}} {}",
+            snap.acquires
+        );
+    }
+    write_family_header(
+        out,
+        "holo_prof_lock_hold_micros_total",
+        "Microseconds instrumented lock guards were held.",
+        "counter",
+    );
+    for snap in &locks {
+        let lock = escape_label(snap.lock);
+        let _ = writeln!(
+            out,
+            "holo_prof_lock_hold_micros_total{{lock=\"{lock}\"}} {}",
+            snap.hold_micros
+        );
+    }
+    write_family_header(
+        out,
+        "holo_prof_worker_busy_ratio",
+        "Busy over busy-plus-idle time per worker pool.",
+        "gauge",
+    );
+    let pools = holo_prof::pool_snapshots();
+    for p in &pools {
+        let pool = escape_label(p.pool);
+        let _ = writeln!(
+            out,
+            "holo_prof_worker_busy_ratio{{pool=\"{pool}\"}} {:.6}",
+            p.busy_ratio
+        );
+    }
+    write_family_header(
+        out,
+        "holo_prof_worker_tasks_total",
+        "Tasks completed per worker pool.",
+        "counter",
+    );
+    for p in &pools {
+        let pool = escape_label(p.pool);
+        let _ = writeln!(
+            out,
+            "holo_prof_worker_tasks_total{{pool=\"{pool}\"}} {}",
+            p.tasks
+        );
+    }
+}
+
+/// Renders the `holo_features_nn_cache_*` families: per-model
+/// neighbour-cache effectiveness, sourced from each served model's
+/// featurizer ([`holodetect::CacheStats`]). Hit/miss/eviction counters
+/// are cumulative for the featurizer's lifetime (they survive cache
+/// clears); entries and capacity are point-in-time gauges.
+pub fn render_nn_cache_metrics(stats: &[(String, holodetect::CacheStats)], out: &mut String) {
+    for (name, help) in [
+        (
+            "holo_features_nn_cache_hits_total",
+            "Neighbour-cache lookups served from cache, per model.",
+        ),
+        (
+            "holo_features_nn_cache_misses_total",
+            "Neighbour-cache lookups that had to recompute, per model.",
+        ),
+        (
+            "holo_features_nn_cache_evictions_total",
+            "Neighbour-cache entries evicted to make room, per model.",
+        ),
+    ] {
+        write_family_header(out, name, help, "counter");
+        for (model, s) in stats {
+            let model = escape_label(model);
+            let value = match name {
+                "holo_features_nn_cache_hits_total" => s.hits,
+                "holo_features_nn_cache_misses_total" => s.misses,
+                _ => s.evictions,
+            };
+            let _ = writeln!(out, "{name}{{model=\"{model}\"}} {value}");
+        }
+    }
+    for (name, help) in [
+        (
+            "holo_features_nn_cache_entries",
+            "Neighbour-cache entries currently resident, per model.",
+        ),
+        (
+            "holo_features_nn_cache_capacity",
+            "Neighbour-cache capacity, per model.",
+        ),
+    ] {
+        write_family_header(out, name, help, "gauge");
+        for (model, s) in stats {
+            let model = escape_label(model);
+            let value = if name == "holo_features_nn_cache_entries" {
+                s.entries
+            } else {
+                s.capacity
+            };
+            let _ = writeln!(out, "{name}{{model=\"{model}\"}} {value}");
+        }
+    }
+}
+
 /// A fixed-bound histogram with saturating counters.
 pub struct Histogram {
     bounds: Vec<u64>,
@@ -691,6 +899,54 @@ mod tests {
             &mut page,
         );
         assert_exposition_parses(&page);
+    }
+
+    #[test]
+    fn prof_families_render_and_parse() {
+        // Touch each instrument so at least one labelled sample exists.
+        let m = holo_prof::ProfMutex::new("metrics-test-lock", 0u8);
+        drop(m.lock().unwrap());
+        let p = holo_prof::PoolStats::register("metrics-test-pool");
+        p.record_busy(300);
+        p.record_idle(100);
+        let mut out = String::new();
+        render_prof_metrics(&mut out);
+        assert!(out.contains("# TYPE holo_prof_lock_wait_micros histogram"));
+        assert!(out.contains("holo_prof_lock_acquires_total{lock=\"metrics-test-lock\"}"));
+        assert!(out.contains("holo_prof_worker_busy_ratio{pool=\"metrics-test-pool\"} 0.75"));
+        assert!(out.contains("holo_prof_worker_tasks_total{pool=\"metrics-test-pool\"}"));
+        assert!(out.contains("holo_prof_heap_live_bytes"));
+        // The lock-wait le-series is cumulative and ends at +Inf.
+        assert!(out
+            .contains("holo_prof_lock_wait_micros_bucket{lock=\"metrics-test-lock\",le=\"+Inf\"}"));
+        assert_exposition_parses(&out);
+    }
+
+    #[test]
+    fn nn_cache_families_render_per_model_and_parse() {
+        let stats = vec![
+            (
+                "orders".to_string(),
+                holodetect::CacheStats {
+                    hits: 10,
+                    misses: 4,
+                    evictions: 1,
+                    entries: 3,
+                    capacity: 8,
+                },
+            ),
+            ("cust\"omers".to_string(), holodetect::CacheStats::default()),
+        ];
+        let mut out = String::new();
+        render_nn_cache_metrics(&stats, &mut out);
+        assert!(out.contains("holo_features_nn_cache_hits_total{model=\"orders\"} 10"));
+        assert!(out.contains("holo_features_nn_cache_misses_total{model=\"orders\"} 4"));
+        assert!(out.contains("holo_features_nn_cache_evictions_total{model=\"orders\"} 1"));
+        assert!(out.contains("holo_features_nn_cache_entries{model=\"orders\"} 3"));
+        assert!(out.contains("holo_features_nn_cache_capacity{model=\"orders\"} 8"));
+        // Escaped model name stays well-formed.
+        assert!(out.contains("model=\"cust\\\"omers\""));
+        assert_exposition_parses(&out);
     }
 
     #[test]

@@ -23,13 +23,14 @@
 //! `RefitScheduler` hot-swaps through.
 
 use holo_eval::ModelError;
+use holo_prof::ProfRwLock;
 use holo_stream::LiveModel;
 use holodetect::FittedHoloDetect;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError};
 
 /// How a served model answers queries. (The static artifact is boxed:
 /// a fitted model is a couple of kB inline, and parity with the `Arc`
@@ -87,6 +88,16 @@ impl ServedModel {
         }
     }
 
+    /// Neighbour-cache statistics of the currently-served pipeline
+    /// (the `holo_features_nn_cache_*` metrics families). Hit/miss/
+    /// eviction counters are cumulative for the featurizer's lifetime.
+    pub fn nn_cache_stats(&self) -> holodetect::CacheStats {
+        match &self.source {
+            ModelSource::Static(m) => m.nn_cache_stats(),
+            ModelSource::Live(l) => l.nn_cache_stats(),
+        }
+    }
+
     /// Score cells of `data` through whichever state is current.
     pub fn score_batch(
         &self,
@@ -132,9 +143,11 @@ impl ServedModel {
 }
 
 /// Names → current model version, striped to keep readers from
-/// contending on one lock.
+/// contending on one lock. All stripes share the `"stripe"`
+/// [`ProfRwLock`] stats slot: what matters for tuning is contention on
+/// the registry as a whole, not which hash bucket a name landed in.
 pub struct ModelRegistry {
-    stripes: Vec<RwLock<HashMap<String, Arc<ServedModel>>>>,
+    stripes: Vec<ProfRwLock<HashMap<String, Arc<ServedModel>>>>,
 }
 
 impl Default for ModelRegistry {
@@ -152,11 +165,13 @@ impl ModelRegistry {
     /// A registry with `n` lock stripes (≥ 1).
     pub fn with_stripes(n: usize) -> Self {
         ModelRegistry {
-            stripes: (0..n.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            stripes: (0..n.max(1))
+                .map(|_| ProfRwLock::new("stripe", HashMap::new()))
+                .collect(),
         }
     }
 
-    fn stripe(&self, name: &str) -> &RwLock<HashMap<String, Arc<ServedModel>>> {
+    fn stripe(&self, name: &str) -> &ProfRwLock<HashMap<String, Arc<ServedModel>>> {
         let mut h = DefaultHasher::new();
         name.hash(&mut h);
         // lint:allow(no-panic-paths): index is hash % stripes.len(); with_stripes guarantees stripes is non-empty

@@ -22,6 +22,12 @@
 //! `refit_lock → state → log → drift → labels → timelines`. Any path
 //! may take a suffix of that chain, never a prefix out of order.
 //!
+//! Every lock in the chain is a contention-instrumented
+//! [`holo_prof::ProfMutex`] / [`holo_prof::ProfRwLock`] registered
+//! under its field name, so `/v1/prof` can show (for example) scoring
+//! reads stalling behind ingest writes on `state`. Instrumentation
+//! changes nothing about ordering or poisoning semantics.
+//!
 //! ## Adaptation
 //!
 //! Labels posted through [`LiveModel::add_labels`] serve twice: each
@@ -46,12 +52,13 @@ use crate::drift::{DriftMonitor, DriftReport, DriftThresholds, SignalStat};
 use holo_adapt::{AdaptConfig, AdaptiveRefit, RowLabel};
 use holo_data::{binio, CellId, Dataset, DeltaLog, DeltaOp, Schema};
 use holo_eval::{ModelError, TrainedModel};
+use holo_prof::{ProfMutex, ProfRwLock};
 use holo_trace::{RefitTimeline, Stopwatch, TimelineRing};
 use holodetect::FittedHoloDetect;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::sync::PoisonError;
 
 /// Saturating counter increment — lifetime counters must peg at
 /// `u64::MAX`, never wrap back to zero and fake a reset (the same
@@ -226,17 +233,17 @@ pub struct LiveModel {
     path: PathBuf,
     schema: Schema,
     cfg: StreamConfig,
-    state: RwLock<LiveState>,
-    log: Mutex<DeltaLog>,
-    drift: Mutex<DriftMonitor>,
+    state: ProfRwLock<LiveState>,
+    log: ProfMutex<DeltaLog>,
+    drift: ProfMutex<DriftMonitor>,
     /// Serializes refits (scheduler vs. the `/refit` endpoint).
-    refit_lock: Mutex<()>,
+    refit_lock: ProfMutex<()>,
     /// Pending operator labels, oldest first — the few-shot budget the
     /// next adaptive refit draws from.
-    labels: Mutex<Vec<RowLabel>>,
+    labels: ProfMutex<Vec<RowLabel>>,
     /// Phase-attributed timelines of the last few refits (what
     /// `GET /v1/models/{name}/refits` serves). Last in the lock order.
-    timelines: Mutex<TimelineRing>,
+    timelines: ProfMutex<TimelineRing>,
     /// Bumped on every install (hot swap).
     generation: AtomicU64,
     rows_ingested: AtomicU64,
@@ -282,12 +289,12 @@ impl LiveModel {
             path: artifact_path.to_path_buf(),
             schema,
             cfg,
-            state: RwLock::new(LiveState { model, epoch }),
-            log: Mutex::new(log),
-            drift: Mutex::new(drift),
-            refit_lock: Mutex::new(()),
-            labels: Mutex::new(Vec::new()),
-            timelines: Mutex::new(TimelineRing::new(REFIT_TIMELINE_CAP)),
+            state: ProfRwLock::new("state", LiveState { model, epoch }),
+            log: ProfMutex::new("log", log),
+            drift: ProfMutex::new("drift", drift),
+            refit_lock: ProfMutex::new("refit_lock", ()),
+            labels: ProfMutex::new("labels", Vec::new()),
+            timelines: ProfMutex::new("timelines", TimelineRing::new(REFIT_TIMELINE_CAP)),
             generation: AtomicU64::new(0),
             rows_ingested: AtomicU64::new(0),
             refits: AtomicU64::new(0),
@@ -392,6 +399,17 @@ impl LiveModel {
             .unwrap_or_else(PoisonError::into_inner)
             .model
             .threshold()
+    }
+
+    /// Lifetime nn-cache counters of the currently installed model's
+    /// featurizer (reset by hot swaps, which install a fresh
+    /// featurizer). For `/metrics` export.
+    pub fn nn_cache_stats(&self) -> holodetect::CacheStats {
+        self.state
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .model
+            .nn_cache_stats()
     }
 
     /// Score cells of `data` against the current maintained state.

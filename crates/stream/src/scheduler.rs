@@ -13,8 +13,14 @@
 //!
 //! A refit failure (degenerate snapshot, disk trouble) is recorded and
 //! retried on a later tick; it never kills the scheduler thread.
+//!
+//! The thread books its duty cycle into the `"refit-scheduler"`
+//! [`holo_prof::PoolStats`] slot: tick bodies (polling + any refits)
+//! count as busy, the inter-tick sleep as idle. A busy ratio creeping
+//! toward 1.0 means refits are saturating the single scheduler thread.
 
 use crate::live::LiveModel;
+use holo_prof::{PoolStats, Stopwatch};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -72,9 +78,12 @@ impl RefitScheduler {
         let handle = std::thread::Builder::new()
             .name("holo-stream-refit".into())
             .spawn(move || {
+                let pool = PoolStats::register("refit-scheduler");
                 while !thread_stop.load(Ordering::Relaxed) {
+                    let tick = Stopwatch::start();
                     for target in &targets {
                         if thread_stop.load(Ordering::Relaxed) {
+                            pool.record_busy(tick.elapsed_micros());
                             return;
                         }
                         if !target.live.should_refit() {
@@ -96,14 +105,17 @@ impl RefitScheduler {
                             sat_add(&thread_errors, 1);
                         }
                     }
+                    pool.record_busy(tick.elapsed_micros());
                     // Sleep in short slices so shutdown is prompt even
                     // with a long polling interval.
+                    let idle = Stopwatch::start();
                     let mut left = interval;
                     while !left.is_zero() && !thread_stop.load(Ordering::Relaxed) {
                         let nap = left.min(Duration::from_millis(25));
                         std::thread::sleep(nap);
                         left = left.saturating_sub(nap);
                     }
+                    pool.record_idle(idle.elapsed_micros());
                 }
             })
             .expect("spawn refit scheduler");

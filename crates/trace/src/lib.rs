@@ -15,7 +15,9 @@
 //!
 //! ## Pieces
 //!
-//! * [`Stopwatch`] — the workspace's single monotonic-clock helper.
+//! * [`Stopwatch`] — the workspace's single monotonic-clock helper,
+//!   re-exported from `holo-prof` (the layer below this one, where the
+//!   clock now lives so lock/pool profiling and spans share it).
 //!   Everything that times anything (scenario runner, bench bins, the
 //!   spans below) goes through it instead of ad-hoc
 //!   [`std::time::Instant`] arithmetic.
@@ -56,12 +58,11 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-mod clock;
 mod recorder;
 mod refit;
 mod span;
 
-pub use clock::{duration_micros, nonzero_micros, Stopwatch};
+pub use holo_prof::{duration_micros, nonzero_micros, Stopwatch};
 pub use recorder::{RecorderConfig, SpanRecorder, StageStat, STAGE_BOUNDS_MICROS};
 pub use refit::{RefitPhase, RefitTimeline, TimelineRing};
 pub use span::{format_trace_id, parse_trace_id, Span, Trace, TraceBuilder, Tracer, Value};

@@ -10,9 +10,10 @@
 //! allocation beyond moving the already-built trace in, no I/O.
 
 use crate::span::Trace;
+use holo_prof::ProfMutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
 
 /// Histogram bucket upper bounds (microseconds) for per-stage duration
 /// histograms, matching the serving latency histogram so stage and
@@ -71,11 +72,13 @@ struct RecorderInner {
 /// Bounded store of completed traces.
 ///
 /// Lock discipline: one internal mutex (`traces`, registered in the
-/// workspace lock hierarchy) guarding ring + exemplars + histograms;
-/// it is never held across a call into another crate.
+/// workspace lock hierarchy and instrumented as the `"traces"`
+/// [`ProfMutex`] so `/v1/prof` sees its contention) guarding ring +
+/// exemplars + histograms; it is never held across a call into
+/// another crate.
 pub struct SpanRecorder {
     config: RecorderConfig,
-    traces: Mutex<RecorderInner>,
+    traces: ProfMutex<RecorderInner>,
     recorded: AtomicU64,
     evicted: AtomicU64,
 }
@@ -93,12 +96,15 @@ impl SpanRecorder {
     pub fn new(config: RecorderConfig) -> Self {
         SpanRecorder {
             config,
-            traces: Mutex::new(RecorderInner {
-                ring: VecDeque::new(),
-                ring_used: 0,
-                slow: Vec::new(),
-                stages: Vec::new(),
-            }),
+            traces: ProfMutex::new(
+                "traces",
+                RecorderInner {
+                    ring: VecDeque::new(),
+                    ring_used: 0,
+                    slow: Vec::new(),
+                    stages: Vec::new(),
+                },
+            ),
             recorded: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
         }

@@ -10,8 +10,8 @@
 //! All offsets are microseconds on the builder's own monotonic clock
 //! ([`crate::Stopwatch`]), relative to trace start.
 
-use crate::clock::Stopwatch;
 use crate::recorder::SpanRecorder;
+use holo_prof::Stopwatch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -288,6 +288,21 @@ impl TraceBuilder {
         self
     }
 
+    /// Annotates the most recently added span, open or closed.
+    ///
+    /// [`TraceBuilder::annotate`] targets the innermost *open* span, so
+    /// it cannot reach spans attached already-completed via
+    /// [`TraceBuilder::child_at`] / [`TraceBuilder::child_micros`] —
+    /// this method can, and is how measurements that arrive with a
+    /// completed duration (e.g. the batcher's per-batch allocation
+    /// delta) land on the span they describe.
+    pub fn annotate_last(&mut self, key: &str, value: Value) -> &mut Self {
+        if let Some(span) = self.spans.last_mut() {
+            span.notes.push((key.to_string(), value));
+        }
+        self
+    }
+
     /// Annotates the trace itself (status, model name, …) rather than
     /// any one span.
     pub fn note(&mut self, key: &str, value: Value) -> &mut Self {
@@ -406,6 +421,26 @@ mod tests {
         for s in &trace.spans {
             assert!(s.start_micros <= trace.total_micros.max(s.start_micros));
         }
+    }
+
+    #[test]
+    fn annotate_last_reaches_completed_children() {
+        let mut t = TraceBuilder::detached("/x");
+        t.child_micros("score", 250);
+        t.annotate_last("alloc_bytes", Value::U64(4096));
+        // annotate() still targets the open root, not the closed child.
+        t.annotate("status", Value::Str("ok".into()));
+        let trace = t.finish();
+        let score = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "score")
+            .expect("score span");
+        assert_eq!(
+            score.notes,
+            vec![("alloc_bytes".to_string(), Value::U64(4096))]
+        );
+        assert_eq!(trace.spans[0].notes.len(), 1);
     }
 
     #[test]

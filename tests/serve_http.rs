@@ -17,7 +17,8 @@ use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
 use holodetect_repro::eval::{FitContext, TrainedModel};
 use holodetect_repro::serve::{
-    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig, TraceConfig,
+    self, BatchConfig, HttpConfig, Json, ModelRegistry, ProfConfig, RunningServer, ServeConfig,
+    TraceConfig,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -64,6 +65,10 @@ fn fit_artifact(tag: &str) -> (FittedHoloDetect, PathBuf) {
 }
 
 fn start_server(path: &std::path::Path) -> RunningServer {
+    start_server_with(path, ProfConfig::default())
+}
+
+fn start_server_with(path: &std::path::Path, prof: ProfConfig) -> RunningServer {
     let registry = Arc::new(ModelRegistry::new());
     registry.load_insert("food", path).expect("load artifact");
     serve::start(
@@ -78,6 +83,7 @@ fn start_server(path: &std::path::Path) -> RunningServer {
                 max_wait: Duration::from_millis(10),
             },
             trace: TraceConfig::default(),
+            prof,
         },
         registry,
     )
@@ -481,6 +487,110 @@ fn traced_score_request_attributes_its_wall_time_to_stages() {
         "page: {page}"
     );
     assert!(page.contains("holo_trace_recorded_total"), "page: {page}");
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn prof_snapshot_is_well_formed_monotone_and_stages_carry_alloc_notes() {
+    let (_model, path) = fit_artifact("prof");
+    let server = start_server_with(&path, ProfConfig { enabled: true });
+    let addr = server.addr();
+
+    // The snapshot parses and carries every documented section. The
+    // profile is process-wide and cumulative, so absolute numbers are
+    // whatever the rest of the suite left behind — the contract here is
+    // shape + monotonicity, not magnitudes.
+    let snapshot = |tag: &str| -> Json {
+        let (status, body) = http(addr, "GET", "/v1/prof", "");
+        assert_eq!(status, 200, "{tag}: body: {body}");
+        serve::parse_json(&body).unwrap_or_else(|e| panic!("{tag}: bad prof json {body:?}: {e}"))
+    };
+    let before = snapshot("before");
+    assert_eq!(before.get("enabled").and_then(Json::as_bool), Some(true));
+    let alloc_of = |doc: &Json, field: &str| -> f64 {
+        doc.get("alloc")
+            .and_then(|a| a.get(field))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("no alloc.{field} in {doc}"))
+    };
+    assert!(alloc_of(&before, "allocs") > 0.0, "the suite has allocated");
+    assert!(alloc_of(&before, "peak_bytes") >= alloc_of(&before, "live_bytes"));
+    for section in ["scopes", "locks", "pools"] {
+        assert!(
+            before.get(section).and_then(Json::as_arr).is_some(),
+            "missing {section} in {before}"
+        );
+    }
+    // The serving pools registered themselves.
+    let pools = before.get("pools").and_then(Json::as_arr).unwrap();
+    let pool_names: Vec<&str> = pools
+        .iter()
+        .filter_map(|p| p.get("pool").and_then(Json::as_str))
+        .collect();
+    assert!(pool_names.contains(&"http-worker"), "{pool_names:?}");
+
+    // A scored request moves the cumulative counters forward, never back.
+    let (status, head, body) = http_full(
+        addr,
+        "POST",
+        "/v1/models/food/score",
+        &rows_json(&unseen_batch(11)).to_string(),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let after = snapshot("after");
+    assert!(alloc_of(&after, "allocs") > alloc_of(&before, "allocs"));
+    assert!(alloc_of(&after, "bytes") > alloc_of(&before, "bytes"));
+    assert!(alloc_of(&after, "peak_bytes") >= alloc_of(&before, "peak_bytes"));
+
+    // With profiling on, scoring books bytes under the "score" scope…
+    let scope_bytes = |doc: &Json, name: &str| -> f64 {
+        doc.get("scopes")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .find(|s| s.get("scope").and_then(Json::as_str) == Some(name))
+            .and_then(|s| s.get("bytes").and_then(Json::as_f64))
+            .unwrap_or(0.0)
+    };
+    assert!(
+        scope_bytes(&after, "score") > 0.0,
+        "score scope missing from {after}"
+    );
+
+    // …and the request's trace carries per-stage alloc_bytes notes (the
+    // tentpole contract: spans say where the time went, notes say where
+    // the heap went, on the same stage names).
+    let id = header_value(&head, "x-holo-trace").expect("trace id");
+    let (status, trace_body) = http(addr, "GET", &format!("/v1/trace/{id}"), "");
+    assert_eq!(status, 200, "body: {trace_body}");
+    let doc = serve::parse_json(&trace_body).expect("trace json");
+    let spans = doc.get("spans").and_then(Json::as_arr).expect("spans");
+    for stage in ["validate", "score", "encode"] {
+        let span = spans
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(stage))
+            .unwrap_or_else(|| panic!("no {stage:?} span in {trace_body}"));
+        assert!(
+            span.get("notes")
+                .and_then(|n| n.get("alloc_bytes"))
+                .and_then(Json::as_f64)
+                .is_some(),
+            "{stage} span has no alloc_bytes note in {trace_body}"
+        );
+    }
+
+    // The same profile feeds /metrics as holo_prof_* families.
+    let (_, page) = http(addr, "GET", "/metrics", "");
+    for family in [
+        "holo_prof_allocated_bytes_total",
+        "holo_prof_alloc_bytes{scope=\"score\"}",
+        "holo_prof_lock_wait_micros_bucket",
+        "holo_prof_worker_busy_ratio{pool=\"http-worker\"}",
+        "holo_features_nn_cache_hits_total",
+    ] {
+        assert!(page.contains(family), "missing {family} in /metrics page");
+    }
     server.shutdown();
     std::fs::remove_file(&path).ok();
 }

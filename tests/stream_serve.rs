@@ -8,7 +8,8 @@ use holodetect_repro::core::{HoloDetect, HoloDetectConfig};
 use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
 use holodetect_repro::eval::FitContext;
 use holodetect_repro::serve::{
-    self, BatchConfig, HttpConfig, Json, ModelRegistry, RunningServer, ServeConfig, TraceConfig,
+    self, BatchConfig, HttpConfig, Json, ModelRegistry, ProfConfig, RunningServer, ServeConfig,
+    TraceConfig,
 };
 use holodetect_repro::stream::{LiveModel, RefitScheduler, RefitTarget, StreamConfig};
 use std::io::{Read, Write};
@@ -68,6 +69,7 @@ fn start_server(registry: Arc<ModelRegistry>) -> RunningServer {
                 max_wait: Duration::from_millis(5),
             },
             trace: TraceConfig::default(),
+            prof: ProfConfig::default(),
         },
         registry,
     )
@@ -487,6 +489,106 @@ fn scoring_and_ingest_stay_available_during_drift_triggered_refit() {
     assert_refit_timeline(addr, "drift");
 
     scheduler.shutdown();
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    std::fs::remove_file(&log).ok();
+}
+
+/// The profiling acceptance criterion: under a concurrent ingest+score
+/// run, the live session's `state` lock — the rwlock every score reads
+/// and every ingest writes — must rank its wait time above a lock the
+/// run never contends (`timelines`, only touched by refits) in the
+/// `/v1/prof` contention profile.
+#[test]
+fn concurrent_ingest_and_score_contend_the_state_lock_in_the_profile() {
+    let (live, artifact, log) = fit_live("contend", StreamConfig::default());
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_live("food", Arc::clone(&live));
+    let server = start_server(registry);
+    let addr = server.addr();
+
+    // Lock profiles are process-wide and cumulative, and contention is
+    // probabilistic — so hammer in rounds until the ranking holds (or a
+    // generous deadline proves it never will).
+    let lock_waits = || -> Vec<(String, f64)> {
+        let (status, body) = http(addr, "GET", "/v1/prof", "");
+        assert_eq!(status, 200, "body: {body}");
+        serve::parse_json(&body)
+            .expect("prof json")
+            .get("locks")
+            .and_then(Json::as_arr)
+            .expect("locks array")
+            .iter()
+            .map(|l| {
+                (
+                    l.get("lock").and_then(Json::as_str).expect("name").into(),
+                    l.get("wait_micros").and_then(Json::as_f64).expect("wait"),
+                )
+            })
+            .collect()
+    };
+    let wait_of = |waits: &[(String, f64)], name: &str| -> f64 {
+        waits
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| *w)
+            .unwrap_or_else(|| panic!("lock {name:?} not in profile: {waits:?}"))
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        // 2 ingest writers racing 4 score readers on the same session.
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                s.spawn(move || {
+                    for i in 0..10 {
+                        let zip = format!("61{:03}", (round + w * 50 + i) % 1000);
+                        let (status, resp) = post(
+                            addr,
+                            "/v1/models/food/rows",
+                            &rows_body(&[(&zip, "Chicago")]),
+                        );
+                        assert_eq!(status, 200, "{resp}");
+                    }
+                });
+            }
+            for r in 0..4 {
+                s.spawn(move || {
+                    for i in 0..10 {
+                        let city = format!("Madiso{}", (round + r * 50 + i) % 100);
+                        let (status, resp) = post(
+                            addr,
+                            "/v1/models/food/score",
+                            &rows_body(&[("53703", &city)]),
+                        );
+                        assert_eq!(status, 200, "{resp}");
+                    }
+                });
+            }
+        });
+        let waits = lock_waits();
+        let state = wait_of(&waits, "state");
+        let timelines = wait_of(&waits, "timelines");
+        if state > timelines {
+            // The profile is served wait-descending, so the ranking the
+            // operator sees leads with the contended lock.
+            let state_rank = waits.iter().position(|(n, _)| n == "state").unwrap();
+            let quiet_rank = waits.iter().position(|(n, _)| n == "timelines").unwrap();
+            assert!(
+                state_rank < quiet_rank,
+                "profile must rank state above timelines: {waits:?}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "state lock never out-waited the quiet timelines lock \
+             after {round} rounds: {waits:?}"
+        );
+    }
+
     server.shutdown();
     std::fs::remove_file(&artifact).ok();
     std::fs::remove_file(&log).ok();
