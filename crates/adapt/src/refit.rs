@@ -85,6 +85,11 @@ pub struct AdaptConfig {
     pub max_swap_pool: usize,
     /// RNG seed for the augmentation pass (fixed → deterministic refit).
     pub seed: u64,
+    /// Worker threads for the retrain's sharded SGD loop (`None` keeps
+    /// the model's own `cfg.threads`). Purely a wall-clock knob: the
+    /// trainer's shard decomposition is fixed, so the refitted model is
+    /// bitwise-identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for AdaptConfig {
@@ -100,6 +105,7 @@ impl Default for AdaptConfig {
             max_self_repairs: 512,
             max_swap_pool: 1000,
             seed: 0xADA7,
+            threads: None,
         }
     }
 }
@@ -386,6 +392,9 @@ impl AdaptiveRefit {
             self.examples_timed(artifact.reference(), labels)?;
         let examples = self.weight_fresh(examples, model.n_train_examples(), &mut report);
         let mut model = model;
+        if let Some(threads) = self.cfg.threads {
+            model.set_threads(threads);
+        }
         if self.cfg.repair_labeled {
             // The labels are ground truth — fold them into the
             // representation: every labeled error cell is repaired to

@@ -11,11 +11,14 @@
 
 use holo_features::FeatureLayout;
 use holo_nn::{
-    softmax_cross_entropy, Adam, Dense, Dropout, Highway, Layer, Matrix, Optimizer, Param, Relu,
+    softmax_cross_entropy_scaled, Adam, Dense, Dropout, Highway, Layer, Matrix, Optimizer, Param,
+    Relu,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How the learnable branches transform their embedding inputs.
 ///
@@ -63,6 +66,115 @@ pub struct WideDeepModel {
     branches: Vec<Branch>,
     classifier: Vec<Box<dyn Layer>>,
     rng: StdRng,
+    // Construction recipe, kept so training can stamp out worker
+    // replicas with the same skeleton ([`WideDeepModel::replica`]).
+    hidden_dim: usize,
+    dropout_p: f32,
+    style: BranchStyle,
+    seed: u64,
+}
+
+/// Fixed number of gradient shards each mini-batch is decomposed into,
+/// *independent of thread count*. Every shard's forward/backward runs on
+/// exactly its own rows, results land in per-shard slots, and the
+/// reduction walks slots in shard order — so the arithmetic (including
+/// f32 summation order) is identical whether 1 or N threads execute the
+/// shards. 8 matches the default thread clamp and keeps per-shard
+/// batches ≥4 rows at the default batch size of 32.
+const SGD_SHARDS: usize = 8;
+
+/// SplitMix64-style mixer for deriving per-(step, shard, layer) seeds.
+fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One shard's contribution to a step: flattened parameter gradients
+/// (in [`WideDeepModel::for_each_param`] traversal order) plus the
+/// unnormalized loss sum over the shard's rows.
+#[derive(Default)]
+struct ShardSlot {
+    grads: Vec<f32>,
+    loss: f64,
+}
+
+/// One SGD step's work unit, shared between the master and worker
+/// threads. The atomic cursor hands out shard indices dynamically (the
+/// `features_batch` idiom); each claimed shard writes its own slot, so
+/// scheduling order never affects the result.
+struct SgdStep {
+    /// Master-weights snapshot workers load before computing (empty in
+    /// single-threaded runs, where the master IS the weights).
+    weights: Vec<f32>,
+    /// Row indices per shard, in fixed decomposition order.
+    shards: Vec<Vec<usize>>,
+    /// Whole-batch row count (the gradient scale).
+    total: usize,
+    /// Global step index (drives per-shard dropout seeds).
+    step: u64,
+    cursor: AtomicUsize,
+    slots: Vec<Mutex<ShardSlot>>,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+impl SgdStep {
+    /// Block until every shard's slot has been written.
+    fn wait_done(&self) {
+        let mut d = self.done.lock().expect("sgd done lock");
+        while *d < self.shards.len() {
+            d = self.done_cv.wait(d).expect("sgd done wait");
+        }
+    }
+}
+
+/// The master→worker step channel: a generation counter plus the
+/// current step, bumped under one mutex so workers never miss or
+/// double-run a step. Generation `u64::MAX` means training is over.
+struct StepBoard {
+    cell: Mutex<(u64, Option<Arc<SgdStep>>)>,
+    cv: Condvar,
+}
+
+impl StepBoard {
+    fn new() -> Self {
+        StepBoard {
+            cell: Mutex::new((0, None)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, job: Arc<SgdStep>) {
+        let mut cell = self.cell.lock().expect("step board lock");
+        cell.0 += 1;
+        cell.1 = Some(job);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        let mut cell = self.cell.lock().expect("step board lock");
+        cell.0 = u64::MAX;
+        cell.1 = None;
+        self.cv.notify_all();
+    }
+
+    /// Worker side: wait for a generation newer than `last_gen`;
+    /// `None` once the board is closed.
+    fn next(&self, last_gen: &mut u64) -> Option<Arc<SgdStep>> {
+        let mut cell = self.cell.lock().expect("step board lock");
+        loop {
+            if cell.0 == u64::MAX {
+                return None;
+            }
+            if cell.0 != *last_gen {
+                *last_gen = cell.0;
+                return cell.1.clone();
+            }
+            cell = self.cv.wait(cell).expect("step board wait");
+        }
+    }
 }
 
 impl WideDeepModel {
@@ -98,7 +210,25 @@ impl WideDeepModel {
             branches,
             classifier,
             rng,
+            hidden_dim,
+            dropout_p: dropout,
+            style,
+            seed,
         }
+    }
+
+    /// A fresh model with the same skeleton (layout, widths, branch
+    /// style, seed) — a worker replica whose parameters are overwritten
+    /// from the master each step and whose dropout is reseeded per
+    /// shard, so it never consumes its construction-time RNG streams.
+    fn replica(&self) -> WideDeepModel {
+        WideDeepModel::with_branch_style(
+            self.layout.clone(),
+            self.hidden_dim,
+            self.dropout_p,
+            self.seed,
+            self.style,
+        )
     }
 
     /// The layout this model expects.
@@ -208,8 +338,11 @@ impl WideDeepModel {
         }
     }
 
-    /// Train with mini-batch ADAM. `targets[i] ∈ {0 = correct, 1 = error}`.
-    /// Returns the mean loss of the final epoch.
+    /// Train with mini-batch ADAM on one thread.
+    /// `targets[i] ∈ {0 = correct, 1 = error}`. Returns the mean loss of
+    /// the final epoch. Equivalent to [`WideDeepModel::train_threaded`]
+    /// with `threads = 1` (and bitwise-identical to it at any thread
+    /// count).
     pub fn train(
         &mut self,
         x: &Matrix,
@@ -218,30 +351,217 @@ impl WideDeepModel {
         batch_size: usize,
         lr: f32,
     ) -> f32 {
+        self.train_threaded(x, targets, epochs, batch_size, lr, 1)
+    }
+
+    /// Train with mini-batch ADAM, sharding each mini-batch's
+    /// forward/backward over up to `threads` worker threads.
+    ///
+    /// Every mini-batch is decomposed into the same fixed number of
+    /// row-shards regardless of `threads`; workers claim shards through
+    /// an atomic cursor, each shard's gradient lands in its own slot,
+    /// and the master reduces the slots in fixed shard order before the
+    /// (sequential) ADAM update. Dropout masks are reseeded per
+    /// (step, shard), never drawn from a shared stream. Consequently the
+    /// trained parameters — and everything downstream: scores,
+    /// calibration, thresholds — are **bitwise-identical across thread
+    /// counts** at the same seed; `threads` buys wall-time only.
+    pub fn train_threaded(
+        &mut self,
+        x: &Matrix,
+        targets: &[usize],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        threads: usize,
+    ) -> f32 {
         assert_eq!(x.rows(), targets.len(), "features/targets mismatch");
         assert!(x.rows() > 0, "empty training set");
+        let bs = batch_size.max(1);
+        let shard_rows = bs.div_ceil(SGD_SHARDS);
+        let salt = mix_seed(self.seed, 0x5bd1_e995);
+        let n_helpers = threads.clamp(1, SGD_SHARDS).saturating_sub(1);
+        if n_helpers == 0 {
+            return self.train_epochs(x, targets, epochs, bs, shard_rows, lr, salt, None);
+        }
+        let replicas: Vec<WideDeepModel> = (0..n_helpers).map(|_| self.replica()).collect();
+        let board = StepBoard::new();
+        let mut last_loss = 0.0f32;
+        std::thread::scope(|s| {
+            for mut rep in replicas {
+                let board = &board;
+                s.spawn(move || {
+                    let mut last_gen = 0u64;
+                    while let Some(job) = board.next(&mut last_gen) {
+                        rep.load_params_flat(&job.weights);
+                        rep.run_shards(&job, x, targets, salt);
+                    }
+                });
+            }
+            last_loss =
+                self.train_epochs(x, targets, epochs, bs, shard_rows, lr, salt, Some(&board));
+            board.close();
+        });
+        last_loss
+    }
+
+    /// The epoch/step loop shared by the single- and multi-threaded
+    /// paths; `board` is `Some` when worker threads are standing by.
+    #[allow(clippy::too_many_arguments)]
+    fn train_epochs(
+        &mut self,
+        x: &Matrix,
+        targets: &[usize],
+        epochs: usize,
+        bs: usize,
+        shard_rows: usize,
+        lr: f32,
+        salt: u64,
+        board: Option<&StepBoard>,
+    ) -> f32 {
         let mut opt = Adam::new(lr);
         let mut order: Vec<usize> = (0..x.rows()).collect();
-        let bs = batch_size.max(1);
         let mut last_epoch_loss = 0.0f32;
+        let mut step = 0u64;
         for _ in 0..epochs {
             order.shuffle(&mut self.rng);
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(bs) {
-                let bx = x.gather_rows(chunk);
-                let bt: Vec<usize> = chunk.iter().map(|&i| targets[i]).collect();
+                let shards: Vec<Vec<usize>> =
+                    chunk.chunks(shard_rows).map(<[usize]>::to_vec).collect();
+                let n_shards = shards.len();
+                let job = Arc::new(SgdStep {
+                    weights: if board.is_some() {
+                        self.params_flat()
+                    } else {
+                        Vec::new()
+                    },
+                    shards,
+                    total: chunk.len(),
+                    step,
+                    cursor: AtomicUsize::new(0),
+                    slots: (0..n_shards)
+                        .map(|_| Mutex::new(ShardSlot::default()))
+                        .collect(),
+                    done: Mutex::new(0),
+                    done_cv: Condvar::new(),
+                });
+                if let Some(b) = board {
+                    b.publish(Arc::clone(&job));
+                }
+                // The master claims shards too; its own parameters equal
+                // the snapshot workers load, so any claimer computes the
+                // same bits.
+                self.run_shards(&job, x, targets, salt);
+                job.wait_done();
                 self.zero_grad();
-                let logits = self.forward(&bx, true);
-                let (loss, grad) = softmax_cross_entropy(&logits, &bt);
-                self.backward(&grad);
+                let mut batch_loss = 0.0f64;
+                for slot in &job.slots {
+                    let s = slot.lock().expect("shard slot lock");
+                    self.accumulate_grads_flat(&s.grads);
+                    batch_loss += s.loss;
+                }
                 self.step(&mut opt);
-                epoch_loss += loss;
+                epoch_loss += (batch_loss / job.total as f64) as f32;
                 batches += 1;
+                step += 1;
             }
             last_epoch_loss = epoch_loss / batches.max(1) as f32;
         }
         last_epoch_loss
+    }
+
+    /// Claim shards off the step's cursor until exhausted, writing each
+    /// shard's gradient + loss into its slot. Runs on the master (with
+    /// `self`) and on worker replicas alike.
+    fn run_shards(&mut self, job: &SgdStep, x: &Matrix, targets: &[usize], salt: u64) {
+        loop {
+            let si = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if si >= job.shards.len() {
+                return;
+            }
+            let shard = &job.shards[si];
+            let bx = x.gather_rows(shard);
+            let bt: Vec<usize> = shard.iter().map(|&i| targets[i]).collect();
+            let shard_seed = mix_seed(mix_seed(salt, job.step), si as u64);
+            let loss = self.shard_pass(&bx, &bt, job.total, shard_seed);
+            {
+                let mut slot = job.slots[si].lock().expect("shard slot lock");
+                self.grads_flat_into(&mut slot.grads);
+                slot.loss = loss;
+            }
+            let mut d = job.done.lock().expect("sgd done lock");
+            *d += 1;
+            if *d >= job.shards.len() {
+                job.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// One shard's forward/backward: reseed stochastic layers from the
+    /// shard's deterministic seed, compute gradients scaled by the
+    /// *whole-batch* row count, return the unnormalized loss sum.
+    fn shard_pass(&mut self, bx: &Matrix, bt: &[usize], total: usize, shard_seed: u64) -> f64 {
+        self.reseed_stochastic(shard_seed);
+        self.zero_grad();
+        let logits = self.forward(bx, true);
+        let (loss, grad) = softmax_cross_entropy_scaled(&logits, bt, total);
+        self.backward(&grad);
+        loss
+    }
+
+    /// Reseed every stochastic layer (dropout) from `seed`, mixed with
+    /// the layer's position so multiple stochastic layers decorrelate.
+    fn reseed_stochastic(&mut self, seed: u64) {
+        let mut i = 0u64;
+        for b in &mut self.branches {
+            for l in &mut b.layers {
+                l.reseed(mix_seed(seed, i));
+                i += 1;
+            }
+        }
+        for l in &mut self.classifier {
+            l.reseed(mix_seed(seed, i));
+            i += 1;
+        }
+    }
+
+    /// All parameter values flattened in traversal order.
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.for_each_param(|p| out.extend_from_slice(p.value.data()));
+        out
+    }
+
+    /// Overwrite all parameter values from a flat snapshot.
+    fn load_params_flat(&mut self, flat: &[f32]) {
+        let mut off = 0usize;
+        self.for_each_param_mut(|p| {
+            let d = p.value.data_mut();
+            let n = d.len();
+            d.copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+    }
+
+    /// All parameter gradients flattened in traversal order.
+    fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        self.for_each_param(|p| out.extend_from_slice(p.grad.data()));
+    }
+
+    /// Add a flat gradient snapshot into the parameter gradients.
+    fn accumulate_grads_flat(&mut self, flat: &[f32]) {
+        let mut off = 0usize;
+        self.for_each_param_mut(|p| {
+            let g = p.grad.data_mut();
+            let n = g.len();
+            for (gi, &fi) in g.iter_mut().zip(&flat[off..off + n]) {
+                *gi += fi;
+            }
+            off += n;
+        });
     }
 
     /// Raw error-class margins `z_error − z_correct` (eval mode, shared
@@ -412,6 +732,33 @@ mod tests {
             m.predict_proba(&x)
         };
         assert_eq!(run(), run());
+    }
+
+    /// The tentpole invariant: training with N threads produces
+    /// bitwise-identical parameters, loss, and probabilities to training
+    /// with 1 thread at the same seed — including with dropout active
+    /// (per-shard reseeding) and a final ragged batch.
+    #[test]
+    fn train_is_bitwise_invariant_across_thread_counts() {
+        let (x, y) = synthetic(130, 2); // 130 % 32 != 0 → ragged tail batch
+        let run = |threads: usize| {
+            let mut m = WideDeepModel::new(layout(), 16, 0.2, 11);
+            let loss = m.train_threaded(&x, &y, 12, 32, 0.01, threads);
+            let mut params = Vec::new();
+            m.for_each_param(|p| params.extend(p.value.data().iter().map(|v| v.to_bits())));
+            (loss.to_bits(), params, m.predict_proba(&x))
+        };
+        let (loss1, params1, probs1) = run(1);
+        for threads in [2, 3, 8, 64] {
+            let (loss_n, params_n, probs_n) = run(threads);
+            assert_eq!(loss1, loss_n, "loss diverged at {threads} threads");
+            assert_eq!(params1, params_n, "params diverged at {threads} threads");
+            assert_eq!(
+                probs1.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                probs_n.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "probabilities diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

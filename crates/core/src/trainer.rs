@@ -179,7 +179,9 @@ impl Pipeline {
         matrix_from_rows(&rows)
     }
 
-    /// Train the wide-and-deep model on featurized examples.
+    /// Train the wide-and-deep model on featurized examples, sharding
+    /// each mini-batch over `cfg.threads` workers (bitwise-identical to
+    /// single-threaded training at the same seed).
     pub fn train_model(&self, x: &Matrix, targets: &[usize]) -> WideDeepModel {
         let mut model = WideDeepModel::with_branch_style(
             self.featurizer.layout().clone(),
@@ -188,12 +190,13 @@ impl Pipeline {
             self.seed,
             self.cfg.branch_style,
         );
-        model.train(
+        model.train_threaded(
             x,
             targets,
             self.cfg.epochs,
             self.cfg.batch_size,
             self.cfg.lr,
+            self.cfg.threads,
         );
         model
     }

@@ -45,6 +45,14 @@ pub trait Layer: Send + Sync {
             p.zero_grad();
         }
     }
+
+    /// Re-seed any internal randomness (dropout masks). A no-op for
+    /// deterministic layers. Sharded trainers call this per
+    /// (step, shard) so stochastic masks depend only on the shard's
+    /// position in the decomposition — never on which worker thread
+    /// happened to run it — keeping N-thread training bitwise equal to
+    /// single-thread.
+    fn reseed(&mut self, _seed: u64) {}
 }
 
 /// Fully-connected layer: `Y = X·W + b` with `W: in×out`, `b: 1×out`.
@@ -206,6 +214,10 @@ impl Dropout {
 impl Layer for Dropout {
     fn infer(&self, input: &Matrix) -> Matrix {
         input.clone()
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
@@ -549,6 +561,23 @@ mod tests {
     #[should_panic(expected = "dropout probability")]
     fn dropout_rejects_p_one() {
         Dropout::new(1.0, 0);
+    }
+
+    /// Reseeding rewinds the mask stream: two forwards after the same
+    /// reseed draw identical masks, regardless of prior history.
+    #[test]
+    fn dropout_reseed_replays_masks() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Matrix::from_vec(1, 64, vec![1.0; 64]);
+        d.reseed(77);
+        let a = d.forward(&x, true);
+        let _ = d.forward(&x, true); // advance the stream
+        d.reseed(77);
+        let b = d.forward(&x, true);
+        assert_eq!(a, b);
+        // A deterministic layer ignores reseed.
+        let mut r = Relu::new();
+        r.reseed(123);
     }
 
     /// `infer` must agree with eval-mode `forward` for every layer.

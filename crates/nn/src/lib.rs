@@ -33,7 +33,7 @@ pub mod param;
 
 pub use calibrate::PlattScaler;
 pub use layers::{Dense, Dropout, Highway, Layer, Relu, Sigmoid};
-pub use loss::softmax_cross_entropy;
+pub use loss::{softmax_cross_entropy, softmax_cross_entropy_scaled};
 pub use matrix::Matrix;
 pub use network::Sequential;
 pub use optim::{Adam, Optimizer, Sgd};

@@ -38,6 +38,47 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix
     ((loss / n as f64) as f32, grad)
 }
 
+/// Softmax cross-entropy over one shard of a larger mini-batch.
+///
+/// Like [`softmax_cross_entropy`], but the gradient is divided by
+/// `total` — the row count of the *whole* mini-batch this shard belongs
+/// to — and the loss comes back as an unnormalized `f64` sum, so a
+/// sharded trainer can add per-shard gradients and losses in a fixed
+/// order and recover exactly the whole-batch quantities. With
+/// `total == logits.rows()` the gradient matches
+/// [`softmax_cross_entropy`] bit for bit.
+pub fn softmax_cross_entropy_scaled(
+    logits: &Matrix,
+    targets: &[usize],
+    total: usize,
+) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
+    let (n, k) = logits.shape();
+    assert!(n > 0, "empty batch");
+    assert!(total >= n, "shard larger than its batch");
+    let mut grad = Matrix::zeros(n, k);
+    let mut loss = 0.0f64;
+    // Indexing three parallel structures (logits row, target, grad row);
+    // an index loop is the clear spelling.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&z| (z - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let t = targets[i];
+        assert!(t < k, "target class out of range");
+        let p_t = exps[t] / sum;
+        loss += -(p_t.max(1e-12) as f64).ln();
+        let grow = grad.row_mut(i);
+        for (j, &e) in exps.iter().enumerate() {
+            let p = e / sum;
+            grow[j] = (p - f32::from(j == t)) / total as f32;
+        }
+    }
+    (loss, grad)
+}
+
 /// Softmax probabilities (no gradient), for inference.
 pub fn softmax(logits: &Matrix) -> Matrix {
     let (n, k) = logits.shape();
@@ -134,5 +175,43 @@ mod tests {
     #[should_panic(expected = "batch size mismatch")]
     fn mismatched_targets_panic() {
         softmax_cross_entropy(&Matrix::zeros(2, 2), &[0]);
+    }
+
+    /// Per-shard scaled gradients, concatenated, must reproduce the
+    /// whole-batch gradient bit for bit, and the summed shard losses
+    /// must reproduce the whole-batch mean loss.
+    #[test]
+    fn scaled_shards_reassemble_whole_batch() {
+        let logits = Matrix::from_vec(4, 2, vec![0.5, -0.2, 1.0, 0.0, -1.0, 0.3, 0.2, 0.2]);
+        let targets = [1usize, 0, 1, 0];
+        let (whole_loss, whole_grad) = softmax_cross_entropy(&logits, &targets);
+
+        let mut loss_sum = 0.0f64;
+        let mut rows: Vec<f32> = Vec::new();
+        for lo in (0..4).step_by(2) {
+            let shard = Matrix::from_vec(2, 2, logits.data()[lo * 2..(lo + 2) * 2].to_vec());
+            let (l, g) = softmax_cross_entropy_scaled(&shard, &targets[lo..lo + 2], 4);
+            loss_sum += l;
+            rows.extend_from_slice(g.data());
+        }
+        assert_eq!(
+            rows.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            whole_grad
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert!(((loss_sum / 4.0) as f32 - whole_loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_with_full_total_matches_unscaled() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let targets = [2usize, 0];
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        let (loss_sum, grad_s) = softmax_cross_entropy_scaled(&logits, &targets, 2);
+        assert_eq!(grad, grad_s);
+        assert!(((loss_sum / 2.0) as f32 - loss).abs() < 1e-6);
     }
 }

@@ -170,6 +170,18 @@ pub struct StreamConfig {
     /// Labels one adaptive refit consumes at most (the few-shot
     /// budget — HoloDetect's §5 regime).
     pub refit_label_budget: usize,
+    /// SGNS passes of the incremental embedding refresh each refit runs
+    /// over the delta-log rows accumulated since the last refit, before
+    /// retraining the classifier (`0` disables the refresh and keeps the
+    /// fit-time embeddings frozen, the pre-refresh behaviour). The
+    /// refresh is deterministic and only touches new/changed contexts,
+    /// so it is cheap next to the retrain it precedes.
+    pub embed_refresh_epochs: usize,
+    /// Worker threads for the sharded refit SGD loop (`None` keeps the
+    /// artifact's own `cfg.threads`). Thread count never changes scores:
+    /// the trainer's shard decomposition is fixed, so an N-thread refit
+    /// is bitwise-equal to a single-threaded one at the same seed.
+    pub refit_threads: Option<usize>,
 }
 
 impl Default for StreamConfig {
@@ -185,6 +197,8 @@ impl Default for StreamConfig {
             score_bins: 40,
             max_label_buffer: 1024,
             refit_label_budget: 20,
+            embed_refresh_epochs: 0,
+            refit_threads: None,
         }
     }
 }
@@ -678,6 +692,21 @@ impl LiveModel {
             st.model.save_to(&mut buf)?;
             (buf, st.epoch)
         };
+        // Rows appended since the last refit (the log compacts at each
+        // refit, so everything it holds is this refit's delta) — the
+        // corpus the incremental embedding refresh trains over.
+        let delta_rows: Vec<Vec<String>> = if self.cfg.embed_refresh_epochs > 0 {
+            let log = self.log.lock().map_err(|_| poisoned("delta log"))?;
+            log.ops()
+                .iter()
+                .filter_map(|op| match op {
+                    DeltaOp::Append { values } => Some(values.clone()),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Snapshot the label budget *after* the state snapshot: labels
         // are validated against the reference at add time and the
         // session is append-only, so every buffered label addresses
@@ -689,8 +718,21 @@ impl LiveModel {
                 .cloned()
                 .collect()
         };
-        let copy = FittedHoloDetect::load_from(&mut std::io::Cursor::new(snapshot))?;
+        let mut copy = FittedHoloDetect::load_from(&mut std::io::Cursor::new(snapshot))?;
+        if let Some(threads) = self.cfg.refit_threads {
+            copy.set_threads(threads);
+        }
         let snapshot_micros = snapshot_clock.elapsed_micros();
+        // Delta-aware embeddings: fold the new rows' tokens into the
+        // skip-gram tables before the classifier retrains over them, so
+        // the refit sees fresh representations instead of frozen ones.
+        let refresh_clock = Stopwatch::start();
+        let embeddings_refreshed = if delta_rows.is_empty() {
+            false
+        } else {
+            copy.refresh_embeddings(&delta_rows, self.cfg.embed_refresh_epochs)?
+        };
+        let embed_refresh_micros = refresh_clock.elapsed_micros();
         let adapt = AdaptiveRefit::new(AdaptConfig {
             max_labels: self.cfg.refit_label_budget,
             ..AdaptConfig::default()
@@ -725,6 +767,11 @@ impl LiveModel {
             .saturating_add(adapt_timing.augment_micros);
         let mut timeline = RefitTimeline::new(self.model_label(), trigger, base_epoch);
         timeline.push_phase("snapshot", snapshot_micros.max(1));
+        // Absent when the refresh is disabled or had no delta to fold —
+        // a phase on the timeline means the refresh actually ran.
+        if embeddings_refreshed {
+            timeline.push_phase("embed-refresh", embed_refresh_micros.max(1));
+        }
         timeline.push_phase("adapt", adapt_micros.max(1));
         timeline.push_phase("adapt.label-drain", adapt_timing.label_drain_micros.max(1));
         timeline.push_phase(
@@ -1029,7 +1076,7 @@ mod tests {
     fn drift_rises_on_violating_traffic_and_refit_resets_it() {
         let (dirty, truth) = world();
         let mut cfg = HoloDetectConfig::fast();
-        cfg.epochs = 8;
+        cfg.epochs = 12;
         let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
         let dcs = holo_constraints::parse_constraints("Zip -> City", dirty.schema())
             .expect("parse constraints");
@@ -1307,6 +1354,63 @@ mod tests {
             LiveModel::open(&artifact, &log, StreamConfig::default()),
             Err(ModelError::Degenerate { .. })
         ));
+        cleanup(&[&artifact, &log]);
+    }
+
+    #[test]
+    fn embed_refresh_runs_in_refit_and_lands_on_the_timeline() {
+        let (artifact, log) = fit_artifact("embedrefresh");
+        let live = LiveModel::open(
+            &artifact,
+            &log,
+            StreamConfig {
+                embed_refresh_epochs: 2,
+                refit_threads: Some(2),
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        // New-vocabulary traffic: tokens the fit-time embeddings never
+        // saw, exactly what the incremental refresh exists to absorb.
+        let delta: Vec<Vec<String>> = (0..6)
+            .map(|_| vec!["48201".to_string(), "Detroit".to_string()])
+            .collect();
+        live.ingest_rows(delta).unwrap();
+        live.refit_now().unwrap();
+        let tl = live.refit_timelines(1).pop().unwrap();
+        assert!(
+            tl.phase_micros("embed-refresh").is_some_and(|us| us >= 1),
+            "refresh ran over delta rows, its phase must be attributed"
+        );
+        cleanup(&[&artifact, &log]);
+    }
+
+    #[test]
+    fn embed_refresh_phase_absent_when_disabled_or_no_delta() {
+        // Enabled but nothing appended since the last compaction: the
+        // refresh has no corpus, so the phase must not appear.
+        let (artifact, log) = fit_artifact("embednodelta");
+        let live = LiveModel::open(
+            &artifact,
+            &log,
+            StreamConfig {
+                embed_refresh_epochs: 2,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        live.refit_to_disk().unwrap();
+        let tl = live.refit_timelines(1).pop().unwrap();
+        assert_eq!(tl.phase_micros("embed-refresh"), None);
+        drop(live);
+        std::fs::remove_file(&log).ok();
+
+        // Disabled (the default): delta rows alone must not trigger it.
+        let live = LiveModel::open(&artifact, &log, StreamConfig::default()).unwrap();
+        live.ingest_rows(some_rows(4, 90)).unwrap();
+        live.refit_to_disk().unwrap();
+        let tl = live.refit_timelines(1).pop().unwrap();
+        assert_eq!(tl.phase_micros("embed-refresh"), None);
         cleanup(&[&artifact, &log]);
     }
 }

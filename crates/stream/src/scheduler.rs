@@ -171,7 +171,7 @@ mod tests {
         dirty.set_value(7, 1, "Madxison");
         let truth = GroundTruth::from_pair(&clean, &dirty);
         let mut cfg = HoloDetectConfig::fast();
-        cfg.epochs = 8;
+        cfg.epochs = 12;
         let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
         let dcs = holo_constraints::parse_constraints("Zip -> City", dirty.schema()).unwrap();
         let model = HoloDetect::new(cfg).fit_model(&FitContext {

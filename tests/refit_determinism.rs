@@ -1,0 +1,168 @@
+//! The parallel-refit acceptance bars, tested end to end at the
+//! trained-model level (the sharded-SGD PR's criteria, alongside the
+//! `stream_parity` suite):
+//!
+//! * **Thread invariance** — `refit_with` at any worker-thread count
+//!   scores **bitwise-identical** to single-threaded at the same seed.
+//!   The trainer's shard decomposition is fixed (independent of thread
+//!   count) and the gradient reduction runs in slot order, so threads
+//!   only change *who* computes each shard, never *what* is summed.
+//! * **Refresh parity** — the incremental embedding refresh is
+//!   deterministic, extends the vocabulary exactly like a full rebuild
+//!   over the same delta, and never moves an existing token's id.
+
+use holodetect_repro::core::{FittedHoloDetect, HoloDetect, HoloDetectConfig};
+use holodetect_repro::data::{CellId, Dataset, DatasetBuilder, GroundTruth, Schema};
+use holodetect_repro::embed::{Embedding, SkipGramConfig};
+use holodetect_repro::eval::FitContext;
+use std::sync::OnceLock;
+
+/// One fitted model, serialized once — every case reloads it through
+/// the snapshot path, so all refits start from identical bytes.
+fn snapshot() -> &'static [u8] {
+    static SNAP: OnceLock<Vec<u8>> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+        for _ in 0..30 {
+            b.push_row(&["60612", "Chicago"]);
+            b.push_row(&["53703", "Madison"]);
+            b.push_row(&["61801", "Urbana"]);
+        }
+        let clean = b.build();
+        let mut dirty = clean.clone();
+        dirty.set_value(0, 1, "Cxhicago");
+        dirty.set_value(7, 1, "Madxison");
+        dirty.set_value(13, 1, "Urbxana");
+        let truth = GroundTruth::from_pair(&clean, &dirty);
+        let mut cfg = HoloDetectConfig::fast();
+        cfg.epochs = 9;
+        let train = truth.label_tuples(&dirty, &(0..24).collect::<Vec<_>>());
+        let dcs = holodetect_repro::constraints::parse_constraints("Zip -> City", dirty.schema())
+            .expect("constraints");
+        let model = HoloDetect::new(cfg).fit_model(&FitContext {
+            dirty: &dirty,
+            train: &train,
+            sampling: None,
+            constraints: &dcs,
+            seed: 5,
+        });
+        let mut buf = Vec::new();
+        model.save_to(&mut buf).expect("snapshot");
+        buf
+    })
+}
+
+fn probe() -> Dataset {
+    let mut b = DatasetBuilder::new(Schema::new(["Zip", "City"]));
+    b.push_row(&["60612", "Chicago"]);
+    b.push_row(&["60612", "Chicxago"]);
+    b.push_row(&["99999", "Nowhere"]);
+    b.build()
+}
+
+/// Refit the snapshot at the given thread count and return the
+/// refitted model's probe scores as bit patterns.
+fn refit_bits(threads: usize) -> Vec<u32> {
+    let mut model =
+        FittedHoloDetect::load_from(&mut std::io::Cursor::new(snapshot())).expect("load");
+    model.set_threads(threads);
+    let refitted = model.refit_with(Vec::new()).expect("refit");
+    let d = probe();
+    let cells: Vec<CellId> = d.cell_ids().collect();
+    refitted
+        .raw_scores(&d, &cells)
+        .expect("score")
+        .iter()
+        .map(|s| s.to_bits())
+        .collect()
+}
+
+#[test]
+fn n_thread_refit_is_bitwise_equal_to_single_thread() {
+    let single = refit_bits(1);
+    for threads in [2, 4, 8, 32] {
+        assert_eq!(
+            single,
+            refit_bits(threads),
+            "{threads}-thread refit diverged from single-threaded"
+        );
+    }
+}
+
+/// The delta corpus both refresh paths fold in.
+fn delta() -> Vec<Vec<String>> {
+    (0..15)
+        .flat_map(|_| {
+            [
+                vec!["48201".to_string(), "Detroit".to_string()],
+                vec!["48104".to_string(), "Ann Arbor".to_string()],
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn embedding_refresh_matches_rebuild_vocabulary_on_the_same_delta() {
+    let base: Vec<Vec<String>> = (0..40)
+        .flat_map(|_| {
+            [
+                vec!["60612".to_string(), "Chicago".to_string()],
+                vec!["53703".to_string(), "Madison".to_string()],
+            ]
+        })
+        .collect();
+    let cfg = SkipGramConfig {
+        dim: 16,
+        epochs: 3,
+        ..SkipGramConfig::default()
+    };
+    let fitted = Embedding::train(&base, &cfg);
+
+    // Incremental path: fold the delta into the trained table.
+    let mut refreshed = fitted.clone();
+    assert!(refreshed.refresh(&delta(), &cfg, 2));
+
+    // Full-rebuild path: retrain from scratch over base + delta.
+    let mut extended = base.clone();
+    extended.extend(delta());
+    let rebuilt = Embedding::train(&extended, &cfg);
+
+    // Parity bar 1: both paths cover the same vocabulary.
+    let mut ref_tokens: Vec<&str> = refreshed
+        .vocab()
+        .tokens()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let mut reb_tokens: Vec<&str> = rebuilt
+        .vocab()
+        .tokens()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    ref_tokens.sort_unstable();
+    reb_tokens.sort_unstable();
+    assert_eq!(
+        ref_tokens, reb_tokens,
+        "refresh must learn the delta vocabulary"
+    );
+
+    // Parity bar 2: refresh never moves an existing token's id (the
+    // invariant that keeps featurizer tables valid), and is itself
+    // deterministic: a second refresh from the same fit is bitwise
+    // identical.
+    for tok in ["Chicago", "Madison", "60612", "53703"] {
+        assert_eq!(fitted.vocab().id(tok), refreshed.vocab().id(tok));
+    }
+    let mut again = fitted.clone();
+    assert!(again.refresh(&delta(), &cfg, 2));
+    for tok in ["Detroit", "Chicago", "48201"] {
+        let a = refreshed.vector(tok);
+        let b = again.vector(tok);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "refresh must be deterministic for {tok:?}"
+        );
+    }
+}

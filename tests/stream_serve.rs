@@ -32,7 +32,7 @@ fn fit_live(tag: &str, stream_cfg: StreamConfig) -> (Arc<LiveModel>, PathBuf, Pa
     dirty.set_value(7, 1, "Madxison");
     let truth = GroundTruth::from_pair(&clean, &dirty);
     let mut cfg = HoloDetectConfig::fast();
-    cfg.epochs = 8;
+    cfg.epochs = 12;
     let train = truth.label_tuples(&dirty, &(0..20).collect::<Vec<_>>());
     let dcs = holodetect_repro::constraints::parse_constraints("Zip -> City", dirty.schema())
         .expect("constraints");
